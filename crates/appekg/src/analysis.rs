@@ -1,0 +1,285 @@
+//! Heartbeat data analysis.
+//!
+//! The paper stops at raw heartbeat plots ("we do not present any
+//! heartbeat performance analysis, which is outside the scope of this
+//! paper") but names the goal: "future analyses developed for heartbeat
+//! data can provide portable, consistent, and quantitative evaluation of
+//! scientific application performance" (§VIII). This module provides the
+//! first layer of such analyses:
+//!
+//! * [`HeartbeatAnalysis`] — per-heartbeat descriptive statistics over a
+//!   run: totals, activity, **rate factor** (Table IV carries a "Rate
+//!   Factor" column; we define it as the mean number of completed beats
+//!   per *active* interval), duration moments, and the longest silent
+//!   gap.
+//! * [`co_activity`] — the fraction of intervals in which two heartbeats
+//!   beat together, quantifying the paper's MiniAMR observation that its
+//!   manual sites were "simultaneously active, not really capturing
+//!   different phase behavior".
+//! * [`per_phase_stats`] — heartbeat statistics grouped by a phase
+//!   assignment, connecting AppEKG data back to detected phases.
+
+use crate::ekg::HeartbeatId;
+use crate::record::{HbStats, IntervalRecord};
+use std::collections::BTreeMap;
+
+/// Descriptive statistics for one heartbeat over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeartbeatStats {
+    /// Total completed beats.
+    pub total_count: u64,
+    /// Intervals in which at least one beat completed.
+    pub active_intervals: usize,
+    /// Total intervals in the run (denominator for activity).
+    pub run_intervals: usize,
+    /// Mean beats per active interval — the rate factor.
+    pub rate_factor: f64,
+    /// Mean beat duration over the whole run (ns).
+    pub mean_duration_ns: f64,
+    /// Standard deviation of per-interval mean durations (ns), over
+    /// active intervals. Low values = stable phase behavior (the paper's
+    /// "relatively stable in behavior" observation for MiniFE).
+    pub duration_stddev_ns: f64,
+    /// Longest run of consecutive intervals with no completed beat
+    /// inside `0..run_intervals` (the "gaps" visible in paper Fig. 2).
+    pub longest_gap: usize,
+}
+
+impl HeartbeatStats {
+    /// Fraction of the run's intervals in which this heartbeat was
+    /// active.
+    pub fn activity(&self) -> f64 {
+        if self.run_intervals == 0 {
+            0.0
+        } else {
+            self.active_intervals as f64 / self.run_intervals as f64
+        }
+    }
+}
+
+/// Whole-run heartbeat analysis.
+#[derive(Debug, Clone, Default)]
+pub struct HeartbeatAnalysis {
+    stats: BTreeMap<HeartbeatId, HeartbeatStats>,
+    run_intervals: usize,
+}
+
+impl HeartbeatAnalysis {
+    /// Analyze `records` over a run of `run_intervals` intervals (pass
+    /// the collector's interval count; records may be sparse).
+    pub fn from_records(records: &[IntervalRecord], run_intervals: usize) -> HeartbeatAnalysis {
+        let run_intervals =
+            run_intervals.max(records.iter().map(|r| r.interval as usize + 1).max().unwrap_or(0));
+        // Collect per-hb interval maps.
+        let mut per_hb: BTreeMap<HeartbeatId, BTreeMap<u64, HbStats>> = BTreeMap::new();
+        for r in records {
+            for (&hb, &s) in &r.heartbeats {
+                if s.count > 0 {
+                    per_hb.entry(hb).or_default().insert(r.interval, s);
+                }
+            }
+        }
+        let stats = per_hb
+            .into_iter()
+            .map(|(hb, by_interval)| {
+                let total_count: u64 = by_interval.values().map(|s| s.count).sum();
+                let total_duration: u64 =
+                    by_interval.values().map(|s| s.total_duration_ns).sum();
+                let active = by_interval.len();
+                let means: Vec<f64> =
+                    by_interval.values().map(|s| s.mean_duration_ns()).collect();
+                let mean_of_means = means.iter().sum::<f64>() / active.max(1) as f64;
+                let var = means
+                    .iter()
+                    .map(|m| (m - mean_of_means) * (m - mean_of_means))
+                    .sum::<f64>()
+                    / active.max(1) as f64;
+                let longest_gap = longest_gap(&by_interval, run_intervals);
+                (
+                    hb,
+                    HeartbeatStats {
+                        total_count,
+                        active_intervals: active,
+                        run_intervals,
+                        rate_factor: total_count as f64 / active.max(1) as f64,
+                        mean_duration_ns: total_duration as f64 / total_count.max(1) as f64,
+                        duration_stddev_ns: var.sqrt(),
+                        longest_gap,
+                    },
+                )
+            })
+            .collect();
+        HeartbeatAnalysis { stats, run_intervals }
+    }
+
+    /// Stats for one heartbeat, if it ever beat.
+    pub fn stats(&self, hb: HeartbeatId) -> Option<&HeartbeatStats> {
+        self.stats.get(&hb)
+    }
+
+    /// All analyzed heartbeats in id order.
+    pub fn heartbeats(&self) -> Vec<HeartbeatId> {
+        self.stats.keys().copied().collect()
+    }
+
+    /// The run length used as activity denominator.
+    pub fn run_intervals(&self) -> usize {
+        self.run_intervals
+    }
+}
+
+fn longest_gap(by_interval: &BTreeMap<u64, HbStats>, run_intervals: usize) -> usize {
+    let mut longest = 0usize;
+    let mut prev: i64 = -1;
+    for &i in by_interval.keys() {
+        let gap = (i as i64 - prev - 1).max(0) as usize;
+        longest = longest.max(gap);
+        prev = i as i64;
+    }
+    longest.max(run_intervals.saturating_sub(prev as usize + 1))
+}
+
+/// Fraction of intervals (among those where *either* beats) in which
+/// both heartbeats complete at least one beat. 1.0 = always together
+/// (the paper's overlapping MiniAMR manual sites); 0.0 = never.
+pub fn co_activity(records: &[IntervalRecord], a: HeartbeatId, b: HeartbeatId) -> f64 {
+    let mut either = 0usize;
+    let mut both = 0usize;
+    for r in records {
+        let has_a = r.count(a) > 0;
+        let has_b = r.count(b) > 0;
+        if has_a || has_b {
+            either += 1;
+            if has_a && has_b {
+                both += 1;
+            }
+        }
+    }
+    if either == 0 {
+        0.0
+    } else {
+        both as f64 / either as f64
+    }
+}
+
+/// Group heartbeat counts by a per-interval phase assignment
+/// (`assignment[i]` = phase of interval `i`). Returns, per phase, per
+/// heartbeat, the aggregated stats — connecting AppEKG output back to
+/// the phases IncProf detected.
+pub fn per_phase_stats(
+    records: &[IntervalRecord],
+    assignment: &[usize],
+) -> BTreeMap<usize, BTreeMap<HeartbeatId, HbStats>> {
+    let mut out: BTreeMap<usize, BTreeMap<HeartbeatId, HbStats>> = BTreeMap::new();
+    for r in records {
+        let Some(&phase) = assignment.get(r.interval as usize) else { continue };
+        let phase_map = out.entry(phase).or_default();
+        for (&hb, &s) in &r.heartbeats {
+            let e = phase_map.entry(hb).or_default();
+            e.count += s.count;
+            e.total_duration_ns += s.total_duration_ns;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(interval: u64, entries: &[(u32, u64, u64)]) -> IntervalRecord {
+        let mut r = IntervalRecord { interval, start_ns: interval * 1000, ..Default::default() };
+        for &(hb, count, dur) in entries {
+            r.heartbeats
+                .insert(HeartbeatId(hb), HbStats { count, total_duration_ns: dur });
+        }
+        r
+    }
+
+    #[test]
+    fn rate_factor_is_beats_per_active_interval() {
+        let records = vec![rec(0, &[(1, 4, 40)]), rec(2, &[(1, 2, 20)])];
+        let a = HeartbeatAnalysis::from_records(&records, 4);
+        let s = a.stats(HeartbeatId(1)).unwrap();
+        assert_eq!(s.total_count, 6);
+        assert_eq!(s.active_intervals, 2);
+        assert_eq!(s.rate_factor, 3.0);
+        assert_eq!(s.run_intervals, 4);
+        assert!((s.activity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_moments() {
+        // Interval means 10 and 20 → mean-of-means 15, sd 5.
+        let records = vec![rec(0, &[(1, 1, 10)]), rec(1, &[(1, 2, 40)])];
+        let a = HeartbeatAnalysis::from_records(&records, 2);
+        let s = a.stats(HeartbeatId(1)).unwrap();
+        assert!((s.mean_duration_ns - 50.0 / 3.0).abs() < 1e-9);
+        assert!((s.duration_stddev_ns - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn longest_gap_spans_leading_middle_and_trailing() {
+        // Active at 3 and 5 in a 10-interval run: gaps 3 (lead), 1, 4 (tail).
+        let records = vec![rec(3, &[(1, 1, 1)]), rec(5, &[(1, 1, 1)])];
+        let a = HeartbeatAnalysis::from_records(&records, 10);
+        assert_eq!(a.stats(HeartbeatId(1)).unwrap().longest_gap, 4);
+        // Trailing gap wins when it is longest.
+        let records = vec![rec(0, &[(1, 1, 1)])];
+        let a = HeartbeatAnalysis::from_records(&records, 10);
+        assert_eq!(a.stats(HeartbeatId(1)).unwrap().longest_gap, 9);
+    }
+
+    #[test]
+    fn run_length_extends_to_cover_records() {
+        let records = vec![rec(7, &[(1, 1, 1)])];
+        let a = HeartbeatAnalysis::from_records(&records, 0);
+        assert_eq!(a.run_intervals(), 8);
+    }
+
+    #[test]
+    fn zero_count_entries_are_not_activity() {
+        let records = vec![rec(0, &[(1, 0, 0), (2, 1, 5)])];
+        let a = HeartbeatAnalysis::from_records(&records, 1);
+        assert!(a.stats(HeartbeatId(1)).is_none());
+        assert!(a.stats(HeartbeatId(2)).is_some());
+    }
+
+    #[test]
+    fn co_activity_bounds_and_cases() {
+        let records = vec![
+            rec(0, &[(1, 1, 1), (2, 1, 1)]),
+            rec(1, &[(1, 1, 1)]),
+            rec(2, &[(2, 1, 1)]),
+            rec(3, &[]),
+        ];
+        let c = co_activity(&records, HeartbeatId(1), HeartbeatId(2));
+        assert!((c - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(co_activity(&records, HeartbeatId(8), HeartbeatId(9)), 0.0);
+        // Always-together pair.
+        let together = vec![rec(0, &[(1, 1, 1), (2, 2, 2)]), rec(1, &[(1, 3, 3), (2, 1, 1)])];
+        assert_eq!(co_activity(&together, HeartbeatId(1), HeartbeatId(2)), 1.0);
+    }
+
+    #[test]
+    fn per_phase_stats_group_by_assignment() {
+        let records = vec![
+            rec(0, &[(1, 2, 20)]),
+            rec(1, &[(1, 3, 30)]),
+            rec(2, &[(2, 1, 5)]),
+        ];
+        let assignment = vec![0, 0, 1];
+        let by_phase = per_phase_stats(&records, &assignment);
+        assert_eq!(by_phase[&0][&HeartbeatId(1)].count, 5);
+        assert_eq!(by_phase[&0][&HeartbeatId(1)].total_duration_ns, 50);
+        assert_eq!(by_phase[&1][&HeartbeatId(2)].count, 1);
+        assert!(!by_phase[&1].contains_key(&HeartbeatId(1)));
+    }
+
+    #[test]
+    fn intervals_outside_assignment_are_skipped() {
+        let records = vec![rec(5, &[(1, 1, 1)])];
+        let by_phase = per_phase_stats(&records, &[0, 0]);
+        assert!(by_phase.is_empty());
+    }
+}

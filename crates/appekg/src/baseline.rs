@@ -1,0 +1,319 @@
+//! Heartbeat baselines and regression detection.
+//!
+//! The paper's deployment story (§III): "as a history of an application
+//! is built up this data can be used to identify when the application is
+//! running poorly and when it is running well. Correlating the
+//! application heartbeat data with system data could help identify when
+//! system issues caused the poor performance."
+//!
+//! This module implements that history: a [`HeartbeatBaseline`] is built
+//! from the heartbeat analyses of known-good runs; [`compare`] checks a
+//! new run against it and flags heartbeats whose rate factor or mean
+//! duration deviates by more than a configurable number of standard
+//! deviations (with a relative-change floor so near-constant baselines
+//! don't flag noise).
+
+use crate::analysis::HeartbeatAnalysis;
+use crate::ekg::HeartbeatId;
+use std::collections::BTreeMap;
+
+/// Baseline moments for one heartbeat across historical runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    /// Runs in which the heartbeat appeared.
+    pub runs: usize,
+    /// Mean of per-run rate factors.
+    pub rate_mean: f64,
+    /// Standard deviation of per-run rate factors.
+    pub rate_std: f64,
+    /// Mean of per-run mean durations (ns).
+    pub duration_mean_ns: f64,
+    /// Standard deviation of per-run mean durations (ns).
+    pub duration_std_ns: f64,
+}
+
+/// A heartbeat history built from known-good runs.
+#[derive(Debug, Clone, Default)]
+pub struct HeartbeatBaseline {
+    entries: BTreeMap<HeartbeatId, BaselineEntry>,
+}
+
+impl HeartbeatBaseline {
+    /// Build from per-run analyses (heartbeat ids must be consistent
+    /// across runs, which holds when the same instrumentation plan is
+    /// used — the deployment scenario).
+    ///
+    /// # Panics
+    /// Panics if `runs` is empty.
+    pub fn from_runs(runs: &[HeartbeatAnalysis]) -> HeartbeatBaseline {
+        assert!(!runs.is_empty(), "baseline needs at least one run");
+        let mut per_hb: BTreeMap<HeartbeatId, Vec<(f64, f64)>> = BTreeMap::new();
+        for run in runs {
+            for hb in run.heartbeats() {
+                let s = run.stats(hb).expect("listed heartbeat has stats");
+                per_hb.entry(hb).or_default().push((s.rate_factor, s.mean_duration_ns));
+            }
+        }
+        let entries = per_hb
+            .into_iter()
+            .map(|(hb, samples)| {
+                let n = samples.len() as f64;
+                let rate_mean = samples.iter().map(|s| s.0).sum::<f64>() / n;
+                let dur_mean = samples.iter().map(|s| s.1).sum::<f64>() / n;
+                let rate_var =
+                    samples.iter().map(|s| (s.0 - rate_mean).powi(2)).sum::<f64>() / n;
+                let dur_var =
+                    samples.iter().map(|s| (s.1 - dur_mean).powi(2)).sum::<f64>() / n;
+                (
+                    hb,
+                    BaselineEntry {
+                        runs: samples.len(),
+                        rate_mean,
+                        rate_std: rate_var.sqrt(),
+                        duration_mean_ns: dur_mean,
+                        duration_std_ns: dur_var.sqrt(),
+                    },
+                )
+            })
+            .collect();
+        HeartbeatBaseline { entries }
+    }
+
+    /// Baseline entry for one heartbeat.
+    pub fn entry(&self, hb: HeartbeatId) -> Option<&BaselineEntry> {
+        self.entries.get(&hb)
+    }
+
+    /// Heartbeats with baseline data.
+    pub fn heartbeats(&self) -> Vec<HeartbeatId> {
+        self.entries.keys().copied().collect()
+    }
+}
+
+/// What deviated in a flagged heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviationKind {
+    /// The heartbeat rate changed (work progressing faster/slower).
+    Rate,
+    /// The mean beat duration changed (each unit of work costs more/less).
+    Duration,
+    /// The heartbeat vanished entirely from the new run.
+    Missing,
+    /// The heartbeat has no baseline (new instrumentation site).
+    NoBaseline,
+}
+
+/// One flagged deviation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deviation {
+    /// The heartbeat concerned.
+    pub hb: HeartbeatId,
+    /// What deviated.
+    pub kind: DeviationKind,
+    /// Baseline value (rate or ns; 0 for Missing/NoBaseline).
+    pub expected: f64,
+    /// Observed value.
+    pub observed: f64,
+    /// Deviation in baseline standard deviations (∞ when σ = 0 and the
+    /// values differ beyond the relative floor).
+    pub sigmas: f64,
+}
+
+/// Comparison thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareConfig {
+    /// Flag when |observed − mean| exceeds this many σ.
+    pub sigma_threshold: f64,
+    /// ... and also exceeds this relative change (guards σ≈0 baselines).
+    pub min_relative_change: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig { sigma_threshold: 3.0, min_relative_change: 0.10 }
+    }
+}
+
+/// Compare a new run against the baseline, returning flagged deviations
+/// (most severe first, by σ).
+pub fn compare(
+    baseline: &HeartbeatBaseline,
+    run: &HeartbeatAnalysis,
+    config: CompareConfig,
+) -> Vec<Deviation> {
+    let mut out = Vec::new();
+    let run_hbs: std::collections::BTreeSet<HeartbeatId> =
+        run.heartbeats().into_iter().collect();
+
+    for hb in baseline.heartbeats() {
+        let entry = baseline.entry(hb).expect("listed entry");
+        match run.stats(hb) {
+            None => out.push(Deviation {
+                hb,
+                kind: DeviationKind::Missing,
+                expected: entry.rate_mean,
+                observed: 0.0,
+                sigmas: f64::INFINITY,
+            }),
+            Some(s) => {
+                check(
+                    &mut out,
+                    hb,
+                    DeviationKind::Rate,
+                    entry.rate_mean,
+                    entry.rate_std,
+                    s.rate_factor,
+                    config,
+                );
+                check(
+                    &mut out,
+                    hb,
+                    DeviationKind::Duration,
+                    entry.duration_mean_ns,
+                    entry.duration_std_ns,
+                    s.mean_duration_ns,
+                    config,
+                );
+            }
+        }
+    }
+    for hb in run_hbs {
+        if baseline.entry(hb).is_none() {
+            out.push(Deviation {
+                hb,
+                kind: DeviationKind::NoBaseline,
+                expected: 0.0,
+                observed: run.stats(hb).map(|s| s.rate_factor).unwrap_or(0.0),
+                sigmas: f64::INFINITY,
+            });
+        }
+    }
+    out.sort_by(|a, b| b.sigmas.partial_cmp(&a.sigmas).unwrap().then(a.hb.0.cmp(&b.hb.0)));
+    out
+}
+
+fn check(
+    out: &mut Vec<Deviation>,
+    hb: HeartbeatId,
+    kind: DeviationKind,
+    mean: f64,
+    std: f64,
+    observed: f64,
+    config: CompareConfig,
+) {
+    let abs = (observed - mean).abs();
+    let rel = if mean.abs() > 0.0 { abs / mean.abs() } else if abs > 0.0 { f64::INFINITY } else { 0.0 };
+    if rel < config.min_relative_change {
+        return;
+    }
+    let sigmas = if std > 0.0 { abs / std } else { f64::INFINITY };
+    if sigmas > config.sigma_threshold {
+        out.push(Deviation { hb, kind, expected: mean, observed, sigmas });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{HbStats, IntervalRecord};
+
+    fn run_with(rate: u64, duration: u64, jitter: u64) -> HeartbeatAnalysis {
+        let mut records = Vec::new();
+        for i in 0..10u64 {
+            let mut r =
+                IntervalRecord { interval: i, start_ns: i * 1000, ..Default::default() };
+            let count = rate + (i % 2) * jitter;
+            r.heartbeats.insert(
+                HeartbeatId(1),
+                HbStats { count, total_duration_ns: count * duration },
+            );
+            records.push(r);
+        }
+        HeartbeatAnalysis::from_records(&records, 10)
+    }
+
+    fn baseline() -> HeartbeatBaseline {
+        let runs: Vec<HeartbeatAnalysis> =
+            (0..5).map(|i| run_with(100 + i, 1_000, 2)).collect();
+        HeartbeatBaseline::from_runs(&runs)
+    }
+
+    #[test]
+    fn healthy_run_raises_no_flags() {
+        let b = baseline();
+        let run = run_with(102, 1_000, 2);
+        assert!(compare(&b, &run, CompareConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn slowdown_is_flagged_as_duration_deviation() {
+        let b = baseline();
+        let run = run_with(102, 2_500, 2); // beats take 2.5x longer
+        let devs = compare(&b, &run, CompareConfig::default());
+        assert!(!devs.is_empty());
+        assert_eq!(devs[0].kind, DeviationKind::Duration);
+        assert!(devs[0].observed > devs[0].expected);
+    }
+
+    #[test]
+    fn stalled_progress_is_flagged_as_rate_deviation() {
+        let b = baseline();
+        let run = run_with(30, 1_000, 2); // far fewer beats per interval
+        let devs = compare(&b, &run, CompareConfig::default());
+        assert!(devs.iter().any(|d| d.kind == DeviationKind::Rate));
+    }
+
+    #[test]
+    fn vanished_heartbeat_is_flagged_missing() {
+        let b = baseline();
+        let empty = HeartbeatAnalysis::from_records(&[], 10);
+        let devs = compare(&b, &empty, CompareConfig::default());
+        assert_eq!(devs.len(), 1);
+        assert_eq!(devs[0].kind, DeviationKind::Missing);
+        assert!(devs[0].sigmas.is_infinite());
+    }
+
+    #[test]
+    fn unknown_heartbeat_is_flagged_no_baseline() {
+        let b = baseline();
+        let mut records = Vec::new();
+        let mut r = IntervalRecord { interval: 0, start_ns: 0, ..Default::default() };
+        r.heartbeats.insert(HeartbeatId(1), HbStats { count: 100, total_duration_ns: 100_000 });
+        r.heartbeats.insert(HeartbeatId(9), HbStats { count: 5, total_duration_ns: 50 });
+        records.push(r);
+        let run = HeartbeatAnalysis::from_records(&records, 10);
+        let devs = compare(&b, &run, CompareConfig::default());
+        assert!(devs.iter().any(|d| d.kind == DeviationKind::NoBaseline && d.hb == HeartbeatId(9)));
+    }
+
+    #[test]
+    fn relative_floor_suppresses_tiny_sigma_noise() {
+        // A perfectly constant baseline (σ = 0) must not flag a 1% change.
+        let runs: Vec<HeartbeatAnalysis> = (0..3).map(|_| run_with(100, 1_000, 0)).collect();
+        let b = HeartbeatBaseline::from_runs(&runs);
+        let run = run_with(101, 1_000, 0);
+        assert!(compare(&b, &run, CompareConfig::default()).is_empty());
+        // But a 50% change on the same σ = 0 baseline is flagged (∞ σ).
+        let bad = run_with(150, 1_000, 0);
+        let devs = compare(&b, &bad, CompareConfig::default());
+        assert!(!devs.is_empty());
+        assert!(devs[0].sigmas.is_infinite());
+    }
+
+    #[test]
+    fn deviations_sort_most_severe_first() {
+        let b = baseline();
+        let run = run_with(30, 5_000, 2); // both rate and duration off
+        let devs = compare(&b, &run, CompareConfig::default());
+        assert!(devs.len() >= 2);
+        for pair in devs.windows(2) {
+            assert!(pair[0].sigmas >= pair[1].sigmas);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn empty_history_panics() {
+        let _ = HeartbeatBaseline::from_runs(&[]);
+    }
+}

@@ -1,0 +1,394 @@
+//! The AppEKG runtime: begin/end heartbeats with interval aggregation.
+
+use crate::record::{HbStats, IntervalRecord};
+use incprof_runtime::Clock;
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier for one heartbeat (one phase of the application).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HeartbeatId(pub u32);
+
+impl fmt::Display for HeartbeatId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hb#{}", self.0)
+    }
+}
+
+#[derive(Default)]
+struct State {
+    /// Open heartbeats: per (thread, hb), a stack of begin timestamps
+    /// (stacked to tolerate nested begin/end of the same id).
+    open: HashMap<(std::thread::ThreadId, HeartbeatId), Vec<u64>>,
+    /// Accumulators keyed by interval index.
+    intervals: BTreeMap<u64, BTreeMap<HeartbeatId, HbStats>>,
+}
+
+struct Inner {
+    clock: Clock,
+    interval_ns: u64,
+    names: RwLock<Vec<String>>,
+    state: Mutex<State>,
+    enabled: AtomicBool,
+    unmatched_ends: AtomicU64,
+}
+
+/// The heartbeat framework handle. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct AppEkg {
+    inner: Arc<Inner>,
+}
+
+impl AppEkg {
+    /// Create a framework instance over `clock` with the given collection
+    /// interval. The paper's deployments write data once per second; any
+    /// interval works, and experiments here use the same interval as the
+    /// IncProf profiler so heartbeat plots line up with profile intervals.
+    pub fn new(clock: Clock, interval_ns: u64) -> AppEkg {
+        assert!(interval_ns > 0, "collection interval must be positive");
+        AppEkg {
+            inner: Arc::new(Inner {
+                clock,
+                interval_ns,
+                names: RwLock::new(Vec::new()),
+                state: Mutex::new(State::default()),
+                enabled: AtomicBool::new(true),
+                unmatched_ends: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The collection interval in nanoseconds.
+    pub fn interval_ns(&self) -> u64 {
+        self.inner.interval_ns
+    }
+
+    /// Register a heartbeat by name (idempotent) and return its id.
+    pub fn register_heartbeat(&self, name: impl Into<String>) -> HeartbeatId {
+        let name = name.into();
+        let mut names = self.inner.names.write();
+        if let Some(pos) = names.iter().position(|n| *n == name) {
+            return HeartbeatId(pos as u32);
+        }
+        names.push(name);
+        HeartbeatId((names.len() - 1) as u32)
+    }
+
+    /// Name of a registered heartbeat.
+    pub fn heartbeat_name(&self, hb: HeartbeatId) -> String {
+        self.inner
+            .names
+            .read()
+            .get(hb.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("{hb}"))
+    }
+
+    /// All registered heartbeat names, in id order.
+    pub fn heartbeat_names(&self) -> Vec<String> {
+        self.inner.names.read().clone()
+    }
+
+    /// Disable (or re-enable) the framework. When disabled, begin/end are
+    /// a single atomic load — the uninstrumented baseline for overhead
+    /// measurements.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Release);
+    }
+
+    /// Whether heartbeats are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Acquire)
+    }
+
+    /// Begin a heartbeat (paper: `beginHeartbeat(ID)`).
+    #[inline]
+    pub fn begin(&self, hb: HeartbeatId) {
+        if !self.is_enabled() {
+            return;
+        }
+        let now = self.inner.clock.now_ns();
+        let key = (std::thread::current().id(), hb);
+        self.inner.state.lock().open.entry(key).or_default().push(now);
+    }
+
+    /// End a heartbeat (paper: `endHeartbeat(ID)`). The completed beat is
+    /// attributed to the interval containing the **end** timestamp.
+    #[inline]
+    pub fn end(&self, hb: HeartbeatId) {
+        if !self.is_enabled() {
+            return;
+        }
+        let now = self.inner.clock.now_ns();
+        let key = (std::thread::current().id(), hb);
+        let mut state = self.inner.state.lock();
+        let begin = state.open.get_mut(&key).and_then(Vec::pop);
+        match begin {
+            Some(b) => {
+                let idx = now / self.inner.interval_ns;
+                let stats = state.intervals.entry(idx).or_default().entry(hb).or_default();
+                stats.count += 1;
+                stats.total_duration_ns += now.saturating_sub(b);
+            }
+            None => {
+                self.inner.unmatched_ends.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// RAII wrapper: begin now, end on drop.
+    pub fn scope(&self, hb: HeartbeatId) -> HeartbeatGuard<'_> {
+        self.begin(hb);
+        HeartbeatGuard { ekg: self, hb }
+    }
+
+    /// Number of `end` calls that had no matching `begin` (an application
+    /// instrumentation bug; the calls were ignored).
+    pub fn unmatched_ends(&self) -> u64 {
+        self.inner.unmatched_ends.load(Ordering::Relaxed)
+    }
+
+    /// Drain records for every interval that is *complete* (strictly
+    /// earlier than the interval containing the current clock reading).
+    /// This is the once-per-interval write-out of the paper; call it from
+    /// a collection thread or a simulation driver. Intervals with no
+    /// completed heartbeats produce no record (as in the paper's sparse
+    /// CSV output).
+    pub fn drain_completed(&self) -> Vec<IntervalRecord> {
+        let current = self.inner.clock.now_ns() / self.inner.interval_ns;
+        let mut state = self.inner.state.lock();
+        let done: Vec<u64> = state.intervals.range(..current).map(|(&i, _)| i).collect();
+        done.into_iter()
+            .map(|i| {
+                let heartbeats = state.intervals.remove(&i).expect("key from range");
+                IntervalRecord {
+                    interval: i,
+                    start_ns: i * self.inner.interval_ns,
+                    heartbeats,
+                }
+            })
+            .collect()
+    }
+
+    /// Flush everything, including the current (possibly partial)
+    /// interval. Call at application end.
+    pub fn finish(&self) -> Vec<IntervalRecord> {
+        let mut state = self.inner.state.lock();
+        let intervals = std::mem::take(&mut state.intervals);
+        intervals
+            .into_iter()
+            .map(|(i, heartbeats)| IntervalRecord {
+                interval: i,
+                start_ns: i * self.inner.interval_ns,
+                heartbeats,
+            })
+            .collect()
+    }
+}
+
+/// RAII guard produced by [`AppEkg::scope`].
+pub struct HeartbeatGuard<'a> {
+    ekg: &'a AppEkg,
+    hb: HeartbeatId,
+}
+
+impl Drop for HeartbeatGuard<'_> {
+    fn drop(&mut self) {
+        self.ekg.end(self.hb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ekg_1us() -> (AppEkg, Clock) {
+        let clock = Clock::virtual_clock();
+        (AppEkg::new(clock.clone(), 1_000), clock)
+    }
+
+    #[test]
+    fn register_is_idempotent_and_names_resolve() {
+        let (ekg, _) = ekg_1us();
+        let a = ekg.register_heartbeat("solve");
+        let b = ekg.register_heartbeat("solve");
+        let c = ekg.register_heartbeat("assemble");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(ekg.heartbeat_name(a), "solve");
+        assert_eq!(ekg.heartbeat_names(), vec!["solve", "assemble"]);
+    }
+
+    #[test]
+    fn counts_and_mean_duration_aggregate_per_interval() {
+        let (ekg, clock) = ekg_1us();
+        let hb = ekg.register_heartbeat("hb");
+        // Three beats of 100 ns each in interval 0.
+        for _ in 0..3 {
+            ekg.begin(hb);
+            clock.advance(100);
+            ekg.end(hb);
+        }
+        clock.advance(1_000); // move into interval 1
+        let recs = ekg.finish();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].interval, 0);
+        let s = recs[0].stats(hb).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean_duration_ns(), 100.0);
+    }
+
+    #[test]
+    fn beat_attributed_to_completion_interval() {
+        // A heartbeat spanning intervals 0..2 must appear only in the
+        // interval its end lands in (paper §VI-A, Graph500 discussion).
+        let (ekg, clock) = ekg_1us();
+        let hb = ekg.register_heartbeat("long");
+        ekg.begin(hb);
+        clock.advance(2_500); // ends in interval 2
+        ekg.end(hb);
+        let recs = ekg.finish();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].interval, 2);
+        assert_eq!(recs[0].stats(hb).unwrap().count, 1);
+        assert_eq!(recs[0].stats(hb).unwrap().total_duration_ns, 2_500);
+    }
+
+    #[test]
+    fn drain_completed_leaves_current_interval() {
+        let (ekg, clock) = ekg_1us();
+        let hb = ekg.register_heartbeat("hb");
+        ekg.begin(hb);
+        clock.advance(10);
+        ekg.end(hb); // interval 0
+        clock.advance(1_500); // now in interval 1
+        ekg.begin(hb);
+        clock.advance(10);
+        ekg.end(hb); // interval 1 (current)
+        let drained = ekg.drain_completed();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].interval, 0);
+        // Current interval still pending.
+        let rest = ekg.finish();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].interval, 1);
+    }
+
+    #[test]
+    fn empty_intervals_produce_no_records() {
+        let (ekg, clock) = ekg_1us();
+        let hb = ekg.register_heartbeat("hb");
+        ekg.begin(hb);
+        clock.advance(10);
+        ekg.end(hb); // interval 0
+        clock.advance(10_000); // intervals 1..9 empty
+        ekg.begin(hb);
+        clock.advance(10);
+        ekg.end(hb); // interval 10
+        let recs = ekg.finish();
+        let idxs: Vec<u64> = recs.iter().map(|r| r.interval).collect();
+        assert_eq!(idxs, vec![0, 10]);
+    }
+
+    #[test]
+    fn nested_same_id_heartbeats_pair_lifo() {
+        let (ekg, clock) = ekg_1us();
+        let hb = ekg.register_heartbeat("nested");
+        ekg.begin(hb); // outer at t=0
+        clock.advance(100);
+        ekg.begin(hb); // inner at t=100
+        clock.advance(50);
+        ekg.end(hb); // inner: 50
+        clock.advance(25);
+        ekg.end(hb); // outer: 175
+        let recs = ekg.finish();
+        let s = recs[0].stats(hb).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_duration_ns, 50 + 175);
+        assert_eq!(ekg.unmatched_ends(), 0);
+    }
+
+    #[test]
+    fn unmatched_end_is_counted_and_ignored() {
+        let (ekg, _) = ekg_1us();
+        let hb = ekg.register_heartbeat("hb");
+        ekg.end(hb);
+        assert_eq!(ekg.unmatched_ends(), 1);
+        assert!(ekg.finish().is_empty());
+    }
+
+    #[test]
+    fn disabled_ekg_records_nothing() {
+        let (ekg, clock) = ekg_1us();
+        let hb = ekg.register_heartbeat("hb");
+        ekg.set_enabled(false);
+        ekg.begin(hb);
+        clock.advance(10);
+        ekg.end(hb);
+        assert!(ekg.finish().is_empty());
+        assert_eq!(ekg.unmatched_ends(), 0);
+    }
+
+    #[test]
+    fn scope_guard_ends_on_drop() {
+        let (ekg, clock) = ekg_1us();
+        let hb = ekg.register_heartbeat("hb");
+        {
+            let _g = ekg.scope(hb);
+            clock.advance(42);
+        }
+        let recs = ekg.finish();
+        assert_eq!(recs[0].stats(hb).unwrap().total_duration_ns, 42);
+    }
+
+    #[test]
+    fn threads_do_not_cross_pair_heartbeats() {
+        let clock = Clock::virtual_clock();
+        let ekg = AppEkg::new(clock.clone(), 1_000_000);
+        let hb = ekg.register_heartbeat("worker");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let ekg = ekg.clone();
+                let clock = clock.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        ekg.begin(hb);
+                        clock.advance(1);
+                        ekg.end(hb);
+                    }
+                });
+            }
+        });
+        let recs = ekg.finish();
+        let total: u64 = recs.iter().map(|r| r.count(hb)).sum();
+        assert_eq!(total, 400);
+        assert_eq!(ekg.unmatched_ends(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_panics() {
+        let _ = AppEkg::new(Clock::virtual_clock(), 0);
+    }
+
+    #[test]
+    fn two_heartbeats_interleaved() {
+        let (ekg, clock) = ekg_1us();
+        let a = ekg.register_heartbeat("a");
+        let b = ekg.register_heartbeat("b");
+        ekg.begin(a);
+        clock.advance(10);
+        ekg.begin(b);
+        clock.advance(10);
+        ekg.end(a); // a: 20
+        clock.advance(10);
+        ekg.end(b); // b: 20
+        let recs = ekg.finish();
+        assert_eq!(recs[0].stats(a).unwrap().total_duration_ns, 20);
+        assert_eq!(recs[0].stats(b).unwrap().total_duration_ns, 20);
+    }
+}

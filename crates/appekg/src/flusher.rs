@@ -1,0 +1,142 @@
+//! Periodic background flushing of heartbeat records.
+//!
+//! The paper's AppEKG "is integrated into the LDMS data collection
+//! framework … and can be used in a stand-alone fashion as well": at the
+//! end of each collection interval the aggregated data "is then written
+//! out" (§III-A). [`PeriodicFlusher`] is that write-out loop for wall-
+//! clock deployments — a thread that wakes once per interval, drains the
+//! completed records, and feeds them to any [`Sink`] (CSV file, in-memory
+//! buffer, or an LDMS-like aggregator).
+
+use crate::ekg::AppEkg;
+use crate::sink::Sink;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to a running flusher thread.
+pub struct PeriodicFlusher<S: Sink + Send + 'static> {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<S>>,
+    ekg: AppEkg,
+}
+
+impl<S: Sink + Send + 'static> PeriodicFlusher<S> {
+    /// Start flushing `ekg`'s completed intervals into `sink` every
+    /// `period` of real time (use the collection interval).
+    pub fn start(ekg: AppEkg, sink: S, period: Duration) -> PeriodicFlusher<S> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread_ekg = ekg.clone();
+        let thread = std::thread::spawn(move || {
+            let mut sink = sink;
+            while !thread_stop.load(Ordering::Acquire) {
+                // Sleep in slices for prompt shutdown.
+                let mut remaining = period;
+                let slice = Duration::from_millis(5);
+                while remaining > Duration::ZERO && !thread_stop.load(Ordering::Acquire) {
+                    let d = remaining.min(slice);
+                    std::thread::sleep(d);
+                    remaining = remaining.saturating_sub(d);
+                }
+                for record in thread_ekg.drain_completed() {
+                    sink.emit(&record);
+                }
+            }
+            // Final drain of completed intervals on shutdown.
+            for record in thread_ekg.drain_completed() {
+                sink.emit(&record);
+            }
+            sink
+        });
+        PeriodicFlusher { stop, thread: Some(thread), ekg }
+    }
+
+    /// Stop the flusher, returning the sink. The current (incomplete)
+    /// interval stays in the [`AppEkg`]; call [`AppEkg::finish`] to get
+    /// it.
+    pub fn stop(mut self) -> S {
+        self.stop.store(true, Ordering::Release);
+        self.thread.take().expect("thread present until stop").join().expect("flusher panicked")
+    }
+
+    /// The AppEKG instance this flusher drains.
+    pub fn ekg(&self) -> &AppEkg {
+        &self.ekg
+    }
+}
+
+impl<S: Sink + Send + 'static> Drop for PeriodicFlusher<S> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+    use incprof_runtime::Clock;
+
+    #[test]
+    fn flusher_streams_completed_intervals() {
+        let clock = Clock::wall();
+        let interval = Duration::from_millis(20);
+        let ekg = AppEkg::new(clock, interval.as_nanos() as u64);
+        let hb = ekg.register_heartbeat("hb");
+        let flusher = PeriodicFlusher::start(ekg.clone(), MemorySink::default(), interval);
+
+        let deadline = std::time::Instant::now() + Duration::from_millis(120);
+        let mut beats = 0u64;
+        while std::time::Instant::now() < deadline {
+            ekg.begin(hb);
+            std::thread::sleep(Duration::from_millis(1));
+            ekg.end(hb);
+            beats += 1;
+        }
+        // Give the flusher one more period, then stop.
+        std::thread::sleep(interval * 2);
+        let sink = flusher.stop();
+        let leftover = ekg.finish();
+
+        let streamed: u64 = sink.records.iter().map(|r| r.count(hb)).sum();
+        let remaining: u64 = leftover.iter().map(|r| r.count(hb)).sum();
+        assert_eq!(streamed + remaining, beats, "no heartbeat lost or duplicated");
+        assert!(!sink.records.is_empty(), "flusher streamed nothing");
+        // Streamed records arrive in interval order.
+        for pair in sink.records.windows(2) {
+            assert!(pair[0].interval < pair[1].interval);
+        }
+    }
+
+    #[test]
+    fn stop_is_prompt_and_drains() {
+        let clock = Clock::wall();
+        let ekg = AppEkg::new(clock, 1_000_000); // 1 ms intervals
+        let hb = ekg.register_heartbeat("hb");
+        let flusher =
+            PeriodicFlusher::start(ekg.clone(), MemorySink::default(), Duration::from_millis(1));
+        ekg.begin(hb);
+        ekg.end(hb);
+        std::thread::sleep(Duration::from_millis(10));
+        let started = std::time::Instant::now();
+        let sink = flusher.stop();
+        assert!(started.elapsed() < Duration::from_millis(500), "stop too slow");
+        let total: u64 = sink.records.iter().map(|r| r.count(hb)).sum();
+        let leftover: u64 = ekg.finish().iter().map(|r| r.count(hb)).sum();
+        assert_eq!(total + leftover, 1);
+    }
+
+    #[test]
+    fn drop_terminates_thread() {
+        let ekg = AppEkg::new(Clock::wall(), 1_000_000);
+        let flusher =
+            PeriodicFlusher::start(ekg.clone(), MemorySink::default(), Duration::from_millis(1));
+        assert!(flusher.ekg().is_enabled());
+        drop(flusher); // must not hang
+    }
+}

@@ -1,0 +1,88 @@
+//! Per-interval heartbeat records: the rows AppEKG writes out.
+
+use crate::ekg::HeartbeatId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregated statistics for one heartbeat id within one interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct HbStats {
+    /// Heartbeats that *completed* in the interval.
+    pub count: u64,
+    /// Sum of their durations (ns); `mean_duration_ns` = total / count.
+    pub total_duration_ns: u64,
+}
+
+impl HbStats {
+    /// Mean duration in nanoseconds (0 when no heartbeat completed).
+    pub fn mean_duration_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_duration_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// One collection interval's worth of heartbeat data, as written out by
+/// the framework at the end of the interval.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IntervalRecord {
+    /// Zero-based interval index (interval `i` covers
+    /// `[i * interval_ns, (i+1) * interval_ns)`).
+    pub interval: u64,
+    /// Interval start time in nanoseconds.
+    pub start_ns: u64,
+    /// Stats per heartbeat id that completed at least once this interval.
+    pub heartbeats: BTreeMap<HeartbeatId, HbStats>,
+}
+
+impl IntervalRecord {
+    /// Stats for `hb`, if it beat in this interval.
+    pub fn stats(&self, hb: HeartbeatId) -> Option<&HbStats> {
+        self.heartbeats.get(&hb)
+    }
+
+    /// Count for `hb`, zero when absent.
+    pub fn count(&self, hb: HeartbeatId) -> u64 {
+        self.heartbeats.get(&hb).map_or(0, |s| s.count)
+    }
+
+    /// Total completed heartbeats across all ids in this interval.
+    pub fn total_count(&self) -> u64 {
+        self.heartbeats.values().map(|s| s.count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_duration_handles_zero_count() {
+        let s = HbStats::default();
+        assert_eq!(s.mean_duration_ns(), 0.0);
+        let s = HbStats { count: 4, total_duration_ns: 100 };
+        assert_eq!(s.mean_duration_ns(), 25.0);
+    }
+
+    #[test]
+    fn record_accessors() {
+        let mut r = IntervalRecord { interval: 2, start_ns: 2000, ..Default::default() };
+        r.heartbeats.insert(HeartbeatId(1), HbStats { count: 3, total_duration_ns: 30 });
+        r.heartbeats.insert(HeartbeatId(2), HbStats { count: 5, total_duration_ns: 10 });
+        assert_eq!(r.count(HeartbeatId(1)), 3);
+        assert_eq!(r.count(HeartbeatId(9)), 0);
+        assert_eq!(r.total_count(), 8);
+        assert!(r.stats(HeartbeatId(2)).is_some());
+    }
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let mut r = IntervalRecord { interval: 1, start_ns: 1000, ..Default::default() };
+        r.heartbeats.insert(HeartbeatId(0), HbStats { count: 1, total_duration_ns: 7 });
+        let json = serde_json::to_string(&r).unwrap();
+        let back: IntervalRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,162 @@
+//! Dense heartbeat time series, for plotting and analysis.
+//!
+//! The paper's Figures 2–6 plot, per instrumentation site, the heartbeat
+//! count and average duration in each interval over the run. This module
+//! converts sparse [`IntervalRecord`]s into dense per-heartbeat series
+//! (absent intervals become zeros — a gap in the plot).
+
+use crate::ekg::HeartbeatId;
+use crate::record::IntervalRecord;
+use std::collections::BTreeMap;
+
+/// Dense per-interval series for one heartbeat id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeartbeatSeries {
+    /// The heartbeat this series describes.
+    pub hb: HeartbeatId,
+    /// First interval index covered (usually 0).
+    pub first_interval: u64,
+    /// Completed-beat count per interval.
+    pub counts: Vec<u64>,
+    /// Mean duration (ns) per interval; 0 where no beat completed.
+    pub mean_durations_ns: Vec<f64>,
+}
+
+impl HeartbeatSeries {
+    /// Build dense series for every heartbeat appearing in `records`,
+    /// covering intervals `0..=last` where `last` is the maximum interval
+    /// present (or the provided `num_intervals` if larger).
+    pub fn from_records(
+        records: &[IntervalRecord],
+        num_intervals: Option<u64>,
+    ) -> BTreeMap<HeartbeatId, HeartbeatSeries> {
+        let last = records.iter().map(|r| r.interval).max();
+        let n = match (last, num_intervals) {
+            (None, None) => 0,
+            (l, n) => l.map(|l| l + 1).unwrap_or(0).max(n.unwrap_or(0)),
+        } as usize;
+
+        let mut out: BTreeMap<HeartbeatId, HeartbeatSeries> = BTreeMap::new();
+        for r in records {
+            for (&hb, stats) in &r.heartbeats {
+                let s = out.entry(hb).or_insert_with(|| HeartbeatSeries {
+                    hb,
+                    first_interval: 0,
+                    counts: vec![0; n],
+                    mean_durations_ns: vec![0.0; n],
+                });
+                let i = r.interval as usize;
+                s.counts[i] = stats.count;
+                s.mean_durations_ns[i] = stats.mean_duration_ns();
+            }
+        }
+        out
+    }
+
+    /// Number of intervals in the series.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when the series covers no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Fraction of intervals in which this heartbeat completed at least
+    /// once (its "activity"); used when characterizing discovered sites.
+    pub fn activity(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        self.counts.iter().filter(|&&c| c > 0).count() as f64 / self.counts.len() as f64
+    }
+
+    /// Total completed beats over the run.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Render a one-line ASCII sparkline of the count series (for the
+    /// textual "figures" in the experiment harness).
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return " ".repeat(self.counts.len());
+        }
+        self.counts
+            .iter()
+            .map(|&c| {
+                let idx = if c == 0 { 0 } else { 1 + (c * 7 / max) as usize };
+                LEVELS[idx.min(8)]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::HbStats;
+
+    fn rec(interval: u64, entries: &[(u32, u64, u64)]) -> IntervalRecord {
+        let mut r = IntervalRecord { interval, start_ns: interval * 1000, ..Default::default() };
+        for &(hb, count, total) in entries {
+            r.heartbeats.insert(HeartbeatId(hb), HbStats { count, total_duration_ns: total });
+        }
+        r
+    }
+
+    #[test]
+    fn densifies_with_gaps() {
+        let records = vec![rec(0, &[(1, 2, 20)]), rec(3, &[(1, 4, 80)])];
+        let series = HeartbeatSeries::from_records(&records, None);
+        let s = &series[&HeartbeatId(1)];
+        assert_eq!(s.counts, vec![2, 0, 0, 4]);
+        assert_eq!(s.mean_durations_ns, vec![10.0, 0.0, 0.0, 20.0]);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn multiple_heartbeats_split_into_series() {
+        let records = vec![rec(0, &[(1, 1, 5), (2, 3, 9)]), rec(1, &[(2, 1, 4)])];
+        let series = HeartbeatSeries::from_records(&records, None);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[&HeartbeatId(1)].counts, vec![1, 0]);
+        assert_eq!(series[&HeartbeatId(2)].counts, vec![3, 1]);
+    }
+
+    #[test]
+    fn explicit_num_intervals_pads() {
+        let records = vec![rec(0, &[(1, 1, 5)])];
+        let series = HeartbeatSeries::from_records(&records, Some(5));
+        assert_eq!(series[&HeartbeatId(1)].counts.len(), 5);
+    }
+
+    #[test]
+    fn activity_fraction() {
+        let records = vec![rec(0, &[(1, 1, 1)]), rec(1, &[(1, 1, 1)]), rec(3, &[(1, 1, 1)])];
+        let series = HeartbeatSeries::from_records(&records, None);
+        assert!((series[&HeartbeatId(1)].activity() - 0.75).abs() < 1e-12);
+        assert_eq!(series[&HeartbeatId(1)].total_count(), 3);
+    }
+
+    #[test]
+    fn empty_records_give_empty_map() {
+        let series = HeartbeatSeries::from_records(&[], None);
+        assert!(series.is_empty());
+    }
+
+    #[test]
+    fn sparkline_scales_with_max() {
+        let records = vec![rec(0, &[(1, 8, 8)]), rec(1, &[(1, 1, 1)])];
+        let series = HeartbeatSeries::from_records(&records, Some(3));
+        let sl = series[&HeartbeatId(1)].sparkline();
+        let chars: Vec<char> = sl.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], '█');
+        assert_ne!(chars[1], ' ');
+        assert_eq!(chars[2], ' ');
+    }
+}

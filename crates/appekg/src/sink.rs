@@ -1,0 +1,183 @@
+//! Output sinks for heartbeat interval records.
+//!
+//! The paper's AppEKG integrates with the LDMS data collection framework
+//! but "can be used in a stand-alone fashion as well" (§III-A). Our sinks
+//! model the stand-alone side: an in-memory sink for tests and analysis, a
+//! CSV sink matching the per-interval write-out, and an aggregating sink
+//! that plays the role of LDMS's downstream descriptive statistics.
+
+use crate::ekg::HeartbeatId;
+use crate::record::{HbStats, IntervalRecord};
+use std::collections::BTreeMap;
+use std::io::Write;
+
+/// A destination for interval records.
+pub trait Sink {
+    /// Consume one interval record.
+    fn emit(&mut self, record: &IntervalRecord);
+
+    /// Consume many records.
+    fn emit_all(&mut self, records: &[IntervalRecord]) {
+        for r in records {
+            self.emit(r);
+        }
+    }
+}
+
+/// Retains all records in memory (tests, analysis pipelines).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// The records received so far, in emission order.
+    pub records: Vec<IntervalRecord>,
+}
+
+impl Sink for MemorySink {
+    fn emit(&mut self, record: &IntervalRecord) {
+        self.records.push(record.clone());
+    }
+}
+
+/// Writes one CSV row per (interval, heartbeat):
+/// `interval,start_ns,hbid,count,mean_duration_ns`.
+pub struct CsvSink<W: Write> {
+    writer: W,
+    wrote_header: bool,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Create a CSV sink over any writer.
+    pub fn new(writer: W) -> CsvSink<W> {
+        CsvSink { writer, wrote_header: false }
+    }
+
+    /// Finish writing and return the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> Sink for CsvSink<W> {
+    fn emit(&mut self, record: &IntervalRecord) {
+        if !self.wrote_header {
+            let _ = writeln!(self.writer, "interval,start_ns,hbid,count,mean_duration_ns");
+            self.wrote_header = true;
+        }
+        for (hb, stats) in &record.heartbeats {
+            let _ = writeln!(
+                self.writer,
+                "{},{},{},{},{:.1}",
+                record.interval,
+                record.start_ns,
+                hb.0,
+                stats.count,
+                stats.mean_duration_ns()
+            );
+        }
+    }
+}
+
+/// Whole-run aggregate per heartbeat (counts, duration totals, active
+/// intervals) — the descriptive statistics layer.
+#[derive(Debug, Default)]
+pub struct AggregateSink {
+    totals: BTreeMap<HeartbeatId, HbStats>,
+    active_intervals: BTreeMap<HeartbeatId, u64>,
+    intervals_seen: u64,
+}
+
+impl AggregateSink {
+    /// Create an empty aggregate.
+    pub fn new() -> AggregateSink {
+        Self::default()
+    }
+
+    /// Whole-run stats for `hb`.
+    pub fn totals(&self, hb: HeartbeatId) -> HbStats {
+        self.totals.get(&hb).copied().unwrap_or_default()
+    }
+
+    /// Number of records in which `hb` completed at least one beat.
+    pub fn active_intervals(&self, hb: HeartbeatId) -> u64 {
+        self.active_intervals.get(&hb).copied().unwrap_or(0)
+    }
+
+    /// Number of records consumed.
+    pub fn intervals_seen(&self) -> u64 {
+        self.intervals_seen
+    }
+
+    /// Heartbeats observed, in id order.
+    pub fn heartbeats(&self) -> Vec<HeartbeatId> {
+        self.totals.keys().copied().collect()
+    }
+}
+
+impl Sink for AggregateSink {
+    fn emit(&mut self, record: &IntervalRecord) {
+        self.intervals_seen += 1;
+        for (&hb, stats) in &record.heartbeats {
+            let t = self.totals.entry(hb).or_default();
+            t.count += stats.count;
+            t.total_duration_ns += stats.total_duration_ns;
+            if stats.count > 0 {
+                *self.active_intervals.entry(hb).or_default() += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(interval: u64, hb: u32, count: u64, total: u64) -> IntervalRecord {
+        let mut r = IntervalRecord { interval, start_ns: interval * 10, ..Default::default() };
+        r.heartbeats.insert(HeartbeatId(hb), HbStats { count, total_duration_ns: total });
+        r
+    }
+
+    #[test]
+    fn memory_sink_retains_records() {
+        let mut sink = MemorySink::default();
+        sink.emit_all(&[rec(0, 1, 2, 10), rec(1, 1, 1, 5)]);
+        assert_eq!(sink.records.len(), 2);
+        assert_eq!(sink.records[1].interval, 1);
+    }
+
+    #[test]
+    fn csv_sink_formats_rows() {
+        let mut sink = CsvSink::new(Vec::new());
+        sink.emit(&rec(3, 7, 2, 30));
+        let out = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "interval,start_ns,hbid,count,mean_duration_ns");
+        assert_eq!(lines[1], "3,30,7,2,15.0");
+    }
+
+    #[test]
+    fn csv_header_only_once() {
+        let mut sink = CsvSink::new(Vec::new());
+        sink.emit(&rec(0, 1, 1, 1));
+        sink.emit(&rec(1, 1, 1, 1));
+        let out = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(out.matches("interval,").count(), 1);
+    }
+
+    #[test]
+    fn aggregate_sink_totals() {
+        let mut sink = AggregateSink::new();
+        sink.emit_all(&[rec(0, 1, 2, 10), rec(1, 1, 3, 20), rec(2, 2, 1, 4)]);
+        assert_eq!(sink.totals(HeartbeatId(1)).count, 5);
+        assert_eq!(sink.totals(HeartbeatId(1)).total_duration_ns, 30);
+        assert_eq!(sink.active_intervals(HeartbeatId(1)), 2);
+        assert_eq!(sink.intervals_seen(), 3);
+        assert_eq!(sink.heartbeats(), vec![HeartbeatId(1), HeartbeatId(2)]);
+    }
+
+    #[test]
+    fn aggregate_sink_empty() {
+        let sink = AggregateSink::new();
+        assert_eq!(sink.totals(HeartbeatId(9)).count, 0);
+        assert_eq!(sink.active_intervals(HeartbeatId(9)), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Concurrency stress tests for AppEKG: many threads beating many
+//! heartbeats must conserve every count and duration, with the flusher
+//! racing against producers.
+
+use appekg::{AppEkg, MemorySink, PeriodicFlusher, Sink};
+use incprof_runtime::Clock;
+use std::time::Duration;
+
+#[test]
+fn many_threads_many_heartbeats_conserve_counts() {
+    let clock = Clock::virtual_clock();
+    let ekg = AppEkg::new(clock.clone(), 10_000);
+    let hbs: Vec<_> = (0..8).map(|i| ekg.register_heartbeat(format!("hb_{i}"))).collect();
+    let per_thread = 2_000u64;
+
+    std::thread::scope(|s| {
+        for t in 0..6 {
+            let ekg = ekg.clone();
+            let clock = clock.clone();
+            let hbs = hbs.clone();
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    let hb = hbs[((t + i) % hbs.len() as u64) as usize];
+                    ekg.begin(hb);
+                    clock.advance(3);
+                    ekg.end(hb);
+                }
+            });
+        }
+    });
+
+    let records = ekg.finish();
+    let total: u64 = records.iter().map(|r| r.total_count()).sum();
+    assert_eq!(total, 6 * per_thread);
+    assert_eq!(ekg.unmatched_ends(), 0);
+    // Every heartbeat id received a share.
+    for hb in &hbs {
+        let count: u64 = records.iter().map(|r| r.count(*hb)).sum();
+        assert!(count > 0, "{hb} never beat");
+    }
+}
+
+#[test]
+fn flusher_races_producers_without_loss() {
+    let clock = Clock::wall();
+    let ekg = AppEkg::new(clock, 2_000_000); // 2 ms intervals
+    let hb = ekg.register_heartbeat("raced");
+    let flusher =
+        PeriodicFlusher::start(ekg.clone(), MemorySink::default(), Duration::from_millis(2));
+
+    let beats_per_thread = 500u64;
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let ekg = ekg.clone();
+            s.spawn(move || {
+                for _ in 0..beats_per_thread {
+                    ekg.begin(hb);
+                    ekg.end(hb);
+                }
+            });
+        }
+    });
+
+    std::thread::sleep(Duration::from_millis(10));
+    let sink = flusher.stop();
+    let leftover = ekg.finish();
+    let streamed: u64 = sink.records.iter().map(|r| r.count(hb)).sum();
+    let rest: u64 = leftover.iter().map(|r| r.count(hb)).sum();
+    assert_eq!(streamed + rest, 4 * beats_per_thread);
+    assert_eq!(ekg.unmatched_ends(), 0);
+}
+
+#[test]
+fn interleaved_sinks_receive_identical_totals() {
+    // Emitting the same records into different sinks must agree.
+    let clock = Clock::virtual_clock();
+    let ekg = AppEkg::new(clock.clone(), 1_000);
+    let hb = ekg.register_heartbeat("hb");
+    for _ in 0..50 {
+        ekg.begin(hb);
+        clock.advance(40);
+        ekg.end(hb);
+        clock.advance(500);
+    }
+    let records = ekg.finish();
+
+    let mut memory = MemorySink::default();
+    memory.emit_all(&records);
+    let mut agg = appekg::AggregateSink::new();
+    agg.emit_all(&records);
+    let mut csv = appekg::CsvSink::new(Vec::new());
+    csv.emit_all(&records);
+
+    let mem_total: u64 = memory.records.iter().map(|r| r.count(hb)).sum();
+    assert_eq!(mem_total, 50);
+    assert_eq!(agg.totals(hb).count, 50);
+    let csv_text = String::from_utf8(csv.into_inner()).unwrap();
+    assert_eq!(csv_text.lines().count() - 1, memory.records.len());
+}

@@ -1,0 +1,565 @@
+//! Mini Gadget2 — cosmological N-body timestep loop (paper §VI-E,
+//! Table VI, Fig. 6).
+//!
+//! "Gadget2 combines N-body simulation with hydrodynamic forces for
+//! large-scale cosmological simulations. As with many scientific
+//! simulations, it is timestep-based, recomputing particle densities,
+//! accelerations, and positions over a timestep-driven loop with four
+//! main function calls in it."
+//!
+//! Function inventory: the paper's three *discovered* sites —
+//! `force_treeevaluate_shortrange` (Barnes–Hut tree walk, ~70% of the
+//! run), `pm_setup_nonperiodic_kernel` (the expensive one-time PM-grid
+//! kernel construction, ~29%), `force_update_node_recursive` (tree
+//! center-of-mass updates) — plus the four *manual* timestep functions
+//! (`find_next_sync_point_and_drift`, `domain_decomposition`,
+//! `compute_accelerations`, `advance_and_find_timesteps`), which each run
+//! far faster than the 1-second interval, reproducing the paper's
+//! finding that interval-based analysis cannot separate them.
+//!
+//! The physics is real: a Plummer-ish particle cloud, an octree with
+//! recursively computed centers of mass, gravitational tree forces with
+//! an opening-angle criterion, and leapfrog updates. `result_check` is
+//! the magnitude of the center-of-mass drift (≈ 0 by momentum
+//! conservation).
+
+use crate::graph500::assemble_output;
+use crate::harness::{AppOutput, Funcs, RankContext, RunMode};
+use crate::plan::HeartbeatPlan;
+use incprof_core::report::ManualSite;
+use incprof_core::types::InstrumentationType;
+use mpi_sim::{Comm, World};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a Gadget2 run.
+#[derive(Debug, Clone)]
+pub struct Gadget2Config {
+    /// Particle count.
+    pub particles: usize,
+    /// Timesteps.
+    pub steps: usize,
+    /// PM kernel grid side (the grid has `side³` cells).
+    pub pm_grid: usize,
+    /// RNG seed for initial conditions.
+    pub seed: u64,
+    /// MPI ranks (must be 1 in virtual mode).
+    pub procs: usize,
+}
+
+impl Default for Gadget2Config {
+    fn default() -> Self {
+        Gadget2Config { particles: 1024, steps: 100, pm_grid: 32, seed: 42, procs: 1 }
+    }
+}
+
+impl Gadget2Config {
+    /// Tiny configuration for fast tests.
+    pub fn tiny() -> Gadget2Config {
+        Gadget2Config { particles: 256, steps: 12, pm_grid: 12, seed: 42, procs: 1 }
+    }
+}
+
+const F_TREE_EVAL: usize = 0;
+const F_PM_SETUP: usize = 1;
+const F_NODE_UPDATE: usize = 2;
+const F_SYNC: usize = 3;
+const F_DOMAIN: usize = 4;
+const F_ACCEL: usize = 5;
+const F_ADVANCE: usize = 6;
+
+const FUNC_NAMES: [&str; 7] = [
+    "force_treeevaluate_shortrange",
+    "pm_setup_nonperiodic_kernel",
+    "force_update_node_recursive",
+    "find_next_sync_point_and_drift",
+    "domain_decomposition",
+    "compute_accelerations",
+    "advance_and_find_timesteps",
+];
+
+/// Virtual cost per tree-node visit in the force walk
+/// (tree force ≈ 0.7 s/step at defaults, ~400 visits/particle).
+const NS_PER_NODE_VISIT: u64 = 1_800;
+/// Virtual cost per PM grid cell in kernel setup (≈ 21 s at 32³).
+const NS_PER_PM_CELL: u64 = 650_000;
+/// Virtual cost per tree node in center-of-mass updates.
+const NS_PER_NODE_UPDATE: u64 = 18_000;
+/// Virtual cost per particle in the fast timestep-driver functions.
+const NS_PER_PARTICLE_FAST: u64 = 20_000;
+
+/// The paper's manual instrumentation sites for Gadget2 (Table VI).
+pub fn manual_sites() -> Vec<ManualSite> {
+    vec![
+        ManualSite::new("find_next_sync_point_and_drift", InstrumentationType::Body),
+        ManualSite::new("domain_decomposition", InstrumentationType::Body),
+        ManualSite::new("compute_accelerations", InstrumentationType::Body),
+        ManualSite::new("advance_and_find_timesteps", InstrumentationType::Body),
+    ]
+}
+
+/// Octree node (children indexed into the arena; -1 = none).
+struct Node {
+    center: [f64; 3],
+    half: f64,
+    mass: f64,
+    com: [f64; 3],
+    children: [i32; 8],
+    particle: i32,
+}
+
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn new(half: f64) -> Tree {
+        Tree {
+            nodes: vec![Node {
+                center: [0.0; 3],
+                half,
+                mass: 0.0,
+                com: [0.0; 3],
+                children: [-1; 8],
+                particle: -1,
+            }],
+        }
+    }
+
+    fn insert(&mut self, pos: &[[f64; 3]], p: usize) {
+        let mut node = 0usize;
+        loop {
+            if self.nodes[node].children != [-1; 8] || self.nodes[node].particle >= 0 {
+                // Internal (or about to become internal): push existing
+                // particle down, then descend.
+                if let Some(existing) = {
+                    let n = &mut self.nodes[node];
+                    let e = n.particle;
+                    n.particle = -1;
+                    (e >= 0).then_some(e as usize)
+                } {
+                    if existing != p {
+                        let child = self.child_for(node, &pos[existing]);
+                        self.insert_into_child(node, child, pos, existing);
+                    }
+                }
+                let child = self.child_for(node, &pos[p]);
+                let next = self.insert_into_child(node, child, pos, p);
+                match next {
+                    Some(n) => node = n,
+                    None => return,
+                }
+            } else {
+                self.nodes[node].particle = p as i32;
+                return;
+            }
+        }
+    }
+
+    fn child_for(&self, node: usize, p: &[f64; 3]) -> usize {
+        let c = &self.nodes[node].center;
+        ((p[0] > c[0]) as usize) | (((p[1] > c[1]) as usize) << 1) | (((p[2] > c[2]) as usize) << 2)
+    }
+
+    /// Ensure the child exists; if it is empty, place the particle there
+    /// and return None, otherwise return its index to keep descending.
+    fn insert_into_child(
+        &mut self,
+        node: usize,
+        child: usize,
+        _pos: &[[f64; 3]],
+        p: usize,
+    ) -> Option<usize> {
+        if self.nodes[node].children[child] < 0 {
+            let half = self.nodes[node].half / 2.0;
+            let mut center = self.nodes[node].center;
+            center[0] += half * if child & 1 != 0 { 1.0 } else { -1.0 };
+            center[1] += half * if child & 2 != 0 { 1.0 } else { -1.0 };
+            center[2] += half * if child & 4 != 0 { 1.0 } else { -1.0 };
+            let idx = self.nodes.len() as i32;
+            self.nodes.push(Node {
+                center,
+                half,
+                mass: 0.0,
+                com: [0.0; 3],
+                children: [-1; 8],
+                particle: p as i32,
+            });
+            self.nodes[node].children[child] = idx;
+            None
+        } else {
+            Some(self.nodes[node].children[child] as usize)
+        }
+    }
+}
+
+/// Recursively compute node masses and centers of mass —
+/// `force_update_node_recursive`.
+fn force_update_node_recursive(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    tree: &mut Tree,
+    pos: &[[f64; 3]],
+) {
+    // Genuinely recursive, with one profiled (re-)entry per node — as in
+    // Gadget2, where gprof records one call per recursion. The resulting
+    // high call count is what makes Algorithm 1 deprioritize this
+    // function relative to the long-running tree walk.
+    fn recurse(
+        ctx: &RankContext,
+        funcs: &Funcs,
+        tree: &mut Tree,
+        node: usize,
+        pos: &[[f64; 3]],
+    ) -> (f64, [f64; 3]) {
+        let _p = ctx.rt.enter(funcs.id(F_NODE_UPDATE));
+        let mut mass = 0.0;
+        let mut com = [0.0f64; 3];
+        if tree.nodes[node].particle >= 0 {
+            let p = tree.nodes[node].particle as usize;
+            mass += 1.0;
+            for k in 0..3 {
+                com[k] += pos[p][k];
+            }
+        }
+        for ci in 0..8 {
+            let child = tree.nodes[node].children[ci];
+            if child >= 0 {
+                let (m, c) = recurse(ctx, funcs, tree, child as usize, pos);
+                mass += m;
+                for k in 0..3 {
+                    com[k] += c[k] * m;
+                }
+            }
+        }
+        if mass > 0.0 {
+            for c in &mut com {
+                *c /= mass;
+            }
+        }
+        tree.nodes[node].mass = mass;
+        tree.nodes[node].com = com;
+        ctx.advance(NS_PER_NODE_UPDATE);
+        (mass, com)
+    }
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_NODE_UPDATE]);
+    recurse(ctx, funcs, tree, 0, pos);
+}
+
+/// Barnes–Hut tree walk computing the short-range force on particle `p`
+/// — `force_treeevaluate_shortrange`. Returns (force, nodes visited).
+fn tree_force(tree: &Tree, pos: &[f64; 3], theta: f64) -> ([f64; 3], u64) {
+    let mut force = [0.0f64; 3];
+    let mut visits = 0u64;
+    let mut stack = vec![0usize];
+    while let Some(node) = stack.pop() {
+        visits += 1;
+        let n = &tree.nodes[node];
+        if n.mass <= 0.0 {
+            continue;
+        }
+        let mut d = [0.0f64; 3];
+        let mut r2 = 1e-4; // softening
+        for k in 0..3 {
+            d[k] = n.com[k] - pos[k];
+            r2 += d[k] * d[k];
+        }
+        let r = r2.sqrt();
+        let leaf = n.children == [-1; 8];
+        if leaf || (2.0 * n.half) / r < theta {
+            let f = n.mass / (r2 * r);
+            for k in 0..3 {
+                force[k] += f * d[k];
+            }
+        } else {
+            for &c in &n.children {
+                if c >= 0 {
+                    stack.push(c as usize);
+                }
+            }
+        }
+    }
+    (force, visits)
+}
+
+/// One-time PM kernel construction — `pm_setup_nonperiodic_kernel`:
+/// fill the Green's-function kernel over the grid (real transcendental
+/// math per cell, as the FFT-based original does).
+fn pm_setup_nonperiodic_kernel(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    side: usize,
+) -> f64 {
+    let _p = ctx.rt.enter(funcs.id(F_PM_SETUP));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_PM_SETUP]);
+    let mut acc = 0.0f64;
+    for z in 0..side {
+        for y in 0..side {
+            let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_PM_SETUP]);
+            for x in 0..side {
+                let kx = x.min(side - x) as f64;
+                let ky = y.min(side - y) as f64;
+                let kz = z.min(side - z) as f64;
+                let k2 = kx * kx + ky * ky + kz * kz;
+                if k2 > 0.0 {
+                    // -4π/k² with a Gaussian smoothing factor.
+                    let v = -4.0 * std::f64::consts::PI / k2 * (-k2 / (side as f64)).exp();
+                    acc += v.abs();
+                }
+            }
+            ctx.advance(side as u64 * NS_PER_PM_CELL);
+        }
+    }
+    acc
+}
+
+/// Fast timestep driver (sub-interval duration): drift positions.
+fn find_next_sync_point_and_drift(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    pos: &mut [[f64; 3]],
+    vel: &[[f64; 3]],
+    dt: f64,
+) {
+    let _p = ctx.rt.enter(funcs.id(F_SYNC));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_SYNC]);
+    for (p, v) in pos.iter_mut().zip(vel) {
+        for k in 0..3 {
+            p[k] += v[k] * dt * 0.5;
+        }
+    }
+    ctx.advance(pos.len() as u64 * NS_PER_PARTICLE_FAST);
+}
+
+/// Fast timestep driver: exchange particle-count balance info.
+fn domain_decomposition(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    n: usize,
+    comm: &Comm,
+) -> u64 {
+    let _p = ctx.rt.enter(funcs.id(F_DOMAIN));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_DOMAIN]);
+    ctx.advance(n as u64 * NS_PER_PARTICLE_FAST);
+    comm.allreduce_sum_u64(n as u64)
+}
+
+/// The acceleration driver: rebuild tree, update nodes, walk forces —
+/// `compute_accelerations` (the caller of all three discovered sites).
+#[allow(clippy::too_many_arguments)]
+fn compute_accelerations(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    pos: &[[f64; 3]],
+    acc: &mut [[f64; 3]],
+    half: f64,
+    theta: f64,
+) {
+    let _p = ctx.rt.enter(funcs.id(F_ACCEL));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_ACCEL]);
+    let mut tree = Tree::new(half);
+    for p in 0..pos.len() {
+        tree.insert(pos, p);
+    }
+    force_update_node_recursive(ctx, funcs, plan, &mut tree, pos);
+    let _pe = ctx.rt.enter(funcs.id(F_TREE_EVAL));
+    let _he = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_TREE_EVAL]);
+    // Per-particle walks are independent: compute them data-parallel
+    // (deterministic — `collect` preserves order and each walk only
+    // reads the tree), then charge the virtual cost in interval-sized
+    // chunks so snapshots land mid-walk exactly as before.
+    use rayon::prelude::*;
+    let results: Vec<([f64; 3], u64)> =
+        (0..pos.len()).into_par_iter().map(|i| tree_force(&tree, &pos[i], theta)).collect();
+    let mut visits_chunk = 0u64;
+    for (i, (f, visits)) in results.into_iter().enumerate() {
+        let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_TREE_EVAL]);
+        acc[i] = f;
+        visits_chunk += visits;
+        if visits_chunk >= 4096 {
+            ctx.advance(visits_chunk * NS_PER_NODE_VISIT);
+            visits_chunk = 0;
+        }
+    }
+    ctx.advance(visits_chunk * NS_PER_NODE_VISIT);
+}
+
+/// Fast timestep driver: kick velocities and drift the second half.
+fn advance_and_find_timesteps(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    pos: &mut [[f64; 3]],
+    vel: &mut [[f64; 3]],
+    acc: &[[f64; 3]],
+    dt: f64,
+) {
+    let _p = ctx.rt.enter(funcs.id(F_ADVANCE));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_ADVANCE]);
+    for i in 0..pos.len() {
+        for k in 0..3 {
+            vel[i][k] += acc[i][k] * dt;
+            pos[i][k] += vel[i][k] * dt * 0.5;
+        }
+    }
+    ctx.advance(pos.len() as u64 * NS_PER_PARTICLE_FAST);
+}
+
+/// Run the simulation; `result_check` is the center-of-mass velocity
+/// magnitude (≈ 0: gravity between particles conserves momentum).
+pub fn run(cfg: &Gadget2Config, mode: RunMode, plan: &HeartbeatPlan) -> AppOutput {
+    if matches!(mode, RunMode::Virtual { .. }) {
+        assert_eq!(cfg.procs, 1, "virtual mode requires a single rank for determinism");
+    }
+    let results = World::run(cfg.procs, |comm| {
+        let ctx = RankContext::new(mode);
+        let funcs = Funcs::register(&ctx.rt, &FUNC_NAMES);
+        let resolved = plan.resolve(&ctx.ekg);
+
+        // Plummer-ish cloud in [-1,1]³.
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n = cfg.particles;
+        let mut pos: Vec<[f64; 3]> = (0..n)
+            .map(|_| {
+                [
+                    rng.gen_range(-0.8..0.8),
+                    rng.gen_range(-0.8..0.8),
+                    rng.gen_range(-0.8..0.8),
+                ]
+            })
+            .collect();
+        let mut vel = vec![[0.0f64; 3]; n];
+        let mut acc = vec![[0.0f64; 3]; n];
+
+        let _kernel_sum = pm_setup_nonperiodic_kernel(&ctx, &funcs, &resolved, cfg.pm_grid);
+
+        let dt = 1e-4;
+        for _step in 0..cfg.steps {
+            find_next_sync_point_and_drift(&ctx, &funcs, &resolved, &mut pos, &vel, dt);
+            domain_decomposition(&ctx, &funcs, &resolved, n, &comm);
+            compute_accelerations(&ctx, &funcs, &resolved, &pos, &mut acc, 2.0, 0.6);
+            advance_and_find_timesteps(&ctx, &funcs, &resolved, &mut pos, &mut vel, &acc, dt);
+        }
+
+        // Center-of-mass velocity (momentum conservation check).
+        let mut v = [0.0f64; 3];
+        for vi in &vel {
+            for k in 0..3 {
+                v[k] += vi[k];
+            }
+        }
+        let check = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt() / n as f64;
+        let final_profile = ctx.rt.snapshot(0).flat;
+        let data = (comm.rank() == 0).then(|| ctx.finish());
+        (data, check, final_profile)
+    });
+    assemble_output(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::discovered_site_names;
+    use incprof_core::PhaseDetector;
+
+    fn tiny_run() -> AppOutput {
+        run(&Gadget2Config::tiny(), RunMode::virtual_1s(), &HeartbeatPlan::none())
+    }
+
+    #[test]
+    fn momentum_is_approximately_conserved() {
+        let out = tiny_run();
+        // Tree-force approximation breaks exact symmetry; the residual
+        // center-of-mass velocity must still be tiny.
+        assert!(out.result_check < 1e-2, "COM velocity {}", out.result_check);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = tiny_run();
+        let b = tiny_run();
+        assert_eq!(a.result_check, b.result_check);
+        assert_eq!(a.rank0.series.last().unwrap().flat, b.rank0.series.last().unwrap().flat);
+    }
+
+    #[test]
+    fn tree_walk_dominates_timestep_loop() {
+        let out = tiny_run();
+        let last = out.rank0.series.last().unwrap();
+        let walk = out.rank0.table.id_of("force_treeevaluate_shortrange").unwrap();
+        let sync = out.rank0.table.id_of("find_next_sync_point_and_drift").unwrap();
+        assert!(last.flat.get(walk).self_time > 10 * last.flat.get(sync).self_time);
+    }
+
+    #[test]
+    fn driver_calls_all_discovered_sites() {
+        let out = tiny_run();
+        let last = out.rank0.series.last().unwrap();
+        let accel = out.rank0.table.id_of("compute_accelerations").unwrap();
+        let walk = out.rank0.table.id_of("force_treeevaluate_shortrange").unwrap();
+        let update = out.rank0.table.id_of("force_update_node_recursive").unwrap();
+        assert!(last.callgraph.get(accel, walk).count > 0);
+        assert!(last.callgraph.get(accel, update).count > 0);
+    }
+
+    #[test]
+    fn phase_analysis_recovers_paper_shape() {
+        let out = run(
+            &Gadget2Config { particles: 700, steps: 40, pm_grid: 24, ..Gadget2Config::tiny() },
+            RunMode::virtual_1s(),
+            &HeartbeatPlan::none(),
+        );
+        let analysis = PhaseDetector::new().detect_series(&out.rank0.series).unwrap();
+        assert!((2..=5).contains(&analysis.k), "got k = {}", analysis.k);
+        let names = discovered_site_names(&analysis, &out.rank0.table);
+        assert!(names.contains("force_treeevaluate_shortrange"), "{names:?}");
+        assert!(names.contains("pm_setup_nonperiodic_kernel"), "{names:?}");
+        // None of the four fast manual functions should be discovered —
+        // they are too quick for interval analysis (paper §VI-E).
+        for fast in [
+            "find_next_sync_point_and_drift",
+            "domain_decomposition",
+            "advance_and_find_timesteps",
+        ] {
+            assert!(!names.contains(fast), "fast function {fast} wrongly selected");
+        }
+    }
+
+    #[test]
+    fn manual_heartbeats_overlap_every_step() {
+        // The paper: "our manual heartbeat sites result in a plot where
+        // all four lines essentially overlap each other".
+        let plan = HeartbeatPlan::from_manual(&manual_sites());
+        let cfg = Gadget2Config::tiny();
+        let out = run(&cfg, RunMode::virtual_1s(), &plan);
+        let names = &out.rank0.hb_names;
+        let counts: Vec<u64> = (0..names.len() as u32)
+            .map(|i| {
+                out.rank0
+                    .hb_records
+                    .iter()
+                    .map(|r| r.count(appekg::HeartbeatId(i)))
+                    .sum()
+            })
+            .collect();
+        // All four manual sites beat exactly once per timestep.
+        for (name, &c) in names.iter().zip(&counts) {
+            assert_eq!(c, cfg.steps as u64, "{name} beat {c} times");
+        }
+    }
+
+    #[test]
+    fn multirank_wall_run_works() {
+        let out = run(
+            &Gadget2Config { particles: 128, steps: 3, pm_grid: 8, procs: 4, ..Gadget2Config::tiny() },
+            RunMode::Wall { interval_ns: 50_000_000, profile: true },
+            &HeartbeatPlan::none(),
+        );
+        assert!(out.result_check.is_finite());
+    }
+}

@@ -1,0 +1,499 @@
+//! Mini Graph500 (paper §VI-A, Table II, Fig. 2).
+//!
+//! Reproduces the structure of the Graph500 2.1.4 `mpi_simple` benchmark:
+//! "creates a large graph data structure, and then performs breadth-first
+//! searches over the graph, and checks (validates) the result of the
+//! searches." The function inventory matches the paper's discovered and
+//! manual sites:
+//!
+//! * `generate_kronecker_range` / `make_one_edge` — R-MAT/Kronecker edge
+//!   generation, one call per edge;
+//! * `make_graph_data_structure` — CSR construction;
+//! * `run_bfs` — level-synchronous BFS (one call per root, several
+//!   intervals long, so phase analysis sees both call-bearing and
+//!   continuation intervals — the paper's body *and* loop sites);
+//! * `validate_bfs_result` — multi-pass validation, the longest kernel
+//!   (the paper's dominant phase at ~62% of the run).
+//!
+//! The virtual cost model is calibrated so the default configuration
+//! spans ≈190 one-second intervals with the paper's rough proportions
+//! (validate ≈ 60%, BFS ≈ 25%, generation ≈ 11%).
+
+use crate::harness::{AppOutput, Funcs, RankContext, RankData, RunMode};
+use crate::plan::HeartbeatPlan;
+use incprof_core::report::ManualSite;
+use incprof_core::types::InstrumentationType;
+use mpi_sim::{Comm, World};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a Graph500 run.
+#[derive(Debug, Clone)]
+pub struct Graph500Config {
+    /// log2 of the vertex count (Graph500 "scale").
+    pub scale: u32,
+    /// Edges per vertex (Graph500 "edgefactor").
+    pub edge_factor: u32,
+    /// Number of BFS roots searched and validated.
+    pub num_roots: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// MPI ranks (must be 1 in virtual mode).
+    pub procs: usize,
+}
+
+impl Default for Graph500Config {
+    fn default() -> Self {
+        Graph500Config { scale: 13, edge_factor: 16, num_roots: 48, seed: 42, procs: 1 }
+    }
+}
+
+impl Graph500Config {
+    /// A tiny configuration for fast tests (a handful of intervals).
+    pub fn tiny() -> Graph500Config {
+        Graph500Config { scale: 9, edge_factor: 8, num_roots: 10, seed: 42, procs: 1 }
+    }
+}
+
+/// Virtual cost per generated edge (ns): generation ≈ 20 s total.
+const NS_PER_GEN_EDGE: u64 = 150_000;
+/// Virtual cost per edge during CSR construction: ≈ 3 s total.
+const NS_PER_BUILD_EDGE: u64 = 23_000;
+/// Virtual cost per edge traversal in BFS: BFS ≈ 1.5 s per root.
+const NS_PER_BFS_EDGE: u64 = 5_700;
+/// Virtual cost per edge check in validation passes 2–3: ≈ 3.6 s per root.
+const NS_PER_VALIDATE_EDGE: u64 = 6_800;
+/// Virtual cost per vertex per level-fill pass in validation pass 1.
+const NS_PER_VALIDATE_VERTEX: u64 = 800;
+
+const F_GEN: usize = 0;
+const F_EDGE: usize = 1;
+const F_BUILD: usize = 2;
+const F_BFS: usize = 3;
+const F_VALIDATE: usize = 4;
+
+const FUNC_NAMES: [&str; 5] = [
+    "generate_kronecker_range",
+    "make_one_edge",
+    "make_graph_data_structure",
+    "run_bfs",
+    "validate_bfs_result",
+];
+
+/// The paper's manual instrumentation sites for Graph500 (Table II).
+pub fn manual_sites() -> Vec<ManualSite> {
+    vec![
+        ManualSite::new("make_graph_data_structure", InstrumentationType::Body),
+        ManualSite::new("generate_kronecker_range", InstrumentationType::Body),
+        ManualSite::new("run_bfs", InstrumentationType::Body),
+        ManualSite::new("validate_bfs_result", InstrumentationType::Body),
+    ]
+}
+
+/// CSR graph.
+struct Csr {
+    nv: usize,
+    xadj: Vec<u32>,
+    adj: Vec<u32>,
+}
+
+impl Csr {
+    fn degree(&self, v: usize) -> usize {
+        (self.xadj[v + 1] - self.xadj[v]) as usize
+    }
+    fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adj[self.xadj[v] as usize..self.xadj[v + 1] as usize]
+    }
+}
+
+/// R-MAT edge via 'scale' recursive quadrant choices (A=0.57, B=0.19,
+/// C=0.19, D=0.05 — the Graph500 parameters).
+fn make_one_edge(ctx: &RankContext, funcs: &Funcs, rng: &mut StdRng, scale: u32) -> (u32, u32) {
+    let _p = ctx.rt.enter(funcs.id(F_EDGE));
+    let mut u = 0u32;
+    let mut v = 0u32;
+    for bit in (0..scale).rev() {
+        let r: f64 = rng.gen();
+        let (ub, vb) = if r < 0.57 {
+            (0, 0)
+        } else if r < 0.76 {
+            (0, 1)
+        } else if r < 0.95 {
+            (1, 0)
+        } else {
+            (1, 1)
+        };
+        u |= ub << bit;
+        v |= vb << bit;
+    }
+    ctx.advance(NS_PER_GEN_EDGE);
+    (u, v)
+}
+
+/// Generate this rank's share of the edge list.
+fn generate_kronecker_range(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    cfg: &Graph500Config,
+    comm: &Comm,
+) -> Vec<(u32, u32)> {
+    let _p = ctx.rt.enter(funcs.id(F_GEN));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_GEN]);
+    let total_edges = (cfg.edge_factor as u64) << cfg.scale;
+    let per_rank = total_edges / comm.size() as u64;
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(comm.rank() as u64));
+    let mut edges = Vec::with_capacity(per_rank as usize);
+    for _ in 0..per_rank {
+        let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_GEN]);
+        let _hb = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_EDGE]);
+        edges.push(make_one_edge(ctx, funcs, &mut rng, cfg.scale));
+    }
+    edges
+}
+
+/// Build the CSR structure from the (allgathered) edge list.
+fn make_graph_data_structure(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    nv: usize,
+    edges: &[(u32, u32)],
+) -> Csr {
+    let _p = ctx.rt.enter(funcs.id(F_BUILD));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_BUILD]);
+    let mut deg = vec![0u32; nv + 1];
+    for &(u, v) in edges {
+        if u != v {
+            deg[u as usize + 1] += 1;
+            deg[v as usize + 1] += 1;
+        }
+    }
+    ctx.advance(edges.len() as u64 * NS_PER_BUILD_EDGE / 2);
+    for i in 0..nv {
+        deg[i + 1] += deg[i];
+    }
+    let xadj = deg.clone();
+    let mut cursor = xadj.clone();
+    let mut adj = vec![0u32; xadj[nv] as usize];
+    for &(u, v) in edges {
+        if u != v {
+            adj[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+    }
+    ctx.advance(edges.len() as u64 * NS_PER_BUILD_EDGE / 2);
+    Csr { nv, xadj, adj }
+}
+
+/// Level-synchronous BFS; returns the parent array (u32::MAX = unvisited).
+fn run_bfs(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    graph: &Csr,
+    root: u32,
+    comm: &Comm,
+) -> Vec<u32> {
+    let _p = ctx.rt.enter(funcs.id(F_BFS));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_BFS]);
+    let mut parent = vec![u32::MAX; graph.nv];
+    parent[root as usize] = root;
+    let mut frontier = vec![root];
+    while !frontier.is_empty() {
+        let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_BFS]);
+        let mut next = Vec::new();
+        let mut edges_scanned = 0u64;
+        for &u in &frontier {
+            for &v in graph.neighbors(u as usize) {
+                edges_scanned += 1;
+                if parent[v as usize] == u32::MAX {
+                    parent[v as usize] = u;
+                    next.push(v);
+                }
+            }
+        }
+        // Rank-symmetric level synchronization, as in mpi_simple.
+        let global_next = comm.allreduce_sum_u64(next.len() as u64);
+        ctx.advance(edges_scanned * NS_PER_BFS_EDGE);
+        if global_next == 0 {
+            break;
+        }
+        frontier = next;
+    }
+    parent
+}
+
+/// Multi-pass validation of a BFS tree; returns the number of errors.
+fn validate_bfs_result(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    graph: &Csr,
+    root: u32,
+    parent: &[u32],
+    comm: &Comm,
+) -> u64 {
+    let _p = ctx.rt.enter(funcs.id(F_VALIDATE));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_VALIDATE]);
+    let mut errors = 0u64;
+
+    // Pass 1: recompute levels from the parent array.
+    let mut level = vec![u32::MAX; graph.nv];
+    level[root as usize] = 0;
+    let mut changed = true;
+    let mut passes = 0u64;
+    while changed && passes < graph.nv as u64 {
+        let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_VALIDATE]);
+        changed = false;
+        for v in 0..graph.nv {
+            let p = parent[v];
+            if p != u32::MAX && v as u32 != root && level[v] == u32::MAX
+                && level[p as usize] != u32::MAX {
+                    level[v] = level[p as usize] + 1;
+                    changed = true;
+                }
+        }
+        passes += 1;
+        ctx.advance(graph.nv as u64 * NS_PER_VALIDATE_VERTEX);
+    }
+
+    // Pass 2: each tree edge must exist in the graph and span one level.
+    let mut scanned = 0u64;
+    for v in 0..graph.nv {
+        let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_VALIDATE]);
+        let p = parent[v];
+        if p == u32::MAX || v as u32 == root {
+            continue;
+        }
+        if level[v] != level[p as usize] + 1 {
+            errors += 1;
+        }
+        // Charge a bounded per-lookup cost (the real benchmark uses a
+        // sorted adjacency lookup, not a full linear scan of hub rows).
+        scanned += (graph.degree(p as usize) as u64).min(64);
+        if !graph.neighbors(p as usize).contains(&(v as u32)) {
+            errors += 1;
+        }
+        if scanned >= 4096 {
+            ctx.advance(scanned * NS_PER_VALIDATE_EDGE);
+            scanned = 0;
+        }
+    }
+    ctx.advance(scanned * NS_PER_VALIDATE_EDGE);
+
+    // Pass 3: every edge with a visited endpoint must have both visited.
+    scanned = 0;
+    for u in 0..graph.nv {
+        let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_VALIDATE]);
+        for &v in graph.neighbors(u) {
+            scanned += 1;
+            let uv = parent[u] != u32::MAX;
+            let vv = parent[v as usize] != u32::MAX;
+            if uv != vv {
+                errors += 1;
+            }
+        }
+        if scanned >= 4096 {
+            ctx.advance(scanned * NS_PER_VALIDATE_EDGE);
+            scanned = 0;
+        }
+    }
+    ctx.advance(scanned * NS_PER_VALIDATE_EDGE);
+
+    comm.allreduce_sum_u64(errors)
+}
+
+/// Run the benchmark. Returns rank 0's collected profile/heartbeat data
+/// and the total validation error count (must be 0) in `result_check`.
+pub fn run(cfg: &Graph500Config, mode: RunMode, plan: &HeartbeatPlan) -> AppOutput {
+    if matches!(mode, RunMode::Virtual { .. }) {
+        assert_eq!(cfg.procs, 1, "virtual mode requires a single rank for determinism");
+    }
+    let results: Vec<(Option<RankData>, f64, incprof_profile::FlatProfile)> =
+        World::run(cfg.procs, |comm| {
+        let ctx = RankContext::new(mode);
+        let funcs = Funcs::register(&ctx.rt, &FUNC_NAMES);
+        let resolved = plan.resolve(&ctx.ekg);
+
+        let local_edges = generate_kronecker_range(&ctx, &funcs, &resolved, cfg, &comm);
+        // Everyone gets the full edge list (allgather), as each rank in
+        // mpi_simple holds the graph pieces it needs for its searches.
+        let all: Vec<Vec<(u32, u32)>> = comm.allgather(local_edges);
+        let edges: Vec<(u32, u32)> = all.into_iter().flatten().collect();
+        let nv = 1usize << cfg.scale;
+        let graph = make_graph_data_structure(&ctx, &funcs, &resolved, nv, &edges);
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
+        let mut total_errors = 0u64;
+        let mut visited_total = 0u64;
+        for _ in 0..cfg.num_roots {
+            // Pick a root with nonzero degree (as the benchmark does).
+            let root = loop {
+                let r = rng.gen_range(0..nv as u32);
+                if graph.degree(r as usize) > 0 {
+                    break r;
+                }
+            };
+            comm.barrier();
+            let parent = run_bfs(&ctx, &funcs, &resolved, &graph, root, &comm);
+            visited_total += parent.iter().filter(|&&p| p != u32::MAX).count() as u64;
+            total_errors += validate_bfs_result(&ctx, &funcs, &resolved, &graph, root, &parent, &comm);
+        }
+        let check = total_errors as f64 + (visited_total == 0) as u64 as f64;
+        let final_profile = ctx.rt.snapshot(0).flat;
+        let data = (comm.rank() == 0).then(|| ctx.finish());
+        (data, check, final_profile)
+    })
+    .into_iter()
+    .collect();
+
+    assemble_output(results)
+}
+
+/// Combine per-rank results into an [`AppOutput`] (shared by all apps):
+/// rank 0's data carries the full series; every rank contributes its
+/// final cumulative profile; `result_check` is rank 0's check value
+/// (collectives make it identical on every rank).
+pub(crate) fn assemble_output(
+    results: Vec<(Option<RankData>, f64, incprof_profile::FlatProfile)>,
+) -> AppOutput {
+    let mut rank0 = None;
+    let mut check = 0.0;
+    let mut rank_profiles = Vec::with_capacity(results.len());
+    for (data, c, profile) in results {
+        if let Some(d) = data {
+            check = c;
+            rank0 = Some(d);
+        }
+        rank_profiles.push(profile);
+    }
+    let rank0 = rank0.expect("rank 0 present");
+    AppOutput { makespan_ns: rank0.elapsed_wall_ns, rank0, rank_profiles, result_check: check }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::discovered_site_names;
+    use incprof_core::PhaseDetector;
+
+    fn tiny_run() -> AppOutput {
+        run(&Graph500Config::tiny(), RunMode::virtual_1s(), &HeartbeatPlan::none())
+    }
+
+    #[test]
+    fn bfs_trees_validate_cleanly() {
+        let out = tiny_run();
+        assert_eq!(out.result_check, 0.0, "validation errors detected");
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = tiny_run();
+        let b = tiny_run();
+        assert_eq!(a.rank0.series.len(), b.rank0.series.len());
+        assert_eq!(
+            a.rank0.series.last().unwrap().flat,
+            b.rank0.series.last().unwrap().flat
+        );
+    }
+
+    #[test]
+    fn profile_contains_all_five_functions() {
+        let out = tiny_run();
+        let last = out.rank0.series.last().unwrap();
+        for name in FUNC_NAMES {
+            let id = out.rank0.table.id_of(name).unwrap();
+            let stats = last.flat.get(id);
+            // generate_kronecker_range delegates all its time to
+            // make_one_edge; it appears through its call count (exactly
+            // as in real gprof data).
+            assert!(
+                stats.self_time > 0 || stats.calls > 0,
+                "{name} absent from the profile"
+            );
+        }
+        let edge = out.rank0.table.id_of("make_one_edge").unwrap();
+        assert!(last.flat.get(edge).self_time > 0);
+    }
+
+    #[test]
+    fn validation_dominates_profile() {
+        let out = tiny_run();
+        let last = out.rank0.series.last().unwrap();
+        let total = last.flat.total_self_time() as f64;
+        let val = out.rank0.table.id_of("validate_bfs_result").unwrap();
+        let frac = last.flat.get(val).self_time as f64 / total;
+        assert!(frac > 0.4, "validate fraction {frac} too small");
+    }
+
+    #[test]
+    fn phase_analysis_recovers_paper_shape() {
+        let out = run(
+            &Graph500Config { scale: 12, edge_factor: 16, num_roots: 20, ..Graph500Config::tiny() },
+            RunMode::virtual_1s(),
+            &HeartbeatPlan::none(),
+        );
+        let analysis = PhaseDetector::new().detect_series(&out.rank0.series).unwrap();
+        assert!(
+            (2..=6).contains(&analysis.k),
+            "expected a handful of phases, got {}",
+            analysis.k
+        );
+        let names = discovered_site_names(&analysis, &out.rank0.table);
+        assert!(
+            names.contains("validate_bfs_result"),
+            "validate site missing from {names:?}"
+        );
+        assert!(
+            names.contains("run_bfs") || names.contains("make_one_edge"),
+            "bfs/generation sites missing from {names:?}"
+        );
+        // The dominant site (largest app %) must be validation.
+        let dominant = analysis
+            .phases
+            .iter()
+            .flat_map(|p| &p.sites)
+            .max_by(|a, b| a.app_pct.partial_cmp(&b.app_pct).unwrap())
+            .unwrap();
+        assert_eq!(out.rank0.table.name(dominant.function), "validate_bfs_result");
+    }
+
+    #[test]
+    fn heartbeats_fire_for_manual_plan() {
+        let plan = HeartbeatPlan::from_manual(&manual_sites());
+        let out = run(&Graph500Config::tiny(), RunMode::virtual_1s(), &plan);
+        assert!(!out.rank0.hb_records.is_empty());
+        // One body beat per root for run_bfs.
+        let names = &out.rank0.hb_names;
+        let bfs_idx = names.iter().position(|n| n == "run_bfs").unwrap() as u32;
+        let total: u64 = out
+            .rank0
+            .hb_records
+            .iter()
+            .map(|r| r.count(appekg::HeartbeatId(bfs_idx)))
+            .sum();
+        assert_eq!(total, Graph500Config::tiny().num_roots as u64);
+    }
+
+    #[test]
+    fn multirank_wall_run_is_symmetric_and_correct() {
+        let cfg = Graph500Config {
+            scale: 8,
+            edge_factor: 6,
+            num_roots: 2,
+            procs: 4,
+            ..Graph500Config::tiny()
+        };
+        let out = run(
+            &cfg,
+            RunMode::Wall { interval_ns: 50_000_000, profile: true },
+            &HeartbeatPlan::none(),
+        );
+        assert_eq!(out.result_check, 0.0);
+        assert!(out.rank0.series.last().is_some());
+    }
+}

@@ -1,0 +1,419 @@
+//! Mini LAMMPS — Lennard-Jones molecular dynamics (paper §VI-D,
+//! Table V, Fig. 5).
+//!
+//! "We chose the metal type atoms with the Lennard-Jones (LJ) force
+//! model. After initialization and atom creation, the application has one
+//! main core computation, that of using the LJ force computation
+//! algorithm to simulate the interaction between atoms."
+//!
+//! Function inventory (the paper's discovered + manual sites):
+//! `PairLJCut::compute` (the dominant force kernel, ~90% of the run
+//! across two k-means phases), `NPairHalf::build` (periodic neighbor-list
+//! rebuilds, the paper's phase 1/3 site), `Velocity::create`
+//! (initialization). Integration is velocity-Verlet.
+//!
+//! The dynamics are real: atoms on a perturbed cubic lattice in a
+//! periodic box, half neighbor lists from cell binning, shifted LJ
+//! forces, and `result_check` is the magnitude of total momentum — which
+//! Newton's third law keeps at (numerically) zero.
+
+use crate::graph500::assemble_output;
+use crate::harness::{AppOutput, Funcs, RankContext, RunMode};
+use crate::plan::HeartbeatPlan;
+use incprof_core::report::ManualSite;
+use incprof_core::types::InstrumentationType;
+use mpi_sim::{Comm, World};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a LAMMPS-LJ run.
+#[derive(Debug, Clone)]
+pub struct LammpsConfig {
+    /// Atoms per side of the initial cubic lattice (`a³` atoms).
+    pub atoms_per_side: usize,
+    /// MD timesteps.
+    pub steps: usize,
+    /// Rebuild the neighbor list every this many steps.
+    pub rebuild_every: usize,
+    /// RNG seed for initial velocities.
+    pub seed: u64,
+    /// MPI ranks (must be 1 in virtual mode).
+    pub procs: usize,
+}
+
+impl Default for LammpsConfig {
+    fn default() -> Self {
+        LammpsConfig { atoms_per_side: 12, steps: 150, rebuild_every: 8, seed: 42, procs: 1 }
+    }
+}
+
+impl LammpsConfig {
+    /// Tiny configuration for fast tests.
+    pub fn tiny() -> LammpsConfig {
+        LammpsConfig { atoms_per_side: 6, steps: 20, rebuild_every: 5, seed: 42, procs: 1 }
+    }
+}
+
+const F_COMPUTE: usize = 0;
+const F_BUILD: usize = 1;
+const F_VELOCITY: usize = 2;
+
+const FUNC_NAMES: [&str; 3] = ["PairLJCut::compute", "NPairHalf::build", "Velocity::create"];
+
+/// Virtual cost per neighbor pair in the force kernel
+/// (≈ 1.8 s/step at the default size).
+const NS_PER_PAIR_FORCE: u64 = 44_000;
+/// Virtual cost per neighbor pair constructed during a rebuild
+/// (≈ 1.6 s/rebuild at the default size).
+const NS_PER_PAIR_BUILD: u64 = 39_000;
+/// Virtual cost per atom in Velocity::create (≈ 3 s at default size).
+const NS_PER_ATOM_VELOCITY: u64 = 1_700_000;
+
+/// LJ cutoff in lattice units.
+const CUTOFF: f64 = 1.6;
+
+/// The paper's manual instrumentation sites for LAMMPS (Table V).
+pub fn manual_sites() -> Vec<ManualSite> {
+    vec![
+        ManualSite::new("PairLJCut::compute", InstrumentationType::Body),
+        ManualSite::new("NPairHalf::build", InstrumentationType::Body),
+    ]
+}
+
+struct Atoms {
+    pos: Vec<[f64; 3]>,
+    vel: Vec<[f64; 3]>,
+    force: Vec<[f64; 3]>,
+    box_len: f64,
+}
+
+impl Atoms {
+    fn n(&self) -> usize {
+        self.pos.len()
+    }
+}
+
+/// Minimum-image displacement under periodic boundaries.
+fn min_image(mut d: f64, l: f64) -> f64 {
+    if d > l / 2.0 {
+        d -= l;
+    } else if d < -l / 2.0 {
+        d += l;
+    }
+    d
+}
+
+/// Initialize velocities (Maxwell-ish) and zero total momentum —
+/// LAMMPS's `Velocity::create`.
+fn velocity_create(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    atoms: &mut Atoms,
+    seed: u64,
+) {
+    let _p = ctx.rt.enter(funcs.id(F_VELOCITY));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_VELOCITY]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = atoms.n();
+    let mut total = [0.0f64; 3];
+    for v in &mut atoms.vel {
+        let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_VELOCITY]);
+        for (k, t) in total.iter_mut().enumerate() {
+            v[k] = rng.gen_range(-0.5..0.5);
+            *t += v[k];
+        }
+        ctx.advance(NS_PER_ATOM_VELOCITY);
+    }
+    // Zero the aggregate momentum, as LAMMPS does.
+    for v in &mut atoms.vel {
+        for k in 0..3 {
+            v[k] -= total[k] / n as f64;
+        }
+    }
+}
+
+/// Build the half neighbor list via cell binning — `NPairHalf::build`.
+fn npair_half_build(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    atoms: &Atoms,
+) -> Vec<(u32, u32)> {
+    let _p = ctx.rt.enter(funcs.id(F_BUILD));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_BUILD]);
+    let l = atoms.box_len;
+    let nbins = (l / CUTOFF).floor().max(1.0) as usize;
+    let bin_of = |p: &[f64; 3]| -> usize {
+        let f = |x: f64| {
+            let mut b = (x / l * nbins as f64).floor() as isize;
+            b = b.rem_euclid(nbins as isize);
+            b as usize
+        };
+        (f(p[2]) * nbins + f(p[1])) * nbins + f(p[0])
+    };
+    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); nbins * nbins * nbins];
+    for (i, p) in atoms.pos.iter().enumerate() {
+        bins[bin_of(p)].push(i as u32);
+    }
+    let mut pairs = Vec::new();
+    let skin = CUTOFF * 1.15; // neighbor skin so lists survive a few steps
+    for bz in 0..nbins {
+        for by in 0..nbins {
+            for bx in 0..nbins {
+                let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_BUILD]);
+                let here = &bins[(bz * nbins + by) * nbins + bx];
+                for dz in -1isize..=1 {
+                    for dy in -1isize..=1 {
+                        for dx in -1isize..=1 {
+                            let nb = ((bz as isize + dz).rem_euclid(nbins as isize) as usize
+                                * nbins
+                                + (by as isize + dy).rem_euclid(nbins as isize) as usize)
+                                * nbins
+                                + (bx as isize + dx).rem_euclid(nbins as isize) as usize;
+                            for &i in here {
+                                for &j in &bins[nb] {
+                                    if i < j {
+                                        let (pi, pj) =
+                                            (&atoms.pos[i as usize], &atoms.pos[j as usize]);
+                                        let r2: f64 = (0..3)
+                                            .map(|k| {
+                                                let d = min_image(pi[k] - pj[k], l);
+                                                d * d
+                                            })
+                                            .sum();
+                                        if r2 < skin * skin {
+                                            pairs.push((i, j));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ctx.advance(pairs.len() as u64 * NS_PER_PAIR_BUILD);
+    pairs
+}
+
+/// Shifted LJ force over the half neighbor list — `PairLJCut::compute`.
+/// Returns the potential energy.
+fn pair_lj_cut_compute(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    atoms: &mut Atoms,
+    pairs: &[(u32, u32)],
+    comm: &Comm,
+) -> f64 {
+    let _p = ctx.rt.enter(funcs.id(F_COMPUTE));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_COMPUTE]);
+    for f in &mut atoms.force {
+        *f = [0.0; 3];
+    }
+    let l = atoms.box_len;
+    let mut pe = 0.0f64;
+    let mut chunk = 0u64;
+    for &(i, j) in pairs {
+        let (i, j) = (i as usize, j as usize);
+        let mut d = [0.0f64; 3];
+        let mut r2 = 0.0;
+        for k in 0..3 {
+            d[k] = min_image(atoms.pos[i][k] - atoms.pos[j][k], l);
+            r2 += d[k] * d[k];
+        }
+        if r2 < CUTOFF * CUTOFF && r2 > 1e-12 {
+            let inv2 = 1.0 / r2;
+            let inv6 = inv2 * inv2 * inv2;
+            let fmag = 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
+            pe += 4.0 * inv6 * (inv6 - 1.0);
+            for k in 0..3 {
+                atoms.force[i][k] += fmag * d[k];
+                atoms.force[j][k] -= fmag * d[k];
+            }
+        }
+        chunk += 1;
+        if chunk >= 2048 {
+            let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_COMPUTE]);
+            ctx.advance(chunk * NS_PER_PAIR_FORCE);
+            chunk = 0;
+        }
+    }
+    let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_COMPUTE]);
+    ctx.advance(chunk * NS_PER_PAIR_FORCE);
+    comm.allreduce_sum(pe)
+}
+
+/// Run the MD simulation; `result_check` is |total momentum| (≈ 0).
+pub fn run(cfg: &LammpsConfig, mode: RunMode, plan: &HeartbeatPlan) -> AppOutput {
+    if matches!(mode, RunMode::Virtual { .. }) {
+        assert_eq!(cfg.procs, 1, "virtual mode requires a single rank for determinism");
+    }
+    let results = World::run(cfg.procs, |comm| {
+        let ctx = RankContext::new(mode);
+        let funcs = Funcs::register(&ctx.rt, &FUNC_NAMES);
+        let resolved = plan.resolve(&ctx.ekg);
+
+        // Atoms on a perturbed cubic lattice, spacing ~1.1 (near the LJ
+        // minimum) so the dynamics are stable.
+        let a = cfg.atoms_per_side;
+        let spacing = 1.1;
+        let box_len = a as f64 * spacing;
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xfeed);
+        let mut pos = Vec::with_capacity(a * a * a);
+        for z in 0..a {
+            for y in 0..a {
+                for x in 0..a {
+                    pos.push([
+                        x as f64 * spacing + rng.gen_range(-0.02..0.02),
+                        y as f64 * spacing + rng.gen_range(-0.02..0.02),
+                        z as f64 * spacing + rng.gen_range(-0.02..0.02),
+                    ]);
+                }
+            }
+        }
+        let n = pos.len();
+        let mut atoms =
+            Atoms { pos, vel: vec![[0.0; 3]; n], force: vec![[0.0; 3]; n], box_len };
+
+        velocity_create(&ctx, &funcs, &resolved, &mut atoms, cfg.seed);
+        let mut pairs = npair_half_build(&ctx, &funcs, &resolved, &atoms);
+        let mut _pe = pair_lj_cut_compute(&ctx, &funcs, &resolved, &mut atoms, &pairs, &comm);
+
+        let dt = 0.002;
+        for step in 1..=cfg.steps {
+            // Velocity-Verlet: half kick, drift, rebuild if due, force,
+            // half kick.
+            for i in 0..n {
+                for k in 0..3 {
+                    atoms.vel[i][k] += 0.5 * dt * atoms.force[i][k];
+                    atoms.pos[i][k] =
+                        (atoms.pos[i][k] + dt * atoms.vel[i][k]).rem_euclid(box_len);
+                }
+            }
+            if step % cfg.rebuild_every == 0 {
+                comm.barrier();
+                pairs = npair_half_build(&ctx, &funcs, &resolved, &atoms);
+            }
+            _pe = pair_lj_cut_compute(&ctx, &funcs, &resolved, &mut atoms, &pairs, &comm);
+            for i in 0..n {
+                for k in 0..3 {
+                    atoms.vel[i][k] += 0.5 * dt * atoms.force[i][k];
+                }
+            }
+        }
+
+        // Total momentum must be conserved at ~0.
+        let mut mom = [0.0f64; 3];
+        for v in &atoms.vel {
+            for k in 0..3 {
+                mom[k] += v[k];
+            }
+        }
+        let mom_mag = (mom[0] * mom[0] + mom[1] * mom[1] + mom[2] * mom[2]).sqrt();
+        let final_profile = ctx.rt.snapshot(0).flat;
+        let data = (comm.rank() == 0).then(|| ctx.finish());
+        (data, mom_mag, final_profile)
+    });
+    assemble_output(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{discovered_site_names, discovered_sites};
+    use incprof_core::PhaseDetector;
+
+    fn tiny_run() -> AppOutput {
+        run(&LammpsConfig::tiny(), RunMode::virtual_1s(), &HeartbeatPlan::none())
+    }
+
+    #[test]
+    fn momentum_is_conserved() {
+        let out = tiny_run();
+        assert!(out.result_check < 1e-9, "momentum drifted to {}", out.result_check);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = tiny_run();
+        let b = tiny_run();
+        assert_eq!(a.result_check, b.result_check);
+        assert_eq!(a.rank0.series.last().unwrap().flat, b.rank0.series.last().unwrap().flat);
+    }
+
+    #[test]
+    fn force_kernel_dominates() {
+        let out = tiny_run();
+        let last = out.rank0.series.last().unwrap();
+        let c = out.rank0.table.id_of("PairLJCut::compute").unwrap();
+        let frac = last.flat.get(c).self_time as f64 / last.flat.total_self_time() as f64;
+        assert!(frac > 0.6, "compute fraction {frac}");
+    }
+
+    #[test]
+    fn rebuild_count_matches_schedule() {
+        let out = tiny_run();
+        let cfg = LammpsConfig::tiny();
+        let last = out.rank0.series.last().unwrap();
+        let b = out.rank0.table.id_of("NPairHalf::build").unwrap();
+        let expected = 1 + cfg.steps as u64 / cfg.rebuild_every as u64;
+        assert_eq!(last.flat.get(b).calls, expected);
+    }
+
+    #[test]
+    fn phase_analysis_recovers_paper_shape() {
+        let out = run(
+            &LammpsConfig { atoms_per_side: 9, steps: 60, rebuild_every: 8, ..LammpsConfig::tiny() },
+            RunMode::virtual_1s(),
+            &HeartbeatPlan::none(),
+        );
+        let analysis = PhaseDetector::new().detect_series(&out.rank0.series).unwrap();
+        assert!((2..=5).contains(&analysis.k), "got k = {}", analysis.k);
+        let names = discovered_site_names(&analysis, &out.rank0.table);
+        assert!(names.contains("PairLJCut::compute"), "{names:?}");
+        let dominant = analysis
+            .phases
+            .iter()
+            .flat_map(|p| &p.sites)
+            .max_by(|a, b| a.app_pct.partial_cmp(&b.app_pct).unwrap())
+            .unwrap();
+        assert_eq!(out.rank0.table.name(dominant.function), "PairLJCut::compute");
+        // The force kernel runs longer than an interval between calls, so
+        // it must be discovered as a loop site (paper Table V).
+        let sites = discovered_sites(&analysis, &out.rank0.table);
+        assert!(
+            sites.contains(&("PairLJCut::compute".to_string(), InstrumentationType::Loop))
+                || sites.contains(&("PairLJCut::compute".to_string(), InstrumentationType::Body)),
+            "{sites:?}"
+        );
+    }
+
+    #[test]
+    fn manual_heartbeats_count_force_calls() {
+        let plan = HeartbeatPlan::from_manual(&manual_sites());
+        let cfg = LammpsConfig::tiny();
+        let out = run(&cfg, RunMode::virtual_1s(), &plan);
+        let idx = out
+            .rank0
+            .hb_names
+            .iter()
+            .position(|n| n == "PairLJCut::compute")
+            .unwrap() as u32;
+        let total: u64 =
+            out.rank0.hb_records.iter().map(|r| r.count(appekg::HeartbeatId(idx))).sum();
+        assert_eq!(total, cfg.steps as u64 + 1); // initial force + per step
+    }
+
+    #[test]
+    fn multirank_wall_run_works() {
+        let out = run(
+            &LammpsConfig { atoms_per_side: 4, steps: 4, rebuild_every: 2, procs: 4, ..LammpsConfig::tiny() },
+            RunMode::Wall { interval_ns: 50_000_000, profile: true },
+            &HeartbeatPlan::none(),
+        );
+        assert!(out.result_check.is_finite());
+    }
+}

@@ -1,0 +1,536 @@
+//! Mini MiniAMR (paper §VI-C, Table IV, Fig. 4).
+//!
+//! A block-structured adaptive-mesh proxy: "it applies a stencil
+//! computation over a mesh that adaptively refines and coarsens as
+//! objects move through it." The paper's discovered phases:
+//!
+//! * phase 0 — the "normal" computation, covering ~89% of the run, with
+//!   `check_sum` as its site ("not a function that performs a simple
+//!   mathematical checksum but rather embodies more involved matrix
+//!   computations");
+//! * phase 1 — the deviations: "the large and varied deviation in the
+//!   middle is a mesh adaptation, while the smaller periodic deviations
+//!   are large communication steps", with `allocate`, `pack_block` and
+//!   `unpack_block` as its sites.
+//!
+//! Function inventory: `stencil_calc`, `check_sum`, `comm`, `pack_block`,
+//! `unpack_block`, `allocate` (the manual sites are `check_sum`,
+//! `stencil_calc`, `comm`).
+//!
+//! The mesh is real: blocks of `8³` cells holding a moving Gaussian
+//! source; stencils, checksums, refinement splits, and ring halo
+//! exchanges all do real arithmetic. `result_check` is the final global
+//! checksum (must be finite and positive).
+
+use crate::graph500::assemble_output;
+use crate::harness::{AppOutput, Funcs, RankContext, RunMode};
+use crate::plan::HeartbeatPlan;
+use incprof_core::report::ManualSite;
+use incprof_core::types::InstrumentationType;
+use mpi_sim::{Comm, World};
+
+/// Configuration for a MiniAMR run.
+#[derive(Debug, Clone)]
+pub struct MiniAmrConfig {
+    /// Blocks per side of the initial coarse grid (`b³` blocks).
+    pub blocks_per_side: usize,
+    /// Number of timesteps.
+    pub steps: usize,
+    /// A large communication burst occurs every this many steps.
+    pub comm_burst_every: usize,
+    /// The big mesh-adaptation event starts at this step.
+    pub adapt_at_step: usize,
+    /// MPI ranks (must be 1 in virtual mode).
+    pub procs: usize,
+}
+
+impl Default for MiniAmrConfig {
+    fn default() -> Self {
+        MiniAmrConfig {
+            blocks_per_side: 4,
+            steps: 420,
+            comm_burst_every: 36,
+            adapt_at_step: 210,
+            procs: 1,
+        }
+    }
+}
+
+impl MiniAmrConfig {
+    /// Tiny configuration for fast tests.
+    pub fn tiny() -> MiniAmrConfig {
+        MiniAmrConfig {
+            blocks_per_side: 2,
+            steps: 260,
+            comm_burst_every: 40,
+            adapt_at_step: 130,
+            procs: 1,
+        }
+    }
+}
+
+/// Cells per block side.
+const BS: usize = 8;
+/// Cells per block.
+const BCELLS: usize = BS * BS * BS;
+
+const F_STENCIL: usize = 0;
+const F_CHECKSUM: usize = 1;
+const F_COMM: usize = 2;
+const F_PACK: usize = 3;
+const F_UNPACK: usize = 4;
+const F_ALLOCATE: usize = 5;
+
+const FUNC_NAMES: [&str; 6] =
+    ["stencil_calc", "check_sum", "comm", "pack_block", "unpack_block", "allocate"];
+
+/// Virtual cost per cell in the stencil sweep (≈ 0.08 s/step at 64
+/// blocks; several steps fit one collection interval, as in MiniAMR).
+const NS_PER_STENCIL_CELL: u64 = 2_500;
+/// Virtual cost per cell in check_sum (≈ 0.22 s/step at 64 blocks).
+const NS_PER_CHECKSUM_CELL: u64 = 6_700;
+/// Virtual cost per face cell in a normal halo pack/unpack.
+const NS_PER_FACE_CELL: u64 = 1_000;
+/// Virtual cost per face cell during a big communication burst.
+const NS_PER_BURST_FACE_CELL: u64 = 5_000;
+/// Virtual cost per newly allocated block during adaptation.
+const NS_PER_ALLOC_BLOCK: u64 = 25_000_000;
+
+/// The paper's manual instrumentation sites for MiniAMR (Table IV).
+pub fn manual_sites() -> Vec<ManualSite> {
+    vec![
+        ManualSite::new("check_sum", InstrumentationType::Body),
+        ManualSite::new("stencil_calc", InstrumentationType::Body),
+        ManualSite::new("comm", InstrumentationType::Body),
+    ]
+}
+
+/// One mesh block: refinement level and its cell data.
+#[derive(Debug, Clone)]
+struct Block {
+    level: u32,
+    /// Center position of the block in the unit cube.
+    center: [f64; 3],
+    /// Half side length of the block.
+    half: f64,
+    cells: Vec<f64>,
+}
+
+struct Mesh {
+    blocks: Vec<Block>,
+}
+
+impl Mesh {
+    fn initial(b: usize) -> Mesh {
+        let mut blocks = Vec::with_capacity(b * b * b);
+        for z in 0..b {
+            for y in 0..b {
+                for x in 0..b {
+                    blocks.push(Block {
+                        level: 0,
+                        center: [
+                            (x as f64 + 0.5) / b as f64,
+                            (y as f64 + 0.5) / b as f64,
+                            (z as f64 + 0.5) / b as f64,
+                        ],
+                        half: 0.5 / b as f64,
+                        cells: vec![0.0; BCELLS],
+                    });
+                }
+            }
+        }
+        Mesh { blocks }
+    }
+
+    fn total_cells(&self) -> usize {
+        self.blocks.len() * BCELLS
+    }
+}
+
+/// Inject the moving object (Gaussian bump) into the mesh at position `t`.
+fn inject_object(mesh: &mut Mesh, t: f64) {
+    let pos = [0.2 + 0.6 * t, 0.5, 0.2 + 0.6 * t];
+    for b in &mut mesh.blocks {
+        let d2: f64 = b
+            .center
+            .iter()
+            .zip(&pos)
+            .map(|(c, p)| (c - p) * (c - p))
+            .sum();
+        let scale = (-(d2) / 0.02).exp();
+        if scale > 1e-6 {
+            for (i, cell) in b.cells.iter_mut().enumerate() {
+                *cell += scale * (1.0 + (i % 7) as f64 * 0.01);
+            }
+        }
+    }
+}
+
+/// 7-point in-block stencil sweep (real arithmetic, boundary clamped).
+fn stencil_calc(ctx: &RankContext, funcs: &Funcs, plan: &crate::plan::ResolvedPlan, mesh: &mut Mesh) {
+    let _p = ctx.rt.enter(funcs.id(F_STENCIL));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_STENCIL]);
+    let idx = |x: usize, y: usize, z: usize| (z * BS + y) * BS + x;
+    for b in &mut mesh.blocks {
+        let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_STENCIL]);
+        let old = b.cells.clone();
+        for z in 0..BS {
+            for y in 0..BS {
+                for x in 0..BS {
+                    let c = old[idx(x, y, z)];
+                    let xm = old[idx(x.saturating_sub(1), y, z)];
+                    let xp = old[idx((x + 1).min(BS - 1), y, z)];
+                    let ym = old[idx(x, y.saturating_sub(1), z)];
+                    let yp = old[idx(x, (y + 1).min(BS - 1), z)];
+                    let zm = old[idx(x, y, z.saturating_sub(1))];
+                    let zp = old[idx(x, y, (z + 1).min(BS - 1))];
+                    b.cells[idx(x, y, z)] = (c + xm + xp + ym + yp + zm + zp) / 7.0;
+                }
+            }
+        }
+        ctx.advance(BCELLS as u64 * NS_PER_STENCIL_CELL);
+    }
+}
+
+/// Global checksum: weighted norms over every cell, allreduced.
+fn check_sum(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    mesh: &Mesh,
+    comm: &Comm,
+) -> f64 {
+    let _p = ctx.rt.enter(funcs.id(F_CHECKSUM));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_CHECKSUM]);
+    let mut sum = 0.0f64;
+    let mut norm2 = 0.0f64;
+    for b in &mesh.blocks {
+        let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_CHECKSUM]);
+        for &c in &b.cells {
+            sum += c;
+            norm2 += c * c;
+        }
+        ctx.advance(BCELLS as u64 * NS_PER_CHECKSUM_CELL);
+    }
+    comm.allreduce_sum(sum + norm2.sqrt())
+}
+
+/// Pack the six faces of every block into a send buffer.
+fn pack_block(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    mesh: &Mesh,
+    burst: bool,
+) -> Vec<f64> {
+    let _p = ctx.rt.enter(funcs.id(F_PACK));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_PACK]);
+    let cost = if burst { NS_PER_BURST_FACE_CELL } else { NS_PER_FACE_CELL };
+    let mut buf = Vec::with_capacity(mesh.blocks.len() * 6 * BS * BS);
+    let idx = |x: usize, y: usize, z: usize| (z * BS + y) * BS + x;
+    for b in &mesh.blocks {
+        let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_PACK]);
+        for i in 0..BS {
+            for j in 0..BS {
+                buf.push(b.cells[idx(0, i, j)]);
+                buf.push(b.cells[idx(BS - 1, i, j)]);
+                buf.push(b.cells[idx(i, 0, j)]);
+                buf.push(b.cells[idx(i, BS - 1, j)]);
+                buf.push(b.cells[idx(i, j, 0)]);
+                buf.push(b.cells[idx(i, j, BS - 1)]);
+            }
+        }
+        ctx.advance(6 * (BS * BS) as u64 * cost);
+    }
+    buf
+}
+
+/// Unpack a received buffer, folding boundary contributions back in.
+fn unpack_block(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    mesh: &mut Mesh,
+    buf: &[f64],
+    burst: bool,
+) {
+    let _p = ctx.rt.enter(funcs.id(F_UNPACK));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_UNPACK]);
+    let cost = if burst { NS_PER_BURST_FACE_CELL } else { NS_PER_FACE_CELL };
+    let idx = |x: usize, y: usize, z: usize| (z * BS + y) * BS + x;
+    let mut k = 0usize;
+    for b in &mut mesh.blocks {
+        let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_UNPACK]);
+        for i in 0..BS {
+            for j in 0..BS {
+                if k + 6 <= buf.len() {
+                    // Blend neighbor-face values into our faces (simple
+                    // ghost-cell average).
+                    let avg = |cur: f64, inc: f64| 0.5 * (cur + inc);
+                    let c0 = b.cells[idx(0, i, j)];
+                    b.cells[idx(0, i, j)] = avg(c0, buf[k]);
+                    let c1 = b.cells[idx(BS - 1, i, j)];
+                    b.cells[idx(BS - 1, i, j)] = avg(c1, buf[k + 1]);
+                    k += 6;
+                }
+            }
+        }
+        ctx.advance(6 * (BS * BS) as u64 * cost);
+    }
+}
+
+/// The communication driver: pack, ring sendrecv, unpack.
+fn comm_step(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    mesh: &mut Mesh,
+    comm: &Comm,
+    burst: bool,
+) {
+    let _p = ctx.rt.enter(funcs.id(F_COMM));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_COMM]);
+    let rounds = if burst { 2 } else { 1 };
+    for _ in 0..rounds {
+        let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_COMM]);
+        let buf = pack_block(ctx, funcs, plan, mesh, burst);
+        let received = if comm.size() > 1 {
+            // Ring halo exchange: send to the next rank, receive from the
+            // previous one.
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, buf);
+            comm.recv::<Vec<f64>>(prev)
+        } else {
+            buf
+        };
+        unpack_block(ctx, funcs, plan, mesh, &received, burst);
+    }
+}
+
+/// Mesh adaptation: refine blocks the object currently overlaps,
+/// splitting each into 8 children (`allocate` per child).
+fn adapt_mesh(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    mesh: &mut Mesh,
+    t: f64,
+    max_blocks: usize,
+) -> usize {
+    let pos = [0.2 + 0.6 * t, 0.5, 0.2 + 0.6 * t];
+    let mut new_blocks = Vec::new();
+    let mut refined = 0usize;
+    for b in std::mem::take(&mut mesh.blocks) {
+        let d2: f64 =
+            b.center.iter().zip(&pos).map(|(c, p)| (c - p) * (c - p)).sum();
+        // A block refines when the object is within its own radius plus
+        // a capture margin. Refinement is one level deep: real MiniAMR
+        // coarsens blocks the object has left, keeping the mesh size
+        // roughly stationary, which this bound models.
+        let radius = 0.2 + b.half;
+        let near = d2 < radius * radius && b.level < 1;
+        if near && new_blocks.len() + 8 <= max_blocks {
+            refined += 1;
+            let half = b.half / 2.0;
+            for oz in [-1.0, 1.0] {
+                for oy in [-1.0, 1.0] {
+                    for ox in [-1.0, 1.0] {
+                        new_blocks.push(allocate(
+                            ctx,
+                            funcs,
+                            plan,
+                            &b,
+                            [
+                                b.center[0] + ox * half,
+                                b.center[1] + oy * half,
+                                b.center[2] + oz * half,
+                            ],
+                        ));
+                    }
+                }
+            }
+        } else {
+            new_blocks.push(b);
+        }
+    }
+    mesh.blocks = new_blocks;
+    refined
+}
+
+/// Allocate one refined child block, interpolating parent data.
+fn allocate(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    parent: &Block,
+    center: [f64; 3],
+) -> Block {
+    let _p = ctx.rt.enter(funcs.id(F_ALLOCATE));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_ALLOCATE]);
+    let mut cells = vec![0.0; BCELLS];
+    // Injection interpolation: children inherit the parent mean plus a
+    // positional perturbation (real data movement).
+    let mean: f64 = parent.cells.iter().sum::<f64>() / BCELLS as f64;
+    for (i, c) in cells.iter_mut().enumerate() {
+        let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_ALLOCATE]);
+        *c = mean + parent.cells[i] * 0.125;
+    }
+    ctx.advance(NS_PER_ALLOC_BLOCK);
+    Block { level: parent.level + 1, center, half: parent.half / 2.0, cells }
+}
+
+/// Run MiniAMR; `result_check` is the final global checksum.
+pub fn run(cfg: &MiniAmrConfig, mode: RunMode, plan: &HeartbeatPlan) -> AppOutput {
+    if matches!(mode, RunMode::Virtual { .. }) {
+        assert_eq!(cfg.procs, 1, "virtual mode requires a single rank for determinism");
+    }
+    let results = World::run(cfg.procs, |comm| {
+        let ctx = RankContext::new(mode);
+        let funcs = Funcs::register(&ctx.rt, &FUNC_NAMES);
+        let resolved = plan.resolve(&ctx.ekg);
+
+        let mut mesh = Mesh::initial(cfg.blocks_per_side);
+        let max_blocks = cfg.blocks_per_side.pow(3) * 3;
+        let mut checksum = 0.0;
+        for step in 0..cfg.steps {
+            let t = step as f64 / cfg.steps.max(1) as f64;
+            inject_object(&mut mesh, t);
+
+            let burst = cfg.comm_burst_every > 0
+                && step > 0
+                && step % cfg.comm_burst_every == 0;
+            comm_step(&ctx, &funcs, &resolved, &mut mesh, &comm, burst);
+
+            // The big adaptation event: several consecutive steps spend
+            // their time refining instead of computing.
+            let adapting = step >= cfg.adapt_at_step && step < cfg.adapt_at_step + 12;
+            if adapting {
+                adapt_mesh(&ctx, &funcs, &resolved, &mut mesh, t, max_blocks);
+                comm_step(&ctx, &funcs, &resolved, &mut mesh, &comm, true);
+                continue;
+            }
+
+            stencil_calc(&ctx, &funcs, &resolved, &mut mesh);
+            checksum = check_sum(&ctx, &funcs, &resolved, &mesh, &comm);
+        }
+        let _ = mesh.total_cells();
+        let final_profile = ctx.rt.snapshot(0).flat;
+        let data = (comm.rank() == 0).then(|| ctx.finish());
+        (data, checksum, final_profile)
+    });
+    assemble_output(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::discovered_site_names;
+    use incprof_core::PhaseDetector;
+
+    fn tiny_run() -> AppOutput {
+        run(&MiniAmrConfig::tiny(), RunMode::virtual_1s(), &HeartbeatPlan::none())
+    }
+
+    #[test]
+    fn checksum_is_finite_and_positive() {
+        let out = tiny_run();
+        assert!(out.result_check.is_finite());
+        assert!(out.result_check > 0.0, "object injection must leave mass in the mesh");
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = tiny_run();
+        let b = tiny_run();
+        assert_eq!(a.result_check, b.result_check);
+        assert_eq!(a.rank0.series.last().unwrap().flat, b.rank0.series.last().unwrap().flat);
+    }
+
+    #[test]
+    fn adaptation_refines_blocks() {
+        // The profile must show allocate calls (the adaptation ran).
+        let out = tiny_run();
+        let last = out.rank0.series.last().unwrap();
+        let alloc = out.rank0.table.id_of("allocate").unwrap();
+        assert!(last.flat.get(alloc).calls > 0, "no blocks were refined");
+        assert_eq!(last.flat.get(alloc).calls % 8, 0, "refinement splits into 8 children");
+    }
+
+    #[test]
+    fn checksum_dominates_profile() {
+        let out = tiny_run();
+        let last = out.rank0.series.last().unwrap();
+        let cs = out.rank0.table.id_of("check_sum").unwrap();
+        let frac = last.flat.get(cs).self_time as f64 / last.flat.total_self_time() as f64;
+        assert!(frac > 0.3, "check_sum fraction {frac}");
+    }
+
+    #[test]
+    fn phase_analysis_recovers_paper_shape() {
+        let out = run(
+            &MiniAmrConfig { blocks_per_side: 3, steps: 150, comm_burst_every: 25, adapt_at_step: 75, procs: 1 },
+            RunMode::virtual_1s(),
+            &HeartbeatPlan::none(),
+        );
+        let analysis = PhaseDetector::new().detect_series(&out.rank0.series).unwrap();
+        assert!((2..=5).contains(&analysis.k), "got k = {}", analysis.k);
+        let names = discovered_site_names(&analysis, &out.rank0.table);
+        assert!(names.contains("check_sum"), "{names:?}");
+        // The deviation phase must expose at least one of the paper's
+        // three deviation sites.
+        assert!(
+            ["allocate", "pack_block", "unpack_block"].iter().any(|n| names.contains(*n)),
+            "{names:?}"
+        );
+        // check_sum is the dominant site (paper: ~89% of the app).
+        let dominant = analysis
+            .phases
+            .iter()
+            .flat_map(|p| &p.sites)
+            .max_by(|a, b| a.app_pct.partial_cmp(&b.app_pct).unwrap())
+            .unwrap();
+        assert_eq!(out.rank0.table.name(dominant.function), "check_sum");
+        assert!(dominant.app_pct > 55.0, "dominant covers {}%", dominant.app_pct);
+    }
+
+    #[test]
+    fn manual_sites_are_simultaneously_active() {
+        // The paper's observation: the three manual sites beat together
+        // in normal steps (not capturing distinct phases).
+        let plan = HeartbeatPlan::from_manual(&manual_sites());
+        let out = run(&MiniAmrConfig::tiny(), RunMode::virtual_1s(), &plan);
+        let names = &out.rank0.hb_names;
+        let cs = names.iter().position(|n| n == "check_sum").unwrap() as u32;
+        let st = names.iter().position(|n| n == "stencil_calc").unwrap() as u32;
+        let mut both_active = 0;
+        let mut cs_active = 0;
+        for r in &out.rank0.hb_records {
+            let a = r.count(appekg::HeartbeatId(cs)) > 0;
+            let b = r.count(appekg::HeartbeatId(st)) > 0;
+            if a {
+                cs_active += 1;
+                if b {
+                    both_active += 1;
+                }
+            }
+        }
+        assert!(cs_active > 0);
+        assert!(
+            both_active * 10 >= cs_active * 7,
+            "stencil and check_sum should usually share intervals ({both_active}/{cs_active})"
+        );
+    }
+
+    #[test]
+    fn multirank_wall_run_exchanges_halos() {
+        let out = run(
+            &MiniAmrConfig { blocks_per_side: 2, steps: 6, comm_burst_every: 3, adapt_at_step: 4, procs: 4 },
+            RunMode::Wall { interval_ns: 50_000_000, profile: true },
+            &HeartbeatPlan::none(),
+        );
+        assert!(out.result_check.is_finite());
+        let pack = out.rank0.table.id_of("pack_block").unwrap();
+        assert!(out.rank0.series.last().unwrap().flat.get(pack).calls > 0);
+    }
+}

@@ -1,0 +1,491 @@
+//! Mini MiniFE (paper §VI-B, Table III, Fig. 3).
+//!
+//! An implicit finite-element mini-app in the shape of Mantevo MiniFE:
+//! "the first [kernel] generates the matrix/vector mesh structures, the
+//! second assembles the mesh into sparse matrices, the third performs
+//! sparse matrix operations during a conjugate-gradient solver, and the
+//! fourth performs various vector operations."
+//!
+//! Function inventory (matching the paper's discovered + manual sites):
+//! `generate_matrix_structure`, `init_matrix`, `perform_element_loop`
+//! (assembly driver), `sum_in_symm_elem_matrix` (per-element kernel,
+//! called from the driver — the pair behind the paper's call-graph
+//! observation), `impose_dirichlet`, `make_local_matrix`, `cg_solve`.
+//!
+//! The linear system is a real 7-point Laplacian on an `n × n × n` brick,
+//! assembled element-by-element, and CG genuinely solves it; the returned
+//! `result_check` is the final residual norm.
+
+use crate::graph500::assemble_output;
+use crate::harness::{AppOutput, Funcs, RankContext, RunMode};
+use crate::plan::HeartbeatPlan;
+use incprof_core::report::ManualSite;
+use incprof_core::types::InstrumentationType;
+use mpi_sim::{Comm, World};
+
+/// Configuration for a MiniFE run.
+#[derive(Debug, Clone)]
+pub struct MiniFeConfig {
+    /// Mesh points per side (the system has `n³` unknowns).
+    pub n: usize,
+    /// CG iterations to run (MiniFE uses a fixed iteration count).
+    pub cg_iters: usize,
+    /// MPI ranks (must be 1 in virtual mode).
+    pub procs: usize,
+}
+
+impl Default for MiniFeConfig {
+    fn default() -> Self {
+        MiniFeConfig { n: 20, cg_iters: 200, procs: 1 }
+    }
+}
+
+impl MiniFeConfig {
+    /// Tiny configuration for fast tests.
+    pub fn tiny() -> MiniFeConfig {
+        MiniFeConfig { n: 8, cg_iters: 30, procs: 1 }
+    }
+}
+
+const F_GEN: usize = 0;
+const F_INIT: usize = 1;
+const F_ELEM_LOOP: usize = 2;
+const F_SUM: usize = 3;
+const F_DIRICHLET: usize = 4;
+const F_LOCAL: usize = 5;
+const F_CG: usize = 6;
+
+const FUNC_NAMES: [&str; 7] = [
+    "generate_matrix_structure",
+    "init_matrix",
+    "perform_element_loop",
+    "sum_in_symm_elem_matrix",
+    "impose_dirichlet",
+    "make_local_matrix",
+    "cg_solve",
+];
+
+/// Virtual cost per row while generating structure (≈ 2 s at n = 20).
+const NS_PER_GEN_ROW: u64 = 250_000;
+/// Virtual cost per nonzero while initializing (≈ 15 s at n = 20).
+const NS_PER_INIT_NNZ: u64 = 270_000;
+/// Virtual cost per element in assembly (≈ 30 s at n = 20).
+const NS_PER_ELEMENT: u64 = 4_400_000;
+/// Virtual cost per boundary node in impose_dirichlet (≈ 7 s at n = 20).
+const NS_PER_BOUNDARY_NODE: u64 = 3_200_000;
+/// Virtual cost per row in make_local_matrix (≈ 1.5 s at n = 20).
+const NS_PER_LOCAL_ROW: u64 = 190_000;
+/// Virtual cost per CG iteration (≈ 95 s over 200 iterations at n = 20).
+const NS_PER_CG_ITER: u64 = 475_000_000;
+
+/// The paper's manual instrumentation sites for MiniFE (Table III).
+pub fn manual_sites() -> Vec<ManualSite> {
+    vec![
+        ManualSite::new("cg_solve", InstrumentationType::Loop),
+        ManualSite::new("perform_element_loop", InstrumentationType::Loop),
+        ManualSite::new("init_matrix", InstrumentationType::Loop),
+        ManualSite::new("impose_dirichlet", InstrumentationType::Loop),
+        ManualSite::new("make_local_matrix", InstrumentationType::Loop),
+    ]
+}
+
+/// CSR matrix over `n³` rows.
+struct Sparse {
+    n: usize,
+    rowptr: Vec<u32>,
+    col: Vec<u32>,
+    val: Vec<f64>,
+}
+
+impl Sparse {
+    fn nrows(&self) -> usize {
+        self.n * self.n * self.n
+    }
+    fn idx(n: usize, x: usize, y: usize, z: usize) -> usize {
+        (z * n + y) * n + x
+    }
+    fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        for r in 0..self.nrows() {
+            let mut acc = 0.0;
+            for k in self.rowptr[r] as usize..self.rowptr[r + 1] as usize {
+                acc += self.val[k] * x[self.col[k] as usize];
+            }
+            y[r] = acc;
+        }
+    }
+    /// Entry accumulate (assembly path).
+    fn add_at(&mut self, r: usize, c: usize, v: f64) {
+        for k in self.rowptr[r] as usize..self.rowptr[r + 1] as usize {
+            if self.col[k] as usize == c {
+                self.val[k] += v;
+                return;
+            }
+        }
+    }
+}
+
+/// Build the 7-point stencil *structure* (no values yet).
+fn generate_matrix_structure(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    n: usize,
+) -> Sparse {
+    let _p = ctx.rt.enter(funcs.id(F_GEN));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_GEN]);
+    let nrows = n * n * n;
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    let mut col = Vec::new();
+    rowptr.push(0u32);
+    for z in 0..n {
+        for y in 0..n {
+            for x in 0..n {
+                let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_GEN]);
+                let mut push = |xx: isize, yy: isize, zz: isize| {
+                    if xx >= 0
+                        && yy >= 0
+                        && zz >= 0
+                        && (xx as usize) < n
+                        && (yy as usize) < n
+                        && (zz as usize) < n
+                    {
+                        col.push(Sparse::idx(n, xx as usize, yy as usize, zz as usize) as u32);
+                    }
+                };
+                let (xi, yi, zi) = (x as isize, y as isize, z as isize);
+                push(xi, yi, zi);
+                push(xi - 1, yi, zi);
+                push(xi + 1, yi, zi);
+                push(xi, yi - 1, zi);
+                push(xi, yi + 1, zi);
+                push(xi, yi, zi - 1);
+                push(xi, yi, zi + 1);
+                rowptr.push(col.len() as u32);
+                ctx.advance(NS_PER_GEN_ROW);
+            }
+        }
+    }
+    let val = vec![0.0; col.len()];
+    Sparse { n, rowptr, col, val }
+}
+
+/// Zero-fill the matrix values (MiniFE's init kernel touches every nnz).
+fn init_matrix(ctx: &RankContext, funcs: &Funcs, plan: &crate::plan::ResolvedPlan, m: &mut Sparse) {
+    let _p = ctx.rt.enter(funcs.id(F_INIT));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_INIT]);
+    let nnz = m.val.len();
+    let chunk = 512;
+    let mut k = 0;
+    while k < nnz {
+        let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_INIT]);
+        let end = (k + chunk).min(nnz);
+        for v in &mut m.val[k..end] {
+            *v = 0.0;
+        }
+        ctx.advance((end - k) as u64 * NS_PER_INIT_NNZ);
+        k = end;
+    }
+}
+
+/// Per-element stiffness contribution, summed symmetrically into the
+/// global matrix (keeps it diagonally dominant, hence SPD, before the
+/// Dirichlet correction).
+fn sum_in_symm_elem_matrix(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    m: &mut Sparse,
+    nodes: &[usize],
+) {
+    let _p = ctx.rt.enter(funcs.id(F_SUM));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_SUM]);
+    for (a, &ra) in nodes.iter().enumerate() {
+        m.add_at(ra, ra, 1.0);
+        for &rb in nodes.iter().skip(a + 1) {
+            m.add_at(ra, rb, -1.0 / 8.0);
+            m.add_at(rb, ra, -1.0 / 8.0);
+        }
+    }
+    ctx.advance(NS_PER_ELEMENT);
+}
+
+/// The assembly driver: iterate all elements, summing each element
+/// matrix (the paper's call-graph pair with `sum_in_symm_elem_matrix`).
+fn perform_element_loop(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    m: &mut Sparse,
+) {
+    let _p = ctx.rt.enter(funcs.id(F_ELEM_LOOP));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_ELEM_LOOP]);
+    let n = m.n;
+    for z in 0..n - 1 {
+        for y in 0..n - 1 {
+            for x in 0..n - 1 {
+                let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_ELEM_LOOP]);
+                // Axis-edge corners of the hex restricted to the 7-point
+                // structure.
+                let nodes = [
+                    Sparse::idx(n, x, y, z),
+                    Sparse::idx(n, x + 1, y, z),
+                    Sparse::idx(n, x, y + 1, z),
+                    Sparse::idx(n, x, y, z + 1),
+                ];
+                sum_in_symm_elem_matrix(ctx, funcs, plan, m, &nodes);
+            }
+        }
+    }
+}
+
+/// Pin boundary nodes to identity rows (Dirichlet conditions).
+fn impose_dirichlet(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    m: &mut Sparse,
+    b: &mut [f64],
+) {
+    let _p = ctx.rt.enter(funcs.id(F_DIRICHLET));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_DIRICHLET]);
+    let n = m.n;
+    for z in 0..n {
+        for y in 0..n {
+            for x in 0..n {
+                if x == 0 || y == 0 || z == 0 || x == n - 1 || y == n - 1 || z == n - 1 {
+                    let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_DIRICHLET]);
+                    let r = Sparse::idx(n, x, y, z);
+                    for k in m.rowptr[r] as usize..m.rowptr[r + 1] as usize {
+                        m.val[k] = if m.col[k] as usize == r { 1.0 } else { 0.0 };
+                    }
+                    b[r] = 0.0;
+                    ctx.advance(NS_PER_BOUNDARY_NODE);
+                }
+            }
+        }
+    }
+}
+
+/// Build the "local" operator view (MiniFE's communication setup step);
+/// returns the global count of off-rank columns.
+fn make_local_matrix(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    m: &Sparse,
+    comm: &Comm,
+) -> u64 {
+    let _p = ctx.rt.enter(funcs.id(F_LOCAL));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_LOCAL]);
+    let mut external_cols = 0u64;
+    let rows = m.nrows();
+    let per_rank = rows / comm.size();
+    let lo = comm.rank() * per_rank;
+    let hi = if comm.rank() == comm.size() - 1 { rows } else { lo + per_rank };
+    for r in lo..hi {
+        let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_LOCAL]);
+        for k in m.rowptr[r] as usize..m.rowptr[r + 1] as usize {
+            let c = m.col[k] as usize;
+            if c < lo || c >= hi {
+                external_cols += 1;
+            }
+        }
+        if r % 8 == 0 {
+            ctx.advance(8 * NS_PER_LOCAL_ROW);
+        }
+    }
+    comm.allreduce_sum_u64(external_cols)
+}
+
+/// Conjugate-gradient solve; returns the final residual norm.
+fn cg_solve(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    m: &Sparse,
+    b: &[f64],
+    iters: usize,
+    comm: &Comm,
+) -> f64 {
+    let _p = ctx.rt.enter(funcs.id(F_CG));
+    let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_CG]);
+    let nrows = m.nrows();
+    let mut x = vec![0.0; nrows];
+    let mut r: Vec<f64> = b.to_vec();
+    let mut p = r.clone();
+    let mut ap = vec![0.0; nrows];
+    let dot = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(u, v)| u * v).sum() };
+    // Every rank holds the full small system; the allreduce mirrors
+    // MiniFE's distributed dot products (values are identical per rank,
+    // so divide the sum back out).
+    let mut rsold = comm.allreduce_sum(dot(&r, &r)) / comm.size() as f64;
+    for _ in 0..iters {
+        // MiniFE runs a fixed iteration count; only a perfectly solved
+        // system stops early (keeps heartbeat counts deterministic).
+        if rsold == 0.0 {
+            break;
+        }
+        let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_CG]);
+        m.spmv(&p, &mut ap);
+        let denom = comm.allreduce_sum(dot(&p, &ap)) / comm.size() as f64;
+        let alpha = if denom.abs() > 0.0 { rsold / denom } else { 0.0 };
+        for i in 0..nrows {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rsnew = comm.allreduce_sum(dot(&r, &r)) / comm.size() as f64;
+        let beta = rsnew / rsold;
+        for i in 0..nrows {
+            p[i] = r[i] + beta * p[i];
+        }
+        rsold = rsnew;
+        ctx.advance(NS_PER_CG_ITER);
+    }
+    rsold.sqrt()
+}
+
+/// Run MiniFE; `result_check` is the final CG residual norm.
+pub fn run(cfg: &MiniFeConfig, mode: RunMode, plan: &HeartbeatPlan) -> AppOutput {
+    if matches!(mode, RunMode::Virtual { .. }) {
+        assert_eq!(cfg.procs, 1, "virtual mode requires a single rank for determinism");
+    }
+    let results = World::run(cfg.procs, |comm| {
+        let ctx = RankContext::new(mode);
+        let funcs = Funcs::register(&ctx.rt, &FUNC_NAMES);
+        let resolved = plan.resolve(&ctx.ekg);
+
+        let mut m = generate_matrix_structure(&ctx, &funcs, &resolved, cfg.n);
+        init_matrix(&ctx, &funcs, &resolved, &mut m);
+        perform_element_loop(&ctx, &funcs, &resolved, &mut m);
+        let mut b = vec![1.0; m.nrows()];
+        impose_dirichlet(&ctx, &funcs, &resolved, &mut m, &mut b);
+        let _externals = make_local_matrix(&ctx, &funcs, &resolved, &m, &comm);
+        let residual = cg_solve(&ctx, &funcs, &resolved, &m, &b, cfg.cg_iters, &comm);
+
+        let final_profile = ctx.rt.snapshot(0).flat;
+        let data = (comm.rank() == 0).then(|| ctx.finish());
+        (data, residual, final_profile)
+    });
+    assemble_output(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{discovered_site_names, discovered_sites};
+    use incprof_core::PhaseDetector;
+
+    fn tiny_run() -> AppOutput {
+        run(&MiniFeConfig::tiny(), RunMode::virtual_1s(), &HeartbeatPlan::none())
+    }
+
+    #[test]
+    fn cg_converges_on_tiny_mesh() {
+        let out = run(
+            &MiniFeConfig { n: 8, cg_iters: 300, procs: 1 },
+            RunMode::virtual_1s(),
+            &HeartbeatPlan::none(),
+        );
+        assert!(out.result_check < 1e-6, "residual {} too large", out.result_check);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = tiny_run();
+        let b = tiny_run();
+        assert_eq!(a.rank0.series.len(), b.rank0.series.len());
+        assert_eq!(a.rank0.series.last().unwrap().flat, b.rank0.series.last().unwrap().flat);
+        assert_eq!(a.result_check, b.result_check);
+    }
+
+    #[test]
+    fn profile_contains_all_kernels() {
+        let out = tiny_run();
+        let last = out.rank0.series.last().unwrap();
+        for name in FUNC_NAMES {
+            let id = out.rank0.table.id_of(name).unwrap();
+            let s = last.flat.get(id);
+            assert!(s.self_time > 0 || s.calls > 0, "{name} missing");
+        }
+    }
+
+    #[test]
+    fn cg_dominates_profile() {
+        let out = tiny_run();
+        let last = out.rank0.series.last().unwrap();
+        let cg = out.rank0.table.id_of("cg_solve").unwrap();
+        let frac = last.flat.get(cg).self_time as f64 / last.flat.total_self_time() as f64;
+        assert!(frac > 0.35, "cg fraction {frac}");
+    }
+
+    #[test]
+    fn element_loop_delegates_to_sum_kernel() {
+        let out = tiny_run();
+        let last = out.rank0.series.last().unwrap();
+        let driver = out.rank0.table.id_of("perform_element_loop").unwrap();
+        let kernel = out.rank0.table.id_of("sum_in_symm_elem_matrix").unwrap();
+        let arcs = last.callgraph.get(driver, kernel);
+        let n = MiniFeConfig::tiny().n as u64;
+        assert_eq!(arcs.count, (n - 1).pow(3), "one kernel call per element");
+        assert!(last.flat.get(driver).child_time > 0);
+    }
+
+    #[test]
+    fn phase_analysis_recovers_paper_shape() {
+        let out = run(
+            &MiniFeConfig { n: 14, cg_iters: 60, procs: 1 },
+            RunMode::virtual_1s(),
+            &HeartbeatPlan::none(),
+        );
+        let analysis = PhaseDetector::new().detect_series(&out.rank0.series).unwrap();
+        assert!((3..=6).contains(&analysis.k), "got k = {}", analysis.k);
+        let names = discovered_site_names(&analysis, &out.rank0.table);
+        assert!(names.contains("cg_solve"), "{names:?}");
+        assert!(
+            names.contains("sum_in_symm_elem_matrix") || names.contains("perform_element_loop"),
+            "{names:?}"
+        );
+        assert!(names.contains("init_matrix") || names.contains("impose_dirichlet"), "{names:?}");
+        // cg_solve must be a loop site (paper Table III).
+        let sites = discovered_sites(&analysis, &out.rank0.table);
+        assert!(
+            sites.contains(&("cg_solve".to_string(), InstrumentationType::Loop)),
+            "{sites:?}"
+        );
+        // Dominant site by app% is cg_solve.
+        let dominant = analysis
+            .phases
+            .iter()
+            .flat_map(|p| &p.sites)
+            .max_by(|a, b| a.app_pct.partial_cmp(&b.app_pct).unwrap())
+            .unwrap();
+        assert_eq!(out.rank0.table.name(dominant.function), "cg_solve");
+    }
+
+    #[test]
+    fn manual_heartbeats_beat_once_per_cg_iteration() {
+        let plan = HeartbeatPlan::from_manual(&manual_sites());
+        let cfg = MiniFeConfig::tiny();
+        let out = run(&cfg, RunMode::virtual_1s(), &plan);
+        let idx = out
+            .rank0
+            .hb_names
+            .iter()
+            .position(|n| n == "cg_solve[loop]")
+            .expect("cg loop heartbeat registered") as u32;
+        let total: u64 =
+            out.rank0.hb_records.iter().map(|r| r.count(appekg::HeartbeatId(idx))).sum();
+        assert_eq!(total, cfg.cg_iters as u64);
+    }
+
+    #[test]
+    fn multirank_wall_run_works() {
+        let out = run(
+            &MiniFeConfig { n: 6, cg_iters: 10, procs: 4 },
+            RunMode::Wall { interval_ns: 50_000_000, profile: true },
+            &HeartbeatPlan::none(),
+        );
+        assert!(out.result_check.is_finite());
+        assert!(out.rank0.series.last().is_some());
+    }
+}

@@ -1,0 +1,273 @@
+//! Declarative synthetic workloads with planted phase ground truth.
+//!
+//! The paper evaluates phase detection qualitatively; to evaluate it
+//! *quantitatively* we need runs whose true phase structure is known.
+//! A [`PhaseScript`] declares phases — how many intervals each spans and
+//! which functions are active with what time share and call rate — and
+//! [`run_script`] executes it against the real profiling stack (virtual
+//! clock, real collector), returning both the collected data and the
+//! ground-truth interval assignment. The accuracy harness
+//! (`incprof-bench --bin accuracy`) scores detected partitions against
+//! the plant with the adjusted Rand index.
+
+use crate::harness::{RankContext, RankData, RunMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One function's behavior within a phase.
+#[derive(Debug, Clone)]
+pub struct FunctionLoad {
+    /// Function name (shared across phases by name).
+    pub name: String,
+    /// Fraction of each interval spent in this function.
+    pub share: f64,
+    /// Completed calls per interval. `0` marks the phase's long-lived
+    /// driver: it is entered once at phase start (so later intervals see
+    /// activity with zero calls — loop semantics). At most one such
+    /// function per phase, and it must be listed first.
+    pub calls_per_interval: u64,
+}
+
+impl FunctionLoad {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, share: f64, calls_per_interval: u64) -> FunctionLoad {
+        FunctionLoad { name: name.into(), share, calls_per_interval }
+    }
+}
+
+/// One planted phase.
+#[derive(Debug, Clone)]
+pub struct PhaseSpec {
+    /// Intervals this phase spans.
+    pub intervals: u64,
+    /// Active functions. Shares are normalized per interval.
+    pub functions: Vec<FunctionLoad>,
+}
+
+/// A whole planted run.
+#[derive(Debug, Clone)]
+pub struct PhaseScript {
+    /// The phases, in execution order.
+    pub phases: Vec<PhaseSpec>,
+    /// Relative per-interval share jitter (0.0 = exact).
+    pub jitter: f64,
+    /// RNG seed for the jitter.
+    pub seed: u64,
+}
+
+impl PhaseScript {
+    /// Total planted intervals.
+    pub fn total_intervals(&self) -> u64 {
+        self.phases.iter().map(|p| p.intervals).sum()
+    }
+
+    /// The ground-truth assignment: phase index per interval.
+    pub fn truth(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.total_intervals() as usize);
+        for (i, p) in self.phases.iter().enumerate() {
+            out.extend(std::iter::repeat_n(i, p.intervals as usize));
+        }
+        out
+    }
+
+    /// Generate a random-but-well-formed script: `n_phases` phases of
+    /// 5–20 intervals, each dominated by its own function with 0–2
+    /// shared background functions.
+    pub fn random(n_phases: usize, seed: u64) -> PhaseScript {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phases = (0..n_phases)
+            .map(|p| {
+                let mut functions = vec![FunctionLoad::new(
+                    format!("phase_kernel_{p}"),
+                    0.7 + rng.gen::<f64>() * 0.25,
+                    if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..50) },
+                )];
+                for b in 0..rng.gen_range(0..3usize) {
+                    functions.push(FunctionLoad::new(
+                        format!("background_{b}"),
+                        0.02 + rng.gen::<f64>() * 0.1,
+                        rng.gen_range(1..200),
+                    ));
+                }
+                PhaseSpec { intervals: rng.gen_range(5..21), functions }
+            })
+            .collect();
+        PhaseScript { phases, jitter: 0.03, seed: seed ^ 0xD1CE }
+    }
+}
+
+/// The executed script: collected rank data plus the planted truth.
+#[derive(Debug, Clone)]
+pub struct SynthRun {
+    /// Profile series, function table, heartbeat records.
+    pub data: RankData,
+    /// Ground-truth phase per interval.
+    pub truth: Vec<usize>,
+}
+
+/// Execute a script on the real profiling stack (virtual time).
+///
+/// # Panics
+/// Panics if a phase has a zero-call function that is not listed first,
+/// or more than one of them, or non-positive shares.
+pub fn run_script(script: &PhaseScript, interval_ns: u64) -> SynthRun {
+    let ctx = RankContext::new(RunMode::Virtual { interval_ns });
+    let mut rng = StdRng::seed_from_u64(script.seed);
+
+    for phase in &script.phases {
+        for (i, f) in phase.functions.iter().enumerate() {
+            assert!(f.share > 0.0, "share must be positive");
+            if f.calls_per_interval == 0 {
+                assert_eq!(i, 0, "the long-lived driver must be listed first");
+            }
+        }
+        let driver = phase
+            .functions
+            .first()
+            .filter(|f| f.calls_per_interval == 0)
+            .map(|f| ctx.rt.register_function(f.name.clone()));
+        // Enter the long-lived driver once for the whole phase.
+        let driver_guard = driver.map(|id| ctx.rt.enter(id));
+
+        for _ in 0..phase.intervals {
+            // Jittered shares, normalized so every interval sums to 1.
+            let shares: Vec<f64> = phase
+                .functions
+                .iter()
+                .map(|f| {
+                    let j = 1.0 + script.jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+                    f.share * j
+                })
+                .collect();
+            let total: f64 = shares.iter().sum();
+            let mut consumed = 0u64;
+            for (f, share) in phase.functions.iter().zip(&shares) {
+                let budget = (share / total * interval_ns as f64) as u64;
+                if f.calls_per_interval == 0 {
+                    // Driver self time: we are already inside its frame.
+                    ctx.advance(budget);
+                    consumed += budget;
+                } else {
+                    let id = ctx.rt.register_function(f.name.clone());
+                    let per_call = budget.checked_div(f.calls_per_interval).unwrap_or(0).max(1);
+                    for _ in 0..f.calls_per_interval {
+                        let _g = ctx.rt.enter(id);
+                        ctx.advance(per_call);
+                    }
+                    consumed += per_call * f.calls_per_interval;
+                }
+            }
+            // Pad rounding residue so every interval lands exactly on
+            // its boundary (charged to the driver frame if one is open,
+            // otherwise to unprofiled "other" time, as in a real app).
+            ctx.advance(interval_ns.saturating_sub(consumed));
+        }
+        drop(driver_guard);
+    }
+
+    SynthRun { data: ctx.finish(), truth: script.truth() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incprof_cluster::adjusted_rand_index;
+    use incprof_core::PhaseDetector;
+
+    fn three_phase_script() -> PhaseScript {
+        PhaseScript {
+            phases: vec![
+                PhaseSpec {
+                    intervals: 10,
+                    functions: vec![FunctionLoad::new("init", 1.0, 20)],
+                },
+                PhaseSpec {
+                    intervals: 15,
+                    functions: vec![
+                        FunctionLoad::new("solve", 0.9, 0),
+                        FunctionLoad::new("comm", 0.1, 100),
+                    ],
+                },
+                PhaseSpec {
+                    intervals: 5,
+                    functions: vec![FunctionLoad::new("output", 1.0, 3)],
+                },
+            ],
+            jitter: 0.02,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn truth_matches_script_layout() {
+        let s = three_phase_script();
+        assert_eq!(s.total_intervals(), 30);
+        let t = s.truth();
+        assert_eq!(t.len(), 30);
+        assert_eq!(t[0], 0);
+        assert_eq!(t[10], 1);
+        assert_eq!(t[29], 2);
+    }
+
+    #[test]
+    fn detection_recovers_planted_truth() {
+        let s = three_phase_script();
+        let run = run_script(&s, 1_000_000_000);
+        // One sample per interval plus the final stop sample.
+        assert_eq!(run.data.series.len() as u64, s.total_intervals() + 1);
+        let analysis = PhaseDetector::new().detect_series(&run.data.series).unwrap();
+        // The final stop sample is an extra (usually empty) interval;
+        // score only the planted prefix.
+        let detected = &analysis.assignments[..run.truth.len()];
+        let ari = adjusted_rand_index(detected, &run.truth);
+        assert!(ari > 0.9, "ARI {ari}");
+        assert_eq!(analysis.k, 3);
+    }
+
+    #[test]
+    fn long_lived_driver_gets_loop_site() {
+        use incprof_core::types::InstrumentationType;
+        let s = three_phase_script();
+        let run = run_script(&s, 1_000_000_000);
+        let analysis = PhaseDetector::new().detect_series(&run.data.series).unwrap();
+        let solve = run.data.table.id_of("solve").unwrap();
+        let site = analysis
+            .phases
+            .iter()
+            .flat_map(|p| &p.sites)
+            .find(|st| st.function == solve)
+            .expect("solve selected");
+        assert_eq!(site.inst_type, InstrumentationType::Loop);
+    }
+
+    #[test]
+    fn random_scripts_are_reproducible_and_valid() {
+        let a = PhaseScript::random(4, 99);
+        let b = PhaseScript::random(4, 99);
+        assert_eq!(a.total_intervals(), b.total_intervals());
+        assert_eq!(a.phases.len(), 4);
+        let run_a = run_script(&a, 1_000_000_000);
+        let run_b = run_script(&b, 1_000_000_000);
+        assert_eq!(
+            run_a.data.series.last().unwrap().flat,
+            run_b.data.series.last().unwrap().flat
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "listed first")]
+    fn misplaced_driver_panics() {
+        let s = PhaseScript {
+            phases: vec![PhaseSpec {
+                intervals: 2,
+                functions: vec![
+                    FunctionLoad::new("a", 0.5, 1),
+                    FunctionLoad::new("b", 0.5, 0),
+                ],
+            }],
+            jitter: 0.0,
+            seed: 0,
+        };
+        let _ = run_script(&s, 1_000_000_000);
+    }
+}

@@ -1,0 +1,80 @@
+//! Per-application iteration cost, instrumented vs uninstrumented — the
+//! Criterion-grade counterpart of Table I's overhead columns.
+//!
+//! Each benchmark runs one tiny wall-clock pass of an app with the
+//! profiler (a) disabled and (b) enabled with a collector; the ratio of
+//! the two medians is the IncProf overhead at micro scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpc_apps::harness::RunMode;
+use hpc_apps::plan::HeartbeatPlan;
+use hpc_apps::{gadget2, lammps, miniamr, minife};
+use std::hint::black_box;
+
+const WALL: fn(bool) -> RunMode =
+    |profile| RunMode::Wall { interval_ns: 10_000_000, profile };
+
+fn bench_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apps");
+    g.sample_size(10);
+
+    for profile in [false, true] {
+        let label = if profile { "profiled" } else { "baseline" };
+        g.bench_with_input(BenchmarkId::new("minife_n8", label), &profile, |b, &p| {
+            b.iter(|| {
+                black_box(minife::run(
+                    &minife::MiniFeConfig { n: 8, cg_iters: 30, procs: 1 },
+                    WALL(p),
+                    &HeartbeatPlan::none(),
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("miniamr_b2", label), &profile, |b, &p| {
+            b.iter(|| {
+                black_box(miniamr::run(
+                    &miniamr::MiniAmrConfig {
+                        blocks_per_side: 2,
+                        steps: 12,
+                        comm_burst_every: 6,
+                        adapt_at_step: 6,
+                        procs: 1,
+                    },
+                    WALL(p),
+                    &HeartbeatPlan::none(),
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("lammps_a6", label), &profile, |b, &p| {
+            b.iter(|| {
+                black_box(lammps::run(
+                    &lammps::LammpsConfig {
+                        atoms_per_side: 6,
+                        steps: 10,
+                        rebuild_every: 5,
+                        ..Default::default()
+                    },
+                    WALL(p),
+                    &HeartbeatPlan::none(),
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("gadget2_n256", label), &profile, |b, &p| {
+            b.iter(|| {
+                black_box(gadget2::run(
+                    &gadget2::Gadget2Config {
+                        particles: 256,
+                        steps: 6,
+                        pm_grid: 8,
+                        ..Default::default()
+                    },
+                    WALL(p),
+                    &HeartbeatPlan::none(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

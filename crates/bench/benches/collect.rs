@@ -1,0 +1,77 @@
+//! Collection-path costs: delta computation, interval-matrix assembly,
+//! gmon encode/decode, and the gprof text-report round trip — the data
+//! reduction half of the paper's Fig. 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incprof_collect::report_path::{intervals_via_reports, render_reports};
+use incprof_collect::{IntervalMatrix, SampleSeries};
+use incprof_profile::{FlatProfile, FunctionId, FunctionTable, ProfileSnapshot};
+use std::hint::black_box;
+
+/// A synthetic cumulative series: `n` samples over `d` functions.
+fn series(n: usize, d: usize) -> (SampleSeries, FunctionTable) {
+    let mut table = FunctionTable::new();
+    for j in 0..d {
+        table.register(format!("function_{j}"));
+    }
+    let mut out = SampleSeries::new();
+    let mut flat = FlatProfile::new();
+    for i in 0..n {
+        for j in 0..d {
+            if (i + j) % 3 != 0 {
+                flat.record_self_time(FunctionId(j as u32), 10_000_000 + (j as u64) * 100);
+                flat.record_calls(FunctionId(j as u32), 1 + (j as u64 % 5));
+            }
+        }
+        out.push(ProfileSnapshot {
+            sample_index: i as u64,
+            timestamp_ns: i as u64 * 1_000_000_000,
+            flat: flat.clone(),
+            callgraph: Default::default(),
+        });
+    }
+    (out, table)
+}
+
+fn bench_deltas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collect");
+    for n in [50usize, 200, 600] {
+        let (s, _) = series(n, 32);
+        g.bench_with_input(BenchmarkId::new("interval_profiles", n), &s, |b, s| {
+            b.iter(|| black_box(s.interval_profiles().unwrap()))
+        });
+    }
+    let (s, _) = series(200, 32);
+    let intervals = s.interval_profiles().unwrap();
+    g.bench_function("interval_matrix_200x32", |b| {
+        b.iter(|| black_box(IntervalMatrix::from_interval_profiles(&intervals)))
+    });
+    g.finish();
+}
+
+fn bench_gmon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gmon");
+    let (s, table) = series(1, 256);
+    let gmon = s.snapshots()[0].to_gmon(&table);
+    let bytes = gmon.encode();
+    g.bench_function("encode_256fns", |b| b.iter(|| black_box(gmon.encode())));
+    g.bench_function("decode_256fns", |b| {
+        b.iter(|| black_box(incprof_profile::GmonData::decode(&bytes).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_report_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("report_path");
+    let (s, table) = series(60, 32);
+    g.bench_function("render_reports_60x32", |b| {
+        b.iter(|| black_box(render_reports(&s, &table)))
+    });
+    g.bench_function("full_roundtrip_60x32", |b| {
+        b.iter(|| black_box(intervals_via_reports(&s, &table).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_deltas, bench_gmon, bench_report_path);
+criterion_main!(benches);

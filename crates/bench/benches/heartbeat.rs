@@ -1,0 +1,63 @@
+//! AppEKG micro-costs: the begin/end pair, disabled-path cost, and
+//! interval flush — the mechanics behind Table I's heartbeat overhead
+//! column ("heartbeats can be utilized in production with very little
+//! overhead", §III).
+
+use appekg::AppEkg;
+use criterion::{criterion_group, criterion_main, Criterion};
+use incprof_runtime::Clock;
+use std::hint::black_box;
+
+fn bench_begin_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heartbeat");
+
+    let ekg = AppEkg::new(Clock::wall(), 1_000_000_000);
+    let hb = ekg.register_heartbeat("bench");
+    g.bench_function("begin_end_pair", |b| {
+        b.iter(|| {
+            ekg.begin(black_box(hb));
+            ekg.end(black_box(hb));
+        })
+    });
+
+    let disabled = AppEkg::new(Clock::wall(), 1_000_000_000);
+    let hb2 = disabled.register_heartbeat("bench");
+    disabled.set_enabled(false);
+    g.bench_function("begin_end_pair_disabled", |b| {
+        b.iter(|| {
+            disabled.begin(black_box(hb2));
+            disabled.end(black_box(hb2));
+        })
+    });
+
+    g.bench_function("scope_guard", |b| {
+        b.iter(|| {
+            let _g = ekg.scope(black_box(hb));
+        })
+    });
+
+    // Flush cost with a populated interval map.
+    g.bench_function("drain_completed_100_intervals", |b| {
+        b.iter_with_setup(
+            || {
+                let clock = Clock::virtual_clock();
+                let ekg = AppEkg::new(clock.clone(), 1_000);
+                let hb = ekg.register_heartbeat("x");
+                for _ in 0..100 {
+                    ekg.begin(hb);
+                    clock.advance(500);
+                    ekg.end(hb);
+                    clock.advance(600);
+                }
+                clock.advance(10_000);
+                ekg
+            },
+            |ekg| black_box(ekg.drain_completed()),
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_begin_end);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! End-to-end phase-detection latency: interval matrix → k-sweep →
+//! Algorithm 1, as a function of run length (interval count), plus the
+//! DBSCAN variant for the clustering ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incprof_cluster::DbscanParams;
+use incprof_collect::IntervalMatrix;
+use incprof_core::{ClusteringMethod, PhaseDetector};
+use incprof_profile::{FlatProfile, FunctionId, FunctionStats};
+use std::hint::black_box;
+
+/// `n` interval profiles over `d` functions in 4 planted phases.
+fn intervals(n: usize, d: usize) -> Vec<FlatProfile> {
+    (0..n)
+        .map(|i| {
+            let phase = (i * 4) / n;
+            let mut p = FlatProfile::new();
+            for j in 0..d {
+                if j % 4 == phase {
+                    p.set(
+                        FunctionId(j as u32),
+                        FunctionStats {
+                            self_time: 900_000_000 + (i as u64 % 7) * 1_000_000,
+                            calls: (j as u64 % 9) + 1,
+                            child_time: 0,
+                        },
+                    );
+                }
+            }
+            p
+        })
+        .collect()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    for n in [60usize, 200, 600] {
+        let matrix = IntervalMatrix::from_interval_profiles(&intervals(n, 24));
+        g.bench_with_input(BenchmarkId::new("kmeans_elbow", n), &matrix, |b, m| {
+            b.iter(|| black_box(PhaseDetector::new().detect(m).unwrap()))
+        });
+        let dbscan_det = PhaseDetector {
+            clustering: ClusteringMethod::Dbscan(DbscanParams { eps: 0.3, min_points: 3 }),
+            ..PhaseDetector::default()
+        };
+        g.bench_with_input(BenchmarkId::new("dbscan", n), &matrix, |b, m| {
+            b.iter(|| black_box(dbscan_det.detect(m).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

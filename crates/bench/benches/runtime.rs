@@ -1,0 +1,61 @@
+//! Profiler-runtime micro-costs: the enter/exit guard (the `-pg`
+//! analogue whose price bounds IncProf's ≤10% overhead), the disabled
+//! path (the "uninstrumented" baseline), and snapshotting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incprof_runtime::{Clock, ProfilerRuntime};
+use std::hint::black_box;
+
+fn bench_guards(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime");
+
+    let rt = ProfilerRuntime::new();
+    let f = rt.register_function("hot");
+    g.bench_function("enter_exit", |b| {
+        b.iter(|| {
+            let _g = rt.enter(black_box(f));
+        })
+    });
+
+    let disabled = ProfilerRuntime::new();
+    let f2 = disabled.register_function("hot");
+    disabled.set_enabled(false);
+    g.bench_function("enter_exit_disabled", |b| {
+        b.iter(|| {
+            let _g = disabled.enter(black_box(f2));
+        })
+    });
+
+    // Nested scopes (caller attribution path).
+    let a = rt.register_function("outer");
+    g.bench_function("nested_enter_exit", |b| {
+        b.iter(|| {
+            let _ga = rt.enter(black_box(a));
+            let _gb = rt.enter(black_box(f));
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot");
+    for n_functions in [16usize, 128, 1024] {
+        let clock = Clock::virtual_clock();
+        let rt = ProfilerRuntime::with_clock(clock.clone());
+        for i in 0..n_functions {
+            let f = rt.register_function(format!("fn_{i}"));
+            let _g = rt.enter(f);
+            clock.advance(1000);
+        }
+        g.bench_with_input(
+            BenchmarkId::new("functions", n_functions),
+            &rt,
+            |b, rt| b.iter(|| black_box(rt.snapshot(0))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_guards, bench_snapshot);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation: clustering algorithm and k-selection criterion.
+//!
+//! The paper's §V-A reports that DBSCAN gave "no improvements" over
+//! k-means and that both elbow and silhouette were evaluated for k
+//! selection. This binary runs all three configurations on every app and
+//! prints the detected k, site count, and site names side by side.
+
+use hpc_apps::plan::{discovered_site_names, HeartbeatPlan};
+use incprof_bench::apps::{Size, ALL_APPS};
+use incprof_bench::paper::paper_phase_count;
+use incprof_cluster::{DbscanParams, KSelectionMethod};
+use incprof_core::{ClusteringMethod, PhaseDetector};
+
+fn main() {
+    let size = Size::from_env();
+    println!(
+        "{:<9} {:>14} {:>2} {:>6}  sites",
+        "app", "method", "k", "paper"
+    );
+    for app in ALL_APPS {
+        let out = app.run_virtual(size, &HeartbeatPlan::none());
+        let configs: [(&str, PhaseDetector); 3] = [
+            ("kmeans+elbow", PhaseDetector::default()),
+            (
+                "kmeans+silh",
+                PhaseDetector {
+                    clustering: ClusteringMethod::KMeans {
+                        k_max: 8,
+                        selection: KSelectionMethod::Silhouette,
+                    },
+                    ..PhaseDetector::default()
+                },
+            ),
+            (
+                "dbscan",
+                PhaseDetector {
+                    // eps relative to a 1-second interval: intervals
+                    // whose profiles differ by <0.35 s (Euclidean) chain
+                    // together.
+                    clustering: ClusteringMethod::Dbscan(DbscanParams {
+                        eps: 0.35,
+                        min_points: 3,
+                    }),
+                    ..PhaseDetector::default()
+                },
+            ),
+        ];
+        for (label, det) in configs {
+            match det.detect_series(&out.rank0.series) {
+                Ok(analysis) => {
+                    let names = discovered_site_names(&analysis, &out.rank0.table);
+                    println!(
+                        "{:<9} {:>14} {:>2} {:>6}  {}",
+                        app.name(),
+                        label,
+                        analysis.k,
+                        paper_phase_count(app),
+                        names.into_iter().collect::<Vec<_>>().join(", ")
+                    );
+                }
+                Err(e) => println!("{:<9} {:>14} failed: {e}", app.name(), label),
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Ablation: clustering feature sets.
+//!
+//! The paper clusters on self time alone: "We have experimented with
+//! including or using other profiling data (number of calls, execution
+//! time of children, etc.) but have not found these to improve the
+//! results, and sometimes to worsen them" (§V-A). This binary compares
+//! the three feature sets per app.
+
+use hpc_apps::plan::{discovered_site_names, HeartbeatPlan};
+use incprof_bench::apps::{Size, ALL_APPS};
+use incprof_bench::paper::paper_phase_count;
+use incprof_core::{FeatureSet, PhaseDetector};
+
+fn main() {
+    let size = Size::from_env();
+    println!("{:<9} {:>22} {:>2} {:>6}  sites", "app", "features", "k", "paper");
+    for app in ALL_APPS {
+        let out = app.run_virtual(size, &HeartbeatPlan::none());
+        for (label, features) in [
+            ("self-time (paper)", FeatureSet::SelfTime),
+            ("self-time + calls", FeatureSet::SelfTimeAndCalls),
+            ("self-time + child", FeatureSet::SelfTimeAndChildTime),
+        ] {
+            let det = PhaseDetector { features, ..PhaseDetector::default() };
+            match det.detect_series(&out.rank0.series) {
+                Ok(analysis) => {
+                    let names = discovered_site_names(&analysis, &out.rank0.table);
+                    println!(
+                        "{:<9} {:>22} {:>2} {:>6}  {}",
+                        app.name(),
+                        label,
+                        analysis.k,
+                        paper_phase_count(app),
+                        names.into_iter().collect::<Vec<_>>().join(", ")
+                    );
+                }
+                Err(e) => println!("{:<9} {:>22} failed: {e}", app.name(), label),
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Ablation: sampling-interval sensitivity.
+//!
+//! Gadget2's fast sub-second timestep functions defeat the paper's
+//! 1-second interval analysis (§VI-E: "this points to a need for an
+//! alternative analysis scheme for applications with fast phases").
+//! This binary re-runs each app with finer and coarser intervals and
+//! reports how the detected phase structure shifts.
+
+use hpc_apps::harness::RunMode;
+use hpc_apps::plan::{discovered_site_names, HeartbeatPlan};
+use hpc_apps::{gadget2, graph500, lammps, miniamr, minife};
+use incprof_bench::apps::App;
+use incprof_core::PhaseDetector;
+
+fn run_with_interval(app: App, interval_ns: u64) -> hpc_apps::AppOutput {
+    let mode = RunMode::Virtual { interval_ns };
+    let plan = HeartbeatPlan::none();
+    match app {
+        App::Graph500 => graph500::run(
+            &graph500::Graph500Config { scale: 12, edge_factor: 16, num_roots: 20, ..Default::default() },
+            mode,
+            &plan,
+        ),
+        App::MiniFe => {
+            minife::run(&minife::MiniFeConfig { n: 14, cg_iters: 60, procs: 1 }, mode, &plan)
+        }
+        App::MiniAmr => miniamr::run(
+            &miniamr::MiniAmrConfig {
+                blocks_per_side: 3,
+                steps: 150,
+                comm_burst_every: 25,
+                adapt_at_step: 75,
+                procs: 1,
+            },
+            mode,
+            &plan,
+        ),
+        App::Lammps => lammps::run(
+            &lammps::LammpsConfig { atoms_per_side: 9, steps: 60, rebuild_every: 8, ..Default::default() },
+            mode,
+            &plan,
+        ),
+        App::Gadget2 => gadget2::run(
+            &gadget2::Gadget2Config { particles: 700, steps: 40, pm_grid: 24, ..Default::default() },
+            mode,
+            &plan,
+        ),
+    }
+}
+
+fn main() {
+    println!("{:<9} {:>9} {:>10} {:>2}  sites", "app", "interval", "intervals", "k");
+    for app in incprof_bench::ALL_APPS {
+        for (label, interval_ns) in [
+            ("0.25s", 250_000_000u64),
+            ("0.5s", 500_000_000),
+            ("1s", 1_000_000_000),
+            ("2s", 2_000_000_000),
+            ("4s", 4_000_000_000),
+        ] {
+            let out = run_with_interval(app, interval_ns);
+            match PhaseDetector::new().detect_series(&out.rank0.series) {
+                Ok(analysis) => {
+                    let names = discovered_site_names(&analysis, &out.rank0.table);
+                    println!(
+                        "{:<9} {:>9} {:>10} {:>2}  {}",
+                        app.name(),
+                        label,
+                        out.rank0.series.len(),
+                        analysis.k,
+                        names.into_iter().collect::<Vec<_>>().join(", ")
+                    );
+                }
+                Err(e) => println!("{:<9} {:>9} failed: {e}", app.name(), label),
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Ablation: online (streaming) vs. batch phase detection.
+//!
+//! Compares the leader–follower online detector against the paper's
+//! offline k-means pipeline on every app: phase counts and partition
+//! agreement (pairwise co-membership of intervals).
+
+use hpc_apps::plan::HeartbeatPlan;
+use incprof_bench::apps::{Size, ALL_APPS};
+use incprof_core::online::{OnlineConfig, OnlinePhaseDetector};
+use incprof_core::PhaseDetector;
+
+fn main() {
+    let size = Size::from_env();
+    println!(
+        "{:<9} {:>8} {:>9} {:>12} {:>12}",
+        "app", "batch k", "online k", "transitions", "agreement"
+    );
+    for app in ALL_APPS {
+        let out = app.run_virtual(size, &HeartbeatPlan::none());
+        let intervals = out.rank0.series.interval_profiles().expect("monotone series");
+
+        let batch = PhaseDetector::new().detect_series(&out.rank0.series).expect("batch");
+
+        let mut online = OnlinePhaseDetector::new(OnlineConfig::default());
+        for p in &intervals {
+            online.observe(p);
+        }
+
+        // Pairwise co-membership agreement between the two partitions.
+        let a = &batch.assignments;
+        let b = online.assignments();
+        let n = a.len().min(b.len());
+        let mut agree = 0u64;
+        let mut total = 0u64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += 1;
+                if (a[i] == a[j]) == (b[i] == b[j]) {
+                    agree += 1;
+                }
+            }
+        }
+        let agreement = if total > 0 { 100.0 * agree as f64 / total as f64 } else { 100.0 };
+        println!(
+            "{:<9} {:>8} {:>9} {:>12} {:>11.1}%",
+            app.name(),
+            batch.k,
+            online.n_phases(),
+            online.transitions().len(),
+            agreement
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Ablation: Algorithm 1 coverage threshold.
+//!
+//! The paper selects sites until 95% of a phase's intervals are covered,
+//! "to skip outliers" (§V-B, §VI). This binary sweeps the threshold and
+//! reports how the number of selected sites and achieved coverage react.
+
+use hpc_apps::plan::HeartbeatPlan;
+use incprof_bench::apps::{Size, ALL_APPS};
+use incprof_core::PhaseDetector;
+
+fn main() {
+    let size = Size::from_env();
+    println!(
+        "{:<9} {:>9} {:>2} {:>6} {:>12}",
+        "app", "threshold", "k", "sites", "min coverage"
+    );
+    for app in ALL_APPS {
+        let out = app.run_virtual(size, &HeartbeatPlan::none());
+        for threshold in [0.50, 0.75, 0.90, 0.95, 0.99, 1.00] {
+            let det = PhaseDetector { coverage_threshold: threshold, ..PhaseDetector::default() };
+            match det.detect_series(&out.rank0.series) {
+                Ok(analysis) => {
+                    let min_cov = analysis
+                        .phases
+                        .iter()
+                        .filter(|p| !p.intervals.is_empty())
+                        .map(|p| p.coverage())
+                        .fold(f64::INFINITY, f64::min);
+                    println!(
+                        "{:<9} {:>9.2} {:>2} {:>6} {:>11.1}%",
+                        app.name(),
+                        threshold,
+                        analysis.k,
+                        analysis.total_sites(),
+                        100.0 * min_cov
+                    );
+                }
+                Err(e) => println!("{:<9} {:>9.2} failed: {e}", app.name(), threshold),
+            }
+        }
+    }
+}

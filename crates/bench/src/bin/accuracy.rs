@@ -1,0 +1,104 @@
+//! Quantitative accuracy benchmark over planted ground truth.
+//!
+//! The paper evaluates phase detection qualitatively; this harness
+//! measures it: randomized synthetic workloads with known phase
+//! structure (`hpc_apps::synth`) are run through every detector variant,
+//! and the detected partition is scored against the plant with the
+//! adjusted Rand index (ARI), plus the k (phase count) error.
+//!
+//! Environment knobs: `INCPROF_TRIALS` (default 20).
+
+use hpc_apps::synth::{run_script, PhaseScript};
+use incprof_cluster::{adjusted_rand_index, DbscanParams, KSelectionMethod};
+use incprof_core::online::{OnlineConfig, OnlinePhaseDetector};
+use incprof_core::{ClusteringMethod, PhaseDetector};
+
+struct Scores {
+    ari_sum: f64,
+    exact_k: usize,
+    trials: usize,
+}
+
+impl Scores {
+    fn new() -> Scores {
+        Scores { ari_sum: 0.0, exact_k: 0, trials: 0 }
+    }
+    fn add(&mut self, ari: f64, k_detected: usize, k_true: usize) {
+        self.ari_sum += ari;
+        if k_detected == k_true {
+            self.exact_k += 1;
+        }
+        self.trials += 1;
+    }
+}
+
+fn main() {
+    let trials: usize =
+        std::env::var("INCPROF_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(20);
+    let variants = ["kmeans+elbow", "kmeans+silhouette", "dbscan", "online"];
+    let mut scores: Vec<Scores> = variants.iter().map(|_| Scores::new()).collect();
+
+    for trial in 0..trials {
+        // 2..=6 planted phases, sized like the paper's runs.
+        let n_phases = 2 + trial % 5;
+        let script = PhaseScript::random(n_phases, 1000 + trial as u64);
+        let run = run_script(&script, 1_000_000_000);
+        let truth = &run.truth;
+        // The collector's final stop() sample adds one (empty) trailing
+        // interval; score detection on the planted prefix only.
+        let intervals = run.data.series.interval_profiles().expect("monotone");
+        let matrix = incprof_collect::IntervalMatrix::from_interval_profiles(
+            &intervals[..truth.len()],
+        );
+
+        let detectors: [PhaseDetector; 3] = [
+            PhaseDetector::default(),
+            PhaseDetector {
+                clustering: ClusteringMethod::KMeans {
+                    k_max: 8,
+                    selection: KSelectionMethod::Silhouette,
+                },
+                ..PhaseDetector::default()
+            },
+            PhaseDetector {
+                clustering: ClusteringMethod::Dbscan(DbscanParams {
+                    eps: 0.35,
+                    min_points: 3,
+                }),
+                ..PhaseDetector::default()
+            },
+        ];
+        for (i, det) in detectors.iter().enumerate() {
+            if let Ok(analysis) = det.detect(&matrix) {
+                scores[i].add(
+                    adjusted_rand_index(&analysis.assignments, truth),
+                    analysis.k,
+                    n_phases,
+                );
+            }
+        }
+
+        // Online detector.
+        let mut online = OnlinePhaseDetector::new(OnlineConfig::default());
+        for p in &intervals[..truth.len()] {
+            online.observe(p);
+        }
+        scores[3].add(
+            adjusted_rand_index(online.assignments(), truth),
+            online.n_phases(),
+            n_phases,
+        );
+    }
+
+    println!("accuracy over {trials} planted workloads (2-6 phases each):");
+    println!("{:<20} {:>10} {:>12}", "detector", "mean ARI", "exact k");
+    for (name, s) in variants.iter().zip(&scores) {
+        println!(
+            "{:<20} {:>10.3} {:>9}/{:<2}",
+            name,
+            s.ari_sum / s.trials.max(1) as f64,
+            s.exact_k,
+            s.trials
+        );
+    }
+}

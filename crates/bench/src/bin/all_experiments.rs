@@ -1,0 +1,50 @@
+//! Run every table and figure experiment, printing results and writing
+//! artifacts into `experiments_out/` (consumed by EXPERIMENTS.md).
+//!
+//! Environment knobs: `INCPROF_SCALE`, `INCPROF_PROCS`,
+//! `INCPROF_REPEATS` (see `table1`).
+
+use incprof_bench::apps::{Size, ALL_APPS};
+use incprof_bench::figures::{figure, render_ascii, render_csv};
+use incprof_bench::tables::{format_table1, site_table, table1};
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let size = Size::from_env();
+    let procs: usize =
+        std::env::var("INCPROF_PROCS").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
+    let repeats: usize =
+        std::env::var("INCPROF_REPEATS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+    let out = Path::new("experiments_out");
+    fs::create_dir_all(out).expect("create experiments_out");
+
+    // Table I.
+    eprintln!("[1/3] Table I (overheads; {procs} ranks, best of {repeats})...");
+    let t1 = format_table1(&table1(size, procs, repeats));
+    println!("{t1}");
+    fs::write(out.join("table1.txt"), &t1).expect("write table1");
+
+    // Tables II–VI.
+    let table_names = ["table2_Graph500", "table3_MiniFE", "table4_MiniAMR", "table5_LAMMPS", "table6_Gadget2"];
+    for (i, app) in ALL_APPS.into_iter().enumerate() {
+        eprintln!("[2/3] {} sites table...", app.name());
+        let text = site_table(app, size);
+        println!("{text}");
+        fs::write(out.join(format!("{}.txt", table_names[i])), &text).expect("write table");
+    }
+
+    // Figures 2–6.
+    let fig_names = ["fig2_Graph500", "fig3_MiniFe", "fig4_MiniAmr", "fig5_Lammps", "fig6_Gadget2"];
+    for (i, app) in ALL_APPS.into_iter().enumerate() {
+        eprintln!("[3/3] {} heartbeat figure...", app.name());
+        let fig = figure(app, size);
+        let ascii = render_ascii(&fig);
+        println!("{ascii}");
+        fs::write(out.join(format!("{}.txt", fig_names[i])), &ascii).expect("write fig txt");
+        fs::write(out.join(format!("{}.csv", fig_names[i])), render_csv(&fig))
+            .expect("write fig csv");
+    }
+
+    println!("artifacts written to {}", out.display());
+}

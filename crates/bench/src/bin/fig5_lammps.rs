@@ -1,0 +1,15 @@
+//! Regenerate the paper's heartbeat figure for Lammps (ASCII + CSV).
+//! `INCPROF_SCALE` sets the workload size (paper|medium|tiny).
+
+use incprof_bench::apps::{App, Size};
+use incprof_bench::figures::{figure, render_ascii, render_csv};
+
+fn main() {
+    let fig = figure(App::Lammps, Size::from_env());
+    println!("{}", render_ascii(&fig));
+    let out = std::path::Path::new("experiments_out");
+    let _ = std::fs::create_dir_all(out);
+    let path = out.join("fig5_Lammps.csv");
+    std::fs::write(&path, render_csv(&fig)).expect("write CSV");
+    println!("CSV written to {}", path.display());
+}

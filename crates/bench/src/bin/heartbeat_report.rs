@@ -1,0 +1,65 @@
+//! Heartbeat analysis report: rate factors (Table IV's extra column),
+//! duration stability, activity gaps, and the co-activity matrix that
+//! quantifies the paper's MiniAMR "simultaneously active" observation —
+//! for every app, over its discovered-site instrumentation run.
+
+use appekg::{co_activity, HeartbeatAnalysis, HeartbeatId};
+use hpc_apps::plan::HeartbeatPlan;
+use incprof_bench::apps::{Size, ALL_APPS};
+use incprof_bench::tables::detect_phases;
+
+fn main() {
+    let size = Size::from_env();
+    for app in ALL_APPS {
+        let (analysis, table) = detect_phases(app, size);
+        let plan = HeartbeatPlan::from_analysis(&analysis, &table);
+        let out = app.run_virtual(size, &plan);
+        let n = out.rank0.series.len();
+        let hb_analysis = HeartbeatAnalysis::from_records(&out.rank0.hb_records, n);
+
+        println!("== {} ({} intervals) ==", app.name(), n);
+        println!(
+            "{:<38} {:>8} {:>9} {:>11} {:>12} {:>8}",
+            "site", "beats", "activity", "rate factor", "mean dur(ms)", "max gap"
+        );
+        for hb in hb_analysis.heartbeats() {
+            let s = hb_analysis.stats(hb).unwrap();
+            println!(
+                "{:<38} {:>8} {:>8.1}% {:>11.1} {:>12.2} {:>8}",
+                out.rank0.hb_names[hb.0 as usize],
+                s.total_count,
+                100.0 * s.activity(),
+                s.rate_factor,
+                s.mean_duration_ns / 1e6,
+                s.longest_gap
+            );
+        }
+
+        // Co-activity matrix (upper triangle).
+        let hbs = hb_analysis.heartbeats();
+        if hbs.len() >= 2 {
+            println!("co-activity:");
+            for (i, &a) in hbs.iter().enumerate() {
+                for &b in hbs.iter().skip(i + 1) {
+                    let c = co_activity(&out.rank0.hb_records, a, b);
+                    println!(
+                        "  {} <-> {}: {:.0}%",
+                        short(&out.rank0.hb_names[a.0 as usize]),
+                        short(&out.rank0.hb_names[b.0 as usize]),
+                        100.0 * c
+                    );
+                }
+            }
+        }
+        println!();
+        let _: Vec<HeartbeatId> = hbs;
+    }
+}
+
+fn short(name: &str) -> &str {
+    if name.len() > 28 {
+        &name[..28]
+    } else {
+        name
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerate the paper's Table I: setup & overhead.
+//!
+//! Environment knobs: `INCPROF_SCALE` (paper|medium|tiny, phase-count
+//! runs), `INCPROF_PROCS` (ranks for wall runs, default 2),
+//! `INCPROF_REPEATS` (overhead repeats, default 3).
+
+use incprof_bench::apps::Size;
+use incprof_bench::tables::{format_table1, table1};
+
+fn main() {
+    let size = Size::from_env();
+    let procs: usize =
+        std::env::var("INCPROF_PROCS").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
+    let repeats: usize =
+        std::env::var("INCPROF_REPEATS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+    eprintln!("measuring overheads ({procs} ranks, best of {repeats}; this runs every app 3x{repeats} times)...");
+    let rows = table1(size, procs, repeats);
+    println!("{}", format_table1(&rows));
+    println!("(Our runs are seconds-scale simulations on this machine; compare overhead\n percentages and phase counts, not absolute runtimes. See EXPERIMENTS.md.)");
+}

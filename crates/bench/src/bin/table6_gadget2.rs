@@ -1,0 +1,9 @@
+//! Regenerate the paper's discovered-sites table for Gadget2.
+//! `INCPROF_SCALE` sets the workload size (paper|medium|tiny).
+
+use incprof_bench::apps::{App, Size};
+use incprof_bench::tables::site_table;
+
+fn main() {
+    println!("{}", site_table(App::Gadget2, Size::from_env()));
+}

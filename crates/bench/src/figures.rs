@@ -1,0 +1,118 @@
+//! Figure regeneration: heartbeat time series (Figs. 2–6).
+//!
+//! Each paper figure plots, per instrumentation site, the heartbeat
+//! activity across the run's 1-second intervals, for both the
+//! *discovered* sites and the *manual* sites. We regenerate the same
+//! series (count and mean duration per interval), emit them as CSV, and
+//! render ASCII sparklines for terminal inspection.
+
+use crate::apps::{App, Size};
+use crate::tables::detect_phases;
+use appekg::HeartbeatSeries;
+use hpc_apps::plan::HeartbeatPlan;
+use std::fmt::Write as _;
+
+/// The regenerated data behind one paper figure.
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    /// Application.
+    pub app: &'static str,
+    /// Number of intervals in each run.
+    pub n_intervals: u64,
+    /// Per-site series from the discovered-site instrumentation run.
+    pub discovered: Vec<(String, HeartbeatSeries)>,
+    /// Per-site series from the manual-site instrumentation run.
+    pub manual: Vec<(String, HeartbeatSeries)>,
+}
+
+fn series_of(
+    app: App,
+    size: Size,
+    plan: &HeartbeatPlan,
+) -> (u64, Vec<(String, HeartbeatSeries)>) {
+    let out = app.run_virtual(size, plan);
+    let n = out.rank0.series.len() as u64;
+    let map = HeartbeatSeries::from_records(&out.rank0.hb_records, Some(n));
+    let mut v: Vec<(String, HeartbeatSeries)> = map
+        .into_iter()
+        .map(|(hb, s)| (out.rank0.hb_names[hb.0 as usize].clone(), s))
+        .collect();
+    v.sort_by(|a, b| a.0.cmp(&b.0));
+    (n, v)
+}
+
+/// Regenerate the figure data for `app`: one run instrumented with the
+/// sites discovered by phase analysis, one with the paper's manual
+/// sites.
+pub fn figure(app: App, size: Size) -> FigureData {
+    let (analysis, table) = detect_phases(app, size);
+    let discovered_plan = HeartbeatPlan::from_analysis(&analysis, &table);
+    let manual_plan = HeartbeatPlan::from_manual(&app.manual_sites());
+    let (n1, discovered) = series_of(app, size, &discovered_plan);
+    let (n2, manual) = series_of(app, size, &manual_plan);
+    FigureData { app: app.name(), n_intervals: n1.max(n2), discovered, manual }
+}
+
+/// Render the figure as ASCII sparklines (count per interval).
+pub fn render_ascii(fig: &FigureData) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} heartbeats over {} intervals", fig.app, fig.n_intervals);
+    let _ = writeln!(out, "-- discovered sites --");
+    for (name, s) in &fig.discovered {
+        let _ = writeln!(out, "{name:>36} |{}|", s.sparkline());
+    }
+    let _ = writeln!(out, "-- manual sites --");
+    for (name, s) in &fig.manual {
+        let _ = writeln!(out, "{name:>36} |{}|", s.sparkline());
+    }
+    out
+}
+
+/// Render the figure's data as CSV:
+/// `run,site,interval,count,mean_duration_ns`.
+pub fn render_csv(fig: &FigureData) -> String {
+    let mut out = String::from("run,site,interval,count,mean_duration_ns\n");
+    for (run, series) in [("discovered", &fig.discovered), ("manual", &fig.manual)] {
+        for (name, s) in series.iter() {
+            for i in 0..s.counts.len() {
+                let _ = writeln!(
+                    out,
+                    "{run},{name},{i},{},{:.1}",
+                    s.counts[i], s.mean_durations_ns[i]
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_produces_both_runs() {
+        let fig = figure(App::MiniFe, Size::Tiny);
+        assert!(!fig.discovered.is_empty(), "no discovered heartbeats");
+        assert!(!fig.manual.is_empty(), "no manual heartbeats");
+        assert!(fig.n_intervals > 0);
+    }
+
+    #[test]
+    fn ascii_render_includes_every_site() {
+        let fig = figure(App::MiniFe, Size::Tiny);
+        let text = render_ascii(&fig);
+        for (name, _) in fig.discovered.iter().chain(&fig.manual) {
+            assert!(text.contains(name.as_str()), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn csv_has_row_per_interval_per_site() {
+        let fig = figure(App::MiniFe, Size::Tiny);
+        let csv = render_csv(&fig);
+        let expected =
+            (fig.discovered.len() + fig.manual.len()) * fig.n_intervals as usize + 1;
+        assert_eq!(csv.lines().count(), expected);
+    }
+}

@@ -1,0 +1,186 @@
+//! The paper's reported numbers, embedded for side-by-side comparison.
+//!
+//! Absolute values cannot transfer (the paper ran real MPI jobs on an
+//! EPYC cluster; we run a calibrated simulation), but the *shape* —
+//! which functions are discovered, which site dominates, how many phases
+//! — is directly comparable, and the experiment binaries print both.
+
+use crate::apps::App;
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperTable1Row {
+    /// Application name.
+    pub app: &'static str,
+    /// "Procs / Nodes" as reported.
+    pub procs_nodes: &'static str,
+    /// Uninstrumented runtime in seconds.
+    pub uninstr_runtime_s: f64,
+    /// IncProf overhead percent.
+    pub incprof_ovhd_pct: f64,
+    /// Heartbeat overhead percent.
+    pub heartbeat_ovhd_pct: f64,
+    /// Phases discovered.
+    pub phases: usize,
+}
+
+/// The paper's Table I.
+pub const PAPER_TABLE1: [PaperTable1Row; 5] = [
+    PaperTable1Row {
+        app: "Graph500",
+        procs_nodes: "1 / 1",
+        uninstr_runtime_s: 188.0,
+        incprof_ovhd_pct: 10.1,
+        heartbeat_ovhd_pct: 1.6,
+        phases: 4,
+    },
+    PaperTable1Row {
+        app: "MiniFE",
+        procs_nodes: "16 / 2",
+        uninstr_runtime_s: 617.0,
+        incprof_ovhd_pct: -6.2,
+        heartbeat_ovhd_pct: 1.1,
+        phases: 5,
+    },
+    PaperTable1Row {
+        app: "MiniAMR",
+        procs_nodes: "16 / 2",
+        uninstr_runtime_s: 459.0,
+        incprof_ovhd_pct: 1.5,
+        heartbeat_ovhd_pct: 0.2,
+        phases: 2,
+    },
+    PaperTable1Row {
+        app: "LAMMPS",
+        procs_nodes: "16 / 2",
+        uninstr_runtime_s: 307.0,
+        incprof_ovhd_pct: 7.5,
+        heartbeat_ovhd_pct: 8.1,
+        phases: 4,
+    },
+    PaperTable1Row {
+        app: "Gadget",
+        procs_nodes: "16 / 2",
+        uninstr_runtime_s: 421.0,
+        incprof_ovhd_pct: 6.4,
+        heartbeat_ovhd_pct: 1.0,
+        phases: 3,
+    },
+];
+
+/// One discovered-site row as reported in the paper's Tables II–VI.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperSiteRow {
+    /// Phase id.
+    pub phase: usize,
+    /// Heartbeat id.
+    pub hb_id: usize,
+    /// Function name.
+    pub function: &'static str,
+    /// Phase % column.
+    pub phase_pct: f64,
+    /// App % column.
+    pub app_pct: f64,
+    /// "body" or "loop".
+    pub inst_type: &'static str,
+}
+
+/// The paper's discovered sites for `app` (Tables II–VI).
+pub fn paper_sites(app: App) -> &'static [PaperSiteRow] {
+    match app {
+        App::Graph500 => &[
+            PaperSiteRow { phase: 0, hb_id: 1, function: "validate_bfs_result", phase_pct: 98.1, app_pct: 62.2, inst_type: "loop" },
+            PaperSiteRow { phase: 1, hb_id: 2, function: "run_bfs", phase_pct: 100.0, app_pct: 13.2, inst_type: "body" },
+            PaperSiteRow { phase: 2, hb_id: 3, function: "run_bfs", phase_pct: 100.0, app_pct: 12.3, inst_type: "loop" },
+            PaperSiteRow { phase: 3, hb_id: 4, function: "make_one_edge", phase_pct: 97.2, app_pct: 10.8, inst_type: "body" },
+        ],
+        App::MiniFe => &[
+            PaperSiteRow { phase: 0, hb_id: 1, function: "sum_in_symm_elem_matrix", phase_pct: 100.0, app_pct: 19.5, inst_type: "body" },
+            PaperSiteRow { phase: 1, hb_id: 2, function: "cg_solve", phase_pct: 100.0, app_pct: 43.7, inst_type: "loop" },
+            PaperSiteRow { phase: 2, hb_id: 3, function: "init_matrix", phase_pct: 93.2, app_pct: 10.1, inst_type: "loop" },
+            PaperSiteRow { phase: 2, hb_id: 4, function: "generate_matrix_structure", phase_pct: 6.8, app_pct: 0.7, inst_type: "loop" },
+            PaperSiteRow { phase: 3, hb_id: 5, function: "impose_dirichlet", phase_pct: 100.0, app_pct: 4.4, inst_type: "loop" },
+            PaperSiteRow { phase: 4, hb_id: 2, function: "cg_solve", phase_pct: 94.7, app_pct: 20.5, inst_type: "loop" },
+            PaperSiteRow { phase: 4, hb_id: 6, function: "make_local_matrix", phase_pct: 2.7, app_pct: 0.6, inst_type: "loop" },
+        ],
+        App::MiniAmr => &[
+            PaperSiteRow { phase: 0, hb_id: 1, function: "check_sum", phase_pct: 100.0, app_pct: 89.1, inst_type: "body" },
+            PaperSiteRow { phase: 1, hb_id: 2, function: "allocate", phase_pct: 33.8, app_pct: 3.7, inst_type: "loop" },
+            PaperSiteRow { phase: 1, hb_id: 3, function: "pack_block", phase_pct: 32.4, app_pct: 3.5, inst_type: "body" },
+            PaperSiteRow { phase: 1, hb_id: 4, function: "unpack_block", phase_pct: 26.5, app_pct: 2.9, inst_type: "body" },
+        ],
+        App::Lammps => &[
+            PaperSiteRow { phase: 0, hb_id: 1, function: "PairLJCut::compute", phase_pct: 100.0, app_pct: 55.7, inst_type: "loop" },
+            PaperSiteRow { phase: 1, hb_id: 2, function: "NPairHalf::build", phase_pct: 100.0, app_pct: 7.7, inst_type: "loop" },
+            PaperSiteRow { phase: 2, hb_id: 1, function: "PairLJCut::compute", phase_pct: 100.0, app_pct: 34.1, inst_type: "loop" },
+            PaperSiteRow { phase: 3, hb_id: 2, function: "NPairHalf::build", phase_pct: 50.0, app_pct: 1.3, inst_type: "body" },
+            PaperSiteRow { phase: 3, hb_id: 4, function: "Velocity::create", phase_pct: 42.9, app_pct: 1.1, inst_type: "loop" },
+        ],
+        App::Gadget2 => &[
+            PaperSiteRow { phase: 0, hb_id: 1, function: "force_treeevaluate_shortrange", phase_pct: 100.0, app_pct: 44.9, inst_type: "body" },
+            PaperSiteRow { phase: 1, hb_id: 2, function: "pm_setup_nonperiodic_kernel", phase_pct: 93.8, app_pct: 28.6, inst_type: "body" },
+            PaperSiteRow { phase: 1, hb_id: 3, function: "force_update_node_recursive", phase_pct: 5.9, app_pct: 1.8, inst_type: "body" },
+            PaperSiteRow { phase: 2, hb_id: 1, function: "force_treeevaluate_shortrange", phase_pct: 100.0, app_pct: 24.7, inst_type: "body" },
+        ],
+    }
+}
+
+/// The paper's phase count per app (Table I rightmost column).
+pub fn paper_phase_count(app: App) -> usize {
+    match app {
+        App::Graph500 => 4,
+        App::MiniFe => 5,
+        App::MiniAmr => 2,
+        App::Lammps => 4,
+        App::Gadget2 => 3,
+    }
+}
+
+/// Format the paper's sites table for printing next to ours.
+pub fn format_paper_sites(app: App) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Paper-reported sites ({}):", app.name());
+    for r in paper_sites(app) {
+        let _ = writeln!(
+            out,
+            "  phase {} hb {} {:<34} {:>6.1} {:>6.1} {}",
+            r.phase, r.hb_id, r.function, r.phase_pct, r.app_pct, r.inst_type
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::ALL_APPS;
+
+    #[test]
+    fn every_app_has_paper_sites_and_phase_counts() {
+        for app in ALL_APPS {
+            let sites = paper_sites(app);
+            assert!(!sites.is_empty());
+            let phases: std::collections::BTreeSet<usize> =
+                sites.iter().map(|s| s.phase).collect();
+            assert_eq!(phases.len(), paper_phase_count(app), "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn table1_matches_phase_counts() {
+        for (row, app) in PAPER_TABLE1.iter().zip(ALL_APPS) {
+            assert_eq!(row.app, app.name());
+            assert_eq!(row.phases, paper_phase_count(app));
+        }
+    }
+
+    #[test]
+    fn app_pct_sums_are_plausible() {
+        // Within each paper table, App% must sum to ≤ 100.
+        for app in ALL_APPS {
+            let total: f64 = paper_sites(app).iter().map(|s| s.app_pct).sum();
+            assert!(total <= 100.5, "{}: {total}", app.name());
+        }
+    }
+}

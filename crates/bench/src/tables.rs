@@ -1,0 +1,155 @@
+//! Table regeneration: Table I (overheads & phase counts) and the
+//! per-application site tables (Tables II–VI).
+
+use crate::apps::{App, Size};
+use crate::overhead::{measure_overheads, OverheadResult};
+use crate::paper::{format_paper_sites, paper_phase_count, PAPER_TABLE1};
+use hpc_apps::plan::HeartbeatPlan;
+use incprof_core::report::render_sites_table;
+use incprof_core::{PhaseAnalysis, PhaseDetector};
+use incprof_profile::FunctionTable;
+use std::fmt::Write as _;
+
+/// One measured row of our Table I.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Ranks used for the wall-clock overhead runs.
+    pub procs: usize,
+    /// Measured uninstrumented runtime (seconds, wall).
+    pub uninstr_runtime_s: f64,
+    /// Measured IncProf overhead (%).
+    pub incprof_ovhd_pct: f64,
+    /// Measured heartbeat overhead (%).
+    pub heartbeat_ovhd_pct: f64,
+    /// Phases discovered on the paper-size virtual run.
+    pub phases: usize,
+}
+
+/// Run the virtual-mode phase detection for `app` and return the
+/// analysis plus the function table it is keyed against.
+pub fn detect_phases(app: App, size: Size) -> (PhaseAnalysis, FunctionTable) {
+    let out = app.run_virtual(size, &HeartbeatPlan::none());
+    let analysis = PhaseDetector::new()
+        .detect_series(&out.rank0.series)
+        .expect("phase detection");
+    (analysis, out.rank0.table)
+}
+
+/// Regenerate Table I: per app, measured baseline runtime, IncProf and
+/// heartbeat overheads (wall clock), and discovered phase count
+/// (virtual run at `size`).
+pub fn table1(size: Size, procs: usize, repeats: usize) -> Vec<Table1Row> {
+    crate::apps::ALL_APPS
+        .iter()
+        .map(|&app| {
+            let OverheadResult { baseline_s, incprof_pct, heartbeat_pct } =
+                measure_overheads(app, procs, repeats);
+            let (analysis, _) = detect_phases(app, size);
+            Table1Row {
+                app: app.name(),
+                procs,
+                uninstr_runtime_s: baseline_s,
+                incprof_ovhd_pct: incprof_pct,
+                heartbeat_ovhd_pct: heartbeat_pct,
+                phases: analysis.k,
+            }
+        })
+        .collect()
+}
+
+/// Render our Table I next to the paper's.
+pub fn format_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE I — EXPERIMENTAL OVERVIEW: SETUP & OVERHEAD (measured)");
+    let _ = writeln!(
+        out,
+        "| {:<9} | {:>5} | {:>12} | {:>12} | {:>13} | {:>8} |",
+        "App", "Procs", "Uninstr (s)", "IncProf (%)", "Heartbeat (%)", "# Phases"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {:<9} | {:>5} | {:>12.2} | {:>12.1} | {:>13.1} | {:>8} |",
+            r.app, r.procs, r.uninstr_runtime_s, r.incprof_ovhd_pct, r.heartbeat_ovhd_pct, r.phases
+        );
+    }
+    let _ = writeln!(out, "\nPaper-reported Table I:");
+    let _ = writeln!(
+        out,
+        "| {:<9} | {:>11} | {:>12} | {:>12} | {:>13} | {:>8} |",
+        "App", "Procs/Nodes", "Uninstr (s)", "IncProf (%)", "Heartbeat (%)", "# Phases"
+    );
+    for r in &PAPER_TABLE1 {
+        let _ = writeln!(
+            out,
+            "| {:<9} | {:>11} | {:>12.0} | {:>12.1} | {:>13.1} | {:>8} |",
+            r.app, r.procs_nodes, r.uninstr_runtime_s, r.incprof_ovhd_pct, r.heartbeat_ovhd_pct, r.phases
+        );
+    }
+    out
+}
+
+/// Regenerate one of Tables II–VI: run the app (virtual, `size`), detect
+/// phases, and print discovered sites alongside the manual sites and the
+/// paper's reported table.
+pub fn site_table(app: App, size: Size) -> String {
+    let (analysis, table) = detect_phases(app, size);
+    let title = match app {
+        App::Graph500 => "TABLE II — GRAPH500 INSTRUMENTED FUNCTIONS (measured)",
+        App::MiniFe => "TABLE III — MINIFE INSTRUMENTED FUNCTIONS (measured)",
+        App::MiniAmr => "TABLE IV — MINIAMR INSTRUMENTED FUNCTIONS (measured)",
+        App::Lammps => "TABLE V — LAMMPS INSTRUMENTED FUNCTIONS (measured)",
+        App::Gadget2 => "TABLE VI — GADGET2 INSTRUMENTED FUNCTIONS (measured)",
+    };
+    let mut out = render_sites_table(title, &analysis, |id| table.name(id), &app.manual_sites());
+    let _ = writeln!(
+        out,
+        "\nmeasured phases: {} (paper: {})",
+        analysis.k,
+        paper_phase_count(app)
+    );
+    out.push('\n');
+    out.push_str(&format_paper_sites(app));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_table_prints_measured_and_paper_sections() {
+        let text = site_table(App::MiniAmr, Size::Tiny);
+        assert!(text.contains("TABLE IV"));
+        assert!(text.contains("Manual Instrumentation Sites"));
+        assert!(text.contains("Paper-reported sites"));
+        assert!(text.contains("check_sum"));
+    }
+
+    #[test]
+    fn detect_phases_tiny_works_for_all_apps() {
+        for app in crate::apps::ALL_APPS {
+            let (analysis, table) = detect_phases(app, Size::Tiny);
+            assert!(analysis.k >= 1, "{}", app.name());
+            assert!(table.len() >= 3, "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn format_table1_renders_both_sections() {
+        let rows = vec![Table1Row {
+            app: "Graph500",
+            procs: 2,
+            uninstr_runtime_s: 1.23,
+            incprof_ovhd_pct: 5.0,
+            heartbeat_ovhd_pct: 0.5,
+            phases: 4,
+        }];
+        let text = format_table1(&rows);
+        assert!(text.contains("TABLE I"));
+        assert!(text.contains("Paper-reported"));
+        assert!(text.contains("Graph500"));
+    }
+}

@@ -1,0 +1,13 @@
+//! The `incprof` binary: thin shell over [`incprof_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match incprof_cli::run(&args) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{}", incprof_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

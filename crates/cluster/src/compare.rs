@@ -1,0 +1,152 @@
+//! Comparing two clusterings of the same intervals.
+//!
+//! The paper evaluates phase detection qualitatively (inspecting
+//! heartbeat plots against manual instrumentation). To evaluate it
+//! *quantitatively* against planted ground truth — and to score the
+//! online-vs-batch and ablation comparisons — we implement the standard
+//! partition-agreement measures:
+//!
+//! * [`rand_index`] — fraction of interval pairs on which two
+//!   clusterings agree (same-cluster vs different-cluster);
+//! * [`adjusted_rand_index`] — the Rand index corrected for chance
+//!   (Hubert & Arabie), 1.0 for identical partitions, ≈0 for independent
+//!   ones, negative for adversarial disagreement.
+
+use std::collections::BTreeMap;
+
+/// Number of unordered pairs of `n` items.
+fn pairs(n: u64) -> f64 {
+    (n as f64) * (n as f64 - 1.0) / 2.0
+}
+
+/// Contingency table between two labelings.
+fn contingency(a: &[usize], b: &[usize]) -> BTreeMap<(usize, usize), u64> {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same items");
+    let mut table = BTreeMap::new();
+    for (&x, &y) in a.iter().zip(b) {
+        *table.entry((x, y)).or_insert(0u64) += 1;
+    }
+    table
+}
+
+/// The (unadjusted) Rand index in `[0, 1]`.
+pub fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same items");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut agree = 0u64;
+    let mut total = 0u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += 1;
+            if (a[i] == a[j]) == (b[i] == b[j]) {
+                agree += 1;
+            }
+        }
+    }
+    agree as f64 / total as f64
+}
+
+/// The adjusted Rand index (Hubert & Arabie).
+///
+/// Returns 1.0 when either labeling question is degenerate in the same
+/// way (e.g. both single-cluster); by convention returns 1.0 when the
+/// expected index equals the maximum index (identical trivial
+/// partitions) and the partitions agree.
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same items");
+    let n = a.len() as u64;
+    if n < 2 {
+        return 1.0;
+    }
+    let table = contingency(a, b);
+    let mut row_sums: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut col_sums: BTreeMap<usize, u64> = BTreeMap::new();
+    for (&(r, c), &v) in &table {
+        *row_sums.entry(r).or_insert(0) += v;
+        *col_sums.entry(c).or_insert(0) += v;
+    }
+    let sum_comb: f64 = table.values().map(|&v| pairs(v)).sum();
+    let sum_rows: f64 = row_sums.values().map(|&v| pairs(v)).sum();
+    let sum_cols: f64 = col_sums.values().map(|&v| pairs(v)).sum();
+    let total_pairs = pairs(n);
+    let expected = sum_rows * sum_cols / total_pairs;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-12 {
+        // Degenerate (e.g. both partitions trivial): agree ⇒ 1.
+        return if (sum_comb - expected).abs() < 1e-12 { 1.0 } else { 0.0 };
+    }
+    (sum_comb - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert_eq!(rand_index(&a, &a), 1.0);
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_permutation_does_not_matter() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![2, 2, 0, 0, 1, 1];
+        assert_eq!(rand_index(&a, &b), 1.0);
+        assert!((adjusted_rand_index(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_small_case() {
+        // Classic example: a = [0,0,1,1], b = [0,1,1,1].
+        let a = vec![0, 0, 1, 1];
+        let b = vec![0, 1, 1, 1];
+        // Pairs: (0,1) split by b only; (2,3) together in both; (0,2),
+        // (0,3) different in both; (1,2),(1,3) differ in a, same in b.
+        // agree = (2,3),(0,2),(0,3) = 3 of 6.
+        assert!((rand_index(&a, &b) - 0.5).abs() < 1e-12);
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari < 0.6 && ari > -0.2, "ari {ari}");
+    }
+
+    #[test]
+    fn independent_partitions_score_near_zero() {
+        // Interleaved labels vs block labels over 40 items.
+        let a: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let b: Vec<usize> = (0..40).map(|i| i / 20).collect();
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() < 0.1, "ari {ari}");
+    }
+
+    #[test]
+    fn both_trivial_partitions_agree() {
+        let a = vec![0; 10];
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        // All-singletons vs all-singletons.
+        let s: Vec<usize> = (0..10).collect();
+        assert!((adjusted_rand_index(&s, &s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(rand_index(&[], &[]), 1.0);
+        assert_eq!(adjusted_rand_index(&[0], &[5]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn mismatched_lengths_panic() {
+        let _ = adjusted_rand_index(&[0, 1], &[0]);
+    }
+
+    #[test]
+    fn ari_is_symmetric() {
+        let a = vec![0, 0, 1, 1, 2, 0, 1];
+        let b = vec![1, 1, 1, 0, 0, 2, 2];
+        assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+//! Distance functions over feature vectors.
+//!
+//! k-means in the paper is the ordinary Euclidean variant — "the simple
+//! distance-based clustering of k-means is applicable" (§V-A) — so squared
+//! Euclidean distance is the workhorse here.
+
+/// Squared Euclidean distance between two equal-length vectors.
+///
+/// # Panics
+/// Panics (debug) if the slices have different lengths.
+#[inline]
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two equal-length vectors.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    sq_euclidean(a, b).sqrt()
+}
+
+/// Manhattan (L1) distance, provided for feature-ablation experiments.
+#[inline]
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_euclidean_hand_case() {
+        assert_eq!(sq_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let v = [1.5, -2.5, 3.25];
+        assert_eq!(sq_euclidean(&v, &v), 0.0);
+        assert_eq!(manhattan(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn manhattan_hand_case() {
+        assert_eq!(manhattan(&[1.0, 2.0], &[4.0, -2.0]), 7.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [-1.0, 0.5, 9.0];
+        assert_eq!(euclidean(&a, &b), euclidean(&b, &a));
+        assert_eq!(manhattan(&a, &b), manhattan(&b, &a));
+    }
+
+    #[test]
+    fn empty_vectors_have_zero_distance() {
+        assert_eq!(sq_euclidean(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,347 @@
+//! k-means clustering: k-means++ seeding + Lloyd's iterations.
+//!
+//! This is the clustering step of the IncProf pipeline (§V-A): "Interval
+//! data is then clustered using the k-means clustering algorithm, and each
+//! cluster is interpreted as a phase of execution."
+//!
+//! The implementation is deterministic given [`KMeansConfig::seed`], uses
+//! several restarts and keeps the best (lowest-WCSS) run, and repairs empty
+//! clusters by reseeding them on the point farthest from its centroid.
+
+use crate::dataset::Dataset;
+use crate::distance::sq_euclidean;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations per restart.
+    pub max_iters: usize,
+    /// Number of independent seeded restarts; the best (lowest WCSS) wins.
+    pub restarts: usize,
+    /// RNG seed for the k-means++ initialization.
+    pub seed: u64,
+    /// Convergence tolerance on centroid movement (squared distance).
+    pub tol: f64,
+}
+
+impl KMeansConfig {
+    /// A reasonable default configuration for `k` clusters.
+    pub fn new(k: usize) -> KMeansConfig {
+        KMeansConfig { k, max_iters: 100, restarts: 8, seed: 0x1AC0_FFEE, tol: 1e-12 }
+    }
+
+    /// Same configuration with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> KMeansConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster index (0..k) for every input row.
+    pub assignments: Vec<usize>,
+    /// Final centroids, one row per cluster.
+    pub centroids: Dataset,
+    /// Within-cluster sum of squares (inertia) of the final assignment.
+    pub wcss: f64,
+    /// Lloyd iterations performed by the winning restart.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.nrows()
+    }
+
+    /// Row indices belonging to cluster `c`, in ascending order.
+    pub fn members_of(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Squared distance from row `i` of `data` to its assigned centroid.
+    pub fn sq_dist_to_centroid(&self, data: &Dataset, i: usize) -> f64 {
+        sq_euclidean(data.row(i), self.centroids.row(self.assignments[i]))
+    }
+}
+
+/// Run k-means on `data`.
+///
+/// # Panics
+/// Panics if `config.k == 0` or the dataset is empty, or `k > n`.
+pub fn kmeans(data: &Dataset, config: &KMeansConfig) -> KMeansResult {
+    let n = data.nrows();
+    assert!(config.k >= 1, "k must be at least 1");
+    assert!(n >= 1, "cannot cluster an empty dataset");
+    assert!(config.k <= n, "k = {} exceeds number of points {n}", config.k);
+
+    let mut best: Option<KMeansResult> = None;
+    for r in 0..config.restarts.max(1) {
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(r as u64));
+        let result = lloyd(data, config, &mut rng);
+        if best.as_ref().is_none_or(|b| result.wcss < b.wcss) {
+            best = Some(result);
+        }
+    }
+    best.expect("at least one restart ran")
+}
+
+fn lloyd(data: &Dataset, config: &KMeansConfig, rng: &mut StdRng) -> KMeansResult {
+    let n = data.nrows();
+    let d = data.ncols();
+    let k = config.k;
+
+    let mut centroids = kmeanspp_init(data, k, rng);
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+
+    // Parallelize the assignment step (each point's argmin is
+    // independent and deterministic) once the work justifies the
+    // fork/join overhead.
+    let parallel = n * k * d >= 200_000;
+
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // Assignment step.
+        let nearest = |i: usize| -> usize {
+            let row = data.row(i);
+            let mut best_c = 0;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let dist = sq_euclidean(row, centroids.row(c));
+                if dist < best_d {
+                    best_d = dist;
+                    best_c = c;
+                }
+            }
+            best_c
+        };
+        let new_assignments: Vec<usize> = if parallel {
+            use rayon::prelude::*;
+            (0..n).into_par_iter().map(nearest).collect()
+        } else {
+            (0..n).map(nearest).collect()
+        };
+        let mut changed = false;
+        for i in 0..n {
+            if assignments[i] != new_assignments[i] {
+                assignments[i] = new_assignments[i];
+                changed = true;
+            }
+        }
+
+        // Update step.
+        let mut sums = Dataset::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignments[i];
+            counts[c] += 1;
+            let row = data.row(i);
+            let target = sums.row_mut(c);
+            for j in 0..d {
+                target[j] += row[j];
+            }
+        }
+        let mut movement: f64 = 0.0;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Empty cluster: reseed on the point farthest from its
+                // current centroid (a standard repair strategy).
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = sq_euclidean(data.row(a), centroids.row(assignments[a]));
+                        let db = sq_euclidean(data.row(b), centroids.row(assignments[b]));
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .expect("n >= 1");
+                let row = data.row(far).to_vec();
+                movement += sq_euclidean(&row, centroids.row(c));
+                centroids.row_mut(c).copy_from_slice(&row);
+                assignments[far] = c;
+                continue;
+            }
+            let inv = 1.0 / counts[c] as f64;
+            let mut new_c = vec![0.0; d];
+            for (j, v) in new_c.iter_mut().enumerate() {
+                *v = sums.get(c, j) * inv;
+            }
+            movement += sq_euclidean(&new_c, centroids.row(c));
+            centroids.row_mut(c).copy_from_slice(&new_c);
+        }
+
+        if !changed && movement <= config.tol {
+            break;
+        }
+    }
+
+    let wcss = (0..n)
+        .map(|i| sq_euclidean(data.row(i), centroids.row(assignments[i])))
+        .sum();
+    KMeansResult { assignments, centroids, wcss, iterations }
+}
+
+/// k-means++ seeding: first centroid uniform, each subsequent centroid
+/// sampled with probability proportional to squared distance from the
+/// nearest already-chosen centroid.
+fn kmeanspp_init(data: &Dataset, k: usize, rng: &mut StdRng) -> Dataset {
+    let n = data.nrows();
+    let d = data.ncols();
+    let mut centroids = Dataset::zeros(k, d);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+
+    let mut min_sq = vec![f64::INFINITY; n];
+    for c in 1..k {
+        for i in 0..n {
+            let dist = sq_euclidean(data.row(i), centroids.row(c - 1));
+            if dist < min_sq[i] {
+                min_sq[i] = dist;
+            }
+        }
+        let total: f64 = min_sq.iter().sum();
+        let chosen = if total > 0.0 {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &w) in min_sq.iter().enumerate() {
+                if target < w {
+                    pick = i;
+                    break;
+                }
+                target -= w;
+            }
+            pick
+        } else {
+            // All points coincide with chosen centroids; pick uniformly.
+            rng.gen_range(0..n)
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(chosen));
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Dataset {
+        // Two well-separated 2-D blobs of 5 points each.
+        let mut rows = Vec::new();
+        for i in 0..5 {
+            rows.push(vec![0.0 + 0.1 * i as f64, 0.0 - 0.1 * i as f64]);
+        }
+        for i in 0..5 {
+            rows.push(vec![10.0 + 0.1 * i as f64, 10.0 - 0.1 * i as f64]);
+        }
+        Dataset::from_rows(rows)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let data = two_blobs();
+        let res = kmeans(&data, &KMeansConfig::new(2));
+        let first = res.assignments[0];
+        assert!(res.assignments[..5].iter().all(|&a| a == first));
+        assert!(res.assignments[5..].iter().all(|&a| a == 1 - first));
+        assert!(res.wcss < 1.0);
+    }
+
+    #[test]
+    fn k_equals_one_centroid_is_mean() {
+        let data = Dataset::from_rows(vec![vec![1.0], vec![3.0], vec![5.0]]);
+        let res = kmeans(&data, &KMeansConfig::new(1));
+        assert!((res.centroids.get(0, 0) - 3.0).abs() < 1e-12);
+        // WCSS = (2^2 + 0 + 2^2) = 8
+        assert!((res.wcss - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_wcss() {
+        let data = Dataset::from_rows(vec![vec![1.0, 0.0], vec![2.0, 0.0], vec![3.0, 0.0]]);
+        let res = kmeans(&data, &KMeansConfig::new(3));
+        assert!(res.wcss < 1e-18);
+        let mut sorted = res.assignments.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2], "each point in its own cluster");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data = two_blobs();
+        let cfg = KMeansConfig::new(3).with_seed(1234);
+        let a = kmeans(&data, &cfg);
+        let b = kmeans(&data, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn assignments_are_nearest_centroid() {
+        let data = two_blobs();
+        let res = kmeans(&data, &KMeansConfig::new(2));
+        for i in 0..data.nrows() {
+            let own = res.sq_dist_to_centroid(&data, i);
+            for c in 0..res.k() {
+                let other = sq_euclidean(data.row(i), res.centroids.row(c));
+                assert!(own <= other + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn members_of_partitions_all_rows() {
+        let data = two_blobs();
+        let res = kmeans(&data, &KMeansConfig::new(4));
+        let mut all: Vec<usize> = (0..res.k()).flat_map(|c| res.members_of(c)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..data.nrows()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let data = Dataset::from_rows(vec![vec![5.0, 5.0]; 6]);
+        let res = kmeans(&data, &KMeansConfig::new(3));
+        assert_eq!(res.assignments.len(), 6);
+        assert!(res.wcss < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_panics() {
+        let data = two_blobs();
+        let _ = kmeans(&data, &KMeansConfig::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds number of points")]
+    fn k_larger_than_n_panics() {
+        let data = Dataset::from_rows(vec![vec![1.0]]);
+        let _ = kmeans(&data, &KMeansConfig::new(2));
+    }
+
+    #[test]
+    fn wcss_never_increases_with_k() {
+        // Over best-of-restarts runs, optimal WCSS is non-increasing in k;
+        // with enough restarts the heuristic should track that closely.
+        let data = two_blobs();
+        let mut prev = f64::INFINITY;
+        for k in 1..=6 {
+            let res = kmeans(&data, &KMeansConfig { restarts: 20, ..KMeansConfig::new(k) });
+            assert!(
+                res.wcss <= prev + 1e-9,
+                "wcss went up from {prev} to {} at k={k}",
+                res.wcss
+            );
+            prev = res.wcss;
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # incprof-cluster
+//!
+//! Clustering machinery for IncProf phase detection.
+//!
+//! The paper (§V-A) clusters per-interval profile vectors with *k-means*,
+//! runs k = 1..8, and selects k with the *elbow* method (they also
+//! evaluated *silhouette*, and tried *DBSCAN* without improvement). This
+//! crate implements all of those from scratch, deterministically:
+//!
+//! * [`Dataset`] — a dense `n × d` matrix of interval feature vectors.
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding, multiple
+//!   seeded restarts, and empty-cluster repair.
+//! * [`select_k`] — the elbow (maximum distance to the WCSS chord) and
+//!   mean-silhouette criteria over a range of k.
+//! * [`silhouette`] — silhouette coefficients.
+//! * [`dbscan`] — density-based clustering, used by the paper's (negative)
+//!   ablation and reproduced here for the same comparison.
+//! * [`scale`] — feature scaling options (none / min-max / z-score /
+//!   row-normalize).
+//!
+//! Everything is seeded explicitly; there is no global RNG state, so the
+//! whole phase-detection pipeline is reproducible run-to-run.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Numerical kernels index several parallel arrays in one loop; the
+// iterator rewrite clippy suggests hurts readability there.
+#![allow(clippy::needless_range_loop)]
+
+pub mod compare;
+pub mod dataset;
+pub mod dbscan;
+pub mod distance;
+pub mod kmeans;
+pub mod scale;
+pub mod select_k;
+pub mod silhouette;
+
+pub use compare::{adjusted_rand_index, rand_index};
+pub use dataset::Dataset;
+pub use dbscan::{dbscan, DbscanLabel, DbscanParams};
+pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
+pub use scale::Scaling;
+pub use select_k::{select_k, KSelection, KSelectionMethod, KSweep};
+pub use silhouette::{mean_silhouette, silhouette_values};

@@ -1,0 +1,143 @@
+//! Feature scaling for interval vectors.
+//!
+//! The paper clusters raw `gprof` self-time tuples; because every feature
+//! is a time in the same unit, no scaling is strictly required, and that is
+//! our [`Scaling::None`] default. The other options support the feature
+//! ablation experiments (what happens when call counts — a very differently
+//! scaled quantity — are mixed in, §V-A).
+
+use crate::dataset::Dataset;
+
+/// How to scale the columns (features) of a dataset before clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scaling {
+    /// Use raw values (the paper's configuration).
+    #[default]
+    None,
+    /// Scale each column to `[0, 1]` by its min/max. Constant columns
+    /// become all-zero.
+    MinMax,
+    /// Standardize each column to zero mean, unit variance. Constant
+    /// columns become all-zero.
+    ZScore,
+    /// Normalize each **row** to sum 1 (turning per-interval self times
+    /// into fractions of the interval's total profiled time). All-zero rows
+    /// stay zero.
+    RowFraction,
+}
+
+impl Scaling {
+    /// Apply this scaling, returning a new dataset.
+    pub fn apply(self, data: &Dataset) -> Dataset {
+        match self {
+            Scaling::None => data.clone(),
+            Scaling::MinMax => minmax(data),
+            Scaling::ZScore => zscore(data),
+            Scaling::RowFraction => row_fraction(data),
+        }
+    }
+}
+
+fn minmax(data: &Dataset) -> Dataset {
+    let (n, d) = (data.nrows(), data.ncols());
+    let mut out = Dataset::zeros(n, d);
+    for j in 0..d {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..n {
+            lo = lo.min(data.get(i, j));
+            hi = hi.max(data.get(i, j));
+        }
+        let range = hi - lo;
+        for i in 0..n {
+            let v = if range > 0.0 { (data.get(i, j) - lo) / range } else { 0.0 };
+            out.set(i, j, v);
+        }
+    }
+    out
+}
+
+fn zscore(data: &Dataset) -> Dataset {
+    let (n, d) = (data.nrows(), data.ncols());
+    let mut out = Dataset::zeros(n, d);
+    if n == 0 {
+        return out;
+    }
+    for j in 0..d {
+        let mean: f64 = (0..n).map(|i| data.get(i, j)).sum::<f64>() / n as f64;
+        let var: f64 =
+            (0..n).map(|i| (data.get(i, j) - mean).powi(2)).sum::<f64>() / n as f64;
+        let sd = var.sqrt();
+        for i in 0..n {
+            let v = if sd > 0.0 { (data.get(i, j) - mean) / sd } else { 0.0 };
+            out.set(i, j, v);
+        }
+    }
+    out
+}
+
+fn row_fraction(data: &Dataset) -> Dataset {
+    let (n, d) = (data.nrows(), data.ncols());
+    let mut out = Dataset::zeros(n, d);
+    for i in 0..n {
+        let total: f64 = data.row(i).iter().sum();
+        for j in 0..d {
+            let v = if total > 0.0 { data.get(i, j) / total } else { 0.0 };
+            out.set(i, j, v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_rows(vec![vec![0.0, 10.0], vec![5.0, 10.0], vec![10.0, 10.0]])
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let d = sample();
+        assert_eq!(Scaling::None.apply(&d), d);
+    }
+
+    #[test]
+    fn minmax_scales_to_unit_interval_and_zeroes_constant_columns() {
+        let s = Scaling::MinMax.apply(&sample());
+        assert_eq!(s.to_rows(), vec![vec![0.0, 0.0], vec![0.5, 0.0], vec![1.0, 0.0]]);
+    }
+
+    #[test]
+    fn zscore_standardizes() {
+        let s = Scaling::ZScore.apply(&sample());
+        // Column 0: mean 5, population sd sqrt(50/3).
+        let sd = (50.0f64 / 3.0).sqrt();
+        assert!((s.get(0, 0) - (-5.0 / sd)).abs() < 1e-12);
+        assert!((s.get(1, 0)).abs() < 1e-12);
+        assert!((s.get(2, 0) - (5.0 / sd)).abs() < 1e-12);
+        // Constant column -> zeros.
+        assert_eq!(s.get(0, 1), 0.0);
+        // Column mean is ~0.
+        let mean: f64 = (0..3).map(|i| s.get(i, 0)).sum::<f64>() / 3.0;
+        assert!(mean.abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_fraction_sums_to_one() {
+        let d = Dataset::from_rows(vec![vec![2.0, 2.0], vec![1.0, 3.0], vec![0.0, 0.0]]);
+        let s = Scaling::RowFraction.apply(&d);
+        assert_eq!(s.row(0), &[0.5, 0.5]);
+        assert_eq!(s.row(1), &[0.25, 0.75]);
+        assert_eq!(s.row(2), &[0.0, 0.0], "all-zero rows stay zero");
+    }
+
+    #[test]
+    fn empty_dataset_is_fine() {
+        let d = Dataset::from_rows(vec![]);
+        for scaling in [Scaling::None, Scaling::MinMax, Scaling::ZScore, Scaling::RowFraction] {
+            assert!(scaling.apply(&d).is_empty());
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Choosing the number of clusters k.
+//!
+//! The paper runs k-means for k = 1..8 and uses the *elbow* method to pick
+//! the best k (§V-A), noting that no application needed more than five
+//! phases. The elbow here is computed geometrically: plot WCSS against k,
+//! draw the chord from the first to the last point, and pick the k whose
+//! point lies farthest below the chord (the "kneedle" construction). The
+//! silhouette criterion (maximize mean silhouette, k ≥ 2) is provided as
+//! the alternative the paper also evaluated.
+
+use crate::dataset::Dataset;
+use crate::kmeans::{kmeans, KMeansConfig, KMeansResult};
+use crate::silhouette::mean_silhouette;
+
+/// Which criterion picks k.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KSelectionMethod {
+    /// Maximum distance below the WCSS chord (the paper's choice).
+    #[default]
+    Elbow,
+    /// Maximum mean silhouette over k ≥ 2.
+    Silhouette,
+}
+
+/// The per-k measurements from a sweep.
+#[derive(Debug, Clone)]
+pub struct KSweep {
+    /// The k values swept (1..=k_max, capped at n).
+    pub ks: Vec<usize>,
+    /// k-means result per k.
+    pub results: Vec<KMeansResult>,
+    /// WCSS per k.
+    pub wcss: Vec<f64>,
+    /// Mean silhouette per k (`None` for k = 1).
+    pub silhouettes: Vec<Option<f64>>,
+}
+
+/// The outcome of k selection.
+#[derive(Debug, Clone)]
+pub struct KSelection {
+    /// The chosen k.
+    pub k: usize,
+    /// The winning clustering.
+    pub result: KMeansResult,
+    /// The method that chose it.
+    pub method: KSelectionMethod,
+    /// All per-k measurements, for reporting and ablations.
+    pub sweep: KSweep,
+}
+
+/// Sweep k = 1..=`k_max` (capped at the number of points) and return all
+/// per-k measurements.
+pub fn sweep_k(data: &Dataset, k_max: usize, base: &KMeansConfig) -> KSweep {
+    let cap = k_max.min(data.nrows()).max(1);
+    let mut ks = Vec::new();
+    let mut results = Vec::new();
+    let mut wcss = Vec::new();
+    let mut silhouettes = Vec::new();
+    for k in 1..=cap {
+        let cfg = KMeansConfig { k, ..base.clone() };
+        let res = kmeans(data, &cfg);
+        ks.push(k);
+        wcss.push(res.wcss);
+        silhouettes.push(if k >= 2 { mean_silhouette(data, &res.assignments) } else { None });
+        results.push(res);
+    }
+    KSweep { ks, results, wcss, silhouettes }
+}
+
+/// Select k for `data` by the given method, sweeping k = 1..=`k_max`.
+///
+/// The paper uses `k_max = 8`: "we run k-means for k = 1..8, and then use
+/// the Elbow method to select the best number of clusters."
+pub fn select_k(
+    data: &Dataset,
+    k_max: usize,
+    method: KSelectionMethod,
+    base: &KMeansConfig,
+) -> KSelection {
+    let sweep = sweep_k(data, k_max, base);
+    let idx = match method {
+        KSelectionMethod::Elbow => elbow_index(&sweep.wcss),
+        KSelectionMethod::Silhouette => silhouette_index(&sweep.silhouettes),
+    };
+    KSelection { k: sweep.ks[idx], result: sweep.results[idx].clone(), method, sweep }
+}
+
+/// Index (into the sweep arrays) of the elbow of a non-increasing WCSS
+/// curve: the point with maximum perpendicular distance below the chord
+/// from the first to the last point.
+///
+/// Degenerate cases: a flat curve (no structure) selects k = 1; a sweep of
+/// length 1 selects its only entry.
+pub fn elbow_index(wcss: &[f64]) -> usize {
+    let n = wcss.len();
+    assert!(n >= 1, "empty sweep");
+    if n <= 2 {
+        // With one or two candidate k's there is no interior elbow; prefer
+        // the smallest k that already explains the data: if going from k=1
+        // to k=2 barely improves WCSS, keep 1, else take 2.
+        if n == 2 && wcss[0] > 0.0 && wcss[1] < 0.5 * wcss[0] {
+            return 1;
+        }
+        return 0;
+    }
+    let x0 = 0.0;
+    let y0 = wcss[0];
+    let x1 = (n - 1) as f64;
+    let y1 = wcss[n - 1];
+    let dx = x1 - x0;
+    let dy = y1 - y0;
+    let norm = (dx * dx + dy * dy).sqrt();
+    if norm == 0.0 || (y0 - y1).abs() <= f64::EPSILON * y0.abs().max(1.0) {
+        return 0; // flat curve: one phase
+    }
+    let mut best_idx = 0;
+    let mut best_dist = f64::NEG_INFINITY;
+    for (i, &y) in wcss.iter().enumerate() {
+        let x = i as f64;
+        // Signed perpendicular distance; for a convex decreasing curve the
+        // interior points lie below the chord.
+        let dist = (dy * x - dx * y + x1 * y0 - y1 * x0) / norm;
+        if dist > best_dist {
+            best_dist = dist;
+            best_idx = i;
+        }
+    }
+    best_idx
+}
+
+fn silhouette_index(silhouettes: &[Option<f64>]) -> usize {
+    let mut best_idx = 0; // fall back to k = 1 when nothing is defined
+    let mut best = f64::NEG_INFINITY;
+    for (i, s) in silhouettes.iter().enumerate() {
+        if let Some(v) = s {
+            if *v > best {
+                best = *v;
+                best_idx = i;
+            }
+        }
+    }
+    best_idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `c` well-separated blobs of `per` points each, on a diagonal.
+    fn blobs(c: usize, per: usize) -> Dataset {
+        let mut rows = Vec::new();
+        for b in 0..c {
+            let base = 100.0 * b as f64;
+            for i in 0..per {
+                rows.push(vec![base + 0.01 * i as f64, base - 0.01 * i as f64]);
+            }
+        }
+        Dataset::from_rows(rows)
+    }
+
+    #[test]
+    fn elbow_finds_three_blobs() {
+        let data = blobs(3, 6);
+        let sel = select_k(&data, 8, KSelectionMethod::Elbow, &KMeansConfig::new(0));
+        assert_eq!(sel.k, 3);
+    }
+
+    #[test]
+    fn silhouette_finds_three_blobs() {
+        let data = blobs(3, 6);
+        let sel = select_k(&data, 8, KSelectionMethod::Silhouette, &KMeansConfig::new(0));
+        assert_eq!(sel.k, 3);
+    }
+
+    /// `c` blobs of `per` points, blob `b` active only in dimension `b` —
+    /// the shape of real interval profiles, where each phase exercises a
+    /// different set of functions.
+    fn orthogonal_blobs(c: usize, per: usize) -> Dataset {
+        let mut rows = Vec::new();
+        for b in 0..c {
+            for i in 0..per {
+                let mut row = vec![0.0; c];
+                row[b] = 100.0 + 0.01 * i as f64;
+                rows.push(row);
+            }
+        }
+        Dataset::from_rows(rows)
+    }
+
+    #[test]
+    fn elbow_finds_five_blobs_like_minife() {
+        // MiniFE in the paper discovers 5 phases; validate at that scale
+        // with profile-shaped (orthogonal) clusters.
+        let data = orthogonal_blobs(5, 8);
+        let sel = select_k(&data, 8, KSelectionMethod::Elbow, &KMeansConfig::new(0));
+        assert_eq!(sel.k, 5);
+    }
+
+    #[test]
+    fn silhouette_finds_five_orthogonal_blobs() {
+        let data = orthogonal_blobs(5, 8);
+        let sel = select_k(&data, 8, KSelectionMethod::Silhouette, &KMeansConfig::new(0));
+        assert_eq!(sel.k, 5);
+    }
+
+    #[test]
+    fn uniform_data_selects_one_phase() {
+        let data = Dataset::from_rows(vec![vec![1.0, 1.0]; 10]);
+        let sel = select_k(&data, 8, KSelectionMethod::Elbow, &KMeansConfig::new(0));
+        assert_eq!(sel.k, 1);
+    }
+
+    #[test]
+    fn sweep_is_capped_by_point_count() {
+        let data = blobs(1, 3);
+        let sweep = sweep_k(&data, 8, &KMeansConfig::new(0));
+        assert_eq!(sweep.ks, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn elbow_index_hand_curve() {
+        // Classic elbow at index 2 (k=3): steep drop then plateau.
+        let wcss = [100.0, 40.0, 8.0, 7.0, 6.5, 6.0, 5.8, 5.6];
+        assert_eq!(elbow_index(&wcss), 2);
+    }
+
+    #[test]
+    fn elbow_index_flat_curve_is_zero() {
+        let wcss = [5.0; 8];
+        assert_eq!(elbow_index(&wcss), 0);
+    }
+
+    #[test]
+    fn elbow_index_short_sweeps() {
+        assert_eq!(elbow_index(&[3.0]), 0);
+        assert_eq!(elbow_index(&[100.0, 1.0]), 1, "huge improvement takes k=2");
+        assert_eq!(elbow_index(&[100.0, 90.0]), 0, "marginal improvement keeps k=1");
+    }
+
+    #[test]
+    fn selection_contains_consistent_sweep() {
+        let data = blobs(2, 5);
+        let sel = select_k(&data, 6, KSelectionMethod::Elbow, &KMeansConfig::new(0));
+        assert_eq!(sel.sweep.ks.len(), sel.sweep.results.len());
+        assert_eq!(sel.sweep.ks.len(), sel.sweep.wcss.len());
+        assert_eq!(sel.result.assignments.len(), data.nrows());
+        // Chosen result is the sweep entry for the chosen k.
+        let idx = sel.sweep.ks.iter().position(|&k| k == sel.k).unwrap();
+        assert_eq!(sel.sweep.results[idx].wcss, sel.result.wcss);
+    }
+
+    #[test]
+    fn paper_k_max_is_eight() {
+        // More blobs than k_max: selection still returns at most k_max.
+        let data = blobs(10, 3);
+        let sel = select_k(&data, 8, KSelectionMethod::Elbow, &KMeansConfig::new(0));
+        assert!(sel.k <= 8);
+    }
+}

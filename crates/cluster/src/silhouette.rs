@@ -1,0 +1,138 @@
+//! Silhouette coefficients for cluster-quality evaluation.
+//!
+//! The paper evaluated both elbow and silhouette as "established
+//! quantitative methods for selecting k" (§V-A). The silhouette value of a
+//! point is `(b - a) / max(a, b)` where `a` is its mean distance to its own
+//! cluster's other members and `b` is the smallest mean distance to any
+//! other cluster; singletons are defined to have silhouette 0.
+
+use crate::dataset::Dataset;
+use crate::distance::euclidean;
+
+/// Per-point silhouette values for the given assignment.
+///
+/// `k` is taken to be `max(assignments) + 1`. Returns an empty vector when
+/// there are fewer than 2 clusters (silhouette is undefined for k = 1).
+pub fn silhouette_values(data: &Dataset, assignments: &[usize]) -> Vec<f64> {
+    assert_eq!(data.nrows(), assignments.len(), "one assignment per row");
+    let n = data.nrows();
+    let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
+    if k < 2 {
+        return Vec::new();
+    }
+    let mut sizes = vec![0usize; k];
+    for &a in assignments {
+        sizes[a] += 1;
+    }
+
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let own = assignments[i];
+        if sizes[own] <= 1 {
+            out.push(0.0); // singleton convention
+            continue;
+        }
+        // Mean distance to every cluster.
+        let mut sums = vec![0.0f64; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[assignments[j]] += euclidean(data.row(i), data.row(j));
+        }
+        let a = sums[own] / (sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        out.push(if denom > 0.0 { (b - a) / denom } else { 0.0 });
+    }
+    out
+}
+
+/// Mean silhouette over all points; `None` when silhouette is undefined
+/// (fewer than 2 clusters or no points).
+pub fn mean_silhouette(data: &Dataset, assignments: &[usize]) -> Option<f64> {
+    let vals = silhouette_values(data, assignments);
+    if vals.is_empty() {
+        None
+    } else {
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Dataset, Vec<usize>) {
+        let data = Dataset::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+            vec![10.0, 10.1],
+        ]);
+        let assign = vec![0, 0, 0, 1, 1, 1];
+        (data, assign)
+    }
+
+    #[test]
+    fn well_separated_clusters_score_near_one() {
+        let (data, assign) = blobs();
+        let mean = mean_silhouette(&data, &assign).unwrap();
+        assert!(mean > 0.95, "got {mean}");
+    }
+
+    #[test]
+    fn bad_assignment_scores_negative() {
+        let (data, _) = blobs();
+        // Deliberately split each blob across both clusters.
+        let bad = vec![0, 1, 0, 1, 0, 1];
+        let mean = mean_silhouette(&data, &bad).unwrap();
+        assert!(mean < 0.0, "got {mean}");
+    }
+
+    #[test]
+    fn values_bounded_in_unit_interval() {
+        let (data, assign) = blobs();
+        for v in silhouette_values(&data, &assign) {
+            assert!((-1.0..=1.0).contains(&v), "silhouette {v} out of range");
+        }
+    }
+
+    #[test]
+    fn single_cluster_is_undefined() {
+        let data = Dataset::from_rows(vec![vec![1.0], vec![2.0]]);
+        assert!(mean_silhouette(&data, &[0, 0]).is_none());
+    }
+
+    #[test]
+    fn singletons_score_zero() {
+        let data = Dataset::from_rows(vec![vec![0.0], vec![5.0], vec![5.1]]);
+        let vals = silhouette_values(&data, &[0, 1, 1]);
+        assert_eq!(vals[0], 0.0);
+        assert!(vals[1] > 0.9);
+    }
+
+    #[test]
+    fn hand_computed_two_points_per_cluster() {
+        // Clusters {0,1} at x=0,1 and {2,3} at x=10,11.
+        let data =
+            Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]]);
+        let vals = silhouette_values(&data, &[0, 0, 1, 1]);
+        // Point 0: a = 1 (to point 1), b = (10+11)/2 = 10.5 -> s = 9.5/10.5
+        assert!((vals[0] - 9.5 / 10.5).abs() < 1e-12);
+        // Point 1: a = 1, b = (9+10)/2 = 9.5 -> s = 8.5/9.5
+        assert!((vals[1] - 8.5 / 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one assignment per row")]
+    fn mismatched_lengths_panic() {
+        let data = Dataset::from_rows(vec![vec![0.0]]);
+        let _ = silhouette_values(&data, &[0, 0]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Cross-rank aggregate statistics.
+//!
+//! "Our framework does produce profiles and heartbeats from all processes
+//! in an application, but at present we only use all the data for
+//! aggregate descriptive statistics. All of the applications being used
+//! are symmetrically parallel and thus all processes behave similarly"
+//! (paper §VI). This module provides those statistics: per-function
+//! moments across ranks, an imbalance ranking, a rank-symmetry check
+//! (quantifying "all processes behave similarly"), and representative-rank
+//! selection (the paper analyzes "one representative process").
+
+use incprof_profile::{FlatProfile, FunctionId};
+use std::collections::BTreeMap;
+
+/// Cross-rank moments for one function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FunctionAggregate {
+    /// Mean self time (seconds) across ranks.
+    pub mean_self_secs: f64,
+    /// Population standard deviation of self time across ranks.
+    pub std_self_secs: f64,
+    /// Minimum self time across ranks.
+    pub min_self_secs: f64,
+    /// Maximum self time across ranks.
+    pub max_self_secs: f64,
+    /// Mean call count across ranks.
+    pub mean_calls: f64,
+    /// Ranks in which the function appeared at all.
+    pub present_on: usize,
+}
+
+impl FunctionAggregate {
+    /// Coefficient of variation of self time (σ/μ); 0 = perfectly
+    /// symmetric load, large = imbalance. 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean_self_secs > 0.0 {
+            self.std_self_secs / self.mean_self_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Aggregate over the final cumulative profiles of all ranks.
+#[derive(Debug, Clone, Default)]
+pub struct RankAggregate {
+    per_function: BTreeMap<FunctionId, FunctionAggregate>,
+    n_ranks: usize,
+}
+
+impl RankAggregate {
+    /// Build from one final cumulative profile per rank.
+    ///
+    /// # Panics
+    /// Panics if `profiles` is empty.
+    pub fn from_profiles(profiles: &[FlatProfile]) -> RankAggregate {
+        assert!(!profiles.is_empty(), "need at least one rank profile");
+        let n = profiles.len();
+        let mut ids: BTreeMap<FunctionId, ()> = BTreeMap::new();
+        for p in profiles {
+            for (id, _) in p.iter() {
+                ids.entry(id).or_insert(());
+            }
+        }
+        let per_function = ids
+            .keys()
+            .map(|&id| {
+                let values: Vec<f64> =
+                    profiles.iter().map(|p| p.get(id).self_time as f64 / 1e9).collect();
+                let calls: Vec<f64> = profiles.iter().map(|p| p.get(id).calls as f64).collect();
+                let mean = values.iter().sum::<f64>() / n as f64;
+                let var =
+                    values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+                let present_on = profiles.iter().filter(|p| p.contains(id)).count();
+                (
+                    id,
+                    FunctionAggregate {
+                        mean_self_secs: mean,
+                        std_self_secs: var.sqrt(),
+                        min_self_secs: values.iter().copied().fold(f64::INFINITY, f64::min),
+                        max_self_secs: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                        mean_calls: calls.iter().sum::<f64>() / n as f64,
+                        present_on,
+                    },
+                )
+            })
+            .collect();
+        RankAggregate { per_function, n_ranks: n }
+    }
+
+    /// Number of ranks aggregated.
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Per-function aggregate, if observed on any rank.
+    pub fn function(&self, id: FunctionId) -> Option<&FunctionAggregate> {
+        self.per_function.get(&id)
+    }
+
+    /// Iterate `(FunctionId, &FunctionAggregate)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FunctionId, &FunctionAggregate)> {
+        self.per_function.iter().map(|(&id, a)| (id, a))
+    }
+
+    /// The symmetry score: time-weighted mean of `1 − cv` across
+    /// functions, in `[0, 1]`. 1.0 = every rank spent identical time in
+    /// every function ("all processes behave similarly").
+    pub fn symmetry_score(&self) -> f64 {
+        let total: f64 = self.per_function.values().map(|a| a.mean_self_secs).sum();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        self.per_function
+            .values()
+            .map(|a| (1.0 - a.cv()).max(0.0) * a.mean_self_secs / total)
+            .sum()
+    }
+
+    /// The `k` most imbalanced functions by coefficient of variation
+    /// (descending), among functions carrying nonzero mean time.
+    pub fn most_imbalanced(&self, k: usize) -> Vec<(FunctionId, f64)> {
+        let mut v: Vec<(FunctionId, f64)> = self
+            .per_function
+            .iter()
+            .filter(|(_, a)| a.mean_self_secs > 0.0)
+            .map(|(&id, a)| (id, a.cv()))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+}
+
+/// Pick the representative rank: the one whose profile is closest
+/// (Euclidean over per-function self seconds) to the cross-rank mean.
+///
+/// # Panics
+/// Panics if `profiles` is empty.
+pub fn representative_rank(profiles: &[FlatProfile]) -> usize {
+    let agg = RankAggregate::from_profiles(profiles);
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (r, p) in profiles.iter().enumerate() {
+        let mut d = 0.0;
+        for (id, fa) in agg.iter() {
+            let v = p.get(id).self_time as f64 / 1e9;
+            d += (v - fa.mean_self_secs) * (v - fa.mean_self_secs);
+        }
+        if d < best_d {
+            best_d = d;
+            best = r;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incprof_profile::FunctionStats;
+
+    fn profile(entries: &[(u32, f64, u64)]) -> FlatProfile {
+        let mut p = FlatProfile::new();
+        for &(id, secs, calls) in entries {
+            p.set(
+                FunctionId(id),
+                FunctionStats { self_time: (secs * 1e9) as u64, calls, child_time: 0 },
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn symmetric_ranks_score_one() {
+        let ranks = vec![profile(&[(0, 2.0, 5), (1, 1.0, 3)]); 4];
+        let agg = RankAggregate::from_profiles(&ranks);
+        assert_eq!(agg.n_ranks(), 4);
+        assert!((agg.symmetry_score() - 1.0).abs() < 1e-12);
+        assert_eq!(agg.function(FunctionId(0)).unwrap().cv(), 0.0);
+        assert!(agg.most_imbalanced(3).iter().all(|&(_, cv)| cv == 0.0));
+    }
+
+    #[test]
+    fn imbalance_is_detected_and_ranked() {
+        let ranks = vec![
+            profile(&[(0, 1.0, 1), (1, 1.0, 1)]),
+            profile(&[(0, 1.0, 1), (1, 3.0, 1)]), // fn 1 skewed
+        ];
+        let agg = RankAggregate::from_profiles(&ranks);
+        let f1 = agg.function(FunctionId(1)).unwrap();
+        assert_eq!(f1.mean_self_secs, 2.0);
+        assert_eq!(f1.std_self_secs, 1.0);
+        assert_eq!(f1.min_self_secs, 1.0);
+        assert_eq!(f1.max_self_secs, 3.0);
+        let worst = agg.most_imbalanced(1);
+        assert_eq!(worst[0].0, FunctionId(1));
+        assert!(agg.symmetry_score() < 1.0);
+    }
+
+    #[test]
+    fn function_missing_on_a_rank_counts_as_zero() {
+        let ranks = vec![profile(&[(0, 2.0, 1)]), profile(&[])];
+        let agg = RankAggregate::from_profiles(&ranks);
+        let f0 = agg.function(FunctionId(0)).unwrap();
+        assert_eq!(f0.mean_self_secs, 1.0);
+        assert_eq!(f0.present_on, 1);
+    }
+
+    #[test]
+    fn representative_rank_is_closest_to_mean() {
+        let ranks = vec![
+            profile(&[(0, 1.0, 1)]),
+            profile(&[(0, 1.1, 1)]), // mean is 1.2 -> 1.1 closest
+            profile(&[(0, 1.5, 1)]),
+        ];
+        assert_eq!(representative_rank(&ranks), 1);
+    }
+
+    #[test]
+    fn single_rank_is_its_own_representative() {
+        let ranks = vec![profile(&[(0, 1.0, 1)])];
+        assert_eq!(representative_rank(&ranks), 0);
+        assert!((RankAggregate::from_profiles(&ranks).symmetry_score() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_profiles_panic() {
+        let _ = RankAggregate::from_profiles(&[]);
+    }
+
+    #[test]
+    fn empty_profiles_everywhere_score_one() {
+        let ranks = vec![FlatProfile::new(), FlatProfile::new()];
+        let agg = RankAggregate::from_profiles(&ranks);
+        assert_eq!(agg.symmetry_score(), 1.0);
+        assert!(agg.most_imbalanced(5).is_empty());
+    }
+}

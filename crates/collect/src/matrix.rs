@@ -1,0 +1,238 @@
+//! The interval × function feature matrix.
+//!
+//! "Each interval is then represented as a tuple of function execution
+//! times (the gprof 'self' time), where each unique function is an
+//! attribute dimension of the data" (paper §V-A). Alongside the self-time
+//! features, we keep the per-interval call counts that Algorithm 1 sorts
+//! on, and provide the activity tests used to compute function *ranks*.
+
+use incprof_profile::{FlatProfile, FunctionId};
+use std::collections::BTreeMap;
+
+/// Dense interval × function matrices of self time and call counts.
+///
+/// Columns are the union of functions appearing in any interval, in
+/// [`FunctionId`] order. "Not all functions in a program end up being
+/// represented in the profile data" (paper footnote 3) — columns exist
+/// only for observed functions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalMatrix {
+    functions: Vec<FunctionId>,
+    col_of: BTreeMap<FunctionId, usize>,
+    /// Row-major `n_intervals × n_functions` self time in seconds.
+    self_secs: Vec<f64>,
+    /// Row-major call counts.
+    calls: Vec<u64>,
+    /// Row-major child (callee) time in seconds.
+    child_secs: Vec<f64>,
+    n_intervals: usize,
+}
+
+impl IntervalMatrix {
+    /// Build from per-interval profiles (the deltas of cumulative samples).
+    pub fn from_interval_profiles(intervals: &[FlatProfile]) -> IntervalMatrix {
+        let mut ids: Vec<FunctionId> = Vec::new();
+        {
+            let mut seen = BTreeMap::new();
+            for p in intervals {
+                for (id, _) in p.iter() {
+                    seen.entry(id).or_insert(());
+                }
+            }
+            ids.extend(seen.keys().copied());
+        }
+        let col_of: BTreeMap<FunctionId, usize> =
+            ids.iter().enumerate().map(|(c, &id)| (id, c)).collect();
+        let n = intervals.len();
+        let d = ids.len();
+        let mut self_secs = vec![0.0; n * d];
+        let mut calls = vec![0u64; n * d];
+        let mut child_secs = vec![0.0; n * d];
+        for (i, p) in intervals.iter().enumerate() {
+            for (id, stats) in p.iter() {
+                let c = col_of[&id];
+                self_secs[i * d + c] = stats.self_time as f64 / 1e9;
+                calls[i * d + c] = stats.calls;
+                child_secs[i * d + c] = stats.child_time as f64 / 1e9;
+            }
+        }
+        IntervalMatrix { functions: ids, col_of, self_secs, calls, child_secs, n_intervals: n }
+    }
+
+    /// Number of intervals (rows).
+    pub fn n_intervals(&self) -> usize {
+        self.n_intervals
+    }
+
+    /// Number of functions (columns).
+    pub fn n_functions(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// The functions, in column order.
+    pub fn functions(&self) -> &[FunctionId] {
+        &self.functions
+    }
+
+    /// Column of `id`, if the function was ever observed.
+    pub fn col_of(&self, id: FunctionId) -> Option<usize> {
+        self.col_of.get(&id).copied()
+    }
+
+    /// Function at column `col`.
+    pub fn function_at(&self, col: usize) -> FunctionId {
+        self.functions[col]
+    }
+
+    /// Self time (seconds) of column `col` in interval `i`.
+    #[inline]
+    pub fn self_secs(&self, i: usize, col: usize) -> f64 {
+        self.self_secs[i * self.functions.len() + col]
+    }
+
+    /// Call count of column `col` in interval `i`.
+    #[inline]
+    pub fn calls(&self, i: usize, col: usize) -> u64 {
+        self.calls[i * self.functions.len() + col]
+    }
+
+    /// Child (callee) time in seconds of column `col` in interval `i`.
+    #[inline]
+    pub fn child_secs(&self, i: usize, col: usize) -> f64 {
+        self.child_secs[i * self.functions.len() + col]
+    }
+
+    /// Whether column `col` is *active* in interval `i` — "has a non-zero
+    /// execution time" (paper §V-B).
+    #[inline]
+    pub fn active(&self, i: usize, col: usize) -> bool {
+        self.self_secs(i, col) > 0.0
+    }
+
+    /// Self-time row `i` as a feature vector (the clustering input).
+    pub fn feature_row(&self, i: usize) -> &[f64] {
+        let d = self.functions.len();
+        &self.self_secs[i * d..(i + 1) * d]
+    }
+
+    /// All feature rows (one per interval), cloned.
+    pub fn feature_rows(&self) -> Vec<Vec<f64>> {
+        (0..self.n_intervals).map(|i| self.feature_row(i).to_vec()).collect()
+    }
+
+    /// Total self time (seconds) of the whole run (sum over the matrix).
+    pub fn total_self_secs(&self) -> f64 {
+        self.self_secs.iter().sum()
+    }
+
+    /// Total self time (seconds) of column `col` over all intervals.
+    pub fn column_total_secs(&self, col: usize) -> f64 {
+        (0..self.n_intervals).map(|i| self.self_secs(i, col)).sum()
+    }
+
+    /// The *rank* of a function within a set of intervals: "the fraction
+    /// of intervals in the phase that the function is active in" (§V-B).
+    pub fn rank_in(&self, col: usize, interval_set: &[usize]) -> f64 {
+        if interval_set.is_empty() {
+            return 0.0;
+        }
+        let active = interval_set.iter().filter(|&&i| self.active(i, col)).count();
+        active as f64 / interval_set.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incprof_profile::FunctionStats;
+
+    fn fid(n: u32) -> FunctionId {
+        FunctionId(n)
+    }
+
+    fn profile(entries: &[(u32, u64, u64)]) -> FlatProfile {
+        let mut p = FlatProfile::new();
+        for &(id, self_ns, calls) in entries {
+            p.set(fid(id), FunctionStats { self_time: self_ns, calls, child_time: 0 });
+        }
+        p
+    }
+
+    fn sample_matrix() -> IntervalMatrix {
+        IntervalMatrix::from_interval_profiles(&[
+            profile(&[(0, 1_000_000_000, 2)]),
+            profile(&[(0, 500_000_000, 1), (2, 250_000_000, 10)]),
+            profile(&[(2, 750_000_000, 0)]),
+        ])
+    }
+
+    #[test]
+    fn columns_are_union_in_id_order() {
+        let m = sample_matrix();
+        assert_eq!(m.n_intervals(), 3);
+        assert_eq!(m.n_functions(), 2);
+        assert_eq!(m.functions(), &[fid(0), fid(2)]);
+        assert_eq!(m.col_of(fid(2)), Some(1));
+        assert_eq!(m.col_of(fid(1)), None);
+    }
+
+    #[test]
+    fn values_land_in_right_cells() {
+        let m = sample_matrix();
+        assert_eq!(m.self_secs(0, 0), 1.0);
+        assert_eq!(m.self_secs(0, 1), 0.0);
+        assert_eq!(m.self_secs(1, 1), 0.25);
+        assert_eq!(m.calls(1, 1), 10);
+        assert_eq!(m.calls(2, 1), 0);
+        assert_eq!(m.self_secs(2, 1), 0.75);
+    }
+
+    #[test]
+    fn activity_and_rank() {
+        let m = sample_matrix();
+        assert!(m.active(0, 0));
+        assert!(!m.active(2, 0));
+        assert!(m.active(2, 1), "zero calls but nonzero time is active");
+        assert_eq!(m.rank_in(0, &[0, 1, 2]), 2.0 / 3.0);
+        assert_eq!(m.rank_in(1, &[1, 2]), 1.0);
+        assert_eq!(m.rank_in(1, &[]), 0.0);
+    }
+
+    #[test]
+    fn feature_rows_match_cells() {
+        let m = sample_matrix();
+        assert_eq!(m.feature_row(1), &[0.5, 0.25]);
+        let rows = m.feature_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], vec![0.0, 0.75]);
+    }
+
+    #[test]
+    fn totals() {
+        let m = sample_matrix();
+        assert!((m.total_self_secs() - 2.5).abs() < 1e-12);
+        assert!((m.column_total_secs(0) - 1.5).abs() < 1e-12);
+        assert!((m.column_total_secs(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn child_time_is_tracked() {
+        let mut p = FlatProfile::new();
+        p.set(fid(0), FunctionStats { self_time: 0, calls: 1, child_time: 2_000_000_000 });
+        let m = IntervalMatrix::from_interval_profiles(&[p]);
+        assert_eq!(m.child_secs(0, 0), 2.0);
+        assert!(!m.active(0, 0), "child time alone is not activity");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let m = IntervalMatrix::from_interval_profiles(&[]);
+        assert_eq!(m.n_intervals(), 0);
+        assert_eq!(m.n_functions(), 0);
+        assert_eq!(m.total_self_secs(), 0.0);
+        let m2 = IntervalMatrix::from_interval_profiles(&[FlatProfile::new()]);
+        assert_eq!(m2.n_intervals(), 1);
+        assert_eq!(m2.n_functions(), 0);
+        assert_eq!(m2.feature_row(0).len(), 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Ordered cumulative snapshot series and the delta step.
+
+use incprof_profile::{FlatProfile, ProfileError, ProfileSnapshot};
+use serde::{Deserialize, Serialize};
+
+/// The sequence of cumulative snapshots produced by a collection run —
+/// the in-memory equivalent of the paper's numbered `gmon.out` samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SampleSeries {
+    snapshots: Vec<ProfileSnapshot>,
+}
+
+impl SampleSeries {
+    /// Empty series.
+    pub fn new() -> SampleSeries {
+        Self::default()
+    }
+
+    /// Append a snapshot. Snapshots must arrive in sample-index order.
+    ///
+    /// # Panics
+    /// Panics if `snap.sample_index` is not the next expected index.
+    pub fn push(&mut self, snap: ProfileSnapshot) {
+        let expected = self.snapshots.len() as u64;
+        assert_eq!(
+            snap.sample_index, expected,
+            "snapshot index {} out of order (expected {expected})",
+            snap.sample_index
+        );
+        self.snapshots.push(snap);
+    }
+
+    /// Number of cumulative samples collected.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether no samples have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Borrow the cumulative snapshots.
+    pub fn snapshots(&self) -> &[ProfileSnapshot] {
+        &self.snapshots
+    }
+
+    /// The last cumulative snapshot, if any (the whole-run profile).
+    pub fn last(&self) -> Option<&ProfileSnapshot> {
+        self.snapshots.last()
+    }
+
+    /// Compute per-interval flat profiles by subtracting consecutive
+    /// cumulative samples (paper §V-A). Interval `i` is
+    /// `snapshot[i] - snapshot[i-1]`, with interval 0 measured from the
+    /// empty profile (program start). Returns one profile per snapshot.
+    pub fn interval_profiles(&self) -> Result<Vec<FlatProfile>, ProfileError> {
+        let mut out = Vec::with_capacity(self.snapshots.len());
+        let mut prev = FlatProfile::new();
+        for snap in &self.snapshots {
+            out.push(snap.flat.delta(&prev)?);
+            prev = snap.flat.clone();
+        }
+        Ok(out)
+    }
+
+    /// Like [`SampleSeries::interval_profiles`] but over externally
+    /// supplied cumulative profiles (e.g. ones reconstructed from parsed
+    /// gprof reports via [`crate::report_path`]).
+    pub fn deltas_of(cumulative: &[FlatProfile]) -> Result<Vec<FlatProfile>, ProfileError> {
+        let empty = FlatProfile::new();
+        let mut out = Vec::with_capacity(cumulative.len());
+        let mut prev = &empty;
+        for cur in cumulative {
+            out.push(cur.delta(prev)?);
+            prev = cur;
+        }
+        Ok(out)
+    }
+}
+
+impl FromIterator<ProfileSnapshot> for SampleSeries {
+    fn from_iter<T: IntoIterator<Item = ProfileSnapshot>>(iter: T) -> Self {
+        let mut s = SampleSeries::new();
+        for snap in iter {
+            s.push(snap);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incprof_profile::{FunctionId, FunctionStats};
+
+    fn snap(idx: u64, entries: &[(u32, u64, u64)]) -> ProfileSnapshot {
+        let mut s = ProfileSnapshot { sample_index: idx, timestamp_ns: idx * 1000, ..Default::default() };
+        for &(id, self_time, calls) in entries {
+            s.flat.set(FunctionId(id), FunctionStats { self_time, calls, child_time: 0 });
+        }
+        s
+    }
+
+    #[test]
+    fn interval_profiles_subtract_consecutive_samples() {
+        let series: SampleSeries = vec![
+            snap(0, &[(0, 100, 1)]),
+            snap(1, &[(0, 250, 2), (1, 40, 1)]),
+            snap(2, &[(0, 250, 2), (1, 90, 1)]),
+        ]
+        .into_iter()
+        .collect();
+        let intervals = series.interval_profiles().unwrap();
+        assert_eq!(intervals.len(), 3);
+        assert_eq!(intervals[0].get(FunctionId(0)).self_time, 100);
+        assert_eq!(intervals[1].get(FunctionId(0)).self_time, 150);
+        assert_eq!(intervals[1].get(FunctionId(1)).calls, 1);
+        assert!(!intervals[2].contains(FunctionId(0)), "idle function absent from delta");
+        assert_eq!(intervals[2].get(FunctionId(1)).self_time, 50);
+    }
+
+    #[test]
+    fn reconstruction_invariant_sum_of_deltas_is_last_sample() {
+        let series: SampleSeries = vec![
+            snap(0, &[(0, 10, 1)]),
+            snap(1, &[(0, 30, 3), (2, 7, 1)]),
+            snap(2, &[(0, 45, 4), (2, 7, 1)]),
+        ]
+        .into_iter()
+        .collect();
+        let intervals = series.interval_profiles().unwrap();
+        let mut sum = FlatProfile::new();
+        for p in &intervals {
+            sum.merge(p);
+        }
+        assert_eq!(sum, series.last().unwrap().flat);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_push_panics() {
+        let mut series = SampleSeries::new();
+        series.push(snap(1, &[]));
+    }
+
+    #[test]
+    fn empty_series() {
+        let series = SampleSeries::new();
+        assert!(series.is_empty());
+        assert!(series.last().is_none());
+        assert!(series.interval_profiles().unwrap().is_empty());
+    }
+
+    #[test]
+    fn regression_in_series_is_an_error() {
+        let series: SampleSeries =
+            vec![snap(0, &[(0, 100, 1)]), snap(1, &[(0, 50, 1)])].into_iter().collect();
+        assert!(series.interval_profiles().is_err());
+    }
+
+    #[test]
+    fn deltas_of_external_profiles() {
+        let mut a = FlatProfile::new();
+        a.set(FunctionId(0), FunctionStats { self_time: 5, calls: 1, child_time: 0 });
+        let mut b = FlatProfile::new();
+        b.set(FunctionId(0), FunctionStats { self_time: 9, calls: 2, child_time: 0 });
+        let deltas = SampleSeries::deltas_of(&[a, b]).unwrap();
+        assert_eq!(deltas[1].get(FunctionId(0)).self_time, 4);
+        assert_eq!(deltas[1].get(FunctionId(0)).calls, 1);
+    }
+}

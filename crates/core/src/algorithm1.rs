@@ -1,0 +1,482 @@
+//! Algorithm 1: Instrumentation Identification (paper §V-B).
+//!
+//! A faithful implementation of the paper's greedy site-selection
+//! algorithm, including the published refinements described in the prose:
+//!
+//! * intervals are processed from most-representative (closest to the
+//!   cluster centroid) outward (line 3);
+//! * an interval already containing a previously selected function is
+//!   skipped — it is covered (lines 7–9);
+//! * within an interval, active functions are sorted by call count
+//!   ascending, then rank descending (line 10); ties break on function id
+//!   for determinism;
+//! * the chosen function is tagged *body* if it had calls in the interval
+//!   and *loop* if it was active with zero calls (lines 12–16);
+//! * selection stops once the selected sites cover at least the
+//!   configured fraction of the phase's intervals (the paper's 95%
+//!   threshold, §VI), leaving outliers uncovered.
+
+use crate::types::{InstrumentationSite, InstrumentationType, Phase};
+use incprof_collect::IntervalMatrix;
+use incprof_profile::FunctionId;
+use std::collections::BTreeMap;
+
+/// Inputs that vary per cluster: the member intervals, each paired with
+/// its (squared) distance to the cluster centroid.
+#[derive(Debug, Clone)]
+pub struct ClusterIntervals {
+    /// Interval indices belonging to this cluster.
+    pub intervals: Vec<usize>,
+    /// Distance to the centroid per member, parallel to `intervals`.
+    pub centroid_dist: Vec<f64>,
+}
+
+/// Configuration for Algorithm 1.
+#[derive(Debug, Clone, Copy)]
+pub struct Algorithm1Config {
+    /// Stop selecting once this fraction of a phase's intervals is
+    /// covered (paper: 0.95).
+    pub coverage_threshold: f64,
+}
+
+impl Default for Algorithm1Config {
+    fn default() -> Self {
+        Algorithm1Config { coverage_threshold: 0.95 }
+    }
+}
+
+/// Shared heartbeat-id assignment across all phases of one analysis:
+/// each distinct ⟨function, instrumentation type⟩ pair gets one id, in
+/// first-selection order, starting at 1 (the paper's "HB ID" column).
+#[derive(Debug, Default)]
+pub struct HbIdAssigner {
+    ids: BTreeMap<(FunctionId, InstrumentationType), u32>,
+}
+
+impl HbIdAssigner {
+    /// Create an empty assigner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Id for a site, allocating the next id on first sight.
+    pub fn assign(&mut self, f: FunctionId, t: InstrumentationType) -> u32 {
+        let next = self.ids.len() as u32 + 1;
+        *self.ids.entry((f, t)).or_insert(next)
+    }
+}
+
+/// Run Algorithm 1 for every cluster, producing the phase set `P`.
+///
+/// `clusters[i]` describes phase `i`. `matrix` supplies the per-interval
+/// function activity (self time) and call counts `F`; ranks `R` are
+/// computed per phase from the matrix as "the fraction of intervals in
+/// the phase that the function is active in".
+pub fn identify_instrumentation(
+    matrix: &IntervalMatrix,
+    clusters: &[ClusterIntervals],
+    config: Algorithm1Config,
+) -> Vec<Phase> {
+    let mut assigner = HbIdAssigner::new();
+    clusters
+        .iter()
+        .enumerate()
+        .map(|(phase_id, cluster)| {
+            select_sites_for_phase(matrix, phase_id, cluster, config, &mut assigner)
+        })
+        .collect()
+}
+
+fn select_sites_for_phase(
+    matrix: &IntervalMatrix,
+    phase_id: usize,
+    cluster: &ClusterIntervals,
+    config: Algorithm1Config,
+    assigner: &mut HbIdAssigner,
+) -> Phase {
+    assert_eq!(cluster.intervals.len(), cluster.centroid_dist.len());
+    let n_phase = cluster.intervals.len();
+    let total_intervals = matrix.n_intervals().max(1);
+
+    // Per-phase function ranks (R in the paper).
+    let ranks: Vec<f64> = (0..matrix.n_functions())
+        .map(|col| matrix.rank_in(col, &cluster.intervals))
+        .collect();
+
+    // Line 3: sort intervals by distance to the centroid (most
+    // representative first). Ties break on interval index.
+    let mut order: Vec<usize> = (0..n_phase).collect();
+    order.sort_by(|&a, &b| {
+        cluster.centroid_dist[a]
+            .partial_cmp(&cluster.centroid_dist[b])
+            .unwrap()
+            .then(cluster.intervals[a].cmp(&cluster.intervals[b]))
+    });
+
+    // Selected sites, plus per-site attribution of covered intervals.
+    let mut sites: Vec<InstrumentationSite> = Vec::new();
+    let mut selected: BTreeMap<(FunctionId, InstrumentationType), usize> = BTreeMap::new();
+    // Whole-phase coverage of the selected site set, updated as sites are
+    // added: covered_flags[pos] is true when any selected function is
+    // active in cluster interval `pos`.
+    let mut covered_flags = vec![false; n_phase];
+    let mut covered_count = 0usize;
+
+    for &pos in &order {
+        let interval = cluster.intervals[pos];
+
+        // Lines 7-9: an interval already covered by a selected function is
+        // attributed to the first such site and skipped.
+        if covered_flags[pos] {
+            if let Some(site_idx) = first_covering_site(matrix, interval, &sites) {
+                sites[site_idx].covered_intervals.push(interval);
+            }
+            continue;
+        }
+
+        // Coverage threshold (paper §VI): "once selected sites covered
+        // that much of the intervals in a phase, no further site selection
+        // was done" — the threshold gates *selection*, computed over the
+        // whole phase, leaving outlier intervals uncovered.
+        if n_phase > 0 && covered_count as f64 / n_phase as f64 >= config.coverage_threshold {
+            continue;
+        }
+
+        // Line 10: active functions sorted by calls asc, then rank desc.
+        let mut active: Vec<usize> = (0..matrix.n_functions())
+            .filter(|&col| matrix.active(interval, col))
+            .collect();
+        if active.is_empty() {
+            continue; // an all-idle interval cannot select a site
+        }
+        active.sort_by(|&a, &b| {
+            matrix
+                .calls(interval, a)
+                .cmp(&matrix.calls(interval, b))
+                .then(ranks[b].partial_cmp(&ranks[a]).unwrap())
+                // Residual tie (same calls, same rank — e.g. two kernels
+                // invoked once per timestep): prefer the function that
+                // dominates the interval's time, i.e. the one most
+                // representative of the phase behavior.
+                .then(
+                    matrix
+                        .self_secs(interval, b)
+                        .partial_cmp(&matrix.self_secs(interval, a))
+                        .unwrap(),
+                )
+                .then(matrix.function_at(a).cmp(&matrix.function_at(b)))
+        });
+
+        // Lines 11-16: take the top function; tag body/loop. The
+        // pseudocode tests the triggering interval's calls, but the
+        // paper's prose is the robust form we implement: "A function is
+        // designated for loop instrumentation if it is active and
+        // selected ... but has zero calls for MOST intervals in that
+        // phase, meaning that it is long-lived." (Ties between equally
+        // representative intervals would otherwise make the tag depend
+        // on processing order.)
+        let col = active[0];
+        let f = matrix.function_at(col);
+        let active_ivs = cluster
+            .intervals
+            .iter()
+            .copied()
+            .filter(|&i| matrix.active(i, col))
+            .count();
+        let with_calls = cluster
+            .intervals
+            .iter()
+            .copied()
+            .filter(|&i| matrix.active(i, col) && matrix.calls(i, col) > 0)
+            .count();
+        let inst_type = if with_calls * 2 >= active_ivs.max(1) {
+            InstrumentationType::Body
+        } else {
+            InstrumentationType::Loop
+        };
+
+        // Lines 17-19: add if new; either way the interval is now covered
+        // and attributed to the site.
+        let site_idx = *selected.entry((f, inst_type)).or_insert_with(|| {
+            let hb_id = assigner.assign(f, inst_type);
+            sites.push(InstrumentationSite {
+                function: f,
+                inst_type,
+                hb_id,
+                covered_intervals: Vec::new(),
+                phase_pct: 0.0,
+                app_pct: 0.0,
+            });
+            sites.len() - 1
+        });
+        sites[site_idx].covered_intervals.push(interval);
+        // Update whole-phase coverage with the newly selected function.
+        for (p, flag) in covered_flags.iter_mut().enumerate() {
+            if !*flag && matrix.active(cluster.intervals[p], col) {
+                *flag = true;
+                covered_count += 1;
+            }
+        }
+    }
+
+    for site in &mut sites {
+        site.covered_intervals.sort_unstable();
+        site.phase_pct = 100.0 * site.covered_intervals.len() as f64 / n_phase.max(1) as f64;
+        site.app_pct = 100.0 * site.covered_intervals.len() as f64 / total_intervals as f64;
+    }
+
+    let mut intervals = cluster.intervals.clone();
+    intervals.sort_unstable();
+    Phase { id: phase_id, intervals, sites }
+}
+
+/// Index of the first (selection-order) site whose function is active in
+/// `interval`, if any. Matches the paper's membership test `f ∈ P_i`,
+/// which is keyed on the function regardless of instrumentation type.
+fn first_covering_site(
+    matrix: &IntervalMatrix,
+    interval: usize,
+    sites: &[InstrumentationSite],
+) -> Option<usize> {
+    sites.iter().position(|s| {
+        matrix.col_of(s.function).is_some_and(|col| matrix.active(interval, col))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incprof_profile::{FlatProfile, FunctionStats};
+
+    fn profile(entries: &[(u32, u64, u64)]) -> FlatProfile {
+        let mut p = FlatProfile::new();
+        for &(id, self_ns, calls) in entries {
+            p.set(FunctionId(id), FunctionStats { self_time: self_ns, calls, child_time: 0 });
+        }
+        p
+    }
+
+    fn cluster(intervals: Vec<usize>) -> ClusterIntervals {
+        let centroid_dist = intervals.iter().map(|&i| i as f64 * 0.0).collect();
+        ClusterIntervals { intervals, centroid_dist }
+    }
+
+    /// A phase where one function dominates with few calls, plus a noisy
+    /// helper with many calls: the helper must not be selected.
+    #[test]
+    fn prefers_low_call_count_functions() {
+        let intervals = vec![
+            profile(&[(1, 900, 1), (2, 100, 1000)]),
+            profile(&[(1, 900, 1), (2, 100, 900)]),
+            profile(&[(1, 900, 1), (2, 100, 950)]),
+        ];
+        let matrix = IntervalMatrix::from_interval_profiles(&intervals);
+        let phases = identify_instrumentation(
+            &matrix,
+            &[cluster(vec![0, 1, 2])],
+            Algorithm1Config::default(),
+        );
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].sites.len(), 1);
+        let site = &phases[0].sites[0];
+        assert_eq!(site.function, FunctionId(1));
+        assert_eq!(site.inst_type, InstrumentationType::Body);
+        assert_eq!(site.phase_pct, 100.0);
+    }
+
+    /// A long-lived function (active, zero calls) must get a loop site.
+    #[test]
+    fn zero_calls_yields_loop_type() {
+        let intervals = vec![profile(&[(3, 1000, 0)]), profile(&[(3, 1000, 0)])];
+        let matrix = IntervalMatrix::from_interval_profiles(&intervals);
+        let phases =
+            identify_instrumentation(&matrix, &[cluster(vec![0, 1])], Algorithm1Config::default());
+        assert_eq!(phases[0].sites[0].inst_type, InstrumentationType::Loop);
+    }
+
+    /// Rank breaks call-count ties: the function active in more of the
+    /// phase's intervals wins.
+    #[test]
+    fn rank_breaks_ties() {
+        let intervals = vec![
+            profile(&[(1, 500, 2), (2, 500, 2)]),
+            profile(&[(1, 500, 2)]),
+            profile(&[(1, 500, 2)]),
+        ];
+        let matrix = IntervalMatrix::from_interval_profiles(&intervals);
+        let phases = identify_instrumentation(
+            &matrix,
+            &[cluster(vec![0, 1, 2])],
+            Algorithm1Config::default(),
+        );
+        // Function 1 has rank 1.0, function 2 rank 1/3; same calls in
+        // interval 0.
+        assert_eq!(phases[0].sites[0].function, FunctionId(1));
+        assert_eq!(phases[0].sites[0].phase_pct, 100.0);
+    }
+
+    /// Two disjoint behaviors inside one cluster need two sites; coverage
+    /// percentages are attributed disjointly and sum to 100%.
+    #[test]
+    fn multiple_sites_cover_disjoint_intervals() {
+        let intervals = vec![
+            profile(&[(1, 1000, 1)]),
+            profile(&[(1, 1000, 1)]),
+            profile(&[(2, 1000, 1)]),
+        ];
+        let matrix = IntervalMatrix::from_interval_profiles(&intervals);
+        let phases = identify_instrumentation(
+            &matrix,
+            &[cluster(vec![0, 1, 2])],
+            Algorithm1Config::default(),
+        );
+        let p = &phases[0];
+        assert_eq!(p.sites.len(), 2);
+        let pct_sum: f64 = p.sites.iter().map(|s| s.phase_pct).sum();
+        assert!((pct_sum - 100.0).abs() < 1e-9);
+        // Sites keyed to different functions.
+        assert_ne!(p.sites[0].function, p.sites[1].function);
+    }
+
+    /// With the 95% threshold, a rare outlier interval must NOT force an
+    /// extra site.
+    #[test]
+    fn coverage_threshold_skips_outliers() {
+        // 19 intervals of function 1, 1 outlier of function 9 placed
+        // farthest from the centroid.
+        let mut profs: Vec<FlatProfile> = (0..19).map(|_| profile(&[(1, 1000, 1)])).collect();
+        profs.push(profile(&[(9, 1000, 1)]));
+        let matrix = IntervalMatrix::from_interval_profiles(&profs);
+        let cluster = ClusterIntervals {
+            intervals: (0..20).collect(),
+            centroid_dist: (0..20).map(|i| if i == 19 { 10.0 } else { 0.0 }).collect(),
+        };
+        let phases =
+            identify_instrumentation(&matrix, &[cluster], Algorithm1Config::default());
+        assert_eq!(phases[0].sites.len(), 1, "outlier must be skipped at 95%");
+        assert_eq!(phases[0].sites[0].phase_pct, 95.0);
+    }
+
+    /// Threshold 1.0 covers everything, selecting the outlier site too.
+    #[test]
+    fn full_threshold_covers_outliers() {
+        let mut profs: Vec<FlatProfile> = (0..19).map(|_| profile(&[(1, 1000, 1)])).collect();
+        profs.push(profile(&[(9, 1000, 1)]));
+        let matrix = IntervalMatrix::from_interval_profiles(&profs);
+        let cluster = ClusterIntervals {
+            intervals: (0..20).collect(),
+            centroid_dist: (0..20).map(|i| if i == 19 { 10.0 } else { 0.0 }).collect(),
+        };
+        let phases = identify_instrumentation(
+            &matrix,
+            &[cluster],
+            Algorithm1Config { coverage_threshold: 1.0 },
+        );
+        assert_eq!(phases[0].sites.len(), 2);
+    }
+
+    /// The same function can be a body site in one phase and a loop site
+    /// in another (the paper's Graph500 run_bfs result), with distinct
+    /// heartbeat ids.
+    #[test]
+    fn body_and_loop_variants_get_distinct_hb_ids() {
+        let intervals = vec![
+            profile(&[(1, 1000, 2)]), // phase 0: called -> body
+            profile(&[(1, 1000, 0)]), // phase 1: running -> loop
+        ];
+        let matrix = IntervalMatrix::from_interval_profiles(&intervals);
+        let phases = identify_instrumentation(
+            &matrix,
+            &[cluster(vec![0]), cluster(vec![1])],
+            Algorithm1Config::default(),
+        );
+        let s0 = &phases[0].sites[0];
+        let s1 = &phases[1].sites[0];
+        assert_eq!(s0.function, s1.function);
+        assert_eq!(s0.inst_type, InstrumentationType::Body);
+        assert_eq!(s1.inst_type, InstrumentationType::Loop);
+        assert_ne!(s0.hb_id, s1.hb_id);
+    }
+
+    /// The same ⟨function, type⟩ across two phases shares one heartbeat
+    /// id (the paper's MiniFE cg_solve appears as HB 2 in two phases).
+    #[test]
+    fn same_site_in_two_phases_shares_hb_id() {
+        let intervals = vec![profile(&[(1, 1000, 0)]), profile(&[(1, 1000, 0)])];
+        let matrix = IntervalMatrix::from_interval_profiles(&intervals);
+        let phases = identify_instrumentation(
+            &matrix,
+            &[cluster(vec![0]), cluster(vec![1])],
+            Algorithm1Config::default(),
+        );
+        assert_eq!(phases[0].sites[0].hb_id, phases[1].sites[0].hb_id);
+    }
+
+    /// Centroid-distance ordering drives which interval selects first:
+    /// the most representative interval's dominant function becomes the
+    /// first site.
+    #[test]
+    fn representative_interval_selects_first() {
+        let intervals = vec![
+            profile(&[(5, 1000, 1)]), // outlier-ish
+            profile(&[(1, 1000, 1)]), // representative
+            profile(&[(1, 1000, 1), (5, 10, 1)]),
+        ];
+        let matrix = IntervalMatrix::from_interval_profiles(&intervals);
+        let cluster = ClusterIntervals {
+            intervals: vec![0, 1, 2],
+            centroid_dist: vec![5.0, 0.1, 0.2],
+        };
+        let phases = identify_instrumentation(
+            &matrix,
+            &[cluster],
+            Algorithm1Config { coverage_threshold: 1.0 },
+        );
+        assert_eq!(phases[0].sites[0].function, FunctionId(1));
+        // Interval 2 contains function 1 -> covered by site 0, not a new
+        // site; interval 0 needs the second site.
+        assert_eq!(phases[0].sites[0].covered_intervals, vec![1, 2]);
+        assert_eq!(phases[0].sites[1].function, FunctionId(5));
+    }
+
+    #[test]
+    fn empty_cluster_produces_empty_phase() {
+        let matrix = IntervalMatrix::from_interval_profiles(&[profile(&[(1, 1, 1)])]);
+        let phases =
+            identify_instrumentation(&matrix, &[cluster(vec![])], Algorithm1Config::default());
+        assert!(phases[0].sites.is_empty());
+        assert!(phases[0].intervals.is_empty());
+    }
+
+    #[test]
+    fn all_idle_interval_is_skipped() {
+        let intervals = vec![profile(&[]), profile(&[(1, 10, 1)])];
+        let matrix = IntervalMatrix::from_interval_profiles(&intervals);
+        let phases = identify_instrumentation(
+            &matrix,
+            &[cluster(vec![0, 1])],
+            Algorithm1Config { coverage_threshold: 1.0 },
+        );
+        assert_eq!(phases[0].sites.len(), 1);
+        assert_eq!(phases[0].sites[0].covered_intervals, vec![1]);
+    }
+
+    #[test]
+    fn app_pct_uses_total_run_length() {
+        let intervals = vec![
+            profile(&[(1, 1000, 1)]),
+            profile(&[(1, 1000, 1)]),
+            profile(&[(2, 1000, 1)]),
+            profile(&[(2, 1000, 1)]),
+        ];
+        let matrix = IntervalMatrix::from_interval_profiles(&intervals);
+        let phases = identify_instrumentation(
+            &matrix,
+            &[cluster(vec![0, 1]), cluster(vec![2, 3])],
+            Algorithm1Config::default(),
+        );
+        assert_eq!(phases[0].sites[0].phase_pct, 100.0);
+        assert_eq!(phases[0].sites[0].app_pct, 50.0);
+        assert_eq!(phases[1].sites[0].app_pct, 50.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Phase-merging postprocessing (paper future work, §VI-A).
+//!
+//! Graph500 and LAMMPS both produced pairs of phases whose instrumentation
+//! reduces to the same function — "our phase discovery might need some
+//! postprocessing to combine phases which have the same instrumentation
+//! sites" and "Phases 0 and 2, with the PairLJCut::compute site, ... should
+//! really be identified as a single phase." This module implements that
+//! postprocessing: phases whose *site function sets* are equal (ignoring
+//! the body/loop distinction, which is an artifact of interval boundaries)
+//! are merged, percentages recomputed.
+
+use crate::pipeline::PhaseAnalysis;
+use crate::types::{InstrumentationSite, Phase};
+use std::collections::BTreeMap;
+
+/// Merge phases that share an identical set of site *functions*.
+///
+/// Returns a new analysis with merged phases renumbered 0..k' and
+/// `assignments` remapped. Within a merged phase, sites with the same
+/// ⟨function, type⟩ are combined (their covered intervals concatenated);
+/// body/loop variants of one function are kept distinct, as they
+/// represent different instrumentation placements.
+pub fn merge_phases_with_same_sites(analysis: &PhaseAnalysis) -> PhaseAnalysis {
+    let total_intervals: usize = analysis.phases.iter().map(|p| p.intervals.len()).sum();
+
+    // Group phase ids by their site-function signature.
+    let mut groups: BTreeMap<Vec<incprof_profile::FunctionId>, Vec<usize>> = BTreeMap::new();
+    for p in &analysis.phases {
+        groups.entry(p.site_functions()).or_default().push(p.id);
+    }
+
+    // Preserve original phase order: a group's position is its first
+    // member's position.
+    let mut ordered: Vec<Vec<usize>> = groups.into_values().collect();
+    ordered.sort_by_key(|ids| ids[0]);
+
+    let mut remap = vec![0usize; analysis.phases.len()];
+    let mut phases = Vec::with_capacity(ordered.len());
+    for (new_id, member_ids) in ordered.iter().enumerate() {
+        let mut intervals = Vec::new();
+        let mut merged_sites: BTreeMap<
+            (incprof_profile::FunctionId, crate::types::InstrumentationType),
+            InstrumentationSite,
+        > = BTreeMap::new();
+        let mut site_order = Vec::new();
+        for &pid in member_ids {
+            remap[pid] = new_id;
+            let p = &analysis.phases[pid];
+            intervals.extend_from_slice(&p.intervals);
+            for s in &p.sites {
+                let key = (s.function, s.inst_type);
+                match merged_sites.get_mut(&key) {
+                    Some(existing) => {
+                        existing.covered_intervals.extend_from_slice(&s.covered_intervals);
+                    }
+                    None => {
+                        site_order.push(key);
+                        merged_sites.insert(key, s.clone());
+                    }
+                }
+            }
+        }
+        intervals.sort_unstable();
+        let n_phase = intervals.len().max(1);
+        let sites = site_order
+            .into_iter()
+            .map(|key| {
+                let mut s = merged_sites.remove(&key).expect("key recorded at insert");
+                s.covered_intervals.sort_unstable();
+                s.phase_pct = 100.0 * s.covered_intervals.len() as f64 / n_phase as f64;
+                s.app_pct =
+                    100.0 * s.covered_intervals.len() as f64 / total_intervals.max(1) as f64;
+                s
+            })
+            .collect();
+        phases.push(Phase { id: new_id, intervals, sites });
+    }
+
+    let assignments = analysis.assignments.iter().map(|&a| remap[a]).collect();
+    PhaseAnalysis {
+        k: phases.len(),
+        assignments,
+        phases,
+        wcss_sweep: analysis.wcss_sweep.clone(),
+        silhouette_sweep: analysis.silhouette_sweep.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::InstrumentationType;
+    use incprof_profile::FunctionId;
+
+    fn site(
+        f: u32,
+        t: InstrumentationType,
+        hb: u32,
+        covered: Vec<usize>,
+    ) -> InstrumentationSite {
+        InstrumentationSite {
+            function: FunctionId(f),
+            inst_type: t,
+            hb_id: hb,
+            covered_intervals: covered,
+            phase_pct: 0.0,
+            app_pct: 0.0,
+        }
+    }
+
+    fn analysis_with_duplicate_site_phases() -> PhaseAnalysis {
+        // Mirrors the paper's Graph500: phases 1 and 2 both select
+        // run_bfs (body vs loop); phases 0 and 3 are distinct.
+        let phases = vec![
+            Phase {
+                id: 0,
+                intervals: vec![0, 1],
+                sites: vec![site(10, InstrumentationType::Loop, 1, vec![0, 1])],
+            },
+            Phase {
+                id: 1,
+                intervals: vec![2, 3],
+                sites: vec![site(20, InstrumentationType::Body, 2, vec![2, 3])],
+            },
+            Phase {
+                id: 2,
+                intervals: vec![4, 5],
+                sites: vec![site(20, InstrumentationType::Loop, 3, vec![4, 5])],
+            },
+            Phase {
+                id: 3,
+                intervals: vec![6],
+                sites: vec![site(30, InstrumentationType::Body, 4, vec![6])],
+            },
+        ];
+        PhaseAnalysis {
+            k: 4,
+            assignments: vec![0, 0, 1, 1, 2, 2, 3],
+            phases,
+            wcss_sweep: vec![],
+            silhouette_sweep: vec![],
+        }
+    }
+
+    #[test]
+    fn merges_phases_sharing_site_function() {
+        let merged = merge_phases_with_same_sites(&analysis_with_duplicate_site_phases());
+        assert_eq!(merged.k, 3);
+        // The merged run_bfs phase holds intervals 2..=5.
+        let bfs_phase = merged
+            .phases
+            .iter()
+            .find(|p| p.site_functions() == vec![FunctionId(20)])
+            .unwrap();
+        assert_eq!(bfs_phase.intervals, vec![2, 3, 4, 5]);
+        // Body and loop variants both retained.
+        assert_eq!(bfs_phase.sites.len(), 2);
+        // Assignments remapped consistently.
+        assert_eq!(merged.assignments[2], merged.assignments[4]);
+        assert_ne!(merged.assignments[0], merged.assignments[2]);
+    }
+
+    #[test]
+    fn percentages_recomputed_after_merge() {
+        let merged = merge_phases_with_same_sites(&analysis_with_duplicate_site_phases());
+        let bfs_phase = merged
+            .phases
+            .iter()
+            .find(|p| p.site_functions() == vec![FunctionId(20)])
+            .unwrap();
+        for s in &bfs_phase.sites {
+            assert!((s.phase_pct - 50.0).abs() < 1e-9);
+            // 2 covered of 7 total intervals.
+            assert!((s.app_pct - 100.0 * 2.0 / 7.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn distinct_phases_are_untouched() {
+        let input = analysis_with_duplicate_site_phases();
+        let merged = merge_phases_with_same_sites(&input);
+        let lone = merged
+            .phases
+            .iter()
+            .find(|p| p.site_functions() == vec![FunctionId(30)])
+            .unwrap();
+        assert_eq!(lone.intervals, vec![6]);
+        assert_eq!(lone.sites.len(), 1);
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let once = merge_phases_with_same_sites(&analysis_with_duplicate_site_phases());
+        let twice = merge_phases_with_same_sites(&once);
+        assert_eq!(once.k, twice.k);
+        assert_eq!(once.assignments, twice.assignments);
+    }
+
+    #[test]
+    fn no_duplicates_is_identity_shape() {
+        let input = PhaseAnalysis {
+            k: 2,
+            assignments: vec![0, 1],
+            phases: vec![
+                Phase {
+                    id: 0,
+                    intervals: vec![0],
+                    sites: vec![site(1, InstrumentationType::Body, 1, vec![0])],
+                },
+                Phase {
+                    id: 1,
+                    intervals: vec![1],
+                    sites: vec![site(2, InstrumentationType::Body, 2, vec![1])],
+                },
+            ],
+            wcss_sweep: vec![],
+            silhouette_sweep: vec![],
+        };
+        let merged = merge_phases_with_same_sites(&input);
+        assert_eq!(merged.k, 2);
+        assert_eq!(merged.assignments, vec![0, 1]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Phase and instrumentation-site types.
+
+use incprof_profile::FunctionId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a discovered site should be instrumented (paper §V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum InstrumentationType {
+    /// "The function body can be instrumented (essentially that the
+    /// instrumentation can be inserted at the start and end of the
+    /// function)" — chosen when the triggering interval saw calls.
+    Body,
+    /// "A loop within the function body needs instrumented" — chosen when
+    /// the function was active with zero calls in the triggering interval,
+    /// i.e. it is long-lived and "has continued to execute from being
+    /// invoked previously".
+    Loop,
+}
+
+impl fmt::Display for InstrumentationType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstrumentationType::Body => write!(f, "body"),
+            InstrumentationType::Loop => write!(f, "loop"),
+        }
+    }
+}
+
+/// One discovered instrumentation site within a phase — a row of the
+/// paper's Tables II–VI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstrumentationSite {
+    /// The function to instrument.
+    pub function: FunctionId,
+    /// Body or loop instrumentation.
+    pub inst_type: InstrumentationType,
+    /// Heartbeat id assigned to this ⟨function, type⟩ pair, unique across
+    /// the whole analysis (1-based, first-selection order), matching the
+    /// "HB ID" column.
+    pub hb_id: u32,
+    /// Intervals of the phase attributed to this site (each interval is
+    /// attributed to the first selected site active in it).
+    pub covered_intervals: Vec<usize>,
+    /// "Phase %": attributed intervals / phase size × 100.
+    pub phase_pct: f64,
+    /// "App %": attributed intervals / total run intervals × 100.
+    pub app_pct: f64,
+}
+
+/// One detected phase: a cluster of intervals plus its selected sites.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Phase id (cluster index).
+    pub id: usize,
+    /// Member interval indices, ascending.
+    pub intervals: Vec<usize>,
+    /// Selected instrumentation sites, in selection order.
+    pub sites: Vec<InstrumentationSite>,
+}
+
+impl Phase {
+    /// Fraction of this phase's intervals covered by its selected sites.
+    pub fn coverage(&self) -> f64 {
+        if self.intervals.is_empty() {
+            return 0.0;
+        }
+        let covered: usize = self.sites.iter().map(|s| s.covered_intervals.len()).sum();
+        covered as f64 / self.intervals.len() as f64
+    }
+
+    /// The distinct functions selected for this phase.
+    pub fn site_functions(&self) -> Vec<FunctionId> {
+        let mut v: Vec<FunctionId> = self.sites.iter().map(|s| s.function).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(f: u32, t: InstrumentationType, covered: Vec<usize>) -> InstrumentationSite {
+        InstrumentationSite {
+            function: FunctionId(f),
+            inst_type: t,
+            hb_id: 1,
+            covered_intervals: covered,
+            phase_pct: 0.0,
+            app_pct: 0.0,
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_spelling() {
+        assert_eq!(InstrumentationType::Body.to_string(), "body");
+        assert_eq!(InstrumentationType::Loop.to_string(), "loop");
+    }
+
+    #[test]
+    fn coverage_sums_site_attributions() {
+        let p = Phase {
+            id: 0,
+            intervals: vec![0, 1, 2, 3],
+            sites: vec![
+                site(1, InstrumentationType::Body, vec![0, 1]),
+                site(2, InstrumentationType::Loop, vec![2]),
+            ],
+        };
+        assert!((p.coverage() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_phase_coverage_is_zero() {
+        let p = Phase { id: 0, intervals: vec![], sites: vec![] };
+        assert_eq!(p.coverage(), 0.0);
+    }
+
+    #[test]
+    fn site_functions_dedupe() {
+        let p = Phase {
+            id: 0,
+            intervals: vec![0],
+            sites: vec![
+                site(2, InstrumentationType::Body, vec![]),
+                site(2, InstrumentationType::Loop, vec![]),
+                site(1, InstrumentationType::Body, vec![]),
+            ],
+        };
+        assert_eq!(p.site_functions(), vec![FunctionId(1), FunctionId(2)]);
+    }
+}

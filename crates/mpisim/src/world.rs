@@ -1,0 +1,70 @@
+//! World construction: spawn ranks and collect their results.
+
+use crate::comm::{Comm, Shared};
+use std::sync::Arc;
+
+/// Entry point for launching a rank-parallel region.
+pub struct World;
+
+impl World {
+    /// Run `f` on `size` ranks (threads), returning each rank's result in
+    /// rank order. Blocks until every rank finishes.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`, or re-raises a panic from any rank.
+    pub fn run<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Sync,
+    {
+        assert!(size >= 1, "world must have at least one rank");
+        let shared = Arc::new(Shared::new(size));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..size)
+                .map(|rank| {
+                    let comm = Comm::new(rank, Arc::clone(&shared));
+                    let f = &f;
+                    s.spawn(move || f(comm))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = World::run(6, |c| c.rank() * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = World::run(0, |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "rank panicked")]
+    fn rank_panic_propagates() {
+        let _ = World::run(2, |c| {
+            if c.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn closures_can_capture_environment() {
+        let base = 100usize;
+        let out = World::run(3, |c| base + c.rank());
+        assert_eq!(out, vec![100, 101, 102]);
+    }
+}

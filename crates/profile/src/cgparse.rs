@@ -1,0 +1,297 @@
+//! Parser for the call-graph section of a gprof-style text report.
+//!
+//! Completes the report round trip: [`crate::report::write_call_graph`]'s
+//! output (and the same general shape of GNU gprof's second table) parses
+//! back into per-function entries with caller and callee arcs, from which
+//! a [`CallGraphProfile`] can be rebuilt. The published IncProf analysis
+//! only consumes the flat profile, but the paper reports "ongoing
+//! experiments with using the call-graph profile data" (§IV) — this
+//! parser is what lets those experiments run from the same textual
+//! artifacts as everything else.
+
+use crate::callgraph::CallGraphProfile;
+use crate::error::ProfileError;
+use crate::function::FunctionTable;
+
+/// One arc line (caller or callee) in a call-graph entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedArc {
+    /// The other function's name.
+    pub name: String,
+    /// Seconds attributed along the arc.
+    pub child_secs: f64,
+    /// Calls along the arc.
+    pub count: u64,
+    /// The callee's total call count (the denominator of `count/total`).
+    pub total_calls: u64,
+}
+
+/// One primary entry of the call-graph table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedCgEntry {
+    /// gprof index (1-based).
+    pub index: usize,
+    /// Function name.
+    pub name: String,
+    /// Self seconds.
+    pub self_secs: f64,
+    /// Children seconds.
+    pub child_secs: f64,
+    /// Total calls.
+    pub calls: u64,
+    /// Arcs from callers (lines above the primary line).
+    pub callers: Vec<ParsedArc>,
+    /// Arcs to callees (lines below the primary line).
+    pub callees: Vec<ParsedArc>,
+}
+
+/// Parse the call-graph section of a report.
+///
+/// Sections are delimited by dashed separator lines; within a section the
+/// primary line starts with `[index]`, caller arcs precede it and callee
+/// arcs follow it.
+pub fn parse_call_graph(text: &str) -> Result<Vec<ParsedCgEntry>, ProfileError> {
+    // Skip ahead to the call-graph header.
+    let mut lines = text.lines().enumerate().peekable();
+    let mut in_section = false;
+    for (_, line) in lines.by_ref() {
+        if line.contains("Call graph") {
+            in_section = true;
+            break;
+        }
+    }
+    if !in_section {
+        return Ok(Vec::new());
+    }
+
+    let mut entries = Vec::new();
+    let mut block: Vec<(usize, &str)> = Vec::new();
+    for (lineno, line) in lines {
+        let trimmed = line.trim();
+        if trimmed.starts_with("---") {
+            if !block.is_empty() {
+                entries.push(parse_block(&block)?);
+                block.clear();
+            }
+            continue;
+        }
+        if trimmed.is_empty() || trimmed.starts_with("index") {
+            continue;
+        }
+        block.push((lineno + 1, line));
+    }
+    if !block.is_empty() {
+        entries.push(parse_block(&block)?);
+    }
+    Ok(entries)
+}
+
+fn parse_block(block: &[(usize, &str)]) -> Result<ParsedCgEntry, ProfileError> {
+    let primary_pos = block
+        .iter()
+        .position(|(_, l)| l.trim_start().starts_with('['))
+        .ok_or_else(|| ProfileError::ReportParse {
+            line: block.first().map(|(n, _)| *n).unwrap_or(0),
+            message: "call-graph block without a primary [index] line".into(),
+        })?;
+    let (lineno, primary) = block[primary_pos];
+    let entry = parse_primary(primary, lineno)?;
+    let mut callers = Vec::new();
+    for &(n, l) in &block[..primary_pos] {
+        callers.push(parse_arc(l, n)?);
+    }
+    let mut callees = Vec::new();
+    for &(n, l) in &block[primary_pos + 1..] {
+        callees.push(parse_arc(l, n)?);
+    }
+    Ok(ParsedCgEntry { callers, callees, ..entry })
+}
+
+/// Primary line: `[idx ] self children called        name [idx]`.
+fn parse_primary(line: &str, lineno: usize) -> Result<ParsedCgEntry, ProfileError> {
+    let err = |message: String| ProfileError::ReportParse { line: lineno, message };
+    let rest = line.trim_start();
+    let close = rest.find(']').ok_or_else(|| err("missing ] in primary line".into()))?;
+    let index: usize = rest[1..close]
+        .trim()
+        .parse()
+        .map_err(|e| err(format!("bad index: {e}")))?;
+    let mut fields = rest[close + 1..].split_whitespace();
+    let self_secs: f64 = fields
+        .next()
+        .ok_or_else(|| err("missing self seconds".into()))?
+        .parse()
+        .map_err(|e| err(format!("bad self seconds: {e}")))?;
+    let child_secs: f64 = fields
+        .next()
+        .ok_or_else(|| err("missing children seconds".into()))?
+        .parse()
+        .map_err(|e| err(format!("bad children seconds: {e}")))?;
+    let calls: u64 = fields
+        .next()
+        .ok_or_else(|| err("missing called column".into()))?
+        .parse()
+        .map_err(|e| err(format!("bad called column: {e}")))?;
+    // Name is everything up to the trailing `[idx]` echo.
+    let tail: Vec<&str> = fields.collect();
+    if tail.is_empty() {
+        return Err(err("missing function name".into()));
+    }
+    let name = if tail.last().is_some_and(|t| t.starts_with('[')) {
+        tail[..tail.len() - 1].join(" ")
+    } else {
+        tail.join(" ")
+    };
+    Ok(ParsedCgEntry {
+        index,
+        name,
+        self_secs,
+        child_secs,
+        calls,
+        callers: Vec::new(),
+        callees: Vec::new(),
+    })
+}
+
+/// Arc line: `            child_secs count/total    name`.
+fn parse_arc(line: &str, lineno: usize) -> Result<ParsedArc, ProfileError> {
+    let err = |message: String| ProfileError::ReportParse { line: lineno, message };
+    let mut fields = line.split_whitespace();
+    let child_secs: f64 = fields
+        .next()
+        .ok_or_else(|| err("missing arc seconds".into()))?
+        .parse()
+        .map_err(|e| err(format!("bad arc seconds: {e}")))?;
+    let ratio = fields.next().ok_or_else(|| err("missing count/total".into()))?;
+    let (count_s, total_s) = ratio
+        .split_once('/')
+        .ok_or_else(|| err(format!("bad count/total field {ratio:?}")))?;
+    let count: u64 =
+        count_s.parse().map_err(|e| err(format!("bad arc count: {e}")))?;
+    let total_calls: u64 =
+        total_s.parse().map_err(|e| err(format!("bad arc total: {e}")))?;
+    let name: Vec<&str> = fields.collect();
+    if name.is_empty() {
+        return Err(err("missing arc function name".into()));
+    }
+    Ok(ParsedArc { name: name.join(" "), child_secs, count, total_calls })
+}
+
+/// Rebuild a [`CallGraphProfile`] from parsed entries, registering names
+/// into `table`. Caller arcs are authoritative (each arc appears both as
+/// a caller line and a callee line; using one side avoids double
+/// counting).
+pub fn callgraph_from_entries(
+    entries: &[ParsedCgEntry],
+    table: &mut FunctionTable,
+) -> CallGraphProfile {
+    let mut cg = CallGraphProfile::new();
+    for e in entries {
+        let callee = table.register(e.name.clone());
+        for arc in &e.callers {
+            let caller = table.register(arc.name.clone());
+            cg.record_arcs(caller, callee, arc.count);
+            cg.record_arc_time(caller, callee, (arc.child_secs * 1e9).round() as u64);
+        }
+    }
+    cg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FunctionStats;
+    use crate::gmon::GmonData;
+    use crate::report::{write_call_graph, write_report};
+    use crate::function::FunctionId;
+
+    fn sample_gmon() -> GmonData {
+        let mut g = GmonData::default();
+        let main = g.functions.register("main");
+        let solve = g.functions.register("cg_solve");
+        let dot = g.functions.register("dot(const Vec&, const Vec&)");
+        g.flat.set(main, FunctionStats { self_time: 100_000_000, calls: 1, child_time: 5_000_000_000 });
+        g.flat.set(solve, FunctionStats { self_time: 4_000_000_000, calls: 3, child_time: 900_000_000 });
+        g.flat.set(dot, FunctionStats { self_time: 900_000_000, calls: 600, child_time: 0 });
+        g.callgraph.record_arcs(main, solve, 3);
+        g.callgraph.record_arc_time(main, solve, 4_900_000_000);
+        g.callgraph.record_arcs(solve, dot, 600);
+        g.callgraph.record_arc_time(solve, dot, 900_000_000);
+        g
+    }
+
+    #[test]
+    fn roundtrip_writer_output() {
+        let g = sample_gmon();
+        let text = write_call_graph(&g);
+        let entries = parse_call_graph(&text).unwrap();
+        assert_eq!(entries.len(), 3);
+        // Entries come in flat-profile order (self time desc): cg_solve,
+        // dot, main.
+        assert_eq!(entries[0].name, "cg_solve");
+        assert_eq!(entries[0].calls, 3);
+        assert_eq!(entries[0].callers.len(), 1);
+        assert_eq!(entries[0].callers[0].name, "main");
+        assert_eq!(entries[0].callers[0].count, 3);
+        assert_eq!(entries[0].callees.len(), 1);
+        assert_eq!(entries[0].callees[0].name, "dot(const Vec&, const Vec&)");
+        assert_eq!(entries[0].callees[0].count, 600);
+        assert!((entries[0].self_secs - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn rebuilt_callgraph_matches_original_arcs() {
+        let g = sample_gmon();
+        let text = write_call_graph(&g);
+        let entries = parse_call_graph(&text).unwrap();
+        let mut table = FunctionTable::new();
+        let cg = callgraph_from_entries(&entries, &mut table);
+        let main = table.id_of("main").unwrap();
+        let solve = table.id_of("cg_solve").unwrap();
+        let dot = table.id_of("dot(const Vec&, const Vec&)").unwrap();
+        assert_eq!(cg.get(main, solve).count, 3);
+        assert_eq!(cg.get(solve, dot).count, 600);
+        // Times survive within report rounding (10 ms).
+        let t = cg.get(main, solve).child_time;
+        assert!(t.abs_diff(4_900_000_000) <= 10_000_000, "{t}");
+        assert_eq!(cg.len(), 2);
+    }
+
+    #[test]
+    fn full_report_parses_both_sections() {
+        let g = sample_gmon();
+        let text = write_report(&g);
+        let flat = crate::report::parse_flat_profile(&text).unwrap();
+        assert_eq!(flat.len(), 3);
+        let entries = parse_call_graph(&text).unwrap();
+        assert_eq!(entries.len(), 3);
+    }
+
+    #[test]
+    fn missing_section_yields_empty() {
+        assert!(parse_call_graph("no call graph here").unwrap().is_empty());
+    }
+
+    #[test]
+    fn garbage_block_is_an_error() {
+        let text = "\t\t     Call graph\n\nnot a primary line\n-----\n";
+        assert!(parse_call_graph(text).is_err());
+    }
+
+    #[test]
+    fn recursive_arc_roundtrips() {
+        let mut g = GmonData::default();
+        let fib = g.functions.register("fib");
+        g.flat.set(fib, FunctionStats { self_time: 1_000_000_000, calls: 10, child_time: 0 });
+        g.callgraph.record_arcs(fib, fib, 9);
+        let text = write_call_graph(&g);
+        let entries = parse_call_graph(&text).unwrap();
+        assert_eq!(entries[0].callers[0].name, "fib");
+        assert_eq!(entries[0].callees[0].count, 9);
+        let mut table = FunctionTable::new();
+        let cg = callgraph_from_entries(&entries, &mut table);
+        let id = table.id_of("fib").unwrap();
+        assert_eq!(cg.get(id, id).count, 9);
+        let _: FunctionId = id;
+    }
+}

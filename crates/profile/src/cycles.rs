@@ -1,0 +1,226 @@
+//! Call-graph cycle detection (gprof's cycle analysis).
+//!
+//! gprof folds mutually recursive functions into named cycles before
+//! propagating times, because child-time attribution inside a strongly
+//! connected component is ill-defined. This module implements the same
+//! structural analysis — Tarjan's strongly-connected-components algorithm
+//! over the recorded arcs — so consumers (e.g. the call-graph-aware site
+//! lifting in `incprof-core`) can recognize and treat recursion groups as
+//! single units, exactly as gprof's reports do with their `<cycle N>`
+//! entries.
+
+use crate::callgraph::CallGraphProfile;
+use crate::function::FunctionId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One cycle (strongly connected component with ≥ 2 members, or a
+/// self-recursive singleton).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cycle {
+    /// Members, ascending by id.
+    pub members: Vec<FunctionId>,
+}
+
+impl Cycle {
+    /// Whether `f` belongs to this cycle.
+    pub fn contains(&self, f: FunctionId) -> bool {
+        self.members.binary_search(&f).is_ok()
+    }
+}
+
+/// Find all cycles in the call graph: SCCs of size ≥ 2, plus singletons
+/// with a self arc. Cycles are returned sorted by their smallest member.
+pub fn find_cycles(cg: &CallGraphProfile) -> Vec<Cycle> {
+    // Collect node set.
+    let mut nodes: BTreeSet<FunctionId> = BTreeSet::new();
+    for ((from, to), _) in cg.iter() {
+        nodes.insert(from);
+        nodes.insert(to);
+    }
+    let index_of: BTreeMap<FunctionId, usize> =
+        nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let node_list: Vec<FunctionId> = nodes.iter().copied().collect();
+    let n = node_list.len();
+
+    // Tarjan SCC, iterative to avoid recursion-depth limits on deep
+    // call chains.
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        index: Option<usize>,
+        lowlink: usize,
+        on_stack: bool,
+    }
+    let mut state = vec![NodeState { index: None, lowlink: 0, on_stack: false }; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    let successors: Vec<Vec<usize>> = node_list
+        .iter()
+        .map(|&f| cg.callees_of(f).into_iter().map(|t| index_of[&t]).collect())
+        .collect();
+
+    for start in 0..n {
+        if state[start].index.is_some() {
+            continue;
+        }
+        // Explicit DFS frames: (node, next successor position).
+        let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+        state[start].index = Some(next_index);
+        state[start].lowlink = next_index;
+        state[start].on_stack = true;
+        stack.push(start);
+        next_index += 1;
+
+        while let Some(&mut (v, ref mut succ_pos)) = frames.last_mut() {
+            if *succ_pos < successors[v].len() {
+                let w = successors[v][*succ_pos];
+                *succ_pos += 1;
+                match state[w].index {
+                    None => {
+                        state[w].index = Some(next_index);
+                        state[w].lowlink = next_index;
+                        state[w].on_stack = true;
+                        stack.push(w);
+                        next_index += 1;
+                        frames.push((w, 0));
+                    }
+                    Some(w_index) => {
+                        if state[w].on_stack {
+                            state[v].lowlink = state[v].lowlink.min(w_index);
+                        }
+                    }
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    let v_low = state[v].lowlink;
+                    state[parent].lowlink = state[parent].lowlink.min(v_low);
+                }
+                if state[v].lowlink == state[v].index.unwrap() {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        state[w].on_stack = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+
+    let mut cycles: Vec<Cycle> = sccs
+        .into_iter()
+        .filter(|scc| {
+            scc.len() >= 2 || {
+                let f = node_list[scc[0]];
+                cg.get(f, f).count > 0
+            }
+        })
+        .map(|scc| {
+            let mut members: Vec<FunctionId> =
+                scc.into_iter().map(|i| node_list[i]).collect();
+            members.sort_unstable();
+            Cycle { members }
+        })
+        .collect();
+    cycles.sort_by_key(|c| c.members[0]);
+    cycles
+}
+
+/// Map each function that belongs to a cycle to its cycle index in the
+/// output of [`find_cycles`].
+pub fn cycle_membership(cycles: &[Cycle]) -> BTreeMap<FunctionId, usize> {
+    let mut out = BTreeMap::new();
+    for (i, c) in cycles.iter().enumerate() {
+        for &m in &c.members {
+            out.insert(m, i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(n: u32) -> FunctionId {
+        FunctionId(n)
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycles() {
+        let mut cg = CallGraphProfile::new();
+        cg.record_arc(fid(0), fid(1));
+        cg.record_arc(fid(1), fid(2));
+        cg.record_arc(fid(0), fid(2));
+        assert!(find_cycles(&cg).is_empty());
+    }
+
+    #[test]
+    fn self_recursion_is_a_singleton_cycle() {
+        let mut cg = CallGraphProfile::new();
+        cg.record_arc(fid(0), fid(1));
+        cg.record_arcs(fid(1), fid(1), 5);
+        let cycles = find_cycles(&cg);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].members, vec![fid(1)]);
+    }
+
+    #[test]
+    fn mutual_recursion_found() {
+        let mut cg = CallGraphProfile::new();
+        cg.record_arc(fid(0), fid(1)); // main -> a
+        cg.record_arc(fid(1), fid(2)); // a -> b
+        cg.record_arc(fid(2), fid(1)); // b -> a
+        let cycles = find_cycles(&cg);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].members, vec![fid(1), fid(2)]);
+        assert!(cycles[0].contains(fid(1)));
+        assert!(!cycles[0].contains(fid(0)));
+    }
+
+    #[test]
+    fn three_way_cycle_plus_separate_pair() {
+        let mut cg = CallGraphProfile::new();
+        // Cycle A: 1 -> 2 -> 3 -> 1.
+        cg.record_arc(fid(1), fid(2));
+        cg.record_arc(fid(2), fid(3));
+        cg.record_arc(fid(3), fid(1));
+        // Cycle B: 5 <-> 6, fed from the first cycle.
+        cg.record_arc(fid(3), fid(5));
+        cg.record_arc(fid(5), fid(6));
+        cg.record_arc(fid(6), fid(5));
+        let cycles = find_cycles(&cg);
+        assert_eq!(cycles.len(), 2);
+        assert_eq!(cycles[0].members, vec![fid(1), fid(2), fid(3)]);
+        assert_eq!(cycles[1].members, vec![fid(5), fid(6)]);
+        let membership = cycle_membership(&cycles);
+        assert_eq!(membership[&fid(2)], 0);
+        assert_eq!(membership[&fid(6)], 1);
+        assert!(!membership.contains_key(&fid(0)));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 10k-deep chain exercises the iterative Tarjan.
+        let mut cg = CallGraphProfile::new();
+        for i in 0..10_000u32 {
+            cg.record_arc(fid(i), fid(i + 1));
+        }
+        // Close one long cycle at the tail.
+        cg.record_arc(fid(10_000), fid(9_000));
+        let cycles = find_cycles(&cg);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].members.len(), 1_001);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(find_cycles(&CallGraphProfile::new()).is_empty());
+    }
+}

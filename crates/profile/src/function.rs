@@ -1,0 +1,248 @@
+//! Function identities and the symbol table.
+//!
+//! gprof works in terms of program-counter addresses resolved to symbol
+//! names; our instrumentation runtime registers functions explicitly instead
+//! (the moral equivalent of the `-pg` compiler pass emitting an `mcount`
+//! call per function). [`FunctionTable`] owns the mapping from names and
+//! optional source locations to dense [`FunctionId`]s used everywhere else.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense numeric identifier for a registered function.
+///
+/// Ids are assigned in registration order starting from zero, so they can be
+/// used directly as indices into per-function vectors (the interval matrix
+/// in `incprof-collect` does exactly that).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FunctionId(pub u32);
+
+impl FunctionId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// Metadata about one registered function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionInfo {
+    /// Fully qualified (possibly demangled) function name, e.g.
+    /// `PairLJCut::compute` or `validate_bfs_result`.
+    pub name: String,
+    /// Source file, when known (gprof's line-level legacy mode; optional).
+    pub source_file: Option<String>,
+    /// 1-based line number of the function definition, when known.
+    pub line: Option<u32>,
+    /// Synthetic "address" for the function. Real gprof keys everything on
+    /// text-segment addresses; we synthesize stable fake addresses so the
+    /// gmon format has the same shape. Defaults to `0x1000 + 16 * id`.
+    pub address: u64,
+}
+
+impl FunctionInfo {
+    /// Create metadata with just a name; address is filled in at
+    /// registration time.
+    pub fn named(name: impl Into<String>) -> Self {
+        FunctionInfo { name: name.into(), source_file: None, line: None, address: 0 }
+    }
+
+    /// Create metadata with a source location.
+    pub fn with_location(name: impl Into<String>, file: impl Into<String>, line: u32) -> Self {
+        FunctionInfo {
+            name: name.into(),
+            source_file: Some(file.into()),
+            line: Some(line),
+            address: 0,
+        }
+    }
+}
+
+/// The symbol table: bidirectional mapping between function names and ids.
+///
+/// Registration is idempotent per name: registering the same name twice
+/// returns the same [`FunctionId`]. Iteration order is id order, i.e.
+/// registration order, and is fully deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionTable {
+    infos: Vec<FunctionInfo>,
+    #[serde(skip)]
+    by_name: HashMap<String, FunctionId>,
+}
+
+impl FunctionTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a function by name, returning its id. Idempotent.
+    pub fn register(&mut self, name: impl Into<String>) -> FunctionId {
+        self.register_info(FunctionInfo::named(name))
+    }
+
+    /// Register a function with full metadata, returning its id.
+    ///
+    /// If a function with the same name is already registered, the existing
+    /// id is returned and any *new* source location fills previously-unknown
+    /// fields (first writer wins for fields already set).
+    pub fn register_info(&mut self, mut info: FunctionInfo) -> FunctionId {
+        if let Some(&id) = self.by_name.get(&info.name) {
+            let existing = &mut self.infos[id.index()];
+            if existing.source_file.is_none() {
+                existing.source_file = info.source_file.take();
+            }
+            if existing.line.is_none() {
+                existing.line = info.line;
+            }
+            return id;
+        }
+        let id = FunctionId(self.infos.len() as u32);
+        if info.address == 0 {
+            // Synthetic, stable, strictly increasing fake text addresses.
+            info.address = 0x1000 + 16 * id.0 as u64;
+        }
+        self.by_name.insert(info.name.clone(), id);
+        self.infos.push(info);
+        id
+    }
+
+    /// Look up a function id by exact name.
+    pub fn id_of(&self, name: &str) -> Option<FunctionId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Metadata for `id`, or `None` if out of range.
+    pub fn info(&self, id: FunctionId) -> Option<&FunctionInfo> {
+        self.infos.get(id.index())
+    }
+
+    /// The name for `id`; `"<unknown>"` if the id is not registered
+    /// (useful when rendering reports against a mismatched table).
+    pub fn name(&self, id: FunctionId) -> &str {
+        self.infos.get(id.index()).map(|i| i.name.as_str()).unwrap_or("<unknown>")
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+
+    /// Iterate `(FunctionId, &FunctionInfo)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FunctionId, &FunctionInfo)> {
+        self.infos.iter().enumerate().map(|(i, info)| (FunctionId(i as u32), info))
+    }
+
+    /// Rebuild the name index after deserialization (serde skips the map).
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .infos
+            .iter()
+            .enumerate()
+            .map(|(i, info)| (info.name.clone(), FunctionId(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_assigns_dense_ids() {
+        let mut t = FunctionTable::new();
+        let a = t.register("alpha");
+        let b = t.register("beta");
+        let c = t.register("gamma");
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut t = FunctionTable::new();
+        let a1 = t.register("alpha");
+        let a2 = t.register("alpha");
+        assert_eq!(a1, a2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let mut t = FunctionTable::new();
+        let id = t.register("cg_solve");
+        assert_eq!(t.id_of("cg_solve"), Some(id));
+        assert_eq!(t.id_of("missing"), None);
+        assert_eq!(t.name(id), "cg_solve");
+        assert_eq!(t.name(FunctionId(42)), "<unknown>");
+    }
+
+    #[test]
+    fn synthetic_addresses_are_distinct_and_increasing() {
+        let mut t = FunctionTable::new();
+        let a = t.register("a");
+        let b = t.register("b");
+        let addr_a = t.info(a).unwrap().address;
+        let addr_b = t.info(b).unwrap().address;
+        assert!(addr_a != 0 && addr_b != 0);
+        assert!(addr_b > addr_a);
+    }
+
+    #[test]
+    fn reregistration_fills_missing_location() {
+        let mut t = FunctionTable::new();
+        let id = t.register("run_bfs");
+        assert!(t.info(id).unwrap().source_file.is_none());
+        let id2 = t.register_info(FunctionInfo::with_location("run_bfs", "bfs.c", 120));
+        assert_eq!(id, id2);
+        let info = t.info(id).unwrap();
+        assert_eq!(info.source_file.as_deref(), Some("bfs.c"));
+        assert_eq!(info.line, Some(120));
+    }
+
+    #[test]
+    fn first_location_wins() {
+        let mut t = FunctionTable::new();
+        t.register_info(FunctionInfo::with_location("f", "a.c", 1));
+        t.register_info(FunctionInfo::with_location("f", "b.c", 2));
+        let id = t.id_of("f").unwrap();
+        assert_eq!(t.info(id).unwrap().source_file.as_deref(), Some("a.c"));
+        assert_eq!(t.info(id).unwrap().line, Some(1));
+    }
+
+    #[test]
+    fn iteration_is_in_id_order() {
+        let mut t = FunctionTable::new();
+        t.register("z");
+        t.register("a");
+        t.register("m");
+        let names: Vec<&str> = t.iter().map(|(_, i)| i.name.as_str()).collect();
+        assert_eq!(names, vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut t = FunctionTable::new();
+        t.register("one");
+        t.register("two");
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: FunctionTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id_of("one"), None); // index skipped by serde
+        back.rebuild_index();
+        assert_eq!(back.id_of("one"), Some(FunctionId(0)));
+        assert_eq!(back.id_of("two"), Some(FunctionId(1)));
+    }
+}

@@ -1,0 +1,300 @@
+//! Line-level (gcov-style) coverage counters.
+//!
+//! The paper's data collection is function-level gprof, but footnote 1
+//! records "proof-of-concept implementations for both the gcov and
+//! JaCoCo tools", and §IV notes gprof's legacy line-level mode "now
+//! embodied in further development in the gcov tool". This module is
+//! that variant: per-source-line hit counters cheap enough to leave on
+//! (one relaxed atomic increment per hit), snapshotted cumulatively per
+//! interval exactly like the function profiles, so the same
+//! delta-cluster-select pipeline can run at line granularity.
+//!
+//! Line hits are *counts*, not times; a line-level IncProf clusters
+//! per-interval hit vectors. [`LineSnapshot::to_flat_profile`] bridges
+//! into the existing pipeline by presenting each line as a pseudo
+//! function (`file:line`) whose "self time" is its hit count, letting
+//! `incprof-core` run unchanged.
+
+use incprof_profile::{FlatProfile, FunctionId, FunctionStats, FunctionTable};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a registered source line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineId(pub u32);
+
+#[derive(Debug)]
+struct LineInfo {
+    file: String,
+    line: u32,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    lines: Vec<LineInfo>,
+}
+
+/// Process-wide line-coverage counters. Cheap to clone; clones share
+/// counters.
+#[derive(Debug, Clone, Default)]
+pub struct LineCoverage {
+    registry: Arc<RwLock<Registry>>,
+    counters: Arc<RwLock<Vec<Arc<AtomicU64>>>>,
+}
+
+impl LineCoverage {
+    /// Create an empty coverage map.
+    pub fn new() -> LineCoverage {
+        Self::default()
+    }
+
+    /// Register a `(file, line)` site, returning its id. Idempotent per
+    /// distinct pair.
+    pub fn register_line(&self, file: impl Into<String>, line: u32) -> LineId {
+        let file = file.into();
+        {
+            let reg = self.registry.read();
+            if let Some(pos) =
+                reg.lines.iter().position(|l| l.file == file && l.line == line)
+            {
+                return LineId(pos as u32);
+            }
+        }
+        let mut reg = self.registry.write();
+        // Double-check under the write lock.
+        if let Some(pos) = reg.lines.iter().position(|l| l.file == file && l.line == line) {
+            return LineId(pos as u32);
+        }
+        reg.lines.push(LineInfo { file, line });
+        self.counters.write().push(Arc::new(AtomicU64::new(0)));
+        LineId((reg.lines.len() - 1) as u32)
+    }
+
+    /// A cached handle to one line's counter, for hot loops (avoids the
+    /// registry lock per hit).
+    pub fn counter(&self, id: LineId) -> LineCounter {
+        LineCounter { counter: Arc::clone(&self.counters.read()[id.0 as usize]) }
+    }
+
+    /// Record one execution of `id`.
+    #[inline]
+    pub fn hit(&self, id: LineId) {
+        self.counters.read()[id.0 as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` executions of `id`.
+    #[inline]
+    pub fn hit_n(&self, id: LineId, n: u64) {
+        self.counters.read()[id.0 as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Number of registered lines.
+    pub fn len(&self) -> usize {
+        self.registry.read().lines.len()
+    }
+
+    /// Whether no lines are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `file:line` label of a registered line.
+    pub fn label(&self, id: LineId) -> String {
+        let reg = self.registry.read();
+        let info = &reg.lines[id.0 as usize];
+        format!("{}:{}", info.file, info.line)
+    }
+
+    /// Take a cumulative snapshot of all counters (the gcov analogue of
+    /// the per-interval gmon dump).
+    pub fn snapshot(&self) -> LineSnapshot {
+        let counters = self.counters.read();
+        LineSnapshot {
+            hits: counters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// Cached counter handle for one line.
+#[derive(Debug, Clone)]
+pub struct LineCounter {
+    counter: Arc<AtomicU64>,
+}
+
+impl LineCounter {
+    /// Record one execution.
+    #[inline]
+    pub fn hit(&self) {
+        self.counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` executions.
+    #[inline]
+    pub fn hit_n(&self, n: u64) {
+        self.counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// A cumulative line-hit snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LineSnapshot {
+    /// Cumulative hit count per registered line, indexed by [`LineId`].
+    pub hits: Vec<u64>,
+}
+
+impl LineSnapshot {
+    /// Per-interval delta (`self - earlier`). Later snapshots may know
+    /// more lines; missing earlier entries count as zero.
+    ///
+    /// # Panics
+    /// Panics if any counter regressed.
+    pub fn delta(&self, earlier: &LineSnapshot) -> LineSnapshot {
+        assert!(self.hits.len() >= earlier.hits.len(), "snapshots out of order");
+        LineSnapshot {
+            hits: self
+                .hits
+                .iter()
+                .enumerate()
+                .map(|(i, &h)| {
+                    let prev = earlier.hits.get(i).copied().unwrap_or(0);
+                    h.checked_sub(prev).expect("line counter regressed")
+                })
+                .collect(),
+        }
+    }
+
+    /// Bridge into the function-level pipeline: each line becomes a
+    /// pseudo function named `file:line` whose self time is its hit
+    /// count (1 hit = 1 ns) and whose call count equals the hits. Also
+    /// registers the pseudo functions into `table`.
+    pub fn to_flat_profile(&self, cov: &LineCoverage, table: &mut FunctionTable) -> FlatProfile {
+        let mut flat = FlatProfile::new();
+        for (i, &h) in self.hits.iter().enumerate() {
+            if h == 0 {
+                continue;
+            }
+            let id: FunctionId = table.register(cov.label(LineId(i as u32)));
+            flat.set(id, FunctionStats { self_time: h, calls: h, child_time: 0 });
+        }
+        flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent_per_site() {
+        let cov = LineCoverage::new();
+        let a = cov.register_line("bfs.c", 10);
+        let b = cov.register_line("bfs.c", 10);
+        let c = cov.register_line("bfs.c", 11);
+        let d = cov.register_line("other.c", 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(c, d);
+        assert_eq!(cov.len(), 3);
+        assert_eq!(cov.label(a), "bfs.c:10");
+    }
+
+    #[test]
+    fn hits_accumulate_and_snapshot() {
+        let cov = LineCoverage::new();
+        let a = cov.register_line("f.c", 1);
+        let b = cov.register_line("f.c", 2);
+        cov.hit(a);
+        cov.hit_n(b, 5);
+        cov.hit(a);
+        let snap = cov.snapshot();
+        assert_eq!(snap.hits, vec![2, 5]);
+    }
+
+    #[test]
+    fn cached_counter_matches_direct_hits() {
+        let cov = LineCoverage::new();
+        let a = cov.register_line("f.c", 1);
+        let counter = cov.counter(a);
+        for _ in 0..100 {
+            counter.hit();
+        }
+        counter.hit_n(11);
+        assert_eq!(cov.snapshot().hits, vec![111]);
+    }
+
+    #[test]
+    fn deltas_subtract_and_handle_new_lines() {
+        let cov = LineCoverage::new();
+        let a = cov.register_line("f.c", 1);
+        cov.hit_n(a, 10);
+        let s1 = cov.snapshot();
+        let b = cov.register_line("f.c", 2); // appears later
+        cov.hit_n(a, 3);
+        cov.hit_n(b, 7);
+        let s2 = cov.snapshot();
+        let d = s2.delta(&s1);
+        assert_eq!(d.hits, vec![3, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "regressed")]
+    fn regression_panics() {
+        let a = LineSnapshot { hits: vec![5] };
+        let b = LineSnapshot { hits: vec![3] };
+        let _ = b.delta(&a);
+    }
+
+    #[test]
+    fn concurrent_hits_are_all_counted() {
+        let cov = LineCoverage::new();
+        let a = cov.register_line("f.c", 1);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let counter = cov.counter(a);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        counter.hit();
+                    }
+                });
+            }
+        });
+        assert_eq!(cov.snapshot().hits, vec![40_000]);
+    }
+
+    #[test]
+    fn line_phases_detectable_via_flat_bridge() {
+        // Simulate a 2-phase run at line granularity and push it through
+        // the standard function-level pipeline.
+        use incprof_collect::IntervalMatrix;
+        use incprof_core::PhaseDetector;
+
+        let cov = LineCoverage::new();
+        let init_line = cov.register_line("app.c", 10);
+        let solve_line = cov.register_line("app.c", 50);
+
+        let mut table = FunctionTable::new();
+        let mut intervals = Vec::new();
+        let mut prev = cov.snapshot();
+        for i in 0..20 {
+            if i < 8 {
+                cov.hit_n(init_line, 1000);
+            } else {
+                cov.hit_n(solve_line, 1000);
+            }
+            let snap = cov.snapshot();
+            intervals.push(snap.delta(&prev).to_flat_profile(&cov, &mut table));
+            prev = snap;
+        }
+        let matrix = IntervalMatrix::from_interval_profiles(&intervals);
+        let analysis = PhaseDetector::new().detect(&matrix).unwrap();
+        assert_eq!(analysis.k, 2);
+        let names: Vec<&str> = analysis
+            .phases
+            .iter()
+            .flat_map(|p| p.sites.iter().map(|s| table.name(s.function)))
+            .collect();
+        assert!(names.contains(&"app.c:10"));
+        assert!(names.contains(&"app.c:50"));
+    }
+}

@@ -1,0 +1,498 @@
+//! The profiler runtime: shadow stacks, guards, and snapshotting.
+//!
+//! Semantics, chosen to match gprof's observable behavior (paper §IV):
+//!
+//! * **Call counts at entry** — `mcount` runs in the function prologue, so
+//!   a call that spans many collection intervals contributes its `calls`
+//!   increment to the interval it *started* in. Algorithm 1's loop/body
+//!   decision depends on this.
+//! * **Self time accrues continuously** — gprof's PC sampling charges the
+//!   running function between any two snapshots. We reproduce this exactly
+//!   (not statistically): each thread tracks which frame is running, and
+//!   [`ProfilerRuntime::snapshot`] flushes the partial self time of every
+//!   thread's running frame before reading the counters.
+//! * **Child time and arcs at exit** — a callee's total time is attributed
+//!   to its caller's `child_time` and to the caller→callee arc when the
+//!   callee returns, as gprof's arc records do.
+
+use crate::clock::Clock;
+use incprof_profile::{
+    CallGraphProfile, FlatProfile, FunctionId, FunctionInfo, FunctionTable, ProfileSnapshot,
+};
+use parking_lot::{Mutex, RwLock};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Globally unique runtime ids, used to key the thread-local slot map.
+static NEXT_RUNTIME_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread map: runtime id → this thread's slot in that runtime.
+    static THREAD_SLOTS: RefCell<HashMap<u64, Arc<ThreadSlot>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// One stack frame on a thread's shadow stack.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    id: FunctionId,
+    /// Clock reading when this frame last became the running frame.
+    resume_ns: u64,
+    /// Clock reading when the frame was entered (for total-time arcs).
+    entry_ns: u64,
+}
+
+/// Per-thread profiling state.
+#[derive(Debug, Default)]
+struct ThreadData {
+    stack: Vec<Frame>,
+    flat: FlatProfile,
+    callgraph: CallGraphProfile,
+}
+
+#[derive(Debug, Default)]
+struct ThreadSlot {
+    data: Mutex<ThreadData>,
+}
+
+#[derive(Debug)]
+struct RuntimeInner {
+    id: u64,
+    clock: Clock,
+    functions: RwLock<FunctionTable>,
+    /// All thread slots ever registered; slots outlive their threads so a
+    /// finished thread's counters stay in subsequent snapshots (as they do
+    /// in a real cumulative gmon profile).
+    threads: Mutex<Vec<Arc<ThreadSlot>>>,
+    enabled: AtomicBool,
+}
+
+/// The profiling runtime. Cheap to clone; clones share all state.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct ProfilerRuntime {
+    inner: Arc<RuntimeInner>,
+}
+
+impl ProfilerRuntime {
+    /// Create a runtime over a wall clock (real time).
+    pub fn new() -> ProfilerRuntime {
+        Self::with_clock(Clock::wall())
+    }
+
+    /// Create a runtime over the given clock.
+    pub fn with_clock(clock: Clock) -> ProfilerRuntime {
+        ProfilerRuntime {
+            inner: Arc::new(RuntimeInner {
+                id: NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed),
+                clock,
+                functions: RwLock::new(FunctionTable::new()),
+                threads: Mutex::new(Vec::new()),
+                enabled: AtomicBool::new(true),
+            }),
+        }
+    }
+
+    /// The clock this runtime reads.
+    pub fn clock(&self) -> &Clock {
+        &self.inner.clock
+    }
+
+    /// Disable profiling: [`ProfilerRuntime::enter`] becomes a near-free
+    /// no-op (a single atomic load). This is the "uninstrumented" baseline
+    /// used by the Table I overhead experiments.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Release);
+    }
+
+    /// Whether profiling is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Acquire)
+    }
+
+    /// Register a function by name, returning its id. Idempotent.
+    pub fn register_function(&self, name: impl Into<String>) -> FunctionId {
+        self.inner.functions.write().register(name)
+    }
+
+    /// Register a function with source location metadata. Idempotent.
+    pub fn register_function_info(&self, info: FunctionInfo) -> FunctionId {
+        self.inner.functions.write().register_info(info)
+    }
+
+    /// Look up a registered function id by name.
+    pub fn function_id(&self, name: &str) -> Option<FunctionId> {
+        self.inner.functions.read().id_of(name)
+    }
+
+    /// A clone of the current function table.
+    pub fn function_table(&self) -> FunctionTable {
+        self.inner.functions.read().clone()
+    }
+
+    /// Enter `id` on the calling thread, returning a guard that exits the
+    /// function when dropped. Guards must drop in LIFO order (guaranteed by
+    /// normal scoping).
+    #[inline]
+    pub fn enter(&self, id: FunctionId) -> ScopeGuard<'_> {
+        if !self.is_enabled() {
+            return ScopeGuard { rt: self, id, armed: false };
+        }
+        let now = self.inner.clock.now_ns();
+        self.with_thread_data(|data| {
+            // Pause the caller: charge its running span.
+            if let Some(top) = data.stack.last() {
+                let span = now.saturating_sub(top.resume_ns);
+                data.flat.record_self_time(top.id, span);
+                let caller = top.id;
+                data.callgraph.record_arc(caller, id);
+            }
+            data.flat.record_calls(id, 1); // counted at entry (mcount)
+            data.stack.push(Frame { id, resume_ns: now, entry_ns: now });
+        });
+        ScopeGuard { rt: self, id, armed: true }
+    }
+
+    /// Run `f` inside an entered scope for `id` (convenience wrapper).
+    #[inline]
+    pub fn scope<T>(&self, id: FunctionId, f: impl FnOnce() -> T) -> T {
+        let _g = self.enter(id);
+        f()
+    }
+
+    fn exit(&self, id: FunctionId) {
+        let now = self.inner.clock.now_ns();
+        self.with_thread_data(|data| {
+            let frame = match data.stack.pop() {
+                Some(f) => f,
+                None => return, // unbalanced exit; tolerate
+            };
+            debug_assert_eq!(frame.id, id, "scope guards must drop in LIFO order");
+            let span = now.saturating_sub(frame.resume_ns);
+            data.flat.record_self_time(frame.id, span);
+            let total = now.saturating_sub(frame.entry_ns);
+            if let Some(parent) = data.stack.last_mut() {
+                // Resume the caller's running span.
+                parent.resume_ns = now;
+                let parent_id = parent.id;
+                data.flat.record_child_time(parent_id, total);
+                data.callgraph.record_arc_time(parent_id, frame.id, total);
+            }
+        });
+    }
+
+    /// Take a cumulative snapshot across all threads.
+    ///
+    /// Flushes the partial self time of every thread's running frame first
+    /// (the PC-sampling equivalence), then merges all per-thread profiles.
+    /// `sample_index` is stamped into the snapshot by the caller (the
+    /// collector assigns 0, 1, 2, ... per interval).
+    pub fn snapshot(&self, sample_index: u64) -> ProfileSnapshot {
+        let now = self.inner.clock.now_ns();
+        let mut flat = FlatProfile::new();
+        let mut callgraph = CallGraphProfile::new();
+        let threads = self.inner.threads.lock();
+        for slot in threads.iter() {
+            let mut data = slot.data.lock();
+            // Flush the running frame's partial self time.
+            if let Some(top) = data.stack.last_mut() {
+                let span = now.saturating_sub(top.resume_ns);
+                top.resume_ns = now;
+                let id = top.id;
+                data.flat.record_self_time(id, span);
+            }
+            flat.merge(&data.flat);
+            callgraph.merge(&data.callgraph);
+        }
+        ProfileSnapshot { sample_index, timestamp_ns: now, flat, callgraph }
+    }
+
+    /// The set of functions currently on any thread's shadow stack
+    /// (innermost last per thread), for diagnostics.
+    pub fn active_functions(&self) -> Vec<FunctionId> {
+        let threads = self.inner.threads.lock();
+        let mut out = Vec::new();
+        for slot in threads.iter() {
+            let data = slot.data.lock();
+            out.extend(data.stack.iter().map(|f| f.id));
+        }
+        out
+    }
+
+    fn with_thread_data<T>(&self, f: impl FnOnce(&mut ThreadData) -> T) -> T {
+        let slot = self.thread_slot();
+        let mut data = slot.data.lock();
+        f(&mut data)
+    }
+
+    fn thread_slot(&self) -> Arc<ThreadSlot> {
+        THREAD_SLOTS.with(|slots| {
+            let mut slots = slots.borrow_mut();
+            if let Some(slot) = slots.get(&self.inner.id) {
+                return Arc::clone(slot);
+            }
+            let slot = Arc::new(ThreadSlot::default());
+            self.inner.threads.lock().push(Arc::clone(&slot));
+            slots.insert(self.inner.id, Arc::clone(&slot));
+            slot
+        })
+    }
+}
+
+impl Default for ProfilerRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// RAII guard for an entered function scope; exits the function on drop.
+#[must_use = "dropping the guard immediately exits the scope"]
+#[derive(Debug)]
+pub struct ScopeGuard<'rt> {
+    rt: &'rt ProfilerRuntime,
+    id: FunctionId,
+    armed: bool,
+}
+
+impl Drop for ScopeGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.rt.exit(self.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vrt() -> ProfilerRuntime {
+        ProfilerRuntime::with_clock(Clock::virtual_clock())
+    }
+
+    #[test]
+    fn single_call_attribution() {
+        let rt = vrt();
+        let f = rt.register_function("f");
+        {
+            let _g = rt.enter(f);
+            rt.clock().advance(100);
+        }
+        let snap = rt.snapshot(0);
+        assert_eq!(snap.flat.get(f).calls, 1);
+        assert_eq!(snap.flat.get(f).self_time, 100);
+        assert_eq!(snap.flat.get(f).child_time, 0);
+    }
+
+    #[test]
+    fn nested_calls_split_self_and_child_time() {
+        let rt = vrt();
+        let a = rt.register_function("a");
+        let b = rt.register_function("b");
+        {
+            let _ga = rt.enter(a);
+            rt.clock().advance(10);
+            {
+                let _gb = rt.enter(b);
+                rt.clock().advance(5);
+            }
+            rt.clock().advance(3);
+        }
+        let snap = rt.snapshot(0);
+        assert_eq!(snap.flat.get(a).self_time, 13);
+        assert_eq!(snap.flat.get(a).child_time, 5);
+        assert_eq!(snap.flat.get(b).self_time, 5);
+        assert_eq!(snap.callgraph.get(a, b).count, 1);
+        assert_eq!(snap.callgraph.get(a, b).child_time, 5);
+    }
+
+    #[test]
+    fn calls_are_counted_at_entry() {
+        let rt = vrt();
+        let f = rt.register_function("long_running");
+        let _g = rt.enter(f);
+        rt.clock().advance(50);
+        // Snapshot taken while the function is still running must already
+        // show the call (mcount semantics) and the partial self time
+        // (PC-sampling semantics).
+        let snap = rt.snapshot(0);
+        assert_eq!(snap.flat.get(f).calls, 1);
+        assert_eq!(snap.flat.get(f).self_time, 50);
+    }
+
+    #[test]
+    fn self_time_accrues_across_snapshots_for_long_calls() {
+        // This is the property Algorithm 1's "loop" designation rests on: a
+        // long-running function shows nonzero self time in intervals where
+        // its call count delta is zero.
+        let rt = vrt();
+        let f = rt.register_function("validate_bfs_result");
+        let _g = rt.enter(f);
+        rt.clock().advance(100);
+        let s1 = rt.snapshot(1);
+        rt.clock().advance(200);
+        let s2 = rt.snapshot(2);
+        let delta = s2.flat.delta(&s1.flat).unwrap();
+        assert_eq!(delta.get(f).calls, 0, "no new call in second interval");
+        assert_eq!(delta.get(f).self_time, 200, "yet self time accrued");
+    }
+
+    #[test]
+    fn caller_clock_pauses_while_callee_runs() {
+        let rt = vrt();
+        let a = rt.register_function("a");
+        let b = rt.register_function("b");
+        let _ga = rt.enter(a);
+        rt.clock().advance(7);
+        let gb = rt.enter(b);
+        rt.clock().advance(100);
+        // Mid-callee snapshot: a has 7, b has 100 so far.
+        let snap = rt.snapshot(0);
+        assert_eq!(snap.flat.get(a).self_time, 7);
+        assert_eq!(snap.flat.get(b).self_time, 100);
+        drop(gb);
+        rt.clock().advance(1);
+        let snap2 = rt.snapshot(1);
+        assert_eq!(snap2.flat.get(a).self_time, 8);
+        assert_eq!(snap2.flat.get(b).self_time, 100);
+    }
+
+    #[test]
+    fn recursion_is_supported() {
+        let rt = vrt();
+        let f = rt.register_function("fib");
+        fn fib(rt: &ProfilerRuntime, f: FunctionId, n: u32) {
+            let _g = rt.enter(f);
+            rt.clock().advance(1);
+            if n > 0 {
+                fib(rt, f, n - 1);
+            }
+        }
+        fib(&rt, f, 4);
+        let snap = rt.snapshot(0);
+        assert_eq!(snap.flat.get(f).calls, 5);
+        assert_eq!(snap.flat.get(f).self_time, 5);
+        assert_eq!(snap.callgraph.get(f, f).count, 4);
+    }
+
+    #[test]
+    fn disabled_runtime_records_nothing() {
+        let rt = vrt();
+        let f = rt.register_function("f");
+        rt.set_enabled(false);
+        {
+            let _g = rt.enter(f);
+            rt.clock().advance(10);
+        }
+        let snap = rt.snapshot(0);
+        assert!(snap.flat.is_empty());
+        rt.set_enabled(true);
+        {
+            let _g = rt.enter(f);
+            rt.clock().advance(10);
+        }
+        assert_eq!(rt.snapshot(1).flat.get(f).calls, 1);
+    }
+
+    #[test]
+    fn multiple_threads_merge_into_one_snapshot() {
+        let rt = vrt();
+        let f = rt.register_function("worker");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rt = rt.clone();
+                s.spawn(move || {
+                    let f = rt.function_id("worker").unwrap();
+                    for _ in 0..10 {
+                        let _g = rt.enter(f);
+                        rt.clock().advance(1);
+                    }
+                });
+            }
+        });
+        let snap = rt.snapshot(0);
+        assert_eq!(snap.flat.get(f).calls, 40);
+        // Each of the 40 calls saw at least its own 1ns advance; interleaved
+        // advances from other threads can only add observed time.
+        assert!(snap.flat.get(f).self_time >= 40);
+    }
+
+    #[test]
+    fn finished_threads_stay_in_cumulative_snapshots() {
+        let rt = vrt();
+        rt.register_function("ephemeral");
+        {
+            let rt2 = rt.clone();
+            std::thread::spawn(move || {
+                let f = rt2.function_id("ephemeral").unwrap();
+                let _g = rt2.enter(f);
+                rt2.clock().advance(5);
+            })
+            .join()
+            .unwrap();
+        }
+        let f = rt.function_id("ephemeral").unwrap();
+        let snap = rt.snapshot(0);
+        assert_eq!(snap.flat.get(f).calls, 1);
+        assert_eq!(snap.flat.get(f).self_time, 5);
+    }
+
+    #[test]
+    fn two_runtimes_do_not_interfere() {
+        let rt1 = vrt();
+        let rt2 = vrt();
+        let f1 = rt1.register_function("f");
+        let f2 = rt2.register_function("f");
+        {
+            let _g = rt1.enter(f1);
+            rt1.clock().advance(9);
+        }
+        assert_eq!(rt1.snapshot(0).flat.get(f1).self_time, 9);
+        assert!(rt2.snapshot(0).flat.get(f2).is_zero());
+    }
+
+    #[test]
+    fn scope_helper_runs_closure() {
+        let rt = vrt();
+        let f = rt.register_function("f");
+        let val = rt.scope(f, || {
+            rt.clock().advance(3);
+            42
+        });
+        assert_eq!(val, 42);
+        assert_eq!(rt.snapshot(0).flat.get(f).self_time, 3);
+    }
+
+    #[test]
+    fn snapshot_is_cumulative_and_monotonic() {
+        let rt = vrt();
+        let f = rt.register_function("f");
+        for _ in 0..3 {
+            let _g = rt.enter(f);
+            rt.clock().advance(10);
+        }
+        let s1 = rt.snapshot(0);
+        for _ in 0..2 {
+            let _g = rt.enter(f);
+            rt.clock().advance(10);
+        }
+        let s2 = rt.snapshot(1);
+        let d = s2.flat.delta(&s1.flat).unwrap();
+        assert_eq!(d.get(f).calls, 2);
+        assert_eq!(d.get(f).self_time, 20);
+    }
+
+    #[test]
+    fn active_functions_reports_stack() {
+        let rt = vrt();
+        let a = rt.register_function("a");
+        let b = rt.register_function("b");
+        let _ga = rt.enter(a);
+        let _gb = rt.enter(b);
+        let active = rt.active_functions();
+        assert_eq!(active, vec![a, b]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Quantization of exact profiles onto a gprof sampling grid.
+//!
+//! Our shadow-stack runtime measures self time exactly; real gprof measures
+//! it by PC sampling at (typically) 100 Hz, i.e. with 10 ms resolution —
+//! "Each sample counts as 0.01 seconds." The paper lists sampling and
+//! sampling rate among gprof's known limitations (§IV). This module lets
+//! experiments *reintroduce* that quantization, so the sensitivity of phase
+//! detection to sampling resolution can be studied (one of our ablations).
+
+use incprof_profile::{FlatProfile, FunctionStats, ProfileSnapshot};
+
+/// gprof's default sampling period: 10 ms (100 Hz).
+pub const GPROF_DEFAULT_PERIOD_NS: u64 = 10_000_000;
+
+/// Quantize every self time in `flat` to whole multiples of `period_ns`,
+/// rounding to nearest (ties away from zero), which is the expected value
+/// of a Bernoulli PC sampler. Call counts are exact in gprof (they come
+/// from `mcount`, not sampling) and are left untouched.
+pub fn quantize_flat(flat: &FlatProfile, period_ns: u64) -> FlatProfile {
+    assert!(period_ns > 0, "sampling period must be positive");
+    flat.iter()
+        .map(|(id, s)| {
+            let buckets = (s.self_time + period_ns / 2) / period_ns;
+            let child_buckets = (s.child_time + period_ns / 2) / period_ns;
+            (
+                id,
+                FunctionStats {
+                    self_time: buckets * period_ns,
+                    calls: s.calls,
+                    child_time: child_buckets * period_ns,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Quantize a whole snapshot (flat profile only; arcs carry exact counts).
+pub fn quantize_snapshot(snap: &ProfileSnapshot, period_ns: u64) -> ProfileSnapshot {
+    ProfileSnapshot {
+        sample_index: snap.sample_index,
+        timestamp_ns: snap.timestamp_ns,
+        flat: quantize_flat(&snap.flat, period_ns),
+        callgraph: snap.callgraph.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incprof_profile::FunctionId;
+
+    fn fid(n: u32) -> FunctionId {
+        FunctionId(n)
+    }
+
+    #[test]
+    fn rounds_to_nearest_bucket() {
+        let mut p = FlatProfile::new();
+        p.set(fid(0), FunctionStats { self_time: 14_999_999, calls: 3, child_time: 0 });
+        p.set(fid(1), FunctionStats { self_time: 15_000_000, calls: 0, child_time: 0 });
+        p.set(fid(2), FunctionStats { self_time: 4_999_999, calls: 9, child_time: 0 });
+        let q = quantize_flat(&p, GPROF_DEFAULT_PERIOD_NS);
+        assert_eq!(q.get(fid(0)).self_time, 10_000_000); // 1.4999 -> 1 bucket
+        assert_eq!(q.get(fid(1)).self_time, 20_000_000); // 1.5 -> 2 buckets
+        assert_eq!(q.get(fid(2)).self_time, 0); // below half a bucket -> 0
+    }
+
+    #[test]
+    fn calls_are_preserved_exactly() {
+        let mut p = FlatProfile::new();
+        p.set(fid(0), FunctionStats { self_time: 123, calls: 456, child_time: 789 });
+        let q = quantize_flat(&p, 1_000);
+        assert_eq!(q.get(fid(0)).calls, 456);
+    }
+
+    #[test]
+    fn period_of_one_ns_is_identity() {
+        let mut p = FlatProfile::new();
+        p.set(fid(0), FunctionStats { self_time: 12345, calls: 1, child_time: 77 });
+        let q = quantize_flat(&p, 1);
+        assert_eq!(q.get(fid(0)), p.get(fid(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        let _ = quantize_flat(&FlatProfile::new(), 0);
+    }
+
+    #[test]
+    fn snapshot_quantization_preserves_metadata() {
+        let mut snap = ProfileSnapshot { sample_index: 5, timestamp_ns: 999, ..Default::default() };
+        snap.flat.set(fid(0), FunctionStats { self_time: 9_000_000, calls: 2, child_time: 0 });
+        snap.callgraph.record_arc(fid(0), fid(0));
+        let q = quantize_snapshot(&snap, GPROF_DEFAULT_PERIOD_NS);
+        assert_eq!(q.sample_index, 5);
+        assert_eq!(q.timestamp_ns, 999);
+        assert_eq!(q.flat.get(fid(0)).self_time, 10_000_000);
+        assert_eq!(q.callgraph.get(fid(0), fid(0)).count, 1);
+    }
+}

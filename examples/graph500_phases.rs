@@ -1,0 +1,52 @@
+//! End-to-end Graph500 phase discovery: run the mini benchmark under
+//! IncProf, detect phases, print the paper-style Table II, and re-run
+//! with the discovered heartbeats to plot Fig. 2 as ASCII sparklines.
+//!
+//! ```text
+//! cargo run --release --example graph500_phases
+//! ```
+
+use incprof_suite::appekg::HeartbeatSeries;
+use incprof_suite::core::report::render_sites_table;
+use incprof_suite::core::PhaseDetector;
+use incprof_suite::hpc_apps::graph500::{self, Graph500Config};
+use incprof_suite::hpc_apps::{HeartbeatPlan, RunMode};
+
+fn main() {
+    // A mid-size configuration: a few dozen 1-second intervals.
+    let cfg = Graph500Config { scale: 12, edge_factor: 16, num_roots: 20, ..Default::default() };
+
+    // Step 1: profile-collection run (no heartbeats).
+    println!("running Graph500 (scale {}, {} roots) under IncProf...", cfg.scale, cfg.num_roots);
+    let profiled = graph500::run(&cfg, RunMode::virtual_1s(), &HeartbeatPlan::none());
+    assert_eq!(profiled.result_check, 0.0, "BFS validation failed");
+    println!(
+        "collected {} samples over {:.0} virtual seconds\n",
+        profiled.rank0.series.len(),
+        profiled.rank0.elapsed_virtual_ns as f64 / 1e9
+    );
+
+    // Step 2: phase detection.
+    let analysis = PhaseDetector::new().detect_series(&profiled.rank0.series).unwrap();
+    let table = &profiled.rank0.table;
+    println!(
+        "{}",
+        render_sites_table(
+            "GRAPH500 INSTRUMENTED FUNCTIONS (cf. paper Table II)",
+            &analysis,
+            |id| table.name(id),
+            &graph500::manual_sites(),
+        )
+    );
+
+    // Step 3: heartbeat run with the discovered sites (paper Fig. 2).
+    let plan = HeartbeatPlan::from_analysis(&analysis, table);
+    let hb_run = graph500::run(&cfg, RunMode::virtual_1s(), &plan);
+    let n_intervals = hb_run.rank0.series.len() as u64;
+    let series = HeartbeatSeries::from_records(&hb_run.rank0.hb_records, Some(n_intervals));
+    println!("Discovered-site heartbeats over time (count per interval):");
+    for (hb, s) in &series {
+        let name = &hb_run.rank0.hb_names[hb.0 as usize];
+        println!("{name:>32} |{}|", s.sparkline());
+    }
+}

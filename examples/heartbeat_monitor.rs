@@ -1,0 +1,60 @@
+//! Stand-alone AppEKG demo: instrument a workload with begin/end
+//! heartbeats, aggregate per collection interval, and emit CSV — the
+//! paper's lightweight production-monitoring story (§III).
+//!
+//! ```text
+//! cargo run --example heartbeat_monitor
+//! ```
+
+use incprof_suite::appekg::{AggregateSink, AppEkg, CsvSink, HeartbeatSeries, Sink};
+use incprof_suite::runtime::Clock;
+
+fn main() {
+    let clock = Clock::virtual_clock();
+    // One-second collection intervals, as in the paper's deployments.
+    let ekg = AppEkg::new(clock.clone(), 1_000_000_000);
+    let ingest = ekg.register_heartbeat("ingest_batch");
+    let train = ekg.register_heartbeat("train_epoch");
+
+    // A workload with two alternating behaviors: fast ingest beats, then
+    // slow training epochs.
+    for epoch in 0..8 {
+        for _ in 0..50 {
+            ekg.begin(ingest);
+            clock.advance(12_000_000); // 12 ms per batch
+            ekg.end(ingest);
+        }
+        ekg.begin(train);
+        clock.advance(1_700_000_000 + epoch * 50_000_000); // epochs slow down
+        ekg.end(train);
+    }
+
+    let records = ekg.finish();
+
+    // CSV output (what the LDMS-integrated deployment would ship).
+    let mut csv = CsvSink::new(Vec::new());
+    csv.emit_all(&records);
+    let csv_text = String::from_utf8(csv.into_inner()).unwrap();
+    println!("--- heartbeat CSV ---\n{csv_text}");
+
+    // Aggregate statistics.
+    let mut agg = AggregateSink::new();
+    agg.emit_all(&records);
+    for hb in agg.heartbeats() {
+        let t = agg.totals(hb);
+        println!(
+            "{:>14}: {} beats, mean duration {:.1} ms, active in {} records",
+            ekg.heartbeat_name(hb),
+            t.count,
+            t.mean_duration_ns() / 1e6,
+            agg.active_intervals(hb),
+        );
+    }
+
+    // Sparklines (count per interval).
+    let series = HeartbeatSeries::from_records(&records, None);
+    println!("\ncount per interval:");
+    for (hb, s) in &series {
+        println!("{:>14} |{}|", ekg.heartbeat_name(*hb), s.sparkline());
+    }
+}

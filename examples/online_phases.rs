@@ -1,0 +1,55 @@
+//! Online phase detection: watch phases appear *while the application
+//! runs*, instead of clustering after the fact — the deployment-side
+//! shape of IncProf (cf. the paper's §VII discussion of real-time
+//! statistical clustering).
+//!
+//! ```text
+//! cargo run --example online_phases
+//! ```
+
+use incprof_suite::core::online::{OnlineConfig, OnlinePhaseDetector};
+use incprof_suite::collect::{CollectorConfig, IncProfCollector};
+use incprof_suite::profile::FlatProfile;
+use incprof_suite::runtime::{Clock, ProfilerRuntime};
+
+fn main() {
+    let clock = Clock::virtual_clock();
+    let rt = ProfilerRuntime::with_clock(clock.clone());
+    let stage_names = ["load_input", "equilibrate", "production_run", "write_results"];
+    let stages: Vec<_> = stage_names.iter().map(|n| rt.register_function(*n)).collect();
+    let collector = IncProfCollector::manual(rt.clone(), CollectorConfig::default());
+    let mut online = OnlinePhaseDetector::new(OnlineConfig::default());
+
+    let second = 1_000_000_000;
+    let schedule = [(0usize, 5u64), (1, 8), (2, 20), (1, 4), (2, 10), (3, 3)];
+
+    let mut prev = FlatProfile::new();
+    for &(stage, secs) in &schedule {
+        let _g = rt.enter(stages[stage]);
+        for _ in 0..secs {
+            clock.advance(second);
+            collector.tick();
+            // Feed the newest interval to the online detector, exactly
+            // as a deployed collector would.
+            let snap = rt.snapshot(0);
+            let interval = snap.flat.delta(&prev).expect("monotone");
+            prev = snap.flat;
+            let obs = online.observe(&interval);
+            if obs.new_phase {
+                println!(
+                    "interval {:>3}: NEW phase {} ({})",
+                    obs.interval, obs.phase, stage_names[stage]
+                );
+            } else if obs.transition {
+                println!(
+                    "interval {:>3}: transition -> phase {} ({})",
+                    obs.interval, obs.phase, stage_names[stage]
+                );
+            }
+        }
+    }
+
+    println!("\n{} phases discovered online", online.n_phases());
+    println!("phase sizes: {:?}", online.phase_sizes());
+    println!("transitions at intervals {:?}", online.transitions());
+}

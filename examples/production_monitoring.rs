@@ -1,0 +1,88 @@
+//! The full deployment story (paper §III): instrument phase sites with
+//! AppEKG heartbeats, build a baseline from healthy production runs,
+//! then flag a degraded run — "as a history of an application is built
+//! up this data can be used to identify when the application is running
+//! poorly and when it is running well."
+//!
+//! ```text
+//! cargo run --example production_monitoring
+//! ```
+
+use incprof_suite::appekg::{
+    compare, AppEkg, CompareConfig, DeviationKind, HeartbeatAnalysis, HeartbeatBaseline,
+};
+use incprof_suite::runtime::Clock;
+
+/// One "production run" of a two-phase service: fast ingest batches and
+/// slow solve steps. `solve_ns` models the per-step cost, which degrades
+/// when the system underneath misbehaves.
+fn production_run(solve_ns: u64, ingest_batches: u64) -> HeartbeatAnalysis {
+    let clock = Clock::virtual_clock();
+    let interval = 1_000_000_000;
+    let ekg = AppEkg::new(clock.clone(), interval);
+    let ingest = ekg.register_heartbeat("ingest_batch");
+    let solve = ekg.register_heartbeat("solve_step");
+
+    for _ in 0..20 {
+        for _ in 0..ingest_batches {
+            ekg.begin(ingest);
+            clock.advance(8_000_000); // 8 ms per batch
+            ekg.end(ingest);
+        }
+        ekg.begin(solve);
+        clock.advance(solve_ns);
+        ekg.end(solve);
+    }
+    let records = ekg.finish();
+    let intervals = (clock.now_ns() / interval + 1) as usize;
+    HeartbeatAnalysis::from_records(&records, intervals)
+}
+
+fn main() {
+    // 1. Baseline from healthy history (normal jitter between runs).
+    let history: Vec<HeartbeatAnalysis> = [300, 310, 295, 305, 300]
+        .iter()
+        .map(|&ms| production_run(ms * 1_000_000, 40))
+        .collect();
+    let baseline = HeartbeatBaseline::from_runs(&history);
+    println!("baseline built from {} healthy runs", history.len());
+    for hb in baseline.heartbeats() {
+        let e = baseline.entry(hb).unwrap();
+        println!(
+            "  hb {}: rate {:.1}±{:.1} beats/interval, duration {:.0}±{:.0} ms",
+            hb.0,
+            e.rate_mean,
+            e.rate_std,
+            e.duration_mean_ns / 1e6,
+            e.duration_std_ns / 1e6
+        );
+    }
+
+    // 2. A healthy run stays quiet.
+    let ok = production_run(305 * 1_000_000, 40);
+    let quiet = compare(&baseline, &ok, CompareConfig::default());
+    println!("\nhealthy run: {} deviations", quiet.len());
+    assert!(quiet.is_empty());
+
+    // 3. A degraded run — solve steps take 3x longer (say, a congested
+    //    filesystem) — is flagged on both duration and rate.
+    let bad = production_run(900 * 1_000_000, 40);
+    let flags = compare(&baseline, &bad, CompareConfig::default());
+    println!("degraded run: {} deviations", flags.len());
+    for d in &flags {
+        let kind = match d.kind {
+            DeviationKind::Rate => "rate",
+            DeviationKind::Duration => "duration",
+            DeviationKind::Missing => "missing",
+            DeviationKind::NoBaseline => "new site",
+        };
+        println!(
+            "  hb {} {:>9}: expected {:.2}, observed {:.2} ({:.1}σ)",
+            d.hb.0, kind, d.expected, d.observed, d.sigmas
+        );
+    }
+    assert!(
+        flags.iter().any(|d| d.kind == DeviationKind::Duration),
+        "slowdown must surface as a duration deviation"
+    );
+}

@@ -1,0 +1,17 @@
+//! # incprof-suite
+//!
+//! Umbrella crate for the IncProf reproduction: re-exports every
+//! component crate so examples, integration tests, and downstream users
+//! can depend on one crate.
+//!
+//! See the repository README for the architecture overview and
+//! DESIGN.md for the paper-to-crate mapping.
+
+pub use appekg;
+pub use hpc_apps;
+pub use incprof_cluster as cluster;
+pub use incprof_collect as collect;
+pub use incprof_core as core;
+pub use incprof_profile as profile;
+pub use incprof_runtime as runtime;
+pub use mpi_sim;

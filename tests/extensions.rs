@@ -1,0 +1,87 @@
+//! Integration: the paper's future-work extensions applied to real app
+//! runs — phase merging (§VI-A/§VI-D) and call-graph-aware site lifting
+//! (§VI-B).
+
+use incprof_suite::collect::IntervalMatrix;
+use incprof_suite::core::callgraph_select::lift_sites_to_callers;
+use incprof_suite::core::merge::merge_phases_with_same_sites;
+use incprof_suite::core::PhaseDetector;
+use incprof_suite::hpc_apps::{lammps, minife, HeartbeatPlan, RunMode};
+
+#[test]
+fn merging_never_increases_phase_count_and_preserves_partition() {
+    let out = lammps::run(
+        &lammps::LammpsConfig { atoms_per_side: 9, steps: 60, rebuild_every: 8, ..lammps::LammpsConfig::tiny() },
+        RunMode::virtual_1s(),
+        &HeartbeatPlan::none(),
+    );
+    let analysis = PhaseDetector::new().detect_series(&out.rank0.series).unwrap();
+    let merged = merge_phases_with_same_sites(&analysis);
+    assert!(merged.k <= analysis.k);
+    assert_eq!(merged.assignments.len(), analysis.assignments.len());
+    // Partition preserved: same intervals, just regrouped.
+    let before: usize = analysis.phases.iter().map(|p| p.intervals.len()).sum();
+    let after: usize = merged.phases.iter().map(|p| p.intervals.len()).sum();
+    assert_eq!(before, after);
+    // Co-membership can only grow (merging unions clusters).
+    for i in 0..analysis.assignments.len() {
+        for j in (i + 1)..analysis.assignments.len() {
+            if analysis.assignments[i] == analysis.assignments[j] {
+                assert_eq!(merged.assignments[i], merged.assignments[j]);
+            }
+        }
+    }
+}
+
+#[test]
+fn callgraph_lifting_respects_behavioral_equivalence_on_minife() {
+    // MiniFE's assembly leaf is the paper's motivating case. Whatever the
+    // lifting decides, the resulting sites must still be functions that
+    // are active in their phases.
+    let out = minife::run(
+        &minife::MiniFeConfig { n: 12, cg_iters: 40, procs: 1 },
+        RunMode::virtual_1s(),
+        &HeartbeatPlan::none(),
+    );
+    let intervals = out.rank0.series.interval_profiles().unwrap();
+    let matrix = IntervalMatrix::from_interval_profiles(&intervals);
+    let mut analysis = PhaseDetector::new().detect(&matrix).unwrap();
+    let callgraph = &out.rank0.series.last().unwrap().callgraph;
+
+    let lifted = lift_sites_to_callers(&mut analysis, &matrix, callgraph);
+    // Lifting is conservative; it may move zero or more sites, but every
+    // post-lift site must be active in at least one interval of its
+    // phase and must still cover its attributed intervals' phase.
+    let _ = lifted;
+    for phase in &analysis.phases {
+        for site in &phase.sites {
+            let col = matrix
+                .col_of(site.function)
+                .expect("lifted site must be an observed function");
+            assert!(
+                phase.intervals.iter().any(|&i| matrix.active(i, col)),
+                "site {:?} inactive across its whole phase",
+                site.function
+            );
+        }
+    }
+}
+
+#[test]
+fn lifting_is_idempotent() {
+    let out = minife::run(
+        &minife::MiniFeConfig { n: 10, cg_iters: 30, procs: 1 },
+        RunMode::virtual_1s(),
+        &HeartbeatPlan::none(),
+    );
+    let intervals = out.rank0.series.interval_profiles().unwrap();
+    let matrix = IntervalMatrix::from_interval_profiles(&intervals);
+    let mut analysis = PhaseDetector::new().detect(&matrix).unwrap();
+    let callgraph = &out.rank0.series.last().unwrap().callgraph;
+
+    let _first = lift_sites_to_callers(&mut analysis, &matrix, callgraph);
+    let snapshot = analysis.phases.clone();
+    let second = lift_sites_to_callers(&mut analysis, &matrix, callgraph);
+    assert_eq!(second, 0, "second lifting pass must be a no-op");
+    assert_eq!(analysis.phases, snapshot);
+}

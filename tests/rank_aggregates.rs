@@ -1,0 +1,66 @@
+//! Integration: cross-rank aggregate statistics over real multi-rank app
+//! runs — the paper's "we only use all the data for aggregate
+//! descriptive statistics" plus its symmetry claim.
+
+use incprof_suite::collect::{representative_rank, RankAggregate};
+use incprof_suite::hpc_apps::{graph500, minife, HeartbeatPlan, RunMode};
+
+#[test]
+fn graph500_ranks_are_symmetric() {
+    let out = graph500::run(
+        &graph500::Graph500Config {
+            scale: 9,
+            edge_factor: 8,
+            num_roots: 4,
+            procs: 4,
+            ..graph500::Graph500Config::tiny()
+        },
+        RunMode::Wall { interval_ns: 50_000_000, profile: true },
+        &HeartbeatPlan::none(),
+    );
+    assert_eq!(out.rank_profiles.len(), 4);
+    let agg = RankAggregate::from_profiles(&out.rank_profiles);
+    assert_eq!(agg.n_ranks(), 4);
+    // "All of the applications being used are symmetrically parallel and
+    // thus all processes behave similarly": wall timings jitter, but the
+    // symmetry score must stay high.
+    let score = agg.symmetry_score();
+    assert!(score > 0.5, "symmetry score {score}");
+    // Call counts are *exactly* symmetric for the BFS kernel (one call
+    // per root per rank).
+    let bfs = out.rank0.table.id_of("run_bfs").unwrap();
+    for p in &out.rank_profiles {
+        assert_eq!(p.get(bfs).calls, 4);
+    }
+    // The representative rank is a valid index.
+    assert!(representative_rank(&out.rank_profiles) < 4);
+}
+
+#[test]
+fn minife_rank_profiles_cover_all_kernels() {
+    let out = minife::run(
+        &minife::MiniFeConfig { n: 6, cg_iters: 10, procs: 3 },
+        RunMode::Wall { interval_ns: 50_000_000, profile: true },
+        &HeartbeatPlan::none(),
+    );
+    assert_eq!(out.rank_profiles.len(), 3);
+    let agg = RankAggregate::from_profiles(&out.rank_profiles);
+    let cg = out.rank0.table.id_of("cg_solve").unwrap();
+    let fa = agg.function(cg).expect("cg_solve profiled on every rank");
+    assert_eq!(fa.present_on, 3);
+    assert!(fa.mean_calls >= 1.0);
+}
+
+#[test]
+fn single_rank_virtual_run_has_one_profile() {
+    let out = minife::run(
+        &minife::MiniFeConfig::tiny(),
+        RunMode::virtual_1s(),
+        &HeartbeatPlan::none(),
+    );
+    assert_eq!(out.rank_profiles.len(), 1);
+    // The per-rank profile matches rank 0's own series tail (same
+    // cumulative totals, modulo the extra final stop() sample).
+    let agg = RankAggregate::from_profiles(&out.rank_profiles);
+    assert!((agg.symmetry_score() - 1.0).abs() < 1e-12);
+}
