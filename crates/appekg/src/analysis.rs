@@ -68,8 +68,13 @@ impl HeartbeatAnalysis {
     /// Analyze `records` over a run of `run_intervals` intervals (pass
     /// the collector's interval count; records may be sparse).
     pub fn from_records(records: &[IntervalRecord], run_intervals: usize) -> HeartbeatAnalysis {
-        let run_intervals =
-            run_intervals.max(records.iter().map(|r| r.interval as usize + 1).max().unwrap_or(0));
+        let run_intervals = run_intervals.max(
+            records
+                .iter()
+                .map(|r| r.interval as usize + 1)
+                .max()
+                .unwrap_or(0),
+        );
         // Collect per-hb interval maps.
         let mut per_hb: BTreeMap<HeartbeatId, BTreeMap<u64, HbStats>> = BTreeMap::new();
         for r in records {
@@ -83,11 +88,9 @@ impl HeartbeatAnalysis {
             .into_iter()
             .map(|(hb, by_interval)| {
                 let total_count: u64 = by_interval.values().map(|s| s.count).sum();
-                let total_duration: u64 =
-                    by_interval.values().map(|s| s.total_duration_ns).sum();
+                let total_duration: u64 = by_interval.values().map(|s| s.total_duration_ns).sum();
                 let active = by_interval.len();
-                let means: Vec<f64> =
-                    by_interval.values().map(|s| s.mean_duration_ns()).collect();
+                let means: Vec<f64> = by_interval.values().map(|s| s.mean_duration_ns()).collect();
                 let mean_of_means = means.iter().sum::<f64>() / active.max(1) as f64;
                 let var = means
                     .iter()
@@ -109,7 +112,10 @@ impl HeartbeatAnalysis {
                 )
             })
             .collect();
-        HeartbeatAnalysis { stats, run_intervals }
+        HeartbeatAnalysis {
+            stats,
+            run_intervals,
+        }
     }
 
     /// Stats for one heartbeat, if it ever beat.
@@ -172,7 +178,9 @@ pub fn per_phase_stats(
 ) -> BTreeMap<usize, BTreeMap<HeartbeatId, HbStats>> {
     let mut out: BTreeMap<usize, BTreeMap<HeartbeatId, HbStats>> = BTreeMap::new();
     for r in records {
-        let Some(&phase) = assignment.get(r.interval as usize) else { continue };
+        let Some(&phase) = assignment.get(r.interval as usize) else {
+            continue;
+        };
         let phase_map = out.entry(phase).or_default();
         for (&hb, &s) in &r.heartbeats {
             let e = phase_map.entry(hb).or_default();
@@ -188,10 +196,19 @@ mod tests {
     use super::*;
 
     fn rec(interval: u64, entries: &[(u32, u64, u64)]) -> IntervalRecord {
-        let mut r = IntervalRecord { interval, start_ns: interval * 1000, ..Default::default() };
+        let mut r = IntervalRecord {
+            interval,
+            start_ns: interval * 1000,
+            ..Default::default()
+        };
         for &(hb, count, dur) in entries {
-            r.heartbeats
-                .insert(HeartbeatId(hb), HbStats { count, total_duration_ns: dur });
+            r.heartbeats.insert(
+                HeartbeatId(hb),
+                HbStats {
+                    count,
+                    total_duration_ns: dur,
+                },
+            );
         }
         r
     }
@@ -257,7 +274,10 @@ mod tests {
         assert!((c - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(co_activity(&records, HeartbeatId(8), HeartbeatId(9)), 0.0);
         // Always-together pair.
-        let together = vec![rec(0, &[(1, 1, 1), (2, 2, 2)]), rec(1, &[(1, 3, 3), (2, 1, 1)])];
+        let together = vec![
+            rec(0, &[(1, 1, 1), (2, 2, 2)]),
+            rec(1, &[(1, 3, 3), (2, 1, 1)]),
+        ];
         assert_eq!(co_activity(&together, HeartbeatId(1), HeartbeatId(2)), 1.0);
     }
 

@@ -51,7 +51,10 @@ impl HeartbeatBaseline {
         for run in runs {
             for hb in run.heartbeats() {
                 let s = run.stats(hb).expect("listed heartbeat has stats");
-                per_hb.entry(hb).or_default().push((s.rate_factor, s.mean_duration_ns));
+                per_hb
+                    .entry(hb)
+                    .or_default()
+                    .push((s.rate_factor, s.mean_duration_ns));
             }
         }
         let entries = per_hb
@@ -60,10 +63,16 @@ impl HeartbeatBaseline {
                 let n = samples.len() as f64;
                 let rate_mean = samples.iter().map(|s| s.0).sum::<f64>() / n;
                 let dur_mean = samples.iter().map(|s| s.1).sum::<f64>() / n;
-                let rate_var =
-                    samples.iter().map(|s| (s.0 - rate_mean).powi(2)).sum::<f64>() / n;
-                let dur_var =
-                    samples.iter().map(|s| (s.1 - dur_mean).powi(2)).sum::<f64>() / n;
+                let rate_var = samples
+                    .iter()
+                    .map(|s| (s.0 - rate_mean).powi(2))
+                    .sum::<f64>()
+                    / n;
+                let dur_var = samples
+                    .iter()
+                    .map(|s| (s.1 - dur_mean).powi(2))
+                    .sum::<f64>()
+                    / n;
                 (
                     hb,
                     BaselineEntry {
@@ -130,7 +139,10 @@ pub struct CompareConfig {
 
 impl Default for CompareConfig {
     fn default() -> Self {
-        CompareConfig { sigma_threshold: 3.0, min_relative_change: 0.10 }
+        CompareConfig {
+            sigma_threshold: 3.0,
+            min_relative_change: 0.10,
+        }
     }
 }
 
@@ -142,8 +154,7 @@ pub fn compare(
     config: CompareConfig,
 ) -> Vec<Deviation> {
     let mut out = Vec::new();
-    let run_hbs: std::collections::BTreeSet<HeartbeatId> =
-        run.heartbeats().into_iter().collect();
+    let run_hbs: std::collections::BTreeSet<HeartbeatId> = run.heartbeats().into_iter().collect();
 
     for hb in baseline.heartbeats() {
         let entry = baseline.entry(hb).expect("listed entry");
@@ -188,7 +199,12 @@ pub fn compare(
             });
         }
     }
-    out.sort_by(|a, b| b.sigmas.partial_cmp(&a.sigmas).unwrap().then(a.hb.0.cmp(&b.hb.0)));
+    out.sort_by(|a, b| {
+        b.sigmas
+            .partial_cmp(&a.sigmas)
+            .unwrap()
+            .then(a.hb.0.cmp(&b.hb.0))
+    });
     out
 }
 
@@ -202,13 +218,25 @@ fn check(
     config: CompareConfig,
 ) {
     let abs = (observed - mean).abs();
-    let rel = if mean.abs() > 0.0 { abs / mean.abs() } else if abs > 0.0 { f64::INFINITY } else { 0.0 };
+    let rel = if mean.abs() > 0.0 {
+        abs / mean.abs()
+    } else if abs > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
     if rel < config.min_relative_change {
         return;
     }
     let sigmas = if std > 0.0 { abs / std } else { f64::INFINITY };
     if sigmas > config.sigma_threshold {
-        out.push(Deviation { hb, kind, expected: mean, observed, sigmas });
+        out.push(Deviation {
+            hb,
+            kind,
+            expected: mean,
+            observed,
+            sigmas,
+        });
     }
 }
 
@@ -220,12 +248,18 @@ mod tests {
     fn run_with(rate: u64, duration: u64, jitter: u64) -> HeartbeatAnalysis {
         let mut records = Vec::new();
         for i in 0..10u64 {
-            let mut r =
-                IntervalRecord { interval: i, start_ns: i * 1000, ..Default::default() };
+            let mut r = IntervalRecord {
+                interval: i,
+                start_ns: i * 1000,
+                ..Default::default()
+            };
             let count = rate + (i % 2) * jitter;
             r.heartbeats.insert(
                 HeartbeatId(1),
-                HbStats { count, total_duration_ns: count * duration },
+                HbStats {
+                    count,
+                    total_duration_ns: count * duration,
+                },
             );
             records.push(r);
         }
@@ -233,8 +267,7 @@ mod tests {
     }
 
     fn baseline() -> HeartbeatBaseline {
-        let runs: Vec<HeartbeatAnalysis> =
-            (0..5).map(|i| run_with(100 + i, 1_000, 2)).collect();
+        let runs: Vec<HeartbeatAnalysis> = (0..5).map(|i| run_with(100 + i, 1_000, 2)).collect();
         HeartbeatBaseline::from_runs(&runs)
     }
 
@@ -277,13 +310,31 @@ mod tests {
     fn unknown_heartbeat_is_flagged_no_baseline() {
         let b = baseline();
         let mut records = Vec::new();
-        let mut r = IntervalRecord { interval: 0, start_ns: 0, ..Default::default() };
-        r.heartbeats.insert(HeartbeatId(1), HbStats { count: 100, total_duration_ns: 100_000 });
-        r.heartbeats.insert(HeartbeatId(9), HbStats { count: 5, total_duration_ns: 50 });
+        let mut r = IntervalRecord {
+            interval: 0,
+            start_ns: 0,
+            ..Default::default()
+        };
+        r.heartbeats.insert(
+            HeartbeatId(1),
+            HbStats {
+                count: 100,
+                total_duration_ns: 100_000,
+            },
+        );
+        r.heartbeats.insert(
+            HeartbeatId(9),
+            HbStats {
+                count: 5,
+                total_duration_ns: 50,
+            },
+        );
         records.push(r);
         let run = HeartbeatAnalysis::from_records(&records, 10);
         let devs = compare(&b, &run, CompareConfig::default());
-        assert!(devs.iter().any(|d| d.kind == DeviationKind::NoBaseline && d.hb == HeartbeatId(9)));
+        assert!(devs
+            .iter()
+            .any(|d| d.kind == DeviationKind::NoBaseline && d.hb == HeartbeatId(9)));
     }
 
     #[test]

@@ -113,7 +113,13 @@ impl AppEkg {
         }
         let now = self.inner.clock.now_ns();
         let key = (std::thread::current().id(), hb);
-        self.inner.state.lock().open.entry(key).or_default().push(now);
+        self.inner
+            .state
+            .lock()
+            .open
+            .entry(key)
+            .or_default()
+            .push(now);
     }
 
     /// End a heartbeat (paper: `endHeartbeat(ID)`). The completed beat is
@@ -130,7 +136,12 @@ impl AppEkg {
         match begin {
             Some(b) => {
                 let idx = now / self.inner.interval_ns;
-                let stats = state.intervals.entry(idx).or_default().entry(hb).or_default();
+                let stats = state
+                    .intervals
+                    .entry(idx)
+                    .or_default()
+                    .entry(hb)
+                    .or_default();
                 stats.count += 1;
                 stats.total_duration_ns += now.saturating_sub(b);
             }

@@ -50,7 +50,11 @@ impl<S: Sink + Send + 'static> PeriodicFlusher<S> {
             }
             sink
         });
-        PeriodicFlusher { stop, thread: Some(thread), ekg }
+        PeriodicFlusher {
+            stop,
+            thread: Some(thread),
+            ekg,
+        }
     }
 
     /// Stop the flusher, returning the sink. The current (incomplete)
@@ -58,7 +62,11 @@ impl<S: Sink + Send + 'static> PeriodicFlusher<S> {
     /// it.
     pub fn stop(mut self) -> S {
         self.stop.store(true, Ordering::Release);
-        self.thread.take().expect("thread present until stop").join().expect("flusher panicked")
+        self.thread
+            .take()
+            .expect("thread present until stop")
+            .join()
+            .expect("flusher panicked")
     }
 
     /// The AppEKG instance this flusher drains.
@@ -105,7 +113,11 @@ mod tests {
 
         let streamed: u64 = sink.records.iter().map(|r| r.count(hb)).sum();
         let remaining: u64 = leftover.iter().map(|r| r.count(hb)).sum();
-        assert_eq!(streamed + remaining, beats, "no heartbeat lost or duplicated");
+        assert_eq!(
+            streamed + remaining,
+            beats,
+            "no heartbeat lost or duplicated"
+        );
         assert!(!sink.records.is_empty(), "flusher streamed nothing");
         // Streamed records arrive in interval order.
         for pair in sink.records.windows(2) {
@@ -125,7 +137,10 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         let started = std::time::Instant::now();
         let sink = flusher.stop();
-        assert!(started.elapsed() < Duration::from_millis(500), "stop too slow");
+        assert!(
+            started.elapsed() < Duration::from_millis(500),
+            "stop too slow"
+        );
         let total: u64 = sink.records.iter().map(|r| r.count(hb)).sum();
         let leftover: u64 = ekg.finish().iter().map(|r| r.count(hb)).sum();
         assert_eq!(total + leftover, 1);

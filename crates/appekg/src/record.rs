@@ -62,15 +62,34 @@ mod tests {
     fn mean_duration_handles_zero_count() {
         let s = HbStats::default();
         assert_eq!(s.mean_duration_ns(), 0.0);
-        let s = HbStats { count: 4, total_duration_ns: 100 };
+        let s = HbStats {
+            count: 4,
+            total_duration_ns: 100,
+        };
         assert_eq!(s.mean_duration_ns(), 25.0);
     }
 
     #[test]
     fn record_accessors() {
-        let mut r = IntervalRecord { interval: 2, start_ns: 2000, ..Default::default() };
-        r.heartbeats.insert(HeartbeatId(1), HbStats { count: 3, total_duration_ns: 30 });
-        r.heartbeats.insert(HeartbeatId(2), HbStats { count: 5, total_duration_ns: 10 });
+        let mut r = IntervalRecord {
+            interval: 2,
+            start_ns: 2000,
+            ..Default::default()
+        };
+        r.heartbeats.insert(
+            HeartbeatId(1),
+            HbStats {
+                count: 3,
+                total_duration_ns: 30,
+            },
+        );
+        r.heartbeats.insert(
+            HeartbeatId(2),
+            HbStats {
+                count: 5,
+                total_duration_ns: 10,
+            },
+        );
         assert_eq!(r.count(HeartbeatId(1)), 3);
         assert_eq!(r.count(HeartbeatId(9)), 0);
         assert_eq!(r.total_count(), 8);
@@ -79,8 +98,18 @@ mod tests {
 
     #[test]
     fn record_roundtrips_through_json() {
-        let mut r = IntervalRecord { interval: 1, start_ns: 1000, ..Default::default() };
-        r.heartbeats.insert(HeartbeatId(0), HbStats { count: 1, total_duration_ns: 7 });
+        let mut r = IntervalRecord {
+            interval: 1,
+            start_ns: 1000,
+            ..Default::default()
+        };
+        r.heartbeats.insert(
+            HeartbeatId(0),
+            HbStats {
+                count: 1,
+                total_duration_ns: 7,
+            },
+        );
         let json = serde_json::to_string(&r).unwrap();
         let back: IntervalRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);

@@ -88,7 +88,11 @@ impl HeartbeatSeries {
         self.counts
             .iter()
             .map(|&c| {
-                let idx = if c == 0 { 0 } else { 1 + (c * 7 / max) as usize };
+                let idx = if c == 0 {
+                    0
+                } else {
+                    1 + (c * 7 / max) as usize
+                };
                 LEVELS[idx.min(8)]
             })
             .collect()
@@ -101,9 +105,19 @@ mod tests {
     use crate::record::HbStats;
 
     fn rec(interval: u64, entries: &[(u32, u64, u64)]) -> IntervalRecord {
-        let mut r = IntervalRecord { interval, start_ns: interval * 1000, ..Default::default() };
+        let mut r = IntervalRecord {
+            interval,
+            start_ns: interval * 1000,
+            ..Default::default()
+        };
         for &(hb, count, total) in entries {
-            r.heartbeats.insert(HeartbeatId(hb), HbStats { count, total_duration_ns: total });
+            r.heartbeats.insert(
+                HeartbeatId(hb),
+                HbStats {
+                    count,
+                    total_duration_ns: total,
+                },
+            );
         }
         r
     }
@@ -136,7 +150,11 @@ mod tests {
 
     #[test]
     fn activity_fraction() {
-        let records = vec![rec(0, &[(1, 1, 1)]), rec(1, &[(1, 1, 1)]), rec(3, &[(1, 1, 1)])];
+        let records = vec![
+            rec(0, &[(1, 1, 1)]),
+            rec(1, &[(1, 1, 1)]),
+            rec(3, &[(1, 1, 1)]),
+        ];
         let series = HeartbeatSeries::from_records(&records, None);
         assert!((series[&HeartbeatId(1)].activity() - 0.75).abs() < 1e-12);
         assert_eq!(series[&HeartbeatId(1)].total_count(), 3);

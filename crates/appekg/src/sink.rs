@@ -47,7 +47,10 @@ pub struct CsvSink<W: Write> {
 impl<W: Write> CsvSink<W> {
     /// Create a CSV sink over any writer.
     pub fn new(writer: W) -> CsvSink<W> {
-        CsvSink { writer, wrote_header: false }
+        CsvSink {
+            writer,
+            wrote_header: false,
+        }
     }
 
     /// Finish writing and return the underlying writer.
@@ -131,8 +134,18 @@ mod tests {
     use super::*;
 
     fn rec(interval: u64, hb: u32, count: u64, total: u64) -> IntervalRecord {
-        let mut r = IntervalRecord { interval, start_ns: interval * 10, ..Default::default() };
-        r.heartbeats.insert(HeartbeatId(hb), HbStats { count, total_duration_ns: total });
+        let mut r = IntervalRecord {
+            interval,
+            start_ns: interval * 10,
+            ..Default::default()
+        };
+        r.heartbeats.insert(
+            HeartbeatId(hb),
+            HbStats {
+                count,
+                total_duration_ns: total,
+            },
+        );
         r
     }
 

@@ -10,7 +10,9 @@ use std::time::Duration;
 fn many_threads_many_heartbeats_conserve_counts() {
     let clock = Clock::virtual_clock();
     let ekg = AppEkg::new(clock.clone(), 10_000);
-    let hbs: Vec<_> = (0..8).map(|i| ekg.register_heartbeat(format!("hb_{i}"))).collect();
+    let hbs: Vec<_> = (0..8)
+        .map(|i| ekg.register_heartbeat(format!("hb_{i}")))
+        .collect();
     let per_thread = 2_000u64;
 
     std::thread::scope(|s| {

@@ -49,14 +49,26 @@ pub struct Gadget2Config {
 
 impl Default for Gadget2Config {
     fn default() -> Self {
-        Gadget2Config { particles: 1024, steps: 100, pm_grid: 32, seed: 42, procs: 1 }
+        Gadget2Config {
+            particles: 1024,
+            steps: 100,
+            pm_grid: 32,
+            seed: 42,
+            procs: 1,
+        }
     }
 }
 
 impl Gadget2Config {
     /// Tiny configuration for fast tests.
     pub fn tiny() -> Gadget2Config {
-        Gadget2Config { particles: 256, steps: 12, pm_grid: 12, seed: 42, procs: 1 }
+        Gadget2Config {
+            particles: 256,
+            steps: 12,
+            pm_grid: 12,
+            seed: 42,
+            procs: 1,
+        }
     }
 }
 
@@ -374,8 +386,10 @@ fn compute_accelerations(
     // reads the tree), then charge the virtual cost in interval-sized
     // chunks so snapshots land mid-walk exactly as before.
     use rayon::prelude::*;
-    let results: Vec<([f64; 3], u64)> =
-        (0..pos.len()).into_par_iter().map(|i| tree_force(&tree, &pos[i], theta)).collect();
+    let results: Vec<([f64; 3], u64)> = (0..pos.len())
+        .into_par_iter()
+        .map(|i| tree_force(&tree, &pos[i], theta))
+        .collect();
     let mut visits_chunk = 0u64;
     for (i, (f, visits)) in results.into_iter().enumerate() {
         let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_TREE_EVAL]);
@@ -414,7 +428,10 @@ fn advance_and_find_timesteps(
 /// magnitude (≈ 0: gravity between particles conserves momentum).
 pub fn run(cfg: &Gadget2Config, mode: RunMode, plan: &HeartbeatPlan) -> AppOutput {
     if matches!(mode, RunMode::Virtual { .. }) {
-        assert_eq!(cfg.procs, 1, "virtual mode requires a single rank for determinism");
+        assert_eq!(
+            cfg.procs, 1,
+            "virtual mode requires a single rank for determinism"
+        );
     }
     let results = World::run(cfg.procs, |comm| {
         let ctx = RankContext::new(mode);
@@ -468,7 +485,11 @@ mod tests {
     use incprof_core::PhaseDetector;
 
     fn tiny_run() -> AppOutput {
-        run(&Gadget2Config::tiny(), RunMode::virtual_1s(), &HeartbeatPlan::none())
+        run(
+            &Gadget2Config::tiny(),
+            RunMode::virtual_1s(),
+            &HeartbeatPlan::none(),
+        )
     }
 
     #[test]
@@ -484,15 +505,26 @@ mod tests {
         let a = tiny_run();
         let b = tiny_run();
         assert_eq!(a.result_check, b.result_check);
-        assert_eq!(a.rank0.series.last().unwrap().flat, b.rank0.series.last().unwrap().flat);
+        assert_eq!(
+            a.rank0.series.last().unwrap().flat,
+            b.rank0.series.last().unwrap().flat
+        );
     }
 
     #[test]
     fn tree_walk_dominates_timestep_loop() {
         let out = tiny_run();
         let last = out.rank0.series.last().unwrap();
-        let walk = out.rank0.table.id_of("force_treeevaluate_shortrange").unwrap();
-        let sync = out.rank0.table.id_of("find_next_sync_point_and_drift").unwrap();
+        let walk = out
+            .rank0
+            .table
+            .id_of("force_treeevaluate_shortrange")
+            .unwrap();
+        let sync = out
+            .rank0
+            .table
+            .id_of("find_next_sync_point_and_drift")
+            .unwrap();
         assert!(last.flat.get(walk).self_time > 10 * last.flat.get(sync).self_time);
     }
 
@@ -501,8 +533,16 @@ mod tests {
         let out = tiny_run();
         let last = out.rank0.series.last().unwrap();
         let accel = out.rank0.table.id_of("compute_accelerations").unwrap();
-        let walk = out.rank0.table.id_of("force_treeevaluate_shortrange").unwrap();
-        let update = out.rank0.table.id_of("force_update_node_recursive").unwrap();
+        let walk = out
+            .rank0
+            .table
+            .id_of("force_treeevaluate_shortrange")
+            .unwrap();
+        let update = out
+            .rank0
+            .table
+            .id_of("force_update_node_recursive")
+            .unwrap();
         assert!(last.callgraph.get(accel, walk).count > 0);
         assert!(last.callgraph.get(accel, update).count > 0);
     }
@@ -510,11 +550,18 @@ mod tests {
     #[test]
     fn phase_analysis_recovers_paper_shape() {
         let out = run(
-            &Gadget2Config { particles: 700, steps: 40, pm_grid: 24, ..Gadget2Config::tiny() },
+            &Gadget2Config {
+                particles: 700,
+                steps: 40,
+                pm_grid: 24,
+                ..Gadget2Config::tiny()
+            },
             RunMode::virtual_1s(),
             &HeartbeatPlan::none(),
         );
-        let analysis = PhaseDetector::new().detect_series(&out.rank0.series).unwrap();
+        let analysis = PhaseDetector::new()
+            .detect_series(&out.rank0.series)
+            .unwrap();
         assert!((2..=5).contains(&analysis.k), "got k = {}", analysis.k);
         let names = discovered_site_names(&analysis, &out.rank0.table);
         assert!(names.contains("force_treeevaluate_shortrange"), "{names:?}");
@@ -526,7 +573,10 @@ mod tests {
             "domain_decomposition",
             "advance_and_find_timesteps",
         ] {
-            assert!(!names.contains(fast), "fast function {fast} wrongly selected");
+            assert!(
+                !names.contains(fast),
+                "fast function {fast} wrongly selected"
+            );
         }
     }
 
@@ -556,8 +606,17 @@ mod tests {
     #[test]
     fn multirank_wall_run_works() {
         let out = run(
-            &Gadget2Config { particles: 128, steps: 3, pm_grid: 8, procs: 4, ..Gadget2Config::tiny() },
-            RunMode::Wall { interval_ns: 50_000_000, profile: true },
+            &Gadget2Config {
+                particles: 128,
+                steps: 3,
+                pm_grid: 8,
+                procs: 4,
+                ..Gadget2Config::tiny()
+            },
+            RunMode::Wall {
+                interval_ns: 50_000_000,
+                profile: true,
+            },
             &HeartbeatPlan::none(),
         );
         assert!(out.result_check.is_finite());

@@ -44,14 +44,26 @@ pub struct Graph500Config {
 
 impl Default for Graph500Config {
     fn default() -> Self {
-        Graph500Config { scale: 13, edge_factor: 16, num_roots: 48, seed: 42, procs: 1 }
+        Graph500Config {
+            scale: 13,
+            edge_factor: 16,
+            num_roots: 48,
+            seed: 42,
+            procs: 1,
+        }
     }
 }
 
 impl Graph500Config {
     /// A tiny configuration for fast tests (a handful of intervals).
     pub fn tiny() -> Graph500Config {
-        Graph500Config { scale: 9, edge_factor: 8, num_roots: 10, seed: 42, procs: 1 }
+        Graph500Config {
+            scale: 9,
+            edge_factor: 8,
+            num_roots: 10,
+            seed: 42,
+            procs: 1,
+        }
     }
 }
 
@@ -250,11 +262,14 @@ fn validate_bfs_result(
         changed = false;
         for v in 0..graph.nv {
             let p = parent[v];
-            if p != u32::MAX && v as u32 != root && level[v] == u32::MAX
-                && level[p as usize] != u32::MAX {
-                    level[v] = level[p as usize] + 1;
-                    changed = true;
-                }
+            if p != u32::MAX
+                && v as u32 != root
+                && level[v] == u32::MAX
+                && level[p as usize] != u32::MAX
+            {
+                level[v] = level[p as usize] + 1;
+                changed = true;
+            }
         }
         passes += 1;
         ctx.advance(graph.nv as u64 * NS_PER_VALIDATE_VERTEX);
@@ -310,45 +325,49 @@ fn validate_bfs_result(
 /// and the total validation error count (must be 0) in `result_check`.
 pub fn run(cfg: &Graph500Config, mode: RunMode, plan: &HeartbeatPlan) -> AppOutput {
     if matches!(mode, RunMode::Virtual { .. }) {
-        assert_eq!(cfg.procs, 1, "virtual mode requires a single rank for determinism");
+        assert_eq!(
+            cfg.procs, 1,
+            "virtual mode requires a single rank for determinism"
+        );
     }
     let results: Vec<(Option<RankData>, f64, incprof_profile::FlatProfile)> =
         World::run(cfg.procs, |comm| {
-        let ctx = RankContext::new(mode);
-        let funcs = Funcs::register(&ctx.rt, &FUNC_NAMES);
-        let resolved = plan.resolve(&ctx.ekg);
+            let ctx = RankContext::new(mode);
+            let funcs = Funcs::register(&ctx.rt, &FUNC_NAMES);
+            let resolved = plan.resolve(&ctx.ekg);
 
-        let local_edges = generate_kronecker_range(&ctx, &funcs, &resolved, cfg, &comm);
-        // Everyone gets the full edge list (allgather), as each rank in
-        // mpi_simple holds the graph pieces it needs for its searches.
-        let all: Vec<Vec<(u32, u32)>> = comm.allgather(local_edges);
-        let edges: Vec<(u32, u32)> = all.into_iter().flatten().collect();
-        let nv = 1usize << cfg.scale;
-        let graph = make_graph_data_structure(&ctx, &funcs, &resolved, nv, &edges);
+            let local_edges = generate_kronecker_range(&ctx, &funcs, &resolved, cfg, &comm);
+            // Everyone gets the full edge list (allgather), as each rank in
+            // mpi_simple holds the graph pieces it needs for its searches.
+            let all: Vec<Vec<(u32, u32)>> = comm.allgather(local_edges);
+            let edges: Vec<(u32, u32)> = all.into_iter().flatten().collect();
+            let nv = 1usize << cfg.scale;
+            let graph = make_graph_data_structure(&ctx, &funcs, &resolved, nv, &edges);
 
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
-        let mut total_errors = 0u64;
-        let mut visited_total = 0u64;
-        for _ in 0..cfg.num_roots {
-            // Pick a root with nonzero degree (as the benchmark does).
-            let root = loop {
-                let r = rng.gen_range(0..nv as u32);
-                if graph.degree(r as usize) > 0 {
-                    break r;
-                }
-            };
-            comm.barrier();
-            let parent = run_bfs(&ctx, &funcs, &resolved, &graph, root, &comm);
-            visited_total += parent.iter().filter(|&&p| p != u32::MAX).count() as u64;
-            total_errors += validate_bfs_result(&ctx, &funcs, &resolved, &graph, root, &parent, &comm);
-        }
-        let check = total_errors as f64 + (visited_total == 0) as u64 as f64;
-        let final_profile = ctx.rt.snapshot(0).flat;
-        let data = (comm.rank() == 0).then(|| ctx.finish());
-        (data, check, final_profile)
-    })
-    .into_iter()
-    .collect();
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e3779b97f4a7c15);
+            let mut total_errors = 0u64;
+            let mut visited_total = 0u64;
+            for _ in 0..cfg.num_roots {
+                // Pick a root with nonzero degree (as the benchmark does).
+                let root = loop {
+                    let r = rng.gen_range(0..nv as u32);
+                    if graph.degree(r as usize) > 0 {
+                        break r;
+                    }
+                };
+                comm.barrier();
+                let parent = run_bfs(&ctx, &funcs, &resolved, &graph, root, &comm);
+                visited_total += parent.iter().filter(|&&p| p != u32::MAX).count() as u64;
+                total_errors +=
+                    validate_bfs_result(&ctx, &funcs, &resolved, &graph, root, &parent, &comm);
+            }
+            let check = total_errors as f64 + (visited_total == 0) as u64 as f64;
+            let final_profile = ctx.rt.snapshot(0).flat;
+            let data = (comm.rank() == 0).then(|| ctx.finish());
+            (data, check, final_profile)
+        })
+        .into_iter()
+        .collect();
 
     assemble_output(results)
 }
@@ -371,7 +390,12 @@ pub(crate) fn assemble_output(
         rank_profiles.push(profile);
     }
     let rank0 = rank0.expect("rank 0 present");
-    AppOutput { makespan_ns: rank0.elapsed_wall_ns, rank0, rank_profiles, result_check: check }
+    AppOutput {
+        makespan_ns: rank0.elapsed_wall_ns,
+        rank0,
+        rank_profiles,
+        result_check: check,
+    }
 }
 
 #[cfg(test)]
@@ -381,7 +405,11 @@ mod tests {
     use incprof_core::PhaseDetector;
 
     fn tiny_run() -> AppOutput {
-        run(&Graph500Config::tiny(), RunMode::virtual_1s(), &HeartbeatPlan::none())
+        run(
+            &Graph500Config::tiny(),
+            RunMode::virtual_1s(),
+            &HeartbeatPlan::none(),
+        )
     }
 
     #[test]
@@ -433,11 +461,18 @@ mod tests {
     #[test]
     fn phase_analysis_recovers_paper_shape() {
         let out = run(
-            &Graph500Config { scale: 12, edge_factor: 16, num_roots: 20, ..Graph500Config::tiny() },
+            &Graph500Config {
+                scale: 12,
+                edge_factor: 16,
+                num_roots: 20,
+                ..Graph500Config::tiny()
+            },
             RunMode::virtual_1s(),
             &HeartbeatPlan::none(),
         );
-        let analysis = PhaseDetector::new().detect_series(&out.rank0.series).unwrap();
+        let analysis = PhaseDetector::new()
+            .detect_series(&out.rank0.series)
+            .unwrap();
         assert!(
             (2..=6).contains(&analysis.k),
             "expected a handful of phases, got {}",
@@ -459,7 +494,10 @@ mod tests {
             .flat_map(|p| &p.sites)
             .max_by(|a, b| a.app_pct.partial_cmp(&b.app_pct).unwrap())
             .unwrap();
-        assert_eq!(out.rank0.table.name(dominant.function), "validate_bfs_result");
+        assert_eq!(
+            out.rank0.table.name(dominant.function),
+            "validate_bfs_result"
+        );
     }
 
     #[test]
@@ -490,7 +528,10 @@ mod tests {
         };
         let out = run(
             &cfg,
-            RunMode::Wall { interval_ns: 50_000_000, profile: true },
+            RunMode::Wall {
+                interval_ns: 50_000_000,
+                profile: true,
+            },
             &HeartbeatPlan::none(),
         );
         assert_eq!(out.result_check, 0.0);

@@ -51,7 +51,9 @@ impl RunMode {
 
     /// Standard virtual mode with the paper's 1-second interval.
     pub fn virtual_1s() -> RunMode {
-        RunMode::Virtual { interval_ns: 1_000_000_000 }
+        RunMode::Virtual {
+            interval_ns: 1_000_000_000,
+        }
     }
 }
 
@@ -82,7 +84,10 @@ impl RankContext {
                 let ekg = AppEkg::new(clock.clone(), interval_ns);
                 let collector = IncProfCollector::manual(
                     rt.clone(),
-                    CollectorConfig { interval_ns, encode_gmon: false },
+                    CollectorConfig {
+                        interval_ns,
+                        encode_gmon: false,
+                    },
                 );
                 RankContext {
                     rt,
@@ -95,7 +100,10 @@ impl RankContext {
                     started: std::time::Instant::now(),
                 }
             }
-            RunMode::Wall { interval_ns, profile } => {
+            RunMode::Wall {
+                interval_ns,
+                profile,
+            } => {
                 let clock = Clock::wall();
                 let rt = ProfilerRuntime::with_clock(clock.clone());
                 rt.set_enabled(profile);
@@ -103,7 +111,10 @@ impl RankContext {
                 let collector = profile.then(|| {
                     IncProfCollector::start_wall(
                         rt.clone(),
-                        CollectorConfig { interval_ns, encode_gmon: false },
+                        CollectorConfig {
+                            interval_ns,
+                            encode_gmon: false,
+                        },
                     )
                 });
                 RankContext {
@@ -141,7 +152,8 @@ impl RankContext {
             }
             self.clock.advance(to_boundary);
             remaining -= to_boundary;
-            self.next_boundary.store(boundary + self.interval_ns, Ordering::Release);
+            self.next_boundary
+                .store(boundary + self.interval_ns, Ordering::Release);
             if let Some(c) = &self.collector {
                 c.tick();
             }
@@ -175,7 +187,11 @@ impl RankContext {
             hb_records,
             hb_names,
             elapsed_wall_ns,
-            elapsed_virtual_ns: if self.virtual_mode { self.clock.now_ns() } else { 0 },
+            elapsed_virtual_ns: if self.virtual_mode {
+                self.clock.now_ns()
+            } else {
+                0
+            },
         }
     }
 }
@@ -234,7 +250,10 @@ impl Funcs {
     /// Register `names` in order; ids are retrieved positionally via
     /// [`Funcs::id`].
     pub fn register(rt: &ProfilerRuntime, names: &[&'static str]) -> Funcs {
-        Funcs { ids: names.iter().map(|n| rt.register_function(*n)).collect(), names: names.to_vec() }
+        Funcs {
+            ids: names.iter().map(|n| rt.register_function(*n)).collect(),
+            names: names.to_vec(),
+        }
     }
 
     /// Id of the `idx`-th registered name.
@@ -303,7 +322,10 @@ mod tests {
 
     #[test]
     fn wall_unprofiled_context_collects_nothing() {
-        let ctx = RankContext::new(RunMode::Wall { interval_ns: 10_000_000, profile: false });
+        let ctx = RankContext::new(RunMode::Wall {
+            interval_ns: 10_000_000,
+            profile: false,
+        });
         let f = ctx.rt.register_function("work");
         {
             let _g = ctx.rt.enter(f);
@@ -319,7 +341,10 @@ mod tests {
 
     #[test]
     fn wall_profiled_context_collects() {
-        let ctx = RankContext::new(RunMode::Wall { interval_ns: 5_000_000, profile: true });
+        let ctx = RankContext::new(RunMode::Wall {
+            interval_ns: 5_000_000,
+            profile: true,
+        });
         let f = ctx.rt.register_function("spin");
         let deadline = std::time::Instant::now() + std::time::Duration::from_millis(30);
         while std::time::Instant::now() < deadline {
@@ -333,7 +358,10 @@ mod tests {
 
     #[test]
     fn advance_is_noop_on_wall() {
-        let ctx = RankContext::new(RunMode::Wall { interval_ns: 1_000_000, profile: false });
+        let ctx = RankContext::new(RunMode::Wall {
+            interval_ns: 1_000_000,
+            profile: false,
+        });
         ctx.advance(10_000_000_000);
         assert!(!ctx.is_virtual());
         let data = ctx.finish();

@@ -43,14 +43,26 @@ pub struct LammpsConfig {
 
 impl Default for LammpsConfig {
     fn default() -> Self {
-        LammpsConfig { atoms_per_side: 12, steps: 150, rebuild_every: 8, seed: 42, procs: 1 }
+        LammpsConfig {
+            atoms_per_side: 12,
+            steps: 150,
+            rebuild_every: 8,
+            seed: 42,
+            procs: 1,
+        }
     }
 }
 
 impl LammpsConfig {
     /// Tiny configuration for fast tests.
     pub fn tiny() -> LammpsConfig {
-        LammpsConfig { atoms_per_side: 6, steps: 20, rebuild_every: 5, seed: 42, procs: 1 }
+        LammpsConfig {
+            atoms_per_side: 6,
+            steps: 20,
+            rebuild_every: 5,
+            seed: 42,
+            procs: 1,
+        }
     }
 }
 
@@ -249,7 +261,10 @@ fn pair_lj_cut_compute(
 /// Run the MD simulation; `result_check` is |total momentum| (≈ 0).
 pub fn run(cfg: &LammpsConfig, mode: RunMode, plan: &HeartbeatPlan) -> AppOutput {
     if matches!(mode, RunMode::Virtual { .. }) {
-        assert_eq!(cfg.procs, 1, "virtual mode requires a single rank for determinism");
+        assert_eq!(
+            cfg.procs, 1,
+            "virtual mode requires a single rank for determinism"
+        );
     }
     let results = World::run(cfg.procs, |comm| {
         let ctx = RankContext::new(mode);
@@ -275,8 +290,12 @@ pub fn run(cfg: &LammpsConfig, mode: RunMode, plan: &HeartbeatPlan) -> AppOutput
             }
         }
         let n = pos.len();
-        let mut atoms =
-            Atoms { pos, vel: vec![[0.0; 3]; n], force: vec![[0.0; 3]; n], box_len };
+        let mut atoms = Atoms {
+            pos,
+            vel: vec![[0.0; 3]; n],
+            force: vec![[0.0; 3]; n],
+            box_len,
+        };
 
         velocity_create(&ctx, &funcs, &resolved, &mut atoms, cfg.seed);
         let mut pairs = npair_half_build(&ctx, &funcs, &resolved, &atoms);
@@ -289,8 +308,7 @@ pub fn run(cfg: &LammpsConfig, mode: RunMode, plan: &HeartbeatPlan) -> AppOutput
             for i in 0..n {
                 for k in 0..3 {
                     atoms.vel[i][k] += 0.5 * dt * atoms.force[i][k];
-                    atoms.pos[i][k] =
-                        (atoms.pos[i][k] + dt * atoms.vel[i][k]).rem_euclid(box_len);
+                    atoms.pos[i][k] = (atoms.pos[i][k] + dt * atoms.vel[i][k]).rem_euclid(box_len);
                 }
             }
             if step % cfg.rebuild_every == 0 {
@@ -327,13 +345,21 @@ mod tests {
     use incprof_core::PhaseDetector;
 
     fn tiny_run() -> AppOutput {
-        run(&LammpsConfig::tiny(), RunMode::virtual_1s(), &HeartbeatPlan::none())
+        run(
+            &LammpsConfig::tiny(),
+            RunMode::virtual_1s(),
+            &HeartbeatPlan::none(),
+        )
     }
 
     #[test]
     fn momentum_is_conserved() {
         let out = tiny_run();
-        assert!(out.result_check < 1e-9, "momentum drifted to {}", out.result_check);
+        assert!(
+            out.result_check < 1e-9,
+            "momentum drifted to {}",
+            out.result_check
+        );
     }
 
     #[test]
@@ -341,7 +367,10 @@ mod tests {
         let a = tiny_run();
         let b = tiny_run();
         assert_eq!(a.result_check, b.result_check);
-        assert_eq!(a.rank0.series.last().unwrap().flat, b.rank0.series.last().unwrap().flat);
+        assert_eq!(
+            a.rank0.series.last().unwrap().flat,
+            b.rank0.series.last().unwrap().flat
+        );
     }
 
     #[test]
@@ -366,11 +395,18 @@ mod tests {
     #[test]
     fn phase_analysis_recovers_paper_shape() {
         let out = run(
-            &LammpsConfig { atoms_per_side: 9, steps: 60, rebuild_every: 8, ..LammpsConfig::tiny() },
+            &LammpsConfig {
+                atoms_per_side: 9,
+                steps: 60,
+                rebuild_every: 8,
+                ..LammpsConfig::tiny()
+            },
             RunMode::virtual_1s(),
             &HeartbeatPlan::none(),
         );
-        let analysis = PhaseDetector::new().detect_series(&out.rank0.series).unwrap();
+        let analysis = PhaseDetector::new()
+            .detect_series(&out.rank0.series)
+            .unwrap();
         assert!((2..=5).contains(&analysis.k), "got k = {}", analysis.k);
         let names = discovered_site_names(&analysis, &out.rank0.table);
         assert!(names.contains("PairLJCut::compute"), "{names:?}");
@@ -380,7 +416,10 @@ mod tests {
             .flat_map(|p| &p.sites)
             .max_by(|a, b| a.app_pct.partial_cmp(&b.app_pct).unwrap())
             .unwrap();
-        assert_eq!(out.rank0.table.name(dominant.function), "PairLJCut::compute");
+        assert_eq!(
+            out.rank0.table.name(dominant.function),
+            "PairLJCut::compute"
+        );
         // The force kernel runs longer than an interval between calls, so
         // it must be discovered as a loop site (paper Table V).
         let sites = discovered_sites(&analysis, &out.rank0.table);
@@ -402,16 +441,29 @@ mod tests {
             .iter()
             .position(|n| n == "PairLJCut::compute")
             .unwrap() as u32;
-        let total: u64 =
-            out.rank0.hb_records.iter().map(|r| r.count(appekg::HeartbeatId(idx))).sum();
+        let total: u64 = out
+            .rank0
+            .hb_records
+            .iter()
+            .map(|r| r.count(appekg::HeartbeatId(idx)))
+            .sum();
         assert_eq!(total, cfg.steps as u64 + 1); // initial force + per step
     }
 
     #[test]
     fn multirank_wall_run_works() {
         let out = run(
-            &LammpsConfig { atoms_per_side: 4, steps: 4, rebuild_every: 2, procs: 4, ..LammpsConfig::tiny() },
-            RunMode::Wall { interval_ns: 50_000_000, profile: true },
+            &LammpsConfig {
+                atoms_per_side: 4,
+                steps: 4,
+                rebuild_every: 2,
+                procs: 4,
+                ..LammpsConfig::tiny()
+            },
+            RunMode::Wall {
+                interval_ns: 50_000_000,
+                profile: true,
+            },
             &HeartbeatPlan::none(),
         );
         assert!(out.result_check.is_finite());

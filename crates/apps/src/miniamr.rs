@@ -81,8 +81,14 @@ const F_PACK: usize = 3;
 const F_UNPACK: usize = 4;
 const F_ALLOCATE: usize = 5;
 
-const FUNC_NAMES: [&str; 6] =
-    ["stencil_calc", "check_sum", "comm", "pack_block", "unpack_block", "allocate"];
+const FUNC_NAMES: [&str; 6] = [
+    "stencil_calc",
+    "check_sum",
+    "comm",
+    "pack_block",
+    "unpack_block",
+    "allocate",
+];
 
 /// Virtual cost per cell in the stencil sweep (≈ 0.08 s/step at 64
 /// blocks; several steps fit one collection interval, as in MiniAMR).
@@ -167,7 +173,12 @@ fn inject_object(mesh: &mut Mesh, t: f64) {
 }
 
 /// 7-point in-block stencil sweep (real arithmetic, boundary clamped).
-fn stencil_calc(ctx: &RankContext, funcs: &Funcs, plan: &crate::plan::ResolvedPlan, mesh: &mut Mesh) {
+fn stencil_calc(
+    ctx: &RankContext,
+    funcs: &Funcs,
+    plan: &crate::plan::ResolvedPlan,
+    mesh: &mut Mesh,
+) {
     let _p = ctx.rt.enter(funcs.id(F_STENCIL));
     let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_STENCIL]);
     let idx = |x: usize, y: usize, z: usize| (z * BS + y) * BS + x;
@@ -225,7 +236,11 @@ fn pack_block(
 ) -> Vec<f64> {
     let _p = ctx.rt.enter(funcs.id(F_PACK));
     let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_PACK]);
-    let cost = if burst { NS_PER_BURST_FACE_CELL } else { NS_PER_FACE_CELL };
+    let cost = if burst {
+        NS_PER_BURST_FACE_CELL
+    } else {
+        NS_PER_FACE_CELL
+    };
     let mut buf = Vec::with_capacity(mesh.blocks.len() * 6 * BS * BS);
     let idx = |x: usize, y: usize, z: usize| (z * BS + y) * BS + x;
     for b in &mesh.blocks {
@@ -256,7 +271,11 @@ fn unpack_block(
 ) {
     let _p = ctx.rt.enter(funcs.id(F_UNPACK));
     let _h = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_UNPACK]);
-    let cost = if burst { NS_PER_BURST_FACE_CELL } else { NS_PER_FACE_CELL };
+    let cost = if burst {
+        NS_PER_BURST_FACE_CELL
+    } else {
+        NS_PER_FACE_CELL
+    };
     let idx = |x: usize, y: usize, z: usize| (z * BS + y) * BS + x;
     let mut k = 0usize;
     for b in &mut mesh.blocks {
@@ -322,8 +341,12 @@ fn adapt_mesh(
     let mut new_blocks = Vec::new();
     let mut refined = 0usize;
     for b in std::mem::take(&mut mesh.blocks) {
-        let d2: f64 =
-            b.center.iter().zip(&pos).map(|(c, p)| (c - p) * (c - p)).sum();
+        let d2: f64 = b
+            .center
+            .iter()
+            .zip(&pos)
+            .map(|(c, p)| (c - p) * (c - p))
+            .sum();
         // A block refines when the object is within its own radius plus
         // a capture margin. Refinement is one level deep: real MiniAMR
         // coarsens blocks the object has left, keeping the mesh size
@@ -377,13 +400,21 @@ fn allocate(
         *c = mean + parent.cells[i] * 0.125;
     }
     ctx.advance(NS_PER_ALLOC_BLOCK);
-    Block { level: parent.level + 1, center, half: parent.half / 2.0, cells }
+    Block {
+        level: parent.level + 1,
+        center,
+        half: parent.half / 2.0,
+        cells,
+    }
 }
 
 /// Run MiniAMR; `result_check` is the final global checksum.
 pub fn run(cfg: &MiniAmrConfig, mode: RunMode, plan: &HeartbeatPlan) -> AppOutput {
     if matches!(mode, RunMode::Virtual { .. }) {
-        assert_eq!(cfg.procs, 1, "virtual mode requires a single rank for determinism");
+        assert_eq!(
+            cfg.procs, 1,
+            "virtual mode requires a single rank for determinism"
+        );
     }
     let results = World::run(cfg.procs, |comm| {
         let ctx = RankContext::new(mode);
@@ -397,9 +428,7 @@ pub fn run(cfg: &MiniAmrConfig, mode: RunMode, plan: &HeartbeatPlan) -> AppOutpu
             let t = step as f64 / cfg.steps.max(1) as f64;
             inject_object(&mut mesh, t);
 
-            let burst = cfg.comm_burst_every > 0
-                && step > 0
-                && step % cfg.comm_burst_every == 0;
+            let burst = cfg.comm_burst_every > 0 && step > 0 && step % cfg.comm_burst_every == 0;
             comm_step(&ctx, &funcs, &resolved, &mut mesh, &comm, burst);
 
             // The big adaptation event: several consecutive steps spend
@@ -429,14 +458,21 @@ mod tests {
     use incprof_core::PhaseDetector;
 
     fn tiny_run() -> AppOutput {
-        run(&MiniAmrConfig::tiny(), RunMode::virtual_1s(), &HeartbeatPlan::none())
+        run(
+            &MiniAmrConfig::tiny(),
+            RunMode::virtual_1s(),
+            &HeartbeatPlan::none(),
+        )
     }
 
     #[test]
     fn checksum_is_finite_and_positive() {
         let out = tiny_run();
         assert!(out.result_check.is_finite());
-        assert!(out.result_check > 0.0, "object injection must leave mass in the mesh");
+        assert!(
+            out.result_check > 0.0,
+            "object injection must leave mass in the mesh"
+        );
     }
 
     #[test]
@@ -444,7 +480,10 @@ mod tests {
         let a = tiny_run();
         let b = tiny_run();
         assert_eq!(a.result_check, b.result_check);
-        assert_eq!(a.rank0.series.last().unwrap().flat, b.rank0.series.last().unwrap().flat);
+        assert_eq!(
+            a.rank0.series.last().unwrap().flat,
+            b.rank0.series.last().unwrap().flat
+        );
     }
 
     #[test]
@@ -454,7 +493,11 @@ mod tests {
         let last = out.rank0.series.last().unwrap();
         let alloc = out.rank0.table.id_of("allocate").unwrap();
         assert!(last.flat.get(alloc).calls > 0, "no blocks were refined");
-        assert_eq!(last.flat.get(alloc).calls % 8, 0, "refinement splits into 8 children");
+        assert_eq!(
+            last.flat.get(alloc).calls % 8,
+            0,
+            "refinement splits into 8 children"
+        );
     }
 
     #[test]
@@ -469,18 +512,28 @@ mod tests {
     #[test]
     fn phase_analysis_recovers_paper_shape() {
         let out = run(
-            &MiniAmrConfig { blocks_per_side: 3, steps: 150, comm_burst_every: 25, adapt_at_step: 75, procs: 1 },
+            &MiniAmrConfig {
+                blocks_per_side: 3,
+                steps: 150,
+                comm_burst_every: 25,
+                adapt_at_step: 75,
+                procs: 1,
+            },
             RunMode::virtual_1s(),
             &HeartbeatPlan::none(),
         );
-        let analysis = PhaseDetector::new().detect_series(&out.rank0.series).unwrap();
+        let analysis = PhaseDetector::new()
+            .detect_series(&out.rank0.series)
+            .unwrap();
         assert!((2..=5).contains(&analysis.k), "got k = {}", analysis.k);
         let names = discovered_site_names(&analysis, &out.rank0.table);
         assert!(names.contains("check_sum"), "{names:?}");
         // The deviation phase must expose at least one of the paper's
         // three deviation sites.
         assert!(
-            ["allocate", "pack_block", "unpack_block"].iter().any(|n| names.contains(*n)),
+            ["allocate", "pack_block", "unpack_block"]
+                .iter()
+                .any(|n| names.contains(*n)),
             "{names:?}"
         );
         // check_sum is the dominant site (paper: ~89% of the app).
@@ -491,7 +544,11 @@ mod tests {
             .max_by(|a, b| a.app_pct.partial_cmp(&b.app_pct).unwrap())
             .unwrap();
         assert_eq!(out.rank0.table.name(dominant.function), "check_sum");
-        assert!(dominant.app_pct > 55.0, "dominant covers {}%", dominant.app_pct);
+        assert!(
+            dominant.app_pct > 55.0,
+            "dominant covers {}%",
+            dominant.app_pct
+        );
     }
 
     #[test]
@@ -525,8 +582,17 @@ mod tests {
     #[test]
     fn multirank_wall_run_exchanges_halos() {
         let out = run(
-            &MiniAmrConfig { blocks_per_side: 2, steps: 6, comm_burst_every: 3, adapt_at_step: 4, procs: 4 },
-            RunMode::Wall { interval_ns: 50_000_000, profile: true },
+            &MiniAmrConfig {
+                blocks_per_side: 2,
+                steps: 6,
+                comm_burst_every: 3,
+                adapt_at_step: 4,
+                procs: 4,
+            },
+            RunMode::Wall {
+                interval_ns: 50_000_000,
+                profile: true,
+            },
             &HeartbeatPlan::none(),
         );
         assert!(out.result_check.is_finite());

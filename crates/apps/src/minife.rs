@@ -36,14 +36,22 @@ pub struct MiniFeConfig {
 
 impl Default for MiniFeConfig {
     fn default() -> Self {
-        MiniFeConfig { n: 20, cg_iters: 200, procs: 1 }
+        MiniFeConfig {
+            n: 20,
+            cg_iters: 200,
+            procs: 1,
+        }
     }
 }
 
 impl MiniFeConfig {
     /// Tiny configuration for fast tests.
     pub fn tiny() -> MiniFeConfig {
-        MiniFeConfig { n: 8, cg_iters: 30, procs: 1 }
+        MiniFeConfig {
+            n: 8,
+            cg_iters: 30,
+            procs: 1,
+        }
     }
 }
 
@@ -166,7 +174,12 @@ fn generate_matrix_structure(
         }
     }
     let val = vec![0.0; col.len()];
-    Sparse { n, rowptr, col, val }
+    Sparse {
+        n,
+        rowptr,
+        col,
+        val,
+    }
 }
 
 /// Zero-fill the matrix values (MiniFE's init kernel touches every nnz).
@@ -281,7 +294,11 @@ fn make_local_matrix(
     let rows = m.nrows();
     let per_rank = rows / comm.size();
     let lo = comm.rank() * per_rank;
-    let hi = if comm.rank() == comm.size() - 1 { rows } else { lo + per_rank };
+    let hi = if comm.rank() == comm.size() - 1 {
+        rows
+    } else {
+        lo + per_rank
+    };
     for r in lo..hi {
         let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_LOCAL]);
         for k in m.rowptr[r] as usize..m.rowptr[r + 1] as usize {
@@ -328,7 +345,11 @@ fn cg_solve(
         let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_CG]);
         m.spmv(&p, &mut ap);
         let denom = comm.allreduce_sum(dot(&p, &ap)) / comm.size() as f64;
-        let alpha = if denom.abs() > 0.0 { rsold / denom } else { 0.0 };
+        let alpha = if denom.abs() > 0.0 {
+            rsold / denom
+        } else {
+            0.0
+        };
         for i in 0..nrows {
             x[i] += alpha * p[i];
             r[i] -= alpha * ap[i];
@@ -347,7 +368,10 @@ fn cg_solve(
 /// Run MiniFE; `result_check` is the final CG residual norm.
 pub fn run(cfg: &MiniFeConfig, mode: RunMode, plan: &HeartbeatPlan) -> AppOutput {
     if matches!(mode, RunMode::Virtual { .. }) {
-        assert_eq!(cfg.procs, 1, "virtual mode requires a single rank for determinism");
+        assert_eq!(
+            cfg.procs, 1,
+            "virtual mode requires a single rank for determinism"
+        );
     }
     let results = World::run(cfg.procs, |comm| {
         let ctx = RankContext::new(mode);
@@ -376,17 +400,29 @@ mod tests {
     use incprof_core::PhaseDetector;
 
     fn tiny_run() -> AppOutput {
-        run(&MiniFeConfig::tiny(), RunMode::virtual_1s(), &HeartbeatPlan::none())
+        run(
+            &MiniFeConfig::tiny(),
+            RunMode::virtual_1s(),
+            &HeartbeatPlan::none(),
+        )
     }
 
     #[test]
     fn cg_converges_on_tiny_mesh() {
         let out = run(
-            &MiniFeConfig { n: 8, cg_iters: 300, procs: 1 },
+            &MiniFeConfig {
+                n: 8,
+                cg_iters: 300,
+                procs: 1,
+            },
             RunMode::virtual_1s(),
             &HeartbeatPlan::none(),
         );
-        assert!(out.result_check < 1e-6, "residual {} too large", out.result_check);
+        assert!(
+            out.result_check < 1e-6,
+            "residual {} too large",
+            out.result_check
+        );
     }
 
     #[test]
@@ -394,7 +430,10 @@ mod tests {
         let a = tiny_run();
         let b = tiny_run();
         assert_eq!(a.rank0.series.len(), b.rank0.series.len());
-        assert_eq!(a.rank0.series.last().unwrap().flat, b.rank0.series.last().unwrap().flat);
+        assert_eq!(
+            a.rank0.series.last().unwrap().flat,
+            b.rank0.series.last().unwrap().flat
+        );
         assert_eq!(a.result_check, b.result_check);
     }
 
@@ -433,11 +472,17 @@ mod tests {
     #[test]
     fn phase_analysis_recovers_paper_shape() {
         let out = run(
-            &MiniFeConfig { n: 14, cg_iters: 60, procs: 1 },
+            &MiniFeConfig {
+                n: 14,
+                cg_iters: 60,
+                procs: 1,
+            },
             RunMode::virtual_1s(),
             &HeartbeatPlan::none(),
         );
-        let analysis = PhaseDetector::new().detect_series(&out.rank0.series).unwrap();
+        let analysis = PhaseDetector::new()
+            .detect_series(&out.rank0.series)
+            .unwrap();
         assert!((3..=6).contains(&analysis.k), "got k = {}", analysis.k);
         let names = discovered_site_names(&analysis, &out.rank0.table);
         assert!(names.contains("cg_solve"), "{names:?}");
@@ -445,7 +490,10 @@ mod tests {
             names.contains("sum_in_symm_elem_matrix") || names.contains("perform_element_loop"),
             "{names:?}"
         );
-        assert!(names.contains("init_matrix") || names.contains("impose_dirichlet"), "{names:?}");
+        assert!(
+            names.contains("init_matrix") || names.contains("impose_dirichlet"),
+            "{names:?}"
+        );
         // cg_solve must be a loop site (paper Table III).
         let sites = discovered_sites(&analysis, &out.rank0.table);
         assert!(
@@ -473,16 +521,27 @@ mod tests {
             .iter()
             .position(|n| n == "cg_solve[loop]")
             .expect("cg loop heartbeat registered") as u32;
-        let total: u64 =
-            out.rank0.hb_records.iter().map(|r| r.count(appekg::HeartbeatId(idx))).sum();
+        let total: u64 = out
+            .rank0
+            .hb_records
+            .iter()
+            .map(|r| r.count(appekg::HeartbeatId(idx)))
+            .sum();
         assert_eq!(total, cfg.cg_iters as u64);
     }
 
     #[test]
     fn multirank_wall_run_works() {
         let out = run(
-            &MiniFeConfig { n: 6, cg_iters: 10, procs: 4 },
-            RunMode::Wall { interval_ns: 50_000_000, profile: true },
+            &MiniFeConfig {
+                n: 6,
+                cg_iters: 10,
+                procs: 4,
+            },
+            RunMode::Wall {
+                interval_ns: 50_000_000,
+                profile: true,
+            },
             &HeartbeatPlan::none(),
         );
         assert!(out.result_check.is_finite());

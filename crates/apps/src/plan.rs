@@ -81,7 +81,9 @@ impl HeartbeatPlan {
 
     /// Iterate `(name, type)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, InstrumentationType)> {
-        self.sites.iter().flat_map(|(n, ts)| ts.iter().map(move |&t| (n.as_str(), t)))
+        self.sites
+            .iter()
+            .flat_map(|(n, ts)| ts.iter().map(move |&t| (n.as_str(), t)))
     }
 
     /// Resolve against an AppEKG instance, registering one heartbeat per
@@ -97,8 +99,10 @@ impl HeartbeatPlan {
                     body.insert(name.to_string(), ekg.register_heartbeat(name));
                 }
                 InstrumentationType::Loop => {
-                    loops
-                        .insert(name.to_string(), ekg.register_heartbeat(format!("{name}[loop]")));
+                    loops.insert(
+                        name.to_string(),
+                        ekg.register_heartbeat(format!("{name}[loop]")),
+                    );
                 }
             }
         }

@@ -31,7 +31,11 @@ pub struct FunctionLoad {
 impl FunctionLoad {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, share: f64, calls_per_interval: u64) -> FunctionLoad {
-        FunctionLoad { name: name.into(), share, calls_per_interval }
+        FunctionLoad {
+            name: name.into(),
+            share,
+            calls_per_interval,
+        }
     }
 }
 
@@ -80,7 +84,11 @@ impl PhaseScript {
                 let mut functions = vec![FunctionLoad::new(
                     format!("phase_kernel_{p}"),
                     0.7 + rng.gen::<f64>() * 0.25,
-                    if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..50) },
+                    if rng.gen_bool(0.5) {
+                        0
+                    } else {
+                        rng.gen_range(1..50)
+                    },
                 )];
                 for b in 0..rng.gen_range(0..3usize) {
                     functions.push(FunctionLoad::new(
@@ -89,10 +97,17 @@ impl PhaseScript {
                         rng.gen_range(1..200),
                     ));
                 }
-                PhaseSpec { intervals: rng.gen_range(5..21), functions }
+                PhaseSpec {
+                    intervals: rng.gen_range(5..21),
+                    functions,
+                }
             })
             .collect();
-        PhaseScript { phases, jitter: 0.03, seed: seed ^ 0xD1CE }
+        PhaseScript {
+            phases,
+            jitter: 0.03,
+            seed: seed ^ 0xD1CE,
+        }
     }
 }
 
@@ -165,7 +180,10 @@ pub fn run_script(script: &PhaseScript, interval_ns: u64) -> SynthRun {
         drop(driver_guard);
     }
 
-    SynthRun { data: ctx.finish(), truth: script.truth() }
+    SynthRun {
+        data: ctx.finish(),
+        truth: script.truth(),
+    }
 }
 
 #[cfg(test)]
@@ -215,7 +233,9 @@ mod tests {
         let run = run_script(&s, 1_000_000_000);
         // One sample per interval plus the final stop sample.
         assert_eq!(run.data.series.len() as u64, s.total_intervals() + 1);
-        let analysis = PhaseDetector::new().detect_series(&run.data.series).unwrap();
+        let analysis = PhaseDetector::new()
+            .detect_series(&run.data.series)
+            .unwrap();
         // The final stop sample is an extra (usually empty) interval;
         // score only the planted prefix.
         let detected = &analysis.assignments[..run.truth.len()];
@@ -229,7 +249,9 @@ mod tests {
         use incprof_core::types::InstrumentationType;
         let s = three_phase_script();
         let run = run_script(&s, 1_000_000_000);
-        let analysis = PhaseDetector::new().detect_series(&run.data.series).unwrap();
+        let analysis = PhaseDetector::new()
+            .detect_series(&run.data.series)
+            .unwrap();
         let solve = run.data.table.id_of("solve").unwrap();
         let site = analysis
             .phases

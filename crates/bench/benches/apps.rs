@@ -11,8 +11,10 @@ use hpc_apps::plan::HeartbeatPlan;
 use hpc_apps::{gadget2, lammps, miniamr, minife};
 use std::hint::black_box;
 
-const WALL: fn(bool) -> RunMode =
-    |profile| RunMode::Wall { interval_ns: 10_000_000, profile };
+const WALL: fn(bool) -> RunMode = |profile| RunMode::Wall {
+    interval_ns: 10_000_000,
+    profile,
+};
 
 fn bench_apps(c: &mut Criterion) {
     let mut g = c.benchmark_group("apps");
@@ -23,7 +25,11 @@ fn bench_apps(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("minife_n8", label), &profile, |b, &p| {
             b.iter(|| {
                 black_box(minife::run(
-                    &minife::MiniFeConfig { n: 8, cg_iters: 30, procs: 1 },
+                    &minife::MiniFeConfig {
+                        n: 8,
+                        cg_iters: 30,
+                        procs: 1,
+                    },
                     WALL(p),
                     &HeartbeatPlan::none(),
                 ))
@@ -58,20 +64,24 @@ fn bench_apps(c: &mut Criterion) {
                 ))
             })
         });
-        g.bench_with_input(BenchmarkId::new("gadget2_n256", label), &profile, |b, &p| {
-            b.iter(|| {
-                black_box(gadget2::run(
-                    &gadget2::Gadget2Config {
-                        particles: 256,
-                        steps: 6,
-                        pm_grid: 8,
-                        ..Default::default()
-                    },
-                    WALL(p),
-                    &HeartbeatPlan::none(),
-                ))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("gadget2_n256", label),
+            &profile,
+            |b, &p| {
+                b.iter(|| {
+                    black_box(gadget2::run(
+                        &gadget2::Gadget2Config {
+                            particles: 256,
+                            steps: 6,
+                            pm_grid: 8,
+                            ..Default::default()
+                        },
+                        WALL(p),
+                        &HeartbeatPlan::none(),
+                    ))
+                })
+            },
+        );
     }
     g.finish();
 }

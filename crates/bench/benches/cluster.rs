@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use incprof_cluster::{
-    dbscan, kmeans, mean_silhouette, select_k, DbscanParams, Dataset, KMeansConfig,
+    dbscan, kmeans, mean_silhouette, select_k, Dataset, DbscanParams, KMeansConfig,
     KSelectionMethod,
 };
 use rand::rngs::StdRng;
@@ -54,12 +54,22 @@ fn bench_selection(c: &mut Criterion) {
     let data = dataset(200, 16);
     g.bench_function("elbow_sweep_k1_8", |b| {
         b.iter(|| {
-            black_box(select_k(&data, 8, KSelectionMethod::Elbow, &KMeansConfig::new(0)))
+            black_box(select_k(
+                &data,
+                8,
+                KSelectionMethod::Elbow,
+                &KMeansConfig::new(0),
+            ))
         })
     });
     g.bench_function("silhouette_sweep_k1_8", |b| {
         b.iter(|| {
-            black_box(select_k(&data, 8, KSelectionMethod::Silhouette, &KMeansConfig::new(0)))
+            black_box(select_k(
+                &data,
+                8,
+                KSelectionMethod::Silhouette,
+                &KMeansConfig::new(0),
+            ))
         })
     });
     let res = kmeans(&data, &KMeansConfig::new(4));
@@ -74,7 +84,15 @@ fn bench_dbscan(c: &mut Criterion) {
     for n in [60usize, 200] {
         let data = dataset(n, 16);
         g.bench_with_input(BenchmarkId::new("intervals", n), &data, |b, data| {
-            b.iter(|| black_box(dbscan(data, DbscanParams { eps: 0.3, min_points: 3 })))
+            b.iter(|| {
+                black_box(dbscan(
+                    data,
+                    DbscanParams {
+                        eps: 0.3,
+                        min_points: 3,
+                    },
+                ))
+            })
         });
     }
     g.finish();

@@ -2,7 +2,7 @@
 //! Algorithm 1, as a function of run length (interval count), plus the
 //! DBSCAN variant for the clustering ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use incprof_cluster::DbscanParams;
 use incprof_collect::IntervalMatrix;
 use incprof_core::{ClusteringMethod, PhaseDetector};
@@ -40,7 +40,10 @@ fn bench_pipeline(c: &mut Criterion) {
             b.iter(|| black_box(PhaseDetector::new().detect(m).unwrap()))
         });
         let dbscan_det = PhaseDetector {
-            clustering: ClusteringMethod::Dbscan(DbscanParams { eps: 0.3, min_points: 3 }),
+            clustering: ClusteringMethod::Dbscan(DbscanParams {
+                eps: 0.3,
+                min_points: 3,
+            }),
             ..PhaseDetector::default()
         };
         g.bench_with_input(BenchmarkId::new("dbscan", n), &matrix, |b, m| {
@@ -51,4 +54,64 @@ fn bench_pipeline(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);
+
+/// Measure the observability layer's own cost against the pipeline: time
+/// the obs operations one `detect()` performs (a handful of spans, a
+/// counter, the k-sweep counters) and compare with `detect()` itself.
+fn obs_overhead_check() {
+    let matrix = IntervalMatrix::from_interval_profiles(&intervals(200, 24));
+    let det = PhaseDetector::new();
+    let reps = 30u32;
+    let start = std::time::Instant::now();
+    for _ in 0..reps {
+        black_box(det.detect(&matrix).unwrap());
+    }
+    let detect_ns = start.elapsed().as_nanos() as f64 / reps as f64;
+
+    // One detect() performs ~6 spans (detect + 3 stages + up to 8 sweep
+    // spans collapse into this order of magnitude) and ~10 counter or
+    // histogram updates; price 20 of each to be conservative.
+    let per_op = 20u32;
+    let start = std::time::Instant::now();
+    for _ in 0..reps {
+        for _ in 0..per_op {
+            let _s = incprof_obs::span("bench.obs.overhead_probe");
+            incprof_obs::counter("bench.obs.overhead_probe").inc();
+            incprof_obs::histogram("bench.obs.overhead_probe").record(1);
+        }
+    }
+    let obs_ns = start.elapsed().as_nanos() as f64 / reps as f64;
+    let pct = 100.0 * obs_ns / detect_ns;
+    println!(
+        "bench pipeline/obs_overhead: {per_op} spans+counters+histograms cost \
+         {obs_ns:.0} ns vs {detect_ns:.0} ns per detect ({pct:.3}%)"
+    );
+    assert!(
+        pct < 2.0,
+        "observability overhead {pct:.3}% exceeds the 2% budget"
+    );
+}
+
+fn main() {
+    benches();
+    obs_overhead_check();
+    // Leave the run's own metrics behind for inspection: the span store
+    // fills with per-iteration pipeline spans, so the report doubles as a
+    // smoke test of the reporting path at volume.
+    if let Ok(path) = std::env::var("INCPROF_METRICS") {
+        let report = incprof_obs::report();
+        report
+            .write(std::path::Path::new(&path))
+            .expect("write run report");
+        println!(
+            "bench pipeline: wrote run report ({} counters, {} spans, {} dropped) to {path}",
+            report.counters.len(),
+            count_spans(&report.spans),
+            report.spans_dropped
+        );
+    }
+}
+
+fn count_spans(nodes: &[incprof_obs::SpanNode]) -> usize {
+    nodes.iter().map(|n| 1 + count_spans(&n.children)).sum()
+}

@@ -48,11 +48,9 @@ fn bench_snapshot(c: &mut Criterion) {
             let _g = rt.enter(f);
             clock.advance(1000);
         }
-        g.bench_with_input(
-            BenchmarkId::new("functions", n_functions),
-            &rt,
-            |b, rt| b.iter(|| black_box(rt.snapshot(0))),
-        );
+        g.bench_with_input(BenchmarkId::new("functions", n_functions), &rt, |b, rt| {
+            b.iter(|| black_box(rt.snapshot(0)))
+        });
     }
     g.finish();
 }

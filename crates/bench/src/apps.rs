@@ -45,7 +45,13 @@ pub enum App {
 }
 
 /// All five apps in paper order.
-pub const ALL_APPS: [App; 5] = [App::Graph500, App::MiniFe, App::MiniAmr, App::Lammps, App::Gadget2];
+pub const ALL_APPS: [App; 5] = [
+    App::Graph500,
+    App::MiniFe,
+    App::MiniAmr,
+    App::Lammps,
+    App::Gadget2,
+];
 
 impl App {
     /// Display name as used in the paper's tables.
@@ -90,7 +96,11 @@ impl App {
             App::MiniFe => {
                 let cfg = match size {
                     Size::Paper => minife::MiniFeConfig::default(),
-                    Size::Medium => minife::MiniFeConfig { n: 14, cg_iters: 60, procs: 1 },
+                    Size::Medium => minife::MiniFeConfig {
+                        n: 14,
+                        cg_iters: 60,
+                        procs: 1,
+                    },
                     Size::Tiny => minife::MiniFeConfig::tiny(),
                 };
                 minife::run(&cfg, mode, plan)
@@ -141,7 +151,10 @@ impl App {
     /// Run in wall-clock mode for overhead measurements. `procs` ranks;
     /// real compute sized to take on the order of a second.
     pub fn run_wall(&self, profile: bool, plan: &HeartbeatPlan, procs: usize) -> AppOutput {
-        let mode = RunMode::Wall { interval_ns: 100_000_000, profile };
+        let mode = RunMode::Wall {
+            interval_ns: 100_000_000,
+            profile,
+        };
         match self {
             App::Graph500 => graph500::run(
                 &graph500::Graph500Config {
@@ -155,7 +168,11 @@ impl App {
                 plan,
             ),
             App::MiniFe => minife::run(
-                &minife::MiniFeConfig { n: 32, cg_iters: 500, procs },
+                &minife::MiniFeConfig {
+                    n: 32,
+                    cg_iters: 500,
+                    procs,
+                },
                 mode,
                 plan,
             ),
@@ -182,7 +199,13 @@ impl App {
                 plan,
             ),
             App::Gadget2 => gadget2::run(
-                &gadget2::Gadget2Config { particles: 2048, steps: 80, pm_grid: 32, procs, ..gadget2::Gadget2Config::default() },
+                &gadget2::Gadget2Config {
+                    particles: 2048,
+                    steps: 80,
+                    pm_grid: 32,
+                    procs,
+                    ..gadget2::Gadget2Config::default()
+                },
                 mode,
                 plan,
             ),
@@ -197,13 +220,20 @@ mod tests {
     #[test]
     fn names_match_paper_order() {
         let names: Vec<&str> = ALL_APPS.iter().map(|a| a.name()).collect();
-        assert_eq!(names, vec!["Graph500", "MiniFE", "MiniAMR", "LAMMPS", "Gadget"]);
+        assert_eq!(
+            names,
+            vec!["Graph500", "MiniFE", "MiniAMR", "LAMMPS", "Gadget"]
+        );
     }
 
     #[test]
     fn every_app_has_manual_sites() {
         for app in ALL_APPS {
-            assert!(!app.manual_sites().is_empty(), "{} missing manual sites", app.name());
+            assert!(
+                !app.manual_sites().is_empty(),
+                "{} missing manual sites",
+                app.name()
+            );
         }
     }
 
@@ -211,7 +241,11 @@ mod tests {
     fn tiny_virtual_runs_complete() {
         for app in ALL_APPS {
             let out = app.run_virtual(Size::Tiny, &HeartbeatPlan::none());
-            assert!(!out.rank0.series.is_empty(), "{} collected nothing", app.name());
+            assert!(
+                !out.rank0.series.is_empty(),
+                "{} collected nothing",
+                app.name()
+            );
             assert!(out.result_check.is_finite());
         }
     }
@@ -220,6 +254,9 @@ mod tests {
     fn size_from_env_defaults_to_paper() {
         // (Cannot mutate the environment safely in tests; just check the
         // default path when the variable is unset or unknown.)
-        assert!(matches!(Size::from_env(), Size::Paper | Size::Medium | Size::Tiny));
+        assert!(matches!(
+            Size::from_env(),
+            Size::Paper | Size::Medium | Size::Tiny
+        ));
     }
 }

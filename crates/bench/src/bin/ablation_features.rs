@@ -13,7 +13,10 @@ use incprof_core::{FeatureSet, PhaseDetector};
 
 fn main() {
     let size = Size::from_env();
-    println!("{:<9} {:>22} {:>2} {:>6}  sites", "app", "features", "k", "paper");
+    println!(
+        "{:<9} {:>22} {:>2} {:>6}  sites",
+        "app", "features", "k", "paper"
+    );
     for app in ALL_APPS {
         let out = app.run_virtual(size, &HeartbeatPlan::none());
         for (label, features) in [
@@ -21,7 +24,10 @@ fn main() {
             ("self-time + calls", FeatureSet::SelfTimeAndCalls),
             ("self-time + child", FeatureSet::SelfTimeAndChildTime),
         ] {
-            let det = PhaseDetector { features, ..PhaseDetector::default() };
+            let det = PhaseDetector {
+                features,
+                ..PhaseDetector::default()
+            };
             match det.detect_series(&out.rank0.series) {
                 Ok(analysis) => {
                     let names = discovered_site_names(&analysis, &out.rank0.table);

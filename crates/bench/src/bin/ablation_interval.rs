@@ -17,13 +17,24 @@ fn run_with_interval(app: App, interval_ns: u64) -> hpc_apps::AppOutput {
     let plan = HeartbeatPlan::none();
     match app {
         App::Graph500 => graph500::run(
-            &graph500::Graph500Config { scale: 12, edge_factor: 16, num_roots: 20, ..Default::default() },
+            &graph500::Graph500Config {
+                scale: 12,
+                edge_factor: 16,
+                num_roots: 20,
+                ..Default::default()
+            },
             mode,
             &plan,
         ),
-        App::MiniFe => {
-            minife::run(&minife::MiniFeConfig { n: 14, cg_iters: 60, procs: 1 }, mode, &plan)
-        }
+        App::MiniFe => minife::run(
+            &minife::MiniFeConfig {
+                n: 14,
+                cg_iters: 60,
+                procs: 1,
+            },
+            mode,
+            &plan,
+        ),
         App::MiniAmr => miniamr::run(
             &miniamr::MiniAmrConfig {
                 blocks_per_side: 3,
@@ -36,12 +47,22 @@ fn run_with_interval(app: App, interval_ns: u64) -> hpc_apps::AppOutput {
             &plan,
         ),
         App::Lammps => lammps::run(
-            &lammps::LammpsConfig { atoms_per_side: 9, steps: 60, rebuild_every: 8, ..Default::default() },
+            &lammps::LammpsConfig {
+                atoms_per_side: 9,
+                steps: 60,
+                rebuild_every: 8,
+                ..Default::default()
+            },
             mode,
             &plan,
         ),
         App::Gadget2 => gadget2::run(
-            &gadget2::Gadget2Config { particles: 700, steps: 40, pm_grid: 24, ..Default::default() },
+            &gadget2::Gadget2Config {
+                particles: 700,
+                steps: 40,
+                pm_grid: 24,
+                ..Default::default()
+            },
             mode,
             &plan,
         ),
@@ -49,7 +70,10 @@ fn run_with_interval(app: App, interval_ns: u64) -> hpc_apps::AppOutput {
 }
 
 fn main() {
-    println!("{:<9} {:>9} {:>10} {:>2}  sites", "app", "interval", "intervals", "k");
+    println!(
+        "{:<9} {:>9} {:>10} {:>2}  sites",
+        "app", "interval", "intervals", "k"
+    );
     for app in incprof_bench::ALL_APPS {
         for (label, interval_ns) in [
             ("0.25s", 250_000_000u64),

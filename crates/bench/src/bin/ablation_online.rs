@@ -17,9 +17,15 @@ fn main() {
     );
     for app in ALL_APPS {
         let out = app.run_virtual(size, &HeartbeatPlan::none());
-        let intervals = out.rank0.series.interval_profiles().expect("monotone series");
+        let intervals = out
+            .rank0
+            .series
+            .interval_profiles()
+            .expect("monotone series");
 
-        let batch = PhaseDetector::new().detect_series(&out.rank0.series).expect("batch");
+        let batch = PhaseDetector::new()
+            .detect_series(&out.rank0.series)
+            .expect("batch");
 
         let mut online = OnlinePhaseDetector::new(OnlineConfig::default());
         for p in &intervals {
@@ -40,7 +46,11 @@ fn main() {
                 }
             }
         }
-        let agreement = if total > 0 { 100.0 * agree as f64 / total as f64 } else { 100.0 };
+        let agreement = if total > 0 {
+            100.0 * agree as f64 / total as f64
+        } else {
+            100.0
+        };
         println!(
             "{:<9} {:>8} {:>9} {:>12} {:>11.1}%",
             app.name(),

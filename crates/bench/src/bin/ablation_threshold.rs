@@ -17,7 +17,10 @@ fn main() {
     for app in ALL_APPS {
         let out = app.run_virtual(size, &HeartbeatPlan::none());
         for threshold in [0.50, 0.75, 0.90, 0.95, 0.99, 1.00] {
-            let det = PhaseDetector { coverage_threshold: threshold, ..PhaseDetector::default() };
+            let det = PhaseDetector {
+                coverage_threshold: threshold,
+                ..PhaseDetector::default()
+            };
             match det.detect_series(&out.rank0.series) {
                 Ok(analysis) => {
                     let min_cov = analysis

@@ -21,7 +21,11 @@ struct Scores {
 
 impl Scores {
     fn new() -> Scores {
-        Scores { ari_sum: 0.0, exact_k: 0, trials: 0 }
+        Scores {
+            ari_sum: 0.0,
+            exact_k: 0,
+            trials: 0,
+        }
     }
     fn add(&mut self, ari: f64, k_detected: usize, k_true: usize) {
         self.ari_sum += ari;
@@ -33,8 +37,10 @@ impl Scores {
 }
 
 fn main() {
-    let trials: usize =
-        std::env::var("INCPROF_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(20);
+    let trials: usize = std::env::var("INCPROF_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
     let variants = ["kmeans+elbow", "kmeans+silhouette", "dbscan", "online"];
     let mut scores: Vec<Scores> = variants.iter().map(|_| Scores::new()).collect();
 
@@ -47,9 +53,8 @@ fn main() {
         // The collector's final stop() sample adds one (empty) trailing
         // interval; score detection on the planted prefix only.
         let intervals = run.data.series.interval_profiles().expect("monotone");
-        let matrix = incprof_collect::IntervalMatrix::from_interval_profiles(
-            &intervals[..truth.len()],
-        );
+        let matrix =
+            incprof_collect::IntervalMatrix::from_interval_profiles(&intervals[..truth.len()]);
 
         let detectors: [PhaseDetector; 3] = [
             PhaseDetector::default(),

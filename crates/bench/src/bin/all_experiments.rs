@@ -12,10 +12,14 @@ use std::path::Path;
 
 fn main() {
     let size = Size::from_env();
-    let procs: usize =
-        std::env::var("INCPROF_PROCS").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
-    let repeats: usize =
-        std::env::var("INCPROF_REPEATS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+    let procs: usize = std::env::var("INCPROF_PROCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let repeats: usize = std::env::var("INCPROF_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
     let out = Path::new("experiments_out");
     fs::create_dir_all(out).expect("create experiments_out");
 
@@ -26,7 +30,13 @@ fn main() {
     fs::write(out.join("table1.txt"), &t1).expect("write table1");
 
     // Tables II–VI.
-    let table_names = ["table2_Graph500", "table3_MiniFE", "table4_MiniAMR", "table5_LAMMPS", "table6_Gadget2"];
+    let table_names = [
+        "table2_Graph500",
+        "table3_MiniFE",
+        "table4_MiniAMR",
+        "table5_LAMMPS",
+        "table6_Gadget2",
+    ];
     for (i, app) in ALL_APPS.into_iter().enumerate() {
         eprintln!("[2/3] {} sites table...", app.name());
         let text = site_table(app, size);
@@ -35,7 +45,13 @@ fn main() {
     }
 
     // Figures 2–6.
-    let fig_names = ["fig2_Graph500", "fig3_MiniFe", "fig4_MiniAmr", "fig5_Lammps", "fig6_Gadget2"];
+    let fig_names = [
+        "fig2_Graph500",
+        "fig3_MiniFe",
+        "fig4_MiniAmr",
+        "fig5_Lammps",
+        "fig6_Gadget2",
+    ];
     for (i, app) in ALL_APPS.into_iter().enumerate() {
         eprintln!("[3/3] {} heartbeat figure...", app.name());
         let fig = figure(app, size);

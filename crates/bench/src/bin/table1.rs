@@ -9,10 +9,14 @@ use incprof_bench::tables::{format_table1, table1};
 
 fn main() {
     let size = Size::from_env();
-    let procs: usize =
-        std::env::var("INCPROF_PROCS").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
-    let repeats: usize =
-        std::env::var("INCPROF_REPEATS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+    let procs: usize = std::env::var("INCPROF_PROCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let repeats: usize = std::env::var("INCPROF_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
     eprintln!("measuring overheads ({procs} ranks, best of {repeats}; this runs every app 3x{repeats} times)...");
     let rows = table1(size, procs, repeats);
     println!("{}", format_table1(&rows));

@@ -25,11 +25,7 @@ pub struct FigureData {
     pub manual: Vec<(String, HeartbeatSeries)>,
 }
 
-fn series_of(
-    app: App,
-    size: Size,
-    plan: &HeartbeatPlan,
-) -> (u64, Vec<(String, HeartbeatSeries)>) {
+fn series_of(app: App, size: Size, plan: &HeartbeatPlan) -> (u64, Vec<(String, HeartbeatSeries)>) {
     let out = app.run_virtual(size, plan);
     let n = out.rank0.series.len() as u64;
     let map = HeartbeatSeries::from_records(&out.rank0.hb_records, Some(n));
@@ -50,13 +46,22 @@ pub fn figure(app: App, size: Size) -> FigureData {
     let manual_plan = HeartbeatPlan::from_manual(&app.manual_sites());
     let (n1, discovered) = series_of(app, size, &discovered_plan);
     let (n2, manual) = series_of(app, size, &manual_plan);
-    FigureData { app: app.name(), n_intervals: n1.max(n2), discovered, manual }
+    FigureData {
+        app: app.name(),
+        n_intervals: n1.max(n2),
+        discovered,
+        manual,
+    }
 }
 
 /// Render the figure as ASCII sparklines (count per interval).
 pub fn render_ascii(fig: &FigureData) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{} heartbeats over {} intervals", fig.app, fig.n_intervals);
+    let _ = writeln!(
+        out,
+        "{} heartbeats over {} intervals",
+        fig.app, fig.n_intervals
+    );
     let _ = writeln!(out, "-- discovered sites --");
     for (name, s) in &fig.discovered {
         let _ = writeln!(out, "{name:>36} |{}|", s.sparkline());
@@ -111,8 +116,7 @@ mod tests {
     fn csv_has_row_per_interval_per_site() {
         let fig = figure(App::MiniFe, Size::Tiny);
         let csv = render_csv(&fig);
-        let expected =
-            (fig.discovered.len() + fig.manual.len()) * fig.n_intervals as usize + 1;
+        let expected = (fig.discovered.len() + fig.manual.len()) * fig.n_intervals as usize + 1;
         assert_eq!(csv.lines().count(), expected);
     }
 }

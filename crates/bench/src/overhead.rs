@@ -30,7 +30,9 @@ pub struct OverheadResult {
 }
 
 fn best_of(repeats: usize, mut f: impl FnMut() -> f64) -> f64 {
-    (0..repeats.max(1)).map(|_| f()).fold(f64::INFINITY, f64::min)
+    (0..repeats.max(1))
+        .map(|_| f())
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// Measure the three configurations for `app` with `procs` ranks,

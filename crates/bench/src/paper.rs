@@ -89,38 +89,206 @@ pub struct PaperSiteRow {
 pub fn paper_sites(app: App) -> &'static [PaperSiteRow] {
     match app {
         App::Graph500 => &[
-            PaperSiteRow { phase: 0, hb_id: 1, function: "validate_bfs_result", phase_pct: 98.1, app_pct: 62.2, inst_type: "loop" },
-            PaperSiteRow { phase: 1, hb_id: 2, function: "run_bfs", phase_pct: 100.0, app_pct: 13.2, inst_type: "body" },
-            PaperSiteRow { phase: 2, hb_id: 3, function: "run_bfs", phase_pct: 100.0, app_pct: 12.3, inst_type: "loop" },
-            PaperSiteRow { phase: 3, hb_id: 4, function: "make_one_edge", phase_pct: 97.2, app_pct: 10.8, inst_type: "body" },
+            PaperSiteRow {
+                phase: 0,
+                hb_id: 1,
+                function: "validate_bfs_result",
+                phase_pct: 98.1,
+                app_pct: 62.2,
+                inst_type: "loop",
+            },
+            PaperSiteRow {
+                phase: 1,
+                hb_id: 2,
+                function: "run_bfs",
+                phase_pct: 100.0,
+                app_pct: 13.2,
+                inst_type: "body",
+            },
+            PaperSiteRow {
+                phase: 2,
+                hb_id: 3,
+                function: "run_bfs",
+                phase_pct: 100.0,
+                app_pct: 12.3,
+                inst_type: "loop",
+            },
+            PaperSiteRow {
+                phase: 3,
+                hb_id: 4,
+                function: "make_one_edge",
+                phase_pct: 97.2,
+                app_pct: 10.8,
+                inst_type: "body",
+            },
         ],
         App::MiniFe => &[
-            PaperSiteRow { phase: 0, hb_id: 1, function: "sum_in_symm_elem_matrix", phase_pct: 100.0, app_pct: 19.5, inst_type: "body" },
-            PaperSiteRow { phase: 1, hb_id: 2, function: "cg_solve", phase_pct: 100.0, app_pct: 43.7, inst_type: "loop" },
-            PaperSiteRow { phase: 2, hb_id: 3, function: "init_matrix", phase_pct: 93.2, app_pct: 10.1, inst_type: "loop" },
-            PaperSiteRow { phase: 2, hb_id: 4, function: "generate_matrix_structure", phase_pct: 6.8, app_pct: 0.7, inst_type: "loop" },
-            PaperSiteRow { phase: 3, hb_id: 5, function: "impose_dirichlet", phase_pct: 100.0, app_pct: 4.4, inst_type: "loop" },
-            PaperSiteRow { phase: 4, hb_id: 2, function: "cg_solve", phase_pct: 94.7, app_pct: 20.5, inst_type: "loop" },
-            PaperSiteRow { phase: 4, hb_id: 6, function: "make_local_matrix", phase_pct: 2.7, app_pct: 0.6, inst_type: "loop" },
+            PaperSiteRow {
+                phase: 0,
+                hb_id: 1,
+                function: "sum_in_symm_elem_matrix",
+                phase_pct: 100.0,
+                app_pct: 19.5,
+                inst_type: "body",
+            },
+            PaperSiteRow {
+                phase: 1,
+                hb_id: 2,
+                function: "cg_solve",
+                phase_pct: 100.0,
+                app_pct: 43.7,
+                inst_type: "loop",
+            },
+            PaperSiteRow {
+                phase: 2,
+                hb_id: 3,
+                function: "init_matrix",
+                phase_pct: 93.2,
+                app_pct: 10.1,
+                inst_type: "loop",
+            },
+            PaperSiteRow {
+                phase: 2,
+                hb_id: 4,
+                function: "generate_matrix_structure",
+                phase_pct: 6.8,
+                app_pct: 0.7,
+                inst_type: "loop",
+            },
+            PaperSiteRow {
+                phase: 3,
+                hb_id: 5,
+                function: "impose_dirichlet",
+                phase_pct: 100.0,
+                app_pct: 4.4,
+                inst_type: "loop",
+            },
+            PaperSiteRow {
+                phase: 4,
+                hb_id: 2,
+                function: "cg_solve",
+                phase_pct: 94.7,
+                app_pct: 20.5,
+                inst_type: "loop",
+            },
+            PaperSiteRow {
+                phase: 4,
+                hb_id: 6,
+                function: "make_local_matrix",
+                phase_pct: 2.7,
+                app_pct: 0.6,
+                inst_type: "loop",
+            },
         ],
         App::MiniAmr => &[
-            PaperSiteRow { phase: 0, hb_id: 1, function: "check_sum", phase_pct: 100.0, app_pct: 89.1, inst_type: "body" },
-            PaperSiteRow { phase: 1, hb_id: 2, function: "allocate", phase_pct: 33.8, app_pct: 3.7, inst_type: "loop" },
-            PaperSiteRow { phase: 1, hb_id: 3, function: "pack_block", phase_pct: 32.4, app_pct: 3.5, inst_type: "body" },
-            PaperSiteRow { phase: 1, hb_id: 4, function: "unpack_block", phase_pct: 26.5, app_pct: 2.9, inst_type: "body" },
+            PaperSiteRow {
+                phase: 0,
+                hb_id: 1,
+                function: "check_sum",
+                phase_pct: 100.0,
+                app_pct: 89.1,
+                inst_type: "body",
+            },
+            PaperSiteRow {
+                phase: 1,
+                hb_id: 2,
+                function: "allocate",
+                phase_pct: 33.8,
+                app_pct: 3.7,
+                inst_type: "loop",
+            },
+            PaperSiteRow {
+                phase: 1,
+                hb_id: 3,
+                function: "pack_block",
+                phase_pct: 32.4,
+                app_pct: 3.5,
+                inst_type: "body",
+            },
+            PaperSiteRow {
+                phase: 1,
+                hb_id: 4,
+                function: "unpack_block",
+                phase_pct: 26.5,
+                app_pct: 2.9,
+                inst_type: "body",
+            },
         ],
         App::Lammps => &[
-            PaperSiteRow { phase: 0, hb_id: 1, function: "PairLJCut::compute", phase_pct: 100.0, app_pct: 55.7, inst_type: "loop" },
-            PaperSiteRow { phase: 1, hb_id: 2, function: "NPairHalf::build", phase_pct: 100.0, app_pct: 7.7, inst_type: "loop" },
-            PaperSiteRow { phase: 2, hb_id: 1, function: "PairLJCut::compute", phase_pct: 100.0, app_pct: 34.1, inst_type: "loop" },
-            PaperSiteRow { phase: 3, hb_id: 2, function: "NPairHalf::build", phase_pct: 50.0, app_pct: 1.3, inst_type: "body" },
-            PaperSiteRow { phase: 3, hb_id: 4, function: "Velocity::create", phase_pct: 42.9, app_pct: 1.1, inst_type: "loop" },
+            PaperSiteRow {
+                phase: 0,
+                hb_id: 1,
+                function: "PairLJCut::compute",
+                phase_pct: 100.0,
+                app_pct: 55.7,
+                inst_type: "loop",
+            },
+            PaperSiteRow {
+                phase: 1,
+                hb_id: 2,
+                function: "NPairHalf::build",
+                phase_pct: 100.0,
+                app_pct: 7.7,
+                inst_type: "loop",
+            },
+            PaperSiteRow {
+                phase: 2,
+                hb_id: 1,
+                function: "PairLJCut::compute",
+                phase_pct: 100.0,
+                app_pct: 34.1,
+                inst_type: "loop",
+            },
+            PaperSiteRow {
+                phase: 3,
+                hb_id: 2,
+                function: "NPairHalf::build",
+                phase_pct: 50.0,
+                app_pct: 1.3,
+                inst_type: "body",
+            },
+            PaperSiteRow {
+                phase: 3,
+                hb_id: 4,
+                function: "Velocity::create",
+                phase_pct: 42.9,
+                app_pct: 1.1,
+                inst_type: "loop",
+            },
         ],
         App::Gadget2 => &[
-            PaperSiteRow { phase: 0, hb_id: 1, function: "force_treeevaluate_shortrange", phase_pct: 100.0, app_pct: 44.9, inst_type: "body" },
-            PaperSiteRow { phase: 1, hb_id: 2, function: "pm_setup_nonperiodic_kernel", phase_pct: 93.8, app_pct: 28.6, inst_type: "body" },
-            PaperSiteRow { phase: 1, hb_id: 3, function: "force_update_node_recursive", phase_pct: 5.9, app_pct: 1.8, inst_type: "body" },
-            PaperSiteRow { phase: 2, hb_id: 1, function: "force_treeevaluate_shortrange", phase_pct: 100.0, app_pct: 24.7, inst_type: "body" },
+            PaperSiteRow {
+                phase: 0,
+                hb_id: 1,
+                function: "force_treeevaluate_shortrange",
+                phase_pct: 100.0,
+                app_pct: 44.9,
+                inst_type: "body",
+            },
+            PaperSiteRow {
+                phase: 1,
+                hb_id: 2,
+                function: "pm_setup_nonperiodic_kernel",
+                phase_pct: 93.8,
+                app_pct: 28.6,
+                inst_type: "body",
+            },
+            PaperSiteRow {
+                phase: 1,
+                hb_id: 3,
+                function: "force_update_node_recursive",
+                phase_pct: 5.9,
+                app_pct: 1.8,
+                inst_type: "body",
+            },
+            PaperSiteRow {
+                phase: 2,
+                hb_id: 1,
+                function: "force_treeevaluate_shortrange",
+                phase_pct: 100.0,
+                app_pct: 24.7,
+                inst_type: "body",
+            },
         ],
     }
 }
@@ -161,8 +329,7 @@ mod tests {
         for app in ALL_APPS {
             let sites = paper_sites(app);
             assert!(!sites.is_empty());
-            let phases: std::collections::BTreeSet<usize> =
-                sites.iter().map(|s| s.phase).collect();
+            let phases: std::collections::BTreeSet<usize> = sites.iter().map(|s| s.phase).collect();
             assert_eq!(phases.len(), paper_phase_count(app), "{}", app.name());
         }
     }

@@ -44,8 +44,11 @@ pub fn table1(size: Size, procs: usize, repeats: usize) -> Vec<Table1Row> {
     crate::apps::ALL_APPS
         .iter()
         .map(|&app| {
-            let OverheadResult { baseline_s, incprof_pct, heartbeat_pct } =
-                measure_overheads(app, procs, repeats);
+            let OverheadResult {
+                baseline_s,
+                incprof_pct,
+                heartbeat_pct,
+            } = measure_overheads(app, procs, repeats);
             let (analysis, _) = detect_phases(app, size);
             Table1Row {
                 app: app.name(),
@@ -62,7 +65,10 @@ pub fn table1(size: Size, procs: usize, repeats: usize) -> Vec<Table1Row> {
 /// Render our Table I next to the paper's.
 pub fn format_table1(rows: &[Table1Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "TABLE I — EXPERIMENTAL OVERVIEW: SETUP & OVERHEAD (measured)");
+    let _ = writeln!(
+        out,
+        "TABLE I — EXPERIMENTAL OVERVIEW: SETUP & OVERHEAD (measured)"
+    );
     let _ = writeln!(
         out,
         "| {:<9} | {:>5} | {:>12} | {:>12} | {:>13} | {:>8} |",
@@ -85,7 +91,12 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
         let _ = writeln!(
             out,
             "| {:<9} | {:>11} | {:>12.0} | {:>12.1} | {:>13.1} | {:>8} |",
-            r.app, r.procs_nodes, r.uninstr_runtime_s, r.incprof_ovhd_pct, r.heartbeat_ovhd_pct, r.phases
+            r.app,
+            r.procs_nodes,
+            r.uninstr_runtime_s,
+            r.incprof_ovhd_pct,
+            r.heartbeat_ovhd_pct,
+            r.phases
         );
     }
     out

@@ -18,7 +18,13 @@
 //!          --dbscan <eps> <min_pts>   cluster with DBSCAN
 //!          --merge           merge phases sharing instrumentation sites
 //!          --json            emit the analysis as JSON instead of text
+//!
+//! global:  --metrics <path>  write an observability run report on exit
+//!          --verbose         raise logging to debug
 //! ```
+//!
+//! Exit status: 0 on success, 2 on usage errors, 1 on runtime (I/O,
+//! JSON, pipeline) errors.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,7 +33,9 @@ use incprof_cluster::{DbscanParams, KSelectionMethod};
 use incprof_collect::report_path::{clamp_monotone, parse_reports};
 use incprof_collect::{IntervalMatrix, SampleSeries};
 use incprof_core::merge::merge_phases_with_same_sites;
-use incprof_core::report::{render_k_sweep, render_signatures, render_sites_table, render_timeline};
+use incprof_core::report::{
+    render_k_sweep, render_signatures, render_sites_table, render_timeline,
+};
 use incprof_core::{ClusteringMethod, PhaseAnalysis, PhaseDetector};
 use incprof_profile::FunctionTable;
 use serde::{Deserialize, Serialize};
@@ -161,9 +169,7 @@ pub fn parse_options(args: &[String]) -> Result<AnalyzeOptions, CliError> {
 
 fn detector_for(opts: &AnalyzeOptions) -> PhaseDetector {
     let clustering = match opts.dbscan {
-        Some((eps, min_points)) => {
-            ClusteringMethod::Dbscan(DbscanParams { eps, min_points })
-        }
+        Some((eps, min_points)) => ClusteringMethod::Dbscan(DbscanParams { eps, min_points }),
         None => ClusteringMethod::KMeans {
             k_max: opts.k_max,
             selection: if opts.silhouette {
@@ -181,12 +187,10 @@ fn detector_for(opts: &AnalyzeOptions) -> PhaseDetector {
 }
 
 /// Run the pipeline on an interval matrix with the given options.
-pub fn analyze(
-    matrix: &IntervalMatrix,
-    opts: &AnalyzeOptions,
-) -> Result<PhaseAnalysis, CliError> {
-    let mut analysis =
-        detector_for(opts).detect(matrix).map_err(|e| CliError::Pipeline(e.to_string()))?;
+pub fn analyze(matrix: &IntervalMatrix, opts: &AnalyzeOptions) -> Result<PhaseAnalysis, CliError> {
+    let mut analysis = detector_for(opts)
+        .detect(matrix)
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
     if opts.merge {
         analysis = merge_phases_with_same_sites(&analysis);
     }
@@ -224,8 +228,10 @@ pub fn analyze_json(path: &Path, opts: &AnalyzeOptions) -> Result<String, CliErr
     let text = std::fs::read_to_string(path)?;
     let mut dump: RunDump = serde_json::from_str(&text)?;
     dump.table.rebuild_index();
-    let intervals =
-        dump.series.interval_profiles().map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let intervals = dump
+        .series
+        .interval_profiles()
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
     let matrix = IntervalMatrix::from_interval_profiles(&intervals);
     let analysis = analyze(&matrix, opts)?;
     render(&analysis, &matrix, &dump.table, opts)
@@ -242,7 +248,10 @@ pub fn analyze_reports(dir: &Path, opts: &AnalyzeOptions) -> Result<String, CliE
         .collect();
     paths.sort();
     if paths.is_empty() {
-        return Err(CliError::Usage(format!("no report files in {}", dir.display())));
+        return Err(CliError::Usage(format!(
+            "no report files in {}",
+            dir.display()
+        )));
     }
     let reports: Vec<String> = paths
         .iter()
@@ -275,10 +284,14 @@ pub fn analyze_gmon(dir: &Path, opts: &AnalyzeOptions) -> Result<String, CliErro
     let (series, table) = incprof_collect::series_io::read_gmon_dir(dir)
         .map_err(|e| CliError::Pipeline(e.to_string()))?;
     if series.is_empty() {
-        return Err(CliError::Usage(format!("no gmon files in {}", dir.display())));
+        return Err(CliError::Usage(format!(
+            "no gmon files in {}",
+            dir.display()
+        )));
     }
-    let intervals =
-        series.interval_profiles().map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let intervals = series
+        .interval_profiles()
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
     let matrix = IntervalMatrix::from_interval_profiles(&intervals);
     let analysis = analyze(&matrix, opts)?;
     render(&analysis, &matrix, &table, opts)
@@ -295,7 +308,11 @@ pub fn render_reports_cmd(dump_path: &Path, out_dir: &Path) -> Result<String, Cl
     for (i, report) in reports.iter().enumerate() {
         std::fs::write(out_dir.join(format!("gmon.out.{i:05}.txt")), report)?;
     }
-    Ok(format!("wrote {} reports to {}", reports.len(), out_dir.display()))
+    Ok(format!(
+        "wrote {} reports to {}",
+        reports.len(),
+        out_dir.display()
+    ))
 }
 
 /// `incprof demo <out.json>`: generate a synthetic three-phase run dump
@@ -332,7 +349,10 @@ pub fn demo(out_path: &Path) -> Result<String, CliError> {
         collector.tick();
     }
 
-    let dump = RunDump { table: rt.function_table(), series: collector.into_series() };
+    let dump = RunDump {
+        table: rt.function_table(),
+        series: collector.into_series(),
+    };
     std::fs::write(out_path, serde_json::to_string(&dump)?)?;
     Ok(format!(
         "wrote a {}-sample demo run to {}",
@@ -341,35 +361,104 @@ pub fn demo(out_path: &Path) -> Result<String, CliError> {
     ))
 }
 
-/// Top-level dispatch. `args` excludes the program name.
+/// Global flags accepted anywhere on the command line, ahead of the
+/// per-command options.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GlobalFlags {
+    /// Write an observability [`incprof_obs::RunReport`] here on exit
+    /// (`.jsonl` extension selects the line-oriented format).
+    pub metrics: Option<std::path::PathBuf>,
+    /// Raise logging to debug (equivalent to `INCPROF_LOG=debug`, except
+    /// the environment still wins where it asks for more).
+    pub verbose: bool,
+}
+
+/// Strip `--metrics <path>` and `--verbose` out of `args`, returning the
+/// parsed globals plus the remaining arguments.
+pub fn split_global_flags(args: &[String]) -> Result<(GlobalFlags, Vec<String>), CliError> {
+    let mut globals = GlobalFlags::default();
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--metrics requires a path".into()))?;
+                globals.metrics = Some(std::path::PathBuf::from(path));
+            }
+            "--verbose" => globals.verbose = true,
+            _ => rest.push(args[i].clone()),
+        }
+        i += 1;
+    }
+    Ok((globals, rest))
+}
+
+/// Top-level entry: strip global flags, dispatch, and (when requested)
+/// write the observability run report — on failure too, so a crashed
+/// analysis still leaves its metrics behind.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (globals, rest) = split_global_flags(args)?;
+    if globals.verbose {
+        incprof_obs::logger::raise_level(incprof_obs::Level::Debug);
+    }
+    let result = dispatch(&rest);
+    if let Some(path) = &globals.metrics {
+        let report = incprof_obs::report();
+        match report.write(path) {
+            Ok(()) => incprof_obs::debug!("wrote run report to {}", path.display()),
+            Err(e) if result.is_ok() => return Err(CliError::Io(e)),
+            Err(e) => incprof_obs::error!("failed to write run report: {e}"),
+        }
+    }
+    result
+}
+
+/// Command dispatch over already-stripped arguments.
+fn dispatch(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         Some("demo") => {
             let out = args.get(1).ok_or_else(|| usage("demo <out.json>"))?;
             demo(Path::new(out))
         }
         Some("render-reports") => {
-            let dump = args.get(1).ok_or_else(|| usage("render-reports <dump> <dir>"))?;
-            let dir = args.get(2).ok_or_else(|| usage("render-reports <dump> <dir>"))?;
+            let dump = args
+                .get(1)
+                .ok_or_else(|| usage("render-reports <dump> <dir>"))?;
+            let dir = args
+                .get(2)
+                .ok_or_else(|| usage("render-reports <dump> <dir>"))?;
             render_reports_cmd(Path::new(dump), Path::new(dir))
         }
         Some("render-gmon") => {
-            let dump = args.get(1).ok_or_else(|| usage("render-gmon <dump> <dir>"))?;
-            let dir = args.get(2).ok_or_else(|| usage("render-gmon <dump> <dir>"))?;
+            let dump = args
+                .get(1)
+                .ok_or_else(|| usage("render-gmon <dump> <dir>"))?;
+            let dir = args
+                .get(2)
+                .ok_or_else(|| usage("render-gmon <dump> <dir>"))?;
             render_gmon_cmd(Path::new(dump), Path::new(dir))
         }
         Some("analyze-gmon") => {
-            let dir = args.get(1).ok_or_else(|| usage("analyze-gmon <dir> [opts]"))?;
+            let dir = args
+                .get(1)
+                .ok_or_else(|| usage("analyze-gmon <dir> [opts]"))?;
             let opts = parse_options(&args[2..])?;
             analyze_gmon(Path::new(dir), &opts)
         }
         Some("analyze-reports") => {
-            let dir = args.get(1).ok_or_else(|| usage("analyze-reports <dir> [opts]"))?;
+            let dir = args
+                .get(1)
+                .ok_or_else(|| usage("analyze-reports <dir> [opts]"))?;
             let opts = parse_options(&args[2..])?;
             analyze_reports(Path::new(dir), &opts)
         }
         Some("analyze-json") => {
-            let dump = args.get(1).ok_or_else(|| usage("analyze-json <dump> [opts]"))?;
+            let dump = args
+                .get(1)
+                .ok_or_else(|| usage("analyze-json <dump> [opts]"))?;
             let opts = parse_options(&args[2..])?;
             analyze_json(Path::new(dump), &opts)
         }
@@ -392,7 +481,13 @@ incprof — source-oriented phase identification (IncProf, CLUSTER 2022)
   incprof analyze-gmon <dir> [same options as analyze-reports]
   incprof analyze-reports <dir> [--threshold f] [--kmax n] [--silhouette]
                                 [--dbscan eps min_pts] [--merge] [--json]
-  incprof analyze-json <dump.json> [same options]";
+  incprof analyze-json <dump.json> [same options]
+
+global options (any command):
+  --metrics <path>   write an observability run report (counters, span
+                     tree, latency histograms) as JSON; a .jsonl path
+                     selects one record per line
+  --verbose          raise logging to debug (see also INCPROF_LOG)";
 
 #[cfg(test)]
 mod tests {
@@ -442,8 +537,14 @@ mod tests {
         assert!(text.contains("implicit_solve"));
         assert!(text.contains("setup_mesh"));
         // JSON mode parses back as an analysis.
-        let json =
-            analyze_json(&dump, &AnalyzeOptions { json: true, ..Default::default() }).unwrap();
+        let json = analyze_json(
+            &dump,
+            &AnalyzeOptions {
+                json: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v["k"], 3);
         std::fs::remove_dir_all(&dir).ok();
@@ -451,8 +552,7 @@ mod tests {
 
     #[test]
     fn reports_roundtrip_through_directory() {
-        let dir = std::env::temp_dir()
-            .join(format!("incprof_cli_reports_{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("incprof_cli_reports_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let dump = dir.join("demo.json");
         demo(&dump).unwrap();
@@ -474,9 +574,98 @@ mod tests {
     }
 
     #[test]
+    fn global_flags_are_stripped_anywhere() {
+        let (g, rest) = split_global_flags(&s(&[
+            "analyze-json",
+            "--metrics",
+            "m.json",
+            "d.json",
+            "--verbose",
+        ]))
+        .unwrap();
+        assert_eq!(g.metrics.as_deref(), Some(Path::new("m.json")));
+        assert!(g.verbose);
+        assert_eq!(rest, s(&["analyze-json", "d.json"]));
+        assert!(matches!(
+            split_global_flags(&s(&["demo", "--metrics"])),
+            Err(CliError::Usage(_))
+        ));
+        let (g, rest) = split_global_flags(&s(&["demo", "x.json"])).unwrap();
+        assert_eq!(g, GlobalFlags::default());
+        assert_eq!(rest, s(&["demo", "x.json"]));
+    }
+
+    #[test]
+    fn metrics_flag_writes_run_report() {
+        let dir = std::env::temp_dir().join(format!("incprof_cli_obs_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dump = dir.join("demo.json");
+        let metrics = dir.join("metrics.json");
+        run(&s(&["demo", dump.to_str().unwrap()])).unwrap();
+        run(&s(&[
+            "analyze-json",
+            dump.to_str().unwrap(),
+            "--json",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let report =
+            incprof_obs::RunReport::from_json(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        // Collector activity from the demo run (wall-clock snapshot cost
+        // is nonzero even under the virtual profiling clock).
+        assert!(report.counters["collect.snapshot.count"] > 0);
+        let lat = &report.histograms["collect.snapshot.latency_ns"];
+        assert!(
+            lat.count > 0 && lat.sum > 0,
+            "snapshot latencies must be nonzero"
+        );
+        // Per-k k-means iteration counts from the sweep.
+        let kmeans_counters: Vec<_> = report
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("cluster.kmeans.iterations.k"))
+            .collect();
+        assert!(
+            kmeans_counters.len() >= 2,
+            "expected a k sweep, got {kmeans_counters:?}"
+        );
+        assert!(kmeans_counters.iter().all(|(_, &v)| v > 0));
+        // The pipeline span tree: detect with its stages as children, and
+        // the stages accounting for (almost) all of the total.
+        let detect = report
+            .find_span("core.pipeline.detect")
+            .expect("detect span");
+        let stages: Vec<&str> = detect.children.iter().map(|c| c.name.as_str()).collect();
+        assert!(stages.contains(&"core.pipeline.features"), "{stages:?}");
+        assert!(stages.contains(&"core.pipeline.cluster"), "{stages:?}");
+        assert!(stages.contains(&"core.pipeline.algorithm1"), "{stages:?}");
+        assert!(detect.children_dur_ns() <= detect.dur_ns);
+        assert!(
+            detect.children_dur_ns() as f64 >= 0.95 * detect.dur_ns as f64,
+            "stages cover {} of {} ns",
+            detect.children_dur_ns(),
+            detect.dur_ns
+        );
+        // JSONL variant writes one record per line.
+        let jsonl = dir.join("metrics.jsonl");
+        run(&s(&[
+            "demo",
+            dump.to_str().unwrap(),
+            "--metrics",
+            jsonl.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(text.lines().count() > 3);
+        assert!(text.lines().all(|l| l.starts_with('{')));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn analyze_reports_on_empty_dir_errors() {
-        let dir =
-            std::env::temp_dir().join(format!("incprof_cli_empty_{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("incprof_cli_empty_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         assert!(matches!(
             analyze_reports(&dir, &AnalyzeOptions::default()),
@@ -487,20 +676,25 @@ mod tests {
 
     #[test]
     fn merge_and_dbscan_paths_execute() {
-        let dir =
-            std::env::temp_dir().join(format!("incprof_cli_opts_{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("incprof_cli_opts_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let dump = dir.join("demo.json");
         demo(&dump).unwrap();
         let merged = analyze_json(
             &dump,
-            &AnalyzeOptions { merge: true, ..Default::default() },
+            &AnalyzeOptions {
+                merge: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(merged.contains("Discovered"));
         let db = analyze_json(
             &dump,
-            &AnalyzeOptions { dbscan: Some((0.3, 2)), ..Default::default() },
+            &AnalyzeOptions {
+                dbscan: Some((0.3, 2)),
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(db.contains("Discovered"));

@@ -76,7 +76,11 @@ pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> f64 {
     let max_index = 0.5 * (sum_rows + sum_cols);
     if (max_index - expected).abs() < 1e-12 {
         // Degenerate (e.g. both partitions trivial): agree ⇒ 1.
-        return if (sum_comb - expected).abs() < 1e-12 { 1.0 } else { 0.0 };
+        return if (sum_comb - expected).abs() < 1e-12 {
+            1.0
+        } else {
+            0.0
+        };
     }
     (sum_comb - expected) / (max_index - expected)
 }

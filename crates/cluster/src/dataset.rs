@@ -21,15 +21,28 @@ impl Dataset {
         let d = rows.first().map(Vec::len).unwrap_or(0);
         let mut data = Vec::with_capacity(n * d);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), d, "row {i} has length {} but expected {d}", r.len());
+            assert_eq!(
+                r.len(),
+                d,
+                "row {i} has length {} but expected {d}",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
-        Dataset { data, rows: n, cols: d }
+        Dataset {
+            data,
+            rows: n,
+            cols: d,
+        }
     }
 
     /// Build a zero-filled dataset with the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Dataset {
-        Dataset { data: vec![0.0; rows * cols], rows, cols }
+        Dataset {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
     }
 
     /// Number of rows (points).

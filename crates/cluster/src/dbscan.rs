@@ -54,7 +54,9 @@ pub fn dbscan(data: &Dataset, params: DbscanParams) -> Vec<DbscanLabel> {
     }
 
     let neighbors = |i: usize| -> Vec<usize> {
-        (0..n).filter(|&j| euclidean(data.row(i), data.row(j)) <= params.eps).collect()
+        (0..n)
+            .filter(|&j| euclidean(data.row(i), data.row(j)) <= params.eps)
+            .collect()
     };
 
     let mut state = vec![State::Unvisited; n];
@@ -108,7 +110,11 @@ pub fn dbscan(data: &Dataset, params: DbscanParams) -> Vec<DbscanLabel> {
 
 /// Number of clusters in a DBSCAN labeling.
 pub fn cluster_count(labels: &[DbscanLabel]) -> usize {
-    labels.iter().filter_map(|l| l.cluster()).max().map_or(0, |m| m + 1)
+    labels
+        .iter()
+        .filter_map(|l| l.cluster())
+        .max()
+        .map_or(0, |m| m + 1)
 }
 
 #[cfg(test)]
@@ -125,7 +131,13 @@ mod tests {
         rows.extend(blob(10.0, 10.0, 6));
         rows.push(vec![100.0, -100.0]); // lone outlier
         let data = Dataset::from_rows(rows);
-        let labels = dbscan(&data, DbscanParams { eps: 0.5, min_points: 3 });
+        let labels = dbscan(
+            &data,
+            DbscanParams {
+                eps: 0.5,
+                min_points: 3,
+            },
+        );
         assert_eq!(cluster_count(&labels), 2);
         assert_eq!(labels[12], DbscanLabel::Noise);
         assert!(labels[..6].iter().all(|&l| l == labels[0]));
@@ -140,7 +152,13 @@ mod tests {
         // phase detection).
         let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.9, 0.0]).collect();
         let data = Dataset::from_rows(rows);
-        let labels = dbscan(&data, DbscanParams { eps: 1.0, min_points: 2 });
+        let labels = dbscan(
+            &data,
+            DbscanParams {
+                eps: 1.0,
+                min_points: 2,
+            },
+        );
         assert_eq!(cluster_count(&labels), 1);
         assert!(labels.iter().all(|l| l.cluster() == Some(0)));
     }
@@ -148,7 +166,13 @@ mod tests {
     #[test]
     fn all_noise_when_eps_tiny() {
         let data = Dataset::from_rows(blob(0.0, 0.0, 5));
-        let labels = dbscan(&data, DbscanParams { eps: 1e-9, min_points: 3 });
+        let labels = dbscan(
+            &data,
+            DbscanParams {
+                eps: 1e-9,
+                min_points: 3,
+            },
+        );
         assert_eq!(cluster_count(&labels), 0);
         assert!(labels.iter().all(|&l| l == DbscanLabel::Noise));
     }
@@ -156,7 +180,13 @@ mod tests {
     #[test]
     fn min_points_one_makes_every_point_core() {
         let data = Dataset::from_rows(vec![vec![0.0], vec![100.0]]);
-        let labels = dbscan(&data, DbscanParams { eps: 0.1, min_points: 1 });
+        let labels = dbscan(
+            &data,
+            DbscanParams {
+                eps: 0.1,
+                min_points: 1,
+            },
+        );
         assert_eq!(cluster_count(&labels), 2);
     }
 
@@ -164,13 +194,14 @@ mod tests {
     fn border_point_joins_first_discovering_cluster() {
         // Points: core cluster at 0..3 (eps=1, min_points=3), border at 3.5
         // reachable from the cluster but itself not core.
-        let data = Dataset::from_rows(vec![
-            vec![0.0],
-            vec![0.5],
-            vec![1.0],
-            vec![1.9],
-        ]);
-        let labels = dbscan(&data, DbscanParams { eps: 1.0, min_points: 3 });
+        let data = Dataset::from_rows(vec![vec![0.0], vec![0.5], vec![1.0], vec![1.9]]);
+        let labels = dbscan(
+            &data,
+            DbscanParams {
+                eps: 1.0,
+                min_points: 3,
+            },
+        );
         assert_eq!(labels[3].cluster(), Some(0), "border point adopted");
     }
 
@@ -179,7 +210,10 @@ mod tests {
         let mut rows = blob(0.0, 0.0, 5);
         rows.extend(blob(5.0, 5.0, 5));
         let data = Dataset::from_rows(rows);
-        let p = DbscanParams { eps: 0.5, min_points: 2 };
+        let p = DbscanParams {
+            eps: 0.5,
+            min_points: 2,
+        };
         assert_eq!(dbscan(&data, p), dbscan(&data, p));
     }
 
@@ -187,6 +221,12 @@ mod tests {
     #[should_panic(expected = "min_points")]
     fn zero_min_points_panics() {
         let data = Dataset::from_rows(vec![vec![0.0]]);
-        let _ = dbscan(&data, DbscanParams { eps: 1.0, min_points: 0 });
+        let _ = dbscan(
+            &data,
+            DbscanParams {
+                eps: 1.0,
+                min_points: 0,
+            },
+        );
     }
 }

@@ -31,7 +31,13 @@ pub struct KMeansConfig {
 impl KMeansConfig {
     /// A reasonable default configuration for `k` clusters.
     pub fn new(k: usize) -> KMeansConfig {
-        KMeansConfig { k, max_iters: 100, restarts: 8, seed: 0x1AC0_FFEE, tol: 1e-12 }
+        KMeansConfig {
+            k,
+            max_iters: 100,
+            restarts: 8,
+            seed: 0x1AC0_FFEE,
+            tol: 1e-12,
+        }
     }
 
     /// Same configuration with a different seed.
@@ -84,16 +90,23 @@ pub fn kmeans(data: &Dataset, config: &KMeansConfig) -> KMeansResult {
     let n = data.nrows();
     assert!(config.k >= 1, "k must be at least 1");
     assert!(n >= 1, "cannot cluster an empty dataset");
-    assert!(config.k <= n, "k = {} exceeds number of points {n}", config.k);
+    assert!(
+        config.k <= n,
+        "k = {} exceeds number of points {n}",
+        config.k
+    );
 
     let mut best: Option<KMeansResult> = None;
+    let mut total_iterations = 0u64;
     for r in 0..config.restarts.max(1) {
         let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(r as u64));
         let result = lloyd(data, config, &mut rng);
+        total_iterations += result.iterations as u64;
         if best.as_ref().is_none_or(|b| result.wcss < b.wcss) {
             best = Some(result);
         }
     }
+    incprof_obs::counter(&format!("cluster.kmeans.iterations.k{}", config.k)).add(total_iterations);
     best.expect("at least one restart ran")
 }
 
@@ -105,6 +118,7 @@ fn lloyd(data: &Dataset, config: &KMeansConfig, rng: &mut StdRng) -> KMeansResul
     let mut centroids = kmeanspp_init(data, k, rng);
     let mut assignments = vec![0usize; n];
     let mut iterations = 0;
+    let mut last_movement = 0.0f64;
 
     // Parallelize the assignment step (each point's argmin is
     // independent and deterministic) once the work justifies the
@@ -180,15 +194,26 @@ fn lloyd(data: &Dataset, config: &KMeansConfig, rng: &mut StdRng) -> KMeansResul
             centroids.row_mut(c).copy_from_slice(&new_c);
         }
 
+        last_movement = movement;
         if !changed && movement <= config.tol {
             break;
         }
     }
 
+    // Centroid movement of the final iteration, in picounits (×1e12) so
+    // sub-tolerance deltas still land in distinguishable buckets.
+    incprof_obs::histogram("cluster.kmeans.convergence_delta_e12")
+        .record((last_movement * 1e12) as u64);
+
     let wcss = (0..n)
         .map(|i| sq_euclidean(data.row(i), centroids.row(assignments[i])))
         .sum();
-    KMeansResult { assignments, centroids, wcss, iterations }
+    KMeansResult {
+        assignments,
+        centroids,
+        wcss,
+        iterations,
+    }
 }
 
 /// k-means++ seeding: first centroid uniform, each subsequent centroid
@@ -335,7 +360,13 @@ mod tests {
         let data = two_blobs();
         let mut prev = f64::INFINITY;
         for k in 1..=6 {
-            let res = kmeans(&data, &KMeansConfig { restarts: 20, ..KMeansConfig::new(k) });
+            let res = kmeans(
+                &data,
+                &KMeansConfig {
+                    restarts: 20,
+                    ..KMeansConfig::new(k)
+                },
+            );
             assert!(
                 res.wcss <= prev + 1e-9,
                 "wcss went up from {prev} to {} at k={k}",

@@ -50,7 +50,11 @@ fn minmax(data: &Dataset) -> Dataset {
         }
         let range = hi - lo;
         for i in 0..n {
-            let v = if range > 0.0 { (data.get(i, j) - lo) / range } else { 0.0 };
+            let v = if range > 0.0 {
+                (data.get(i, j) - lo) / range
+            } else {
+                0.0
+            };
             out.set(i, j, v);
         }
     }
@@ -65,11 +69,14 @@ fn zscore(data: &Dataset) -> Dataset {
     }
     for j in 0..d {
         let mean: f64 = (0..n).map(|i| data.get(i, j)).sum::<f64>() / n as f64;
-        let var: f64 =
-            (0..n).map(|i| (data.get(i, j) - mean).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = (0..n).map(|i| (data.get(i, j) - mean).powi(2)).sum::<f64>() / n as f64;
         let sd = var.sqrt();
         for i in 0..n {
-            let v = if sd > 0.0 { (data.get(i, j) - mean) / sd } else { 0.0 };
+            let v = if sd > 0.0 {
+                (data.get(i, j) - mean) / sd
+            } else {
+                0.0
+            };
             out.set(i, j, v);
         }
     }
@@ -82,7 +89,11 @@ fn row_fraction(data: &Dataset) -> Dataset {
     for i in 0..n {
         let total: f64 = data.row(i).iter().sum();
         for j in 0..d {
-            let v = if total > 0.0 { data.get(i, j) / total } else { 0.0 };
+            let v = if total > 0.0 {
+                data.get(i, j) / total
+            } else {
+                0.0
+            };
             out.set(i, j, v);
         }
     }
@@ -106,7 +117,10 @@ mod tests {
     #[test]
     fn minmax_scales_to_unit_interval_and_zeroes_constant_columns() {
         let s = Scaling::MinMax.apply(&sample());
-        assert_eq!(s.to_rows(), vec![vec![0.0, 0.0], vec![0.5, 0.0], vec![1.0, 0.0]]);
+        assert_eq!(
+            s.to_rows(),
+            vec![vec![0.0, 0.0], vec![0.5, 0.0], vec![1.0, 0.0]]
+        );
     }
 
     #[test]
@@ -136,7 +150,12 @@ mod tests {
     #[test]
     fn empty_dataset_is_fine() {
         let d = Dataset::from_rows(vec![]);
-        for scaling in [Scaling::None, Scaling::MinMax, Scaling::ZScore, Scaling::RowFraction] {
+        for scaling in [
+            Scaling::None,
+            Scaling::MinMax,
+            Scaling::ZScore,
+            Scaling::RowFraction,
+        ] {
             assert!(scaling.apply(&d).is_empty());
         }
     }

@@ -51,20 +51,31 @@ pub struct KSelection {
 /// Sweep k = 1..=`k_max` (capped at the number of points) and return all
 /// per-k measurements.
 pub fn sweep_k(data: &Dataset, k_max: usize, base: &KMeansConfig) -> KSweep {
+    let _sweep_span = incprof_obs::span("cluster.select_k.sweep");
     let cap = k_max.min(data.nrows()).max(1);
     let mut ks = Vec::new();
     let mut results = Vec::new();
     let mut wcss = Vec::new();
     let mut silhouettes = Vec::new();
     for k in 1..=cap {
+        let _k_span = incprof_obs::span(format!("cluster.select_k.k{k}"));
         let cfg = KMeansConfig { k, ..base.clone() };
         let res = kmeans(data, &cfg);
         ks.push(k);
         wcss.push(res.wcss);
-        silhouettes.push(if k >= 2 { mean_silhouette(data, &res.assignments) } else { None });
+        silhouettes.push(if k >= 2 {
+            mean_silhouette(data, &res.assignments)
+        } else {
+            None
+        });
         results.push(res);
     }
-    KSweep { ks, results, wcss, silhouettes }
+    KSweep {
+        ks,
+        results,
+        wcss,
+        silhouettes,
+    }
 }
 
 /// Select k for `data` by the given method, sweeping k = 1..=`k_max`.
@@ -82,7 +93,12 @@ pub fn select_k(
         KSelectionMethod::Elbow => elbow_index(&sweep.wcss),
         KSelectionMethod::Silhouette => silhouette_index(&sweep.silhouettes),
     };
-    KSelection { k: sweep.ks[idx], result: sweep.results[idx].clone(), method, sweep }
+    KSelection {
+        k: sweep.ks[idx],
+        result: sweep.results[idx].clone(),
+        method,
+        sweep,
+    }
 }
 
 /// Index (into the sweep arrays) of the elbow of a non-increasing WCSS
@@ -168,7 +184,12 @@ mod tests {
     #[test]
     fn silhouette_finds_three_blobs() {
         let data = blobs(3, 6);
-        let sel = select_k(&data, 8, KSelectionMethod::Silhouette, &KMeansConfig::new(0));
+        let sel = select_k(
+            &data,
+            8,
+            KSelectionMethod::Silhouette,
+            &KMeansConfig::new(0),
+        );
         assert_eq!(sel.k, 3);
     }
 
@@ -199,7 +220,12 @@ mod tests {
     #[test]
     fn silhouette_finds_five_orthogonal_blobs() {
         let data = orthogonal_blobs(5, 8);
-        let sel = select_k(&data, 8, KSelectionMethod::Silhouette, &KMeansConfig::new(0));
+        let sel = select_k(
+            &data,
+            8,
+            KSelectionMethod::Silhouette,
+            &KMeansConfig::new(0),
+        );
         assert_eq!(sel.k, 5);
     }
 
@@ -234,7 +260,11 @@ mod tests {
     fn elbow_index_short_sweeps() {
         assert_eq!(elbow_index(&[3.0]), 0);
         assert_eq!(elbow_index(&[100.0, 1.0]), 1, "huge improvement takes k=2");
-        assert_eq!(elbow_index(&[100.0, 90.0]), 0, "marginal improvement keeps k=1");
+        assert_eq!(
+            elbow_index(&[100.0, 90.0]),
+            0,
+            "marginal improvement keeps k=1"
+        );
     }
 
     #[test]

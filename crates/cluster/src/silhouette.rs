@@ -120,8 +120,7 @@ mod tests {
     #[test]
     fn hand_computed_two_points_per_cluster() {
         // Clusters {0,1} at x=0,1 and {2,3} at x=10,11.
-        let data =
-            Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]]);
+        let data = Dataset::from_rows(vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]]);
         let vals = silhouette_values(&data, &[0, 0, 1, 1]);
         // Point 0: a = 1 (to point 1), b = (10+11)/2 = 10.5 -> s = 9.5/10.5
         assert!((vals[0] - 9.5 / 10.5).abs() < 1e-12);

@@ -1,8 +1,8 @@
 //! Additional property tests for the clustering crate.
 
 use incprof_cluster::{
-    adjusted_rand_index, kmeans, rand_index, select_k, Dataset, KMeansConfig,
-    KSelectionMethod, Scaling,
+    adjusted_rand_index, kmeans, rand_index, select_k, Dataset, KMeansConfig, KSelectionMethod,
+    Scaling,
 };
 use proptest::prelude::*;
 
@@ -70,7 +70,7 @@ proptest! {
         let sel = select_k(&data, 6, KSelectionMethod::Elbow, &KMeansConfig::new(0));
         // Every cluster id below k is inhabited.
         for c in 0..sel.k {
-            prop_assert!(sel.result.assignments.iter().any(|&a| a == c), "cluster {c} empty");
+            prop_assert!(sel.result.assignments.contains(&c), "cluster {c} empty");
         }
         prop_assert!(sel.result.assignments.iter().all(|&a| a < sel.k));
     }

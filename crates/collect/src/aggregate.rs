@@ -65,12 +65,13 @@ impl RankAggregate {
         let per_function = ids
             .keys()
             .map(|&id| {
-                let values: Vec<f64> =
-                    profiles.iter().map(|p| p.get(id).self_time as f64 / 1e9).collect();
+                let values: Vec<f64> = profiles
+                    .iter()
+                    .map(|p| p.get(id).self_time as f64 / 1e9)
+                    .collect();
                 let calls: Vec<f64> = profiles.iter().map(|p| p.get(id).calls as f64).collect();
                 let mean = values.iter().sum::<f64>() / n as f64;
-                let var =
-                    values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+                let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
                 let present_on = profiles.iter().filter(|p| p.contains(id)).count();
                 (
                     id,
@@ -85,7 +86,10 @@ impl RankAggregate {
                 )
             })
             .collect();
-        RankAggregate { per_function, n_ranks: n }
+        RankAggregate {
+            per_function,
+            n_ranks: n,
+        }
     }
 
     /// Number of ranks aggregated.
@@ -165,7 +169,11 @@ mod tests {
         for &(id, secs, calls) in entries {
             p.set(
                 FunctionId(id),
-                FunctionStats { self_time: (secs * 1e9) as u64, calls, child_time: 0 },
+                FunctionStats {
+                    self_time: (secs * 1e9) as u64,
+                    calls,
+                    child_time: 0,
+                },
             );
         }
         p

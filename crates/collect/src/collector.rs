@@ -18,7 +18,7 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Collector configuration.
 #[derive(Debug, Clone)]
@@ -35,7 +35,10 @@ pub struct CollectorConfig {
 
 impl Default for CollectorConfig {
     fn default() -> Self {
-        CollectorConfig { interval_ns: 1_000_000_000, encode_gmon: false }
+        CollectorConfig {
+            interval_ns: 1_000_000_000,
+            encode_gmon: false,
+        }
     }
 }
 
@@ -50,13 +53,19 @@ struct CollectorShared {
 
 impl CollectorShared {
     fn take_sample(&self) {
+        let started = Instant::now();
         let idx = self.next_index.fetch_add(1, Ordering::Relaxed);
         let snap = self.runtime.snapshot(idx);
         if self.config.encode_gmon {
             let gmon = snap.to_gmon(&self.runtime.function_table());
-            self.gmon_dumps.lock().push(gmon.encode().to_vec());
+            let bytes = gmon.encode().to_vec();
+            incprof_obs::counter("collect.gmon.encoded_bytes").add(bytes.len() as u64);
+            self.gmon_dumps.lock().push(bytes);
         }
         self.series.lock().push(snap);
+        incprof_obs::histogram("collect.snapshot.latency_ns")
+            .record(started.elapsed().as_nanos() as u64);
+        incprof_obs::counter("collect.snapshot.count").inc();
     }
 }
 
@@ -85,25 +94,54 @@ impl IncProfCollector {
 
     /// Start a wall-clock collector thread that samples every
     /// `config.interval_ns` until [`IncProfCollector::stop`] is called.
+    ///
+    /// Ticks are scheduled against *absolute* deadlines (`start +
+    /// n·interval`) rather than by sleeping the interval after each
+    /// sample, so snapshot cost and scheduler wakeup jitter do not
+    /// accumulate into drift over a long run. A tick whose deadline has
+    /// already passed by a full interval (the snapshot overran) is
+    /// skipped and counted in `collect.collector.ticks_missed`; wakeup
+    /// lateness is recorded in `collect.collector.tick_jitter_ns`.
     pub fn start_wall(runtime: ProfilerRuntime, config: CollectorConfig) -> IncProfCollector {
         let mut c = Self::manual(runtime, config);
         let shared = Arc::clone(&c.shared);
-        let interval = Duration::from_nanos(shared.config.interval_ns);
+        let interval_ns = shared.config.interval_ns.max(1);
         c.thread = Some(std::thread::spawn(move || {
             // Sleep/wakeup cycle (paper Fig. 1). Sleeping in small slices
             // keeps stop() latency low without busy-waiting.
+            let start = Instant::now();
+            let slice = Duration::from_millis(5);
+            let mut tick: u64 = 1; // next deadline is start + tick·interval
             while !shared.stop.load(Ordering::Acquire) {
-                let mut remaining = interval;
-                let slice = Duration::from_millis(5);
-                while remaining > Duration::ZERO && !shared.stop.load(Ordering::Acquire) {
-                    let d = remaining.min(slice);
-                    std::thread::sleep(d);
-                    remaining = remaining.saturating_sub(d);
+                let deadline = start + Duration::from_nanos(interval_ns.saturating_mul(tick));
+                loop {
+                    if shared.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    std::thread::sleep((deadline - now).min(slice));
                 }
-                if shared.stop.load(Ordering::Acquire) {
-                    break;
-                }
+                let lateness_ns = (Instant::now() - deadline).as_nanos() as u64;
+                incprof_obs::histogram("collect.collector.tick_jitter_ns").record(lateness_ns);
                 shared.take_sample();
+                // If sampling overran one or more whole intervals, jump to
+                // the next future deadline instead of firing a burst of
+                // back-to-back catch-up samples.
+                let elapsed_ns = (Instant::now() - start).as_nanos() as u64;
+                let next_due = elapsed_ns / interval_ns + 1;
+                if next_due > tick + 1 {
+                    let missed = next_due - tick - 1;
+                    incprof_obs::counter("collect.collector.ticks_missed").add(missed);
+                    incprof_obs::warn!(
+                        "collector overran {missed} tick(s) at interval {interval_ns} ns"
+                    );
+                    tick = next_due;
+                } else {
+                    tick += 1;
+                }
             }
         }));
         c
@@ -149,7 +187,10 @@ impl IncProfCollector {
     /// Decode the collected gmon dumps back into [`GmonData`] (test and
     /// experiment support for the binary data path).
     pub fn decode_gmon_dumps(&self) -> Result<Vec<GmonData>, incprof_profile::ProfileError> {
-        self.gmon_dumps().iter().map(|b| GmonData::decode(b)).collect()
+        self.gmon_dumps()
+            .iter()
+            .map(|b| GmonData::decode(b))
+            .collect()
     }
 }
 
@@ -198,7 +239,10 @@ mod tests {
         let f = rt.register_function("work");
         let collector = IncProfCollector::manual(
             rt.clone(),
-            CollectorConfig { interval_ns: 1000, encode_gmon: true },
+            CollectorConfig {
+                interval_ns: 1000,
+                encode_gmon: true,
+            },
         );
         for _ in 0..3 {
             let _g = rt.enter(f);
@@ -221,7 +265,10 @@ mod tests {
         let f = rt.register_function("spin");
         let collector = IncProfCollector::start_wall(
             rt.clone(),
-            CollectorConfig { interval_ns: 20_000_000, encode_gmon: false }, // 20 ms
+            CollectorConfig {
+                interval_ns: 20_000_000,
+                encode_gmon: false,
+            }, // 20 ms
         );
         let deadline = std::time::Instant::now() + Duration::from_millis(120);
         while std::time::Instant::now() < deadline {
@@ -237,6 +284,28 @@ mod tests {
         assert!(last.flat.get(f).self_time > 0);
         // Monotone cumulative series.
         assert!(series.interval_profiles().is_ok());
+    }
+
+    #[test]
+    fn wall_mode_ticks_track_absolute_deadlines() {
+        let rt = ProfilerRuntime::new();
+        let collector = IncProfCollector::start_wall(
+            rt,
+            CollectorConfig {
+                interval_ns: 10_000_000,
+                encode_gmon: false,
+            }, // 10 ms
+        );
+        std::thread::sleep(Duration::from_millis(105));
+        let series = collector.stop();
+        // Absolute deadlines: ~10 ticks in 105 ms (+ the final stop
+        // sample). Relative sleeps would drift short under snapshot cost;
+        // allow generous slack for CI scheduling but require most ticks.
+        assert!(series.len() >= 7, "only {} samples in 105 ms", series.len());
+        assert!(series.len() <= 12, "{} samples in 105 ms", series.len());
+        // Every tick recorded its wakeup lateness.
+        let jitter = incprof_obs::histogram("collect.collector.tick_jitter_ns");
+        assert!(jitter.count() >= series.len() as u64 - 1);
     }
 
     #[test]

@@ -56,7 +56,14 @@ impl IntervalMatrix {
                 child_secs[i * d + c] = stats.child_time as f64 / 1e9;
             }
         }
-        IntervalMatrix { functions: ids, col_of, self_secs, calls, child_secs, n_intervals: n }
+        IntervalMatrix {
+            functions: ids,
+            col_of,
+            self_secs,
+            calls,
+            child_secs,
+            n_intervals: n,
+        }
     }
 
     /// Number of intervals (rows).
@@ -117,7 +124,9 @@ impl IntervalMatrix {
 
     /// All feature rows (one per interval), cloned.
     pub fn feature_rows(&self) -> Vec<Vec<f64>> {
-        (0..self.n_intervals).map(|i| self.feature_row(i).to_vec()).collect()
+        (0..self.n_intervals)
+            .map(|i| self.feature_row(i).to_vec())
+            .collect()
     }
 
     /// Total self time (seconds) of the whole run (sum over the matrix).
@@ -136,7 +145,10 @@ impl IntervalMatrix {
         if interval_set.is_empty() {
             return 0.0;
         }
-        let active = interval_set.iter().filter(|&&i| self.active(i, col)).count();
+        let active = interval_set
+            .iter()
+            .filter(|&&i| self.active(i, col))
+            .count();
         active as f64 / interval_set.len() as f64
     }
 }
@@ -153,7 +165,14 @@ mod tests {
     fn profile(entries: &[(u32, u64, u64)]) -> FlatProfile {
         let mut p = FlatProfile::new();
         for &(id, self_ns, calls) in entries {
-            p.set(fid(id), FunctionStats { self_time: self_ns, calls, child_time: 0 });
+            p.set(
+                fid(id),
+                FunctionStats {
+                    self_time: self_ns,
+                    calls,
+                    child_time: 0,
+                },
+            );
         }
         p
     }
@@ -218,7 +237,14 @@ mod tests {
     #[test]
     fn child_time_is_tracked() {
         let mut p = FlatProfile::new();
-        p.set(fid(0), FunctionStats { self_time: 0, calls: 1, child_time: 2_000_000_000 });
+        p.set(
+            fid(0),
+            FunctionStats {
+                self_time: 0,
+                calls: 1,
+                child_time: 2_000_000_000,
+            },
+        );
         let m = IntervalMatrix::from_interval_profiles(&[p]);
         assert_eq!(m.child_secs(0, 0), 2.0);
         assert!(!m.active(0, 0), "child time alone is not activity");

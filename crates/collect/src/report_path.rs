@@ -26,7 +26,9 @@ pub fn render_reports(series: &SampleSeries, table: &FunctionTable) -> Vec<Strin
 /// Parse gprof flat-profile reports back into cumulative profiles,
 /// registering names into a fresh [`FunctionTable`]. Returns the profiles
 /// and the table they are keyed against.
-pub fn parse_reports(reports: &[String]) -> Result<(Vec<FlatProfile>, FunctionTable), ProfileError> {
+pub fn parse_reports(
+    reports: &[String],
+) -> Result<(Vec<FlatProfile>, FunctionTable), ProfileError> {
     let mut table = FunctionTable::new();
     let mut profiles = Vec::with_capacity(reports.len());
     for report in reports {
@@ -95,11 +97,40 @@ mod tests {
         let mut table = FunctionTable::new();
         let a = table.register("run_bfs");
         let b = table.register("validate_bfs_result");
-        let mut s0 = ProfileSnapshot { sample_index: 0, timestamp_ns: 0, ..Default::default() };
-        s0.flat.set(a, FunctionStats { self_time: 500_000_000, calls: 4, child_time: 0 });
-        let mut s1 = ProfileSnapshot { sample_index: 1, timestamp_ns: 1, ..Default::default() };
-        s1.flat.set(a, FunctionStats { self_time: 900_000_000, calls: 7, child_time: 0 });
-        s1.flat.set(b, FunctionStats { self_time: 1_200_000_000, calls: 1, child_time: 0 });
+        let mut s0 = ProfileSnapshot {
+            sample_index: 0,
+            timestamp_ns: 0,
+            ..Default::default()
+        };
+        s0.flat.set(
+            a,
+            FunctionStats {
+                self_time: 500_000_000,
+                calls: 4,
+                child_time: 0,
+            },
+        );
+        let mut s1 = ProfileSnapshot {
+            sample_index: 1,
+            timestamp_ns: 1,
+            ..Default::default()
+        };
+        s1.flat.set(
+            a,
+            FunctionStats {
+                self_time: 900_000_000,
+                calls: 7,
+                child_time: 0,
+            },
+        );
+        s1.flat.set(
+            b,
+            FunctionStats {
+                self_time: 1_200_000_000,
+                calls: 1,
+                child_time: 0,
+            },
+        );
         let series: SampleSeries = vec![s0, s1].into_iter().collect();
         (series, table)
     }
@@ -135,9 +166,23 @@ mod tests {
         // rounds to 0.01 s, then 15 ms rounds to 0.02 s — fine. Simulate a
         // hostile regression directly through clamp_monotone instead.
         let mut p0 = FlatProfile::new();
-        p0.set(FunctionId(0), FunctionStats { self_time: 20_000_000, calls: 2, child_time: 0 });
+        p0.set(
+            FunctionId(0),
+            FunctionStats {
+                self_time: 20_000_000,
+                calls: 2,
+                child_time: 0,
+            },
+        );
         let mut p1 = FlatProfile::new();
-        p1.set(FunctionId(0), FunctionStats { self_time: 10_000_000, calls: 2, child_time: 0 });
+        p1.set(
+            FunctionId(0),
+            FunctionStats {
+                self_time: 10_000_000,
+                calls: 2,
+                child_time: 0,
+            },
+        );
         let clamped = clamp_monotone(vec![p0, p1]);
         assert_eq!(clamped[1].get(FunctionId(0)).self_time, 20_000_000);
         assert!(SampleSeries::deltas_of(&clamped).is_ok());

@@ -95,9 +95,20 @@ mod tests {
     use incprof_profile::{FunctionId, FunctionStats};
 
     fn snap(idx: u64, entries: &[(u32, u64, u64)]) -> ProfileSnapshot {
-        let mut s = ProfileSnapshot { sample_index: idx, timestamp_ns: idx * 1000, ..Default::default() };
+        let mut s = ProfileSnapshot {
+            sample_index: idx,
+            timestamp_ns: idx * 1000,
+            ..Default::default()
+        };
         for &(id, self_time, calls) in entries {
-            s.flat.set(FunctionId(id), FunctionStats { self_time, calls, child_time: 0 });
+            s.flat.set(
+                FunctionId(id),
+                FunctionStats {
+                    self_time,
+                    calls,
+                    child_time: 0,
+                },
+            );
         }
         s
     }
@@ -116,7 +127,10 @@ mod tests {
         assert_eq!(intervals[0].get(FunctionId(0)).self_time, 100);
         assert_eq!(intervals[1].get(FunctionId(0)).self_time, 150);
         assert_eq!(intervals[1].get(FunctionId(1)).calls, 1);
-        assert!(!intervals[2].contains(FunctionId(0)), "idle function absent from delta");
+        assert!(
+            !intervals[2].contains(FunctionId(0)),
+            "idle function absent from delta"
+        );
         assert_eq!(intervals[2].get(FunctionId(1)).self_time, 50);
     }
 
@@ -154,17 +168,32 @@ mod tests {
 
     #[test]
     fn regression_in_series_is_an_error() {
-        let series: SampleSeries =
-            vec![snap(0, &[(0, 100, 1)]), snap(1, &[(0, 50, 1)])].into_iter().collect();
+        let series: SampleSeries = vec![snap(0, &[(0, 100, 1)]), snap(1, &[(0, 50, 1)])]
+            .into_iter()
+            .collect();
         assert!(series.interval_profiles().is_err());
     }
 
     #[test]
     fn deltas_of_external_profiles() {
         let mut a = FlatProfile::new();
-        a.set(FunctionId(0), FunctionStats { self_time: 5, calls: 1, child_time: 0 });
+        a.set(
+            FunctionId(0),
+            FunctionStats {
+                self_time: 5,
+                calls: 1,
+                child_time: 0,
+            },
+        );
         let mut b = FlatProfile::new();
-        b.set(FunctionId(0), FunctionStats { self_time: 9, calls: 2, child_time: 0 });
+        b.set(
+            FunctionId(0),
+            FunctionStats {
+                self_time: 9,
+                calls: 2,
+                child_time: 0,
+            },
+        );
         let deltas = SampleSeries::deltas_of(&[a, b]).unwrap();
         assert_eq!(deltas[1].get(FunctionId(0)).self_time, 4);
         assert_eq!(deltas[1].get(FunctionId(0)).calls, 1);

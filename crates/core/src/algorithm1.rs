@@ -8,8 +8,10 @@
 //! * an interval already containing a previously selected function is
 //!   skipped — it is covered (lines 7–9);
 //! * within an interval, active functions are sorted by call count
-//!   ascending, then rank descending (line 10); ties break on function id
-//!   for determinism;
+//!   ascending (the phase-median count, compared by order of magnitude —
+//!   see [`phase_median_calls`] and [`call_bucket`]), then rank
+//!   descending (line 10); ties break on interval self time descending,
+//!   then function id for determinism;
 //! * the chosen function is tagged *body* if it had calls in the interval
 //!   and *loop* if it was active with zero calls (lines 12–16);
 //! * selection stops once the selected sites cover at least the
@@ -41,7 +43,9 @@ pub struct Algorithm1Config {
 
 impl Default for Algorithm1Config {
     fn default() -> Self {
-        Algorithm1Config { coverage_threshold: 0.95 }
+        Algorithm1Config {
+            coverage_threshold: 0.95,
+        }
     }
 }
 
@@ -87,6 +91,41 @@ pub fn identify_instrumentation(
         .collect()
 }
 
+/// Order-of-magnitude bucket for call-count comparison (line 10's "calls
+/// ascending"). Comparing log2 magnitudes keeps the paper's intent — a
+/// function called once beats a helper called thousands of times — while
+/// ignoring small fluctuations (ties fall through to rank and self time).
+fn call_bucket(calls: u64) -> u32 {
+    match calls {
+        0 => 0, // long-lived, never-returning: the strongest loop candidate
+        n => u64::BITS - n.leading_zeros(),
+    }
+}
+
+/// Per-function *typical* call count over the phase: the median of the
+/// function's call counts across the phase intervals where it is active.
+///
+/// The pseudocode's line 10 sorts by the triggering interval's raw call
+/// count, but raw per-interval counts suffer boundary aliasing: a kernel
+/// invoked once per timestep lands 3 calls in one interval and 4 in the
+/// next depending on where the snapshot falls, and whichever interval
+/// happens to sit closest to the centroid then decides the site. The
+/// phase median is stable under that jitter by construction, matching the
+/// prose's phase-level reasoning ("zero calls for MOST intervals").
+fn phase_median_calls(matrix: &IntervalMatrix, cluster_intervals: &[usize], col: usize) -> u64 {
+    let mut counts: Vec<u64> = cluster_intervals
+        .iter()
+        .copied()
+        .filter(|&i| matrix.active(i, col))
+        .map(|i| matrix.calls(i, col))
+        .collect();
+    if counts.is_empty() {
+        return 0;
+    }
+    counts.sort_unstable();
+    counts[counts.len() / 2]
+}
+
 fn select_sites_for_phase(
     matrix: &IntervalMatrix,
     phase_id: usize,
@@ -98,9 +137,12 @@ fn select_sites_for_phase(
     let n_phase = cluster.intervals.len();
     let total_intervals = matrix.n_intervals().max(1);
 
-    // Per-phase function ranks (R in the paper).
+    // Per-phase function ranks (R in the paper) and typical call counts.
     let ranks: Vec<f64> = (0..matrix.n_functions())
         .map(|col| matrix.rank_in(col, &cluster.intervals))
+        .collect();
+    let median_calls: Vec<u64> = (0..matrix.n_functions())
+        .map(|col| phase_median_calls(matrix, &cluster.intervals, col))
         .collect();
 
     // Line 3: sort intervals by distance to the centroid (most
@@ -150,20 +192,20 @@ fn select_sites_for_phase(
             continue; // an all-idle interval cannot select a site
         }
         active.sort_by(|&a, &b| {
-            matrix
-                .calls(interval, a)
-                .cmp(&matrix.calls(interval, b))
+            call_bucket(median_calls[a])
+                .cmp(&call_bucket(median_calls[b]))
                 .then(ranks[b].partial_cmp(&ranks[a]).unwrap())
-                // Residual tie (same calls, same rank — e.g. two kernels
-                // invoked once per timestep): prefer the function that
-                // dominates the interval's time, i.e. the one most
-                // representative of the phase behavior.
+                // Residual tie (same call magnitude, same rank — e.g. the
+                // per-timestep kernels of an iterative solver): prefer the
+                // function that dominates the interval's time, i.e. the
+                // one most representative of the phase behavior.
                 .then(
                     matrix
                         .self_secs(interval, b)
                         .partial_cmp(&matrix.self_secs(interval, a))
                         .unwrap(),
                 )
+                .then(median_calls[a].cmp(&median_calls[b]))
                 .then(matrix.function_at(a).cmp(&matrix.function_at(b)))
         });
 
@@ -227,7 +269,11 @@ fn select_sites_for_phase(
 
     let mut intervals = cluster.intervals.clone();
     intervals.sort_unstable();
-    Phase { id: phase_id, intervals, sites }
+    Phase {
+        id: phase_id,
+        intervals,
+        sites,
+    }
 }
 
 /// Index of the first (selection-order) site whose function is active in
@@ -239,7 +285,9 @@ fn first_covering_site(
     sites: &[InstrumentationSite],
 ) -> Option<usize> {
     sites.iter().position(|s| {
-        matrix.col_of(s.function).is_some_and(|col| matrix.active(interval, col))
+        matrix
+            .col_of(s.function)
+            .is_some_and(|col| matrix.active(interval, col))
     })
 }
 
@@ -251,14 +299,24 @@ mod tests {
     fn profile(entries: &[(u32, u64, u64)]) -> FlatProfile {
         let mut p = FlatProfile::new();
         for &(id, self_ns, calls) in entries {
-            p.set(FunctionId(id), FunctionStats { self_time: self_ns, calls, child_time: 0 });
+            p.set(
+                FunctionId(id),
+                FunctionStats {
+                    self_time: self_ns,
+                    calls,
+                    child_time: 0,
+                },
+            );
         }
         p
     }
 
     fn cluster(intervals: Vec<usize>) -> ClusterIntervals {
         let centroid_dist = intervals.iter().map(|&i| i as f64 * 0.0).collect();
-        ClusterIntervals { intervals, centroid_dist }
+        ClusterIntervals {
+            intervals,
+            centroid_dist,
+        }
     }
 
     /// A phase where one function dominates with few calls, plus a noisy
@@ -351,8 +409,7 @@ mod tests {
             intervals: (0..20).collect(),
             centroid_dist: (0..20).map(|i| if i == 19 { 10.0 } else { 0.0 }).collect(),
         };
-        let phases =
-            identify_instrumentation(&matrix, &[cluster], Algorithm1Config::default());
+        let phases = identify_instrumentation(&matrix, &[cluster], Algorithm1Config::default());
         assert_eq!(phases[0].sites.len(), 1, "outlier must be skipped at 95%");
         assert_eq!(phases[0].sites[0].phase_pct, 95.0);
     }
@@ -370,7 +427,9 @@ mod tests {
         let phases = identify_instrumentation(
             &matrix,
             &[cluster],
-            Algorithm1Config { coverage_threshold: 1.0 },
+            Algorithm1Config {
+                coverage_threshold: 1.0,
+            },
         );
         assert_eq!(phases[0].sites.len(), 2);
     }
@@ -430,7 +489,9 @@ mod tests {
         let phases = identify_instrumentation(
             &matrix,
             &[cluster],
-            Algorithm1Config { coverage_threshold: 1.0 },
+            Algorithm1Config {
+                coverage_threshold: 1.0,
+            },
         );
         assert_eq!(phases[0].sites[0].function, FunctionId(1));
         // Interval 2 contains function 1 -> covered by site 0, not a new
@@ -455,7 +516,9 @@ mod tests {
         let phases = identify_instrumentation(
             &matrix,
             &[cluster(vec![0, 1])],
-            Algorithm1Config { coverage_threshold: 1.0 },
+            Algorithm1Config {
+                coverage_threshold: 1.0,
+            },
         );
         assert_eq!(phases[0].sites.len(), 1);
         assert_eq!(phases[0].sites[0].covered_intervals, vec![1]);

@@ -27,7 +27,9 @@ use incprof_profile::{CallGraphProfile, FunctionId};
 /// Whole-run call count of `f` summed over the matrix.
 fn total_calls(matrix: &IntervalMatrix, f: FunctionId) -> u64 {
     match matrix.col_of(f) {
-        Some(col) => (0..matrix.n_intervals()).map(|i| matrix.calls(i, col)).sum(),
+        Some(col) => (0..matrix.n_intervals())
+            .map(|i| matrix.calls(i, col))
+            .sum(),
         None => 0,
     }
 }
@@ -41,7 +43,9 @@ fn dominates(callgraph: &CallGraphProfile, anc: FunctionId, f: FunctionId) -> bo
     if callers.is_empty() {
         return false;
     }
-    callers.iter().all(|&c| c == anc || callgraph.ancestors_of(c).contains(&anc))
+    callers
+        .iter()
+        .all(|&c| c == anc || callgraph.ancestors_of(c).contains(&anc))
 }
 
 /// Lift the sites of `analysis` along the call graph where a higher,
@@ -68,7 +72,9 @@ pub fn lift_sites_to_callers(
                 if anc == f {
                     continue;
                 }
-                let Some(anc_col) = matrix.col_of(anc) else { continue };
+                let Some(anc_col) = matrix.col_of(anc) else {
+                    continue;
+                };
                 let anc_rank = matrix.rank_in(anc_col, &intervals);
                 if anc_rank + 1e-12 < site_rank {
                     continue;
@@ -106,7 +112,14 @@ mod tests {
     fn profile(entries: &[(u32, u64, u64)]) -> FlatProfile {
         let mut p = FlatProfile::new();
         for &(id, self_ns, calls) in entries {
-            p.set(FunctionId(id), FunctionStats { self_time: self_ns, calls, child_time: 0 });
+            p.set(
+                FunctionId(id),
+                FunctionStats {
+                    self_time: self_ns,
+                    calls,
+                    child_time: 0,
+                },
+            );
         }
         p
     }
@@ -184,8 +197,9 @@ mod tests {
     #[test]
     fn does_not_lift_to_low_rank_ancestor() {
         // Caller only active in half the phase intervals.
-        let mut intervals: Vec<FlatProfile> =
-            (0..4).map(|_| profile(&[(1, 10_000_000, 1), (2, 900_000_000, 2)])).collect();
+        let mut intervals: Vec<FlatProfile> = (0..4)
+            .map(|_| profile(&[(1, 10_000_000, 1), (2, 900_000_000, 2)]))
+            .collect();
         intervals.extend((0..4).map(|_| profile(&[(2, 900_000_000, 2)])));
         let matrix = IntervalMatrix::from_interval_profiles(&intervals);
         let mut cg = CallGraphProfile::new();
@@ -196,8 +210,11 @@ mod tests {
                 site.function = FunctionId(2);
             }
         }
-        let before: Vec<FunctionId> =
-            analysis.phases.iter().flat_map(|p| p.sites.iter().map(|s| s.function)).collect();
+        let before: Vec<FunctionId> = analysis
+            .phases
+            .iter()
+            .flat_map(|p| p.sites.iter().map(|s| s.function))
+            .collect();
         // The phase containing the caller-free intervals must not lift.
         let _ = lift_sites_to_callers(&mut analysis, &matrix, &cg);
         for (phase, &orig) in analysis.phases.iter().zip(&before) {

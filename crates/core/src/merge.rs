@@ -39,7 +39,10 @@ pub fn merge_phases_with_same_sites(analysis: &PhaseAnalysis) -> PhaseAnalysis {
     for (new_id, member_ids) in ordered.iter().enumerate() {
         let mut intervals = Vec::new();
         let mut merged_sites: BTreeMap<
-            (incprof_profile::FunctionId, crate::types::InstrumentationType),
+            (
+                incprof_profile::FunctionId,
+                crate::types::InstrumentationType,
+            ),
             InstrumentationSite,
         > = BTreeMap::new();
         let mut site_order = Vec::new();
@@ -51,7 +54,9 @@ pub fn merge_phases_with_same_sites(analysis: &PhaseAnalysis) -> PhaseAnalysis {
                 let key = (s.function, s.inst_type);
                 match merged_sites.get_mut(&key) {
                     Some(existing) => {
-                        existing.covered_intervals.extend_from_slice(&s.covered_intervals);
+                        existing
+                            .covered_intervals
+                            .extend_from_slice(&s.covered_intervals);
                     }
                     None => {
                         site_order.push(key);
@@ -73,7 +78,11 @@ pub fn merge_phases_with_same_sites(analysis: &PhaseAnalysis) -> PhaseAnalysis {
                 s
             })
             .collect();
-        phases.push(Phase { id: new_id, intervals, sites });
+        phases.push(Phase {
+            id: new_id,
+            intervals,
+            sites,
+        });
     }
 
     let assignments = analysis.assignments.iter().map(|&a| remap[a]).collect();
@@ -92,12 +101,7 @@ mod tests {
     use crate::types::InstrumentationType;
     use incprof_profile::FunctionId;
 
-    fn site(
-        f: u32,
-        t: InstrumentationType,
-        hb: u32,
-        covered: Vec<usize>,
-    ) -> InstrumentationSite {
+    fn site(f: u32, t: InstrumentationType, hb: u32, covered: Vec<usize>) -> InstrumentationSite {
         InstrumentationSite {
             function: FunctionId(f),
             inst_type: t,

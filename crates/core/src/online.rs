@@ -36,7 +36,11 @@ pub struct OnlineConfig {
 
 impl Default for OnlineConfig {
     fn default() -> Self {
-        OnlineConfig { distance_threshold_secs: 0.35, max_phases: 8, ema_alpha: None }
+        OnlineConfig {
+            distance_threshold_secs: 0.35,
+            max_phases: 8,
+            ema_alpha: None,
+        }
     }
 }
 
@@ -128,7 +132,12 @@ impl OnlinePhaseDetector {
             self.transitions.push(idx);
         }
         self.assignments.push(phase);
-        OnlineObservation { interval: idx, phase, new_phase, transition }
+        OnlineObservation {
+            interval: idx,
+            phase,
+            new_phase,
+            transition,
+        }
     }
 
     fn absorb(&mut self, phase: usize, features: &[f64]) {
@@ -172,7 +181,11 @@ impl OnlinePhaseDetector {
 
 #[inline]
 fn dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 #[cfg(test)]
@@ -185,7 +198,11 @@ mod tests {
         for &(id, secs) in entries {
             p.set(
                 FunctionId(id),
-                FunctionStats { self_time: (secs * 1e9) as u64, calls: 1, child_time: 0 },
+                FunctionStats {
+                    self_time: (secs * 1e9) as u64,
+                    calls: 1,
+                    child_time: 0,
+                },
             );
         }
         p
@@ -230,7 +247,10 @@ mod tests {
 
     #[test]
     fn max_phases_caps_growth() {
-        let cfg = OnlineConfig { max_phases: 2, ..OnlineConfig::default() };
+        let cfg = OnlineConfig {
+            max_phases: 2,
+            ..OnlineConfig::default()
+        };
         let mut det = OnlinePhaseDetector::new(cfg);
         det.observe(&interval(&[(0, 1.0)]));
         det.observe(&interval(&[(1, 1.0)]));

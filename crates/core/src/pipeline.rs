@@ -7,7 +7,7 @@
 use crate::algorithm1::{identify_instrumentation, Algorithm1Config, ClusterIntervals};
 use crate::types::Phase;
 use incprof_cluster::{
-    dbscan, select_k, DbscanParams, Dataset, KMeansConfig, KSelectionMethod, Scaling,
+    dbscan, select_k, Dataset, DbscanParams, KMeansConfig, KSelectionMethod, Scaling,
 };
 use incprof_collect::{IntervalMatrix, SampleSeries};
 use incprof_profile::{FunctionTable, ProfileError};
@@ -33,7 +33,10 @@ pub enum ClusteringMethod {
 
 impl Default for ClusteringMethod {
     fn default() -> Self {
-        ClusteringMethod::KMeans { k_max: 8, selection: KSelectionMethod::Elbow }
+        ClusteringMethod::KMeans {
+            k_max: 8,
+            selection: KSelectionMethod::Elbow,
+        }
     }
 }
 
@@ -154,6 +157,7 @@ impl PhaseDetector {
 
     /// Detect phases from an already-built interval matrix.
     pub fn detect(&self, matrix: &IntervalMatrix) -> Result<PhaseAnalysis, PipelineError> {
+        let _detect_span = incprof_obs::span("core.pipeline.detect");
         if matrix.n_intervals() == 0 {
             return Err(PipelineError::NoIntervals);
         }
@@ -161,9 +165,12 @@ impl PhaseDetector {
             return Err(PipelineError::NoFunctions);
         }
 
+        let features_span = incprof_obs::span("core.pipeline.features");
         let raw = Dataset::from_rows(self.build_features(matrix));
         let data = self.scaling.apply(&raw);
+        drop(features_span);
 
+        let cluster_span = incprof_obs::span("core.pipeline.cluster");
         let (assignments, centroids, wcss_sweep, silhouette_sweep) = match &self.clustering {
             ClusteringMethod::KMeans { k_max, selection } => {
                 let base = KMeansConfig {
@@ -186,7 +193,9 @@ impl PhaseDetector {
                 (assignments, centroids, Vec::new(), Vec::new())
             }
         };
+        drop(cluster_span);
 
+        let algo1_span = incprof_obs::span("core.pipeline.algorithm1");
         let k = assignments.iter().copied().max().unwrap_or(0) + 1;
         let clusters: Vec<ClusterIntervals> = (0..k)
             .map(|c| {
@@ -200,17 +209,35 @@ impl PhaseDetector {
                     .iter()
                     .map(|&i| incprof_cluster::distance::euclidean(data.row(i), centroids.row(c)))
                     .collect();
-                ClusterIntervals { intervals, centroid_dist }
+                ClusterIntervals {
+                    intervals,
+                    centroid_dist,
+                }
             })
             .collect();
 
         let phases = identify_instrumentation(
             matrix,
             &clusters,
-            Algorithm1Config { coverage_threshold: self.coverage_threshold },
+            Algorithm1Config {
+                coverage_threshold: self.coverage_threshold,
+            },
         );
+        drop(algo1_span);
 
-        Ok(PhaseAnalysis { k, assignments, phases, wcss_sweep, silhouette_sweep })
+        incprof_obs::counter("core.pipeline.detect_runs").inc();
+        incprof_obs::debug!(
+            "phase detection: k = {k} over {} intervals × {} functions",
+            matrix.n_intervals(),
+            matrix.n_functions()
+        );
+        Ok(PhaseAnalysis {
+            k,
+            assignments,
+            phases,
+            wcss_sweep,
+            silhouette_sweep,
+        })
     }
 
     /// Assemble clustering feature rows per [`FeatureSet`].
@@ -237,8 +264,13 @@ impl PhaseDetector {
     /// Detect phases from a cumulative sample series (runs the delta step
     /// first).
     pub fn detect_series(&self, series: &SampleSeries) -> Result<PhaseAnalysis, PipelineError> {
+        let _series_span = incprof_obs::span("core.pipeline.detect_series");
+        let delta_span = incprof_obs::span("core.pipeline.delta");
         let intervals = series.interval_profiles()?;
+        drop(delta_span);
+        let matrix_span = incprof_obs::span("core.pipeline.matrix");
         let matrix = IntervalMatrix::from_interval_profiles(&intervals);
+        drop(matrix_span);
         self.detect(&matrix)
     }
 
@@ -263,7 +295,12 @@ impl PhaseDetector {
 /// Replace DBSCAN noise labels with the nearest cluster, or cluster 0
 /// when no clusters exist.
 fn fold_noise(data: &Dataset, labels: &[incprof_cluster::DbscanLabel]) -> Vec<usize> {
-    let k = labels.iter().filter_map(|l| l.cluster()).max().map(|m| m + 1).unwrap_or(0);
+    let k = labels
+        .iter()
+        .filter_map(|l| l.cluster())
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0);
     if k == 0 {
         return vec![0; labels.len()];
     }
@@ -325,7 +362,14 @@ mod tests {
     fn profile(entries: &[(u32, u64, u64)]) -> FlatProfile {
         let mut p = FlatProfile::new();
         for &(id, self_ns, calls) in entries {
-            p.set(FunctionId(id), FunctionStats { self_time: self_ns, calls, child_time: 0 });
+            p.set(
+                FunctionId(id),
+                FunctionStats {
+                    self_time: self_ns,
+                    calls,
+                    child_time: 0,
+                },
+            );
         }
         p
     }
@@ -405,7 +449,10 @@ mod tests {
     fn dbscan_variant_finds_planted_phases() {
         let matrix = planted_two_phase_matrix();
         let det = PhaseDetector {
-            clustering: ClusteringMethod::Dbscan(DbscanParams { eps: 0.1, min_points: 3 }),
+            clustering: ClusteringMethod::Dbscan(DbscanParams {
+                eps: 0.1,
+                min_points: 3,
+            }),
             ..PhaseDetector::default()
         };
         let analysis = det.detect(&matrix).unwrap();
@@ -421,7 +468,10 @@ mod tests {
             .collect();
         let matrix = IntervalMatrix::from_interval_profiles(&intervals);
         let det = PhaseDetector {
-            clustering: ClusteringMethod::Dbscan(DbscanParams { eps: 0.001, min_points: 3 }),
+            clustering: ClusteringMethod::Dbscan(DbscanParams {
+                eps: 0.001,
+                min_points: 3,
+            }),
             ..PhaseDetector::default()
         };
         let analysis = det.detect(&matrix).unwrap();
@@ -442,11 +492,28 @@ mod tests {
             } else {
                 f1 += 1_000_000_000;
             }
-            let mut s =
-                ProfileSnapshot { sample_index: i, timestamp_ns: i, ..Default::default() };
-            s.flat.set(FunctionId(0), FunctionStats { self_time: f0, calls: i.min(5), child_time: 0 });
+            let mut s = ProfileSnapshot {
+                sample_index: i,
+                timestamp_ns: i,
+                ..Default::default()
+            };
+            s.flat.set(
+                FunctionId(0),
+                FunctionStats {
+                    self_time: f0,
+                    calls: i.min(5),
+                    child_time: 0,
+                },
+            );
             if f1 > 0 {
-                s.flat.set(FunctionId(1), FunctionStats { self_time: f1, calls: 0, child_time: 0 });
+                s.flat.set(
+                    FunctionId(1),
+                    FunctionStats {
+                        self_time: f1,
+                        calls: 0,
+                        child_time: 0,
+                    },
+                );
             }
             series.push(s);
         }
@@ -480,7 +547,10 @@ mod tests {
     fn scaled_features_still_detect_phases() {
         let matrix = planted_two_phase_matrix();
         for scaling in [Scaling::MinMax, Scaling::ZScore, Scaling::RowFraction] {
-            let det = PhaseDetector { scaling, ..PhaseDetector::default() };
+            let det = PhaseDetector {
+                scaling,
+                ..PhaseDetector::default()
+            };
             let analysis = det.detect(&matrix).unwrap();
             assert_eq!(analysis.k, 2, "scaling {scaling:?} broke detection");
         }

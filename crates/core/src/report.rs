@@ -26,7 +26,10 @@ pub struct ManualSite {
 impl ManualSite {
     /// Convenience constructor.
     pub fn new(function: impl Into<String>, inst_type: InstrumentationType) -> ManualSite {
-        ManualSite { function: function.into(), inst_type }
+        ManualSite {
+            function: function.into(),
+            inst_type,
+        }
     }
 }
 
@@ -106,7 +109,11 @@ pub fn render_timeline(analysis: &PhaseAnalysis) -> String {
         .iter()
         .map(|&a| GLYPHS[a % GLYPHS.len()] as char)
         .collect();
-    format!("phase timeline ({} intervals):\n|{}|\n", analysis.assignments.len(), band)
+    format!(
+        "phase timeline ({} intervals):\n|{}|\n",
+        analysis.assignments.len(),
+        band
+    )
 }
 
 /// Per-phase signatures: the top functions by mean per-interval self
@@ -122,17 +129,30 @@ pub fn render_signatures<'a>(
     for phase in &analysis.phases {
         let mut totals: Vec<(FunctionId, f64)> = (0..matrix.n_functions())
             .map(|col| {
-                let sum: f64 =
-                    phase.intervals.iter().map(|&i| matrix.self_secs(i, col)).sum();
+                let sum: f64 = phase
+                    .intervals
+                    .iter()
+                    .map(|&i| matrix.self_secs(i, col))
+                    .sum();
                 (matrix.function_at(col), sum)
             })
             .filter(|&(_, t)| t > 0.0)
             .collect();
         totals.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         let phase_total: f64 = totals.iter().map(|t| t.1).sum();
-        let _ = write!(out, "phase {} ({} intervals):", phase.id, phase.intervals.len());
+        let _ = write!(
+            out,
+            "phase {} ({} intervals):",
+            phase.id,
+            phase.intervals.len()
+        );
         for (id, t) in totals.into_iter().take(top) {
-            let _ = write!(out, " {} {:.0}%", name_of(id), 100.0 * t / phase_total.max(1e-12));
+            let _ = write!(
+                out,
+                " {} {:.0}%",
+                name_of(id),
+                100.0 * t / phase_total.max(1e-12)
+            );
         }
         out.push('\n');
     }
@@ -167,12 +187,26 @@ mod tests {
         let mut intervals = Vec::new();
         for _ in 0..5 {
             let mut p = FlatProfile::new();
-            p.set(FunctionId(0), FunctionStats { self_time: 1_000_000_000, calls: 3, child_time: 0 });
+            p.set(
+                FunctionId(0),
+                FunctionStats {
+                    self_time: 1_000_000_000,
+                    calls: 3,
+                    child_time: 0,
+                },
+            );
             intervals.push(p);
         }
         for _ in 0..5 {
             let mut p = FlatProfile::new();
-            p.set(FunctionId(1), FunctionStats { self_time: 1_000_000_000, calls: 0, child_time: 0 });
+            p.set(
+                FunctionId(1),
+                FunctionStats {
+                    self_time: 1_000_000_000,
+                    calls: 0,
+                    child_time: 0,
+                },
+            );
             intervals.push(p);
         }
         let matrix = IntervalMatrix::from_interval_profiles(&intervals);
@@ -237,11 +271,7 @@ mod tests {
         assert_eq!(band.len(), a.assignments.len());
         // Two contiguous planted phases → the band has exactly one glyph
         // change.
-        let changes = band
-            .as_bytes()
-            .windows(2)
-            .filter(|w| w[0] != w[1])
-            .count();
+        let changes = band.as_bytes().windows(2).filter(|w| w[0] != w[1]).count();
         assert_eq!(changes, 1, "band {band}");
     }
 
@@ -251,8 +281,22 @@ mod tests {
         let mut intervals = Vec::new();
         for _ in 0..5 {
             let mut p = FlatProfile::new();
-            p.set(FunctionId(0), FunctionStats { self_time: 900_000_000, calls: 3, child_time: 0 });
-            p.set(FunctionId(1), FunctionStats { self_time: 100_000_000, calls: 9, child_time: 0 });
+            p.set(
+                FunctionId(0),
+                FunctionStats {
+                    self_time: 900_000_000,
+                    calls: 3,
+                    child_time: 0,
+                },
+            );
+            p.set(
+                FunctionId(1),
+                FunctionStats {
+                    self_time: 100_000_000,
+                    calls: 9,
+                    child_time: 0,
+                },
+            );
             intervals.push(p);
         }
         let matrix = IntervalMatrix::from_interval_profiles(&intervals);

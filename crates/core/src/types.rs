@@ -114,7 +114,11 @@ mod tests {
 
     #[test]
     fn empty_phase_coverage_is_zero() {
-        let p = Phase { id: 0, intervals: vec![], sites: vec![] };
+        let p = Phase {
+            id: 0,
+            intervals: vec![],
+            sites: vec![],
+        };
         assert_eq!(p.coverage(), 0.0);
     }
 

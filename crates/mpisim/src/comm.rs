@@ -26,7 +26,12 @@ impl Shared {
                 receivers[dst].push(rx);
             }
         }
-        Shared { size, barrier: Barrier::new(size), senders, receivers }
+        Shared {
+            size,
+            barrier: Barrier::new(size),
+            senders,
+            receivers,
+        }
     }
 }
 
@@ -82,7 +87,10 @@ impl Comm {
             .recv()
             .expect("sender alive for the lifetime of the world");
         *pkt.downcast::<T>().unwrap_or_else(|_| {
-            panic!("type mismatch receiving from rank {from} on rank {}", self.rank)
+            panic!(
+                "type mismatch receiving from rank {from} on rank {}",
+                self.rank
+            )
         })
     }
 
@@ -200,7 +208,11 @@ mod tests {
     #[test]
     fn broadcast_from_nonzero_root() {
         let out = World::run(4, |c| {
-            let v = if c.rank() == 2 { Some("hello".to_string()) } else { None };
+            let v = if c.rank() == 2 {
+                Some("hello".to_string())
+            } else {
+                None
+            };
             c.broadcast(2, v)
         });
         assert!(out.iter().all(|s| s == "hello"));
@@ -223,7 +235,10 @@ mod tests {
     #[test]
     fn allreduce_sum_and_max() {
         let out = World::run(5, |c| {
-            (c.allreduce_sum(c.rank() as f64), c.allreduce_max(c.rank() as f64))
+            (
+                c.allreduce_sum(c.rank() as f64),
+                c.allreduce_max(c.rank() as f64),
+            )
         });
         assert!(out.iter().all(|&(s, m)| s == 10.0 && m == 4.0));
     }

@@ -1,0 +1,157 @@
+//! # incprof-obs — self-observability for the IncProf stack
+//!
+//! A zero-new-dependency observability layer shared by every IncProf
+//! crate:
+//!
+//! * [`metrics`] — lock-free [`Counter`]s, [`Gauge`]s, and fixed-bucket
+//!   latency [`Histogram`]s in a named [`MetricsRegistry`];
+//! * [`span`] — RAII [`SpanGuard`]s recording nested stage durations
+//!   against wall or virtual time;
+//! * [`logger`] — leveled stderr logging gated by `INCPROF_LOG`
+//!   (macros [`error!`], [`warn!`], [`info!`], [`debug!`], [`trace!`]);
+//! * [`report`] — a serializable [`RunReport`] snapshotting everything
+//!   above, for `incprof --metrics <path>` and the bench harness.
+//!
+//! Metric names follow `<crate>.<subsystem>.<name>`, e.g.
+//! `collect.snapshot.latency_ns` or `cluster.kmeans.iterations.k3`.
+//!
+//! ## Entry points
+//!
+//! Library code records into the process-wide instance via the
+//! free functions:
+//!
+//! ```
+//! incprof_obs::counter("demo.events.total").inc();
+//! incprof_obs::histogram("demo.step.latency_ns").record(1250);
+//! {
+//!     let _stage = incprof_obs::span("demo.stage.outer");
+//!     // ... work ...
+//! }
+//! let report = incprof_obs::report();
+//! assert_eq!(report.counters["demo.events.total"], 1);
+//! ```
+//!
+//! Tests that need isolation or deterministic time construct their own
+//! [`Obs`] over a [`VirtualClock`] instead of using the global.
+
+pub mod logger;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use logger::Level;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use report::{RunReport, SpanNode};
+pub use span::{SpanGuard, SpanStore, TimeSource, VirtualClock};
+
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// One observability context: a metrics registry plus a span store.
+///
+/// Cheap to clone; clones share state. Most code uses the process-wide
+/// instance through [`global`] / the root free functions, but an `Obs`
+/// can be built locally (typically over a [`VirtualClock`]) for
+/// deterministic tests.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    metrics: Arc<MetricsRegistry>,
+    spans: SpanStore,
+}
+
+impl Default for Obs {
+    fn default() -> Obs {
+        Obs::with_spans(SpanStore::new(TimeSource::wall()))
+    }
+}
+
+impl Obs {
+    /// New context over wall time.
+    pub fn new() -> Obs {
+        Obs::default()
+    }
+
+    /// New context recording spans into `spans` (e.g. a store over a
+    /// [`VirtualClock`]).
+    pub fn with_spans(spans: SpanStore) -> Obs {
+        Obs {
+            metrics: Arc::new(MetricsRegistry::new()),
+            spans,
+        }
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The span store.
+    pub fn spans(&self) -> &SpanStore {
+        &self.spans
+    }
+
+    /// Open a span on this context (closes when the guard drops).
+    pub fn span(&self, name: impl Into<String>) -> SpanGuard {
+        self.spans.enter(name)
+    }
+
+    /// Snapshot everything recorded so far into a [`RunReport`].
+    pub fn report(&self) -> RunReport {
+        RunReport::capture(self)
+    }
+}
+
+static GLOBAL: OnceLock<Obs> = OnceLock::new();
+
+/// The process-wide observability context (created on first use, lives
+/// for the process lifetime).
+pub fn global() -> &'static Obs {
+    GLOBAL.get_or_init(Obs::new)
+}
+
+/// The global counter named `name` (see [`MetricsRegistry::counter`]).
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().metrics().counter(name)
+}
+
+/// The global gauge named `name` (see [`MetricsRegistry::gauge`]).
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().metrics().gauge(name)
+}
+
+/// The global histogram named `name` (see [`MetricsRegistry::histogram`]).
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().metrics().histogram(name)
+}
+
+/// Open a span on the global context.
+pub fn span(name: impl Into<String>) -> SpanGuard {
+    global().span(name)
+}
+
+/// Snapshot the global context into a [`RunReport`].
+pub fn report() -> RunReport {
+    global().report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_free_functions_share_one_context() {
+        counter("lib.test.events").add(2);
+        counter("lib.test.events").inc();
+        assert_eq!(global().metrics().counter("lib.test.events").get(), 3);
+        let r = report();
+        assert_eq!(r.counters["lib.test.events"], 3);
+    }
+
+    #[test]
+    fn local_obs_is_isolated_from_global() {
+        let local = Obs::new();
+        local.metrics().counter("lib.test.isolated").add(7);
+        assert_eq!(global().metrics().counter("lib.test.isolated").get(), 0);
+        assert_eq!(local.metrics().counter("lib.test.isolated").get(), 7);
+    }
+}

@@ -1,0 +1,251 @@
+//! Leveled stderr logging gated by the `INCPROF_LOG` environment filter.
+//!
+//! Filter grammar (comma-separated, case-insensitive):
+//!
+//! ```text
+//! INCPROF_LOG=warn                     global level
+//! INCPROF_LOG=incprof_cluster=trace    per-target override (prefix match)
+//! INCPROF_LOG=info,incprof_collect=debug
+//! ```
+//!
+//! Targets are module paths (`module_path!()` at the call site); an
+//! override applies to any target it prefixes, longest prefix wins. The
+//! default level is `warn`. [`raise_level`] lets the CLI's `--verbose`
+//! flag turn logging up without touching the environment (the
+//! environment still wins where it asks for more).
+//!
+//! The disabled-path cost is one relaxed atomic load and a compare.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Log severity, ordered from quietest to noisiest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Logging disabled.
+    Off = 0,
+    /// Unrecoverable or surprising failures.
+    Error = 1,
+    /// Suspicious conditions the run survives (missed ticks, clamps).
+    Warn = 2,
+    /// High-level progress (stage completions, chosen k).
+    Info = 3,
+    /// Detailed per-step diagnostics.
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl Level {
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Level::Off => "OFF",
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+/// Parsed `INCPROF_LOG` filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Filter {
+    /// Level applied when no override matches.
+    pub default: Level,
+    /// (target prefix, level) overrides.
+    pub overrides: Vec<(String, Level)>,
+}
+
+impl Filter {
+    /// Parse a filter string (see module docs). Unrecognized pieces are
+    /// ignored rather than fatal — a typo in an env var must not kill a
+    /// profiling run.
+    pub fn parse(spec: &str) -> Filter {
+        let mut default = DEFAULT_LEVEL;
+        let mut overrides = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part.split_once('=') {
+                Some((target, level)) => {
+                    if let Some(l) = Level::parse(level) {
+                        overrides.push((target.trim().to_string(), l));
+                    }
+                }
+                None => {
+                    if let Some(l) = Level::parse(part) {
+                        default = l;
+                    }
+                }
+            }
+        }
+        // Longest prefix first so the first match is the most specific.
+        overrides.sort_by_key(|(t, _)| std::cmp::Reverse(t.len()));
+        Filter { default, overrides }
+    }
+
+    /// The level in effect for `target`.
+    pub fn level_for(&self, target: &str) -> Level {
+        self.overrides
+            .iter()
+            .find(|(prefix, _)| target.starts_with(prefix.as_str()))
+            .map(|&(_, l)| l)
+            .unwrap_or(self.default)
+    }
+
+    /// The noisiest level any target can reach (the fast-path gate).
+    pub fn max_level(&self) -> Level {
+        self.overrides
+            .iter()
+            .map(|&(_, l)| l)
+            .max()
+            .unwrap_or(Level::Off)
+            .max(self.default)
+    }
+}
+
+/// Default level when `INCPROF_LOG` is unset or empty.
+const DEFAULT_LEVEL: Level = Level::Warn;
+
+static FILTER: OnceLock<Filter> = OnceLock::new();
+/// Fast gate: noisiest level that could possibly be enabled. Combines
+/// the env filter's max with any [`raise_level`] calls.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(u8::MAX); // "unknown" until init
+/// Floor installed by [`raise_level`] (e.g. the CLI's `--verbose`).
+static RAISED: AtomicU8 = AtomicU8::new(0);
+
+fn filter() -> &'static Filter {
+    FILTER.get_or_init(|| {
+        let f = match std::env::var("INCPROF_LOG") {
+            Ok(spec) => Filter::parse(&spec),
+            Err(_) => Filter {
+                default: DEFAULT_LEVEL,
+                overrides: Vec::new(),
+            },
+        };
+        MAX_LEVEL.store(f.max_level() as u8, Ordering::Relaxed);
+        f
+    })
+}
+
+/// Raise the effective level to at least `level` for every target
+/// (programmatic override; the env filter still wins where noisier).
+pub fn raise_level(level: Level) {
+    let f = filter(); // ensure MAX_LEVEL is initialized from the env
+    RAISED.fetch_max(level as u8, Ordering::Relaxed);
+    MAX_LEVEL.store((f.max_level() as u8).max(level as u8), Ordering::Relaxed);
+}
+
+/// Whether a record at `level` for `target` would be emitted.
+#[inline]
+pub fn enabled(level: Level, target: &str) -> bool {
+    let max = MAX_LEVEL.load(Ordering::Relaxed);
+    if max != u8::MAX && level as u8 > max {
+        return false; // common case: one load, no filter walk
+    }
+    let f = filter();
+    let floor = RAISED.load(Ordering::Relaxed);
+    level as u8 <= (f.level_for(target) as u8).max(floor)
+}
+
+/// Emit one record to stderr (use the level macros instead).
+pub fn log(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    if !enabled(level, target) {
+        return;
+    }
+    eprintln!("[{:5} {target}] {args}", level.label());
+}
+
+/// Log at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::logger::Level::Error, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::logger::Level::Warn, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::logger::Level::Info, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::logger::Level::Debug, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Trace`].
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::logger::Level::Trace, module_path!(), format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_plain_level() {
+        let f = Filter::parse("debug");
+        assert_eq!(f.default, Level::Debug);
+        assert!(f.overrides.is_empty());
+        assert_eq!(f.level_for("anything"), Level::Debug);
+    }
+
+    #[test]
+    fn parse_overrides_longest_prefix_wins() {
+        let f = Filter::parse("info,incprof=debug,incprof_cluster=trace");
+        assert_eq!(f.level_for("incprof_cluster::kmeans"), Level::Trace);
+        assert_eq!(f.level_for("incprof_collect::series"), Level::Debug);
+        assert_eq!(f.level_for("other"), Level::Info);
+        assert_eq!(f.max_level(), Level::Trace);
+    }
+
+    #[test]
+    fn parse_ignores_garbage() {
+        let f = Filter::parse("bogus,incprof=notalevel,,warn");
+        assert_eq!(f.default, Level::Warn);
+        assert!(f.overrides.is_empty());
+    }
+
+    #[test]
+    fn off_silences_everything() {
+        let f = Filter::parse("off");
+        assert_eq!(f.max_level(), Level::Off);
+        assert_eq!(f.level_for("x"), Level::Off);
+    }
+}

@@ -1,0 +1,335 @@
+//! Lock-free metric instruments and the registry that names them.
+//!
+//! Three instrument kinds cover the stack's needs:
+//!
+//! * [`Counter`] — monotonically increasing `u64` (events, bytes);
+//! * [`Gauge`] — last-value or high-water-mark `u64` (stack depth);
+//! * [`Histogram`] — fixed power-of-two buckets with count/sum/min/max,
+//!   built for nanosecond latencies but usable for any `u64` quantity.
+//!
+//! All updates are single atomic operations, so instruments can sit on
+//! warm paths without locks. Names follow the `<crate>.<subsystem>.<name>`
+//! scheme (see the repository README's Observability section).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value / high-water-mark gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if `v` exceeds the current value
+    /// (high-water-mark semantics).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i - 1]`; bucket 0 holds zero. 65 buckets cover all of
+/// `u64`.
+pub const N_BUCKETS: usize = 65;
+
+/// Bucket index for a value (shared by recording and snapshotting).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    match v {
+        0 => 0,
+        n => (u64::BITS - n.leading_zeros()) as usize,
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        n => (1u64 << n) - 1,
+    }
+}
+
+/// A fixed-bucket latency histogram (power-of-two bucket boundaries).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; N_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent point-in-time view (consistency is best-effort under
+    /// concurrent writers, exact once writers have quiesced).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.load(Ordering::Relaxed) > 0)
+                .map(|(i, b)| BucketCount {
+                    le: bucket_upper(i),
+                    count: b.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One non-empty histogram bucket: `count` observations ≤ `le` (and above
+/// the previous bucket's bound).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket.
+    pub le: u64,
+    /// Observations that fell in this bucket.
+    pub count: u64,
+}
+
+/// Serializable view of a [`Histogram`]: only non-empty buckets are kept.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Non-empty buckets in ascending bound order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Named instrument registry. Instruments are created on first use and
+/// live for the registry's lifetime; lookups take a read lock, updates to
+/// the returned instrument are lock-free.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: parking_lot::RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: parking_lot::RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: parking_lot::RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+macro_rules! get_or_create {
+    ($self:ident . $field:ident, $name:ident) => {{
+        if let Some(m) = $self.$field.read().get($name) {
+            return Arc::clone(m);
+        }
+        let mut map = $self.$field.write();
+        Arc::clone(map.entry($name.to_string()).or_default())
+    }};
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_create!(self.counters, name)
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_create!(self.gauges, name)
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_create!(self.histograms, name)
+    }
+
+    /// Name → value for every counter.
+    pub fn counter_values(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Name → value for every gauge.
+    pub fn gauge_values(&self) -> BTreeMap<String, u64> {
+        self.gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Name → snapshot for every histogram.
+    pub fn histogram_snapshots(&self) -> BTreeMap<String, HistogramSnapshot> {
+        self.histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("a.b.c");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("a.b.c").get(), 5, "same name, same counter");
+    }
+
+    #[test]
+    fn gauge_max_semantics() {
+        let g = Gauge::new();
+        g.record_max(3);
+        g.record_max(1);
+        assert_eq!(g.get(), 3);
+        g.set(0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_bounds() {
+        // Bucket layout: {0}, {1}, {2,3}, {4..7}, {8..15}, ...
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 25);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 8);
+        let got: Vec<(u64, u64)> = s.buckets.iter().map(|b| (b.le, b.count)).collect();
+        assert_eq!(got, vec![(0, 1), (1, 1), (3, 2), (7, 2), (15, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn top_bucket_holds_u64_max() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(
+            s.buckets,
+            vec![BucketCount {
+                le: u64::MAX,
+                count: 1
+            }]
+        );
+    }
+}

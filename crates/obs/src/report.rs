@@ -1,0 +1,239 @@
+//! The serializable run report: one document capturing everything the
+//! observability layer saw — counters, gauges, histograms, and the span
+//! tree — for `incprof --metrics <path>` and the bench harness.
+
+use crate::metrics::HistogramSnapshot;
+use crate::span::SpanRecord;
+use crate::Obs;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Report format version (bump on breaking shape changes).
+pub const REPORT_VERSION: u32 = 1;
+
+/// One span in the reconstructed stage tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanNode {
+    /// Dotted stage name.
+    pub name: String,
+    /// Start reading of the span store's time source.
+    pub start_ns: u64,
+    /// Wall (or virtual) duration.
+    pub dur_ns: u64,
+    /// Child spans in start order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Sum of the direct children's durations.
+    pub fn children_dur_ns(&self) -> u64 {
+        self.children.iter().map(|c| c.dur_ns).sum()
+    }
+
+    /// Depth-first search for the first node named `name` (self
+    /// included).
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+/// A full observability snapshot of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Format version ([`REPORT_VERSION`]).
+    pub version: u32,
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → value.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram name → snapshot.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Root spans with their subtrees, in start order.
+    pub spans: Vec<SpanNode>,
+    /// Spans lost to the store's capacity bound.
+    pub spans_dropped: u64,
+}
+
+impl RunReport {
+    /// Snapshot everything `obs` has recorded.
+    pub fn capture(obs: &Obs) -> RunReport {
+        RunReport {
+            version: REPORT_VERSION,
+            counters: obs.metrics().counter_values(),
+            gauges: obs.metrics().gauge_values(),
+            histograms: obs.metrics().histogram_snapshots(),
+            spans: build_tree(&obs.spans().records()),
+            spans_dropped: obs.spans().dropped(),
+        }
+    }
+
+    /// Pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+
+    /// Parse a report back from JSON.
+    pub fn from_json(text: &str) -> Result<RunReport, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// One JSON object per line: every counter, gauge, and histogram as
+    /// its own record, spans flattened depth-first with their depth —
+    /// the grep-friendly alternative to [`RunReport::to_json`].
+    pub fn to_jsonl(&self) -> String {
+        fn quote(s: &str) -> String {
+            // Names are dotted identifiers in practice, but escape anyway.
+            let mut q = String::with_capacity(s.len() + 2);
+            q.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => q.push_str("\\\""),
+                    '\\' => q.push_str("\\\\"),
+                    '\n' => q.push_str("\\n"),
+                    '\t' => q.push_str("\\t"),
+                    '\r' => q.push_str("\\r"),
+                    c if (c as u32) < 0x20 => q.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => q.push(c),
+                }
+            }
+            q.push('"');
+            q
+        }
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!(
+                "{{\"kind\":\"counter\",\"name\":{},\"value\":{value}}}\n",
+                quote(name)
+            ));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!(
+                "{{\"kind\":\"gauge\",\"name\":{},\"value\":{value}}}\n",
+                quote(name)
+            ));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{{\"kind\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}\n",
+                quote(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max
+            ));
+        }
+        fn walk(nodes: &[SpanNode], depth: u64, out: &mut String, quote: &dyn Fn(&str) -> String) {
+            for n in nodes {
+                out.push_str(&format!(
+                    "{{\"kind\":\"span\",\"name\":{},\"depth\":{depth},\"start_ns\":{},\"dur_ns\":{}}}\n",
+                    quote(&n.name),
+                    n.start_ns,
+                    n.dur_ns
+                ));
+                walk(&n.children, depth + 1, out, quote);
+            }
+        }
+        walk(&self.spans, 0, &mut out, &quote);
+        out
+    }
+
+    /// Write the JSON document to `path` (`.jsonl` extension selects the
+    /// line-oriented format).
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let text = if path.extension().is_some_and(|e| e == "jsonl") {
+            self.to_jsonl()
+        } else {
+            self.to_json()
+        };
+        std::fs::write(path, text)
+    }
+
+    /// Depth-first search across all root spans.
+    pub fn find_span(&self, name: &str) -> Option<&SpanNode> {
+        self.spans.iter().find_map(|s| s.find(name))
+    }
+}
+
+/// Reconstruct the span forest from flat records (records arrive in
+/// start order; children therefore follow their parents).
+fn build_tree(records: &[SpanRecord]) -> Vec<SpanNode> {
+    // Build bottom-up: children lists per record index, then assemble
+    // depth-first from the roots.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); records.len()];
+    let mut roots = Vec::new();
+    for rec in records {
+        match rec.parent {
+            Some(p) => children[p].push(rec.id),
+            None => roots.push(rec.id),
+        }
+    }
+    fn assemble(idx: usize, records: &[SpanRecord], children: &[Vec<usize>]) -> SpanNode {
+        SpanNode {
+            name: records[idx].name.clone(),
+            start_ns: records[idx].start_ns,
+            dur_ns: records[idx].dur_ns,
+            children: children[idx]
+                .iter()
+                .map(|&c| assemble(c, records, children))
+                .collect(),
+        }
+    }
+    roots
+        .into_iter()
+        .map(|r| assemble(r, records, &children))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanStore, TimeSource, VirtualClock};
+
+    fn virtual_obs() -> (Obs, VirtualClock) {
+        let clock = VirtualClock::new();
+        let obs = Obs::with_spans(SpanStore::new(TimeSource::Virtual(clock.clone())));
+        (obs, clock)
+    }
+
+    #[test]
+    fn capture_builds_span_tree() {
+        let (obs, clock) = virtual_obs();
+        obs.metrics().counter("a.b.events").add(3);
+        {
+            let _outer = obs.span("outer");
+            clock.advance(10);
+            {
+                let _inner = obs.span("inner");
+                clock.advance(5);
+            }
+        }
+        let report = RunReport::capture(&obs);
+        assert_eq!(report.counters["a.b.events"], 3);
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.spans[0].name, "outer");
+        assert_eq!(report.spans[0].children[0].name, "inner");
+        assert_eq!(report.spans[0].dur_ns, 15);
+        assert_eq!(report.spans[0].children_dur_ns(), 5);
+        assert_eq!(report.find_span("inner").unwrap().dur_ns, 5);
+    }
+
+    #[test]
+    fn jsonl_has_one_record_per_line() {
+        let (obs, clock) = virtual_obs();
+        obs.metrics().counter("c").inc();
+        obs.metrics().gauge("g").set(2);
+        obs.metrics().histogram("h").record(7);
+        {
+            let _s = obs.span("root");
+            clock.advance(1);
+        }
+        let jsonl = RunReport::capture(&obs).to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(lines[3].contains("\"kind\":\"span\""));
+    }
+}

@@ -1,0 +1,278 @@
+//! RAII spans: nested wall- (or virtual-) clock timings of pipeline
+//! stages.
+//!
+//! A [`SpanGuard`] records its duration into the owning [`SpanStore`]
+//! when dropped. Nesting is tracked per thread: a span entered while
+//! another span from the same store is open on the same thread becomes
+//! its child, which is how the run report reconstructs the stage tree.
+//!
+//! The store is bounded ([`SpanStore::DEFAULT_CAP`]); once full, new
+//! spans are counted in `dropped` instead of being recorded, so a
+//! runaway loop cannot exhaust memory.
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shareable virtual time source for deterministic span tests: an
+/// atomic nanosecond counter advanced explicitly.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    ns: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// New clock at zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Advance by `delta_ns`.
+    pub fn advance(&self, delta_ns: u64) {
+        self.ns.fetch_add(delta_ns, Ordering::SeqCst);
+    }
+
+    /// Current reading.
+    pub fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+}
+
+/// Where span timestamps come from.
+#[derive(Debug, Clone)]
+pub enum TimeSource {
+    /// Real time since the source was created.
+    Wall(Instant),
+    /// An explicitly advanced [`VirtualClock`].
+    Virtual(VirtualClock),
+}
+
+impl TimeSource {
+    /// A wall source anchored now.
+    pub fn wall() -> TimeSource {
+        TimeSource::Wall(Instant::now())
+    }
+
+    /// Current reading in nanoseconds.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            TimeSource::Wall(base) => base.elapsed().as_nanos() as u64,
+            TimeSource::Virtual(c) => c.now_ns(),
+        }
+    }
+}
+
+/// One completed (or still-open) span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Index of this span in the store (stable identifier).
+    pub id: usize,
+    /// Enclosing span on the entering thread, if any.
+    pub parent: Option<usize>,
+    /// Dotted stage name, e.g. `core.pipeline.cluster`.
+    pub name: String,
+    /// Start reading of the store's time source.
+    pub start_ns: u64,
+    /// Duration; 0 until the guard drops.
+    pub dur_ns: u64,
+    /// Whether the guard has dropped.
+    pub closed: bool,
+}
+
+/// Globally unique store ids keying the thread-local nesting stacks.
+static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread open-span stack per store (store id → span id stack).
+    static OPEN_SPANS: RefCell<HashMap<u64, Vec<usize>>> = RefCell::new(HashMap::new());
+}
+
+#[derive(Debug)]
+struct SpanStoreInner {
+    id: u64,
+    time: TimeSource,
+    records: Mutex<Vec<SpanRecord>>,
+    dropped: AtomicU64,
+    cap: usize,
+}
+
+/// Bounded collector of [`SpanRecord`]s. Cheap to clone; clones share
+/// state.
+#[derive(Debug, Clone)]
+pub struct SpanStore {
+    inner: Arc<SpanStoreInner>,
+}
+
+impl SpanStore {
+    /// Default record capacity.
+    pub const DEFAULT_CAP: usize = 65_536;
+
+    /// New store over the given time source.
+    pub fn new(time: TimeSource) -> SpanStore {
+        Self::with_capacity(time, Self::DEFAULT_CAP)
+    }
+
+    /// New store with an explicit record capacity.
+    pub fn with_capacity(time: TimeSource, cap: usize) -> SpanStore {
+        SpanStore {
+            inner: Arc::new(SpanStoreInner {
+                id: NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed),
+                time,
+                records: Mutex::new(Vec::new()),
+                dropped: AtomicU64::new(0),
+                cap,
+            }),
+        }
+    }
+
+    /// Open a span; it closes (records its duration) when the returned
+    /// guard drops.
+    pub fn enter(&self, name: impl Into<String>) -> SpanGuard {
+        let start_ns = self.inner.time.now_ns();
+        let mut records = self.inner.records.lock();
+        if records.len() >= self.inner.cap {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return SpanGuard {
+                store: self.clone(),
+                id: None,
+            };
+        }
+        let id = records.len();
+        let parent = OPEN_SPANS.with(|open| {
+            let mut open = open.borrow_mut();
+            let stack = open.entry(self.inner.id).or_default();
+            let parent = stack.last().copied();
+            stack.push(id);
+            parent
+        });
+        records.push(SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            start_ns,
+            dur_ns: 0,
+            closed: false,
+        });
+        SpanGuard {
+            store: self.clone(),
+            id: Some(id),
+        }
+    }
+
+    fn exit(&self, id: usize) {
+        let end_ns = self.inner.time.now_ns();
+        OPEN_SPANS.with(|open| {
+            let mut open = open.borrow_mut();
+            if let Some(stack) = open.get_mut(&self.inner.id) {
+                if let Some(pos) = stack.iter().rposition(|&s| s == id) {
+                    stack.truncate(pos);
+                }
+            }
+        });
+        let mut records = self.inner.records.lock();
+        let rec = &mut records[id];
+        rec.dur_ns = end_ns.saturating_sub(rec.start_ns);
+        rec.closed = true;
+    }
+
+    /// Copy of all records (open spans have `dur_ns == 0`).
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.inner.records.lock().clone()
+    }
+
+    /// Spans rejected because the store was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The store's time source.
+    pub fn time(&self) -> &TimeSource {
+        &self.inner.time
+    }
+}
+
+/// RAII handle for an open span; records the duration on drop.
+#[must_use = "dropping the guard immediately closes the span"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    store: SpanStore,
+    /// `None` when the store was full (nothing to record).
+    id: Option<usize>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            self.store.exit(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn virt() -> (SpanStore, VirtualClock) {
+        let clock = VirtualClock::new();
+        (SpanStore::new(TimeSource::Virtual(clock.clone())), clock)
+    }
+
+    #[test]
+    fn span_records_duration() {
+        let (store, clock) = virt();
+        {
+            let _g = store.enter("stage");
+            clock.advance(250);
+        }
+        let recs = store.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].dur_ns, 250);
+        assert!(recs[0].closed);
+        assert_eq!(recs[0].parent, None);
+    }
+
+    #[test]
+    fn nesting_sets_parents() {
+        let (store, clock) = virt();
+        {
+            let _outer = store.enter("outer");
+            clock.advance(10);
+            {
+                let _inner = store.enter("inner");
+                clock.advance(5);
+            }
+            clock.advance(1);
+        }
+        let recs = store.records();
+        assert_eq!(recs[1].parent, Some(0));
+        assert_eq!(recs[0].dur_ns, 16);
+        assert_eq!(recs[1].dur_ns, 5);
+        // Sibling after the nest attaches to the root again.
+        let _g = store.enter("second");
+        assert_eq!(store.records()[2].parent, None);
+    }
+
+    #[test]
+    fn capacity_drops_instead_of_growing() {
+        let (store, _clock) = virt();
+        let small = SpanStore::with_capacity(store.time().clone(), 2);
+        let _a = small.enter("a");
+        let _b = small.enter("b");
+        let _c = small.enter("c");
+        assert_eq!(small.records().len(), 2);
+        assert_eq!(small.dropped(), 1);
+    }
+
+    #[test]
+    fn stores_do_not_share_nesting() {
+        let (s1, _c1) = virt();
+        let (s2, _c2) = virt();
+        let _g1 = s1.enter("a");
+        let _g2 = s2.enter("b");
+        assert_eq!(s2.records()[0].parent, None, "nesting is per store");
+    }
+}

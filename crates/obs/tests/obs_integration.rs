@@ -1,0 +1,139 @@
+//! Integration tests for the observability layer: concurrency, virtual
+//! time, and report round-trips.
+
+use incprof_obs::span::{SpanStore, TimeSource};
+use incprof_obs::{Obs, RunReport, VirtualClock};
+
+fn virtual_obs() -> (Obs, VirtualClock) {
+    let clock = VirtualClock::new();
+    let obs = Obs::with_spans(SpanStore::new(TimeSource::Virtual(clock.clone())));
+    (obs, clock)
+}
+
+#[test]
+fn concurrent_counter_sums_are_exact() {
+    let obs = Obs::new();
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let obs = obs.clone();
+            s.spawn(move || {
+                let c = obs.metrics().counter("test.concurrent.events");
+                let h = obs.metrics().histogram("test.concurrent.latency");
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.record(t as u64 * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    let expected = THREADS as u64 * PER_THREAD;
+    assert_eq!(
+        obs.metrics().counter("test.concurrent.events").get(),
+        expected
+    );
+    let snap = obs
+        .metrics()
+        .histogram("test.concurrent.latency")
+        .snapshot();
+    assert_eq!(snap.count, expected);
+    // Sum of 0..80000 = n(n-1)/2; single atomics make this exact, not
+    // approximate, once the writers have joined.
+    assert_eq!(snap.sum, expected * (expected - 1) / 2);
+    assert_eq!(snap.min, 0);
+    assert_eq!(snap.max, expected - 1);
+    assert_eq!(snap.buckets.iter().map(|b| b.count).sum::<u64>(), expected);
+}
+
+#[test]
+fn nested_span_durations_are_monotonic_under_virtual_clock() {
+    let (obs, clock) = virtual_obs();
+    {
+        let _root = obs.span("root");
+        {
+            let _a = obs.span("a");
+            clock.advance(100);
+            {
+                let _a1 = obs.span("a1");
+                clock.advance(40);
+            }
+        }
+        {
+            let _b = obs.span("b");
+            clock.advance(60);
+        }
+        clock.advance(10);
+    }
+    let report = obs.report();
+    let root = &report.spans[0];
+    assert_eq!(root.name, "root");
+    assert_eq!(root.dur_ns, 210);
+    // Parent duration covers the sum of its children.
+    assert!(root.dur_ns >= root.children_dur_ns());
+    assert_eq!(root.children_dur_ns(), 140 + 60);
+    let a = root.find("a").unwrap();
+    assert_eq!(a.dur_ns, 140);
+    assert!(a.dur_ns >= a.children_dur_ns());
+    assert_eq!(a.find("a1").unwrap().dur_ns, 40);
+    assert_eq!(root.find("b").unwrap().dur_ns, 60);
+    // Start times are monotonic in tree (DFS) order.
+    let mut starts = Vec::new();
+    fn collect_starts(n: &incprof_obs::SpanNode, out: &mut Vec<u64>) {
+        out.push(n.start_ns);
+        for c in &n.children {
+            collect_starts(c, out);
+        }
+    }
+    collect_starts(root, &mut starts);
+    assert!(starts.windows(2).all(|w| w[0] <= w[1]), "{starts:?}");
+}
+
+#[test]
+fn run_report_round_trips_through_json() {
+    let (obs, clock) = virtual_obs();
+    obs.metrics().counter("roundtrip.counter").add(17);
+    obs.metrics().gauge("roundtrip.gauge").set(99);
+    let h = obs.metrics().histogram("roundtrip.hist");
+    for v in [0, 1, 5, 1_000_000, u64::MAX] {
+        h.record(v);
+    }
+    {
+        let _outer = obs.span("outer");
+        clock.advance(1000);
+        {
+            let _inner = obs.span("inner");
+            clock.advance(500);
+        }
+    }
+    let report = obs.report();
+    let parsed = RunReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(parsed, report);
+    assert_eq!(parsed.counters["roundtrip.counter"], 17);
+    assert_eq!(parsed.gauges["roundtrip.gauge"], 99);
+    assert_eq!(parsed.histograms["roundtrip.hist"].max, u64::MAX);
+    assert_eq!(parsed.find_span("inner").unwrap().dur_ns, 500);
+}
+
+#[test]
+fn spans_on_multiple_threads_get_independent_roots() {
+    let obs = Obs::new();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let obs = obs.clone();
+            s.spawn(move || {
+                let _root = obs.span("thread.root");
+                let _child = obs.span("thread.child");
+            });
+        }
+    });
+    let report = obs.report();
+    // Nesting is per thread: each thread contributes one root with one
+    // child, never a chain across threads.
+    assert_eq!(report.spans.len(), 4);
+    for root in &report.spans {
+        assert_eq!(root.name, "thread.root");
+        assert_eq!(root.children.len(), 1);
+        assert_eq!(root.children[0].name, "thread.child");
+    }
+}

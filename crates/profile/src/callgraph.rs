@@ -51,9 +51,11 @@ mod arc_serde {
     pub fn deserialize<'de, D: Deserializer<'de>>(
         d: D,
     ) -> Result<BTreeMap<(FunctionId, FunctionId), ArcStats>, D::Error> {
-        let triples: Vec<(FunctionId, FunctionId, ArcStats)> =
-            serde::Deserialize::deserialize(d)?;
-        Ok(triples.into_iter().map(|(from, to, st)| ((from, to), st)).collect())
+        let triples: Vec<(FunctionId, FunctionId, ArcStats)> = serde::Deserialize::deserialize(d)?;
+        Ok(triples
+            .into_iter()
+            .map(|(from, to, st)| ((from, to), st))
+            .collect())
     }
 }
 
@@ -85,7 +87,10 @@ impl CallGraphProfile {
 
     /// Stats for one arc, zero if absent.
     pub fn get(&self, caller: FunctionId, callee: FunctionId) -> ArcStats {
-        self.arcs.get(&(caller, callee)).copied().unwrap_or_default()
+        self.arcs
+            .get(&(caller, callee))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Number of distinct arcs recorded.
@@ -138,9 +143,15 @@ impl CallGraphProfile {
             let count = s
                 .count
                 .checked_sub(prev.count)
-                .ok_or(ProfileError::NonMonotonicDelta { id: k.0 .0, counter: "arc count" })?;
+                .ok_or(ProfileError::NonMonotonicDelta {
+                    id: k.0 .0,
+                    counter: "arc count",
+                })?;
             let child_time = s.child_time.checked_sub(prev.child_time).ok_or(
-                ProfileError::NonMonotonicDelta { id: k.0 .0, counter: "arc child_time" },
+                ProfileError::NonMonotonicDelta {
+                    id: k.0 .0,
+                    counter: "arc child_time",
+                },
             )?;
             let d = ArcStats { count, child_time };
             if !d.is_zero() {
@@ -149,7 +160,10 @@ impl CallGraphProfile {
         }
         for (&k, s) in &earlier.arcs {
             if !self.arcs.contains_key(&k) && !s.is_zero() {
-                return Err(ProfileError::NonMonotonicDelta { id: k.0 .0, counter: "arc presence" });
+                return Err(ProfileError::NonMonotonicDelta {
+                    id: k.0 .0,
+                    counter: "arc presence",
+                });
             }
         }
         Ok(out)
@@ -186,8 +200,11 @@ impl CallGraphProfile {
         if !nodes.contains(&f) {
             return None;
         }
-        let roots: Vec<FunctionId> =
-            nodes.iter().copied().filter(|&n| self.callers_of(n).is_empty()).collect();
+        let roots: Vec<FunctionId> = nodes
+            .iter()
+            .copied()
+            .filter(|&n| self.callers_of(n).is_empty())
+            .collect();
         let mut depth: BTreeMap<FunctionId, usize> = BTreeMap::new();
         let mut q: VecDeque<FunctionId> = VecDeque::new();
         for r in roots {
@@ -221,7 +238,13 @@ mod tests {
         g.record_arc(fid(0), fid(1));
         g.record_arcs(fid(0), fid(1), 4);
         g.record_arc_time(fid(0), fid(1), 99);
-        assert_eq!(g.get(fid(0), fid(1)), ArcStats { count: 5, child_time: 99 });
+        assert_eq!(
+            g.get(fid(0), fid(1)),
+            ArcStats {
+                count: 5,
+                child_time: 99
+            }
+        );
         assert_eq!(g.get(fid(1), fid(0)), ArcStats::default());
     }
 

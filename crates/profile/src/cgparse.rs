@@ -104,14 +104,23 @@ fn parse_block(block: &[(usize, &str)]) -> Result<ParsedCgEntry, ProfileError> {
     for &(n, l) in &block[primary_pos + 1..] {
         callees.push(parse_arc(l, n)?);
     }
-    Ok(ParsedCgEntry { callers, callees, ..entry })
+    Ok(ParsedCgEntry {
+        callers,
+        callees,
+        ..entry
+    })
 }
 
 /// Primary line: `[idx ] self children called        name [idx]`.
 fn parse_primary(line: &str, lineno: usize) -> Result<ParsedCgEntry, ProfileError> {
-    let err = |message: String| ProfileError::ReportParse { line: lineno, message };
+    let err = |message: String| ProfileError::ReportParse {
+        line: lineno,
+        message,
+    };
     let rest = line.trim_start();
-    let close = rest.find(']').ok_or_else(|| err("missing ] in primary line".into()))?;
+    let close = rest
+        .find(']')
+        .ok_or_else(|| err("missing ] in primary line".into()))?;
     let index: usize = rest[1..close]
         .trim()
         .parse()
@@ -155,26 +164,38 @@ fn parse_primary(line: &str, lineno: usize) -> Result<ParsedCgEntry, ProfileErro
 
 /// Arc line: `            child_secs count/total    name`.
 fn parse_arc(line: &str, lineno: usize) -> Result<ParsedArc, ProfileError> {
-    let err = |message: String| ProfileError::ReportParse { line: lineno, message };
+    let err = |message: String| ProfileError::ReportParse {
+        line: lineno,
+        message,
+    };
     let mut fields = line.split_whitespace();
     let child_secs: f64 = fields
         .next()
         .ok_or_else(|| err("missing arc seconds".into()))?
         .parse()
         .map_err(|e| err(format!("bad arc seconds: {e}")))?;
-    let ratio = fields.next().ok_or_else(|| err("missing count/total".into()))?;
+    let ratio = fields
+        .next()
+        .ok_or_else(|| err("missing count/total".into()))?;
     let (count_s, total_s) = ratio
         .split_once('/')
         .ok_or_else(|| err(format!("bad count/total field {ratio:?}")))?;
-    let count: u64 =
-        count_s.parse().map_err(|e| err(format!("bad arc count: {e}")))?;
-    let total_calls: u64 =
-        total_s.parse().map_err(|e| err(format!("bad arc total: {e}")))?;
+    let count: u64 = count_s
+        .parse()
+        .map_err(|e| err(format!("bad arc count: {e}")))?;
+    let total_calls: u64 = total_s
+        .parse()
+        .map_err(|e| err(format!("bad arc total: {e}")))?;
     let name: Vec<&str> = fields.collect();
     if name.is_empty() {
         return Err(err("missing arc function name".into()));
     }
-    Ok(ParsedArc { name: name.join(" "), child_secs, count, total_calls })
+    Ok(ParsedArc {
+        name: name.join(" "),
+        child_secs,
+        count,
+        total_calls,
+    })
 }
 
 /// Rebuild a [`CallGraphProfile`] from parsed entries, registering names
@@ -201,18 +222,39 @@ pub fn callgraph_from_entries(
 mod tests {
     use super::*;
     use crate::flat::FunctionStats;
+    use crate::function::FunctionId;
     use crate::gmon::GmonData;
     use crate::report::{write_call_graph, write_report};
-    use crate::function::FunctionId;
 
     fn sample_gmon() -> GmonData {
         let mut g = GmonData::default();
         let main = g.functions.register("main");
         let solve = g.functions.register("cg_solve");
         let dot = g.functions.register("dot(const Vec&, const Vec&)");
-        g.flat.set(main, FunctionStats { self_time: 100_000_000, calls: 1, child_time: 5_000_000_000 });
-        g.flat.set(solve, FunctionStats { self_time: 4_000_000_000, calls: 3, child_time: 900_000_000 });
-        g.flat.set(dot, FunctionStats { self_time: 900_000_000, calls: 600, child_time: 0 });
+        g.flat.set(
+            main,
+            FunctionStats {
+                self_time: 100_000_000,
+                calls: 1,
+                child_time: 5_000_000_000,
+            },
+        );
+        g.flat.set(
+            solve,
+            FunctionStats {
+                self_time: 4_000_000_000,
+                calls: 3,
+                child_time: 900_000_000,
+            },
+        );
+        g.flat.set(
+            dot,
+            FunctionStats {
+                self_time: 900_000_000,
+                calls: 600,
+                child_time: 0,
+            },
+        );
         g.callgraph.record_arcs(main, solve, 3);
         g.callgraph.record_arc_time(main, solve, 4_900_000_000);
         g.callgraph.record_arcs(solve, dot, 600);
@@ -282,7 +324,14 @@ mod tests {
     fn recursive_arc_roundtrips() {
         let mut g = GmonData::default();
         let fib = g.functions.register("fib");
-        g.flat.set(fib, FunctionStats { self_time: 1_000_000_000, calls: 10, child_time: 0 });
+        g.flat.set(
+            fib,
+            FunctionStats {
+                self_time: 1_000_000_000,
+                calls: 10,
+                child_time: 0,
+            },
+        );
         g.callgraph.record_arcs(fib, fib, 9);
         let text = write_call_graph(&g);
         let entries = parse_call_graph(&text).unwrap();

@@ -50,7 +50,14 @@ pub fn find_cycles(cg: &CallGraphProfile) -> Vec<Cycle> {
         lowlink: usize,
         on_stack: bool,
     }
-    let mut state = vec![NodeState { index: None, lowlink: 0, on_stack: false }; n];
+    let mut state = vec![
+        NodeState {
+            index: None,
+            lowlink: 0,
+            on_stack: false
+        };
+        n
+    ];
     let mut stack: Vec<usize> = Vec::new();
     let mut next_index = 0usize;
     let mut sccs: Vec<Vec<usize>> = Vec::new();
@@ -122,8 +129,7 @@ pub fn find_cycles(cg: &CallGraphProfile) -> Vec<Cycle> {
             }
         })
         .map(|scc| {
-            let mut members: Vec<FunctionId> =
-                scc.into_iter().map(|i| node_list[i]).collect();
+            let mut members: Vec<FunctionId> = scc.into_iter().map(|i| node_list[i]).collect();
             members.sort_unstable();
             Cycle { members }
         })

@@ -109,26 +109,28 @@ mod tests {
     #[test]
     fn display_formats_are_informative() {
         let cases: Vec<(ProfileError, &str)> = vec![
+            (ProfileError::BadMagic { found: *b"abcd" }, "bad gmon magic"),
+            (ProfileError::UnsupportedVersion { found: 99 }, "version 99"),
             (
-                ProfileError::BadMagic { found: *b"abcd" },
-                "bad gmon magic",
-            ),
-            (
-                ProfileError::UnsupportedVersion { found: 99 },
-                "version 99",
-            ),
-            (
-                ProfileError::Truncated { context: "arc record" },
+                ProfileError::Truncated {
+                    context: "arc record",
+                },
                 "arc record",
             ),
             (ProfileError::UnknownTag { tag: 0xAB }, "0xab"),
             (ProfileError::UnknownFunction { id: 7 }, "id 7"),
             (
-                ProfileError::NonMonotonicDelta { id: 3, counter: "calls" },
+                ProfileError::NonMonotonicDelta {
+                    id: 3,
+                    counter: "calls",
+                },
                 "calls",
             ),
             (
-                ProfileError::ReportParse { line: 12, message: "oops".into() },
+                ProfileError::ReportParse {
+                    line: 12,
+                    message: "oops".into(),
+                },
                 "line 12",
             ),
         ];

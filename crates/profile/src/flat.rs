@@ -25,9 +25,14 @@ pub struct FunctionStats {
 
 impl FunctionStats {
     /// Saturating element-wise subtraction with monotonicity checking.
-    fn checked_sub(&self, earlier: &FunctionStats, id: FunctionId) -> Result<FunctionStats, ProfileError> {
+    fn checked_sub(
+        &self,
+        earlier: &FunctionStats,
+        id: FunctionId,
+    ) -> Result<FunctionStats, ProfileError> {
         let sub = |a: u64, b: u64, counter: &'static str| {
-            a.checked_sub(b).ok_or(ProfileError::NonMonotonicDelta { id: id.0, counter })
+            a.checked_sub(b)
+                .ok_or(ProfileError::NonMonotonicDelta { id: id.0, counter })
         };
         Ok(FunctionStats {
             self_time: sub(self.self_time, earlier.self_time, "self_time")?,
@@ -167,7 +172,10 @@ impl FlatProfile {
         // profiles never lose entries).
         for (&id, s) in &earlier.stats {
             if !self.stats.contains_key(&id) && !s.is_zero() {
-                return Err(ProfileError::NonMonotonicDelta { id: id.0, counter: "presence" });
+                return Err(ProfileError::NonMonotonicDelta {
+                    id: id.0,
+                    counter: "presence",
+                });
             }
         }
         Ok(out)
@@ -176,10 +184,7 @@ impl FlatProfile {
     /// Render rows in gprof flat-profile order: self time descending, then
     /// call count descending, then id ascending (gprof orders by self time
     /// then alphabetically; id order keeps us deterministic without names).
-    pub fn rows<'a>(
-        &self,
-        names: impl Fn(FunctionId) -> &'a str,
-    ) -> Vec<FlatRow> {
+    pub fn rows<'a>(&self, names: impl Fn(FunctionId) -> &'a str) -> Vec<FlatRow> {
         let total = self.total_self_time();
         let mut entries: Vec<(FunctionId, FunctionStats)> =
             self.stats.iter().map(|(&id, &s)| (id, s)).collect();
@@ -224,7 +229,9 @@ impl FlatProfile {
 
 impl FromIterator<(FunctionId, FunctionStats)> for FlatProfile {
     fn from_iter<T: IntoIterator<Item = (FunctionId, FunctionStats)>>(iter: T) -> Self {
-        FlatProfile { stats: iter.into_iter().collect() }
+        FlatProfile {
+            stats: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -274,8 +281,18 @@ mod tests {
         b.record_self_time(fid(2), 5); // new function appears
 
         let d = b.delta(&a).unwrap();
-        assert_eq!(d.get(fid(0)), FunctionStats { self_time: 60, calls: 1, child_time: 0 });
-        assert!(!d.contains(fid(1)), "unchanged function must be dropped from delta");
+        assert_eq!(
+            d.get(fid(0)),
+            FunctionStats {
+                self_time: 60,
+                calls: 1,
+                child_time: 0
+            }
+        );
+        assert!(
+            !d.contains(fid(1)),
+            "unchanged function must be dropped from delta"
+        );
         assert_eq!(d.get(fid(2)).self_time, 5);
     }
 
@@ -294,7 +311,13 @@ mod tests {
         let mut b = FlatProfile::new();
         b.record_self_time(fid(0), 50);
         let err = b.delta(&a).unwrap_err();
-        assert!(matches!(err, ProfileError::NonMonotonicDelta { id: 0, counter: "self_time" }));
+        assert!(matches!(
+            err,
+            ProfileError::NonMonotonicDelta {
+                id: 0,
+                counter: "self_time"
+            }
+        ));
     }
 
     #[test]
@@ -303,7 +326,13 @@ mod tests {
         a.record_self_time(fid(7), 10);
         let b = FlatProfile::new();
         let err = b.delta(&a).unwrap_err();
-        assert!(matches!(err, ProfileError::NonMonotonicDelta { id: 7, counter: "presence" }));
+        assert!(matches!(
+            err,
+            ProfileError::NonMonotonicDelta {
+                id: 7,
+                counter: "presence"
+            }
+        ));
     }
 
     #[test]

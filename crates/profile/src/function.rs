@@ -52,7 +52,12 @@ impl FunctionInfo {
     /// Create metadata with just a name; address is filled in at
     /// registration time.
     pub fn named(name: impl Into<String>) -> Self {
-        FunctionInfo { name: name.into(), source_file: None, line: None, address: 0 }
+        FunctionInfo {
+            name: name.into(),
+            source_file: None,
+            line: None,
+            address: 0,
+        }
     }
 
     /// Create metadata with a source location.
@@ -128,7 +133,10 @@ impl FunctionTable {
     /// The name for `id`; `"<unknown>"` if the id is not registered
     /// (useful when rendering reports against a mismatched table).
     pub fn name(&self, id: FunctionId) -> &str {
-        self.infos.get(id.index()).map(|i| i.name.as_str()).unwrap_or("<unknown>")
+        self.infos
+            .get(id.index())
+            .map(|i| i.name.as_str())
+            .unwrap_or("<unknown>")
     }
 
     /// Number of registered functions.
@@ -143,7 +151,10 @@ impl FunctionTable {
 
     /// Iterate `(FunctionId, &FunctionInfo)` in id order.
     pub fn iter(&self) -> impl Iterator<Item = (FunctionId, &FunctionInfo)> {
-        self.infos.iter().enumerate().map(|(i, info)| (FunctionId(i as u32), info))
+        self.infos
+            .iter()
+            .enumerate()
+            .map(|(i, info)| (FunctionId(i as u32), info))
     }
 
     /// Rebuild the name index after deserialization (serde skips the map).

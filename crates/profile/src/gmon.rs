@@ -125,38 +125,50 @@ impl GmonData {
         let mut out = GmonData::default();
         loop {
             if data.remaining() < 1 {
-                return Err(ProfileError::Truncated { context: "record tag" });
+                return Err(ProfileError::Truncated {
+                    context: "record tag",
+                });
             }
             match data.get_u8() {
                 TAG_END => break,
                 TAG_HEADER => {
                     if data.remaining() < 16 {
-                        return Err(ProfileError::Truncated { context: "header record" });
+                        return Err(ProfileError::Truncated {
+                            context: "header record",
+                        });
                     }
                     out.sample_index = data.get_u64_le();
                     out.timestamp_ns = data.get_u64_le();
                 }
                 TAG_FUNCTIONS => {
                     if data.remaining() < 4 {
-                        return Err(ProfileError::Truncated { context: "function count" });
+                        return Err(ProfileError::Truncated {
+                            context: "function count",
+                        });
                     }
                     let n = data.get_u32_le();
                     for _ in 0..n {
                         if data.remaining() < 12 {
-                            return Err(ProfileError::Truncated { context: "function record" });
+                            return Err(ProfileError::Truncated {
+                                context: "function record",
+                            });
                         }
                         let _id = data.get_u32_le(); // ids are dense & in order
                         let address = data.get_u64_le();
                         let name = get_string(&mut data, "function name")?;
                         if data.remaining() < 1 {
-                            return Err(ProfileError::Truncated { context: "location flag" });
+                            return Err(ProfileError::Truncated {
+                                context: "location flag",
+                            });
                         }
                         let mut info = FunctionInfo::named(name);
                         info.address = address;
                         if data.get_u8() == 1 {
                             let file = get_string(&mut data, "source file")?;
                             if data.remaining() < 4 {
-                                return Err(ProfileError::Truncated { context: "line number" });
+                                return Err(ProfileError::Truncated {
+                                    context: "line number",
+                                });
                             }
                             let line = data.get_u32_le();
                             info.source_file = Some(file);
@@ -167,12 +179,16 @@ impl GmonData {
                 }
                 TAG_FLAT => {
                     if data.remaining() < 4 {
-                        return Err(ProfileError::Truncated { context: "flat count" });
+                        return Err(ProfileError::Truncated {
+                            context: "flat count",
+                        });
                     }
                     let n = data.get_u32_le();
                     for _ in 0..n {
                         if data.remaining() < 28 {
-                            return Err(ProfileError::Truncated { context: "flat record" });
+                            return Err(ProfileError::Truncated {
+                                context: "flat record",
+                            });
                         }
                         let id = FunctionId(data.get_u32_le());
                         let stats = FunctionStats {
@@ -188,20 +204,28 @@ impl GmonData {
                 }
                 TAG_ARCS => {
                     if data.remaining() < 4 {
-                        return Err(ProfileError::Truncated { context: "arc count" });
+                        return Err(ProfileError::Truncated {
+                            context: "arc count",
+                        });
                     }
                     let n = data.get_u32_le();
                     for _ in 0..n {
                         if data.remaining() < 24 {
-                            return Err(ProfileError::Truncated { context: "arc record" });
+                            return Err(ProfileError::Truncated {
+                                context: "arc record",
+                            });
                         }
                         let from = FunctionId(data.get_u32_le());
                         let to = FunctionId(data.get_u32_le());
-                        let stats =
-                            ArcStats { count: data.get_u64_le(), child_time: data.get_u64_le() };
+                        let stats = ArcStats {
+                            count: data.get_u64_le(),
+                            child_time: data.get_u64_le(),
+                        };
                         if from.index() >= out.functions.len() || to.index() >= out.functions.len()
                         {
-                            return Err(ProfileError::UnknownFunction { id: from.0.max(to.0) });
+                            return Err(ProfileError::UnknownFunction {
+                                id: from.0.max(to.0),
+                            });
                         }
                         out.callgraph.set(from, to, stats);
                     }
@@ -236,12 +260,39 @@ mod tests {
     use super::*;
 
     fn sample_gmon() -> GmonData {
-        let mut g = GmonData { sample_index: 7, timestamp_ns: 123_456_789, ..Default::default() };
-        let a = g.functions.register_info(FunctionInfo::with_location("cg_solve", "cg.cpp", 42));
+        let mut g = GmonData {
+            sample_index: 7,
+            timestamp_ns: 123_456_789,
+            ..Default::default()
+        };
+        let a = g
+            .functions
+            .register_info(FunctionInfo::with_location("cg_solve", "cg.cpp", 42));
         let b = g.functions.register("impose_dirichlet");
-        g.flat.set(a, FunctionStats { self_time: 1000, calls: 3, child_time: 200 });
-        g.flat.set(b, FunctionStats { self_time: 50, calls: 100, child_time: 0 });
-        g.callgraph.set(a, b, ArcStats { count: 100, child_time: 50 });
+        g.flat.set(
+            a,
+            FunctionStats {
+                self_time: 1000,
+                calls: 3,
+                child_time: 200,
+            },
+        );
+        g.flat.set(
+            b,
+            FunctionStats {
+                self_time: 50,
+                calls: 100,
+                child_time: 0,
+            },
+        );
+        g.callgraph.set(
+            a,
+            b,
+            ArcStats {
+                count: 100,
+                child_time: 50,
+            },
+        );
         g
     }
 
@@ -255,7 +306,10 @@ mod tests {
         assert_eq!(back.timestamp_ns, 123_456_789);
         assert_eq!(back.functions.len(), 2);
         let a = back.functions.id_of("cg_solve").unwrap();
-        assert_eq!(back.functions.info(a).unwrap().source_file.as_deref(), Some("cg.cpp"));
+        assert_eq!(
+            back.functions.info(a).unwrap().source_file.as_deref(),
+            Some("cg.cpp")
+        );
         assert_eq!(back.functions.info(a).unwrap().line, Some(42));
         assert_eq!(back.flat.get(a).self_time, 1000);
         let b = back.functions.id_of("impose_dirichlet").unwrap();
@@ -272,7 +326,10 @@ mod tests {
     fn bad_magic_is_rejected() {
         let mut bytes = sample_gmon().encode().to_vec();
         bytes[0] = b'x';
-        assert!(matches!(GmonData::decode(&bytes), Err(ProfileError::BadMagic { .. })));
+        assert!(matches!(
+            GmonData::decode(&bytes),
+            Err(ProfileError::BadMagic { .. })
+        ));
     }
 
     #[test]
@@ -305,13 +362,23 @@ mod tests {
         let pos = bytes.len() - 1;
         bytes[pos] = 0x77;
         bytes.push(TAG_END);
-        assert!(matches!(GmonData::decode(&bytes), Err(ProfileError::UnknownTag { tag: 0x77 })));
+        assert!(matches!(
+            GmonData::decode(&bytes),
+            Err(ProfileError::UnknownTag { tag: 0x77 })
+        ));
     }
 
     #[test]
     fn flat_record_with_unregistered_function_is_rejected() {
         let mut g = GmonData::default();
-        g.flat.set(FunctionId(5), FunctionStats { self_time: 1, calls: 1, child_time: 0 });
+        g.flat.set(
+            FunctionId(5),
+            FunctionStats {
+                self_time: 1,
+                calls: 1,
+                child_time: 0,
+            },
+        );
         let bytes = g.encode();
         assert!(matches!(
             GmonData::decode(&bytes),

@@ -156,7 +156,10 @@ pub fn parse_flat_profile(text: &str) -> Result<Vec<ParsedFlatRow>, ProfileError
 }
 
 fn parse_flat_row(line: &str, lineno: usize) -> Result<ParsedFlatRow, ProfileError> {
-    let err = |message: String| ProfileError::ReportParse { line: lineno, message };
+    let err = |message: String| ProfileError::ReportParse {
+        line: lineno,
+        message,
+    };
     let mut fields = line.split_whitespace();
     let percent_time: f64 = fields
         .next()
@@ -185,10 +188,17 @@ fn parse_flat_row(line: &str, lineno: usize) -> Result<ParsedFlatRow, ProfileErr
     // number in C/C++/Fortran identifiers.
     let numeric = |s: &str| s.parse::<f64>().is_ok();
     if rest.len() >= 4 && numeric(rest[0]) && numeric(rest[1]) && numeric(rest[2]) {
-        let calls: u64 =
-            rest[0].parse().map_err(|e| err(format!("bad calls column: {e}")))?;
+        let calls: u64 = rest[0]
+            .parse()
+            .map_err(|e| err(format!("bad calls column: {e}")))?;
         let name = rest[3..].join(" ");
-        Ok(ParsedFlatRow { percent_time, cumulative_secs, self_secs, calls: Some(calls), name })
+        Ok(ParsedFlatRow {
+            percent_time,
+            cumulative_secs,
+            self_secs,
+            calls: Some(calls),
+            name,
+        })
     } else {
         Ok(ParsedFlatRow {
             percent_time,
@@ -226,7 +236,11 @@ pub fn profile_from_rows(rows: &[ParsedFlatRow], table: &mut FunctionTable) -> F
 /// compact aligned table for logs and experiment output.
 pub fn format_rows_compact(rows: &[FlatRow]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:>7} {:>10} {:>10}  name", "%time", "self(s)", "calls");
+    let _ = writeln!(
+        out,
+        "{:>7} {:>10} {:>10}  name",
+        "%time", "self(s)", "calls"
+    );
     for r in rows {
         let _ = writeln!(
             out,
@@ -248,9 +262,30 @@ mod tests {
         let b = table.register("validate_bfs_result");
         let c = table.register("PairLJCut::compute(int, int)");
         let mut flat = FlatProfile::new();
-        flat.set(a, FunctionStats { self_time: 2_000_000_000, calls: 64, child_time: 0 });
-        flat.set(b, FunctionStats { self_time: 5_500_000_000, calls: 0, child_time: 0 });
-        flat.set(c, FunctionStats { self_time: 1_250_000_000, calls: 1000, child_time: 500_000_000 });
+        flat.set(
+            a,
+            FunctionStats {
+                self_time: 2_000_000_000,
+                calls: 64,
+                child_time: 0,
+            },
+        );
+        flat.set(
+            b,
+            FunctionStats {
+                self_time: 5_500_000_000,
+                calls: 0,
+                child_time: 0,
+            },
+        );
+        flat.set(
+            c,
+            FunctionStats {
+                self_time: 1_250_000_000,
+                calls: 1000,
+                child_time: 500_000_000,
+            },
+        );
         (flat, table)
     }
 
@@ -273,7 +308,10 @@ mod tests {
         // Sorted by self time: validate (5.5s), run_bfs (2s), PairLJ (1.25s)
         assert_eq!(rows[0].name, "validate_bfs_result");
         assert!((rows[0].self_secs - 5.5).abs() < 0.01);
-        assert_eq!(rows[0].calls, None, "zero-call row renders blank calls column");
+        assert_eq!(
+            rows[0].calls, None,
+            "zero-call row renders blank calls column"
+        );
         assert_eq!(rows[1].name, "run_bfs");
         assert_eq!(rows[1].calls, Some(64));
         assert_eq!(rows[2].name, "PairLJCut::compute(int, int)");
@@ -285,7 +323,9 @@ mod tests {
         let (flat, table) = build_profile();
         let text = write_flat_profile(&flat, &table);
         let rows = parse_flat_profile(&text).unwrap();
-        assert!(rows.iter().any(|r| r.name == "PairLJCut::compute(int, int)"));
+        assert!(rows
+            .iter()
+            .any(|r| r.name == "PairLJCut::compute(int, int)"));
     }
 
     #[test]
@@ -343,7 +383,11 @@ Each sample counts as 0.01 seconds.
     #[test]
     fn call_graph_section_renders() {
         let (flat, table) = build_profile();
-        let mut gmon = GmonData { flat, functions: table, ..Default::default() };
+        let mut gmon = GmonData {
+            flat,
+            functions: table,
+            ..Default::default()
+        };
         let a = gmon.functions.id_of("run_bfs").unwrap();
         let b = gmon.functions.id_of("validate_bfs_result").unwrap();
         gmon.callgraph.record_arcs(a, b, 12);
@@ -356,7 +400,11 @@ Each sample counts as 0.01 seconds.
     #[test]
     fn full_report_has_both_sections() {
         let (flat, table) = build_profile();
-        let gmon = GmonData { flat, functions: table, ..Default::default() };
+        let gmon = GmonData {
+            flat,
+            functions: table,
+            ..Default::default()
+        };
         let text = write_report(&gmon);
         assert!(text.contains("Flat profile:"));
         assert!(text.contains("Call graph"));
@@ -375,7 +423,14 @@ Each sample counts as 0.01 seconds.
         let mut table = FunctionTable::new();
         let a = table.register("noop");
         let mut flat = FlatProfile::new();
-        flat.set(a, FunctionStats { self_time: 0, calls: 5, child_time: 0 });
+        flat.set(
+            a,
+            FunctionStats {
+                self_time: 0,
+                calls: 5,
+                child_time: 0,
+            },
+        );
         let text = write_flat_profile(&flat, &table);
         let rows = parse_flat_profile(&text).unwrap();
         assert_eq!(rows[0].percent_time, 0.0);

@@ -58,8 +58,19 @@ mod tests {
     fn gmon_roundtrip_via_snapshot() {
         let mut table = FunctionTable::new();
         let a = table.register("f");
-        let mut snap = ProfileSnapshot { sample_index: 3, timestamp_ns: 42, ..Default::default() };
-        snap.flat.set(a, FunctionStats { self_time: 10, calls: 1, child_time: 0 });
+        let mut snap = ProfileSnapshot {
+            sample_index: 3,
+            timestamp_ns: 42,
+            ..Default::default()
+        };
+        snap.flat.set(
+            a,
+            FunctionStats {
+                self_time: 10,
+                calls: 1,
+                child_time: 0,
+            },
+        );
         snap.callgraph.record_arc(a, a);
 
         let gmon = snap.to_gmon(&table);
@@ -71,7 +82,14 @@ mod tests {
     #[test]
     fn snapshot_serializes_to_json() {
         let mut snap = ProfileSnapshot::default();
-        snap.flat.set(FunctionId(0), FunctionStats { self_time: 5, calls: 2, child_time: 1 });
+        snap.flat.set(
+            FunctionId(0),
+            FunctionStats {
+                self_time: 5,
+                calls: 2,
+                child_time: 1,
+            },
+        );
         let json = serde_json::to_string(&snap).unwrap();
         let back: ProfileSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);

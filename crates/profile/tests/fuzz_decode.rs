@@ -2,9 +2,9 @@
 //! never panic, whatever bytes arrive — the collector's files can be
 //! truncated by crashes or corrupted in transit.
 
+use incprof_profile::cgparse::parse_call_graph;
 use incprof_profile::gmon::GmonData;
 use incprof_profile::report::parse_flat_profile;
-use incprof_profile::cgparse::parse_call_graph;
 use incprof_profile::{FlatProfile, FunctionId, FunctionStats, FunctionTable};
 use proptest::prelude::*;
 

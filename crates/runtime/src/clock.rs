@@ -28,13 +28,17 @@ enum ClockImpl {
 impl Clock {
     /// Real time, measured from the moment this clock was created.
     pub fn wall() -> Clock {
-        Clock { inner: Arc::new(ClockImpl::Wall(Instant::now())) }
+        Clock {
+            inner: Arc::new(ClockImpl::Wall(Instant::now())),
+        }
     }
 
     /// Deterministic simulated time starting at zero. Advance with
     /// [`Clock::advance`].
     pub fn virtual_clock() -> Clock {
-        Clock { inner: Arc::new(ClockImpl::Virtual(AtomicU64::new(0))) }
+        Clock {
+            inner: Arc::new(ClockImpl::Virtual(AtomicU64::new(0))),
+        }
     }
 
     /// Current reading in nanoseconds.
@@ -100,7 +104,7 @@ mod tests {
         let c = Clock::wall();
         let before = c.now_ns();
         let returned = c.advance(1_000_000_000_000); // "advance" 1000 s
-        // Reading must reflect real elapsed time, not the fake advance.
+                                                     // Reading must reflect real elapsed time, not the fake advance.
         assert!(returned < before + 1_000_000_000_000);
         assert!(!c.is_virtual());
     }

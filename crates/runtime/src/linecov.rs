@@ -55,15 +55,21 @@ impl LineCoverage {
         let file = file.into();
         {
             let reg = self.registry.read();
-            if let Some(pos) =
-                reg.lines.iter().position(|l| l.file == file && l.line == line)
+            if let Some(pos) = reg
+                .lines
+                .iter()
+                .position(|l| l.file == file && l.line == line)
             {
                 return LineId(pos as u32);
             }
         }
         let mut reg = self.registry.write();
         // Double-check under the write lock.
-        if let Some(pos) = reg.lines.iter().position(|l| l.file == file && l.line == line) {
+        if let Some(pos) = reg
+            .lines
+            .iter()
+            .position(|l| l.file == file && l.line == line)
+        {
             return LineId(pos as u32);
         }
         reg.lines.push(LineInfo { file, line });
@@ -74,7 +80,9 @@ impl LineCoverage {
     /// A cached handle to one line's counter, for hot loops (avoids the
     /// registry lock per hit).
     pub fn counter(&self, id: LineId) -> LineCounter {
-        LineCounter { counter: Arc::clone(&self.counters.read()[id.0 as usize]) }
+        LineCounter {
+            counter: Arc::clone(&self.counters.read()[id.0 as usize]),
+        }
     }
 
     /// Record one execution of `id`.
@@ -150,7 +158,10 @@ impl LineSnapshot {
     /// # Panics
     /// Panics if any counter regressed.
     pub fn delta(&self, earlier: &LineSnapshot) -> LineSnapshot {
-        assert!(self.hits.len() >= earlier.hits.len(), "snapshots out of order");
+        assert!(
+            self.hits.len() >= earlier.hits.len(),
+            "snapshots out of order"
+        );
         LineSnapshot {
             hits: self
                 .hits
@@ -175,7 +186,14 @@ impl LineSnapshot {
                 continue;
             }
             let id: FunctionId = table.register(cov.label(LineId(i as u32)));
-            flat.set(id, FunctionStats { self_time: h, calls: h, child_time: 0 });
+            flat.set(
+                id,
+                FunctionStats {
+                    self_time: h,
+                    calls: h,
+                    child_time: 0,
+                },
+            );
         }
         flat
     }

@@ -50,6 +50,10 @@ struct ThreadData {
     stack: Vec<Frame>,
     flat: FlatProfile,
     callgraph: CallGraphProfile,
+    /// Deepest shadow stack this thread has seen. Kept thread-local (no
+    /// shared atomic on the hot `enter` path) and aggregated into the
+    /// `runtime.stack.depth_hwm` gauge at snapshot time.
+    max_depth: usize,
 }
 
 #[derive(Debug, Default)]
@@ -139,7 +143,11 @@ impl ProfilerRuntime {
     #[inline]
     pub fn enter(&self, id: FunctionId) -> ScopeGuard<'_> {
         if !self.is_enabled() {
-            return ScopeGuard { rt: self, id, armed: false };
+            return ScopeGuard {
+                rt: self,
+                id,
+                armed: false,
+            };
         }
         let now = self.inner.clock.now_ns();
         self.with_thread_data(|data| {
@@ -151,9 +159,18 @@ impl ProfilerRuntime {
                 data.callgraph.record_arc(caller, id);
             }
             data.flat.record_calls(id, 1); // counted at entry (mcount)
-            data.stack.push(Frame { id, resume_ns: now, entry_ns: now });
+            data.stack.push(Frame {
+                id,
+                resume_ns: now,
+                entry_ns: now,
+            });
+            data.max_depth = data.max_depth.max(data.stack.len());
         });
-        ScopeGuard { rt: self, id, armed: true }
+        ScopeGuard {
+            rt: self,
+            id,
+            armed: true,
+        }
     }
 
     /// Run `f` inside an entered scope for `id` (convenience wrapper).
@@ -194,6 +211,7 @@ impl ProfilerRuntime {
         let now = self.inner.clock.now_ns();
         let mut flat = FlatProfile::new();
         let mut callgraph = CallGraphProfile::new();
+        let mut max_depth = 0usize;
         let threads = self.inner.threads.lock();
         for slot in threads.iter() {
             let mut data = slot.data.lock();
@@ -206,8 +224,17 @@ impl ProfilerRuntime {
             }
             flat.merge(&data.flat);
             callgraph.merge(&data.callgraph);
+            max_depth = max_depth.max(data.max_depth);
         }
-        ProfileSnapshot { sample_index, timestamp_ns: now, flat, callgraph }
+        drop(threads);
+        incprof_obs::counter("runtime.snapshot.count").inc();
+        incprof_obs::gauge("runtime.stack.depth_hwm").record_max(max_depth as u64);
+        ProfileSnapshot {
+            sample_index,
+            timestamp_ns: now,
+            flat,
+            callgraph,
+        }
     }
 
     /// The set of functions currently on any thread's shadow stack
@@ -483,6 +510,24 @@ mod tests {
         let d = s2.flat.delta(&s1.flat).unwrap();
         assert_eq!(d.get(f).calls, 2);
         assert_eq!(d.get(f).self_time, 20);
+    }
+
+    #[test]
+    fn snapshot_publishes_stack_depth_high_water_mark() {
+        let rt = vrt();
+        let a = rt.register_function("a");
+        let b = rt.register_function("b");
+        let c = rt.register_function("c");
+        {
+            let _ga = rt.enter(a);
+            let _gb = rt.enter(b);
+            let _gc = rt.enter(c);
+        }
+        rt.snapshot(0);
+        // The gauge is global and record_max; other tests may have pushed
+        // it higher, but never lower than this runtime's depth of 3.
+        assert!(incprof_obs::gauge("runtime.stack.depth_hwm").get() >= 3);
+        assert!(incprof_obs::counter("runtime.snapshot.count").get() >= 1);
     }
 
     #[test]

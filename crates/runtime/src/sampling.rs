@@ -56,9 +56,30 @@ mod tests {
     #[test]
     fn rounds_to_nearest_bucket() {
         let mut p = FlatProfile::new();
-        p.set(fid(0), FunctionStats { self_time: 14_999_999, calls: 3, child_time: 0 });
-        p.set(fid(1), FunctionStats { self_time: 15_000_000, calls: 0, child_time: 0 });
-        p.set(fid(2), FunctionStats { self_time: 4_999_999, calls: 9, child_time: 0 });
+        p.set(
+            fid(0),
+            FunctionStats {
+                self_time: 14_999_999,
+                calls: 3,
+                child_time: 0,
+            },
+        );
+        p.set(
+            fid(1),
+            FunctionStats {
+                self_time: 15_000_000,
+                calls: 0,
+                child_time: 0,
+            },
+        );
+        p.set(
+            fid(2),
+            FunctionStats {
+                self_time: 4_999_999,
+                calls: 9,
+                child_time: 0,
+            },
+        );
         let q = quantize_flat(&p, GPROF_DEFAULT_PERIOD_NS);
         assert_eq!(q.get(fid(0)).self_time, 10_000_000); // 1.4999 -> 1 bucket
         assert_eq!(q.get(fid(1)).self_time, 20_000_000); // 1.5 -> 2 buckets
@@ -68,7 +89,14 @@ mod tests {
     #[test]
     fn calls_are_preserved_exactly() {
         let mut p = FlatProfile::new();
-        p.set(fid(0), FunctionStats { self_time: 123, calls: 456, child_time: 789 });
+        p.set(
+            fid(0),
+            FunctionStats {
+                self_time: 123,
+                calls: 456,
+                child_time: 789,
+            },
+        );
         let q = quantize_flat(&p, 1_000);
         assert_eq!(q.get(fid(0)).calls, 456);
     }
@@ -76,7 +104,14 @@ mod tests {
     #[test]
     fn period_of_one_ns_is_identity() {
         let mut p = FlatProfile::new();
-        p.set(fid(0), FunctionStats { self_time: 12345, calls: 1, child_time: 77 });
+        p.set(
+            fid(0),
+            FunctionStats {
+                self_time: 12345,
+                calls: 1,
+                child_time: 77,
+            },
+        );
         let q = quantize_flat(&p, 1);
         assert_eq!(q.get(fid(0)), p.get(fid(0)));
     }
@@ -89,8 +124,19 @@ mod tests {
 
     #[test]
     fn snapshot_quantization_preserves_metadata() {
-        let mut snap = ProfileSnapshot { sample_index: 5, timestamp_ns: 999, ..Default::default() };
-        snap.flat.set(fid(0), FunctionStats { self_time: 9_000_000, calls: 2, child_time: 0 });
+        let mut snap = ProfileSnapshot {
+            sample_index: 5,
+            timestamp_ns: 999,
+            ..Default::default()
+        };
+        snap.flat.set(
+            fid(0),
+            FunctionStats {
+                self_time: 9_000_000,
+                calls: 2,
+                child_time: 0,
+            },
+        );
         snap.callgraph.record_arc(fid(0), fid(0));
         let q = quantize_snapshot(&snap, GPROF_DEFAULT_PERIOD_NS);
         assert_eq!(q.sample_index, 5);

@@ -14,10 +14,18 @@ use incprof_suite::hpc_apps::{HeartbeatPlan, RunMode};
 
 fn main() {
     // A mid-size configuration: a few dozen 1-second intervals.
-    let cfg = Graph500Config { scale: 12, edge_factor: 16, num_roots: 20, ..Default::default() };
+    let cfg = Graph500Config {
+        scale: 12,
+        edge_factor: 16,
+        num_roots: 20,
+        ..Default::default()
+    };
 
     // Step 1: profile-collection run (no heartbeats).
-    println!("running Graph500 (scale {}, {} roots) under IncProf...", cfg.scale, cfg.num_roots);
+    println!(
+        "running Graph500 (scale {}, {} roots) under IncProf...",
+        cfg.scale, cfg.num_roots
+    );
     let profiled = graph500::run(&cfg, RunMode::virtual_1s(), &HeartbeatPlan::none());
     assert_eq!(profiled.result_check, 0.0, "BFS validation failed");
     println!(
@@ -27,7 +35,9 @@ fn main() {
     );
 
     // Step 2: phase detection.
-    let analysis = PhaseDetector::new().detect_series(&profiled.rank0.series).unwrap();
+    let analysis = PhaseDetector::new()
+        .detect_series(&profiled.rank0.series)
+        .unwrap();
     let table = &profiled.rank0.table;
     println!(
         "{}",

@@ -8,17 +8,24 @@
 //! cargo run --release --example minife_callgraph
 //! ```
 
+use incprof_suite::collect::IntervalMatrix;
 use incprof_suite::core::callgraph_select::lift_sites_to_callers;
 use incprof_suite::core::merge::merge_phases_with_same_sites;
 use incprof_suite::core::report::render_sites_table;
 use incprof_suite::core::PhaseDetector;
-use incprof_suite::collect::IntervalMatrix;
 use incprof_suite::hpc_apps::minife::{self, MiniFeConfig};
 use incprof_suite::hpc_apps::{HeartbeatPlan, RunMode};
 
 fn main() {
-    let cfg = MiniFeConfig { n: 14, cg_iters: 60, procs: 1 };
-    println!("running MiniFE (n = {}, {} CG iterations) under IncProf...", cfg.n, cfg.cg_iters);
+    let cfg = MiniFeConfig {
+        n: 14,
+        cg_iters: 60,
+        procs: 1,
+    };
+    println!(
+        "running MiniFE (n = {}, {} CG iterations) under IncProf...",
+        cfg.n, cfg.cg_iters
+    );
     let out = minife::run(&cfg, RunMode::virtual_1s(), &HeartbeatPlan::none());
     println!("final CG residual: {:.3e}\n", out.result_check);
 
@@ -44,7 +51,12 @@ fn main() {
     if lifted > 0 {
         println!(
             "{}",
-            render_sites_table("After call-graph lifting", &analysis, |id| table.name(id), &[])
+            render_sites_table(
+                "After call-graph lifting",
+                &analysis,
+                |id| table.name(id),
+                &[]
+            )
         );
     }
 

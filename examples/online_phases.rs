@@ -7,16 +7,24 @@
 //! cargo run --example online_phases
 //! ```
 
-use incprof_suite::core::online::{OnlineConfig, OnlinePhaseDetector};
 use incprof_suite::collect::{CollectorConfig, IncProfCollector};
+use incprof_suite::core::online::{OnlineConfig, OnlinePhaseDetector};
 use incprof_suite::profile::FlatProfile;
 use incprof_suite::runtime::{Clock, ProfilerRuntime};
 
 fn main() {
     let clock = Clock::virtual_clock();
     let rt = ProfilerRuntime::with_clock(clock.clone());
-    let stage_names = ["load_input", "equilibrate", "production_run", "write_results"];
-    let stages: Vec<_> = stage_names.iter().map(|n| rt.register_function(*n)).collect();
+    let stage_names = [
+        "load_input",
+        "equilibrate",
+        "production_run",
+        "write_results",
+    ];
+    let stages: Vec<_> = stage_names
+        .iter()
+        .map(|n| rt.register_function(*n))
+        .collect();
     let collector = IncProfCollector::manual(rt.clone(), CollectorConfig::default());
     let mut online = OnlinePhaseDetector::new(OnlineConfig::default());
 

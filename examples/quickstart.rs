@@ -58,7 +58,12 @@ fn main() {
     println!("{}", render_k_sweep(&analysis));
     println!(
         "{}",
-        render_sites_table("Discovered instrumentation sites", &analysis, |id| table.name(id), &[])
+        render_sites_table(
+            "Discovered instrumentation sites",
+            &analysis,
+            |id| table.name(id),
+            &[]
+        )
     );
 
     for phase in &analysis.phases {

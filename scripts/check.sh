@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+# Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(git rev-parse --show-toplevel)"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "All checks passed."

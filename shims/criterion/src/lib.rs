@@ -1,0 +1,192 @@
+//! Offline stand-in for `criterion`: runs each benchmark long enough to
+//! estimate a stable mean (auto-scaling the iteration count to ~0.3 s per
+//! benchmark) and prints `ns/iter` to stdout. No statistics, plots, or
+//! baseline comparison — just enough to keep `cargo bench` working and
+//! produce comparable numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+
+/// The benchmark context handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _c: self,
+            group: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count (accepted and ignored by the shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&self.group, &id.into_benchmark_id());
+    }
+
+    /// Run one benchmark parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&self.group, &id.into_benchmark_id());
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally parameterized.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Function name + parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+}
+
+/// Conversion into a printable benchmark id (names or [`BenchmarkId`]s).
+pub trait IntoBenchmarkId {
+    /// Render the id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Measures closures, auto-scaling iterations to the time budget.
+#[derive(Default)]
+pub struct Bencher {
+    /// Mean ns/iter of the final measured batch.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until it takes ≥ ~1/8 of the budget,
+        // then run one final batch scaled to fill the budget.
+        let mut batch: u64 = 1;
+        let mut elapsed;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            elapsed = start.elapsed();
+            if elapsed >= TARGET / 8 || batch >= 1 << 40 {
+                break;
+            }
+            batch *= 8;
+        }
+        let scale = (TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).clamp(1.0, 1024.0);
+        let final_batch = ((batch as f64) * scale) as u64;
+        let start = Instant::now();
+        for _ in 0..final_batch {
+            std::hint::black_box(routine());
+        }
+        self.result_ns = start.elapsed().as_nanos() as f64 / final_batch as f64;
+    }
+
+    /// Measure `routine` with a fresh un-timed `setup` value per iteration.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        // Setup is excluded from timing, so iterations are timed one by one.
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let budget_start = Instant::now();
+        while budget_start.elapsed() < TARGET || iters == 0 {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.result_ns = total.as_nanos() as f64 / iters as f64;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        println!("bench {group}/{id}: {:.1} ns/iter", self.result_ns);
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching criterion's API (`criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.result_ns > 0.0);
+    }
+}

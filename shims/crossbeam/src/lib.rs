@@ -1,0 +1,143 @@
+//! Offline stand-in for `crossbeam`. Only `crossbeam::channel`'s unbounded
+//! channel is provided: a `Mutex<VecDeque>` + `Condvar` queue whose
+//! `Sender`/`Receiver` are both `Clone + Send + Sync`, which is the
+//! property `mpi-sim` needs (std's mpsc `Receiver` is `!Sync`).
+
+/// Unbounded MPMC channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+    }
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(Arc<Inner<T>>);
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    /// Error returned by [`Sender::send`] (never produced here: the queue
+    /// is kept alive by every handle, so sends cannot fail).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] (never produced here).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a value; never blocks, never fails.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue the next value, blocking until one is available.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                q = self.0.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Dequeue without blocking.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&inner)), Receiver(inner))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_within_one_sender() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+        }
+
+        #[test]
+        fn blocking_recv_wakes_on_send() {
+            let (tx, rx) = unbounded::<u32>();
+            let h = std::thread::spawn(move || rx.recv().unwrap());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx.send(99).unwrap();
+            assert_eq!(h.join().unwrap(), 99);
+        }
+
+        #[test]
+        fn receiver_is_sync_and_shareable() {
+            let (tx, rx) = unbounded::<usize>();
+            let rx = std::sync::Arc::new(rx);
+            for i in 0..8 {
+                tx.send(i).unwrap();
+            }
+            let mut got: Vec<usize> = std::thread::scope(|s| {
+                (0..4)
+                    .map(|_| {
+                        let rx = std::sync::Arc::clone(&rx);
+                        s.spawn(move || (rx.recv().unwrap(), rx.recv().unwrap()))
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .flat_map(|h| {
+                        let (a, b) = h.join().unwrap();
+                        [a, b]
+                    })
+                    .collect()
+            });
+            got.sort_unstable();
+            assert_eq!(got, (0..8).collect::<Vec<_>>());
+        }
+    }
+}

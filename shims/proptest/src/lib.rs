@@ -1,0 +1,537 @@
+//! Offline stand-in for `proptest`: deterministic random testing with no
+//! shrinking. Each test derives its RNG seed from the test-function name,
+//! so failures reproduce exactly across runs; a failing case reports its
+//! index and the assertion message, but is not minimized.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Convenience imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+    };
+}
+
+/// Per-block configuration (only `cases` is honored by the shim).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Real proptest defaults to 256; the shim halves twice to keep the
+        // full suite fast in CI while still exercising each property.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strat: self, f }
+    }
+
+    /// Derive a dependent strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { strat: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strat: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.strat.new_value(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    strat: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.strat.new_value(rng)).new_value(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*}
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.new_value(rng),)+)
+            }
+        }
+    )*}
+}
+
+tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*}
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut StdRng) -> i32 {
+        rng.gen::<u32>() as i32
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut StdRng) -> i64 {
+        rng.gen::<u64>() as i64
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        rng.gen::<f64>() * 2e6 - 1e6
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+
+    fn new_value(&self, rng: &mut StdRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// Generate any value of `A`.
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy(PhantomData)
+}
+
+// --- Regex-lite string strategies -------------------------------------
+
+/// A `&str` pattern is a strategy for matching strings. The shim supports
+/// the two shapes this workspace uses: `[a-b...]{m,n}` character classes
+/// and `\PC{m,n}` (any non-control character), and panics on anything else.
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+enum CharClass {
+    NonControl,
+    Set(Vec<(char, char)>),
+}
+
+fn parse_pattern(pattern: &str) -> (CharClass, u32, u32) {
+    let (class, rest) = if let Some(rest) = pattern.strip_prefix("\\PC") {
+        (CharClass::NonControl, rest)
+    } else if let Some(body_and_rest) = pattern.strip_prefix('[') {
+        let close = body_and_rest.find(']').unwrap_or_else(|| {
+            panic!("proptest shim: unterminated character class in {pattern:?}")
+        });
+        let body: Vec<char> = body_and_rest[..close].chars().collect();
+        let mut ranges = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                ranges.push((body[i], body[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((body[i], body[i]));
+                i += 1;
+            }
+        }
+        (CharClass::Set(ranges), &body_and_rest[close + 1..])
+    } else {
+        panic!("proptest shim: unsupported regex pattern {pattern:?}");
+    };
+    let counts = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("proptest shim: expected {{m,n}} repetition in {pattern:?}"));
+    let (lo, hi) = counts
+        .split_once(',')
+        .unwrap_or_else(|| panic!("proptest shim: expected {{m,n}} repetition in {pattern:?}"));
+    let lo: u32 = lo.trim().parse().expect("repetition lower bound");
+    let hi: u32 = hi.trim().parse().expect("repetition upper bound");
+    (class, lo, hi)
+}
+
+fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    // A handful of non-ASCII, non-control characters so `\PC` exercises
+    // multi-byte UTF-8 paths too.
+    const WIDE: &[char] = &['é', 'π', '→', '漢', '𝄞', '\u{00a0}'];
+    let (class, lo, hi) = parse_pattern(pattern);
+    let n = rng.gen_range(lo..=hi);
+    let mut out = String::new();
+    for _ in 0..n {
+        let c = match &class {
+            CharClass::NonControl => {
+                if rng.gen_bool(0.9) {
+                    rng.gen_range(0x20u32..=0x7e)
+                        .try_into()
+                        .expect("printable ascii")
+                } else {
+                    WIDE[rng.gen_range(0..WIDE.len())]
+                }
+            }
+            CharClass::Set(ranges) => {
+                let (a, b) = ranges[rng.gen_range(0..ranges.len())];
+                char::from_u32(rng.gen_range(a as u32..=b as u32))
+                    .expect("character class range is valid")
+            }
+        };
+        out.push(c);
+    }
+    out
+}
+
+// --- Collection strategies --------------------------------------------
+
+/// Collection size specification.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+/// Strategies for standard collections, mirroring `proptest::collection`.
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// Generate maps with *up to* the requested number of entries
+    /// (duplicate keys collapse, as in real proptest).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n)
+                .map(|_| (self.key.new_value(rng), self.value.new_value(rng)))
+                .collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generate sets with *up to* the requested number of elements
+    /// (duplicates collapse, as in real proptest).
+    pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+}
+
+// --- Runner -----------------------------------------------------------
+
+/// Drive one property: draw and check `config.cases` random cases.
+///
+/// # Panics
+/// Panics (failing the surrounding `#[test]`) on the first case whose
+/// closure returns `Err`, reporting the case index and message.
+pub fn run_proptest<F>(name: &str, config: ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), String>,
+{
+    let mut hasher = DefaultHasher::new();
+    name.hash(&mut hasher);
+    let mut rng = StdRng::seed_from_u64(hasher.finish());
+    for i in 0..config.cases {
+        if let Err(msg) = case(&mut rng) {
+            panic!(
+                "property `{name}` failed at case {i}/{}: {msg}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_proptest(stringify!($name), $cfg, |__rng| {
+                    $(let $arg = $crate::Strategy::new_value(&($strat), __rng);)*
+                    let mut __case = || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fail the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = &$left;
+        let __right = &$right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __left,
+                __right,
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_name() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(9);
+        let mut b = rand::rngs::StdRng::seed_from_u64(9);
+        use rand::SeedableRng;
+        let strat = crate::collection::vec(0u32..100, 1..8);
+        assert_eq!(strat.new_value(&mut a), strat.new_value(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, f in -1.0f64..1.0, s in "[a-c]{2,4}") {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!(s.len() >= 2 && s.len() <= 4, "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn maps_and_tuples_compose(
+            (n, m) in (1usize..4, 2usize..5),
+            map in crate::collection::btree_map(0u8..16, any::<u8>(), 0..6),
+        ) {
+            prop_assert!(n < 4 && m < 5);
+            prop_assert!(map.len() <= 6);
+        }
+    }
+}

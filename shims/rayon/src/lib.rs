@@ -1,0 +1,57 @@
+//! Offline stand-in for `rayon`: `into_par_iter()` runs sequentially on the
+//! current thread. Call sites keep rayon's API shape, so swapping the real
+//! crate back in needs no source changes — only restored parallelism.
+
+/// Import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    /// Conversion into a (sequential) "parallel" iterator.
+    pub trait IntoParallelIterator {
+        /// The underlying iterator type.
+        type Iter: Iterator;
+        /// Convert into the iterator wrapper.
+        fn into_par_iter(self) -> ParIter<Self::Iter>;
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {
+        type Iter = T::IntoIter;
+        fn into_par_iter(self) -> ParIter<T::IntoIter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    /// Sequential iterator with rayon's adapter names.
+    pub struct ParIter<I>(I);
+
+    impl<I: Iterator> ParIter<I> {
+        /// Map each element.
+        pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+            ParIter(self.0.map(f))
+        }
+
+        /// Keep elements matching the predicate.
+        pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+            ParIter(self.0.filter(f))
+        }
+
+        /// Collect into any `FromIterator` container.
+        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+            self.0.collect()
+        }
+
+        /// Sum the elements.
+        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+            self.0.sum()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect() {
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+}

@@ -1,0 +1,357 @@
+//! Deserialization half of the shim. Every deserializer produces a
+//! [`Content`] tree; every `Deserialize` impl interprets one. Numeric
+//! coercions are deliberately permissive (`U64`/`I64`/`F64`/stringified
+//! numbers all interconvert when lossless) because JSON map keys arrive
+//! as strings and floats that hold integers round-trip as integers.
+
+use std::collections::BTreeMap;
+use std::fmt::{self, Display};
+
+/// Error constraint for deserializer error types.
+pub trait Error: Sized + std::fmt::Debug + Display {
+    /// Build an error from any printable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// The shim's single intermediate representation: a JSON-shaped tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// null / `None` / `()`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Map / struct (insertion-ordered entries).
+    Map(Vec<(Content, Content)>),
+}
+
+/// Error type used when interpreting a [`Content`] tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentError(pub String);
+
+impl Display for ContentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+impl Error for ContentError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+impl crate::ser::Error for ContentError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ContentError> {
+    Err(ContentError(msg.into()))
+}
+
+impl Content {
+    /// Short description of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) => "unsigned integer",
+            Content::I64(_) => "signed integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+
+    /// Interpret as `u64`, coercing lossless integers and numeric strings.
+    pub fn into_u64(self) -> Result<u64, ContentError> {
+        match self {
+            Content::U64(v) => Ok(v),
+            Content::I64(v) if v >= 0 => Ok(v as u64),
+            Content::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Ok(v as u64),
+            Content::Str(s) => match s.parse::<u64>() {
+                Ok(v) => Ok(v),
+                Err(_) => err(format!("invalid unsigned integer string {s:?}")),
+            },
+            other => err(format!("expected unsigned integer, found {}", other.kind())),
+        }
+    }
+
+    /// Interpret as `i64`, coercing lossless integers and numeric strings.
+    pub fn into_i64(self) -> Result<i64, ContentError> {
+        match self {
+            Content::I64(v) => Ok(v),
+            Content::U64(v) if v <= i64::MAX as u64 => Ok(v as i64),
+            Content::F64(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => Ok(v as i64),
+            Content::Str(s) => match s.parse::<i64>() {
+                Ok(v) => Ok(v),
+                Err(_) => err(format!("invalid integer string {s:?}")),
+            },
+            other => err(format!("expected integer, found {}", other.kind())),
+        }
+    }
+
+    /// Interpret as `f64`, coercing integers and numeric strings.
+    pub fn into_f64(self) -> Result<f64, ContentError> {
+        match self {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            Content::Str(s) => match s.parse::<f64>() {
+                Ok(v) => Ok(v),
+                Err(_) => err(format!("invalid float string {s:?}")),
+            },
+            other => err(format!("expected float, found {}", other.kind())),
+        }
+    }
+
+    /// Interpret as `bool`.
+    pub fn into_bool(self) -> Result<bool, ContentError> {
+        match self {
+            Content::Bool(v) => Ok(v),
+            other => err(format!("expected bool, found {}", other.kind())),
+        }
+    }
+
+    /// Interpret as a string.
+    pub fn into_string(self) -> Result<String, ContentError> {
+        match self {
+            Content::Str(s) => Ok(s),
+            other => err(format!("expected string, found {}", other.kind())),
+        }
+    }
+
+    /// Interpret as a sequence.
+    pub fn into_seq(self) -> Result<Vec<Content>, ContentError> {
+        match self {
+            Content::Seq(items) => Ok(items),
+            other => err(format!("expected sequence, found {}", other.kind())),
+        }
+    }
+
+    /// Interpret as a map with arbitrary keys.
+    pub fn into_map(self) -> Result<Vec<(Content, Content)>, ContentError> {
+        match self {
+            Content::Map(entries) => Ok(entries),
+            other => err(format!("expected map, found {}", other.kind())),
+        }
+    }
+}
+
+/// A format frontend: anything that can yield a [`Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Produce the value as a [`Content`] tree.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A [`Content`] tree is itself a deserializer (used for nested values).
+impl<'de> Deserializer<'de> for Content {
+    type Error = ContentError;
+
+    fn deserialize_content(self) -> Result<Content, ContentError> {
+        Ok(self)
+    }
+}
+
+/// A value that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Read this value out of `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+// --- Helpers used by derive-generated code ----------------------------
+
+/// Split a struct's [`Content::Map`] into named fields.
+pub fn fields_of(content: Content) -> Result<Vec<(String, Content)>, ContentError> {
+    content
+        .into_map()?
+        .into_iter()
+        .map(|(k, v)| Ok((k.into_string()?, v)))
+        .collect()
+}
+
+/// Remove and return the field `name`, if present.
+pub fn take_field(fields: &mut Vec<(String, Content)>, name: &str) -> Option<Content> {
+    let idx = fields.iter().position(|(k, _)| k == name)?;
+    Some(fields.swap_remove(idx).1)
+}
+
+/// Interpret a unit-enum payload as the variant name.
+pub fn variant_of(content: Content) -> Result<String, ContentError> {
+    content.into_string()
+}
+
+// --- Deserialize impls for std types ----------------------------------
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.deserialize_content()?.into_u64().map_err(D::Error::custom)?;
+                <$t>::try_from(v)
+                    .map_err(|_| D::Error::custom(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*}
+}
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.deserialize_content()?.into_i64().map_err(D::Error::custom)?;
+                <$t>::try_from(v)
+                    .map_err(|_| D::Error::custom(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*}
+}
+
+de_unsigned!(u8, u16, u32, u64, usize);
+de_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer
+            .deserialize_content()?
+            .into_bool()
+            .map_err(D::Error::custom)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer
+            .deserialize_content()?
+            .into_f64()
+            .map_err(D::Error::custom)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(f64::deserialize(deserializer)? as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer
+            .deserialize_content()?
+            .into_string()
+            .map_err(D::Error::custom)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other).map_err(D::Error::custom)?)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = deserializer
+            .deserialize_content()?
+            .into_seq()
+            .map_err(D::Error::custom)?;
+        items
+            .into_iter()
+            .map(|c| T::deserialize(c).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let items =
+                    deserializer.deserialize_content()?.into_seq().map_err(D::Error::custom)?;
+                if items.len() != $len {
+                    return Err(D::Error::custom(format!(
+                        "expected tuple of length {}, found sequence of length {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                let mut it = items.into_iter();
+                Ok(($(
+                    {
+                        let _ = $n;
+                        $t::deserialize(it.next().expect("length checked"))
+                            .map_err(D::Error::custom)?
+                    },
+                )+))
+            }
+        }
+    )*}
+}
+
+de_tuple! {
+    (2 0 T0, 1 T1)
+    (3 0 T0, 1 T1, 2 T2)
+    (4 0 T0, 1 T1, 2 T2, 3 T3)
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let entries = deserializer
+            .deserialize_content()?
+            .into_map()
+            .map_err(D::Error::custom)?;
+        entries
+            .into_iter()
+            .map(|(k, v)| {
+                Ok((
+                    K::deserialize(k).map_err(D::Error::custom)?,
+                    V::deserialize(v).map_err(D::Error::custom)?,
+                ))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Content::Str("42".into()).into_u64().unwrap(), 42);
+        assert_eq!(Content::F64(3.0).into_u64().unwrap(), 3);
+        assert!(Content::F64(3.5).into_u64().is_err());
+        assert_eq!(Content::U64(7).into_f64().unwrap(), 7.0);
+        assert!(Content::Seq(vec![]).into_u64().is_err());
+    }
+
+    #[test]
+    fn take_field_removes() {
+        let mut fields = vec![
+            ("a".to_string(), Content::U64(1)),
+            ("b".to_string(), Content::U64(2)),
+        ];
+        assert_eq!(take_field(&mut fields, "b"), Some(Content::U64(2)));
+        assert_eq!(take_field(&mut fields, "b"), None);
+        assert_eq!(fields.len(), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde` with a radically simplified data model.
+//!
+//! Instead of serde's 29-method visitor protocol, every value passes through
+//! one intermediate representation: [`de::Content`], a small JSON-shaped
+//! tree. Serializers consume the usual `serialize_*` calls; deserializers
+//! expose exactly one method, [`Deserializer::deserialize_content`], and
+//! each `Deserialize` impl interprets the returned tree itself. This is
+//! enough for the derive surface this workspace uses (named structs with
+//! `#[serde(skip)]`/`#[serde(with)]`, newtype structs, unit enums) while
+//! staying a few hundred lines.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,395 @@
+//! Serialization half of the shim: the `Serializer` trait plus `Serialize`
+//! impls for the std types this workspace serializes, and a
+//! [`ContentSerializer`] that renders any serializable value into the
+//! shared [`Content`] tree (which `serde_json` then prints).
+
+use crate::de::{Content, ContentError};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Display;
+
+/// Error constraint for serializer error types.
+pub trait Error: Sized + std::fmt::Debug + Display {
+    /// Build an error from any printable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value that can be serialized.
+pub trait Serialize {
+    /// Feed this value into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Sequence sub-serializer.
+pub trait SerializeSeq {
+    /// Final output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Append one element.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finish the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Map sub-serializer.
+pub trait SerializeMap {
+    /// Final output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Append one key/value entry.
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Self::Error>;
+    /// Finish the map.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Struct sub-serializer.
+pub trait SerializeStruct {
+    /// Final output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Append one named field.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finish the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A format backend. Compared to real serde, narrow integers/floats are
+/// widened to `i64`/`u64`/`f64` before reaching the serializer.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Sequence sub-serializer type.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Map sub-serializer type.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Struct sub-serializer type.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serialize a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `()` / null.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `Some(value)`.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize a newtype struct (transparently, by default).
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error> {
+        let _ = name;
+        value.serialize(self)
+    }
+
+    /// Serialize a unit enum variant (as its name, by default).
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error> {
+        let _ = (name, variant_index);
+        self.serialize_str(variant)
+    }
+
+    /// Begin a sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begin a map.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Begin a struct.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+
+    /// Serialize every item of an iterator as a sequence.
+    fn collect_seq<I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        I: IntoIterator,
+        I::Item: Serialize,
+    {
+        let mut seq = self.serialize_seq(None)?;
+        for item in iter {
+            seq.serialize_element(&item)?;
+        }
+        seq.end()
+    }
+}
+
+// --- Serialize impls for std types -----------------------------------
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*}
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*}
+}
+
+ser_unsigned!(u8, u16, u32, u64, usize);
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut seq = serializer.serialize_seq(None)?;
+                $(SerializeSeq::serialize_element(&mut seq, &self.$n)?;)+
+                seq.end()
+            }
+        }
+    )*}
+}
+
+ser_tuple! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+// --- ContentSerializer ------------------------------------------------
+
+/// Serializer whose output is the shim's [`Content`] tree.
+pub struct ContentSerializer;
+
+/// Render any serializable value into a [`Content`] tree.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, ContentError> {
+    value.serialize(ContentSerializer)
+}
+
+/// Sequence builder for [`ContentSerializer`].
+pub struct ContentSeqSer(Vec<Content>);
+
+/// Map builder for [`ContentSerializer`].
+pub struct ContentMapSer(Vec<(Content, Content)>);
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = ContentError;
+    type SerializeSeq = ContentSeqSer;
+    type SerializeMap = ContentMapSer;
+    type SerializeStruct = ContentMapSer;
+
+    fn serialize_bool(self, v: bool) -> Result<Content, ContentError> {
+        Ok(Content::Bool(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Content, ContentError> {
+        Ok(Content::I64(v))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Content, ContentError> {
+        Ok(Content::U64(v))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Content, ContentError> {
+        Ok(Content::F64(v))
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Content, ContentError> {
+        Ok(Content::Str(v.to_owned()))
+    }
+
+    fn serialize_unit(self) -> Result<Content, ContentError> {
+        Ok(Content::Null)
+    }
+
+    fn serialize_none(self) -> Result<Content, ContentError> {
+        Ok(Content::Null)
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Content, ContentError> {
+        value.serialize(ContentSerializer)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<ContentSeqSer, ContentError> {
+        Ok(ContentSeqSer(Vec::with_capacity(len.unwrap_or(0))))
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<ContentMapSer, ContentError> {
+        Ok(ContentMapSer(Vec::with_capacity(len.unwrap_or(0))))
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<ContentMapSer, ContentError> {
+        Ok(ContentMapSer(Vec::with_capacity(len)))
+    }
+}
+
+impl SerializeSeq for ContentSeqSer {
+    type Ok = Content;
+    type Error = ContentError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), ContentError> {
+        self.0.push(value.serialize(ContentSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Content, ContentError> {
+        Ok(Content::Seq(self.0))
+    }
+}
+
+impl SerializeMap for ContentMapSer {
+    type Ok = Content;
+    type Error = ContentError;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), ContentError> {
+        self.0.push((
+            key.serialize(ContentSerializer)?,
+            value.serialize(ContentSerializer)?,
+        ));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Content, ContentError> {
+        Ok(Content::Map(self.0))
+    }
+}
+
+impl SerializeStruct for ContentMapSer {
+    type Ok = Content;
+    type Error = ContentError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<(), ContentError> {
+        self.0.push((
+            Content::Str(name.to_owned()),
+            value.serialize(ContentSerializer)?,
+        ));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Content, ContentError> {
+        Ok(Content::Map(self.0))
+    }
+}

@@ -1,0 +1,426 @@
+//! Offline stand-in for `serde_derive`, written directly against
+//! `proc_macro` (no `syn`/`quote` available offline). Supports exactly the
+//! shapes this workspace derives:
+//!
+//! - named-field structs, honoring `#[serde(skip)]` and
+//!   `#[serde(with = "module")]` field attributes,
+//! - newtype tuple structs (serialized transparently),
+//! - unit-variant enums (serialized as the variant name),
+//!
+//! all without generic parameters. Anything else produces a
+//! `compile_error!` naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    ty: String,
+    skip: bool,
+    with: Option<String>,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    NewtypeStruct { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid compile_error")
+}
+
+/// Skip one attribute (`#` + bracket group) if present at `i`, returning
+/// the bracket group's tokens when it was a `#[serde(...)]` attribute.
+fn take_attr(tokens: &[TokenTree], i: &mut usize) -> Option<Option<Vec<TokenTree>>> {
+    match (tokens.get(*i), tokens.get(*i + 1)) {
+        (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+            if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+        {
+            *i += 2;
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            match inner.first() {
+                Some(TokenTree::Ident(id)) if id.to_string() == "serde" => match inner.get(1) {
+                    Some(TokenTree::Group(args)) if args.delimiter() == Delimiter::Parenthesis => {
+                        Some(Some(args.stream().into_iter().collect()))
+                    }
+                    _ => Some(None),
+                },
+                _ => Some(None),
+            }
+        }
+        _ => None,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parse a `#[serde(...)]` argument list into (skip, with).
+fn parse_serde_args(
+    args: &[TokenTree],
+    skip: &mut bool,
+    with: &mut Option<String>,
+) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        match &args[i] {
+            TokenTree::Ident(id) if id.to_string() == "skip" => {
+                *skip = true;
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "with" => {
+                match (args.get(i + 1), args.get(i + 2)) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let s = lit.to_string();
+                        let path = s.trim_matches('"').to_string();
+                        if path.is_empty() || path == s {
+                            return Err(format!(
+                                "serde(with = ...) expects a string literal, got {s}"
+                            ));
+                        }
+                        *with = Some(path);
+                        i += 3;
+                    }
+                    _ => return Err("malformed serde(with = \"...\") attribute".to_string()),
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => return Err(format!("unsupported serde attribute `{other}`")),
+        }
+    }
+    Ok(())
+}
+
+/// Parse the fields of a named struct from the brace group's tokens.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        let mut with = None;
+        while let Some(serde_args) = take_attr(tokens, &mut i) {
+            if let Some(args) = serde_args {
+                parse_serde_args(&args, &mut skip, &mut with)?;
+            }
+        }
+        if i >= tokens.len() {
+            break; // trailing attrs only (e.g. after a trailing comma)
+        }
+        skip_visibility(tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Collect type tokens until a comma at angle-bracket depth zero.
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            if !ty.is_empty() {
+                ty.push(' ');
+            }
+            ty.push_str(&tok.to_string());
+            i += 1;
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(Field {
+            name,
+            ty,
+            skip,
+            with,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while take_attr(tokens, &mut i).is_some() {}
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => {
+                return Err(format!(
+                    "only unit enum variants are supported, found {other} after `{name}`"
+                ))
+            }
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while take_attr(&tokens, &mut i).is_some() {}
+    skip_visibility(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is not supported by the serde shim derive"
+            ));
+        }
+    }
+    match (keyword.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok(Item::NamedStruct {
+                name,
+                fields: parse_named_fields(&body)?,
+            })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            // Count top-level comma-separated fields inside the parens.
+            let mut depth = 0i32;
+            let mut nfields = 1usize;
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if inner.is_empty() {
+                return Err(format!("empty tuple struct `{name}` is not supported"));
+            }
+            for (idx, tok) in inner.iter().enumerate() {
+                if let TokenTree::Punct(p) = tok {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 0 && idx + 1 < inner.len() => nfields += 1,
+                        _ => {}
+                    }
+                }
+            }
+            if nfields != 1 {
+                return Err(format!(
+                    "tuple struct `{name}` has {nfields} fields; only newtype structs are supported"
+                ));
+            }
+            Ok(Item::NewtypeStruct { name })
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok(Item::UnitEnum {
+                name,
+                variants: parse_unit_variants(&body)?,
+            })
+        }
+        (kw, other) => Err(format!(
+            "unsupported item shape: {kw} followed by {other:?}"
+        )),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut wrappers = String::new();
+            let mut body = String::new();
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            for (w, f) in live.iter().enumerate() {
+                let fname = &f.name;
+                if let Some(with) = &f.with {
+                    wrappers.push_str(&format!(
+                        "struct __SerdeWith{w}<'__a>(&'__a {ty});\n\
+                         impl<'__a> ::serde::Serialize for __SerdeWith{w}<'__a> {{\n\
+                             fn serialize<__S2: ::serde::Serializer>(&self, __s: __S2)\n\
+                                 -> ::core::result::Result<__S2::Ok, __S2::Error> {{\n\
+                                 {with}::serialize(self.0, __s)\n\
+                             }}\n\
+                         }}\n",
+                        ty = f.ty,
+                    ));
+                    body.push_str(&format!(
+                        "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{fname}\", \
+                         &__SerdeWith{w}(&self.{fname}))?;\n"
+                    ));
+                } else {
+                    body.push_str(&format!(
+                        "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{fname}\", \
+                         &self.{fname})?;\n"
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                         -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                         {wrappers}\
+                         let mut __st = ::serde::Serializer::serialize_struct(\
+                             __serializer, \"{name}\", {n})?;\n\
+                         {body}\
+                         ::serde::ser::SerializeStruct::end(__st)\n\
+                     }}\n\
+                 }}\n",
+                n = live.len(),
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                     -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                     ::serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)\n\
+                 }}\n\
+             }}\n"
+        ),
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    format!(
+                        "{name}::{v} => ::serde::Serializer::serialize_unit_variant(\
+                         __serializer, \"{name}\", {i}u32, \"{v}\"),\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                         -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let custom = "<__D::Error as ::serde::de::Error>::custom";
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let fname = &f.name;
+                if f.skip {
+                    inits.push_str(&format!("{fname}: ::core::default::Default::default(),\n"));
+                    continue;
+                }
+                let convert = match &f.with {
+                    Some(with) => format!("{with}::deserialize(__v)"),
+                    None => "::serde::Deserialize::deserialize(__v)".to_string(),
+                };
+                inits.push_str(&format!(
+                    "{fname}: match ::serde::de::take_field(&mut __fields, \"{fname}\") {{\n\
+                         ::core::option::Option::Some(__v) => {convert}.map_err({custom})?,\n\
+                         ::core::option::Option::None => return ::core::result::Result::Err(\
+                             {custom}(\"missing field `{fname}` in {name}\")),\n\
+                     }},\n"
+                ));
+            }
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+                         -> ::core::result::Result<Self, __D::Error> {{\n\
+                         let __content = ::serde::Deserializer::deserialize_content(__deserializer)?;\n\
+                         let mut __fields = ::serde::de::fields_of(__content).map_err({custom})?;\n\
+                         let _ = &mut __fields;\n\
+                         ::core::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+                     -> ::core::result::Result<Self, __D::Error> {{\n\
+                     ::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(__deserializer)?))\n\
+                 }}\n\
+             }}\n"
+        ),
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::core::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+                         -> ::core::result::Result<Self, __D::Error> {{\n\
+                         let __content = ::serde::Deserializer::deserialize_content(__deserializer)?;\n\
+                         let __name = ::serde::de::variant_of(__content).map_err({custom})?;\n\
+                         match __name.as_str() {{\n\
+                             {arms}\
+                             __other => ::core::result::Result::Err({custom}(\
+                                 ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+/// Derive `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}

@@ -1,0 +1,197 @@
+//! Dynamically-typed JSON value, built from the serde shim's `Content`.
+
+use serde::de::{Content, Deserialize, Deserializer};
+use std::ops::Index;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// null.
+    Null,
+    /// true / false.
+    Bool(bool),
+    /// Any number (unsigned, signed, or float).
+    Number(Number),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object (insertion-ordered).
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, preserving the parsed representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+}
+
+impl Number {
+    fn as_f64(self) -> f64 {
+        match self {
+            Number::U64(v) => v as f64,
+            Number::I64(v) => v as f64,
+            Number::F64(v) => v,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer contents, if losslessly available.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(v)) => Some(*v),
+            Value::Number(Number::I64(v)) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric contents as a float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Boolean contents.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array contents.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object entries.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    fn from_content(c: Content) -> Value {
+        match c {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(b),
+            Content::U64(v) => Value::Number(Number::U64(v)),
+            Content::I64(v) => Value::Number(Number::I64(v)),
+            Content::F64(v) => Value::Number(Number::F64(v)),
+            Content::Str(s) => Value::String(s),
+            Content::Seq(items) => {
+                Value::Array(items.into_iter().map(Value::from_content).collect())
+            }
+            Content::Map(entries) => Value::Object(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| {
+                        let key = match k {
+                            Content::Str(s) => s,
+                            Content::U64(n) => n.to_string(),
+                            Content::I64(n) => n.to_string(),
+                            other => format!("{other:?}"),
+                        };
+                        (key, Value::from_content(v))
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(Value::from_content(deserializer.deserialize_content()?))
+    }
+}
+
+/// Missing keys index to `Value::Null`, like serde_json.
+impl Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        match self {
+            Value::Number(Number::U64(v)) => i64::try_from(*v) == Ok(*other as i64),
+            Value::Number(Number::I64(v)) => *v == *other as i64,
+            Value::Number(Number::F64(v)) => *v == *other as f64,
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}

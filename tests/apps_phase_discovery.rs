@@ -5,15 +5,20 @@
 use incprof_suite::appekg::HeartbeatSeries;
 use incprof_suite::core::PhaseDetector;
 use incprof_suite::hpc_apps::plan::discovered_site_names;
-use incprof_suite::hpc_apps::{
-    gadget2, graph500, lammps, miniamr, minife, HeartbeatPlan, RunMode,
-};
+use incprof_suite::hpc_apps::{gadget2, graph500, lammps, miniamr, minife, HeartbeatPlan, RunMode};
 
 #[test]
 fn graph500_discovered_sites_drive_heartbeats() {
-    let cfg = graph500::Graph500Config { scale: 11, edge_factor: 8, num_roots: 8, ..graph500::Graph500Config::tiny() };
+    let cfg = graph500::Graph500Config {
+        scale: 11,
+        edge_factor: 8,
+        num_roots: 8,
+        ..graph500::Graph500Config::tiny()
+    };
     let profiled = graph500::run(&cfg, RunMode::virtual_1s(), &HeartbeatPlan::none());
-    let analysis = PhaseDetector::new().detect_series(&profiled.rank0.series).unwrap();
+    let analysis = PhaseDetector::new()
+        .detect_series(&profiled.rank0.series)
+        .unwrap();
     let plan = HeartbeatPlan::from_analysis(&analysis, &profiled.rank0.table);
     assert!(!plan.is_empty());
 
@@ -24,7 +29,11 @@ fn graph500_discovered_sites_drive_heartbeats() {
         &hb_run.rank0.hb_records,
         Some(hb_run.rank0.series.len() as u64),
     );
-    assert_eq!(series.len(), plan.len(), "every discovered site produced heartbeats");
+    assert_eq!(
+        series.len(),
+        plan.len(),
+        "every discovered site produced heartbeats"
+    );
     for s in series.values() {
         assert!(s.total_count() > 0);
     }
@@ -33,11 +42,17 @@ fn graph500_discovered_sites_drive_heartbeats() {
 #[test]
 fn minife_phase_count_matches_paper_band() {
     let out = minife::run(
-        &minife::MiniFeConfig { n: 14, cg_iters: 60, procs: 1 },
+        &minife::MiniFeConfig {
+            n: 14,
+            cg_iters: 60,
+            procs: 1,
+        },
         RunMode::virtual_1s(),
         &HeartbeatPlan::none(),
     );
-    let analysis = PhaseDetector::new().detect_series(&out.rank0.series).unwrap();
+    let analysis = PhaseDetector::new()
+        .detect_series(&out.rank0.series)
+        .unwrap();
     // Paper: 5 phases. Accept the neighborhood — the clustering is
     // scale-dependent — but never a trivial single phase.
     assert!((3..=6).contains(&analysis.k), "k = {}", analysis.k);
@@ -50,7 +65,9 @@ fn every_phase_is_covered_at_threshold() {
         RunMode::virtual_1s(),
         &HeartbeatPlan::none(),
     );
-    let analysis = PhaseDetector::new().detect_series(&out.rank0.series).unwrap();
+    let analysis = PhaseDetector::new()
+        .detect_series(&out.rank0.series)
+        .unwrap();
     for phase in &analysis.phases {
         if phase.intervals.iter().any(|_| true) {
             assert!(
@@ -74,7 +91,9 @@ fn lammps_heartbeat_durations_track_kernel_cost() {
         ..lammps::LammpsConfig::tiny()
     };
     let profiled = lammps::run(&cfg, RunMode::virtual_1s(), &HeartbeatPlan::none());
-    let analysis = PhaseDetector::new().detect_series(&profiled.rank0.series).unwrap();
+    let analysis = PhaseDetector::new()
+        .detect_series(&profiled.rank0.series)
+        .unwrap();
     let plan = HeartbeatPlan::from_analysis(&analysis, &profiled.rank0.table);
     let names = discovered_site_names(&analysis, &profiled.rank0.table);
     assert!(names.contains("PairLJCut::compute"), "{names:?}");
@@ -104,14 +123,27 @@ fn gadget2_fast_functions_stay_undetected_at_one_second() {
     // The paper's §VI-E finding: the four fast timestep drivers cannot be
     // phases at 1-second interval resolution.
     let out = gadget2::run(
-        &gadget2::Gadget2Config { particles: 400, steps: 20, pm_grid: 16, ..gadget2::Gadget2Config::tiny() },
+        &gadget2::Gadget2Config {
+            particles: 400,
+            steps: 20,
+            pm_grid: 16,
+            ..gadget2::Gadget2Config::tiny()
+        },
         RunMode::virtual_1s(),
         &HeartbeatPlan::none(),
     );
-    let analysis = PhaseDetector::new().detect_series(&out.rank0.series).unwrap();
+    let analysis = PhaseDetector::new()
+        .detect_series(&out.rank0.series)
+        .unwrap();
     let names = discovered_site_names(&analysis, &out.rank0.table);
-    for fast in ["find_next_sync_point_and_drift", "advance_and_find_timesteps"] {
-        assert!(!names.contains(fast), "{fast} should be invisible at 1 s intervals");
+    for fast in [
+        "find_next_sync_point_and_drift",
+        "advance_and_find_timesteps",
+    ] {
+        assert!(
+            !names.contains(fast),
+            "{fast} should be invisible at 1 s intervals"
+        );
     }
 }
 
@@ -130,7 +162,10 @@ fn rank_symmetry_holds_for_multirank_runs() {
                 procs,
                 ..graph500::Graph500Config::tiny()
             },
-            RunMode::Wall { interval_ns: 50_000_000, profile: true },
+            RunMode::Wall {
+                interval_ns: 50_000_000,
+                profile: true,
+            },
             &HeartbeatPlan::none(),
         );
         assert_eq!(out.result_check, 0.0, "procs = {procs}");

@@ -11,11 +11,18 @@ use incprof_suite::hpc_apps::{lammps, minife, HeartbeatPlan, RunMode};
 #[test]
 fn merging_never_increases_phase_count_and_preserves_partition() {
     let out = lammps::run(
-        &lammps::LammpsConfig { atoms_per_side: 9, steps: 60, rebuild_every: 8, ..lammps::LammpsConfig::tiny() },
+        &lammps::LammpsConfig {
+            atoms_per_side: 9,
+            steps: 60,
+            rebuild_every: 8,
+            ..lammps::LammpsConfig::tiny()
+        },
         RunMode::virtual_1s(),
         &HeartbeatPlan::none(),
     );
-    let analysis = PhaseDetector::new().detect_series(&out.rank0.series).unwrap();
+    let analysis = PhaseDetector::new()
+        .detect_series(&out.rank0.series)
+        .unwrap();
     let merged = merge_phases_with_same_sites(&analysis);
     assert!(merged.k <= analysis.k);
     assert_eq!(merged.assignments.len(), analysis.assignments.len());
@@ -39,7 +46,11 @@ fn callgraph_lifting_respects_behavioral_equivalence_on_minife() {
     // lifting decides, the resulting sites must still be functions that
     // are active in their phases.
     let out = minife::run(
-        &minife::MiniFeConfig { n: 12, cg_iters: 40, procs: 1 },
+        &minife::MiniFeConfig {
+            n: 12,
+            cg_iters: 40,
+            procs: 1,
+        },
         RunMode::virtual_1s(),
         &HeartbeatPlan::none(),
     );
@@ -70,7 +81,11 @@ fn callgraph_lifting_respects_behavioral_equivalence_on_minife() {
 #[test]
 fn lifting_is_idempotent() {
     let out = minife::run(
-        &minife::MiniFeConfig { n: 10, cg_iters: 30, procs: 1 },
+        &minife::MiniFeConfig {
+            n: 10,
+            cg_iters: 30,
+            procs: 1,
+        },
         RunMode::virtual_1s(),
         &HeartbeatPlan::none(),
     );

@@ -83,7 +83,11 @@ fn site_types_follow_call_structure() {
         .flat_map(|p| &p.sites)
         .find(|s| table.name(s.function) == "setup")
         .unwrap();
-    assert_eq!(setup_site.inst_type, InstrumentationType::Body, "setup is called every interval");
+    assert_eq!(
+        setup_site.inst_type,
+        InstrumentationType::Body,
+        "setup is called every interval"
+    );
 
     let sim_site = analysis
         .phases
@@ -107,8 +111,7 @@ fn coverage_percentages_are_consistent() {
     for phase in &analysis.phases {
         for site in &phase.sites {
             // app% = phase% × |phase| / total.
-            let expected_app =
-                site.phase_pct * phase.intervals.len() as f64 / n_total as f64;
+            let expected_app = site.phase_pct * phase.intervals.len() as f64 / n_total as f64;
             assert!((site.app_pct - expected_app).abs() < 1e-9);
             assert!(site.phase_pct <= 100.0 + 1e-9);
         }
@@ -149,7 +152,11 @@ fn report_path_reproduces_direct_path_phases() {
     let report_names: std::collections::BTreeSet<String> = via_reports
         .phases
         .iter()
-        .flat_map(|p| p.sites.iter().map(|s| parsed_table.name(s.function).to_string()))
+        .flat_map(|p| {
+            p.sites
+                .iter()
+                .map(|s| parsed_table.name(s.function).to_string())
+        })
         .collect();
     assert_eq!(direct_names, report_names);
 }
@@ -182,7 +189,10 @@ fn gmon_binary_path_roundtrips_through_collector() {
     let f = rt.register_function("kernel");
     let collector = IncProfCollector::manual(
         rt.clone(),
-        CollectorConfig { interval_ns: INTERVAL, encode_gmon: true },
+        CollectorConfig {
+            interval_ns: INTERVAL,
+            encode_gmon: true,
+        },
     );
     for _ in 0..4 {
         let _g = rt.enter(f);

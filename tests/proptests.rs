@@ -1,7 +1,7 @@
 //! Property-based tests over the core data structures and invariants.
 
 use incprof_suite::cluster::{
-    dbscan, kmeans, mean_silhouette, select_k, DbscanParams, Dataset, KMeansConfig,
+    dbscan, kmeans, mean_silhouette, select_k, Dataset, DbscanParams, KMeansConfig,
     KSelectionMethod,
 };
 use incprof_suite::collect::{IntervalMatrix, SampleSeries};
@@ -17,14 +17,18 @@ use proptest::prelude::*;
 // ---------------------------------------------------------------------
 
 fn arb_stats() -> impl Strategy<Value = FunctionStats> {
-    (0u64..10_000_000_000, 0u64..10_000, 0u64..10_000_000_000)
-        .prop_map(|(self_time, calls, child_time)| FunctionStats { self_time, calls, child_time })
+    (0u64..10_000_000_000, 0u64..10_000, 0u64..10_000_000_000).prop_map(
+        |(self_time, calls, child_time)| FunctionStats {
+            self_time,
+            calls,
+            child_time,
+        },
+    )
 }
 
 fn arb_flat(max_fns: u32) -> impl Strategy<Value = FlatProfile> {
-    proptest::collection::btree_map(0u32..max_fns, arb_stats(), 0..16).prop_map(|m| {
-        m.into_iter().map(|(id, s)| (FunctionId(id), s)).collect()
-    })
+    proptest::collection::btree_map(0u32..max_fns, arb_stats(), 0..16)
+        .prop_map(|m| m.into_iter().map(|(id, s)| (FunctionId(id), s)).collect())
 }
 
 /// A monotone cumulative series: start from one profile and only add.
@@ -42,11 +46,8 @@ fn arb_cumulative_series() -> impl Strategy<Value = Vec<FlatProfile>> {
 
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     (1usize..5).prop_flat_map(|d| {
-        proptest::collection::vec(
-            proptest::collection::vec(-100.0f64..100.0, d..=d),
-            2..24,
-        )
-        .prop_map(Dataset::from_rows)
+        proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, d..=d), 2..24)
+            .prop_map(Dataset::from_rows)
     })
 }
 
@@ -198,7 +199,12 @@ proptest! {
 /// function (so full coverage is achievable).
 fn arb_interval_profiles() -> impl Strategy<Value = Vec<FlatProfile>> {
     proptest::collection::vec(
-        (0u32..6, 1u64..5_000_000_000, 0u64..50, proptest::collection::btree_map(0u32..6, arb_stats(), 0..4)),
+        (
+            0u32..6,
+            1u64..5_000_000_000,
+            0u64..50,
+            proptest::collection::btree_map(0u32..6, arb_stats(), 0..4),
+        ),
         2..30,
     )
     .prop_map(|entries| {
@@ -206,7 +212,14 @@ fn arb_interval_profiles() -> impl Strategy<Value = Vec<FlatProfile>> {
             .into_iter()
             .map(|(anchor, self_time, calls, extra)| {
                 let mut p = FlatProfile::new();
-                p.set(FunctionId(anchor), FunctionStats { self_time, calls, child_time: 0 });
+                p.set(
+                    FunctionId(anchor),
+                    FunctionStats {
+                        self_time,
+                        calls,
+                        child_time: 0,
+                    },
+                );
                 for (id, mut s) in extra {
                     // Keep extra entries nonzero-safe.
                     s.self_time = s.self_time.max(1);

@@ -15,7 +15,10 @@ fn graph500_ranks_are_symmetric() {
             procs: 4,
             ..graph500::Graph500Config::tiny()
         },
-        RunMode::Wall { interval_ns: 50_000_000, profile: true },
+        RunMode::Wall {
+            interval_ns: 50_000_000,
+            profile: true,
+        },
         &HeartbeatPlan::none(),
     );
     assert_eq!(out.rank_profiles.len(), 4);
@@ -39,8 +42,15 @@ fn graph500_ranks_are_symmetric() {
 #[test]
 fn minife_rank_profiles_cover_all_kernels() {
     let out = minife::run(
-        &minife::MiniFeConfig { n: 6, cg_iters: 10, procs: 3 },
-        RunMode::Wall { interval_ns: 50_000_000, profile: true },
+        &minife::MiniFeConfig {
+            n: 6,
+            cg_iters: 10,
+            procs: 3,
+        },
+        RunMode::Wall {
+            interval_ns: 50_000_000,
+            profile: true,
+        },
         &HeartbeatPlan::none(),
     );
     assert_eq!(out.rank_profiles.len(), 3);

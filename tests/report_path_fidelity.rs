@@ -27,7 +27,10 @@ fn graph500_report_path_matches_direct_path() {
         .detect_series_via_reports(&out.rank0.series, &out.rank0.table)
         .unwrap();
 
-    assert_eq!(direct.k, via_reports.k, "phase count must survive report rounding");
+    assert_eq!(
+        direct.k, via_reports.k,
+        "phase count must survive report rounding"
+    );
 
     // The dominant discovered site (by app %) must be the same function.
     let dominant_name = |analysis: &incprof_suite::core::PhaseAnalysis,
