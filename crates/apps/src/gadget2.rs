@@ -382,14 +382,11 @@ fn compute_accelerations(
     let _pe = ctx.rt.enter(funcs.id(F_TREE_EVAL));
     let _he = plan.body_scope(&ctx.ekg, FUNC_NAMES[F_TREE_EVAL]);
     // Per-particle walks are independent: compute them data-parallel
-    // (deterministic — `collect` preserves order and each walk only
-    // reads the tree), then charge the virtual cost in interval-sized
-    // chunks so snapshots land mid-walk exactly as before.
-    use rayon::prelude::*;
-    let results: Vec<([f64; 3], u64)> = (0..pos.len())
-        .into_par_iter()
-        .map(|i| tree_force(&tree, &pos[i], theta))
-        .collect();
+    // (deterministic — results are assembled in particle order and each
+    // walk only reads the tree), then charge the virtual cost in
+    // interval-sized chunks so snapshots land mid-walk exactly as before.
+    let results: Vec<([f64; 3], u64)> =
+        incprof_par::par_map_index(pos.len(), |i| tree_force(&tree, &pos[i], theta));
     let mut visits_chunk = 0u64;
     for (i, (f, visits)) in results.into_iter().enumerate() {
         let _l = plan.loop_scope(&ctx.ekg, FUNC_NAMES[F_TREE_EVAL]);

@@ -1,7 +1,7 @@
 //! Mini MiniFE (paper §VI-B, Table III, Fig. 3).
 //!
 //! An implicit finite-element mini-app in the shape of Mantevo MiniFE:
-//! "the first [kernel] generates the matrix/vector mesh structures, the
+//! "the first \[kernel\] generates the matrix/vector mesh structures, the
 //! second assembles the mesh into sparse matrices, the third performs
 //! sparse matrix operations during a conjugate-gradient solver, and the
 //! fourth performs various vector operations."

@@ -21,6 +21,9 @@
 //!
 //! global:  --metrics <path>  write an observability run report on exit
 //!          --verbose         raise logging to debug
+//!          --threads <n>     analysis worker threads (default: the
+//!                            INCPROF_THREADS environment variable, else
+//!                            all available cores)
 //! ```
 //!
 //! Exit status: 0 on success, 2 on usage errors, 1 on runtime (I/O,
@@ -371,10 +374,13 @@ pub struct GlobalFlags {
     /// Raise logging to debug (equivalent to `INCPROF_LOG=debug`, except
     /// the environment still wins where it asks for more).
     pub verbose: bool,
+    /// Worker-thread count for the parallel analysis paths (overrides
+    /// `INCPROF_THREADS`; `None` leaves the default sizing in place).
+    pub threads: Option<usize>,
 }
 
-/// Strip `--metrics <path>` and `--verbose` out of `args`, returning the
-/// parsed globals plus the remaining arguments.
+/// Strip `--metrics <path>`, `--verbose`, and `--threads <n>` out of
+/// `args`, returning the parsed globals plus the remaining arguments.
 pub fn split_global_flags(args: &[String]) -> Result<(GlobalFlags, Vec<String>), CliError> {
     let mut globals = GlobalFlags::default();
     let mut rest = Vec::new();
@@ -389,6 +395,18 @@ pub fn split_global_flags(args: &[String]) -> Result<(GlobalFlags, Vec<String>),
                 globals.metrics = Some(std::path::PathBuf::from(path));
             }
             "--verbose" => globals.verbose = true,
+            "--threads" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--threads requires a count".into()))?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("bad --threads: {e}")))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--threads must be at least 1".into()));
+                }
+                globals.threads = Some(n);
+            }
             _ => rest.push(args[i].clone()),
         }
         i += 1;
@@ -403,6 +421,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let (globals, rest) = split_global_flags(args)?;
     if globals.verbose {
         incprof_obs::logger::raise_level(incprof_obs::Level::Debug);
+    }
+    if let Some(n) = globals.threads {
+        incprof_par::set_threads(n);
     }
     let result = dispatch(&rest);
     if let Some(path) = &globals.metrics {
@@ -487,7 +508,10 @@ global options (any command):
   --metrics <path>   write an observability run report (counters, span
                      tree, latency histograms) as JSON; a .jsonl path
                      selects one record per line
-  --verbose          raise logging to debug (see also INCPROF_LOG)";
+  --verbose          raise logging to debug (see also INCPROF_LOG)
+  --threads <n>      worker threads for the parallel analysis paths
+                     (default: INCPROF_THREADS, else all cores; results
+                     are identical for every setting)";
 
 #[cfg(test)]
 mod tests {
@@ -593,6 +617,25 @@ mod tests {
         let (g, rest) = split_global_flags(&s(&["demo", "x.json"])).unwrap();
         assert_eq!(g, GlobalFlags::default());
         assert_eq!(rest, s(&["demo", "x.json"]));
+    }
+
+    #[test]
+    fn threads_flag_parses_and_rejects_garbage() {
+        let (g, rest) = split_global_flags(&s(&["--threads", "4", "demo", "x.json"])).unwrap();
+        assert_eq!(g.threads, Some(4));
+        assert_eq!(rest, s(&["demo", "x.json"]));
+        assert!(matches!(
+            split_global_flags(&s(&["--threads"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            split_global_flags(&s(&["--threads", "0"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            split_global_flags(&s(&["--threads", "many"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -27,6 +27,56 @@ pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
 }
 
+/// A dense `n × n` matrix of Euclidean distances between dataset rows,
+/// computed row-parallel on the [`incprof_par`] pool.
+///
+/// Silhouette scoring (and any other all-pairs consumer) is quadratic in
+/// the interval count either way; materializing the matrix once lets the
+/// `select_k` sweep share it across every k ≥ 2 instead of recomputing
+/// the same `n²` distances per candidate k. Entry `(i, j)` is exactly
+/// `euclidean(data.row(i), data.row(j))` — same operands, same order —
+/// so downstream sums are bit-identical to the on-the-fly formulation.
+#[derive(Debug, Clone)]
+pub struct PairwiseDistances {
+    n: usize,
+    dist: Vec<f64>,
+}
+
+impl PairwiseDistances {
+    /// Compute all pairwise Euclidean distances of `data`'s rows, one
+    /// pool task per row block.
+    pub fn euclidean_of(data: &crate::dataset::Dataset) -> PairwiseDistances {
+        let n = data.nrows();
+        let rows: Vec<Vec<f64>> = incprof_par::par_map_index(n, |i| {
+            (0..n)
+                .map(|j| euclidean(data.row(i), data.row(j)))
+                .collect()
+        });
+        let mut dist = Vec::with_capacity(n * n);
+        for row in rows {
+            dist.extend(row);
+        }
+        PairwiseDistances { n, dist }
+    }
+
+    /// Number of rows (and columns).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between rows `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.dist[i * self.n + j]
+    }
+
+    /// The distances from row `i` to every row, as a slice of length `n`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.dist[i * self.n..(i + 1) * self.n]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +110,24 @@ mod tests {
     #[test]
     fn empty_vectors_have_zero_distance() {
         assert_eq!(sq_euclidean(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn pairwise_matches_direct_distances() {
+        let data = crate::dataset::Dataset::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![3.0, 4.0],
+            vec![-1.0, 1.0],
+        ]);
+        let pair = PairwiseDistances::euclidean_of(&data);
+        assert_eq!(pair.n(), 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let direct = euclidean(data.row(i), data.row(j));
+                assert_eq!(pair.get(i, j).to_bits(), direct.to_bits());
+            }
+        }
+        assert_eq!(pair.get(0, 1), 5.0);
+        assert_eq!(pair.row(1).len(), 3);
     }
 }

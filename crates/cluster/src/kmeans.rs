@@ -122,7 +122,8 @@ fn lloyd(data: &Dataset, config: &KMeansConfig, rng: &mut StdRng) -> KMeansResul
 
     // Parallelize the assignment step (each point's argmin is
     // independent and deterministic) once the work justifies the
-    // fork/join overhead.
+    // fork/join overhead. Inside a `select_k` sweep this call already
+    // runs on a pool worker, so the nested call degrades to sequential.
     let parallel = n * k * d >= 200_000;
 
     for iter in 0..config.max_iters {
@@ -142,8 +143,7 @@ fn lloyd(data: &Dataset, config: &KMeansConfig, rng: &mut StdRng) -> KMeansResul
             best_c
         };
         let new_assignments: Vec<usize> = if parallel {
-            use rayon::prelude::*;
-            (0..n).into_par_iter().map(nearest).collect()
+            incprof_par::par_map_index(n, nearest)
         } else {
             (0..n).map(nearest).collect()
         };

@@ -8,20 +8,24 @@
 //! crate implements all of those from scratch, deterministically:
 //!
 //! * [`Dataset`] — a dense `n × d` matrix of interval feature vectors.
-//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding, multiple
+//! * [`kmeans()`] — Lloyd's algorithm with k-means++ seeding, multiple
 //!   seeded restarts, and empty-cluster repair.
-//! * [`select_k`] — the elbow (maximum distance to the WCSS chord) and
+//! * [`select_k()`] — the elbow (maximum distance to the WCSS chord) and
 //!   mean-silhouette criteria over a range of k.
 //! * [`silhouette`] — silhouette coefficients.
-//! * [`dbscan`] — density-based clustering, used by the paper's (negative)
+//! * [`dbscan()`] — density-based clustering, used by the paper's (negative)
 //!   ablation and reproduced here for the same comparison.
 //! * [`scale`] — feature scaling options (none / min-max / z-score /
 //!   row-normalize).
 //!
 //! Everything is seeded explicitly; there is no global RNG state, so the
-//! whole phase-detection pipeline is reproducible run-to-run.
+//! whole phase-detection pipeline is reproducible run-to-run. The hot
+//! paths (the k sweep, Lloyd's assignment step, the pairwise-distance
+//! matrix behind silhouette scoring) run on the [`incprof_par`] worker
+//! pool with deterministic chunking, so results are additionally
+//! bit-identical for every `INCPROF_THREADS` setting.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 // Numerical kernels index several parallel arrays in one loop; the
 // iterator rewrite clippy suggests hurts readability there.
@@ -39,7 +43,10 @@ pub mod silhouette;
 pub use compare::{adjusted_rand_index, rand_index};
 pub use dataset::Dataset;
 pub use dbscan::{dbscan, DbscanLabel, DbscanParams};
+pub use distance::PairwiseDistances;
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
 pub use scale::Scaling;
 pub use select_k::{select_k, KSelection, KSelectionMethod, KSweep};
-pub use silhouette::{mean_silhouette, silhouette_values};
+pub use silhouette::{
+    mean_silhouette, mean_silhouette_pre, silhouette_values, silhouette_values_pre,
+};

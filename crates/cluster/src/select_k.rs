@@ -9,8 +9,9 @@
 //! the alternative the paper also evaluated.
 
 use crate::dataset::Dataset;
+use crate::distance::PairwiseDistances;
 use crate::kmeans::{kmeans, KMeansConfig, KMeansResult};
-use crate::silhouette::mean_silhouette;
+use crate::silhouette::mean_silhouette_pre;
 
 /// Which criterion picks k.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,32 +51,46 @@ pub struct KSelection {
 
 /// Sweep k = 1..=`k_max` (capped at the number of points) and return all
 /// per-k measurements.
+///
+/// The per-k runs are independent, so the sweep fans out one
+/// [`incprof_par`] pool task per k (self-scheduled — the expensive large
+/// k's do not stall the cheap ones) after computing the pairwise-distance
+/// matrix once for every silhouette evaluation. Results are assembled in
+/// k order and are bit-identical for any worker count.
 pub fn sweep_k(data: &Dataset, k_max: usize, base: &KMeansConfig) -> KSweep {
     let _sweep_span = incprof_obs::span("cluster.select_k.sweep");
     let cap = k_max.min(data.nrows()).max(1);
-    let mut ks = Vec::new();
-    let mut results = Vec::new();
-    let mut wcss = Vec::new();
-    let mut silhouettes = Vec::new();
-    for k in 1..=cap {
-        let _k_span = incprof_obs::span(format!("cluster.select_k.k{k}"));
-        let cfg = KMeansConfig { k, ..base.clone() };
-        let res = kmeans(data, &cfg);
-        ks.push(k);
-        wcss.push(res.wcss);
-        silhouettes.push(if k >= 2 {
-            mean_silhouette(data, &res.assignments)
-        } else {
-            None
+    let pair = if cap >= 2 {
+        let _pair_span = incprof_obs::span("cluster.select_k.pairwise");
+        Some(PairwiseDistances::euclidean_of(data))
+    } else {
+        None
+    };
+    let per_k: Vec<(KMeansResult, Option<f64>)> =
+        incprof_par::Pool::current().map_index(cap, 1, |i| {
+            let k = i + 1;
+            let _k_span = incprof_obs::span(format!("cluster.select_k.k{k}"));
+            let cfg = KMeansConfig { k, ..base.clone() };
+            let res = kmeans(data, &cfg);
+            let sil = match (&pair, k >= 2) {
+                (Some(pair), true) => mean_silhouette_pre(pair, &res.assignments),
+                _ => None,
+            };
+            (res, sil)
         });
-        results.push(res);
+    let mut sweep = KSweep {
+        ks: Vec::with_capacity(cap),
+        results: Vec::with_capacity(cap),
+        wcss: Vec::with_capacity(cap),
+        silhouettes: Vec::with_capacity(cap),
+    };
+    for (i, (res, sil)) in per_k.into_iter().enumerate() {
+        sweep.ks.push(i + 1);
+        sweep.wcss.push(res.wcss);
+        sweep.silhouettes.push(sil);
+        sweep.results.push(res);
     }
-    KSweep {
-        ks,
-        results,
-        wcss,
-        silhouettes,
-    }
+    sweep
 }
 
 /// Select k for `data` by the given method, sweeping k = 1..=`k_max`.

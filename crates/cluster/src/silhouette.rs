@@ -7,15 +7,27 @@
 //! other cluster; singletons are defined to have silhouette 0.
 
 use crate::dataset::Dataset;
-use crate::distance::euclidean;
+use crate::distance::PairwiseDistances;
 
 /// Per-point silhouette values for the given assignment.
 ///
 /// `k` is taken to be `max(assignments) + 1`. Returns an empty vector when
 /// there are fewer than 2 clusters (silhouette is undefined for k = 1).
+///
+/// Computes the pairwise-distance matrix internally; callers scoring
+/// several assignments of the *same* dataset (the `select_k` sweep)
+/// should build one [`PairwiseDistances`] and use
+/// [`silhouette_values_pre`] instead.
 pub fn silhouette_values(data: &Dataset, assignments: &[usize]) -> Vec<f64> {
     assert_eq!(data.nrows(), assignments.len(), "one assignment per row");
-    let n = data.nrows();
+    silhouette_values_pre(&PairwiseDistances::euclidean_of(data), assignments)
+}
+
+/// Per-point silhouette values against a precomputed distance matrix
+/// (see [`silhouette_values`]; one pool task per point block).
+pub fn silhouette_values_pre(pair: &PairwiseDistances, assignments: &[usize]) -> Vec<f64> {
+    assert_eq!(pair.n(), assignments.len(), "one assignment per row");
+    let n = pair.n();
     let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
     if k < 2 {
         return Vec::new();
@@ -24,21 +36,21 @@ pub fn silhouette_values(data: &Dataset, assignments: &[usize]) -> Vec<f64> {
     for &a in assignments {
         sizes[a] += 1;
     }
+    let sizes = &sizes;
 
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
+    incprof_par::par_map_index(n, |i| {
         let own = assignments[i];
         if sizes[own] <= 1 {
-            out.push(0.0); // singleton convention
-            continue;
+            return 0.0; // singleton convention
         }
         // Mean distance to every cluster.
         let mut sums = vec![0.0f64; k];
+        let row = pair.row(i);
         for j in 0..n {
             if i == j {
                 continue;
             }
-            sums[assignments[j]] += euclidean(data.row(i), data.row(j));
+            sums[assignments[j]] += row[j];
         }
         let a = sums[own] / (sizes[own] - 1) as f64;
         let b = (0..k)
@@ -46,15 +58,26 @@ pub fn silhouette_values(data: &Dataset, assignments: &[usize]) -> Vec<f64> {
             .map(|c| sums[c] / sizes[c] as f64)
             .fold(f64::INFINITY, f64::min);
         let denom = a.max(b);
-        out.push(if denom > 0.0 { (b - a) / denom } else { 0.0 });
-    }
-    out
+        if denom > 0.0 {
+            (b - a) / denom
+        } else {
+            0.0
+        }
+    })
 }
 
 /// Mean silhouette over all points; `None` when silhouette is undefined
 /// (fewer than 2 clusters or no points).
 pub fn mean_silhouette(data: &Dataset, assignments: &[usize]) -> Option<f64> {
-    let vals = silhouette_values(data, assignments);
+    mean_of(&silhouette_values(data, assignments))
+}
+
+/// Mean silhouette against a precomputed distance matrix.
+pub fn mean_silhouette_pre(pair: &PairwiseDistances, assignments: &[usize]) -> Option<f64> {
+    mean_of(&silhouette_values_pre(pair, assignments))
+}
+
+fn mean_of(vals: &[f64]) -> Option<f64> {
     if vals.is_empty() {
         None
     } else {
@@ -133,5 +156,21 @@ mod tests {
     fn mismatched_lengths_panic() {
         let data = Dataset::from_rows(vec![vec![0.0]]);
         let _ = silhouette_values(&data, &[0, 0]);
+    }
+
+    #[test]
+    fn precomputed_matrix_gives_identical_values() {
+        let (data, assign) = blobs();
+        let pair = PairwiseDistances::euclidean_of(&data);
+        let direct = silhouette_values(&data, &assign);
+        let pre = silhouette_values_pre(&pair, &assign);
+        assert_eq!(direct.len(), pre.len());
+        for (a, b) in direct.iter().zip(&pre) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            mean_silhouette(&data, &assign),
+            mean_silhouette_pre(&pair, &assign)
+        );
     }
 }

@@ -9,7 +9,8 @@
 //!   skipped — it is covered (lines 7–9);
 //! * within an interval, active functions are sorted by call count
 //!   ascending (the phase-median count, compared by order of magnitude —
-//!   see [`phase_median_calls`] and [`call_bucket`]), then rank
+//!   see the private `phase_median_calls` and `call_bucket` helpers),
+//!   then rank
 //!   descending (line 10); ties break on interval self time descending,
 //!   then function id for determinism;
 //! * the chosen function is tagged *body* if it had calls in the interval

@@ -261,6 +261,22 @@ impl PhaseDetector {
             .collect()
     }
 
+    /// Detect phases for several independent runs concurrently, one
+    /// [`incprof_par`] pool task per matrix.
+    ///
+    /// Within a task the nested clustering parallelism runs sequentially
+    /// (the pool does not nest), so each entry of the result is
+    /// bit-identical to calling [`PhaseDetector::detect`] on that matrix
+    /// alone — this only buys wall-clock time when analyzing a batch
+    /// (e.g. one run per rank, or an experiment sweep).
+    pub fn detect_many(
+        &self,
+        matrices: &[IntervalMatrix],
+    ) -> Vec<Result<PhaseAnalysis, PipelineError>> {
+        let _span = incprof_obs::span("core.pipeline.detect_many");
+        incprof_par::Pool::current().map_index(matrices.len(), 1, |i| self.detect(&matrices[i]))
+    }
+
     /// Detect phases from a cumulative sample series (runs the delta step
     /// first).
     pub fn detect_series(&self, series: &SampleSeries) -> Result<PhaseAnalysis, PipelineError> {
@@ -443,6 +459,34 @@ mod tests {
         let b = det.detect(&matrix).unwrap();
         assert_eq!(a.assignments, b.assignments);
         assert_eq!(a.phases, b.phases);
+    }
+
+    #[test]
+    fn detect_many_matches_sequential_detects() {
+        let matrices = vec![
+            planted_two_phase_matrix(),
+            IntervalMatrix::from_interval_profiles(
+                &(0..12)
+                    .map(|_| profile(&[(0, 1_000_000_000, 3)]))
+                    .collect::<Vec<_>>(),
+            ),
+            IntervalMatrix::from_interval_profiles(&[]),
+        ];
+        let det = PhaseDetector::new();
+        let many = det.detect_many(&matrices);
+        assert_eq!(many.len(), 3);
+        for (matrix, got) in matrices.iter().zip(&many) {
+            match (det.detect(matrix), got) {
+                (Ok(solo), Ok(batched)) => {
+                    assert_eq!(solo.k, batched.k);
+                    assert_eq!(solo.assignments, batched.assignments);
+                    assert_eq!(solo.phases, batched.phases);
+                    assert_eq!(solo.wcss_sweep, batched.wcss_sweep);
+                }
+                (Err(PipelineError::NoIntervals), Err(PipelineError::NoIntervals)) => {}
+                (solo, batched) => panic!("mismatch: {solo:?} vs {batched:?}"),
+            }
+        }
     }
 
     #[test]

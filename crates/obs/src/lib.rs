@@ -5,11 +5,11 @@
 //!
 //! * [`metrics`] — lock-free [`Counter`]s, [`Gauge`]s, and fixed-bucket
 //!   latency [`Histogram`]s in a named [`MetricsRegistry`];
-//! * [`span`] — RAII [`SpanGuard`]s recording nested stage durations
+//! * [`mod@span`] — RAII [`SpanGuard`]s recording nested stage durations
 //!   against wall or virtual time;
 //! * [`logger`] — leveled stderr logging gated by `INCPROF_LOG`
 //!   (macros [`error!`], [`warn!`], [`info!`], [`debug!`], [`trace!`]);
-//! * [`report`] — a serializable [`RunReport`] snapshotting everything
+//! * [`mod@report`] — a serializable [`RunReport`] snapshotting everything
 //!   above, for `incprof --metrics <path>` and the bench harness.
 //!
 //! Metric names follow `<crate>.<subsystem>.<name>`, e.g.

@@ -12,6 +12,8 @@ pub use hpc_apps;
 pub use incprof_cluster as cluster;
 pub use incprof_collect as collect;
 pub use incprof_core as core;
+pub use incprof_obs as obs;
+pub use incprof_par as par;
 pub use incprof_profile as profile;
 pub use incprof_runtime as runtime;
 pub use mpi_sim;
