@@ -29,6 +29,7 @@ impl<S: Sink + Send + 'static> PeriodicFlusher<S> {
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
         let thread_ekg = ekg.clone();
+        // lint: allow(D03, the flusher IS appekg's background drain thread; it predates incprof-par and does no analysis work)
         let thread = std::thread::spawn(move || {
             let mut sink = sink;
             while !thread_stop.load(Ordering::Acquire) {

@@ -11,6 +11,8 @@
 //!                                       cumulative report per interval,
 //!                                       lexicographic file order)
 //! incprof analyze-json <dump> [opts]    analyze a collected run dump
+//! incprof lint [root] [--json] [-D]     run the workspace invariant
+//!                                       lints (see docs/LINTS.md)
 //!
 //! options: --threshold <f>   Algorithm 1 coverage threshold (0.95)
 //!          --kmax <n>        maximum k for the sweep (8)
@@ -66,6 +68,9 @@ pub enum CliError {
     Json(serde_json::Error),
     /// Profile-data or pipeline failure.
     Pipeline(String),
+    /// `incprof lint` found violations; the payload is the rendered
+    /// report (already formatted for the terminal or as JSON).
+    Lint(String),
 }
 
 impl fmt::Display for CliError {
@@ -75,6 +80,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "I/O error: {e}"),
             CliError::Json(e) => write!(f, "JSON error: {e}"),
             CliError::Pipeline(m) => write!(f, "analysis error: {m}"),
+            CliError::Lint(report) => write!(f, "{report}"),
         }
     }
 }
@@ -364,6 +370,51 @@ pub fn demo(out_path: &Path) -> Result<String, CliError> {
     ))
 }
 
+/// `incprof lint [root] [--json] [--deny-warnings|-D]`: run the
+/// workspace invariant lints (D01..P01; see `docs/LINTS.md`). With no
+/// root argument the workspace is discovered upward from the current
+/// directory. Violations come back as [`CliError::Lint`] carrying the
+/// rendered report, which the binary prints before exiting nonzero.
+pub fn lint_cmd(args: &[String]) -> Result<String, CliError> {
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut json = false;
+    let mut cfg = incprof_lint::Config::default();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "-D" | "--deny-warnings" => cfg.deny_warnings = true,
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown lint option {flag}")));
+            }
+            path => {
+                if root.is_some() {
+                    return Err(CliError::Usage(format!(
+                        "unexpected extra lint argument {path}"
+                    )));
+                }
+                root = Some(std::path::PathBuf::from(path));
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => incprof_lint::find_workspace_root(&std::env::current_dir()?).ok_or_else(|| {
+            CliError::Usage("no workspace root found; pass one: incprof lint <root>".into())
+        })?,
+    };
+    let report = incprof_lint::lint_workspace(&root, &cfg)?;
+    let rendered = if json {
+        report.render_json()
+    } else {
+        report.render_human()
+    };
+    if report.is_clean() {
+        Ok(rendered)
+    } else {
+        Err(CliError::Lint(rendered))
+    }
+}
+
 /// Global flags accepted anywhere on the command line, ahead of the
 /// per-command options.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -483,6 +534,7 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
             let opts = parse_options(&args[2..])?;
             analyze_json(Path::new(dump), &opts)
         }
+        Some("lint") => lint_cmd(&args[1..]),
         Some(other) => Err(CliError::Usage(format!("unknown command {other}\n{USAGE}"))),
         None => Err(CliError::Usage(USAGE.to_string())),
     }
@@ -503,6 +555,7 @@ incprof — source-oriented phase identification (IncProf, CLUSTER 2022)
   incprof analyze-reports <dir> [--threshold f] [--kmax n] [--silhouette]
                                 [--dbscan eps min_pts] [--merge] [--json]
   incprof analyze-json <dump.json> [same options]
+  incprof lint [root] [--json] [--deny-warnings|-D]
 
 global options (any command):
   --metrics <path>   write an observability run report (counters, span
@@ -678,7 +731,7 @@ mod tests {
         // The pipeline span tree: detect with its stages as children, and
         // the stages accounting for (almost) all of the total.
         let detect = report
-            .find_span("core.pipeline.detect")
+            .find_span(incprof_obs::names::CORE_PIPELINE_DETECT)
             .expect("detect span");
         let stages: Vec<&str> = detect.children.iter().map(|c| c.name.as_str()).collect();
         assert!(stages.contains(&"core.pipeline.features"), "{stages:?}");
@@ -704,6 +757,24 @@ mod tests {
         assert!(text.lines().count() > 3);
         assert!(text.lines().all(|l| l.starts_with('{')));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lint_subcommand_runs_clean_on_this_workspace() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let root = root.to_str().unwrap();
+        let out = run(&s(&["lint", root])).unwrap();
+        assert!(out.contains("0 errors"), "{out}");
+        let json = run(&s(&["lint", root, "--json", "-D"])).unwrap();
+        assert!(json.contains("\"files_scanned\""), "{json}");
+        assert!(matches!(
+            run(&s(&["lint", "--bogus"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&s(&["lint", root, "extra"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

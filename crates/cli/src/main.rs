@@ -9,6 +9,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match incprof_cli::run(&args) {
         Ok(output) => println!("{output}"),
+        Err(CliError::Lint(report)) => {
+            // The rendered lint report IS the output; no log framing.
+            println!("{report}");
+            std::process::exit(1);
+        }
         Err(e @ CliError::Usage(_)) => {
             incprof_obs::error!("{e}");
             eprintln!("{}", incprof_cli::USAGE);

@@ -11,6 +11,7 @@
 #[inline]
 pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
+    // lint: allow(D04, per-pair accumulation over feature dimensions in index order; no parallel split crosses this sum)
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
@@ -24,6 +25,7 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
 #[inline]
 pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
+    // lint: allow(D04, per-pair accumulation over feature dimensions in index order; no parallel split crosses this sum)
     a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
 }
 

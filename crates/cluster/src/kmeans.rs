@@ -106,7 +106,9 @@ pub fn kmeans(data: &Dataset, config: &KMeansConfig) -> KMeansResult {
             best = Some(result);
         }
     }
-    incprof_obs::counter(&format!("cluster.kmeans.iterations.k{}", config.k)).add(total_iterations);
+    incprof_obs::counter(&incprof_obs::names::cluster_kmeans_iterations(config.k))
+        .add(total_iterations);
+    // lint: allow(P01, restarts.max(1) above guarantees the loop body ran at least once)
     best.expect("at least one restart ran")
 }
 
@@ -176,8 +178,9 @@ fn lloyd(data: &Dataset, config: &KMeansConfig, rng: &mut StdRng) -> KMeansResul
                     .max_by(|&a, &b| {
                         let da = sq_euclidean(data.row(a), centroids.row(assignments[a]));
                         let db = sq_euclidean(data.row(b), centroids.row(assignments[b]));
-                        da.partial_cmp(&db).unwrap()
+                        da.total_cmp(&db)
                     })
+                    // lint: allow(P01, lloyd is only reachable with a non-empty dataset so max_by has candidates)
                     .expect("n >= 1");
                 let row = data.row(far).to_vec();
                 movement += sq_euclidean(&row, centroids.row(c));
@@ -202,11 +205,12 @@ fn lloyd(data: &Dataset, config: &KMeansConfig, rng: &mut StdRng) -> KMeansResul
 
     // Centroid movement of the final iteration, in picounits (×1e12) so
     // sub-tolerance deltas still land in distinguishable buckets.
-    incprof_obs::histogram("cluster.kmeans.convergence_delta_e12")
+    incprof_obs::histogram(incprof_obs::names::CLUSTER_KMEANS_CONVERGENCE_DELTA_E12)
         .record((last_movement * 1e12) as u64);
 
     let wcss = (0..n)
         .map(|i| sq_euclidean(data.row(i), centroids.row(assignments[i])))
+        // lint: allow(D04, WCSS is summed sequentially in point order on the caller thread after assignment settles)
         .sum();
     KMeansResult {
         assignments,
@@ -234,6 +238,7 @@ fn kmeanspp_init(data: &Dataset, k: usize, rng: &mut StdRng) -> Dataset {
                 min_sq[i] = dist;
             }
         }
+        // lint: allow(D04, kmeans++ seeding is sequential by construction; the running distance sum never crosses threads)
         let total: f64 = min_sq.iter().sum();
         let chosen = if total > 0.0 {
             let mut target = rng.gen::<f64>() * total;

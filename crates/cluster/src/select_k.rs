@@ -58,10 +58,10 @@ pub struct KSelection {
 /// matrix once for every silhouette evaluation. Results are assembled in
 /// k order and are bit-identical for any worker count.
 pub fn sweep_k(data: &Dataset, k_max: usize, base: &KMeansConfig) -> KSweep {
-    let _sweep_span = incprof_obs::span("cluster.select_k.sweep");
+    let _sweep_span = incprof_obs::span(incprof_obs::names::CLUSTER_SELECT_K_SWEEP);
     let cap = k_max.min(data.nrows()).max(1);
     let pair = if cap >= 2 {
-        let _pair_span = incprof_obs::span("cluster.select_k.pairwise");
+        let _pair_span = incprof_obs::span(incprof_obs::names::CLUSTER_SELECT_K_PAIRWISE);
         Some(PairwiseDistances::euclidean_of(data))
     } else {
         None
@@ -69,7 +69,7 @@ pub fn sweep_k(data: &Dataset, k_max: usize, base: &KMeansConfig) -> KSweep {
     let per_k: Vec<(KMeansResult, Option<f64>)> =
         incprof_par::Pool::current().map_index(cap, 1, |i| {
             let k = i + 1;
-            let _k_span = incprof_obs::span(format!("cluster.select_k.k{k}"));
+            let _k_span = incprof_obs::span(incprof_obs::names::cluster_select_k_k(k));
             let cfg = KMeansConfig { k, ..base.clone() };
             let res = kmeans(data, &cfg);
             let sil = match (&pair, k >= 2) {

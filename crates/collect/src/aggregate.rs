@@ -130,7 +130,7 @@ impl RankAggregate {
             .filter(|(_, a)| a.mean_self_secs > 0.0)
             .map(|(&id, a)| (id, a.cv()))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(k);
         v
     }

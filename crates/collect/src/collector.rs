@@ -59,13 +59,14 @@ impl CollectorShared {
         if self.config.encode_gmon {
             let gmon = snap.to_gmon(&self.runtime.function_table());
             let bytes = gmon.encode().to_vec();
-            incprof_obs::counter("collect.gmon.encoded_bytes").add(bytes.len() as u64);
+            incprof_obs::counter(incprof_obs::names::COLLECT_GMON_ENCODED_BYTES)
+                .add(bytes.len() as u64);
             self.gmon_dumps.lock().push(bytes);
         }
         self.series.lock().push(snap);
-        incprof_obs::histogram("collect.snapshot.latency_ns")
+        incprof_obs::histogram(incprof_obs::names::COLLECT_SNAPSHOT_LATENCY_NS)
             .record(started.elapsed().as_nanos() as u64);
-        incprof_obs::counter("collect.snapshot.count").inc();
+        incprof_obs::counter(incprof_obs::names::COLLECT_SNAPSHOT_COUNT).inc();
     }
 }
 
@@ -125,7 +126,8 @@ impl IncProfCollector {
                     std::thread::sleep((deadline - now).min(slice));
                 }
                 let lateness_ns = (Instant::now() - deadline).as_nanos() as u64;
-                incprof_obs::histogram("collect.collector.tick_jitter_ns").record(lateness_ns);
+                incprof_obs::histogram(incprof_obs::names::COLLECT_TICK_JITTER_NS)
+                    .record(lateness_ns);
                 shared.take_sample();
                 // If sampling overran one or more whole intervals, jump to
                 // the next future deadline instead of firing a burst of
@@ -134,7 +136,7 @@ impl IncProfCollector {
                 let next_due = elapsed_ns / interval_ns + 1;
                 if next_due > tick + 1 {
                     let missed = next_due - tick - 1;
-                    incprof_obs::counter("collect.collector.ticks_missed").add(missed);
+                    incprof_obs::counter(incprof_obs::names::COLLECT_TICKS_MISSED).add(missed);
                     incprof_obs::warn!(
                         "collector overran {missed} tick(s) at interval {interval_ns} ns"
                     );
@@ -304,7 +306,7 @@ mod tests {
         assert!(series.len() >= 7, "only {} samples in 105 ms", series.len());
         assert!(series.len() <= 12, "{} samples in 105 ms", series.len());
         // Every tick recorded its wakeup lateness.
-        let jitter = incprof_obs::histogram("collect.collector.tick_jitter_ns");
+        let jitter = incprof_obs::histogram(incprof_obs::names::COLLECT_TICK_JITTER_NS);
         assert!(jitter.count() >= series.len() as u64 - 1);
     }
 

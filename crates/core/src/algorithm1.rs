@@ -151,8 +151,7 @@ fn select_sites_for_phase(
     let mut order: Vec<usize> = (0..n_phase).collect();
     order.sort_by(|&a, &b| {
         cluster.centroid_dist[a]
-            .partial_cmp(&cluster.centroid_dist[b])
-            .unwrap()
+            .total_cmp(&cluster.centroid_dist[b])
             .then(cluster.intervals[a].cmp(&cluster.intervals[b]))
     });
 
@@ -195,7 +194,7 @@ fn select_sites_for_phase(
         active.sort_by(|&a, &b| {
             call_bucket(median_calls[a])
                 .cmp(&call_bucket(median_calls[b]))
-                .then(ranks[b].partial_cmp(&ranks[a]).unwrap())
+                .then(ranks[b].total_cmp(&ranks[a]))
                 // Residual tie (same call magnitude, same rank — e.g. the
                 // per-timestep kernels of an iterative solver): prefer the
                 // function that dominates the interval's time, i.e. the
@@ -203,8 +202,7 @@ fn select_sites_for_phase(
                 .then(
                     matrix
                         .self_secs(interval, b)
-                        .partial_cmp(&matrix.self_secs(interval, a))
-                        .unwrap(),
+                        .total_cmp(&matrix.self_secs(interval, a)),
                 )
                 .then(median_calls[a].cmp(&median_calls[b]))
                 .then(matrix.function_at(a).cmp(&matrix.function_at(b)))

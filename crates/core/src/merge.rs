@@ -70,6 +70,7 @@ pub fn merge_phases_with_same_sites(analysis: &PhaseAnalysis) -> PhaseAnalysis {
         let sites = site_order
             .into_iter()
             .map(|key| {
+                // lint: allow(P01, site_order and merged_sites are populated in lockstep in the loop above)
                 let mut s = merged_sites.remove(&key).expect("key recorded at insert");
                 s.covered_intervals.sort_unstable();
                 s.phase_pct = 100.0 * s.covered_intervals.len() as f64 / n_phase as f64;

@@ -157,7 +157,7 @@ impl PhaseDetector {
 
     /// Detect phases from an already-built interval matrix.
     pub fn detect(&self, matrix: &IntervalMatrix) -> Result<PhaseAnalysis, PipelineError> {
-        let _detect_span = incprof_obs::span("core.pipeline.detect");
+        let _detect_span = incprof_obs::span(incprof_obs::names::CORE_PIPELINE_DETECT);
         if matrix.n_intervals() == 0 {
             return Err(PipelineError::NoIntervals);
         }
@@ -165,12 +165,12 @@ impl PhaseDetector {
             return Err(PipelineError::NoFunctions);
         }
 
-        let features_span = incprof_obs::span("core.pipeline.features");
+        let features_span = incprof_obs::span(incprof_obs::names::CORE_PIPELINE_FEATURES);
         let raw = Dataset::from_rows(self.build_features(matrix));
         let data = self.scaling.apply(&raw);
         drop(features_span);
 
-        let cluster_span = incprof_obs::span("core.pipeline.cluster");
+        let cluster_span = incprof_obs::span(incprof_obs::names::CORE_PIPELINE_CLUSTER);
         let (assignments, centroids, wcss_sweep, silhouette_sweep) = match &self.clustering {
             ClusteringMethod::KMeans { k_max, selection } => {
                 let base = KMeansConfig {
@@ -195,7 +195,7 @@ impl PhaseDetector {
         };
         drop(cluster_span);
 
-        let algo1_span = incprof_obs::span("core.pipeline.algorithm1");
+        let algo1_span = incprof_obs::span(incprof_obs::names::CORE_PIPELINE_ALGORITHM1);
         let k = assignments.iter().copied().max().unwrap_or(0) + 1;
         let clusters: Vec<ClusterIntervals> = (0..k)
             .map(|c| {
@@ -225,7 +225,7 @@ impl PhaseDetector {
         );
         drop(algo1_span);
 
-        incprof_obs::counter("core.pipeline.detect_runs").inc();
+        incprof_obs::counter(incprof_obs::names::CORE_PIPELINE_DETECT_RUNS).inc();
         incprof_obs::debug!(
             "phase detection: k = {k} over {} intervals × {} functions",
             matrix.n_intervals(),
@@ -273,18 +273,18 @@ impl PhaseDetector {
         &self,
         matrices: &[IntervalMatrix],
     ) -> Vec<Result<PhaseAnalysis, PipelineError>> {
-        let _span = incprof_obs::span("core.pipeline.detect_many");
+        let _span = incprof_obs::span(incprof_obs::names::CORE_PIPELINE_DETECT_MANY);
         incprof_par::Pool::current().map_index(matrices.len(), 1, |i| self.detect(&matrices[i]))
     }
 
     /// Detect phases from a cumulative sample series (runs the delta step
     /// first).
     pub fn detect_series(&self, series: &SampleSeries) -> Result<PhaseAnalysis, PipelineError> {
-        let _series_span = incprof_obs::span("core.pipeline.detect_series");
-        let delta_span = incprof_obs::span("core.pipeline.delta");
+        let _series_span = incprof_obs::span(incprof_obs::names::CORE_PIPELINE_DETECT_SERIES);
+        let delta_span = incprof_obs::span(incprof_obs::names::CORE_PIPELINE_DELTA);
         let intervals = series.interval_profiles()?;
         drop(delta_span);
-        let matrix_span = incprof_obs::span("core.pipeline.matrix");
+        let matrix_span = incprof_obs::span(incprof_obs::names::CORE_PIPELINE_MATRIX);
         let matrix = IntervalMatrix::from_interval_profiles(&intervals);
         drop(matrix_span);
         self.detect(&matrix)

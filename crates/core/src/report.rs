@@ -138,7 +138,7 @@ pub fn render_signatures<'a>(
             })
             .filter(|&(_, t)| t > 0.0)
             .collect();
-        totals.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        totals.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let phase_total: f64 = totals.iter().map(|t| t.1).sum();
         let _ = write!(
             out,

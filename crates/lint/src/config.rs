@@ -1,0 +1,163 @@
+//! Rule severities and the documented scope/allowlist tables.
+//!
+//! Scopes are part of each rule's *definition*: D01 is not "no wall
+//! clocks anywhere" but "no wall clocks outside the places whose job is
+//! wall time". The tables below are therefore deliberate, reviewed
+//! configuration — changing them is changing project policy, and the
+//! rationale for every entry lives in `docs/LINTS.md`.
+
+use crate::diag::{RuleId, Severity};
+use std::collections::BTreeMap;
+
+/// Directories (workspace-relative prefixes) never scanned: vendored
+/// dependency shims are third-party API surface, not project code, and
+/// build output is not source.
+pub const SKIP_PREFIXES: &[&str] = &["shims/", "target/", ".git/"];
+
+/// Crates whose entire source is measurement harness (figure
+/// generators, speedup drivers). Exempt from all rules: they are the
+/// code that *measures* wall time and prints ad-hoc output.
+pub const HARNESS_CRATES: &[&str] = &["bench"];
+
+/// D01: files allowed to read the wall clock directly.
+pub const D01_ALLOW: &[&str] = &[
+    // The clock abstraction itself: the one sanctioned Instant::now.
+    "crates/runtime/src/clock.rs",
+    // The wall collector ticks on real deadlines by definition.
+    "crates/collect/src/collector.rs",
+    // Obs spans over TimeSource::Wall.
+    "crates/obs/src/span.rs",
+    // The app harness stamps wall progress for operator output.
+    "crates/apps/src/harness.rs",
+];
+
+/// D02: analysis crates whose container iteration can reach serialized
+/// output (reports, JSON dumps, rendered tables).
+pub const D02_CRATES: &[&str] = &["profile", "cluster", "core", "collect"];
+
+/// D03: path prefixes allowed to create threads.
+pub const D03_ALLOW: &[&str] = &[
+    // The deterministic worker pool is the sanctioned spawner.
+    "crates/par/",
+    // The wall collector owns its tick thread.
+    "crates/collect/src/collector.rs",
+];
+
+/// D04: crates whose float reductions must go through
+/// `incprof_par::reduce_chunks` (only files that reference
+/// `incprof_par` are in scope — code nowhere near the pool has no
+/// chunk-boundary obligation).
+pub const D04_CRATES: &[&str] = &["profile", "cluster", "core", "collect", "apps"];
+
+/// P01: library crates held to panic hygiene. Binaries (`cli`), the
+/// harness crates, and the simulation substrate (`appekg`, `mpisim`,
+/// `apps`) are excluded: their unwraps terminate a tool, not a library
+/// caller.
+pub const P01_CRATES: &[&str] = &[
+    "profile", "cluster", "core", "collect", "runtime", "obs", "par", "lint",
+];
+
+/// O01: crates exempt from the literal-name ban. Only `obs` itself,
+/// where the `names` module and the registry internals legitimately
+/// spell names out.
+pub const O01_EXEMPT_CRATES: &[&str] = &["obs"];
+
+/// Identifier called with a name argument that O01 watches.
+pub const O01_CALLEES: &[&str] = &["counter", "gauge", "histogram", "span", "find_span"];
+
+/// Per-rule severity configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    severities: BTreeMap<RuleId, Severity>,
+    /// Promote warnings to errors for exit-code purposes.
+    pub deny_warnings: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let mut severities = BTreeMap::new();
+        for &r in RuleId::ALL {
+            // D04 flags a heuristic pattern (raw .sum() near the pool)
+            // and L01 flags stale markers; both default to Warn. The
+            // invariant rules are errors outright.
+            let sev = match r {
+                RuleId::D04 | RuleId::L01 => Severity::Warn,
+                _ => Severity::Error,
+            };
+            severities.insert(r, sev);
+        }
+        Config {
+            severities,
+            deny_warnings: false,
+        }
+    }
+}
+
+impl Config {
+    /// The configured severity for `rule`.
+    pub fn severity(&self, rule: RuleId) -> Severity {
+        self.severities
+            .get(&rule)
+            .copied()
+            .unwrap_or(Severity::Error)
+    }
+
+    /// Set the severity for `rule`.
+    pub fn set_severity(&mut self, rule: RuleId, sev: Severity) {
+        self.severities.insert(rule, sev);
+    }
+
+    /// Builder-style `deny_warnings` toggle.
+    pub fn deny_warnings(mut self) -> Self {
+        self.deny_warnings = true;
+        self
+    }
+
+    /// The severity a diagnostic of `rule` is *reported* at, after the
+    /// `deny_warnings` promotion.
+    pub fn effective_severity(&self, rule: RuleId) -> Severity {
+        match self.severity(rule) {
+            Severity::Warn if self.deny_warnings => Severity::Error,
+            s => s,
+        }
+    }
+}
+
+/// The crate a workspace-relative path belongs to (`crates/<name>/…`),
+/// or `None` for the umbrella package's own `src/` and `tests/`.
+pub fn crate_of(rel_path: &str) -> Option<&str> {
+    let rest = rel_path.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+/// Whether the whole file is test or bench code by location.
+pub fn is_test_path(rel_path: &str) -> bool {
+    rel_path.starts_with("tests/") || rel_path.contains("/tests/") || rel_path.contains("/benches/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_severities() {
+        let c = Config::default();
+        assert_eq!(c.severity(RuleId::P01), Severity::Error);
+        assert_eq!(c.severity(RuleId::D04), Severity::Warn);
+        assert_eq!(c.effective_severity(RuleId::D04), Severity::Warn);
+        assert_eq!(
+            c.deny_warnings().effective_severity(RuleId::D04),
+            Severity::Error
+        );
+    }
+
+    #[test]
+    fn crate_and_test_classification() {
+        assert_eq!(crate_of("crates/core/src/pipeline.rs"), Some("core"));
+        assert_eq!(crate_of("src/lib.rs"), None);
+        assert!(is_test_path("tests/lint_gate.rs"));
+        assert!(is_test_path("crates/obs/tests/obs_integration.rs"));
+        assert!(is_test_path("crates/bench/benches/apps.rs"));
+        assert!(!is_test_path("crates/obs/src/span.rs"));
+    }
+}

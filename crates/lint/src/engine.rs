@@ -1,0 +1,361 @@
+//! The lint engine: walk the workspace, run the rules, apply
+//! suppressions, and render the results.
+
+use crate::config::{self, Config};
+use crate::diag::{Diagnostic, RuleId, Severity};
+use crate::rules;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The outcome of a lint run.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Source files scanned.
+    pub files_scanned: usize,
+    /// Surviving diagnostics, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Suppression markers that silenced a diagnostic.
+    pub suppressions_used: usize,
+    /// Whether warnings fail the run (from the config).
+    pub deny_warnings: bool,
+}
+
+impl LintReport {
+    /// Count of error-severity diagnostics.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Count of warning-severity diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Whether the run passes under its configuration. (`deny_warnings`
+    /// was already applied when severities were resolved, so only
+    /// errors can fail a run.)
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// Per-rule diagnostic counts.
+    pub fn counts(&self) -> BTreeMap<RuleId, usize> {
+        let mut m = BTreeMap::new();
+        for d in &self.diagnostics {
+            *m.entry(d.rule).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Human-readable rendering: every diagnostic plus a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render_human());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "lint: {} files scanned, {} errors, {} warnings, {} suppressions honored",
+            self.files_scanned,
+            self.errors(),
+            self.warnings(),
+            self.suppressions_used
+        ));
+        out
+    }
+
+    /// JSON rendering: a single stable object with per-rule counts and
+    /// the diagnostic list, for CI artifacts.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"errors\": {},\n", self.errors()));
+        out.push_str(&format!("  \"warnings\": {},\n", self.warnings()));
+        out.push_str(&format!(
+            "  \"suppressions_used\": {},\n",
+            self.suppressions_used
+        ));
+        out.push_str("  \"counts\": {");
+        let counts = self.counts();
+        let mut first = true;
+        for (rule, n) in &counts {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!("\"{rule}\": {n}"));
+        }
+        out.push_str("},\n");
+        out.push_str("  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&d.render_json());
+            if i + 1 < self.diagnostics.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+/// Lint a single in-memory file: run the rules, then apply this file's
+/// suppression markers. Returns surviving diagnostics (including L00
+/// for malformed markers and L01 for stale ones). This is the unit the
+/// fixture tests drive.
+pub fn lint_source(rel_path: &str, text: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let (diags, _used) = lint_source_counted(rel_path, text, cfg);
+    diags
+}
+
+/// As [`lint_source`], also returning how many suppressions fired.
+pub fn lint_source_counted(rel_path: &str, text: &str, cfg: &Config) -> (Vec<Diagnostic>, usize) {
+    let file = SourceFile::parse(rel_path, text);
+    let raw = rules::run_rules(&file, cfg);
+
+    // A marker suppresses every diagnostic of its rule on its target
+    // line (one line can hold two calls the same marker vouches for).
+    let mut used = vec![false; file.suppressions.len()];
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for d in raw {
+        let mut suppressed = false;
+        for (si, s) in file.suppressions.iter().enumerate() {
+            if s.rule == d.rule && s.target_line == d.line {
+                used[si] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            diags.push(d);
+        }
+    }
+    let used_count = used.iter().filter(|&&u| u).count();
+
+    // Meta-diagnostics. Both are skipped inside test code: lint
+    // fixtures legitimately hold malformed or dangling markers.
+    for bad in &file.bad_markers {
+        let severity = cfg.effective_severity(RuleId::L00);
+        if severity == Severity::Allow || file.is_test_line(bad.line) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            rule: RuleId::L00,
+            severity,
+            file: file.rel_path.clone(),
+            line: bad.line,
+            message: bad.problem.clone(),
+            excerpt: file.excerpt(bad.line),
+        });
+    }
+    for (si, s) in file.suppressions.iter().enumerate() {
+        if used[si] || file.is_test_line(s.marker_line) {
+            continue;
+        }
+        let severity = cfg.effective_severity(RuleId::L01);
+        if severity == Severity::Allow {
+            continue;
+        }
+        diags.push(Diagnostic {
+            rule: RuleId::L01,
+            severity,
+            file: file.rel_path.clone(),
+            line: s.marker_line,
+            message: format!(
+                "suppression `allow({}, ...)` matched no diagnostic; delete the \
+                 stale marker",
+                s.rule
+            ),
+            excerpt: file.excerpt(s.marker_line),
+        });
+    }
+
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    (diags, used_count)
+}
+
+/// Lint every project source file under `root` (a workspace checkout).
+///
+/// The walk is fully deterministic: directory entries are sorted, shims
+/// and build output are skipped, and diagnostics come back ordered by
+/// (file, line, rule). Progress is surfaced through `incprof-obs`.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<LintReport> {
+    let _span = incprof_obs::span(incprof_obs::names::LINT_RUN);
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut diagnostics = Vec::new();
+    let mut suppressions_used = 0usize;
+    for path in &files {
+        let rel = rel_path(root, path);
+        let text = std::fs::read_to_string(path)?;
+        let (mut diags, used) = lint_source_counted(&rel, &text, cfg);
+        diagnostics.append(&mut diags);
+        suppressions_used += used;
+    }
+    diagnostics
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+
+    incprof_obs::counter(incprof_obs::names::LINT_FILES_SCANNED).add(files.len() as u64);
+    incprof_obs::counter(incprof_obs::names::LINT_DIAGNOSTICS_TOTAL).add(diagnostics.len() as u64);
+    incprof_obs::counter(incprof_obs::names::LINT_SUPPRESSIONS_USED).add(suppressions_used as u64);
+
+    Ok(LintReport {
+        files_scanned: files.len(),
+        diagnostics,
+        suppressions_used,
+        deny_warnings: cfg.deny_warnings,
+    })
+}
+
+/// Walk upward from `start` to the directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    // Forward slashes keep the scope tables platform-independent.
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let rel = rel_path(root, &path);
+        if config::SKIP_PREFIXES
+            .iter()
+            .any(|p| rel.starts_with(p) || rel == p.trim_end_matches('/'))
+        {
+            continue;
+        }
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if name.starts_with('.') {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_silences_and_counts() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // lint: allow(P01, invariant)\n    x.unwrap()\n}\n";
+        let (diags, used) = lint_source_counted("crates/core/src/x.rs", src, &Config::default());
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(used, 1);
+    }
+
+    #[test]
+    fn stale_suppression_is_reported_as_l01() {
+        let src = "// lint: allow(P01, nothing here anymore)\nfn f() {}\n";
+        let diags = lint_source("crates/core/src/x.rs", src, &Config::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RuleId::L01);
+        assert_eq!(diags[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn malformed_marker_is_reported_as_l00() {
+        let src = "// lint: allow(P01)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let diags = lint_source("crates/core/src/x.rs", src, &Config::default());
+        let rules: Vec<RuleId> = diags.iter().map(|d| d.rule).collect();
+        // The marker is malformed, so the unwrap still fires too.
+        assert_eq!(rules, vec![RuleId::L00, RuleId::P01]);
+    }
+
+    #[test]
+    fn one_marker_covers_two_same_rule_hits_on_a_line() {
+        let src = "fn f(x: Option<u32>, y: Option<u32>) -> u32 {\n    // lint: allow(P01, both checked above)\n    x.unwrap() + y.unwrap()\n}\n";
+        let (diags, used) = lint_source_counted("crates/core/src/x.rs", src, &Config::default());
+        assert!(diags.is_empty());
+        assert_eq!(used, 1);
+    }
+
+    #[test]
+    fn wrong_rule_marker_does_not_suppress() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // lint: allow(D01, wrong rule)\n    x.unwrap()\n}\n";
+        let diags = lint_source("crates/core/src/x.rs", src, &Config::default());
+        let rules: Vec<RuleId> = diags.iter().map(|d| d.rule).collect();
+        // The unwrap fires AND the marker is stale.
+        assert_eq!(rules, vec![RuleId::L01, RuleId::P01]);
+    }
+
+    #[test]
+    fn report_renders_summary_and_json() {
+        let diags = lint_source(
+            "crates/core/src/x.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+            &Config::default(),
+        );
+        let report = LintReport {
+            files_scanned: 1,
+            diagnostics: diags,
+            suppressions_used: 0,
+            deny_warnings: false,
+        };
+        assert!(!report.is_clean());
+        let human = report.render_human();
+        assert!(human.contains("error[P01]"));
+        assert!(human.contains("crates/core/src/x.rs:1"));
+        let json = report.render_json();
+        assert!(json.contains("\"rule\":\"P01\""));
+        assert!(json.contains("\"files_scanned\": 1"));
+    }
+
+    #[test]
+    fn allow_severity_disables_a_rule() {
+        let mut cfg = Config::default();
+        cfg.set_severity(RuleId::P01, Severity::Allow);
+        let diags = lint_source(
+            "crates/core/src/x.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+            &cfg,
+        );
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn find_root_walks_upward() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here);
+        assert!(root.is_some());
+        let root = root.map(|r| r.join("Cargo.toml"));
+        assert!(root.is_some_and(|r| r.exists()));
+    }
+}

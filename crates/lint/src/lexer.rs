@@ -1,0 +1,474 @@
+//! A small, dependency-free Rust-source lexer.
+//!
+//! The rule engine needs just enough token structure to match patterns
+//! like `Instant :: now` or `. unwrap (` without being fooled by the
+//! same spelling inside strings, comments, or doc examples — a `grep`
+//! cannot make that distinction, and a full parser is far more machine
+//! than the rules require. The lexer therefore classifies the source
+//! into identifiers, literals, and punctuation, tracks the 1-based line
+//! of every token, and returns `//` comments separately so the engine
+//! can parse `// lint: allow(...)` suppression markers out of them.
+//!
+//! Known approximations (acceptable for linting, documented in
+//! `docs/LINTS.md`): numeric literals are scanned greedily rather than
+//! validated, and lifetimes are separated from char literals by the
+//! standard one-token lookahead heuristic.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `fn`, `HashMap`).
+    Ident,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Numeric literal (`42`, `0x1f`, `1.5e3`, `7u64`).
+    Number,
+    /// A single punctuation character (`.`, `:`, `{`, …).
+    Punct,
+}
+
+/// One lexed token: kind, text, and the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token classification.
+    pub kind: TokenKind,
+    /// The token text. For strings this is the *inner* text, without
+    /// quotes or raw-string hashes, so rules can match names directly.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A `//` comment (line or doc), with the text after the slashes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+    /// Comment body after the leading `//`, `///`, or `//!`.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// All `//`-style comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and comments. Never fails: unrecognized bytes
+/// are skipped (a lint pass must keep going on source the compiler
+/// would reject anyway).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(ch) = c {
+            self.pos += 1;
+            if ch == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line),
+                'r' | 'b' => {
+                    if !self.raw_or_byte_literal(line) {
+                        self.ident(line);
+                    }
+                }
+                '\'' => self.lifetime_or_char(line),
+                c if c.is_alphabetic() || c == '_' => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump();
+                    if let Some(esc) = self.bump() {
+                        text.push('\\');
+                        text.push(esc);
+                    }
+                }
+                '"' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Try to lex `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'…'`.
+    /// Returns false if the `r`/`b` starts a plain identifier instead.
+    fn raw_or_byte_literal(&mut self, line: u32) -> bool {
+        let mut ahead = 1; // past the r/b
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        if self.peek(0) == Some('b') && self.peek(1) == Some('\'') {
+            self.bump(); // b
+            self.lifetime_or_char(line);
+            return true;
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+            hashes += 1;
+        }
+        if self.peek(ahead) != Some('"') {
+            // Anything that isn't a quote here means the r/b starts a
+            // plain identifier like `radius` or `buf`.
+            return false;
+        }
+        for _ in 0..=ahead {
+            self.bump(); // prefix chars + opening quote
+        }
+        let mut text = String::new();
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('"') => {
+                    // Need `hashes` following '#' to close a raw string.
+                    let mut ok = true;
+                    for i in 0..hashes {
+                        if self.peek(1 + i) != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..=hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                    text.push('"');
+                    self.bump();
+                }
+                Some('\\') if hashes == 0 => {
+                    // Escapes only exist outside raw strings; `r"…"`
+                    // (hashes==0 with r prefix) technically has none,
+                    // but treating \" as literal there is harmless for
+                    // pattern matching.
+                    self.bump();
+                    if let Some(esc) = self.bump() {
+                        text.push('\\');
+                        text.push(esc);
+                    }
+                }
+                Some(c) => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+        true
+    }
+
+    fn lifetime_or_char(&mut self, line: u32) {
+        self.bump(); // opening '
+                     // Lifetime: ' followed by an identifier NOT closed by another '.
+        let first = self.peek(0);
+        if let Some(c) = first {
+            if (c.is_alphabetic() || c == '_') && self.peek(1) != Some('\'') {
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Lifetime, text, line);
+                return;
+            }
+        }
+        // Char literal.
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump();
+                    if let Some(esc) = self.bump() {
+                        text.push('\\');
+                        text.push(esc);
+                    }
+                }
+                '\'' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+        self.push(TokenKind::Char, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        // Integer / prefix part (also swallows hex/octal/binary bodies
+        // and type suffixes like `u64`).
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fraction: only when the dot is followed by a digit, so range
+        // expressions like `0..n` keep their dots as punctuation.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("foo.bar()");
+        assert_eq!(
+            t,
+            vec![
+                (TokenKind::Ident, "foo".into()),
+                (TokenKind::Punct, ".".into()),
+                (TokenKind::Ident, "bar".into()),
+                (TokenKind::Punct, "(".into()),
+                (TokenKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let t = kinds(r#"let s = "Instant::now() .unwrap()";"#);
+        assert!(t
+            .iter()
+            .all(|(k, x)| *k != TokenKind::Ident || x != "unwrap"));
+        assert!(t
+            .iter()
+            .any(|(k, x)| *k == TokenKind::Str && x.contains("unwrap")));
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let l = lex("let x = 1; // lint: allow(P01, fine)\n/* Instant::now */ let y = 2;");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("lint: allow(P01"));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("Instant")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert!(l.tokens.iter().any(|t| t.is_ident("fn")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("inner")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let u = '_'; let l: &'_ str = x; }");
+        let lifetimes: Vec<_> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = t.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 3, "{t:?}");
+        assert_eq!(chars.len(), 2, "{t:?}");
+    }
+
+    #[test]
+    fn escaped_char_and_string() {
+        let t = kinds(r#"let a = '\''; let b = "q\"q";"#);
+        assert!(t.iter().any(|(k, x)| *k == TokenKind::Char && x == "\\'"));
+        assert!(t.iter().any(|(k, x)| *k == TokenKind::Str && x == "q\\\"q"));
+    }
+
+    #[test]
+    fn raw_strings() {
+        let t = kinds(r###"let s = r#"Instant "quoted" body"#;"###);
+        assert!(t
+            .iter()
+            .any(|(k, x)| *k == TokenKind::Str && x.contains("quoted")));
+        assert!(!t
+            .iter()
+            .any(|(k, x)| *k == TokenKind::Ident && x == "Instant"));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let t = kinds("for i in 0..n { let x = 1.5e3f64 + 0x1f; }");
+        let nums: Vec<_> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, x)| x.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "1.5e3f64", "0x1f"]);
+        // The range dots survive as punctuation.
+        assert_eq!(
+            t.iter()
+                .filter(|(k, x)| *k == TokenKind::Punct && x == ".")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let l = lex("let s = \"one\ntwo\";\nnext");
+        let next = l.tokens.iter().find(|t| t.is_ident("next"));
+        assert_eq!(next.map(|t| t.line), Some(3));
+    }
+}

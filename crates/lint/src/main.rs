@@ -1,0 +1,156 @@
+//! The `incprof-lint` binary: lint the workspace and exit nonzero on
+//! violations. Exit codes: 0 clean, 1 violations found, 2 usage error.
+
+use incprof_lint::{find_workspace_root, lint_workspace, Config, RuleId, Severity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+incprof-lint: enforce IncProf's determinism, clock, and panic invariants
+
+USAGE:
+    incprof-lint [ROOT] [OPTIONS]
+
+ARGS:
+    ROOT                workspace root to lint (default: discovered from cwd)
+
+OPTIONS:
+    --format text|json  output format (default: text)
+    --json PATH         additionally write the JSON report to PATH
+    --allow RULE        disable a rule (e.g. --allow D04)
+    --warn RULE         demote a rule to warning
+    --deny RULE         promote a rule to error
+    -D, --deny-warnings treat warnings as errors for exit-code purposes
+    --list-rules        print the rule catalog and exit
+    -h, --help          print this help and exit
+";
+
+struct Args {
+    root: Option<PathBuf>,
+    format_json: bool,
+    json_path: Option<PathBuf>,
+    config: Config,
+    list_rules: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        format_json: false,
+        json_path: None,
+        config: Config::default(),
+        list_rules: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--list-rules" => args.list_rules = true,
+            "-D" | "--deny-warnings" => args.config.deny_warnings = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => args.format_json = false,
+                Some("json") => args.format_json = true,
+                other => {
+                    return Err(format!(
+                        "--format expects `text` or `json`, got {:?}",
+                        other.unwrap_or("<missing>")
+                    ))
+                }
+            },
+            "--json" => match it.next() {
+                Some(p) => args.json_path = Some(PathBuf::from(p)),
+                None => return Err("--json expects a path".to_owned()),
+            },
+            "--allow" | "--warn" | "--deny" => {
+                let Some(rule_text) = it.next() else {
+                    return Err(format!("{arg} expects a rule ID"));
+                };
+                let Some(rule) = RuleId::parse(rule_text) else {
+                    return Err(format!("unknown rule `{rule_text}`"));
+                };
+                let sev = match arg.as_str() {
+                    "--allow" => Severity::Allow,
+                    "--warn" => Severity::Warn,
+                    _ => Severity::Error,
+                };
+                args.config.set_severity(rule, sev);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option `{flag}`"));
+            }
+            path => {
+                if args.root.is_some() {
+                    return Err(format!("unexpected extra argument `{path}`"));
+                }
+                args.root = Some(PathBuf::from(path));
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for &rule in RuleId::ALL {
+            println!("{rule}  {}", rule.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match lint_workspace(&root, &args.config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: failed to lint {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.json_path {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, report.render_json()) {
+            eprintln!("error: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if args.format_json {
+        println!("{}", report.render_json());
+    } else {
+        println!("{}", report.render_human());
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,317 @@
+//! Per-file source model: lexed tokens, `#[cfg(test)]` regions, and
+//! parsed `// lint: allow(...)` suppression markers.
+
+use crate::config;
+use crate::diag::RuleId;
+use crate::lexer::{self, Lexed, Token};
+
+/// A parsed suppression marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule being silenced.
+    pub rule: RuleId,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Line the marker comment sits on.
+    pub marker_line: u32,
+    /// Line the marker applies to (its own line for trailing markers,
+    /// the next token-bearing line for standalone ones).
+    pub target_line: u32,
+}
+
+/// A malformed marker, reported as L00.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadMarker {
+    /// Line the marker comment sits on.
+    pub line: u32,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// One source file, analyzed enough for the rules to run.
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub rel_path: String,
+    /// Source split into lines (for excerpts).
+    pub lines: Vec<String>,
+    /// Lexed tokens.
+    pub tokens: Vec<Token>,
+    /// Per-line flag: inside a `#[cfg(test)]` region, or the whole file
+    /// when the path itself is a test/bench location. Indexed by
+    /// `line - 1`.
+    test_lines: Vec<bool>,
+    /// Whether any token references `incprof_par` (D04 scope).
+    pub references_par: bool,
+    /// Well-formed suppression markers.
+    pub suppressions: Vec<Suppression>,
+    /// Malformed markers (L00 material).
+    pub bad_markers: Vec<BadMarker>,
+}
+
+impl SourceFile {
+    /// Lex and analyze `text` as the file at `rel_path`.
+    pub fn parse(rel_path: &str, text: &str) -> SourceFile {
+        let Lexed { tokens, comments } = lexer::lex(text);
+        let lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let n_lines = lines.len().max(1);
+
+        let mut test_lines = vec![config::is_test_path(rel_path); n_lines];
+        if !test_lines.is_empty() && !test_lines[0] {
+            for (start, end) in cfg_test_regions(&tokens) {
+                let lo = (start as usize - 1).min(n_lines - 1);
+                let hi = (end as usize - 1).min(n_lines - 1);
+                for flag in &mut test_lines[lo..=hi] {
+                    *flag = true;
+                }
+            }
+        }
+
+        let references_par = tokens.iter().any(|t| t.is_ident("incprof_par"));
+
+        let mut token_lines = vec![false; n_lines];
+        for t in &tokens {
+            let i = (t.line as usize - 1).min(n_lines - 1);
+            token_lines[i] = true;
+        }
+
+        let mut suppressions = Vec::new();
+        let mut bad_markers = Vec::new();
+        for c in &comments {
+            match parse_marker(&c.text) {
+                MarkerParse::NotAMarker => {}
+                MarkerParse::Bad(problem) => bad_markers.push(BadMarker {
+                    line: c.line,
+                    problem,
+                }),
+                MarkerParse::Ok { rule, reason } => {
+                    let idx = (c.line as usize - 1).min(n_lines - 1);
+                    let target_line = if token_lines[idx] {
+                        c.line
+                    } else {
+                        // Standalone marker: applies to the next line
+                        // that has any token on it.
+                        match token_lines[idx + 1..].iter().position(|&t| t) {
+                            Some(off) => (idx + 1 + off) as u32 + 1,
+                            None => c.line, // dangling; will report as stale
+                        }
+                    };
+                    suppressions.push(Suppression {
+                        rule,
+                        reason,
+                        marker_line: c.line,
+                        target_line,
+                    });
+                }
+            }
+        }
+
+        SourceFile {
+            rel_path: rel_path.to_owned(),
+            lines,
+            tokens,
+            test_lines,
+            references_par,
+            suppressions,
+            bad_markers,
+        }
+    }
+
+    /// Whether `line` (1-based) is test code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        let i = (line as usize).saturating_sub(1);
+        self.test_lines.get(i).copied().unwrap_or(false)
+    }
+
+    /// The trimmed source text of `line` (1-based), for excerpts.
+    pub fn excerpt(&self, line: u32) -> String {
+        let i = (line as usize).saturating_sub(1);
+        let text = self.lines.get(i).map(String::as_str).unwrap_or("");
+        let trimmed = text.trim();
+        // Keep excerpts terminal-friendly.
+        if trimmed.chars().count() > 120 {
+            let cut: String = trimmed.chars().take(117).collect();
+            format!("{cut}...")
+        } else {
+            trimmed.to_owned()
+        }
+    }
+}
+
+enum MarkerParse {
+    NotAMarker,
+    Bad(String),
+    Ok { rule: RuleId, reason: String },
+}
+
+/// Parse one comment body. The accepted grammar is exactly
+/// `lint: allow(<RULE>, <reason>)`; anything that starts with `lint:`
+/// but does not fit is a malformed marker, never silently ignored.
+fn parse_marker(comment_text: &str) -> MarkerParse {
+    let t = comment_text.trim();
+    let Some(rest) = t.strip_prefix("lint:") else {
+        return MarkerParse::NotAMarker;
+    };
+    let rest = rest.trim();
+    let Some(body) = rest.strip_prefix("allow(") else {
+        return MarkerParse::Bad(format!(
+            "expected `lint: allow(RULE, reason)`, found `lint: {rest}`"
+        ));
+    };
+    let Some(body) = body.strip_suffix(')') else {
+        return MarkerParse::Bad("suppression marker is missing its closing `)`".to_owned());
+    };
+    let Some((rule_text, reason)) = body.split_once(',') else {
+        return MarkerParse::Bad(
+            "suppression must carry a reason: `lint: allow(RULE, reason)`".to_owned(),
+        );
+    };
+    let rule_text = rule_text.trim();
+    let Some(rule) = RuleId::parse(rule_text) else {
+        return MarkerParse::Bad(format!("unknown rule `{rule_text}` in suppression marker"));
+    };
+    if !rule.suppressible() {
+        return MarkerParse::Bad(format!("rule {rule} cannot be suppressed"));
+    }
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return MarkerParse::Bad(
+            "suppression must carry a non-empty reason: `lint: allow(RULE, reason)`".to_owned(),
+        );
+    }
+    MarkerParse::Ok {
+        rule,
+        reason: reason.to_owned(),
+    }
+}
+
+/// Find `#[cfg(test)]` regions as (start_line, end_line) pairs. The
+/// region runs from the attribute to the closing brace of the item it
+/// decorates (or its terminating `;` for brace-less items).
+fn cfg_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < tokens.len() {
+        let m = tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('[')
+            && tokens[i + 2].is_ident("cfg")
+            && tokens[i + 3].is_punct('(')
+            && tokens[i + 4].is_ident("test")
+            && tokens[i + 5].is_punct(')')
+            && tokens[i + 6].is_punct(']');
+        if !m {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        let mut j = i + 7;
+        let mut end_line = start_line;
+        let mut depth = 0usize;
+        let mut entered = false;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('{') {
+                depth += 1;
+                entered = true;
+            } else if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                if entered && depth == 0 {
+                    end_line = t.line;
+                    break;
+                }
+            } else if t.is_punct(';') && !entered {
+                end_line = t.line;
+                break;
+            }
+            j += 1;
+        }
+        if j >= tokens.len() {
+            end_line = tokens.last().map(|t| t.line).unwrap_or(start_line);
+        }
+        regions.push((start_line, end_line));
+        i = j.max(i + 7);
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_region_covers_mod_body() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn test_path_marks_whole_file() {
+        let f = SourceFile::parse("crates/core/tests/it.rs", "fn f() { x.unwrap(); }\n");
+        assert!(f.is_test_line(1));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() {}\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(f.is_test_line(2));
+        assert!(!f.is_test_line(3));
+    }
+
+    #[test]
+    fn trailing_marker_targets_its_own_line() {
+        let src = "fn f() {\n    x.unwrap(); // lint: allow(P01, invariant holds)\n}\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert_eq!(f.suppressions.len(), 1);
+        let s = &f.suppressions[0];
+        assert_eq!((s.rule, s.target_line), (RuleId::P01, 2));
+        assert_eq!(s.reason, "invariant holds");
+    }
+
+    #[test]
+    fn standalone_marker_targets_next_code_line() {
+        let src = "fn f() {\n    // lint: allow(P01, invariant holds)\n    // explanatory prose\n    x.unwrap();\n}\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].target_line, 4);
+    }
+
+    #[test]
+    fn marker_without_reason_is_bad() {
+        let f = SourceFile::parse("crates/core/src/x.rs", "// lint: allow(P01)\nfn f() {}\n");
+        assert!(f.suppressions.is_empty());
+        assert_eq!(f.bad_markers.len(), 1);
+        assert!(f.bad_markers[0].problem.contains("reason"));
+    }
+
+    #[test]
+    fn marker_with_unknown_rule_is_bad() {
+        let f = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "// lint: allow(Z99, because)\nfn f() {}\n",
+        );
+        assert_eq!(f.bad_markers.len(), 1);
+        assert!(f.bad_markers[0].problem.contains("unknown rule"));
+    }
+
+    #[test]
+    fn meta_rules_cannot_be_suppressed() {
+        let f = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "// lint: allow(L00, nice try)\nfn f() {}\n",
+        );
+        assert_eq!(f.bad_markers.len(), 1);
+        assert!(f.bad_markers[0].problem.contains("cannot be suppressed"));
+    }
+
+    #[test]
+    fn par_reference_detection() {
+        let yes = SourceFile::parse("crates/cluster/src/x.rs", "use incprof_par::reduce_chunks;");
+        let no = SourceFile::parse("crates/cluster/src/x.rs", "fn f() {}");
+        assert!(yes.references_par);
+        assert!(!no.references_par);
+    }
+}

@@ -1,0 +1,35 @@
+// Fixture: code that violates nothing — the sanctioned counterparts
+// of every rule's banned pattern.
+use std::collections::BTreeMap;
+
+pub fn tally(names: &[String]) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for n in names {
+        *out.entry(n.clone()).or_insert(0) += 1;
+    }
+    out
+}
+
+pub fn total(xs: &[f64]) -> f64 {
+    incprof_par::reduce_chunks(xs, 1024)
+}
+
+pub fn first(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}
+
+pub fn record() {
+    incprof_obs::counter(incprof_obs::names::CLUSTER_SELECT_K_SWEEP).add(1);
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may panic and read the wall clock freely.
+    #[test]
+    fn unwrap_is_fine_here() {
+        let start = std::time::Instant::now();
+        let x: Option<u64> = Some(3);
+        assert_eq!(x.unwrap(), 3);
+        let _ = start.elapsed();
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: reads the wall clock outside the D01 allowlist.
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,14 @@
+// Fixture: hash containers in an analysis crate (iteration order can
+// reach serialized output).
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(names: &[String]) -> HashMap<String, usize> {
+    let mut seen: HashSet<&str> = HashSet::new();
+    let mut out = HashMap::new();
+    for n in names {
+        if seen.insert(n) {
+            *out.entry(n.clone()).or_insert(0) += 1;
+        }
+    }
+    out
+}

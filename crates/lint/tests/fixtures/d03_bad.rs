@@ -1,0 +1,12 @@
+// Fixture: spawns a thread outside incprof-par and the collector.
+pub fn background() {
+    std::thread::spawn(|| {
+        let _ = 1 + 1;
+    });
+}
+
+pub fn scoped(xs: &mut [u64]) {
+    std::thread::scope(|s| {
+        s.spawn(|| xs[0] += 1);
+    });
+}

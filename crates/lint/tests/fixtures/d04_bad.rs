@@ -1,0 +1,9 @@
+// Fixture: a raw float .sum() in a file that also uses the pool —
+// exactly the reduction that must go through reduce_chunks to make
+// thread count irrelevant to the result.
+use incprof_par::pool;
+
+pub fn total(xs: &[f64]) -> f64 {
+    let _threads = pool().threads();
+    xs.iter().sum::<f64>()
+}

@@ -1,0 +1,15 @@
+// Fixture: malformed suppression markers, each a distinct L00.
+pub fn first(xs: &[u64]) -> u64 {
+    // lint: allow(P01)
+    *xs.first().unwrap()
+}
+
+pub fn second(xs: &[u64]) -> u64 {
+    // lint: allow(Z99, no such rule)
+    *xs.get(1).unwrap()
+}
+
+pub fn third(xs: &[u64]) -> u64 {
+    // lint: allow(L01, meta rules cannot be excused)
+    *xs.get(2).unwrap()
+}

@@ -1,0 +1,6 @@
+// Fixture: a well-formed marker whose violation was refactored away —
+// the marker itself is now the finding.
+pub fn first(xs: &[u64]) -> Option<u64> {
+    // lint: allow(P01, unwrap was removed in a refactor)
+    xs.first().copied()
+}

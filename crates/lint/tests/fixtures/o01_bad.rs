@@ -1,0 +1,6 @@
+// Fixture: obs names spelled as literals (and built with format!) at
+// the call site instead of coming from incprof_obs::names.
+pub fn record(k: usize) {
+    incprof_obs::counter("cluster.kmeans.restarts").add(1);
+    let _g = incprof_obs::span(&format!("cluster.kmeans.k{k}"));
+}

@@ -1,0 +1,8 @@
+// Fixture: unmarked panics in library code.
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn parsed(s: &str) -> u64 {
+    s.parse().expect("caller promised digits")
+}

@@ -1,0 +1,10 @@
+// Fixture: every violation here carries a justified allow marker, in
+// both trailing and standalone positions.
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap() // lint: allow(P01, caller checked non-empty)
+}
+
+pub fn background() {
+    // lint: allow(D03, fixture demonstrates standalone markers)
+    std::thread::spawn(|| {});
+}

@@ -19,6 +19,7 @@ impl World {
     {
         assert!(size >= 1, "world must have at least one rank");
         let shared = Arc::new(Shared::new(size));
+        // lint: allow(D03, mpi-sim models MPI ranks as OS threads by design; they are simulated processes rather than a compute pool)
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..size)
                 .map(|rank| {

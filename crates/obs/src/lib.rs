@@ -10,7 +10,10 @@
 //! * [`logger`] — leveled stderr logging gated by `INCPROF_LOG`
 //!   (macros [`error!`], [`warn!`], [`info!`], [`debug!`], [`trace!`]);
 //! * [`mod@report`] — a serializable [`RunReport`] snapshotting everything
-//!   above, for `incprof --metrics <path>` and the bench harness.
+//!   above, for `incprof --metrics <path>` and the bench harness;
+//! * [`names`] — the workspace-wide registry of metric/span name
+//!   constants. Production call sites must use these constants rather
+//!   than string literals (enforced by `incprof-lint` rule O01).
 //!
 //! Metric names follow `<crate>.<subsystem>.<name>`, e.g.
 //! `collect.snapshot.latency_ns` or `cluster.kmeans.iterations.k3`.
@@ -36,6 +39,7 @@
 
 pub mod logger;
 pub mod metrics;
+pub mod names;
 pub mod report;
 pub mod span;
 

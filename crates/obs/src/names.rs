@@ -1,0 +1,192 @@
+//! The metric- and span-name registry.
+//!
+//! Every observability name used anywhere in the workspace is declared
+//! here, once, as a constant (or, for names parameterized at runtime —
+//! per-`k` sweep spans, per-`k` iteration counters — as a helper
+//! function that stamps the parameter into a declared prefix). Call
+//! sites refer to these constants instead of repeating string literals,
+//! which kills two failure modes the `incprof-lint` O01 rule exists to
+//! catch:
+//!
+//! * **typos** — a misspelled literal silently creates a second metric
+//!   and the dashboards read zero on the real one;
+//! * **silent forks** — two call sites that *meant* the same metric but
+//!   drifted apart during a refactor.
+//!
+//! Names follow `<crate>.<subsystem>.<name>`; see the crate-level docs.
+//! The [`ALL`] table drives the uniqueness/format self-test below and
+//! gives auditors one place to read the whole namespace.
+
+// ---------------------------------------------------------------------
+// runtime
+// ---------------------------------------------------------------------
+
+/// Counter: snapshots taken by the instrumentation runtime.
+pub const RUNTIME_SNAPSHOT_COUNT: &str = "runtime.snapshot.count";
+/// Gauge (recorded as a running max): call-stack depth high-water mark.
+pub const RUNTIME_STACK_DEPTH_HWM: &str = "runtime.stack.depth_hwm";
+
+// ---------------------------------------------------------------------
+// collect
+// ---------------------------------------------------------------------
+
+/// Counter: total bytes of gmon-encoded snapshot data produced.
+pub const COLLECT_GMON_ENCODED_BYTES: &str = "collect.gmon.encoded_bytes";
+/// Histogram: latency of taking + encoding one snapshot, nanoseconds.
+pub const COLLECT_SNAPSHOT_LATENCY_NS: &str = "collect.snapshot.latency_ns";
+/// Counter: snapshots collected.
+pub const COLLECT_SNAPSHOT_COUNT: &str = "collect.snapshot.count";
+/// Histogram: wall-collector tick lateness vs the absolute deadline.
+pub const COLLECT_TICK_JITTER_NS: &str = "collect.collector.tick_jitter_ns";
+/// Counter: ticks skipped by the overrun skip-ahead policy.
+pub const COLLECT_TICKS_MISSED: &str = "collect.collector.ticks_missed";
+
+// ---------------------------------------------------------------------
+// cluster
+// ---------------------------------------------------------------------
+
+/// Span: one full k-selection sweep.
+pub const CLUSTER_SELECT_K_SWEEP: &str = "cluster.select_k.sweep";
+/// Span: the shared pairwise-distance matrix build inside a sweep.
+pub const CLUSTER_SELECT_K_PAIRWISE: &str = "cluster.select_k.pairwise";
+/// Histogram: final-iteration centroid movement, in picounits (×1e12).
+pub const CLUSTER_KMEANS_CONVERGENCE_DELTA_E12: &str = "cluster.kmeans.convergence_delta_e12";
+
+/// Span name for the `k`-specific leg of a selection sweep.
+pub fn cluster_select_k_k(k: usize) -> String {
+    format!("cluster.select_k.k{k}")
+}
+
+/// Counter name for Lloyd iterations accumulated at a given `k`.
+pub fn cluster_kmeans_iterations(k: usize) -> String {
+    format!("cluster.kmeans.iterations.k{k}")
+}
+
+// ---------------------------------------------------------------------
+// core (pipeline stage spans + counters)
+// ---------------------------------------------------------------------
+
+/// Span: one end-to-end phase detection.
+pub const CORE_PIPELINE_DETECT: &str = "core.pipeline.detect";
+/// Span: feature extraction stage.
+pub const CORE_PIPELINE_FEATURES: &str = "core.pipeline.features";
+/// Span: clustering stage.
+pub const CORE_PIPELINE_CLUSTER: &str = "core.pipeline.cluster";
+/// Span: Algorithm 1 site selection stage.
+pub const CORE_PIPELINE_ALGORITHM1: &str = "core.pipeline.algorithm1";
+/// Counter: completed `detect` runs.
+pub const CORE_PIPELINE_DETECT_RUNS: &str = "core.pipeline.detect_runs";
+/// Span: a batched `detect_many` call.
+pub const CORE_PIPELINE_DETECT_MANY: &str = "core.pipeline.detect_many";
+/// Span: detection driven from a cumulative sample series.
+pub const CORE_PIPELINE_DETECT_SERIES: &str = "core.pipeline.detect_series";
+/// Span: cumulative-series delta (interval differencing) stage.
+pub const CORE_PIPELINE_DELTA: &str = "core.pipeline.delta";
+/// Span: interval-matrix construction stage.
+pub const CORE_PIPELINE_MATRIX: &str = "core.pipeline.matrix";
+
+// ---------------------------------------------------------------------
+// par
+// ---------------------------------------------------------------------
+
+/// Counter: parallel primitive invocations.
+pub const PAR_POOL_CALLS: &str = "par.pool.calls";
+/// Counter: chunk tasks executed across all calls.
+pub const PAR_POOL_TASKS: &str = "par.pool.tasks";
+/// Counter: chunks claimed by a worker other than their static owner.
+pub const PAR_POOL_STEALS: &str = "par.pool.steals";
+/// Counter: workers that arrived after the chunk queue drained.
+pub const PAR_POOL_QUEUE_WAITS: &str = "par.pool.queue_waits";
+/// Gauge (running max): workers used by a parallel call.
+pub const PAR_POOL_WORKERS: &str = "par.pool.workers";
+
+// ---------------------------------------------------------------------
+// lint
+// ---------------------------------------------------------------------
+
+/// Span: one whole-workspace lint run.
+pub const LINT_RUN: &str = "lint.engine.run";
+/// Counter: source files scanned by the lint engine.
+pub const LINT_FILES_SCANNED: &str = "lint.files.scanned";
+/// Counter: diagnostics emitted (post-suppression).
+pub const LINT_DIAGNOSTICS_TOTAL: &str = "lint.diagnostics.total";
+/// Counter: suppression markers honored.
+pub const LINT_SUPPRESSIONS_USED: &str = "lint.suppressions.used";
+
+// ---------------------------------------------------------------------
+// registry table
+// ---------------------------------------------------------------------
+
+/// Every static name above, for uniqueness and format auditing.
+///
+/// Dynamic helpers are represented by their prefix with a trailing
+/// `k*` placeholder documented here rather than enumerated.
+pub const ALL: &[&str] = &[
+    RUNTIME_SNAPSHOT_COUNT,
+    RUNTIME_STACK_DEPTH_HWM,
+    COLLECT_GMON_ENCODED_BYTES,
+    COLLECT_SNAPSHOT_LATENCY_NS,
+    COLLECT_SNAPSHOT_COUNT,
+    COLLECT_TICK_JITTER_NS,
+    COLLECT_TICKS_MISSED,
+    CLUSTER_SELECT_K_SWEEP,
+    CLUSTER_SELECT_K_PAIRWISE,
+    CLUSTER_KMEANS_CONVERGENCE_DELTA_E12,
+    CORE_PIPELINE_DETECT,
+    CORE_PIPELINE_FEATURES,
+    CORE_PIPELINE_CLUSTER,
+    CORE_PIPELINE_ALGORITHM1,
+    CORE_PIPELINE_DETECT_RUNS,
+    CORE_PIPELINE_DETECT_MANY,
+    CORE_PIPELINE_DETECT_SERIES,
+    CORE_PIPELINE_DELTA,
+    CORE_PIPELINE_MATRIX,
+    PAR_POOL_CALLS,
+    PAR_POOL_TASKS,
+    PAR_POOL_STEALS,
+    PAR_POOL_QUEUE_WAITS,
+    PAR_POOL_WORKERS,
+    LINT_RUN,
+    LINT_FILES_SCANNED,
+    LINT_DIAGNOSTICS_TOTAL,
+    LINT_SUPPRESSIONS_USED,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in ALL {
+            assert!(seen.insert(*name), "duplicate metric name: {name}");
+        }
+    }
+
+    #[test]
+    fn names_follow_crate_subsystem_name_format() {
+        for name in ALL {
+            let parts: Vec<&str> = name.split('.').collect();
+            assert!(
+                parts.len() >= 3,
+                "{name}: expected <crate>.<subsystem>.<name>"
+            );
+            for p in &parts {
+                assert!(!p.is_empty(), "{name}: empty segment");
+                assert!(
+                    p.chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                    "{name}: segment {p} not lower_snake"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_helpers_extend_registered_prefixes() {
+        assert!(cluster_select_k_k(3).starts_with("cluster.select_k.k"));
+        assert_eq!(cluster_select_k_k(3), "cluster.select_k.k3");
+        assert_eq!(cluster_kmeans_iterations(8), "cluster.kmeans.iterations.k8");
+    }
+}

@@ -154,6 +154,7 @@ impl Pool {
                             local.steals += 1;
                         }
                         let out = f(bounds(c));
+                        // lint: allow(P01, poison means a sibling worker panicked; propagating the panic is the correct response)
                         parts.lock().expect("pool results poisoned").push((c, out));
                     }
                     if local.tasks == 0 {
@@ -161,12 +162,15 @@ impl Pool {
                         // overhead, worth surfacing as a sizing signal.
                         local.queue_waits = 1;
                     }
+                    // lint: allow(P01, poison means a sibling worker panicked; propagating the panic is the correct response)
                     stats.lock().expect("pool stats poisoned").merge(local);
                 });
             }
         });
 
+        // lint: allow(P01, workers joined at scope exit; a poisoned mutex here means one panicked and the panic is re-raised)
         record_call(stats.into_inner().expect("pool stats poisoned"), workers);
+        // lint: allow(P01, workers joined at scope exit; a poisoned mutex here means one panicked and the panic is re-raised)
         let mut parts = parts.into_inner().expect("pool results poisoned");
         parts.sort_unstable_by_key(|&(c, _)| c);
         debug_assert_eq!(parts.len(), nchunks, "every chunk produced a result");
@@ -235,11 +239,11 @@ impl Drop for WorkerGuard {
 
 /// Record one parallel call's scheduling stats into `incprof-obs`.
 fn record_call(stats: CallStats, workers: usize) {
-    incprof_obs::counter("par.pool.calls").inc();
-    incprof_obs::counter("par.pool.tasks").add(stats.tasks);
-    incprof_obs::counter("par.pool.steals").add(stats.steals);
-    incprof_obs::counter("par.pool.queue_waits").add(stats.queue_waits);
-    incprof_obs::gauge("par.pool.workers").record_max(workers as u64);
+    incprof_obs::counter(incprof_obs::names::PAR_POOL_CALLS).inc();
+    incprof_obs::counter(incprof_obs::names::PAR_POOL_TASKS).add(stats.tasks);
+    incprof_obs::counter(incprof_obs::names::PAR_POOL_STEALS).add(stats.steals);
+    incprof_obs::counter(incprof_obs::names::PAR_POOL_QUEUE_WAITS).add(stats.queue_waits);
+    incprof_obs::gauge(incprof_obs::names::PAR_POOL_WORKERS).record_max(workers as u64);
 }
 
 /// Ordered map over `0..n` on the [`Pool::current`] pool with the
@@ -368,12 +372,18 @@ mod tests {
 
     #[test]
     fn pool_records_scheduling_metrics() {
-        let calls = incprof_obs::counter("par.pool.calls").get();
-        let tasks = incprof_obs::counter("par.pool.tasks").get();
+        let calls = incprof_obs::counter(incprof_obs::names::PAR_POOL_CALLS).get();
+        let tasks = incprof_obs::counter(incprof_obs::names::PAR_POOL_TASKS).get();
         Pool::with_workers(4).map_index(64, 2, |i| i);
-        assert_eq!(incprof_obs::counter("par.pool.calls").get(), calls + 1);
-        assert_eq!(incprof_obs::counter("par.pool.tasks").get(), tasks + 32);
-        assert!(incprof_obs::gauge("par.pool.workers").get() >= 1);
+        assert_eq!(
+            incprof_obs::counter(incprof_obs::names::PAR_POOL_CALLS).get(),
+            calls + 1
+        );
+        assert_eq!(
+            incprof_obs::counter(incprof_obs::names::PAR_POOL_TASKS).get(),
+            tasks + 32
+        );
+        assert!(incprof_obs::gauge(incprof_obs::names::PAR_POOL_WORKERS).get() >= 1);
     }
 
     #[test]

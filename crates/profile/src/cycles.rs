@@ -104,9 +104,11 @@ pub fn find_cycles(cg: &CallGraphProfile) -> Vec<Cycle> {
                     let v_low = state[v].lowlink;
                     state[parent].lowlink = state[parent].lowlink.min(v_low);
                 }
+                // lint: allow(P01, Tarjan invariant: a node on the DFS path always has its index assigned)
                 if state[v].lowlink == state[v].index.unwrap() {
                     let mut scc = Vec::new();
                     loop {
+                        // lint: allow(P01, the SCC root is on the Tarjan stack by construction; underflow means the algorithm is broken and must abort)
                         let w = stack.pop().expect("tarjan stack underflow");
                         state[w].on_stack = false;
                         scc.push(w);

@@ -7,7 +7,7 @@
 //! optional source locations to dense [`FunctionId`]s used everywhere else.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Dense numeric identifier for a registered function.
@@ -79,8 +79,12 @@ impl FunctionInfo {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FunctionTable {
     infos: Vec<FunctionInfo>,
+    // BTreeMap rather than HashMap so no hash-ordered iteration can ever
+    // leak into serialized output (incprof-lint rule D02); the index is
+    // lookup-only today, but the ordering guarantee is load-bearing for
+    // anything that later walks it.
     #[serde(skip)]
-    by_name: HashMap<String, FunctionId>,
+    by_name: BTreeMap<String, FunctionId>,
 }
 
 impl FunctionTable {
@@ -242,6 +246,29 @@ mod tests {
         t.register("m");
         let names: Vec<&str> = t.iter().map(|(_, i)| i.name.as_str()).collect();
         assert_eq!(names, vec!["z", "a", "m"]);
+    }
+
+    /// D02 regression: serialization must be a pure function of the
+    /// registration sequence — byte-identical across repeated dumps and
+    /// across a serialize/deserialize/rebuild round trip, never
+    /// dependent on container iteration order.
+    #[test]
+    fn serialization_is_stable() {
+        let build = || {
+            let mut t = FunctionTable::new();
+            for name in ["zeta", "alpha", "mid", "omega", "beta"] {
+                t.register_info(FunctionInfo::with_location(name, "app.c", 7));
+            }
+            t
+        };
+        let a = serde_json::to_string(&build()).unwrap();
+        let b = serde_json::to_string(&build()).unwrap();
+        assert_eq!(a, b, "same registrations must serialize identically");
+
+        let mut back: FunctionTable = serde_json::from_str(&a).unwrap();
+        back.rebuild_index();
+        let c = serde_json::to_string(&back).unwrap();
+        assert_eq!(a, c, "round trip + rebuild must not reorder output");
     }
 
     #[test]

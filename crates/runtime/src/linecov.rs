@@ -169,6 +169,7 @@ impl LineSnapshot {
                 .enumerate()
                 .map(|(i, &h)| {
                     let prev = earlier.hits.get(i).copied().unwrap_or(0);
+                    // lint: allow(P01, hit counters are monotone; a regression is memory corruption and must abort loudly)
                     h.checked_sub(prev).expect("line counter regressed")
                 })
                 .collect(),

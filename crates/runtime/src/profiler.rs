@@ -227,8 +227,9 @@ impl ProfilerRuntime {
             max_depth = max_depth.max(data.max_depth);
         }
         drop(threads);
-        incprof_obs::counter("runtime.snapshot.count").inc();
-        incprof_obs::gauge("runtime.stack.depth_hwm").record_max(max_depth as u64);
+        incprof_obs::counter(incprof_obs::names::RUNTIME_SNAPSHOT_COUNT).inc();
+        incprof_obs::gauge(incprof_obs::names::RUNTIME_STACK_DEPTH_HWM)
+            .record_max(max_depth as u64);
         ProfileSnapshot {
             sample_index,
             timestamp_ns: now,
@@ -526,8 +527,8 @@ mod tests {
         rt.snapshot(0);
         // The gauge is global and record_max; other tests may have pushed
         // it higher, but never lower than this runtime's depth of 3.
-        assert!(incprof_obs::gauge("runtime.stack.depth_hwm").get() >= 3);
-        assert!(incprof_obs::counter("runtime.snapshot.count").get() >= 1);
+        assert!(incprof_obs::gauge(incprof_obs::names::RUNTIME_STACK_DEPTH_HWM).get() >= 3);
+        assert!(incprof_obs::counter(incprof_obs::names::RUNTIME_SNAPSHOT_COUNT).get() >= 1);
     }
 
     #[test]

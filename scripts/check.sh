@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc (workspace, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+echo "==> incprof-lint (workspace invariants, warnings are errors)"
+cargo run -q -p incprof-lint -- --deny-warnings --json target/lint-diagnostics.json
+
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 

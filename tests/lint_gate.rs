@@ -1,0 +1,34 @@
+//! Tier-1 gate: the workspace must lint clean.
+//!
+//! This is the in-test wiring of `incprof-lint` (the other two are the
+//! `incprof lint` subcommand and the `scripts/check.sh` / CI step). It
+//! runs under plain `cargo test`, with warnings promoted to errors, so
+//! a determinism, clock, or panic-hygiene regression fails the build
+//! with a file:line diagnostic rather than surviving to review.
+
+use incprof_lint::{lint_workspace, Config};
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean_under_deny_warnings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint_workspace(root, &Config::default().deny_warnings())
+        .expect("lint walk over the workspace failed");
+    assert!(
+        report.is_clean(),
+        "lint violations in the workspace:\n{}",
+        report.render_human()
+    );
+    assert_eq!(report.warnings(), 0, "deny-warnings run must promote");
+    // Sanity that the walk actually saw the workspace: far more files
+    // than an empty checkout, and the known allow-markers were honored.
+    assert!(
+        report.files_scanned > 50,
+        "only {} files scanned — walk is broken",
+        report.files_scanned
+    );
+    assert!(
+        report.suppressions_used > 0,
+        "the workspace carries justified allow-markers; none matched"
+    );
+}
