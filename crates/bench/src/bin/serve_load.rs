@@ -1,0 +1,141 @@
+//! Load generator for the `incprof-serve` daemon.
+//!
+//! Starts an in-process daemon, then replays the five paper apps'
+//! rank-0 snapshot series from M concurrent clients (apps cycle when
+//! M > 5), each in its own session over real TCP. Reports ingest
+//! throughput (frames/sec over the wall-clock replay window) and the
+//! daemon's own p50/p95/p99 snapshot-ingest latency, read from the
+//! `serve.ingest.detect_latency_ns` histogram via
+//! `HistogramSnapshot::percentiles` — the shared obs registry sees the
+//! server threads because daemon and clients share the process.
+//!
+//! Output goes to `$INCPROF_METRICS` or `experiments_out/serve_report.json`.
+//!
+//! Usage: `serve_load [clients] [workers]` (defaults: 8 clients, 4 workers).
+
+use std::time::{Duration, Instant};
+
+use hpc_apps::{gadget2, graph500, lammps, miniamr, minife, HeartbeatPlan, RunMode};
+use incprof_collect::SampleSeries;
+use incprof_obs::names;
+use incprof_profile::FunctionTable;
+use incprof_serve::{Client, ServeConfig, Server};
+
+fn app_runs() -> Vec<(&'static str, SampleSeries, FunctionTable)> {
+    let plan = HeartbeatPlan::none();
+    let mode = RunMode::virtual_1s();
+    let mut v = Vec::new();
+    let r = graph500::run(&graph500::Graph500Config::tiny(), mode, &plan).rank0;
+    v.push(("Graph500", r.series, r.table));
+    let r = minife::run(&minife::MiniFeConfig::tiny(), mode, &plan).rank0;
+    v.push(("MiniFE", r.series, r.table));
+    let r = miniamr::run(&miniamr::MiniAmrConfig::tiny(), mode, &plan).rank0;
+    v.push(("MiniAMR", r.series, r.table));
+    let r = lammps::run(&lammps::LammpsConfig::tiny(), mode, &plan).rank0;
+    v.push(("LAMMPS", r.series, r.table));
+    let r = gadget2::run(&gadget2::Gadget2Config::tiny(), mode, &plan).rank0;
+    v.push(("Gadget2", r.series, r.table));
+    v
+}
+
+/// Replay one app's series into its own session; returns frames pushed.
+fn replay(addr: &str, series: &SampleSeries, table: &FunctionTable) -> u64 {
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    let session = client.open().expect("open session");
+    let mut frames = 0u64;
+    for snap in series.snapshots() {
+        let gmon = snap.to_gmon(table);
+        client.push_retry(session, &gmon, 200).expect("push");
+        frames += 1;
+    }
+    // The analysis query forces a final drain before we stop the clock.
+    let _ = client.query_analysis(session).expect("query");
+    client.close(session).expect("close");
+    frames
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let clients: usize = args
+        .next()
+        .map(|s| s.parse().expect("clients: not a number"))
+        .unwrap_or(8);
+    let workers: usize = args
+        .next()
+        .map(|s| s.parse().expect("workers: not a number"))
+        .unwrap_or(4);
+
+    println!("== serve_load: {clients} clients -> {workers} worker daemon ==");
+    println!("profiling the 5 paper apps (tiny configs, virtual 1s runs)...");
+    let runs = app_runs();
+    let total_snaps: usize = runs.iter().map(|(_, s, _)| s.snapshots().len()).sum();
+    println!(
+        "  {} apps, {total_snaps} snapshots per full cycle",
+        runs.len()
+    );
+
+    let handle = Server::bind(ServeConfig {
+        workers,
+        max_sessions: clients.max(8) * 2,
+        read_timeout: Duration::from_millis(25),
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .start()
+    .expect("start");
+    let addr = handle.addr().to_string();
+    println!("daemon listening on {addr}");
+
+    let started = Instant::now();
+    let frames: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                let (_, series, table) = &runs[i % runs.len()];
+                let addr = addr.as_str();
+                scope.spawn(move || replay(addr, series, table))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("join")).sum()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let fps = frames as f64 / elapsed;
+
+    assert_eq!(handle.active_sessions(), 0, "sessions must not leak");
+    handle.shutdown();
+
+    let ingest = incprof_obs::histogram(names::SERVE_INGEST_DETECT_LATENCY_NS).snapshot();
+    let (p50, p95, p99) = ingest.percentiles();
+    println!(
+        "\n{frames} snapshot frames in {:.2}s  ->  {fps:.0} frames/sec",
+        elapsed
+    );
+    println!(
+        "ingest detect latency (n={}): p50={p50}ns  p95={p95}ns  p99={p99}ns",
+        ingest.count
+    );
+
+    incprof_obs::gauge("serve.load.clients").set(clients as u64);
+    incprof_obs::gauge("serve.load.workers").set(workers as u64);
+    incprof_obs::gauge("serve.load.frames_total").set(frames);
+    incprof_obs::gauge("serve.load.elapsed_us").set((elapsed * 1e6) as u64);
+    incprof_obs::gauge("serve.load.frames_per_sec").set(fps as u64);
+    incprof_obs::gauge("serve.load.ingest_p50_ns").set(p50);
+    incprof_obs::gauge("serve.load.ingest_p95_ns").set(p95);
+    incprof_obs::gauge("serve.load.ingest_p99_ns").set(p99);
+
+    let out = std::env::var("INCPROF_METRICS")
+        .unwrap_or_else(|_| "experiments_out/serve_report.json".into());
+    let path = std::path::PathBuf::from(out);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    incprof_obs::report()
+        .write(&path)
+        .expect("write serve load report");
+    println!(
+        "\nrun report (serve.load.* gauges + daemon serve.* counters): {}",
+        path.display()
+    );
+
+    assert!(frames as usize >= total_snaps, "every client must finish");
+}

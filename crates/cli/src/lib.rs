@@ -13,6 +13,12 @@
 //! incprof analyze-json <dump> [opts]    analyze a collected run dump
 //! incprof lint [root] [--json] [-D]     run the workspace invariant
 //!                                       lints (see docs/LINTS.md)
+//! incprof serve [opts]                  run the streaming phase-detection
+//!                                       daemon (docs/PROTOCOL.md)
+//! incprof push <addr> <dump.json>       replay a run dump into a daemon
+//!                                       and print its phase report
+//! incprof collect <out.json> [opts]     wall-clock collection of a
+//!                                       synthetic workload until Ctrl-C
 //!
 //! options: --threshold <f>   Algorithm 1 coverage threshold (0.95)
 //!          --kmax <n>        maximum k for the sweep (8)
@@ -33,6 +39,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+mod serve_cmd;
+pub use serve_cmd::{collect_cmd, push_cmd, serve_cmd};
 
 use incprof_cluster::{DbscanParams, KSelectionMethod};
 use incprof_collect::report_path::{clamp_monotone, parse_reports};
@@ -535,6 +544,9 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
             analyze_json(Path::new(dump), &opts)
         }
         Some("lint") => lint_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("push") => push_cmd(&args[1..]),
+        Some("collect") => collect_cmd(&args[1..]),
         Some(other) => Err(CliError::Usage(format!("unknown command {other}\n{USAGE}"))),
         None => Err(CliError::Usage(USAGE.to_string())),
     }
@@ -556,6 +568,10 @@ incprof — source-oriented phase identification (IncProf, CLUSTER 2022)
                                 [--dbscan eps min_pts] [--merge] [--json]
   incprof analyze-json <dump.json> [same options]
   incprof lint [root] [--json] [--deny-warnings|-D]
+  incprof serve [--addr host:port | --unix path] [--workers n]
+                [--max-sessions n] [--max-pending n] [--addr-file path]
+  incprof push <addr> <dump.json> [--analysis] [--keep-open] [--shutdown]
+  incprof collect <out.json> [--interval-ms n] [--max-samples n]
 
 global options (any command):
   --metrics <path>   write an observability run report (counters, span

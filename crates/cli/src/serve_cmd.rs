@@ -1,0 +1,246 @@
+//! The long-running subcommands: `incprof serve`, `incprof push`, and
+//! `incprof collect`.
+//!
+//! All three share one lifecycle discipline: SIGINT flips a flag (via
+//! `incprof_serve::signal`), the command drains whatever it owns —
+//! daemon sessions, the wall collector's series — returns normally, and
+//! the process exits 0 with the observability run report flushed by the
+//! `--metrics` machinery in [`crate::run`].
+
+use crate::{CliError, RunDump};
+use incprof_serve::signal;
+use incprof_serve::{BindAddr, Client, ServeConfig, Server};
+use std::path::{Path, PathBuf};
+
+fn take(args: &[String], i: &mut usize, what: &str) -> Result<String, CliError> {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| CliError::Usage(format!("{what} requires a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    v.parse()
+        .map_err(|e| CliError::Usage(format!("bad {what}: {e}")))
+}
+
+/// `incprof serve [--addr host:port | --unix path] [--workers n]
+/// [--max-sessions n] [--max-pending n] [--addr-file path]`.
+///
+/// Binds, prints `listening on <addr>` (and optionally writes the
+/// resolved address to `--addr-file`, for scripts using an ephemeral
+/// port), then blocks until a `Shutdown` frame arrives or SIGINT fires.
+/// Either way the daemon drains every session before returning, and the
+/// returned summary reports the ingest tail latency via the histogram
+/// quantiles.
+pub fn serve_cmd(args: &[String]) -> Result<String, CliError> {
+    let mut config = ServeConfig::default();
+    let mut addr_file: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => config.addr = BindAddr::Tcp(take(args, &mut i, "--addr")?),
+            "--unix" => config.addr = BindAddr::Unix(PathBuf::from(take(args, &mut i, "--unix")?)),
+            "--workers" => {
+                config.workers = parse_num(&take(args, &mut i, "--workers")?, "--workers")?;
+                if config.workers == 0 {
+                    return Err(CliError::Usage("--workers must be at least 1".into()));
+                }
+            }
+            "--max-sessions" => {
+                config.max_sessions =
+                    parse_num(&take(args, &mut i, "--max-sessions")?, "--max-sessions")?;
+            }
+            "--max-pending" => {
+                config.max_pending =
+                    parse_num(&take(args, &mut i, "--max-pending")?, "--max-pending")?;
+            }
+            "--addr-file" => addr_file = Some(PathBuf::from(take(args, &mut i, "--addr-file")?)),
+            other => return Err(CliError::Usage(format!("unknown serve option {other}"))),
+        }
+        i += 1;
+    }
+
+    signal::install_sigint_handler();
+    let server = Server::bind(config).map_err(CliError::Io)?;
+    let addr = server.local_addr().to_string();
+    let handle = server.start().map_err(CliError::Io)?;
+    // Announce readiness immediately; the summary string below is only
+    // printed after shutdown.
+    println!("incprof-serve listening on {addr}");
+    if let Some(path) = &addr_file {
+        std::fs::write(path, &addr)?;
+    }
+
+    handle.wait(Some(signal::interrupted()));
+    let sessions_at_exit = handle.active_sessions();
+    handle.shutdown();
+
+    let frames_in = incprof_obs::counter(incprof_obs::names::SERVE_FRAMES_IN).get();
+    let frames_out = incprof_obs::counter(incprof_obs::names::SERVE_FRAMES_OUT).get();
+    let opened = incprof_obs::counter(incprof_obs::names::SERVE_SESSIONS_OPENED).get();
+    let lat = incprof_obs::histogram(incprof_obs::names::SERVE_INGEST_DETECT_LATENCY_NS).snapshot();
+    let (p50, p95, p99) = lat.percentiles();
+    Ok(format!(
+        "incprof-serve drained: {opened} session(s) ({sessions_at_exit} open at shutdown), \
+         {frames_in} frames in / {frames_out} out\n\
+         ingest-to-detect latency: n={} p50={p50}ns p95={p95}ns p99={p99}ns",
+        lat.count
+    ))
+}
+
+/// `incprof push <addr> <dump.json> [--analysis] [--keep-open]
+/// [--shutdown]`.
+///
+/// Replays a collected run dump into a live daemon: opens a session,
+/// streams every cumulative snapshot as a gmon-encoded frame (with
+/// bounded busy-retry), and prints the session's JSON report —
+/// `--analysis` asks for the offline-identical `PhaseAnalysis` document
+/// instead of the full online report. `--shutdown` asks the daemon to
+/// exit afterwards (used by the check-script smoke step).
+pub fn push_cmd(args: &[String]) -> Result<String, CliError> {
+    let mut addr: Option<String> = None;
+    let mut dump_path: Option<PathBuf> = None;
+    let mut analysis = false;
+    let mut keep_open = false;
+    let mut shutdown = false;
+    for arg in args {
+        match arg.as_str() {
+            "--analysis" => analysis = true,
+            "--keep-open" => keep_open = true,
+            "--shutdown" => shutdown = true,
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown push option {flag}")));
+            }
+            positional if addr.is_none() => addr = Some(positional.to_string()),
+            positional if dump_path.is_none() => dump_path = Some(PathBuf::from(positional)),
+            extra => {
+                return Err(CliError::Usage(format!(
+                    "unexpected extra push argument {extra}"
+                )));
+            }
+        }
+    }
+    let addr = addr.ok_or_else(|| CliError::Usage("push <addr> <dump.json>".into()))?;
+    let dump_path = dump_path.ok_or_else(|| CliError::Usage("push <addr> <dump.json>".into()))?;
+
+    let dump = load_dump(&dump_path)?;
+    let mut client = Client::connect(&addr).map_err(client_err)?;
+    let session = client.open().map_err(client_err)?;
+    for snap in dump.series.snapshots() {
+        let gmon = snap.to_gmon(&dump.table);
+        client.push_retry(session, &gmon, 50).map_err(client_err)?;
+    }
+    let report = if analysis {
+        client.query_analysis(session).map_err(client_err)?
+    } else {
+        client.query_report(session).map_err(client_err)?
+    };
+    if !keep_open {
+        client.close(session).map_err(client_err)?;
+    }
+    if shutdown {
+        client.shutdown_server().map_err(client_err)?;
+    }
+    Ok(report)
+}
+
+/// `incprof collect <out.json> [--interval-ms n] [--max-samples n]`.
+///
+/// The wall-mode collection path: runs a small three-phase synthetic
+/// workload on the main thread while the wall-clock collector samples
+/// it in the background, until SIGINT (or `--max-samples`) stops it.
+/// The drained series is written as a run dump usable by `analyze-json`
+/// and `push`. Exits 0 on Ctrl-C by design: interruption is the normal
+/// way to end a collection.
+pub fn collect_cmd(args: &[String]) -> Result<String, CliError> {
+    use incprof_collect::{CollectorConfig, IncProfCollector};
+    use incprof_runtime::ProfilerRuntime;
+
+    let mut out_path: Option<PathBuf> = None;
+    let mut interval_ms: u64 = 50;
+    let mut max_samples: u64 = u64::MAX;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--interval-ms" => {
+                interval_ms = parse_num(&take(args, &mut i, "--interval-ms")?, "--interval-ms")?;
+                if interval_ms == 0 {
+                    return Err(CliError::Usage("--interval-ms must be at least 1".into()));
+                }
+            }
+            "--max-samples" => {
+                max_samples = parse_num(&take(args, &mut i, "--max-samples")?, "--max-samples")?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown collect option {flag}")));
+            }
+            positional if out_path.is_none() => out_path = Some(PathBuf::from(positional)),
+            extra => {
+                return Err(CliError::Usage(format!(
+                    "unexpected extra collect argument {extra}"
+                )));
+            }
+        }
+        i += 1;
+    }
+    let out_path = out_path.ok_or_else(|| CliError::Usage("collect <out.json>".into()))?;
+
+    signal::install_sigint_handler();
+    let rt = ProfilerRuntime::new();
+    let setup = rt.register_function("setup_mesh");
+    let solve = rt.register_function("implicit_solve");
+    let output = rt.register_function("write_output");
+    let collector = IncProfCollector::start_wall(
+        rt.clone(),
+        CollectorConfig {
+            interval_ns: interval_ms * 1_000_000,
+            ..CollectorConfig::default()
+        },
+    );
+    println!(
+        "collecting every {interval_ms} ms to {} (Ctrl-C to stop)",
+        out_path.display()
+    );
+
+    // A three-phase synthetic workload, phased by sample count so the
+    // dump's shape tracks collection progress rather than wall time.
+    while !signal::interrupted().load(std::sync::atomic::Ordering::Acquire)
+        && collector.samples_taken() < max_samples
+    {
+        let taken = collector.samples_taken();
+        let active = match taken {
+            t if t < 4 => setup,
+            t if t % 8 == 7 => output,
+            _ => solve,
+        };
+        let _g = rt.enter(active);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    let series = collector.stop();
+    let n = series.len();
+    let dump = RunDump {
+        table: rt.function_table(),
+        series,
+    };
+    std::fs::write(&out_path, serde_json::to_string(&dump)?)?;
+    Ok(format!(
+        "collected {n} sample(s) to {} (drained cleanly)",
+        out_path.display()
+    ))
+}
+
+fn load_dump(path: &Path) -> Result<RunDump, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut dump: RunDump = serde_json::from_str(&text)?;
+    dump.table.rebuild_index();
+    Ok(dump)
+}
+
+fn client_err(e: incprof_serve::ClientError) -> CliError {
+    CliError::Pipeline(format!("serve client: {e}"))
+}

@@ -1,0 +1,147 @@
+//! Graceful-SIGINT tests for the long-running subcommands, driven
+//! against the real `incprof` binary as a child process.
+//!
+//! The contract under test: Ctrl-C makes `serve` and `collect` drain
+//! what they own, flush the `--metrics` run report, and exit 0 — an
+//! interrupted collection or daemon is a *successful* run, not a crash.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn incprof() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_incprof"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("incprof_sigint_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Deliver SIGINT via the portable `kill` utility (the workspace has no
+/// libc binding, and spawning `kill` is exactly what a shell's Ctrl-C
+/// or an init system's stop would do).
+fn send_sigint(child: &Child) {
+    let status = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("spawn kill");
+    assert!(status.success(), "kill -INT failed");
+}
+
+/// Wait for the child with a hard deadline so a hung drain fails the
+/// test instead of wedging the suite.
+fn wait_with_deadline(mut child: Child, deadline: Duration) -> std::process::ExitStatus {
+    let started = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if started.elapsed() > deadline {
+            let _ = child.kill();
+            panic!("child did not exit within {deadline:?} after SIGINT");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn wait_for_file(path: &Path, deadline: Duration) {
+    let started = Instant::now();
+    while !path.exists() {
+        assert!(
+            started.elapsed() < deadline,
+            "{} did not appear within {deadline:?}",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn serve_drains_and_exits_zero_on_sigint() {
+    let dir = temp_dir("serve");
+    let addr_file = dir.join("addr.txt");
+    let metrics = dir.join("metrics.json");
+
+    let child = incprof()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().expect("utf8 path"),
+            "--metrics",
+            metrics.to_str().expect("utf8 path"),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+
+    // The daemon is up once it has written its resolved address. Run
+    // one live exchange so the interrupt lands on a daemon with state.
+    wait_for_file(&addr_file, Duration::from_secs(10));
+    let addr = std::fs::read_to_string(&addr_file).expect("addr");
+    let mut client = incprof_serve::Client::connect_tcp(addr.trim()).expect("connect");
+    client.ping().expect("ping");
+    let session = client.open().expect("open");
+
+    send_sigint(&child);
+    let status = wait_with_deadline(child, Duration::from_secs(10));
+    assert!(status.success(), "serve must exit 0 on SIGINT: {status:?}");
+
+    // The run report was flushed on the way out with the daemon's
+    // traffic in it — including the session left open at interrupt,
+    // which the drain owned rather than abandoned.
+    let report =
+        incprof_obs::RunReport::from_json(&std::fs::read_to_string(&metrics).expect("metrics"))
+            .expect("parse run report");
+    assert!(report.counters["serve.conns.accepted"] >= 1);
+    assert!(report.counters["serve.frames.received"] >= 2);
+    assert!(report.counters["serve.sessions.opened"] >= 1, "{session}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn collect_drains_and_exits_zero_on_sigint() {
+    let dir = temp_dir("collect");
+    let dump = dir.join("dump.json");
+    let metrics = dir.join("metrics.json");
+
+    let child = incprof()
+        .args([
+            "collect",
+            dump.to_str().expect("utf8 path"),
+            "--interval-ms",
+            "10",
+            "--metrics",
+            metrics.to_str().expect("utf8 path"),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn collect");
+
+    // Let it take a few samples before interrupting.
+    std::thread::sleep(Duration::from_millis(300));
+    send_sigint(&child);
+    let status = wait_with_deadline(child, Duration::from_secs(10));
+    assert!(
+        status.success(),
+        "collect must exit 0 on SIGINT: {status:?}"
+    );
+
+    // The interrupted collection still produced a loadable dump...
+    let dump_text = std::fs::read_to_string(&dump).expect("dump written");
+    let parsed: incprof_cli::RunDump = serde_json::from_str(&dump_text).expect("dump parses");
+    assert!(!parsed.series.is_empty(), "dump must contain samples");
+    // ...and the flushed report shows collector activity.
+    let report =
+        incprof_obs::RunReport::from_json(&std::fs::read_to_string(&metrics).expect("metrics"))
+            .expect("parse run report");
+    assert!(report.counters["collect.snapshot.count"] > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

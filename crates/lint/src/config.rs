@@ -19,29 +19,9 @@ pub const SKIP_PREFIXES: &[&str] = &["shims/", "target/", ".git/"];
 /// code that *measures* wall time and prints ad-hoc output.
 pub const HARNESS_CRATES: &[&str] = &["bench"];
 
-/// D01: files allowed to read the wall clock directly.
-pub const D01_ALLOW: &[&str] = &[
-    // The clock abstraction itself: the one sanctioned Instant::now.
-    "crates/runtime/src/clock.rs",
-    // The wall collector ticks on real deadlines by definition.
-    "crates/collect/src/collector.rs",
-    // Obs spans over TimeSource::Wall.
-    "crates/obs/src/span.rs",
-    // The app harness stamps wall progress for operator output.
-    "crates/apps/src/harness.rs",
-];
-
 /// D02: analysis crates whose container iteration can reach serialized
 /// output (reports, JSON dumps, rendered tables).
 pub const D02_CRATES: &[&str] = &["profile", "cluster", "core", "collect"];
-
-/// D03: path prefixes allowed to create threads.
-pub const D03_ALLOW: &[&str] = &[
-    // The deterministic worker pool is the sanctioned spawner.
-    "crates/par/",
-    // The wall collector owns its tick thread.
-    "crates/collect/src/collector.rs",
-];
 
 /// D04: crates whose float reductions must go through
 /// `incprof_par::reduce_chunks` (only files that reference
@@ -54,7 +34,7 @@ pub const D04_CRATES: &[&str] = &["profile", "cluster", "core", "collect", "apps
 /// `apps`) are excluded: their unwraps terminate a tool, not a library
 /// caller.
 pub const P01_CRATES: &[&str] = &[
-    "profile", "cluster", "core", "collect", "runtime", "obs", "par", "lint",
+    "profile", "cluster", "core", "collect", "runtime", "obs", "par", "lint", "serve",
 ];
 
 /// O01: crates exempt from the literal-name ban. Only `obs` itself,
@@ -65,12 +45,24 @@ pub const O01_EXEMPT_CRATES: &[&str] = &["obs"];
 /// Identifier called with a name argument that O01 watches.
 pub const O01_CALLEES: &[&str] = &["counter", "gauge", "histogram", "span", "find_span"];
 
-/// Per-rule severity configuration.
+/// Per-rule severity and scope configuration.
+///
+/// The D01/D03 allowlists are *data*, not code: callers (and future
+/// config files) extend them per deployment, and each default entry is
+/// documented where it is declared. An entry matches a file when it
+/// equals the workspace-relative path or is a `/`-terminated prefix of
+/// it.
 #[derive(Debug, Clone)]
 pub struct Config {
     severities: BTreeMap<RuleId, Severity>,
     /// Promote warnings to errors for exit-code purposes.
     pub deny_warnings: bool,
+    /// D01: files (or `/`-terminated path prefixes) allowed to read the
+    /// wall clock directly.
+    pub d01_allow: Vec<String>,
+    /// D03: files (or `/`-terminated path prefixes) allowed to create
+    /// threads.
+    pub d03_allow: Vec<String>,
 }
 
 impl Default for Config {
@@ -86,9 +78,36 @@ impl Default for Config {
             };
             severities.insert(r, sev);
         }
+        let d01_allow = [
+            // The clock abstraction itself: the one sanctioned Instant::now.
+            "crates/runtime/src/clock.rs",
+            // The wall collector ticks on real deadlines by definition.
+            "crates/collect/src/collector.rs",
+            // Obs spans over TimeSource::Wall.
+            "crates/obs/src/span.rs",
+            // The app harness stamps wall progress for operator output.
+            "crates/apps/src/harness.rs",
+            // The daemon stamps frame arrival for ingest-latency metrics
+            // and polls sockets on real timeouts.
+            "crates/serve/src/server.rs",
+        ]
+        .map(String::from)
+        .to_vec();
+        let d03_allow = [
+            // The deterministic worker pool is the sanctioned spawner.
+            "crates/par/",
+            // The wall collector owns its tick thread.
+            "crates/collect/src/collector.rs",
+            // The daemon's acceptor and bounded worker threads.
+            "crates/serve/src/server.rs",
+        ]
+        .map(String::from)
+        .to_vec();
         Config {
             severities,
             deny_warnings: false,
+            d01_allow,
+            d03_allow,
         }
     }
 }
@@ -121,6 +140,23 @@ impl Config {
             s => s,
         }
     }
+
+    /// Whether `rel_path` may read the wall clock (D01 scope).
+    pub fn d01_allows(&self, rel_path: &str) -> bool {
+        scope_match(&self.d01_allow, rel_path)
+    }
+
+    /// Whether `rel_path` may create threads (D03 scope).
+    pub fn d03_allows(&self, rel_path: &str) -> bool {
+        scope_match(&self.d03_allow, rel_path)
+    }
+}
+
+/// An entry matches on exact path, or as a prefix when `/`-terminated.
+fn scope_match(scopes: &[String], rel_path: &str) -> bool {
+    scopes
+        .iter()
+        .any(|p| rel_path == p.as_str() || (p.ends_with('/') && rel_path.starts_with(p.as_str())))
 }
 
 /// The crate a workspace-relative path belongs to (`crates/<name>/…`),
@@ -149,6 +185,25 @@ mod tests {
             c.deny_warnings().effective_severity(RuleId::D04),
             Severity::Error
         );
+    }
+
+    #[test]
+    fn scopes_are_config_data() {
+        let c = Config::default();
+        // Exact-path entries.
+        assert!(c.d01_allows("crates/runtime/src/clock.rs"));
+        assert!(c.d01_allows("crates/serve/src/server.rs"));
+        assert!(!c.d01_allows("crates/serve/src/session.rs"));
+        assert!(!c.d01_allows("crates/core/src/pipeline.rs"));
+        // `/`-terminated entries are prefixes; others are not.
+        assert!(c.d03_allows("crates/par/src/pool.rs"));
+        assert!(c.d03_allows("crates/serve/src/server.rs"));
+        assert!(!c.d03_allows("crates/serve/src/client.rs"));
+        assert!(!c.d03_allows("crates/collect/src/collector_helper.rs"));
+        // A caller can extend the scope without touching rule code.
+        let mut c = c;
+        c.d03_allow.push("crates/experimental/".to_string());
+        assert!(c.d03_allows("crates/experimental/src/x.rs"));
     }
 
     #[test]

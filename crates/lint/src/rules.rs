@@ -58,7 +58,7 @@ fn emit(
 
 /// D01: `Instant::now` / `SystemTime` outside the allowlist.
 fn d01_wall_clock(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
-    if config::D01_ALLOW.contains(&file.rel_path.as_str()) {
+    if cfg.d01_allows(&file.rel_path) {
         return;
     }
     let toks = &file.tokens;
@@ -130,13 +130,10 @@ fn d02_deterministic_iteration(
     }
 }
 
-/// D03: `thread::spawn` / `thread::scope` outside the sanctioned
-/// spawners.
+/// D03: `thread::spawn` / `thread::scope` / `thread::Builder` outside
+/// the sanctioned spawners.
 fn d03_thread_hygiene(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
-    if config::D03_ALLOW
-        .iter()
-        .any(|p| file.rel_path == *p || file.rel_path.starts_with(p))
-    {
+    if cfg.d03_allows(&file.rel_path) {
         return;
     }
     let toks = &file.tokens;
@@ -147,9 +144,9 @@ fn d03_thread_hygiene(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>
         if t.is_ident("thread")
             && toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
             && toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
-            && toks
-                .get(i + 3)
-                .is_some_and(|a| a.is_ident("spawn") || a.is_ident("scope"))
+            && toks.get(i + 3).is_some_and(|a| {
+                a.is_ident("spawn") || a.is_ident("scope") || a.is_ident("Builder")
+            })
         {
             let what = &toks[i + 3].text;
             emit(

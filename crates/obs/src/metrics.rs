@@ -201,6 +201,40 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `q`-quantile (`q` in `[0, 1]`, clamped), estimated as the
+    /// upper bound of the bucket holding the `⌈q·count⌉`-th observation
+    /// and clamped to the observed `max`. Returns 0 when empty.
+    ///
+    /// Power-of-two buckets make this a ≤2× overestimate in the worst
+    /// case — the right trade for tail-latency reporting, where "which
+    /// order of magnitude" is the question being asked.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based: ⌈q·count⌉, at least 1
+        // so q=0 means "the smallest observation's bucket".
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= rank {
+                return b.le.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: (p50, p95, p99) in one call.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
 }
 
 /// Named instrument registry. Instruments are created on first use and
@@ -331,5 +365,55 @@ mod tests {
                 count: 1
             }]
         );
+    }
+
+    #[test]
+    fn quantile_empty_is_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.percentiles(), (0, 0, 0));
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_buckets() {
+        let h = Histogram::new();
+        // 90 observations in [4,7], 9 in [64,127], 1 in [1024,2047].
+        for _ in 0..90 {
+            h.record(5);
+        }
+        for _ in 0..9 {
+            h.record(100);
+        }
+        h.record(1500);
+        let s = h.snapshot();
+        // p50 and p90 land in the first bucket (le=7).
+        assert_eq!(s.quantile(0.50), 7);
+        assert_eq!(s.quantile(0.90), 7);
+        // p95 lands in the middle bucket (le=127).
+        assert_eq!(s.quantile(0.95), 127);
+        // p99 reaches the middle bucket (rank 99 of 100); p100 the tail,
+        // clamped to the observed max rather than the bucket bound 2047.
+        assert_eq!(s.quantile(0.99), 127);
+        assert_eq!(s.quantile(1.0), 1500);
+    }
+
+    #[test]
+    fn quantile_is_clamped_to_observed_range() {
+        let h = Histogram::new();
+        h.record(5); // bucket le=7
+        let s = h.snapshot();
+        // q out of range is clamped; a single observation answers
+        // every quantile, clamped to max=5 rather than bucket bound 7.
+        assert_eq!(s.quantile(-1.0), 5);
+        assert_eq!(s.quantile(0.0), 5);
+        assert_eq!(s.quantile(2.0), 5);
+    }
+
+    #[test]
+    fn quantile_single_zero_observation() {
+        let h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.snapshot().quantile(0.5), 0);
     }
 }

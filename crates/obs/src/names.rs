@@ -114,6 +114,33 @@ pub const LINT_DIAGNOSTICS_TOTAL: &str = "lint.diagnostics.total";
 pub const LINT_SUPPRESSIONS_USED: &str = "lint.suppressions.used";
 
 // ---------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------
+
+/// Gauge: sessions currently open in the daemon registry.
+pub const SERVE_SESSIONS_ACTIVE: &str = "serve.sessions.active";
+/// Counter: sessions opened over the daemon's lifetime.
+pub const SERVE_SESSIONS_OPENED: &str = "serve.sessions.opened";
+/// Counter: sessions closed.
+pub const SERVE_SESSIONS_CLOSED: &str = "serve.sessions.closed";
+/// Counter: well-formed request frames read off the wire.
+pub const SERVE_FRAMES_IN: &str = "serve.frames.received";
+/// Counter: reply frames written to the wire.
+pub const SERVE_FRAMES_OUT: &str = "serve.frames.sent";
+/// Counter: wire bytes received (framed request bytes).
+pub const SERVE_BYTES_IN: &str = "serve.bytes.received";
+/// Counter: wire bytes sent (framed reply bytes).
+pub const SERVE_BYTES_OUT: &str = "serve.bytes.sent";
+/// Counter: frames rejected at decode (framing or payload).
+pub const SERVE_DECODE_ERRORS: &str = "serve.frames.decode_errors";
+/// Counter: BUSY backpressure replies (session queue or accept queue).
+pub const SERVE_BUSY_REPLIES: &str = "serve.backpressure.busy_replies";
+/// Counter: connections accepted.
+pub const SERVE_CONNS_ACCEPTED: &str = "serve.conns.accepted";
+/// Histogram: snapshot arrival to online-detector observation, ns.
+pub const SERVE_INGEST_DETECT_LATENCY_NS: &str = "serve.ingest.detect_latency_ns";
+
+// ---------------------------------------------------------------------
 // registry table
 // ---------------------------------------------------------------------
 
@@ -150,6 +177,17 @@ pub const ALL: &[&str] = &[
     LINT_FILES_SCANNED,
     LINT_DIAGNOSTICS_TOTAL,
     LINT_SUPPRESSIONS_USED,
+    SERVE_SESSIONS_ACTIVE,
+    SERVE_SESSIONS_OPENED,
+    SERVE_SESSIONS_CLOSED,
+    SERVE_FRAMES_IN,
+    SERVE_FRAMES_OUT,
+    SERVE_BYTES_IN,
+    SERVE_BYTES_OUT,
+    SERVE_DECODE_ERRORS,
+    SERVE_BUSY_REPLIES,
+    SERVE_CONNS_ACCEPTED,
+    SERVE_INGEST_DETECT_LATENCY_NS,
 ];
 
 #[cfg(test)]

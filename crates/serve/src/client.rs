@@ -1,0 +1,239 @@
+//! Blocking client for the incprof-serve wire protocol.
+//!
+//! One [`Client`] owns one connection and any number of logical
+//! sessions on it. Every call is a synchronous request/reply exchange,
+//! so the natural usage is one client per pushing thread. Backpressure
+//! is surfaced as [`Push::Busy`] — the caller decides whether to retry,
+//! and [`Client::push_retry`] implements the obvious bounded-retry
+//! loop for convenience.
+
+use crate::frame::{
+    read_frame, write_frame, ErrorInfo, Frame, FrameError, FrameType, ReadOutcome, SnapshotAck,
+    DEFAULT_MAX_PAYLOAD,
+};
+use incprof_profile::GmonData;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server replied with a typed error frame.
+    Server(ErrorInfo),
+    /// The reply frame was malformed or of an unexpected type.
+    Protocol(String),
+    /// The server closed the connection.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+/// Outcome of a snapshot push.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Push {
+    /// Ingested and observed by the incremental detector.
+    Ack(SnapshotAck),
+    /// The session's ingest queue (or the accept queue) is full.
+    Busy,
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A blocking protocol client over TCP or a Unix socket.
+pub struct Client {
+    stream: Stream,
+    max_payload: u32,
+}
+
+impl Client {
+    /// Connect over TCP (`host:port`).
+    pub fn connect_tcp(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Client {
+            stream: Stream::Tcp(stream),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        })
+    }
+
+    /// Connect over a Unix-domain socket.
+    pub fn connect_unix(path: &Path) -> Result<Client, ClientError> {
+        let stream = UnixStream::connect(path)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Client {
+            stream: Stream::Unix(stream),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        })
+    }
+
+    /// Connect to `addr`, treating anything containing `/` as a Unix
+    /// socket path and everything else as `host:port`.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        if addr.contains('/') {
+            Client::connect_unix(Path::new(addr))
+        } else {
+            Client::connect_tcp(addr)
+        }
+    }
+
+    fn round_trip(&mut self, request: &Frame) -> Result<Frame, ClientError> {
+        write_frame(&mut self.stream, request)?;
+        loop {
+            match read_frame(&mut self.stream, self.max_payload)? {
+                ReadOutcome::Frame(f) => return Ok(f),
+                ReadOutcome::TimedOut => continue,
+                ReadOutcome::Closed => return Err(ClientError::Disconnected),
+                ReadOutcome::Malformed(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn expect_reply(&mut self, request: &Frame, want: FrameType) -> Result<Frame, ClientError> {
+        let reply = self.round_trip(request)?;
+        match reply.frame_type {
+            t if t == want => Ok(reply),
+            FrameType::Error => Err(ClientError::Server(ErrorInfo::decode(&reply.payload)?)),
+            other => Err(ClientError::Protocol(format!(
+                "expected {want:?}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Open a new session; returns its server-assigned id.
+    pub fn open(&mut self) -> Result<u64, ClientError> {
+        let reply = self.expect_reply(&Frame::empty(FrameType::Open, 0), FrameType::OpenAck)?;
+        Ok(reply.session_id)
+    }
+
+    /// Push one cumulative snapshot (as gmon wire bytes) into a session.
+    pub fn push(&mut self, session_id: u64, gmon: &GmonData) -> Result<Push, ClientError> {
+        let frame = Frame::with_payload(FrameType::Snapshot, session_id, gmon.encode().to_vec());
+        let reply = self.round_trip(&frame)?;
+        match reply.frame_type {
+            FrameType::SnapshotAck => Ok(Push::Ack(SnapshotAck::decode(&reply.payload)?)),
+            FrameType::Busy => Ok(Push::Busy),
+            FrameType::Error => Err(ClientError::Server(ErrorInfo::decode(&reply.payload)?)),
+            other => Err(ClientError::Protocol(format!(
+                "expected SnapshotAck, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Push with a bounded busy-retry loop (linear backoff).
+    pub fn push_retry(
+        &mut self,
+        session_id: u64,
+        gmon: &GmonData,
+        max_attempts: usize,
+    ) -> Result<SnapshotAck, ClientError> {
+        for attempt in 0..max_attempts.max(1) {
+            match self.push(session_id, gmon)? {
+                Push::Ack(ack) => return Ok(ack),
+                Push::Busy => {
+                    std::thread::sleep(Duration::from_millis(5 * (attempt as u64 + 1)));
+                }
+            }
+        }
+        Err(ClientError::Protocol(format!(
+            "session {session_id} still busy after {max_attempts} attempts"
+        )))
+    }
+
+    /// Fetch the full JSON phase report for a session.
+    pub fn query_report(&mut self, session_id: u64) -> Result<String, ClientError> {
+        self.query(session_id, 0)
+    }
+
+    /// Fetch only the offline `PhaseAnalysis` JSON (the determinism
+    /// bridge: byte-identical to the offline pipeline on this series).
+    pub fn query_analysis(&mut self, session_id: u64) -> Result<String, ClientError> {
+        self.query(session_id, 1)
+    }
+
+    fn query(&mut self, session_id: u64, mode: u8) -> Result<String, ClientError> {
+        let frame = Frame::with_payload(FrameType::Query, session_id, vec![mode]);
+        let reply = self.expect_reply(&frame, FrameType::Report)?;
+        String::from_utf8(reply.payload)
+            .map_err(|_| ClientError::Protocol("report payload is not UTF-8".to_string()))
+    }
+
+    /// Close a session, draining anything still pending server-side.
+    pub fn close(&mut self, session_id: u64) -> Result<(), ClientError> {
+        self.expect_reply(
+            &Frame::empty(FrameType::Close, session_id),
+            FrameType::CloseAck,
+        )?;
+        Ok(())
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.expect_reply(&Frame::empty(FrameType::Ping, 0), FrameType::Pong)?;
+        Ok(())
+    }
+
+    /// Ask the daemon to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.expect_reply(
+            &Frame::empty(FrameType::Shutdown, 0),
+            FrameType::ShutdownAck,
+        )?;
+        Ok(())
+    }
+}

@@ -1,0 +1,36 @@
+//! incprof-serve: a streaming phase-detection daemon.
+//!
+//! The offline pipeline answers "what phases did this run have" after
+//! the fact; this crate answers it *while the application runs*. A
+//! profiled process (or a replayer) streams cumulative
+//! [`incprof_profile::GmonData`] snapshots over TCP or a Unix socket;
+//! the daemon keeps one [`session::Session`] per logical run, feeds
+//! each interval delta through the incremental
+//! [`incprof_core::online::OnlinePhaseDetector`], and answers report
+//! queries with JSON that is byte-identical to the offline pipeline on
+//! the same series (the *determinism bridge*).
+//!
+//! Layers, bottom to top:
+//!
+//! - [`frame`] — the pure, clock-free binary frame codec
+//!   (`MAGIC | version | type | session_id | len | payload | crc32`)
+//!   shared by client and server.
+//! - [`session`] — per-run state and the concurrent session registry,
+//!   with bounded ingest queues and fault isolation.
+//! - [`server`] — the daemon: accept loop, bounded worker pool,
+//!   backpressure, graceful drain-on-shutdown.
+//! - [`client`] — a blocking request/reply client.
+//! - [`signal`] — SIGINT-to-atomic-flag plumbing for the CLI.
+//!
+//! Everything is `std`-only: no async runtime, no external crates.
+
+pub mod client;
+pub mod frame;
+pub mod server;
+pub mod session;
+pub mod signal;
+
+pub use client::{Client, ClientError, Push};
+pub use frame::{ErrorCode, ErrorInfo, Frame, FrameError, FrameType, SnapshotAck};
+pub use server::{BindAddr, ServeConfig, Server, ServerHandle};
+pub use session::{Registry, ReportMode};

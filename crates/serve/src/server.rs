@@ -1,0 +1,624 @@
+//! The streaming phase-detection daemon.
+//!
+//! Architecture (all std, no async runtime):
+//!
+//! ```text
+//!             ┌────────────┐   bounded conn queue   ┌──────────────┐
+//!  accept ───▶│  acceptor  │ ──────────────────────▶│ worker pool  │──▶ session
+//!  (TCP/Unix) │   thread   │   (BUSY reply + drop   │ (N threads,  │    registry
+//!             └────────────┘    when full)          │  blocking IO)│
+//!                                                   └──────────────┘
+//! ```
+//!
+//! One worker owns one connection at a time and speaks the frame
+//! protocol over blocking sockets with a short read timeout, so every
+//! worker observes the shutdown flag within one poll interval. Ingest
+//! is bounded end to end: the connection queue, each session's pending
+//! queue, and the frame payload size all have hard caps, and every
+//! overflow answers with a typed reply instead of buffering.
+//!
+//! Shutdown is graceful by construction: the flag flips (via a
+//! [`FrameType::Shutdown`] frame or [`ServerHandle::shutdown`]), the
+//! acceptor wakes itself with a loopback connection and stops, workers
+//! finish their in-flight request, every session's pending queue is
+//! drained, and only then do the threads join.
+
+use crate::frame::{
+    read_frame, write_frame, ErrorCode, ErrorInfo, Frame, FrameType, ReadOutcome, SnapshotAck,
+    DEFAULT_MAX_PAYLOAD,
+};
+use crate::session::{lock, Enqueue, Registry, ReportMode};
+use incprof_core::online::OnlineConfig;
+use incprof_core::PhaseDetector;
+use incprof_profile::GmonData;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindAddr {
+    /// A TCP address like `127.0.0.1:7077` (`:0` picks an ephemeral
+    /// port; read the bound address back from [`ServerHandle::addr`]).
+    Tcp(String),
+    /// A Unix-domain socket path (taken over: a stale file is removed).
+    Unix(PathBuf),
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address.
+    pub addr: BindAddr,
+    /// Connection-handler threads.
+    pub workers: usize,
+    /// Cap on concurrently open sessions.
+    pub max_sessions: usize,
+    /// Per-session ingest queue bound (frames).
+    pub max_pending: usize,
+    /// Cap on a single frame's payload bytes.
+    pub max_payload: u32,
+    /// Socket read poll interval; also the shutdown-observation latency.
+    pub read_timeout: Duration,
+    /// Idle connections are dropped after this long without a frame.
+    pub idle_timeout: Duration,
+    /// Bounded queue of accepted-but-unclaimed connections.
+    pub backlog: usize,
+    /// The offline detector answering report queries.
+    pub detector: PhaseDetector,
+    /// The incremental detector fed per frame.
+    pub online: OnlineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: BindAddr::Tcp("127.0.0.1:0".to_string()),
+            workers: 4,
+            max_sessions: 64,
+            max_pending: 64,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            read_timeout: Duration::from_millis(100),
+            idle_timeout: Duration::from_secs(30),
+            backlog: 32,
+            detector: PhaseDetector::default(),
+            online: OnlineConfig::default(),
+        }
+    }
+}
+
+/// One accepted connection (TCP or Unix).
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, t: Duration) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(Some(t)),
+            Conn::Unix(s) => s.set_read_timeout(Some(t)),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+}
+
+struct Shared {
+    config: ServeConfig,
+    registry: Registry,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<Conn>>,
+    queue_cond: Condvar,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// A bound (but not yet running) daemon.
+pub struct Server {
+    listener: Listener,
+    addr: String,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the configured address. For `BindAddr::Tcp` with port 0 the
+    /// kernel picks an ephemeral port; [`Server::local_addr`] reports it.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let (listener, addr) = match &config.addr {
+            BindAddr::Tcp(spec) => {
+                let l = TcpListener::bind(spec.as_str())?;
+                let addr = l.local_addr()?.to_string();
+                (Listener::Tcp(l), addr)
+            }
+            BindAddr::Unix(path) => {
+                // Take the path over; a stale socket file from a dead
+                // daemon would otherwise fail the bind forever.
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                (Listener::Unix(l), path.display().to_string())
+            }
+        };
+        let registry = Registry::new(
+            config.online.clone(),
+            config.max_sessions,
+            config.max_pending,
+        );
+        let shared = Arc::new(Shared {
+            config,
+            registry,
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cond: Condvar::new(),
+        });
+        Ok(Server {
+            listener,
+            addr,
+            shared,
+        })
+    }
+
+    /// The bound address: `ip:port` for TCP, the path for Unix.
+    pub fn local_addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Spawn the acceptor and worker threads and return a handle.
+    pub fn start(self) -> io::Result<ServerHandle> {
+        let mut threads = Vec::with_capacity(self.shared.config.workers + 1);
+        for i in 0..self.shared.config.workers.max(1) {
+            let shared = Arc::clone(&self.shared);
+            let t = std::thread::Builder::new()
+                .name(format!("incprof-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))?;
+            threads.push(t);
+        }
+        let shared = Arc::clone(&self.shared);
+        let listener = self.listener;
+        let acceptor = std::thread::Builder::new()
+            .name("incprof-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &shared))?;
+        threads.push(acceptor);
+        Ok(ServerHandle {
+            shared: self.shared,
+            addr: self.addr,
+            threads,
+        })
+    }
+}
+
+/// Handle to a running daemon.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: String,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (`ip:port` or Unix path).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Number of live sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.registry.active()
+    }
+
+    /// Flip the shutdown flag without joining (idempotent; a `Shutdown`
+    /// frame does the same from the wire).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.queue_cond.notify_all();
+        wake_acceptor(&self.shared.config.addr, &self.addr);
+    }
+
+    /// Whether shutdown has been requested (by flag or by frame).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutting_down()
+    }
+
+    /// Block until shutdown is requested — by a `Shutdown` frame from
+    /// the wire or by `external` flipping true (e.g. a SIGINT flag).
+    pub fn wait(&self, external: Option<&AtomicBool>) {
+        loop {
+            if self.shared.shutting_down() {
+                return;
+            }
+            if let Some(flag) = external {
+                if flag.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// Gracefully stop: flag, wake, join every thread, drain every
+    /// session's pending queue, and release the Unix socket file.
+    pub fn shutdown(mut self) {
+        self.request_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.shared.registry.drain_all();
+        if let BindAddr::Unix(path) = &self.shared.config.addr {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Dial the listener once so a blocking `accept` observes the flag.
+fn wake_acceptor(bind: &BindAddr, addr: &str) {
+    match bind {
+        BindAddr::Tcp(_) => {
+            if let Ok(parsed) = addr.parse() {
+                let _ = TcpStream::connect_timeout(&parsed, Duration::from_millis(250));
+            }
+        }
+        BindAddr::Unix(path) => {
+            let _ = UnixStream::connect(path);
+        }
+    }
+}
+
+fn accept_loop(listener: &Listener, shared: &Shared) {
+    loop {
+        let conn = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) => {
+                if shared.shutting_down() {
+                    return;
+                }
+                incprof_obs::warn!("accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.shutting_down() {
+            return;
+        }
+        incprof_obs::counter(incprof_obs::names::SERVE_CONNS_ACCEPTED).inc();
+        let mut q = lock(&shared.queue);
+        if q.len() >= shared.config.backlog {
+            drop(q);
+            // Explicit backpressure instead of unbounded queueing.
+            incprof_obs::counter(incprof_obs::names::SERVE_BUSY_REPLIES).inc();
+            let mut conn = conn;
+            let _ = write_frame(&mut conn, &Frame::empty(FrameType::Busy, 0));
+            continue;
+        }
+        q.push_back(conn);
+        drop(q);
+        shared.queue_cond.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(conn) = q.pop_front() {
+                    break Some(conn);
+                }
+                if shared.shutting_down() {
+                    break None;
+                }
+                let (guard, _timeout) = shared
+                    .queue_cond
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                q = guard;
+            }
+        };
+        match conn {
+            Some(conn) => handle_conn(conn, shared),
+            None => return,
+        }
+    }
+}
+
+/// Serve one connection until it closes, errors, idles out, or the
+/// daemon drains. Framing violations answer with a typed error and then
+/// drop the connection (the stream is no longer frame-aligned);
+/// payload-level problems answer with a typed error and keep going.
+fn handle_conn(mut conn: Conn, shared: &Shared) {
+    if conn.set_read_timeout(shared.config.read_timeout).is_err() {
+        return;
+    }
+    let idle_limit = shared.config.idle_timeout.as_nanos();
+    let mut idle_polls: u128 = 0;
+    loop {
+        if shared.shutting_down() {
+            send_error(&mut conn, 0, ErrorCode::ShuttingDown, "daemon draining");
+            return;
+        }
+        let outcome = match read_frame(&mut conn, shared.config.max_payload) {
+            Ok(outcome) => outcome,
+            Err(_) => return,
+        };
+        let frame = match outcome {
+            ReadOutcome::Frame(f) => f,
+            ReadOutcome::Closed => return,
+            ReadOutcome::TimedOut => {
+                idle_polls += 1;
+                if idle_polls * shared.config.read_timeout.as_nanos() >= idle_limit {
+                    return;
+                }
+                continue;
+            }
+            ReadOutcome::Malformed(e) => {
+                incprof_obs::counter(incprof_obs::names::SERVE_DECODE_ERRORS).inc();
+                send_error(&mut conn, 0, ErrorCode::of_frame_error(&e), &e.to_string());
+                return;
+            }
+        };
+        idle_polls = 0;
+        incprof_obs::counter(incprof_obs::names::SERVE_FRAMES_IN).inc();
+        incprof_obs::counter(incprof_obs::names::SERVE_BYTES_IN).add(frame.encoded_len() as u64);
+        if !dispatch(&mut conn, shared, frame) {
+            return;
+        }
+    }
+}
+
+/// Handle one good frame; returns false when the connection should end.
+fn dispatch(conn: &mut Conn, shared: &Shared, frame: Frame) -> bool {
+    match frame.frame_type {
+        FrameType::Open => match shared.registry.open() {
+            Ok((id, _)) => send(conn, &Frame::empty(FrameType::OpenAck, id)),
+            Err(e) => send_error_info(conn, frame.session_id, &e),
+        },
+        FrameType::Snapshot => handle_snapshot(conn, shared, &frame),
+        FrameType::Query => handle_query(conn, shared, &frame),
+        FrameType::Close => match shared.registry.close(frame.session_id) {
+            Some(session) => {
+                let _ = lock(&session).drain();
+                send(conn, &Frame::empty(FrameType::CloseAck, frame.session_id))
+            }
+            None => send_error(
+                conn,
+                frame.session_id,
+                ErrorCode::UnknownSession,
+                &format!("no session {}", frame.session_id),
+            ),
+        },
+        FrameType::Ping => send(conn, &Frame::empty(FrameType::Pong, frame.session_id)),
+        FrameType::Shutdown => {
+            shared.shutdown.store(true, Ordering::Release);
+            shared.queue_cond.notify_all();
+            send(conn, &Frame::empty(FrameType::ShutdownAck, 0));
+            // The acceptor may be parked in accept(); a ServerHandle
+            // waiter will dial it, but wake it here too so a bare
+            // wire-initiated shutdown also terminates promptly.
+            wake_acceptor(&shared.config.addr, &local_addr_of(shared));
+            false
+        }
+        // A reply type arriving as a request is a confused peer.
+        FrameType::OpenAck
+        | FrameType::SnapshotAck
+        | FrameType::Report
+        | FrameType::CloseAck
+        | FrameType::Pong
+        | FrameType::ShutdownAck
+        | FrameType::Busy
+        | FrameType::Error => send_error(
+            conn,
+            frame.session_id,
+            ErrorCode::BadType,
+            &format!("{:?} is a reply type", frame.frame_type),
+        ),
+    }
+}
+
+fn local_addr_of(shared: &Shared) -> String {
+    match &shared.config.addr {
+        BindAddr::Tcp(spec) => spec.clone(),
+        BindAddr::Unix(path) => path.display().to_string(),
+    }
+}
+
+fn handle_snapshot(conn: &mut Conn, shared: &Shared, frame: &Frame) -> bool {
+    let received_at = Instant::now();
+    let gmon = match GmonData::decode(&frame.payload) {
+        Ok(g) => g,
+        Err(e) => {
+            incprof_obs::counter(incprof_obs::names::SERVE_DECODE_ERRORS).inc();
+            return send_error(
+                conn,
+                frame.session_id,
+                ErrorCode::BadPayload,
+                &format!("gmon decode: {e}"),
+            );
+        }
+    };
+    let Some(session) = shared.registry.get(frame.session_id) else {
+        return send_error(
+            conn,
+            frame.session_id,
+            ErrorCode::UnknownSession,
+            &format!("no session {}", frame.session_id),
+        );
+    };
+    let sample_index = gmon.sample_index;
+    // Enqueue and drain under one lock hold: the queue bound gives
+    // overflow a BUSY answer, and atomicity guarantees this worker
+    // drains (and can ack) the frame it just enqueued.
+    let mut session = lock(&session);
+    match session.enqueue(gmon, received_at) {
+        Err(e) => send_error_info(conn, frame.session_id, &e),
+        Ok(Enqueue::Busy) => {
+            incprof_obs::counter(incprof_obs::names::SERVE_BUSY_REPLIES).inc();
+            send(conn, &Frame::empty(FrameType::Busy, frame.session_id))
+        }
+        Ok(Enqueue::Accepted) => match session.drain() {
+            Err(e) => send_error_info(conn, frame.session_id, &e),
+            Ok(acks) => {
+                let Some(ack) = acks.iter().find(|a| a.sample_index == sample_index) else {
+                    return send_error(
+                        conn,
+                        frame.session_id,
+                        ErrorCode::Internal,
+                        "drained batch missed the enqueued frame",
+                    );
+                };
+                let payload = SnapshotAck {
+                    interval: ack.sample_index,
+                    phase: ack.observation.phase as u32,
+                    new_phase: ack.observation.new_phase,
+                    transition: ack.observation.transition,
+                }
+                .encode();
+                send(
+                    conn,
+                    &Frame::with_payload(FrameType::SnapshotAck, frame.session_id, payload),
+                )
+            }
+        },
+    }
+}
+
+fn handle_query(conn: &mut Conn, shared: &Shared, frame: &Frame) -> bool {
+    let mode = match frame.payload.first() {
+        None | Some(0) => ReportMode::Full,
+        Some(1) => ReportMode::AnalysisOnly,
+        Some(other) => {
+            return send_error(
+                conn,
+                frame.session_id,
+                ErrorCode::BadPayload,
+                &format!("unknown query mode {other}"),
+            );
+        }
+    };
+    let Some(session) = shared.registry.get(frame.session_id) else {
+        return send_error(
+            conn,
+            frame.session_id,
+            ErrorCode::UnknownSession,
+            &format!("no session {}", frame.session_id),
+        );
+    };
+    let json = lock(&session).report_json(&shared.config.detector, mode);
+    send(
+        conn,
+        &Frame::with_payload(FrameType::Report, frame.session_id, json.into_bytes()),
+    )
+}
+
+/// Write a frame, counting it; returns false when the peer is gone.
+fn send(conn: &mut Conn, frame: &Frame) -> bool {
+    match write_frame(conn, frame) {
+        Ok(n) => {
+            incprof_obs::counter(incprof_obs::names::SERVE_FRAMES_OUT).inc();
+            incprof_obs::counter(incprof_obs::names::SERVE_BYTES_OUT).add(n as u64);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn send_error(conn: &mut Conn, session_id: u64, code: ErrorCode, message: &str) -> bool {
+    send_error_info(conn, session_id, &ErrorInfo::new(code, message))
+}
+
+fn send_error_info(conn: &mut Conn, session_id: u64, info: &ErrorInfo) -> bool {
+    send(
+        conn,
+        &Frame::with_payload(FrameType::Error, session_id, info.encode()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_ephemeral_tcp_reports_real_port() {
+        let server = Server::bind(ServeConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        assert!(addr.starts_with("127.0.0.1:"), "{addr}");
+        assert!(!addr.ends_with(":0"), "ephemeral port must be resolved");
+        let handle = server.start().unwrap();
+        assert_eq!(handle.active_sessions(), 0);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn bind_unix_socket_and_shutdown_removes_file() {
+        let path = std::env::temp_dir().join(format!("incprof_serve_{}.sock", std::process::id()));
+        let config = ServeConfig {
+            addr: BindAddr::Unix(path.clone()),
+            ..ServeConfig::default()
+        };
+        let handle = Server::bind(config).unwrap().start().unwrap();
+        assert!(path.exists());
+        handle.shutdown();
+        assert!(!path.exists(), "socket file must be cleaned up");
+    }
+
+    #[test]
+    fn wire_shutdown_frame_stops_the_daemon() {
+        let handle = Server::bind(ServeConfig::default())
+            .unwrap()
+            .start()
+            .unwrap();
+        let mut conn = TcpStream::connect(handle.addr()).unwrap();
+        write_frame(&mut conn, &Frame::empty(FrameType::Shutdown, 0)).unwrap();
+        match read_frame(&mut conn, DEFAULT_MAX_PAYLOAD).unwrap() {
+            ReadOutcome::Frame(f) => assert_eq!(f.frame_type, FrameType::ShutdownAck),
+            other => panic!("expected ShutdownAck, got {other:?}"),
+        }
+        handle.wait(None);
+        assert!(handle.shutdown_requested());
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,485 @@
+//! The concurrent session registry.
+//!
+//! One [`Session`] is one logical profiled application run: the server
+//! accumulates its cumulative snapshot series exactly as the offline
+//! pipeline would read it from disk, feeds each interval delta through
+//! the incremental [`OnlinePhaseDetector`] as frames arrive, and
+//! answers report queries by running the *same* offline
+//! [`PhaseDetector`] over the accumulated series — which is what makes
+//! the streamed result byte-identical to the batch pipeline.
+//!
+//! Ingest is explicitly bounded: every session owns a fixed-capacity
+//! pending queue, and a frame that would overflow it gets a `BUSY`
+//! reply instead of being buffered. Snapshots must arrive in
+//! sample-index order; anything else is a typed protocol error, never a
+//! panic.
+
+use crate::frame::{ErrorCode, ErrorInfo};
+use incprof_collect::SampleSeries;
+use incprof_core::online::{OnlineConfig, OnlineObservation, OnlinePhaseDetector};
+use incprof_core::PhaseDetector;
+use incprof_profile::{FlatProfile, FunctionTable, GmonData, ProfileSnapshot};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Lock a mutex, continuing through poisoning: registry state is plain
+/// data and every mutation is small and panic-free, so a poisoned lock
+/// only means a *peer* thread died mid-request.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Result of offering a snapshot to a session's ingest queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueue {
+    /// The snapshot was queued.
+    Accepted,
+    /// The bounded queue is full; the client must retry later.
+    Busy,
+}
+
+/// One processed snapshot: its sample index plus the online detector's
+/// observation for the interval it completed.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestAck {
+    /// Sample index of the snapshot.
+    pub sample_index: u64,
+    /// The incremental detector's verdict.
+    pub observation: OnlineObservation,
+}
+
+/// What a report query should return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportMode {
+    /// Session metadata + online timeline + offline analysis.
+    Full,
+    /// Exactly the offline `PhaseAnalysis` JSON, nothing wrapped around
+    /// it — the payload the determinism bridge compares bitwise.
+    AnalysisOnly,
+}
+
+/// A pending, not-yet-detected snapshot.
+struct Pending {
+    gmon: GmonData,
+    enqueued_at: Instant,
+}
+
+/// One logical profiled run streaming into the server.
+pub struct Session {
+    id: u64,
+    series: SampleSeries,
+    prev_flat: FlatProfile,
+    table: FunctionTable,
+    online: OnlinePhaseDetector,
+    pending: VecDeque<Pending>,
+    max_pending: usize,
+    /// A snapshot whose delta failed (regressing counters) poisons the
+    /// tail of the stream; the prefix stays queryable.
+    fault: Option<String>,
+}
+
+impl Session {
+    fn new(id: u64, online: OnlineConfig, max_pending: usize) -> Session {
+        Session {
+            id,
+            series: SampleSeries::new(),
+            prev_flat: FlatProfile::new(),
+            table: FunctionTable::new(),
+            online: OnlinePhaseDetector::new(online),
+            pending: VecDeque::new(),
+            max_pending,
+            fault: None,
+        }
+    }
+
+    /// The session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Snapshots fully ingested (excludes queued ones).
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when nothing has been ingested or queued.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty() && self.pending.is_empty()
+    }
+
+    /// Offer a decoded snapshot. Enforces sample-index ordering and the
+    /// queue bound; never grows memory past `max_pending` frames.
+    pub fn enqueue(&mut self, gmon: GmonData, enqueued_at: Instant) -> Result<Enqueue, ErrorInfo> {
+        if let Some(why) = &self.fault {
+            return Err(ErrorInfo::new(
+                ErrorCode::BadPayload,
+                format!("session {} is faulted: {why}", self.id),
+            ));
+        }
+        let expected = (self.series.len() + self.pending.len()) as u64;
+        if gmon.sample_index != expected {
+            return Err(ErrorInfo::new(
+                ErrorCode::OutOfOrder,
+                format!(
+                    "expected sample index {expected}, got {}",
+                    gmon.sample_index
+                ),
+            ));
+        }
+        if self.pending.len() >= self.max_pending {
+            return Ok(Enqueue::Busy);
+        }
+        self.pending.push_back(Pending { gmon, enqueued_at });
+        Ok(Enqueue::Accepted)
+    }
+
+    /// Drain the pending queue through the incremental detector,
+    /// returning one ack per processed snapshot. Records the
+    /// ingest-to-detect latency of every drained frame.
+    pub fn drain(&mut self) -> Result<Vec<IngestAck>, ErrorInfo> {
+        let mut acks = Vec::with_capacity(self.pending.len());
+        while let Some(p) = self.pending.pop_front() {
+            let interval = match p.gmon.flat.delta(&self.prev_flat) {
+                Ok(interval) => interval,
+                Err(e) => {
+                    let why = e.to_string();
+                    // Poison the tail: later snapshots would delta
+                    // against state the stream no longer has.
+                    self.pending.clear();
+                    self.fault = Some(why.clone());
+                    return Err(ErrorInfo::new(
+                        ErrorCode::BadPayload,
+                        format!("snapshot {}: {why}", p.gmon.sample_index),
+                    ));
+                }
+            };
+            let observation = self.online.observe(&interval);
+            self.prev_flat = p.gmon.flat.clone();
+            self.table = p.gmon.functions.clone();
+            let sample_index = p.gmon.sample_index;
+            self.series.push(ProfileSnapshot::from_gmon(&p.gmon));
+            incprof_obs::histogram(incprof_obs::names::SERVE_INGEST_DETECT_LATENCY_NS)
+                .record(p.enqueued_at.elapsed().as_nanos() as u64);
+            acks.push(IngestAck {
+                sample_index,
+                observation,
+            });
+        }
+        Ok(acks)
+    }
+
+    /// Render the session's phase report. Drains any queued snapshots
+    /// first so the report reflects everything acknowledged so far.
+    pub fn report_json(&mut self, detector: &PhaseDetector, mode: ReportMode) -> String {
+        // A drain failure leaves the fault recorded; report the prefix.
+        let _ = self.drain();
+        let analysis_json = if self.series.is_empty() {
+            "null".to_string()
+        } else {
+            match detector.detect_series(&self.series) {
+                Ok(analysis) => serde_json::to_string(&analysis)
+                    .unwrap_or_else(|e| json_error_object("serialize failed", &e.to_string())),
+                Err(e) => json_error_object("analysis failed", &e.to_string()),
+            }
+        };
+        match mode {
+            ReportMode::AnalysisOnly => analysis_json,
+            ReportMode::Full => {
+                let mut out = String::with_capacity(analysis_json.len() + 256);
+                out.push_str(&format!(
+                    "{{\"session_id\":{},\"snapshots\":{},",
+                    self.id,
+                    self.series.len()
+                ));
+                out.push_str(&format!(
+                    "\"online\":{{\"phases\":{},\"assignments\":{},\"transitions\":{},\"phase_sizes\":{}}},",
+                    self.online.n_phases(),
+                    json_usize_array(self.online.assignments()),
+                    json_usize_array(self.online.transitions()),
+                    json_usize_array(self.online.phase_sizes()),
+                ));
+                if let Some(why) = &self.fault {
+                    out.push_str(&format!("\"fault\":{},", json_string(why)));
+                }
+                out.push_str(&format!("\"analysis\":{analysis_json}}}"));
+                out
+            }
+        }
+    }
+
+    /// The latest function table streamed into the session.
+    pub fn table(&self) -> &FunctionTable {
+        &self.table
+    }
+
+    /// The accumulated cumulative series (mainly for tests).
+    pub fn series(&self) -> &SampleSeries {
+        &self.series
+    }
+}
+
+fn json_usize_array(values: &[usize]) -> String {
+    let mut out = String::with_capacity(values.len() * 3 + 2);
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+    out
+}
+
+fn json_string(s: &str) -> String {
+    serde_json::to_string(&s.to_string()).unwrap_or_else(|_| "\"<unrepresentable>\"".to_string())
+}
+
+fn json_error_object(what: &str, detail: &str) -> String {
+    format!(
+        "{{\"analysis_error\":{}}}",
+        json_string(&format!("{what}: {detail}"))
+    )
+}
+
+/// Shared, concurrency-safe session table.
+pub struct Registry {
+    inner: Mutex<Inner>,
+    online: OnlineConfig,
+    max_sessions: usize,
+    max_pending: usize,
+}
+
+struct Inner {
+    sessions: BTreeMap<u64, Arc<Mutex<Session>>>,
+    next_id: u64,
+}
+
+impl Registry {
+    /// New registry with the given limits.
+    pub fn new(online: OnlineConfig, max_sessions: usize, max_pending: usize) -> Registry {
+        Registry {
+            inner: Mutex::new(Inner {
+                sessions: BTreeMap::new(),
+                next_id: 1,
+            }),
+            online,
+            max_sessions,
+            max_pending,
+        }
+    }
+
+    /// Open a new session, enforcing the session cap.
+    pub fn open(&self) -> Result<(u64, Arc<Mutex<Session>>), ErrorInfo> {
+        let mut inner = lock(&self.inner);
+        if inner.sessions.len() >= self.max_sessions {
+            return Err(ErrorInfo::new(
+                ErrorCode::SessionLimit,
+                format!("session table full ({} sessions)", self.max_sessions),
+            ));
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let session = Arc::new(Mutex::new(Session::new(
+            id,
+            self.online.clone(),
+            self.max_pending,
+        )));
+        inner.sessions.insert(id, Arc::clone(&session));
+        incprof_obs::counter(incprof_obs::names::SERVE_SESSIONS_OPENED).inc();
+        incprof_obs::gauge(incprof_obs::names::SERVE_SESSIONS_ACTIVE)
+            .set(inner.sessions.len() as u64);
+        Ok((id, session))
+    }
+
+    /// Look up a live session.
+    pub fn get(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
+        lock(&self.inner).sessions.get(&id).map(Arc::clone)
+    }
+
+    /// Remove a session, returning it for a final drain.
+    pub fn close(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
+        let mut inner = lock(&self.inner);
+        let removed = inner.sessions.remove(&id);
+        if removed.is_some() {
+            incprof_obs::counter(incprof_obs::names::SERVE_SESSIONS_CLOSED).inc();
+            incprof_obs::gauge(incprof_obs::names::SERVE_SESSIONS_ACTIVE)
+                .set(inner.sessions.len() as u64);
+        }
+        removed
+    }
+
+    /// Number of live sessions.
+    pub fn active(&self) -> usize {
+        lock(&self.inner).sessions.len()
+    }
+
+    /// Drain every session's pending queue (graceful shutdown).
+    pub fn drain_all(&self) {
+        let sessions: Vec<Arc<Mutex<Session>>> = lock(&self.inner)
+            .sessions
+            .values()
+            .map(Arc::clone)
+            .collect();
+        for s in sessions {
+            let _ = lock(&s).drain();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incprof_profile::FunctionStats;
+
+    fn gmon(idx: u64, self_ns: u64) -> GmonData {
+        let mut table = FunctionTable::new();
+        let id = table.register("f");
+        let mut flat = FlatProfile::new();
+        flat.set(
+            id,
+            FunctionStats {
+                self_time: self_ns,
+                calls: idx + 1,
+                child_time: 0,
+            },
+        );
+        GmonData {
+            sample_index: idx,
+            timestamp_ns: idx * 1_000_000_000,
+            functions: table,
+            flat,
+            callgraph: Default::default(),
+        }
+    }
+
+    fn registry() -> Registry {
+        Registry::new(OnlineConfig::default(), 4, 2)
+    }
+
+    #[test]
+    fn ordered_ingest_accumulates_and_acks() {
+        let r = registry();
+        let (id, s) = r.open().unwrap();
+        let mut s = lock(&s);
+        assert_eq!(
+            s.enqueue(gmon(0, 10), Instant::now()),
+            Ok(Enqueue::Accepted)
+        );
+        let acks = s.drain().unwrap();
+        assert_eq!(acks.len(), 1);
+        assert_eq!(acks[0].sample_index, 0);
+        assert_eq!(acks[0].observation.phase, 0);
+        assert!(acks[0].observation.new_phase);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.id(), id);
+    }
+
+    #[test]
+    fn out_of_order_is_typed_error_not_panic() {
+        let r = registry();
+        let (_, s) = r.open().unwrap();
+        let mut s = lock(&s);
+        let err = s.enqueue(gmon(3, 10), Instant::now()).unwrap_err();
+        assert_eq!(err.code, ErrorCode::OutOfOrder);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn queue_bound_reports_busy() {
+        let r = registry();
+        let (_, s) = r.open().unwrap();
+        let mut s = lock(&s);
+        assert_eq!(
+            s.enqueue(gmon(0, 10), Instant::now()),
+            Ok(Enqueue::Accepted)
+        );
+        assert_eq!(
+            s.enqueue(gmon(1, 20), Instant::now()),
+            Ok(Enqueue::Accepted)
+        );
+        // max_pending = 2: the third offer must not buffer.
+        assert_eq!(s.enqueue(gmon(2, 30), Instant::now()), Ok(Enqueue::Busy));
+        s.drain().unwrap();
+        assert_eq!(
+            s.enqueue(gmon(2, 30), Instant::now()),
+            Ok(Enqueue::Accepted)
+        );
+    }
+
+    #[test]
+    fn regressing_counters_fault_the_session() {
+        let r = registry();
+        let (_, s) = r.open().unwrap();
+        let mut s = lock(&s);
+        s.enqueue(gmon(0, 100), Instant::now()).unwrap();
+        s.drain().unwrap();
+        // Cumulative self-time goes *down*: delta must fail.
+        s.enqueue(gmon(1, 50), Instant::now()).unwrap();
+        let err = s.drain().unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadPayload);
+        // The fault sticks; the ingested prefix remains reportable.
+        let err = s.enqueue(gmon(2, 500), Instant::now()).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadPayload);
+        let report = s.report_json(&PhaseDetector::default(), ReportMode::Full);
+        assert!(report.contains("\"fault\":"), "{report}");
+        assert!(report.contains("\"snapshots\":1"), "{report}");
+    }
+
+    #[test]
+    fn session_cap_is_enforced() {
+        let r = registry();
+        let mut held = Vec::new();
+        for _ in 0..4 {
+            held.push(r.open().unwrap());
+        }
+        let err = match r.open() {
+            Ok(_) => panic!("cap should reject a fifth session"),
+            Err(e) => e,
+        };
+        assert_eq!(err.code, ErrorCode::SessionLimit);
+        // Closing frees a slot.
+        r.close(held[0].0);
+        assert!(r.open().is_ok());
+    }
+
+    #[test]
+    fn close_removes_and_active_tracks() {
+        let r = registry();
+        let (a, _) = r.open().unwrap();
+        let (b, _) = r.open().unwrap();
+        assert_eq!(r.active(), 2);
+        assert!(r.close(a).is_some());
+        assert!(r.close(a).is_none(), "double close is a no-op");
+        assert_eq!(r.active(), 1);
+        assert!(r.get(a).is_none());
+        assert!(r.get(b).is_some());
+    }
+
+    #[test]
+    fn analysis_only_report_matches_offline_detector() {
+        let r = registry();
+        let (_, s) = r.open().unwrap();
+        let mut s = lock(&s);
+        for i in 0..6u64 {
+            s.enqueue(gmon(i, (i + 1) * 1_000_000_000), Instant::now())
+                .unwrap();
+            s.drain().unwrap();
+        }
+        let detector = PhaseDetector::default();
+        let offline = serde_json::to_string(&detector.detect_series(s.series()).unwrap()).unwrap();
+        assert_eq!(s.report_json(&detector, ReportMode::AnalysisOnly), offline);
+    }
+
+    #[test]
+    fn empty_session_reports_null_analysis() {
+        let r = registry();
+        let (_, s) = r.open().unwrap();
+        let mut s = lock(&s);
+        let detector = PhaseDetector::default();
+        assert_eq!(s.report_json(&detector, ReportMode::AnalysisOnly), "null");
+        let full = s.report_json(&detector, ReportMode::Full);
+        assert!(full.contains("\"analysis\":null"), "{full}");
+    }
+}

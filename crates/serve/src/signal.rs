@@ -1,0 +1,51 @@
+//! Minimal SIGINT plumbing for long-running subcommands.
+//!
+//! The workspace has no `libc`/`signal-hook` dependency, so this binds
+//! the one POSIX primitive it needs — `signal(2)` — directly. The
+//! handler only flips a process-global atomic; everything
+//! async-signal-unsafe (draining sessions, flushing the obs report)
+//! happens on a normal thread that polls [`interrupted`].
+
+use std::sync::atomic::AtomicBool;
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// Process-global flag flipped by the SIGINT handler.
+pub fn interrupted() -> &'static AtomicBool {
+    &INTERRUPTED
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::INTERRUPTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // Only async-signal-safe work here: a relaxed atomic store.
+        INTERRUPTED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Install the SIGINT handler (idempotent). After this, Ctrl-C flips
+/// [`interrupted`] instead of killing the process, letting the caller
+/// drain and exit 0.
+pub fn install_sigint_handler() {
+    imp::install();
+}

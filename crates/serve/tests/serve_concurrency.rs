@@ -1,0 +1,95 @@
+//! Concurrency smoke: 8 client sessions ingest interleaved frames into
+//! one daemon with zero cross-session contamination.
+//!
+//! Each session streams a *different* app's series (apps repeat across
+//! sessions, so identical inputs must also produce identical outputs),
+//! all sessions at once from their own threads. Every session's
+//! analysis-only report must match the solo run of the same series —
+//! if any frame leaked into the wrong session, the sample-index
+//! ordering check or the byte comparison would catch it.
+
+use incprof_serve::{Client, ServeConfig, Server};
+use std::time::Duration;
+
+use hpc_apps::{gadget2, graph500, lammps, miniamr, minife, HeartbeatPlan, RunMode};
+use incprof_collect::SampleSeries;
+use incprof_profile::FunctionTable;
+
+fn app_runs() -> Vec<(&'static str, SampleSeries, FunctionTable)> {
+    let plan = HeartbeatPlan::none();
+    let mode = RunMode::virtual_1s();
+    let mut v = Vec::new();
+    let r = graph500::run(&graph500::Graph500Config::tiny(), mode, &plan).rank0;
+    v.push(("Graph500", r.series, r.table));
+    let r = minife::run(&minife::MiniFeConfig::tiny(), mode, &plan).rank0;
+    v.push(("MiniFE", r.series, r.table));
+    let r = miniamr::run(&miniamr::MiniAmrConfig::tiny(), mode, &plan).rank0;
+    v.push(("MiniAMR", r.series, r.table));
+    let r = lammps::run(&lammps::LammpsConfig::tiny(), mode, &plan).rank0;
+    v.push(("LAMMPS", r.series, r.table));
+    let r = gadget2::run(&gadget2::Gadget2Config::tiny(), mode, &plan).rank0;
+    v.push(("Gadget2", r.series, r.table));
+    v
+}
+
+/// Stream one series into its own session and return the analysis JSON.
+fn stream_one(addr: &str, series: &SampleSeries, table: &FunctionTable) -> String {
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    let session = client.open().expect("open");
+    for snap in series.snapshots() {
+        let gmon = snap.to_gmon(table);
+        client.push_retry(session, &gmon, 100).expect("push");
+    }
+    let analysis = client.query_analysis(session).expect("query");
+    client.close(session).expect("close");
+    analysis
+}
+
+#[test]
+fn eight_concurrent_sessions_do_not_contaminate_each_other() {
+    let runs = app_runs();
+
+    let handle = Server::bind(ServeConfig {
+        workers: 8,
+        max_sessions: 16,
+        read_timeout: Duration::from_millis(25),
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .start()
+    .expect("start");
+    let addr = handle.addr().to_string();
+
+    // Solo baselines, one session at a time on the same daemon.
+    let solo: Vec<String> = runs
+        .iter()
+        .map(|(_, series, table)| stream_one(&addr, series, table))
+        .collect();
+
+    // 8 concurrent sessions: apps cycle, so some series run twice.
+    let concurrent: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let (_, series, table) = &runs[i % runs.len()];
+                let addr = addr.as_str();
+                scope.spawn(move || stream_one(addr, series, table))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+
+    for (i, got) in concurrent.iter().enumerate() {
+        let (app, _, _) = &runs[i % runs.len()];
+        assert_eq!(
+            got,
+            &solo[i % runs.len()],
+            "{app} (concurrent slot {i}): report differs from its solo run"
+        );
+    }
+
+    assert_eq!(handle.active_sessions(), 0, "all sessions must be closed");
+    handle.shutdown();
+}

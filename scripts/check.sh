@@ -19,4 +19,28 @@ cargo run -q -p incprof-lint -- --deny-warnings --json target/lint-diagnostics.j
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> serve smoke (daemon round-trip on an ephemeral port)"
+cargo build -q -p incprof-cli
+INCPROF="$(pwd)/target/debug/incprof"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+"$INCPROF" demo "$SMOKE_DIR/run.json" >/dev/null
+# timeout(1) hard-bounds the whole exchange so a wedged daemon fails the
+# gate instead of hanging it; the daemon picks its own port and reports
+# it through --addr-file.
+timeout 60 "$INCPROF" serve --addr 127.0.0.1:0 --addr-file "$SMOKE_DIR/addr.txt" \
+    >"$SMOKE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/addr.txt" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/addr.txt" ] || { echo "serve smoke: daemon never bound"; exit 1; }
+ADDR="$(cat "$SMOKE_DIR/addr.txt")"
+timeout 60 "$INCPROF" push "$ADDR" "$SMOKE_DIR/run.json" --analysis --shutdown \
+    >"$SMOKE_DIR/report.json"
+grep -q '"phases"' "$SMOKE_DIR/report.json" \
+    || { echo "serve smoke: report has no phases"; cat "$SMOKE_DIR/report.json"; exit 1; }
+wait "$SERVE_PID" || { echo "serve smoke: daemon exited non-zero"; cat "$SMOKE_DIR/serve.log"; exit 1; }
+
 echo "All checks passed."

@@ -16,4 +16,5 @@ pub use incprof_obs as obs;
 pub use incprof_par as par;
 pub use incprof_profile as profile;
 pub use incprof_runtime as runtime;
+pub use incprof_serve as serve;
 pub use mpi_sim;

@@ -1,0 +1,78 @@
+//! The serve determinism bridge: phase analysis obtained **over the
+//! wire** must be byte-identical to the offline pipeline on the same
+//! snapshot series.
+//!
+//! For each of the paper's five applications, the rank-0 cumulative
+//! series is streamed frame-by-frame into a live daemon session (gmon
+//! binary payloads over TCP) and the session's analysis-only report is
+//! compared — as raw JSON bytes, no tolerance, no reparse — against
+//! `serde_json::to_string` of the offline `PhaseDetector` run locally.
+//! The exercise repeats at 1 and 4 server worker threads: worker count
+//! is infrastructure, not semantics, so the bytes must not move.
+
+use incprof_suite::collect::SampleSeries;
+use incprof_suite::core::PhaseDetector;
+use incprof_suite::hpc_apps::{gadget2, graph500, lammps, miniamr, minife, HeartbeatPlan, RunMode};
+use incprof_suite::profile::FunctionTable;
+use incprof_suite::serve::{Client, ServeConfig, Server};
+
+/// Profile every app once; returns (name, rank-0 series, table).
+fn profiled_runs() -> Vec<(&'static str, SampleSeries, FunctionTable)> {
+    let plan = HeartbeatPlan::none();
+    let mode = RunMode::virtual_1s();
+    let mut runs = Vec::new();
+    let g = graph500::run(&graph500::Graph500Config::tiny(), mode, &plan).rank0;
+    runs.push(("Graph500", g.series, g.table));
+    let m = minife::run(&minife::MiniFeConfig::tiny(), mode, &plan).rank0;
+    runs.push(("MiniFE", m.series, m.table));
+    let a = miniamr::run(&miniamr::MiniAmrConfig::tiny(), mode, &plan).rank0;
+    runs.push(("MiniAMR", a.series, a.table));
+    let l = lammps::run(&lammps::LammpsConfig::tiny(), mode, &plan).rank0;
+    runs.push(("LAMMPS", l.series, l.table));
+    let ga = gadget2::run(&gadget2::Gadget2Config::tiny(), mode, &plan).rank0;
+    runs.push(("Gadget2", ga.series, ga.table));
+    runs
+}
+
+#[test]
+fn wire_analysis_is_byte_identical_to_offline_at_1_and_4_workers() {
+    let runs = profiled_runs();
+    let detector = PhaseDetector::default();
+
+    for workers in [1usize, 4] {
+        let server = Server::bind(ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = server.local_addr().to_string();
+        let handle = server.start().expect("start");
+
+        for (app, series, table) in &runs {
+            let offline = serde_json::to_string(
+                &detector
+                    .detect_series(series)
+                    .unwrap_or_else(|e| panic!("{app}: offline detect failed: {e}")),
+            )
+            .expect("serialize offline analysis");
+
+            let mut client = Client::connect_tcp(&addr).expect("connect");
+            let session = client.open().expect("open session");
+            for snap in series.snapshots() {
+                let gmon = snap.to_gmon(table);
+                client
+                    .push_retry(session, &gmon, 50)
+                    .unwrap_or_else(|e| panic!("{app}: push failed: {e}"));
+            }
+            let wire = client.query_analysis(session).expect("query analysis");
+            assert_eq!(
+                wire, offline,
+                "{app}: wire analysis differs from offline at {workers} workers"
+            );
+            client.close(session).expect("close");
+        }
+
+        assert_eq!(handle.active_sessions(), 0, "sessions must not leak");
+        handle.shutdown();
+    }
+}
