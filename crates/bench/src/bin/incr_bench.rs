@@ -1,0 +1,193 @@
+//! Warm-vs-cold replay of the serve push+query workload — the
+//! incremental-analysis gate.
+//!
+//! The serve daemon answers report queries between snapshot pushes; the
+//! pre-cache implementation reran the whole `PhaseDetector` pipeline per
+//! query. This bench replays that workload over the paper's five
+//! applications: after every pushed snapshot it issues `QUERIES_PER_PUSH`
+//! report queries, once against a cold per-query `detect_series` and
+//! once against the per-session [`AnalysisCache`], asserting that every
+//! answer is byte-identical before timing is believed.
+//!
+//! The aggregate warm speedup must reach ≥ 5× (the repeated queries are
+//! memo hits; the per-push analysis itself reuses deltas and distance
+//! entries), and the binary exits nonzero if it does not. Results go to
+//! `experiments_out/incr_report.json`.
+//!
+//! ```text
+//! cargo run --release -p incprof-bench --bin incr_bench
+//! ```
+
+use hpc_apps::{gadget2, graph500, lammps, miniamr, minife, HeartbeatPlan, RunMode};
+use incprof_collect::SampleSeries;
+use incprof_core::{AnalysisCache, PhaseDetector};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Queries issued after every pushed snapshot (a dashboard polling a
+/// live session between pushes).
+const QUERIES_PER_PUSH: usize = 6;
+/// The acceptance gate on the aggregate warm speedup.
+const MIN_SPEEDUP: f64 = 5.0;
+
+#[derive(Serialize)]
+struct AppResult {
+    app: String,
+    snapshots: usize,
+    queries: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    workload: String,
+    queries_per_push: usize,
+    apps: Vec<AppResult>,
+    total_cold_ms: f64,
+    total_warm_ms: f64,
+    speedup: f64,
+    gate_min_speedup: f64,
+    gate_passed: bool,
+    cache_memo_hits: u64,
+    cache_memo_misses: u64,
+    cache_pair_extends: u64,
+    cache_invalidations: u64,
+}
+
+fn profiled_runs() -> Vec<(&'static str, SampleSeries)> {
+    let plan = HeartbeatPlan::none();
+    let mode = RunMode::virtual_1s();
+    vec![
+        (
+            "Graph500",
+            graph500::run(&graph500::Graph500Config::tiny(), mode, &plan)
+                .rank0
+                .series,
+        ),
+        (
+            "MiniFE",
+            minife::run(&minife::MiniFeConfig::tiny(), mode, &plan)
+                .rank0
+                .series,
+        ),
+        (
+            "MiniAMR",
+            miniamr::run(&miniamr::MiniAmrConfig::tiny(), mode, &plan)
+                .rank0
+                .series,
+        ),
+        (
+            "LAMMPS",
+            lammps::run(&lammps::LammpsConfig::tiny(), mode, &plan)
+                .rank0
+                .series,
+        ),
+        (
+            "Gadget2",
+            gadget2::run(&gadget2::Gadget2Config::tiny(), mode, &plan)
+                .rank0
+                .series,
+        ),
+    ]
+}
+
+/// Replay pushes+queries over `series`; returns (cold_secs, warm_secs,
+/// queries issued). Every warm answer is asserted byte-identical to the
+/// cold one before the timing counts.
+fn replay(detector: &PhaseDetector, series: &SampleSeries) -> (f64, f64, usize) {
+    let mut cache = AnalysisCache::new();
+    let mut prefix = SampleSeries::new();
+    let mut cold_secs = 0.0;
+    let mut warm_secs = 0.0;
+    let mut queries = 0;
+    for snap in series.snapshots() {
+        prefix.push(snap.clone());
+        for _ in 0..QUERIES_PER_PUSH {
+            let t = Instant::now();
+            let cold = detector.detect_series(&prefix).expect("cold detect");
+            cold_secs += t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            let warm = cache.analyze(detector, &prefix).expect("warm analyze");
+            warm_secs += t.elapsed().as_secs_f64();
+
+            let cold_json = serde_json::to_string(&cold).expect("serialize");
+            let warm_json = serde_json::to_string(&warm).expect("serialize");
+            assert_eq!(warm_json, cold_json, "warm result diverged from cold");
+            queries += 1;
+        }
+    }
+    (cold_secs, warm_secs, queries)
+}
+
+fn main() {
+    let detector = PhaseDetector::default();
+    let runs = profiled_runs();
+    println!(
+        "incremental-analysis bench: {} apps, {QUERIES_PER_PUSH} queries per push\n",
+        runs.len()
+    );
+
+    let mut apps = Vec::new();
+    let (mut total_cold, mut total_warm) = (0.0f64, 0.0f64);
+    for (app, series) in &runs {
+        let (cold, warm, queries) = replay(&detector, series);
+        let speedup = cold / warm.max(1e-12);
+        println!(
+            "  {app:<9} {:>3} snapshots {queries:>4} queries  cold {:>8.1} ms  warm {:>7.1} ms  {speedup:>5.1}x",
+            series.len(),
+            cold * 1e3,
+            warm * 1e3,
+        );
+        total_cold += cold;
+        total_warm += warm;
+        apps.push(AppResult {
+            app: app.to_string(),
+            snapshots: series.len(),
+            queries,
+            cold_ms: cold * 1e3,
+            warm_ms: warm * 1e3,
+            speedup,
+        });
+    }
+
+    let speedup = total_cold / total_warm.max(1e-12);
+    let gate_passed = speedup >= MIN_SPEEDUP;
+    println!(
+        "\n  overall: cold {:.1} ms, warm {:.1} ms -> {speedup:.1}x (gate: >= {MIN_SPEEDUP}x, {})",
+        total_cold * 1e3,
+        total_warm * 1e3,
+        if gate_passed { "PASS" } else { "FAIL" },
+    );
+
+    let report = Report {
+        workload: "per push: 1 snapshot ingest + repeated analysis queries".to_string(),
+        queries_per_push: QUERIES_PER_PUSH,
+        apps,
+        total_cold_ms: total_cold * 1e3,
+        total_warm_ms: total_warm * 1e3,
+        speedup,
+        gate_min_speedup: MIN_SPEEDUP,
+        gate_passed,
+        cache_memo_hits: incprof_obs::counter(incprof_obs::names::CORE_CACHE_HITS).get(),
+        cache_memo_misses: incprof_obs::counter(incprof_obs::names::CORE_CACHE_MISSES).get(),
+        cache_pair_extends: incprof_obs::counter(incprof_obs::names::CORE_CACHE_PAIR_EXTENDS).get(),
+        cache_invalidations: incprof_obs::counter(incprof_obs::names::CORE_CACHE_INVALIDATIONS)
+            .get(),
+    };
+    std::fs::create_dir_all("experiments_out").expect("create experiments_out");
+    let path = "experiments_out/incr_report.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serialize report"),
+    )
+    .expect("write report");
+    println!("  report written to {path}");
+
+    if !gate_passed {
+        eprintln!("incr_bench: speedup {speedup:.2}x below the {MIN_SPEEDUP}x gate");
+        std::process::exit(1);
+    }
+}

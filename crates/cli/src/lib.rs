@@ -570,6 +570,7 @@ incprof — source-oriented phase identification (IncProf, CLUSTER 2022)
   incprof lint [root] [--json] [--deny-warnings|-D]
   incprof serve [--addr host:port | --unix path] [--workers n]
                 [--max-sessions n] [--max-pending n] [--addr-file path]
+                [--no-analysis-cache]
   incprof push <addr> <dump.json> [--analysis] [--keep-open] [--shutdown]
   incprof collect <out.json> [--interval-ms n] [--max-samples n]
 

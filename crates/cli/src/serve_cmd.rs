@@ -28,7 +28,12 @@ where
 }
 
 /// `incprof serve [--addr host:port | --unix path] [--workers n]
-/// [--max-sessions n] [--max-pending n] [--addr-file path]`.
+/// [--max-sessions n] [--max-pending n] [--addr-file path]
+/// [--no-analysis-cache]`.
+///
+/// `--no-analysis-cache` disables the per-session incremental analysis
+/// cache, recomputing the full phase analysis on every report query
+/// (useful to bound memory or to A/B the cache's byte-identity).
 ///
 /// Binds, prints `listening on <addr>` (and optionally writes the
 /// resolved address to `--addr-file`, for scripts using an ephemeral
@@ -59,6 +64,7 @@ pub fn serve_cmd(args: &[String]) -> Result<String, CliError> {
                     parse_num(&take(args, &mut i, "--max-pending")?, "--max-pending")?;
             }
             "--addr-file" => addr_file = Some(PathBuf::from(take(args, &mut i, "--addr-file")?)),
+            "--no-analysis-cache" => config.analysis_cache = false,
             other => return Err(CliError::Usage(format!("unknown serve option {other}"))),
         }
         i += 1;

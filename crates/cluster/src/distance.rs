@@ -44,7 +44,22 @@ pub struct PairwiseDistances {
     dist: Vec<f64>,
 }
 
+impl Default for PairwiseDistances {
+    fn default() -> Self {
+        PairwiseDistances::empty()
+    }
+}
+
 impl PairwiseDistances {
+    /// An empty `0 × 0` matrix — the starting point for incremental
+    /// growth via [`PairwiseDistances::extend`].
+    pub fn empty() -> PairwiseDistances {
+        PairwiseDistances {
+            n: 0,
+            dist: Vec::new(),
+        }
+    }
+
     /// Compute all pairwise Euclidean distances of `data`'s rows, one
     /// pool task per row block.
     pub fn euclidean_of(data: &crate::dataset::Dataset) -> PairwiseDistances {
@@ -59,6 +74,45 @@ impl PairwiseDistances {
             dist.extend(row);
         }
         PairwiseDistances { n, dist }
+    }
+
+    /// Grow the matrix in place to cover all of `data`'s rows, computing
+    /// only the entries a previous [`PairwiseDistances::euclidean_of`]
+    /// (or `extend`) call has not already produced.
+    ///
+    /// Contract: the first `self.n()` rows of `data` must be bit-identical
+    /// to the rows this matrix was computed from (callers such as
+    /// `incprof_core`'s analysis cache verify this before extending).
+    /// Existing entries are *copied*, not recomputed, and every new entry
+    /// `(i, j)` is exactly `euclidean(data.row(i), data.row(j))` — the
+    /// same operands in the same order as a cold rebuild — so the
+    /// extended matrix is bit-identical to `euclidean_of(data)` while
+    /// costing O((m² − n²)·d) instead of O(m²·d).
+    pub fn extend(&mut self, data: &crate::dataset::Dataset) {
+        let n = self.n;
+        let m = data.nrows();
+        debug_assert!(m >= n, "extend cannot shrink a matrix: {m} < {n}");
+        if m <= n {
+            return;
+        }
+        let old = std::mem::take(&mut self.dist);
+        let rows: Vec<Vec<f64>> = incprof_par::par_map_index(m, |i| {
+            let mut row = Vec::with_capacity(m);
+            if i < n {
+                // Old pair: reuse the already-computed entries verbatim.
+                row.extend_from_slice(&old[i * n..i * n + n]);
+            } else {
+                row.extend((0..n).map(|j| euclidean(data.row(i), data.row(j))));
+            }
+            row.extend((n..m).map(|j| euclidean(data.row(i), data.row(j))));
+            row
+        });
+        let mut dist = Vec::with_capacity(m * m);
+        for row in rows {
+            dist.extend(row);
+        }
+        self.n = m;
+        self.dist = dist;
     }
 
     /// Number of rows (and columns).
@@ -131,5 +185,84 @@ mod tests {
         }
         assert_eq!(pair.get(0, 1), 5.0);
         assert_eq!(pair.row(1).len(), 3);
+    }
+
+    /// Deterministic pseudo-random rows (no RNG dependency needed).
+    fn synth_rows(n: usize, d: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|j| ((i * 31 + j * 7 + 3) % 17) as f64 * 0.37 - 2.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn extend_is_bit_identical_to_cold_rebuild() {
+        let rows = synth_rows(9, 4);
+        let head = crate::dataset::Dataset::from_rows(rows[..5].to_vec());
+        let full = crate::dataset::Dataset::from_rows(rows);
+        let mut pair = PairwiseDistances::euclidean_of(&head);
+        pair.extend(&full);
+        let cold = PairwiseDistances::euclidean_of(&full);
+        assert_eq!(pair.n(), cold.n());
+        for i in 0..cold.n() {
+            for j in 0..cold.n() {
+                assert_eq!(pair.get(i, j).to_bits(), cold.get(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn extend_from_empty_matches_euclidean_of() {
+        let data = crate::dataset::Dataset::from_rows(synth_rows(6, 3));
+        let mut pair = PairwiseDistances::empty();
+        assert_eq!(pair.n(), 0);
+        pair.extend(&data);
+        let cold = PairwiseDistances::euclidean_of(&data);
+        for i in 0..6 {
+            assert_eq!(pair.row(i), cold.row(i));
+        }
+    }
+
+    #[test]
+    fn extend_with_appended_zero_columns_preserves_old_entries() {
+        // New feature columns appear as intervals arrive; old rows gain
+        // zero-valued entries. Adding (0-0)² terms to a non-negative sum
+        // is bit-preserving, so old-pair distances must not move.
+        let old_rows = synth_rows(4, 3);
+        let mut new_rows: Vec<Vec<f64>> = old_rows
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r.insert(1, 0.0); // column inserted mid-row (id order)
+                r.push(0.0); // and appended at the end
+                r
+            })
+            .collect();
+        new_rows.push(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mut pair =
+            PairwiseDistances::euclidean_of(&crate::dataset::Dataset::from_rows(old_rows));
+        let full = crate::dataset::Dataset::from_rows(new_rows);
+        pair.extend(&full);
+        let cold = PairwiseDistances::euclidean_of(&full);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(pair.get(i, j).to_bits(), cold.get(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn extend_same_size_is_a_no_op() {
+        let data = crate::dataset::Dataset::from_rows(synth_rows(5, 2));
+        let mut pair = PairwiseDistances::euclidean_of(&data);
+        let before = pair.clone();
+        pair.extend(&data);
+        assert_eq!(pair.n(), before.n());
+        for i in 0..5 {
+            assert_eq!(pair.row(i), before.row(i));
+        }
     }
 }

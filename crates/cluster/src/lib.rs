@@ -46,7 +46,9 @@ pub use dbscan::{dbscan, DbscanLabel, DbscanParams};
 pub use distance::PairwiseDistances;
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
 pub use scale::Scaling;
-pub use select_k::{select_k, KSelection, KSelectionMethod, KSweep};
+pub use select_k::{
+    select_k, select_k_pre, sweep_k, sweep_k_pre, KSelection, KSelectionMethod, KSweep,
+};
 pub use silhouette::{
     mean_silhouette, mean_silhouette_pre, silhouette_values, silhouette_values_pre,
 };

@@ -58,11 +58,44 @@ pub struct KSelection {
 /// matrix once for every silhouette evaluation. Results are assembled in
 /// k order and are bit-identical for any worker count.
 pub fn sweep_k(data: &Dataset, k_max: usize, base: &KMeansConfig) -> KSweep {
+    sweep_k_pre(data, k_max, base, None)
+}
+
+/// [`sweep_k`] with an optional precomputed pairwise-distance matrix.
+///
+/// When `shared` is `Some`, it must cover exactly `data`'s rows
+/// (`shared.n() == data.nrows()`) with entries equal to
+/// `euclidean(data.row(i), data.row(j))`; the sweep then skips its own
+/// O(n²·d) matrix build and the silhouette sums consume the shared
+/// entries — bit-identical to the cold path, since
+/// [`PairwiseDistances::euclidean_of`] produces exactly those entries.
+/// This is the hook `incprof_core`'s incremental analysis cache uses to
+/// reuse distance work across streamed queries.
+pub fn sweep_k_pre(
+    data: &Dataset,
+    k_max: usize,
+    base: &KMeansConfig,
+    shared: Option<&PairwiseDistances>,
+) -> KSweep {
     let _sweep_span = incprof_obs::span(incprof_obs::names::CLUSTER_SELECT_K_SWEEP);
     let cap = k_max.min(data.nrows()).max(1);
-    let pair = if cap >= 2 {
+    if let Some(p) = shared {
+        assert_eq!(
+            p.n(),
+            data.nrows(),
+            "shared pairwise matrix covers {} rows, data has {}",
+            p.n(),
+            data.nrows()
+        );
+    }
+    let built: Option<PairwiseDistances> = if cap >= 2 && shared.is_none() {
         let _pair_span = incprof_obs::span(incprof_obs::names::CLUSTER_SELECT_K_PAIRWISE);
         Some(PairwiseDistances::euclidean_of(data))
+    } else {
+        None
+    };
+    let pair: Option<&PairwiseDistances> = if cap >= 2 {
+        shared.or(built.as_ref())
     } else {
         None
     };
@@ -72,7 +105,7 @@ pub fn sweep_k(data: &Dataset, k_max: usize, base: &KMeansConfig) -> KSweep {
             let _k_span = incprof_obs::span(incprof_obs::names::cluster_select_k_k(k));
             let cfg = KMeansConfig { k, ..base.clone() };
             let res = kmeans(data, &cfg);
-            let sil = match (&pair, k >= 2) {
+            let sil = match (pair, k >= 2) {
                 (Some(pair), true) => mean_silhouette_pre(pair, &res.assignments),
                 _ => None,
             };
@@ -103,7 +136,19 @@ pub fn select_k(
     method: KSelectionMethod,
     base: &KMeansConfig,
 ) -> KSelection {
-    let sweep = sweep_k(data, k_max, base);
+    select_k_pre(data, k_max, method, base, None)
+}
+
+/// [`select_k`] with an optional precomputed pairwise-distance matrix
+/// (see [`sweep_k_pre`] for the reuse contract).
+pub fn select_k_pre(
+    data: &Dataset,
+    k_max: usize,
+    method: KSelectionMethod,
+    base: &KMeansConfig,
+    shared: Option<&PairwiseDistances>,
+) -> KSelection {
+    let sweep = sweep_k_pre(data, k_max, base, shared);
     let idx = match method {
         KSelectionMethod::Elbow => elbow_index(&sweep.wcss),
         KSelectionMethod::Silhouette => silhouette_index(&sweep.silhouettes),
@@ -292,6 +337,36 @@ mod tests {
         // Chosen result is the sweep entry for the chosen k.
         let idx = sel.sweep.ks.iter().position(|&k| k == sel.k).unwrap();
         assert_eq!(sel.sweep.results[idx].wcss, sel.result.wcss);
+    }
+
+    #[test]
+    fn shared_pairwise_matrix_gives_bit_identical_selection() {
+        let data = blobs(3, 6);
+        let base = KMeansConfig::new(0);
+        let cold = select_k(&data, 8, KSelectionMethod::Silhouette, &base);
+        let pair = PairwiseDistances::euclidean_of(&data);
+        let warm = select_k_pre(&data, 8, KSelectionMethod::Silhouette, &base, Some(&pair));
+        assert_eq!(warm.k, cold.k);
+        assert_eq!(warm.result.assignments, cold.result.assignments);
+        for (w, c) in warm.sweep.silhouettes.iter().zip(&cold.sweep.silhouettes) {
+            assert_eq!(
+                w.map(f64::to_bits),
+                c.map(f64::to_bits),
+                "silhouette bits moved under a shared matrix"
+            );
+        }
+        for (w, c) in warm.sweep.wcss.iter().zip(&cold.sweep.wcss) {
+            assert_eq!(w.to_bits(), c.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shared pairwise matrix")]
+    fn shared_matrix_of_wrong_size_is_rejected() {
+        let data = blobs(2, 4);
+        let small = Dataset::from_rows(vec![vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let pair = PairwiseDistances::euclidean_of(&small);
+        sweep_k_pre(&data, 8, &KMeansConfig::new(0), Some(&pair));
     }
 
     #[test]

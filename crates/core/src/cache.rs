@@ -1,0 +1,263 @@
+//! Incremental analysis cache for streamed series.
+//!
+//! `PhaseDetector::detect_series` is stateless: every call re-deltas the
+//! whole cumulative series, rebuilds features, recomputes the O(n²·d)
+//! pairwise-distance matrix, and reruns the full k sweep. A streaming
+//! consumer (the serve daemon answering report queries between snapshot
+//! pushes) therefore pays O(n²) *per query* — exactly the repeated
+//! analysis the paper's incremental design is meant to avoid.
+//!
+//! [`AnalysisCache`] removes the redundancy in three layers, each gated
+//! on a check that preserves **bit-identical** output versus a cold
+//! [`PhaseDetector::detect_series`] call:
+//!
+//! 1. **Whole-report memoization.** Results are keyed on (sample count,
+//!    last sample identity, config fingerprint); a query with no new
+//!    snapshot returns the memoized [`PhaseAnalysis`] in O(1).
+//! 2. **Incremental deltas.** Interval profiles are the per-snapshot
+//!    deltas of a cumulative series; the cache keeps the deltas already
+//!    computed and only subtracts the new suffix.
+//! 3. **Incremental pairwise distances.** The distance matrix grows via
+//!    [`PairwiseDistances::extend`], computing only rows/columns for new
+//!    intervals — *iff* the previously-scaled rows are bit-identical
+//!    under the new scaling. Column-stat scalings
+//!    ([`incprof_cluster::Scaling::MinMax`],
+//!    [`incprof_cluster::Scaling::ZScore`]) shift old rows when new data moves the column
+//!    stats, so the cache verifies the scaled prefix bit-for-bit (with
+//!    feature columns re-aligned through [`FunctionId`]s, since newly
+//!    observed functions insert columns) and falls back to a cold
+//!    rebuild when anything moved. The fallback is counted as a
+//!    `core.cache.invalidations` metric, reuse as `core.cache.pair_extends`.
+//!
+//! Whatever the path, clustering and Algorithm 1 run on exactly the same
+//! scaled dataset (always recomputed — O(n·d)) and a distance matrix
+//! whose every entry equals `euclidean(row(i), row(j))` bit-for-bit, so
+//! warm output is byte-identical to cold output. `tests/cache_determinism.rs`
+//! at the workspace root pins this across all five mini-apps under a
+//! streaming push/query interleave.
+
+use crate::pipeline::{FeatureSet, PhaseAnalysis, PhaseDetector, PipelineError};
+use incprof_cluster::{Dataset, PairwiseDistances};
+use incprof_collect::{IntervalMatrix, SampleSeries};
+use incprof_profile::{FlatProfile, FunctionId};
+
+/// Memoized result of the last completed analysis.
+#[derive(Debug, Clone)]
+struct Memo {
+    /// Series length the analysis covered.
+    samples: usize,
+    /// `sample_index` of the last snapshot covered (identity check).
+    last_sample_index: u64,
+    /// `timestamp_ns` of the last snapshot covered (identity check).
+    last_timestamp_ns: u64,
+    /// The analysis itself.
+    analysis: PhaseAnalysis,
+}
+
+/// Per-session incremental analysis state. See the module docs.
+///
+/// One cache serves one growing [`SampleSeries`]; if the series shrinks
+/// or its detector configuration changes, the cache detects it and
+/// recomputes from scratch (counted as an invalidation) rather than
+/// serving stale results.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    /// Fingerprint of the detector config the cached state was built by.
+    fingerprint: Option<u64>,
+    /// Last full result, reused verbatim for no-new-data queries.
+    memo: Option<Memo>,
+    /// Interval (delta) profiles computed so far, one per snapshot.
+    intervals: Vec<FlatProfile>,
+    /// The cumulative profile the next delta subtracts from.
+    prev_cumulative: FlatProfile,
+    /// Scaled feature rows from the previous analysis, for prefix
+    /// verification before reusing distance entries.
+    scaled: Option<Dataset>,
+    /// Feature-column function ids of the previous analysis, aligned
+    /// with `scaled`'s columns (per feature block).
+    feature_fns: Vec<FunctionId>,
+    /// The incrementally grown pairwise-distance matrix.
+    pair: PairwiseDistances,
+}
+
+impl AnalysisCache {
+    /// Fresh, empty cache.
+    pub fn new() -> AnalysisCache {
+        AnalysisCache {
+            pair: PairwiseDistances::empty(),
+            ..Default::default()
+        }
+    }
+
+    /// Analyze `series` with `detector`, reusing cached work from
+    /// previous calls where bit-identity is proven.
+    ///
+    /// Returns exactly what `detector.detect_series(series)` would —
+    /// same values, same bits — or the same error for an empty series.
+    pub fn analyze(
+        &mut self,
+        detector: &PhaseDetector,
+        series: &SampleSeries,
+    ) -> Result<PhaseAnalysis, PipelineError> {
+        let _span = incprof_obs::span(incprof_obs::names::CORE_CACHE_ANALYZE);
+
+        let fp = detector.fingerprint();
+        if self.fingerprint != Some(fp) {
+            if self.fingerprint.is_some() {
+                incprof_obs::counter(incprof_obs::names::CORE_CACHE_INVALIDATIONS).inc();
+            }
+            self.reset();
+            self.fingerprint = Some(fp);
+        }
+
+        if let Some(memo) = &self.memo {
+            if let Some(last) = series.last() {
+                if memo.samples == series.len()
+                    && memo.last_sample_index == last.sample_index
+                    && memo.last_timestamp_ns == last.timestamp_ns
+                {
+                    incprof_obs::counter(incprof_obs::names::CORE_CACHE_HITS).inc();
+                    return Ok(memo.analysis.clone());
+                }
+            }
+        }
+        incprof_obs::counter(incprof_obs::names::CORE_CACHE_MISSES).inc();
+
+        if series.is_empty() {
+            return Err(PipelineError::NoIntervals);
+        }
+
+        self.extend_intervals(series)?;
+
+        let matrix = IntervalMatrix::from_interval_profiles(&self.intervals);
+        if matrix.n_intervals() == 0 {
+            return Err(PipelineError::NoIntervals);
+        }
+        if matrix.n_functions() == 0 {
+            return Err(PipelineError::NoFunctions);
+        }
+
+        let raw = Dataset::from_rows(detector.build_features(&matrix));
+        let data = detector.scaling.apply(&raw);
+
+        self.update_pair(detector, &matrix, &data);
+
+        let analysis = detector.detect_scaled(&matrix, &data, Some(&self.pair))?;
+
+        self.scaled = Some(data);
+        self.feature_fns = matrix.functions().to_vec();
+        let last = series.last().ok_or(PipelineError::NoIntervals)?;
+        self.memo = Some(Memo {
+            samples: series.len(),
+            last_sample_index: last.sample_index,
+            last_timestamp_ns: last.timestamp_ns,
+            analysis: analysis.clone(),
+        });
+        Ok(analysis)
+    }
+
+    /// Drop all cached state (fingerprint included).
+    fn reset(&mut self) {
+        *self = AnalysisCache::new();
+    }
+
+    /// Bring `self.intervals` up to date with `series`, computing deltas
+    /// only for the new snapshot suffix. Replicates
+    /// `SampleSeries::interval_profiles` exactly: interval `i` is
+    /// `snapshot[i] − snapshot[i−1]`, interval 0 measured from empty.
+    fn extend_intervals(&mut self, series: &SampleSeries) -> Result<(), PipelineError> {
+        let snaps = series.snapshots();
+        if snaps.len() < self.intervals.len() {
+            // Series shrank (session restart) — cold restart.
+            incprof_obs::counter(incprof_obs::names::CORE_CACHE_INVALIDATIONS).inc();
+            let fp = self.fingerprint;
+            self.reset();
+            self.fingerprint = fp;
+        }
+        for snap in &snaps[self.intervals.len()..] {
+            // On a delta error (non-monotonic counters) the already-pushed
+            // prefix stays consistent; a retry recomputes only from here.
+            self.intervals.push(snap.flat.delta(&self.prev_cumulative)?);
+            self.prev_cumulative = snap.flat.clone();
+        }
+        Ok(())
+    }
+
+    /// Grow (or rebuild) the pairwise matrix to cover `data`'s rows.
+    ///
+    /// Extension is sound only when the first `pair.n()` rows of `data`
+    /// are bit-identical to the rows the matrix was computed from, which
+    /// [`AnalysisCache::prefix_rows_unchanged`] verifies through the
+    /// feature-column function ids. Otherwise a cold rebuild runs.
+    fn update_pair(&mut self, detector: &PhaseDetector, matrix: &IntervalMatrix, data: &Dataset) {
+        let old_n = self.pair.n();
+        let reusable = old_n == 0
+            || (old_n <= data.nrows() && self.prefix_rows_unchanged(detector, matrix, data));
+        if reusable {
+            if old_n > 0 && data.nrows() > old_n {
+                incprof_obs::counter(incprof_obs::names::CORE_CACHE_PAIR_EXTENDS).inc();
+            }
+            self.pair.extend(data);
+        } else {
+            incprof_obs::counter(incprof_obs::names::CORE_CACHE_INVALIDATIONS).inc();
+            self.pair = PairwiseDistances::euclidean_of(data);
+        }
+    }
+
+    /// Check that every previously-scaled row reappears bit-identically
+    /// in `data`, after re-aligning feature columns by [`FunctionId`]
+    /// (new functions insert columns; an old row's new entries there
+    /// must be exactly `0.0`, which leaves Euclidean sums bit-stable).
+    fn prefix_rows_unchanged(
+        &self,
+        detector: &PhaseDetector,
+        matrix: &IntervalMatrix,
+        data: &Dataset,
+    ) -> bool {
+        let old = match &self.scaled {
+            Some(d) => d,
+            None => return false,
+        };
+        if old.nrows() != self.pair.n() || old.nrows() > data.nrows() {
+            return false;
+        }
+        // Old feature column t maps to new column col_map[t].
+        let mut col_map = Vec::with_capacity(self.feature_fns.len());
+        for id in &self.feature_fns {
+            match matrix.col_of(*id) {
+                Some(c) => col_map.push(c),
+                // A previously observed function vanished — only possible
+                // after a series reset; rebuild cold.
+                None => return false,
+            }
+        }
+        let blocks = match detector.features {
+            FeatureSet::SelfTime => 1,
+            FeatureSet::SelfTimeAndCalls | FeatureSet::SelfTimeAndChildTime => 2,
+        };
+        let d_old = self.feature_fns.len();
+        let d_new = matrix.n_functions();
+        if old.ncols() != d_old * blocks || data.ncols() != d_new * blocks {
+            return false;
+        }
+        let mut expected = vec![0.0_f64; d_new * blocks];
+        for i in 0..old.nrows() {
+            for v in expected.iter_mut() {
+                *v = 0.0;
+            }
+            let old_row = old.row(i);
+            for b in 0..blocks {
+                for (t, &c) in col_map.iter().enumerate() {
+                    expected[b * d_new + c] = old_row[b * d_old + t];
+                }
+            }
+            let new_row = data.row(i);
+            for (e, n) in expected.iter().zip(new_row) {
+                if e.to_bits() != n.to_bits() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}

@@ -36,6 +36,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod algorithm1;
+pub mod cache;
 pub mod callgraph_select;
 pub mod merge;
 pub mod online;
@@ -43,6 +44,7 @@ pub mod pipeline;
 pub mod report;
 pub mod types;
 
+pub use cache::AnalysisCache;
 pub use online::{OnlineConfig, OnlineObservation, OnlinePhaseDetector};
 pub use pipeline::{ClusteringMethod, FeatureSet, PhaseAnalysis, PhaseDetector, PipelineError};
 pub use types::{InstrumentationSite, InstrumentationType, Phase};

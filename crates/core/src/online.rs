@@ -56,6 +56,13 @@ pub struct OnlineObservation {
     /// True when the phase differs from the previous interval's phase
     /// (a phase transition, the event a deployment would alert on).
     pub transition: bool,
+    /// True when the interval was beyond the distance threshold of every
+    /// centroid but was absorbed into the nearest phase anyway because
+    /// the detector is saturated at [`OnlineConfig::max_phases`]. A run
+    /// of capped observations means the cap is hiding real behavior
+    /// changes — raise `max_phases` or treat the assignment as low
+    /// confidence.
+    pub capped: bool,
 }
 
 /// Streaming leader–follower phase detector.
@@ -70,6 +77,8 @@ pub struct OnlinePhaseDetector {
     member_counts: Vec<usize>,
     assignments: Vec<usize>,
     transitions: Vec<usize>,
+    /// Interval indices absorbed only because of the phase cap.
+    capped: Vec<usize>,
 }
 
 impl OnlinePhaseDetector {
@@ -82,6 +91,7 @@ impl OnlinePhaseDetector {
             member_counts: Vec::new(),
             assignments: Vec::new(),
             transitions: Vec::new(),
+            capped: Vec::new(),
         }
     }
 
@@ -112,18 +122,22 @@ impl OnlinePhaseDetector {
         }
 
         let idx = self.assignments.len();
-        let (phase, new_phase) = match best {
-            Some((p, d))
-                if d <= self.config.distance_threshold_secs
-                    || self.centroids.len() >= self.config.max_phases =>
-            {
+        let (phase, new_phase, capped) = match best {
+            Some((p, d)) if d <= self.config.distance_threshold_secs => {
                 self.absorb(p, &features);
-                (p, false)
+                (p, false, false)
+            }
+            // Saturated: absorb a too-distant interval rather than open
+            // a phase past the cap, but mark the assignment as forced.
+            Some((p, _)) if self.centroids.len() >= self.config.max_phases => {
+                self.absorb(p, &features);
+                self.capped.push(idx);
+                (p, false, true)
             }
             _ => {
                 self.centroids.push(features);
                 self.member_counts.push(1);
-                (self.centroids.len() - 1, true)
+                (self.centroids.len() - 1, true, false)
             }
         };
 
@@ -137,6 +151,7 @@ impl OnlinePhaseDetector {
             phase,
             new_phase,
             transition,
+            capped,
         }
     }
 
@@ -176,6 +191,13 @@ impl OnlinePhaseDetector {
     /// Member count per phase.
     pub fn phase_sizes(&self) -> &[usize] {
         &self.member_counts
+    }
+
+    /// Interval indices whose assignment was forced by the
+    /// [`OnlineConfig::max_phases`] cap (see
+    /// [`OnlineObservation::capped`]).
+    pub fn capped_intervals(&self) -> &[usize] {
+        &self.capped
     }
 }
 
@@ -257,6 +279,32 @@ mod tests {
         det.observe(&interval(&[(2, 1.0)])); // would be phase 3
         assert_eq!(det.n_phases(), 2);
         assert_eq!(det.assignments().len(), 3);
+    }
+
+    #[test]
+    fn capped_flag_marks_forced_absorption_at_max_phases() {
+        let cfg = OnlineConfig {
+            max_phases: 2,
+            ..OnlineConfig::default()
+        };
+        let mut det = OnlinePhaseDetector::new(cfg);
+        // Two clean phases fill the cap; neither observation is capped.
+        assert!(!det.observe(&interval(&[(0, 1.0)])).capped);
+        assert!(!det.observe(&interval(&[(1, 1.0)])).capped);
+        // A planted outlier, orthogonal to both centroids: far beyond
+        // the threshold, absorbed only because the detector is full.
+        let outlier = det.observe(&interval(&[(2, 5.0)]));
+        assert!(outlier.capped, "distant interval at cap must be flagged");
+        assert!(!outlier.new_phase);
+        assert_eq!(det.n_phases(), 2);
+        // An interval sitting on an existing centroid is a genuine
+        // within-threshold match even at the cap — not capped. Phase 1's
+        // centroid is unshifted (the outlier joined phase 0 or 1; use
+        // whichever the outlier did not join).
+        let clean_id = if outlier.phase == 0 { 1 } else { 0 };
+        let clean = det.observe(&interval(&[(clean_id as u32, 1.0)]));
+        assert!(!clean.capped, "in-threshold match must not be flagged");
+        assert_eq!(det.capped_intervals(), &[2]);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 use crate::algorithm1::{identify_instrumentation, Algorithm1Config, ClusterIntervals};
 use crate::types::Phase;
 use incprof_cluster::{
-    dbscan, select_k, Dataset, DbscanParams, KMeansConfig, KSelectionMethod, Scaling,
+    dbscan, select_k_pre, Dataset, DbscanParams, KMeansConfig, KSelectionMethod, PairwiseDistances,
+    Scaling,
 };
 use incprof_collect::{IntervalMatrix, SampleSeries};
 use incprof_profile::{FunctionTable, ProfileError};
@@ -155,6 +156,53 @@ impl PhaseDetector {
         Self::default()
     }
 
+    /// A stable 64-bit fingerprint of this configuration (FNV-1a over
+    /// every field, floats by bit pattern). Two detectors with equal
+    /// fingerprints are behaviorally identical — the key the incremental
+    /// [`crate::cache::AnalysisCache`] memoizes results under, so a
+    /// config change is detected as a cache invalidation rather than
+    /// silently served stale.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a, 64-bit.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        match &self.clustering {
+            ClusteringMethod::KMeans { k_max, selection } => {
+                mix(1);
+                mix(*k_max as u64);
+                mix(match selection {
+                    KSelectionMethod::Elbow => 0,
+                    KSelectionMethod::Silhouette => 1,
+                });
+            }
+            ClusteringMethod::Dbscan(p) => {
+                mix(2);
+                mix(p.eps.to_bits());
+                mix(p.min_points as u64);
+            }
+        }
+        mix(match self.features {
+            FeatureSet::SelfTime => 0,
+            FeatureSet::SelfTimeAndCalls => 1,
+            FeatureSet::SelfTimeAndChildTime => 2,
+        });
+        mix(match self.scaling {
+            Scaling::None => 0,
+            Scaling::MinMax => 1,
+            Scaling::ZScore => 2,
+            Scaling::RowFraction => 3,
+        });
+        mix(self.coverage_threshold.to_bits());
+        mix(self.seed);
+        mix(self.restarts as u64);
+        h
+    }
+
     /// Detect phases from an already-built interval matrix.
     pub fn detect(&self, matrix: &IntervalMatrix) -> Result<PhaseAnalysis, PipelineError> {
         let _detect_span = incprof_obs::span(incprof_obs::names::CORE_PIPELINE_DETECT);
@@ -170,6 +218,28 @@ impl PhaseDetector {
         let data = self.scaling.apply(&raw);
         drop(features_span);
 
+        self.detect_scaled(matrix, &data, None)
+    }
+
+    /// Cluster already-scaled feature rows `data` (as produced by
+    /// [`PhaseDetector::build_features`] + [`Scaling::apply`] over
+    /// `matrix`), optionally consuming a precomputed pairwise-distance
+    /// matrix. This is the entry point [`crate::cache::AnalysisCache`]
+    /// uses to reuse distance work across streamed queries; with
+    /// `pair = None` it is exactly the tail of [`PhaseDetector::detect`].
+    pub(crate) fn detect_scaled(
+        &self,
+        matrix: &IntervalMatrix,
+        data: &Dataset,
+        pair: Option<&PairwiseDistances>,
+    ) -> Result<PhaseAnalysis, PipelineError> {
+        if matrix.n_intervals() == 0 {
+            return Err(PipelineError::NoIntervals);
+        }
+        if matrix.n_functions() == 0 {
+            return Err(PipelineError::NoFunctions);
+        }
+
         let cluster_span = incprof_obs::span(incprof_obs::names::CORE_PIPELINE_CLUSTER);
         let (assignments, centroids, wcss_sweep, silhouette_sweep) = match &self.clustering {
             ClusteringMethod::KMeans { k_max, selection } => {
@@ -177,7 +247,7 @@ impl PhaseDetector {
                     restarts: self.restarts,
                     ..KMeansConfig::new(1).with_seed(self.seed)
                 };
-                let sel = select_k(&data, *k_max, *selection, &base);
+                let sel = select_k_pre(data, *k_max, *selection, &base, pair);
                 (
                     sel.result.assignments.clone(),
                     sel.result.centroids.clone(),
@@ -186,10 +256,10 @@ impl PhaseDetector {
                 )
             }
             ClusteringMethod::Dbscan(params) => {
-                let labels = dbscan(&data, *params);
-                let assignments = fold_noise(&data, &labels);
+                let labels = dbscan(data, *params);
+                let assignments = fold_noise(data, &labels);
                 let k = assignments.iter().copied().max().unwrap_or(0) + 1;
-                let centroids = cluster_means(&data, &assignments, k);
+                let centroids = cluster_means(data, &assignments, k);
                 (assignments, centroids, Vec::new(), Vec::new())
             }
         };
@@ -241,7 +311,7 @@ impl PhaseDetector {
     }
 
     /// Assemble clustering feature rows per [`FeatureSet`].
-    fn build_features(&self, matrix: &IntervalMatrix) -> Vec<Vec<f64>> {
+    pub(crate) fn build_features(&self, matrix: &IntervalMatrix) -> Vec<Vec<f64>> {
         let n = matrix.n_intervals();
         let d = matrix.n_functions();
         (0..n)

@@ -203,8 +203,12 @@ impl HistogramSnapshot {
     }
 
     /// The `q`-quantile (`q` in `[0, 1]`, clamped), estimated as the
-    /// upper bound of the bucket holding the `⌈q·count⌉`-th observation
-    /// and clamped to the observed `max`. Returns 0 when empty.
+    /// upper bound of the bucket holding the `⌈q·count⌉`-th observation,
+    /// clamped to the observed `[min, max]`. Returns 0 when empty.
+    /// `q = 0.0` is exact: it returns the observed minimum, not the
+    /// minimum's bucket bound. A single-observation histogram returns
+    /// that observation at every `q` (its bucket bound clamps to
+    /// `min == max`).
     ///
     /// Power-of-two buckets make this a ≤2× overestimate in the worst
     /// case — the right trade for tail-latency reporting, where "which
@@ -214,8 +218,13 @@ impl HistogramSnapshot {
             return 0;
         }
         let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            // The 0-quantile is the smallest observation itself — the
+            // bucket bound would overestimate it by up to 2×.
+            return self.min;
+        }
         // Rank of the target observation, 1-based: ⌈q·count⌉, at least 1
-        // so q=0 means "the smallest observation's bucket".
+        // (guards tiny q whose product rounds to 0).
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for b in &self.buckets {
@@ -415,5 +424,43 @@ mod tests {
         let h = Histogram::new();
         h.record(0);
         assert_eq!(h.snapshot().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_zero_is_observed_min_not_bucket_bound() {
+        let h = Histogram::new();
+        h.record(5); // bucket le=7
+        h.record(1000);
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.min, 5);
+        // q=0 must be the min itself, not the min's bucket bound (7).
+        assert_eq!(s.quantile(0.0), 5);
+        assert_eq!(s.quantile(-0.5), 5);
+        // Barely above zero lands in the min's bucket: bound applies.
+        assert_eq!(s.quantile(0.01), 7);
+    }
+
+    #[test]
+    fn quantile_single_observation_answers_every_q() {
+        let h = Histogram::new();
+        h.record(100); // bucket le=127
+        let s = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 100, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_mid_bucket_respects_documented_clamp() {
+        let h = Histogram::new();
+        // Both land in bucket [64,127] but max=100: the bound must clamp
+        // down to the observed max, and min must clamp the low side.
+        h.record(70);
+        h.record(100);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 100);
+        assert_eq!(s.quantile(1.0), 100);
+        assert_eq!(s.quantile(0.0), 70);
     }
 }

@@ -86,6 +86,22 @@ pub const CORE_PIPELINE_DELTA: &str = "core.pipeline.delta";
 pub const CORE_PIPELINE_MATRIX: &str = "core.pipeline.matrix";
 
 // ---------------------------------------------------------------------
+// core (incremental analysis cache)
+// ---------------------------------------------------------------------
+
+/// Span: one `AnalysisCache::analyze` call (hit or miss).
+pub const CORE_CACHE_ANALYZE: &str = "core.cache.analyze";
+/// Counter: queries answered from the whole-report memo without work.
+pub const CORE_CACHE_HITS: &str = "core.cache.memo_hits";
+/// Counter: queries that had to (re)run some part of the pipeline.
+pub const CORE_CACHE_MISSES: &str = "core.cache.memo_misses";
+/// Counter: pairwise matrices grown incrementally instead of rebuilt.
+pub const CORE_CACHE_PAIR_EXTENDS: &str = "core.cache.pair_extends";
+/// Counter: cached state discarded (config change, series reset, or
+/// scaled rows shifted under a column-stat rescale).
+pub const CORE_CACHE_INVALIDATIONS: &str = "core.cache.invalidations";
+
+// ---------------------------------------------------------------------
 // par
 // ---------------------------------------------------------------------
 
@@ -168,6 +184,11 @@ pub const ALL: &[&str] = &[
     CORE_PIPELINE_DETECT_SERIES,
     CORE_PIPELINE_DELTA,
     CORE_PIPELINE_MATRIX,
+    CORE_CACHE_ANALYZE,
+    CORE_CACHE_HITS,
+    CORE_CACHE_MISSES,
+    CORE_CACHE_PAIR_EXTENDS,
+    CORE_CACHE_INVALIDATIONS,
     PAR_POOL_CALLS,
     PAR_POOL_TASKS,
     PAR_POOL_STEALS,

@@ -121,10 +121,14 @@ pub enum FrameError {
         /// The type byte found.
         found: u8,
     },
-    /// The payload length exceeds the negotiated cap.
+    /// The payload length exceeds the negotiated cap. On decode, the
+    /// claimed length came off the wire; on [`Frame::try_encode`], it is
+    /// the actual payload size (which is why `len` is `u64` — a 64-bit
+    /// process can hold a payload bigger than the u32 wire field can
+    /// describe, and that must be reported, not truncated).
     Oversize {
-        /// Claimed payload length.
-        len: u32,
+        /// Claimed (decode) or actual (encode) payload length.
+        len: u64,
         /// Configured maximum.
         max: u32,
     },
@@ -194,7 +198,28 @@ impl Frame {
         HEADER_LEN + self.payload.len() + CRC_LEN
     }
 
-    /// Serialize to wire bytes.
+    /// Serialize to wire bytes, refusing payloads over `max_payload`.
+    ///
+    /// The header's length field is a u32; a payload larger than the cap
+    /// (or than `u32::MAX` outright) cannot be represented and would
+    /// silently truncate the length under a bare cast, producing a
+    /// corrupt-but-CRC-valid frame the peer misparses. Production write
+    /// paths ([`write_frame`] / [`write_frame_capped`]) all route
+    /// through here.
+    pub fn try_encode(&self, max_payload: u32) -> Result<Vec<u8>, FrameError> {
+        if self.payload.len() as u64 > u64::from(max_payload) {
+            return Err(FrameError::Oversize {
+                len: self.payload.len() as u64,
+                max: max_payload,
+            });
+        }
+        Ok(self.encode())
+    }
+
+    /// Serialize to wire bytes without a payload-size check — only valid
+    /// for payloads that fit the u32 length field. Tests and tools craft
+    /// frames with this; I/O paths use [`Frame::try_encode`] via
+    /// [`write_frame`].
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(self.encoded_len());
         buf.extend_from_slice(&MAGIC);
@@ -267,7 +292,7 @@ pub fn parse_header(
     let len = u32::from_le_bytes(len_bytes);
     if len > max_payload {
         return Err(FrameError::Oversize {
-            len,
+            len: u64::from(len),
             max: max_payload,
         });
     }
@@ -432,11 +457,16 @@ pub struct SnapshotAck {
     pub new_phase: bool,
     /// The phase differs from the previous interval's (a transition).
     pub transition: bool,
+    /// The interval was beyond the distance threshold of every phase but
+    /// was absorbed anyway because the online detector is saturated at
+    /// its phase cap (see `OnlineObservation::capped` in `incprof-core`).
+    pub capped: bool,
 }
 
 impl SnapshotAck {
     const FLAG_NEW_PHASE: u8 = 1;
     const FLAG_TRANSITION: u8 = 2;
+    const FLAG_CAPPED: u8 = 4;
 
     /// Serialize: u64 interval, u32 phase, u8 flags.
     pub fn encode(&self) -> Vec<u8> {
@@ -449,6 +479,9 @@ impl SnapshotAck {
         }
         if self.transition {
             flags |= Self::FLAG_TRANSITION;
+        }
+        if self.capped {
+            flags |= Self::FLAG_CAPPED;
         }
         buf.push(flags);
         buf
@@ -471,6 +504,7 @@ impl SnapshotAck {
             phase: u32::from_le_bytes(phase),
             new_phase: flags & Self::FLAG_NEW_PHASE != 0,
             transition: flags & Self::FLAG_TRANSITION != 0,
+            capped: flags & Self::FLAG_CAPPED != 0,
         })
     }
 }
@@ -550,9 +584,24 @@ pub fn read_frame(r: &mut impl Read, max_payload: u32) -> io::Result<ReadOutcome
     }))
 }
 
-/// Write one frame to `w` and flush it.
+/// Write one frame to `w` and flush it, enforcing the default protocol
+/// payload cap ([`DEFAULT_MAX_PAYLOAD`]). Both the server reply path and
+/// the client request path go through here, so an oversize payload is
+/// rejected as [`io::ErrorKind::InvalidInput`] before any bytes hit the
+/// wire instead of being emitted with a truncated length field.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<usize> {
-    let bytes = frame.encode();
+    write_frame_capped(w, frame, DEFAULT_MAX_PAYLOAD)
+}
+
+/// [`write_frame`] with an explicit payload cap.
+pub fn write_frame_capped(
+    w: &mut impl Write,
+    frame: &Frame,
+    max_payload: u32,
+) -> io::Result<usize> {
+    let bytes = frame
+        .try_encode(max_payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
     w.write_all(&bytes)?;
     w.flush()?;
     Ok(bytes.len())
@@ -706,17 +755,64 @@ mod tests {
 
     #[test]
     fn snapshot_ack_roundtrip() {
-        for (new_phase, transition) in [(false, false), (true, false), (false, true), (true, true)]
-        {
+        for flags in 0u8..8 {
             let ack = SnapshotAck {
                 interval: 41,
                 phase: 3,
-                new_phase,
-                transition,
+                new_phase: flags & 1 != 0,
+                transition: flags & 2 != 0,
+                capped: flags & 4 != 0,
             };
             assert_eq!(SnapshotAck::decode(&ack.encode()).unwrap(), ack);
         }
         assert!(SnapshotAck::decode(&[0; 12]).is_err());
+    }
+
+    #[test]
+    fn try_encode_enforces_cap_exactly() {
+        // At the cap: succeeds and round-trips.
+        let at = Frame::with_payload(FrameType::Report, 1, vec![0xAB; 64]);
+        let bytes = at.try_encode(64).unwrap();
+        let (back, _) = Frame::decode(&bytes, 64).unwrap();
+        assert_eq!(back, at);
+        // One over: refused with the real length, nothing truncated.
+        let over = Frame::with_payload(FrameType::Report, 1, vec![0xAB; 65]);
+        assert_eq!(
+            over.try_encode(64),
+            Err(FrameError::Oversize { len: 65, max: 64 })
+        );
+    }
+
+    #[test]
+    fn try_encode_at_default_cap_boundary() {
+        let at = Frame::with_payload(FrameType::Report, 9, vec![7; DEFAULT_MAX_PAYLOAD as usize]);
+        let bytes = at.try_encode(DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(bytes.len(), at.encoded_len());
+        let over = Frame::with_payload(
+            FrameType::Report,
+            9,
+            vec![7; DEFAULT_MAX_PAYLOAD as usize + 1],
+        );
+        assert_eq!(
+            over.try_encode(DEFAULT_MAX_PAYLOAD),
+            Err(FrameError::Oversize {
+                len: u64::from(DEFAULT_MAX_PAYLOAD) + 1,
+                max: DEFAULT_MAX_PAYLOAD,
+            })
+        );
+    }
+
+    #[test]
+    fn write_frame_capped_rejects_oversize_before_writing() {
+        let frame = Frame::with_payload(FrameType::Report, 2, vec![1; 100]);
+        let mut sink = Vec::new();
+        let err = write_frame_capped(&mut sink, &frame, 99).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(sink.is_empty(), "no bytes may reach the wire");
+        assert_eq!(
+            write_frame_capped(&mut sink, &frame, 100).unwrap(),
+            sink.len()
+        );
     }
 
     #[test]

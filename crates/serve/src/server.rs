@@ -74,6 +74,10 @@ pub struct ServeConfig {
     pub detector: PhaseDetector,
     /// The incremental detector fed per frame.
     pub online: OnlineConfig,
+    /// Give each session an incremental analysis cache for report
+    /// queries (`false` = recompute the full analysis per query; the
+    /// `--no-analysis-cache` escape hatch).
+    pub analysis_cache: bool,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +93,7 @@ impl Default for ServeConfig {
             backlog: 32,
             detector: PhaseDetector::default(),
             online: OnlineConfig::default(),
+            analysis_cache: true,
         }
     }
 }
@@ -190,6 +195,7 @@ impl Server {
             config.online.clone(),
             config.max_sessions,
             config.max_pending,
+            config.analysis_cache,
         );
         let shared = Arc::new(Shared {
             config,
@@ -515,6 +521,7 @@ fn handle_snapshot(conn: &mut Conn, shared: &Shared, frame: &Frame) -> bool {
                     phase: ack.observation.phase as u32,
                     new_phase: ack.observation.new_phase,
                     transition: ack.observation.transition,
+                    capped: ack.observation.capped,
                 }
                 .encode();
                 send(

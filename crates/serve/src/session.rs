@@ -17,7 +17,7 @@
 use crate::frame::{ErrorCode, ErrorInfo};
 use incprof_collect::SampleSeries;
 use incprof_core::online::{OnlineConfig, OnlineObservation, OnlinePhaseDetector};
-use incprof_core::PhaseDetector;
+use incprof_core::{AnalysisCache, PhaseDetector};
 use incprof_profile::{FlatProfile, FunctionTable, GmonData, ProfileSnapshot};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -77,10 +77,14 @@ pub struct Session {
     /// A snapshot whose delta failed (regressing counters) poisons the
     /// tail of the stream; the prefix stays queryable.
     fault: Option<String>,
+    /// Incremental analysis state, reused across report queries. `None`
+    /// when the daemon runs with `--no-analysis-cache`, in which case
+    /// every query recomputes from scratch (the pre-cache behavior).
+    cache: Option<AnalysisCache>,
 }
 
 impl Session {
-    fn new(id: u64, online: OnlineConfig, max_pending: usize) -> Session {
+    fn new(id: u64, online: OnlineConfig, max_pending: usize, analysis_cache: bool) -> Session {
         Session {
             id,
             series: SampleSeries::new(),
@@ -90,6 +94,7 @@ impl Session {
             pending: VecDeque::new(),
             max_pending,
             fault: None,
+            cache: analysis_cache.then(AnalysisCache::new),
         }
     }
 
@@ -177,7 +182,14 @@ impl Session {
         let analysis_json = if self.series.is_empty() {
             "null".to_string()
         } else {
-            match detector.detect_series(&self.series) {
+            // The cache path returns byte-identical analyses (pinned by
+            // tests/cache_determinism.rs) while doing O(new data) work
+            // per query instead of O(n²) for the whole series.
+            let analysis = match self.cache.as_mut() {
+                Some(cache) => cache.analyze(detector, &self.series),
+                None => detector.detect_series(&self.series),
+            };
+            match analysis {
                 Ok(analysis) => serde_json::to_string(&analysis)
                     .unwrap_or_else(|e| json_error_object("serialize failed", &e.to_string())),
                 Err(e) => json_error_object("analysis failed", &e.to_string()),
@@ -193,11 +205,12 @@ impl Session {
                     self.series.len()
                 ));
                 out.push_str(&format!(
-                    "\"online\":{{\"phases\":{},\"assignments\":{},\"transitions\":{},\"phase_sizes\":{}}},",
+                    "\"online\":{{\"phases\":{},\"assignments\":{},\"transitions\":{},\"phase_sizes\":{},\"capped\":{}}},",
                     self.online.n_phases(),
                     json_usize_array(self.online.assignments()),
                     json_usize_array(self.online.transitions()),
                     json_usize_array(self.online.phase_sizes()),
+                    json_usize_array(self.online.capped_intervals()),
                 ));
                 if let Some(why) = &self.fault {
                     out.push_str(&format!("\"fault\":{},", json_string(why)));
@@ -249,6 +262,7 @@ pub struct Registry {
     online: OnlineConfig,
     max_sessions: usize,
     max_pending: usize,
+    analysis_cache: bool,
 }
 
 struct Inner {
@@ -257,8 +271,16 @@ struct Inner {
 }
 
 impl Registry {
-    /// New registry with the given limits.
-    pub fn new(online: OnlineConfig, max_sessions: usize, max_pending: usize) -> Registry {
+    /// New registry with the given limits. `analysis_cache` gives every
+    /// session an incremental [`AnalysisCache`] for report queries;
+    /// `false` restores recompute-per-query (the `--no-analysis-cache`
+    /// escape hatch).
+    pub fn new(
+        online: OnlineConfig,
+        max_sessions: usize,
+        max_pending: usize,
+        analysis_cache: bool,
+    ) -> Registry {
         Registry {
             inner: Mutex::new(Inner {
                 sessions: BTreeMap::new(),
@@ -267,6 +289,7 @@ impl Registry {
             online,
             max_sessions,
             max_pending,
+            analysis_cache,
         }
     }
 
@@ -285,6 +308,7 @@ impl Registry {
             id,
             self.online.clone(),
             self.max_pending,
+            self.analysis_cache,
         )));
         inner.sessions.insert(id, Arc::clone(&session));
         incprof_obs::counter(incprof_obs::names::SERVE_SESSIONS_OPENED).inc();
@@ -355,7 +379,7 @@ mod tests {
     }
 
     fn registry() -> Registry {
-        Registry::new(OnlineConfig::default(), 4, 2)
+        Registry::new(OnlineConfig::default(), 4, 2, true)
     }
 
     #[test]
@@ -470,6 +494,45 @@ mod tests {
         let detector = PhaseDetector::default();
         let offline = serde_json::to_string(&detector.detect_series(s.series()).unwrap()).unwrap();
         assert_eq!(s.report_json(&detector, ReportMode::AnalysisOnly), offline);
+    }
+
+    #[test]
+    fn cached_and_uncached_reports_are_byte_identical() {
+        let cached = registry();
+        let uncached = Registry::new(OnlineConfig::default(), 4, 2, false);
+        let (_, a) = cached.open().unwrap();
+        let (_, b) = uncached.open().unwrap();
+        let mut a = lock(&a);
+        let mut b = lock(&b);
+        let detector = PhaseDetector::default();
+        for i in 0..6u64 {
+            a.enqueue(gmon(i, (i + 1) * 1_000_000_000), Instant::now())
+                .unwrap();
+            b.enqueue(gmon(i, (i + 1) * 1_000_000_000), Instant::now())
+                .unwrap();
+            // Query after every push, and twice at the end, so the memo
+            // path is exercised too.
+            assert_eq!(
+                a.report_json(&detector, ReportMode::AnalysisOnly),
+                b.report_json(&detector, ReportMode::AnalysisOnly),
+                "push {i}"
+            );
+        }
+        assert_eq!(
+            a.report_json(&detector, ReportMode::Full),
+            b.report_json(&detector, ReportMode::Full)
+        );
+    }
+
+    #[test]
+    fn full_report_exposes_capped_intervals() {
+        let r = registry();
+        let (_, s) = r.open().unwrap();
+        let mut s = lock(&s);
+        s.enqueue(gmon(0, 1_000_000_000), Instant::now()).unwrap();
+        s.drain().unwrap();
+        let report = s.report_json(&PhaseDetector::default(), ReportMode::Full);
+        assert!(report.contains("\"capped\":[]"), "{report}");
     }
 
     #[test]

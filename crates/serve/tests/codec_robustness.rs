@@ -186,6 +186,64 @@ fn unknown_session_and_bad_type_are_typed_errors() {
 }
 
 #[test]
+fn codec_roundtrips_boundary_payload_sizes() {
+    // 0, 1, cap−1, and cap exactly — the off-by-one edges of the length
+    // field and the cap check. Encode → decode must be the identity, and
+    // try_encode must agree with what decode will accept.
+    let cap: u32 = 4096;
+    for size in [0usize, 1, cap as usize - 1, cap as usize] {
+        let f = Frame::with_payload(FrameType::Report, 3, vec![0x5A; size]);
+        let bytes = f
+            .try_encode(cap)
+            .unwrap_or_else(|e| panic!("size {size}: {e}"));
+        let (back, used) =
+            Frame::decode(&bytes, cap).unwrap_or_else(|e| panic!("size {size}: {e}"));
+        assert_eq!(used, bytes.len(), "size {size}");
+        assert_eq!(back, f, "size {size}");
+    }
+    // cap+1 is refused symmetrically on both sides.
+    let over = Frame::with_payload(FrameType::Report, 3, vec![0x5A; cap as usize + 1]);
+    assert!(over.try_encode(cap).is_err());
+    let bytes = over.encode();
+    assert!(Frame::decode(&bytes, cap).is_err());
+}
+
+#[test]
+fn codec_roundtrips_u64_max_session_id() {
+    for id in [u64::MAX, u64::MAX - 1, 1u64 << 63] {
+        let f = Frame::with_payload(FrameType::Query, id, vec![1]);
+        let (back, _) = Frame::decode(&f.encode(), DEFAULT_MAX_PAYLOAD).expect("decode");
+        assert_eq!(back.session_id, id);
+        assert_eq!(back, f);
+    }
+}
+
+#[test]
+fn u64_max_session_id_on_the_wire_is_unknown_not_mangled() {
+    // The extreme id must travel the full stack intact: the daemon
+    // should answer "no session 18446744073709551615", proving the id
+    // was neither truncated nor sign-mangled en route.
+    let handle = live_server();
+    let mut conn = connect(&handle);
+    write_frame(
+        &mut conn,
+        &Frame::with_payload(FrameType::Query, u64::MAX, vec![0]),
+    )
+    .expect("write query");
+    let f = read_reply(&mut conn).expect("reply");
+    assert_eq!(f.frame_type, FrameType::Error);
+    let info = ErrorInfo::decode(&f.payload).expect("decode error payload");
+    assert_eq!(info.code, ErrorCode::UnknownSession);
+    assert!(
+        info.message.contains(&u64::MAX.to_string()),
+        "message should echo the full id: {}",
+        info.message
+    );
+    assert_still_serving(&handle);
+    handle.shutdown();
+}
+
+#[test]
 fn raw_garbage_stream_never_panics_the_daemon() {
     let handle = live_server();
     for chunk in [

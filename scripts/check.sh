@@ -19,6 +19,9 @@ cargo run -q -p incprof-lint -- --deny-warnings --json target/lint-diagnostics.j
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> cache determinism (warm analysis byte-identical to cold)"
+cargo test -q -p incprof-suite --test cache_determinism
+
 echo "==> serve smoke (daemon round-trip on an ephemeral port)"
 cargo build -q -p incprof-cli
 INCPROF="$(pwd)/target/debug/incprof"
