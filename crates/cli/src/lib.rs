@@ -41,7 +41,7 @@
 #![forbid(unsafe_code)]
 
 mod serve_cmd;
-pub use serve_cmd::{collect_cmd, push_cmd, serve_cmd};
+pub use serve_cmd::{collect_cmd, push_cmd, serve_cmd, top_cmd};
 
 use incprof_cluster::{DbscanParams, KSelectionMethod};
 use incprof_collect::report_path::{clamp_monotone, parse_reports};
@@ -547,6 +547,7 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
         Some("serve") => serve_cmd(&args[1..]),
         Some("push") => push_cmd(&args[1..]),
         Some("collect") => collect_cmd(&args[1..]),
+        Some("top") => top_cmd(&args[1..]),
         Some(other) => Err(CliError::Usage(format!("unknown command {other}\n{USAGE}"))),
         None => Err(CliError::Usage(USAGE.to_string())),
     }
@@ -571,8 +572,12 @@ incprof — source-oriented phase identification (IncProf, CLUSTER 2022)
   incprof serve [--addr host:port | --unix path] [--workers n]
                 [--max-sessions n] [--max-pending n] [--addr-file path]
                 [--no-analysis-cache]
+                [--admin host:port | --admin-unix path]
+                [--admin-addr-file path] [--final-scrape path]
   incprof push <addr> <dump.json> [--analysis] [--keep-open] [--shutdown]
   incprof collect <out.json> [--interval-ms n] [--max-samples n]
+  incprof top <admin-addr> [--interval-ms n] [--iterations n]
+              [--raw] [--recorder] [--health]
 
 global options (any command):
   --metrics <path>   write an observability run report (counters, span

@@ -29,11 +29,18 @@ where
 
 /// `incprof serve [--addr host:port | --unix path] [--workers n]
 /// [--max-sessions n] [--max-pending n] [--addr-file path]
-/// [--no-analysis-cache]`.
+/// [--no-analysis-cache] [--admin host:port | --admin-unix path]
+/// [--admin-addr-file path] [--final-scrape path]`.
 ///
 /// `--no-analysis-cache` disables the per-session incremental analysis
 /// cache, recomputing the full phase analysis on every report query
 /// (useful to bound memory or to A/B the cache's byte-identity).
+///
+/// `--admin` (or `--admin-unix`) binds the read-only admin socket:
+/// Prometheus scrape, trace-tree lookup, flight-recorder dump, and
+/// health, consumed live by `incprof top`. `--final-scrape <path>`
+/// writes one last exposition snapshot after the drain, so a scrape of
+/// the daemon's dying breath survives the process.
 ///
 /// Binds, prints `listening on <addr>` (and optionally writes the
 /// resolved address to `--addr-file`, for scripts using an ephemeral
@@ -44,6 +51,8 @@ where
 pub fn serve_cmd(args: &[String]) -> Result<String, CliError> {
     let mut config = ServeConfig::default();
     let mut addr_file: Option<PathBuf> = None;
+    let mut admin_addr_file: Option<PathBuf> = None;
+    let mut final_scrape: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -65,9 +74,28 @@ pub fn serve_cmd(args: &[String]) -> Result<String, CliError> {
             }
             "--addr-file" => addr_file = Some(PathBuf::from(take(args, &mut i, "--addr-file")?)),
             "--no-analysis-cache" => config.analysis_cache = false,
+            "--admin" => config.admin = Some(BindAddr::Tcp(take(args, &mut i, "--admin")?)),
+            "--admin-unix" => {
+                config.admin = Some(BindAddr::Unix(PathBuf::from(take(
+                    args,
+                    &mut i,
+                    "--admin-unix",
+                )?)));
+            }
+            "--admin-addr-file" => {
+                admin_addr_file = Some(PathBuf::from(take(args, &mut i, "--admin-addr-file")?));
+            }
+            "--final-scrape" => {
+                final_scrape = Some(PathBuf::from(take(args, &mut i, "--final-scrape")?));
+            }
             other => return Err(CliError::Usage(format!("unknown serve option {other}"))),
         }
         i += 1;
+    }
+    if admin_addr_file.is_some() && config.admin.is_none() {
+        return Err(CliError::Usage(
+            "--admin-addr-file needs --admin or --admin-unix".into(),
+        ));
     }
 
     signal::install_sigint_handler();
@@ -77,13 +105,23 @@ pub fn serve_cmd(args: &[String]) -> Result<String, CliError> {
     // Announce readiness immediately; the summary string below is only
     // printed after shutdown.
     println!("incprof-serve listening on {addr}");
+    if let Some(admin) = handle.admin_addr() {
+        println!("incprof-serve admin on {admin}");
+        if let Some(path) = &admin_addr_file {
+            std::fs::write(path, admin)?;
+        }
+    }
     if let Some(path) = &addr_file {
         std::fs::write(path, &addr)?;
     }
 
     handle.wait(Some(signal::interrupted()));
     let sessions_at_exit = handle.active_sessions();
-    handle.shutdown();
+    if let Some(path) = &final_scrape {
+        std::fs::write(path, handle.shutdown_scraped())?;
+    } else {
+        handle.shutdown();
+    }
 
     let frames_in = incprof_obs::counter(incprof_obs::names::SERVE_FRAMES_IN).get();
     let frames_out = incprof_obs::counter(incprof_obs::names::SERVE_FRAMES_OUT).get();
@@ -96,6 +134,179 @@ pub fn serve_cmd(args: &[String]) -> Result<String, CliError> {
          ingest-to-detect latency: n={} p50={p50}ns p95={p95}ns p99={p99}ns",
         lat.count
     ))
+}
+
+/// `incprof top <admin-addr> [--interval-ms n] [--iterations n]
+/// [--raw] [--recorder] [--health]`.
+///
+/// Live daemon vitals: polls the admin socket's `Scrape` endpoint and
+/// renders a refreshing per-session table (snapshots, queue depth,
+/// phases, cache hit ratio, idle age, fault flag) until SIGINT or
+/// `--iterations` refreshes. `--raw` prints the Prometheus exposition
+/// verbatim instead of the table; `--recorder` / `--health` print the
+/// flight-recorder dump or health document once and exit (the scripted
+/// entry points used by `scripts/check.sh`).
+pub fn top_cmd(args: &[String]) -> Result<String, CliError> {
+    let mut addr: Option<String> = None;
+    let mut interval_ms: u64 = 1000;
+    let mut iterations: u64 = 0;
+    let mut raw = false;
+    let mut recorder = false;
+    let mut health = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--interval-ms" => {
+                interval_ms = parse_num(&take(args, &mut i, "--interval-ms")?, "--interval-ms")?;
+                if interval_ms == 0 {
+                    return Err(CliError::Usage("--interval-ms must be at least 1".into()));
+                }
+            }
+            "--iterations" => {
+                iterations = parse_num(&take(args, &mut i, "--iterations")?, "--iterations")?;
+            }
+            "--raw" => raw = true,
+            "--recorder" => recorder = true,
+            "--health" => health = true,
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown top option {flag}")));
+            }
+            positional if addr.is_none() => addr = Some(positional.to_string()),
+            extra => {
+                return Err(CliError::Usage(format!(
+                    "unexpected extra top argument {extra}"
+                )));
+            }
+        }
+        i += 1;
+    }
+    let addr = addr.ok_or_else(|| CliError::Usage("top <admin-addr> [opts]".into()))?;
+
+    let mut client = Client::connect(&addr).map_err(client_err)?;
+    if recorder {
+        return client.recorder_dump().map_err(client_err);
+    }
+    if health {
+        return client.health().map_err(client_err);
+    }
+
+    signal::install_sigint_handler();
+    let mut refreshes = 0u64;
+    loop {
+        let scrape = client.scrape().map_err(client_err)?;
+        if raw {
+            print!("{scrape}");
+        } else {
+            // Home + clear-to-end keeps a live table in place without
+            // scrolling; a single iteration (scripts) never clears.
+            if refreshes > 0 || iterations != 1 {
+                print!("\x1b[H\x1b[2J");
+            }
+            println!("{}", render_top(&scrape, &addr));
+        }
+        refreshes += 1;
+        if iterations != 0 && refreshes >= iterations {
+            break;
+        }
+        if signal::interrupted().load(std::sync::atomic::Ordering::Acquire) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        if signal::interrupted().load(std::sync::atomic::Ordering::Acquire) {
+            break;
+        }
+    }
+    Ok(format!("top: {refreshes} refresh(es) of {addr}"))
+}
+
+/// One session row accumulated from `incprof_session_*` scrape lines.
+#[derive(Debug, Default, Clone, Copy)]
+struct TopRow {
+    snapshots: u64,
+    pending: u64,
+    phases: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    faulted: bool,
+    idle_s: Option<f64>,
+}
+
+/// Parse one `incprof_session_<metric>{session="<id>"} <value>` line.
+fn parse_session_line(line: &str) -> Option<(&str, u64, f64)> {
+    let rest = line.strip_prefix("incprof_session_")?;
+    let (metric, rest) = rest.split_once('{')?;
+    let rest = rest.strip_prefix("session=\"")?;
+    let (id, rest) = rest.split_once('"')?;
+    let id: u64 = id.parse().ok()?;
+    let value: f64 = rest.strip_prefix("} ")?.trim().parse().ok()?;
+    Some((metric, id, value))
+}
+
+/// Render the `incprof top` table from a raw Prometheus exposition.
+/// Pure text-in/text-out so the format is unit-testable.
+fn render_top(scrape: &str, addr: &str) -> String {
+    use std::collections::BTreeMap;
+    let mut rows: BTreeMap<u64, TopRow> = BTreeMap::new();
+    let mut daemon: BTreeMap<&str, f64> = BTreeMap::new();
+    for line in scrape.lines() {
+        if let Some((metric, id, value)) = parse_session_line(line) {
+            let row = rows.entry(id).or_default();
+            match metric {
+                "snapshots" => row.snapshots = value as u64,
+                "pending" => row.pending = value as u64,
+                "phases" => row.phases = value as u64,
+                "cache_hits" => row.cache_hits = value as u64,
+                "cache_misses" => row.cache_misses = value as u64,
+                "faulted" => row.faulted = value != 0.0,
+                "idle_seconds" => row.idle_s = Some(value),
+                _ => {}
+            }
+        } else if let Some((name, value)) = line.rsplit_once(' ') {
+            if let Ok(v) = value.parse::<f64>() {
+                daemon.insert(name, v);
+            }
+        }
+    }
+    let get = |k: &str| daemon.get(k).copied().unwrap_or(0.0) as u64;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "incprof-serve {addr} — {} session(s), {} frames in / {} out, {} busy, {} decode errors\n",
+        rows.len(),
+        get("incprof_serve_frames_received"),
+        get("incprof_serve_frames_sent"),
+        get("incprof_serve_backpressure_busy_replies"),
+        get("incprof_serve_frames_decode_errors"),
+    ));
+    out.push_str(&format!(
+        "{:>8}  {:>9}  {:>7}  {:>6}  {:>9}  {:>8}  {:>5}\n",
+        "SESSION", "SNAPSHOTS", "PENDING", "PHASES", "CACHE-HIT", "IDLE(S)", "FAULT"
+    ));
+    for (id, r) in &rows {
+        let queries = r.cache_hits + r.cache_misses;
+        let hit = if queries == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.0}%", 100.0 * r.cache_hits as f64 / queries as f64)
+        };
+        let idle = match r.idle_s {
+            Some(s) => format!("{s:.1}"),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:>8}  {:>9}  {:>7}  {:>6}  {:>9}  {:>8}  {:>5}\n",
+            id,
+            r.snapshots,
+            r.pending,
+            r.phases,
+            hit,
+            idle,
+            if r.faulted { "yes" } else { "-" }
+        ));
+    }
+    if rows.is_empty() {
+        out.push_str("(no sessions)\n");
+    }
+    out
 }
 
 /// `incprof push <addr> <dump.json> [--analysis] [--keep-open]
@@ -249,4 +460,72 @@ fn load_dump(path: &Path) -> Result<RunDump, CliError> {
 
 fn client_err(e: incprof_serve::ClientError) -> CliError {
     CliError::Pipeline(format!("serve client: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCRAPE: &str = "\
+# TYPE incprof_serve_frames_received counter
+incprof_serve_frames_received 42
+incprof_serve_frames_sent 40
+incprof_serve_backpressure_busy_replies 1
+incprof_session_snapshots{session=\"7\"} 5
+incprof_session_pending{session=\"7\"} 2
+incprof_session_phases{session=\"7\"} 3
+incprof_session_cache_hits{session=\"7\"} 3
+incprof_session_cache_misses{session=\"7\"} 1
+incprof_session_faulted{session=\"7\"} 0
+incprof_session_idle_seconds{session=\"7\"} 1.5
+incprof_session_snapshots{session=\"9\"} 1
+incprof_session_faulted{session=\"9\"} 1
+";
+
+    #[test]
+    fn session_lines_parse_and_others_do_not() {
+        assert_eq!(
+            parse_session_line("incprof_session_pending{session=\"7\"} 2"),
+            Some(("pending", 7, 2.0))
+        );
+        assert_eq!(
+            parse_session_line("incprof_session_idle_seconds{session=\"12\"} 0.25"),
+            Some(("idle_seconds", 12, 0.25))
+        );
+        assert_eq!(parse_session_line("incprof_serve_frames_received 42"), None);
+        assert_eq!(parse_session_line("# TYPE foo counter"), None);
+        assert_eq!(
+            parse_session_line("incprof_session_pending{session=\"x\"} 2"),
+            None
+        );
+    }
+
+    #[test]
+    fn top_table_renders_rows_hit_ratio_and_faults() {
+        let out = render_top(SCRAPE, "127.0.0.1:9");
+        assert!(out.contains("2 session(s)"), "{out}");
+        assert!(out.contains("42 frames in / 40 out"), "{out}");
+        let row7 = out
+            .lines()
+            .find(|l| l.trim_start().starts_with('7'))
+            .unwrap();
+        // 3 hits / 4 queries = 75%, idle 1.5s, no fault.
+        assert!(row7.contains("75%"), "{row7}");
+        assert!(row7.contains("1.5"), "{row7}");
+        assert!(!row7.contains("yes"), "{row7}");
+        let row9 = out
+            .lines()
+            .find(|l| l.trim_start().starts_with('9'))
+            .unwrap();
+        // No queries yet → hit ratio is "-"; faulted flag shows.
+        assert!(row9.contains('-'), "{row9}");
+        assert!(row9.contains("yes"), "{row9}");
+    }
+
+    #[test]
+    fn top_table_handles_empty_scrape() {
+        let out = render_top("", "a:1");
+        assert!(out.contains("0 session(s)"), "{out}");
+        assert!(out.contains("(no sessions)"), "{out}");
+    }
 }

@@ -64,6 +64,8 @@ fn wait_for_file(path: &Path, deadline: Duration) {
 fn serve_drains_and_exits_zero_on_sigint() {
     let dir = temp_dir("serve");
     let addr_file = dir.join("addr.txt");
+    let admin_addr_file = dir.join("admin_addr.txt");
+    let final_scrape = dir.join("final_scrape.prom");
     let metrics = dir.join("metrics.json");
 
     let child = incprof()
@@ -73,6 +75,12 @@ fn serve_drains_and_exits_zero_on_sigint() {
             "127.0.0.1:0",
             "--addr-file",
             addr_file.to_str().expect("utf8 path"),
+            "--admin",
+            "127.0.0.1:0",
+            "--admin-addr-file",
+            admin_addr_file.to_str().expect("utf8 path"),
+            "--final-scrape",
+            final_scrape.to_str().expect("utf8 path"),
             "--metrics",
             metrics.to_str().expect("utf8 path"),
         ])
@@ -89,6 +97,16 @@ fn serve_drains_and_exits_zero_on_sigint() {
     client.ping().expect("ping");
     let session = client.open().expect("open");
 
+    // The admin plane is live alongside the data plane.
+    wait_for_file(&admin_addr_file, Duration::from_secs(10));
+    let admin_addr = std::fs::read_to_string(&admin_addr_file).expect("admin addr");
+    let mut admin = incprof_serve::Client::connect_tcp(admin_addr.trim()).expect("connect admin");
+    assert!(admin
+        .health()
+        .expect("health")
+        .contains("\"status\":\"ok\""));
+    drop(admin);
+
     send_sigint(&child);
     let status = wait_with_deadline(child, Duration::from_secs(10));
     assert!(status.success(), "serve must exit 0 on SIGINT: {status:?}");
@@ -102,6 +120,36 @@ fn serve_drains_and_exits_zero_on_sigint() {
     assert!(report.counters["serve.conns.accepted"] >= 1);
     assert!(report.counters["serve.frames.received"] >= 2);
     assert!(report.counters["serve.sessions.opened"] >= 1, "{session}");
+
+    // The flight-recorder dump rode along in the report: the drain
+    // records a Shutdown event, so the ring cannot be empty here.
+    assert!(
+        report.events_total >= 1,
+        "flight recorder must capture the shutdown: {:?}",
+        report.events_total
+    );
+    assert!(
+        report
+            .events
+            .iter()
+            .any(|e| e.kind == incprof_obs::EventKind::Shutdown),
+        "expected a shutdown event in {:?}",
+        report.events
+    );
+
+    // And the final scrape was written *after* the drain: a complete,
+    // well-formed exposition snapshot of the daemon's last breath.
+    let scrape = std::fs::read_to_string(&final_scrape).expect("final scrape written");
+    assert!(scrape.contains("incprof_serve_frames_received"), "{scrape}");
+    for line in scrape.lines() {
+        assert!(
+            line.starts_with("# TYPE ")
+                || line
+                    .rsplit_once(' ')
+                    .is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
+            "malformed exposition line: {line}"
+        );
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 

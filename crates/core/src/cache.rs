@@ -41,6 +41,13 @@ use incprof_cluster::{Dataset, PairwiseDistances};
 use incprof_collect::{IntervalMatrix, SampleSeries};
 use incprof_profile::{FlatProfile, FunctionId};
 
+/// Flight-recorder `b` tag: detector config fingerprint changed.
+pub const INVALIDATE_FINGERPRINT: u64 = 1;
+/// Flight-recorder `b` tag: the sample series shrank (session restart).
+pub const INVALIDATE_SHRINK: u64 = 2;
+/// Flight-recorder `b` tag: scaled prefix moved; pairwise matrix rebuilt.
+pub const INVALIDATE_PAIR: u64 = 3;
+
 /// Memoized result of the last completed analysis.
 #[derive(Debug, Clone)]
 struct Memo {
@@ -78,6 +85,12 @@ pub struct AnalysisCache {
     feature_fns: Vec<FunctionId>,
     /// The incrementally grown pairwise-distance matrix.
     pair: PairwiseDistances,
+    /// This instance's memo hits (the global `core.cache.memo_hits`
+    /// counter aggregates across sessions; per-session gauges need the
+    /// split). Survives cache resets.
+    memo_hits: u64,
+    /// This instance's memo misses. Survives cache resets.
+    memo_misses: u64,
 }
 
 impl AnalysisCache {
@@ -105,6 +118,11 @@ impl AnalysisCache {
         if self.fingerprint != Some(fp) {
             if self.fingerprint.is_some() {
                 incprof_obs::counter(incprof_obs::names::CORE_CACHE_INVALIDATIONS).inc();
+                incprof_obs::recorder().record(
+                    incprof_obs::EventKind::CacheInvalidation,
+                    self.intervals.len() as u64,
+                    INVALIDATE_FINGERPRINT,
+                );
             }
             self.reset();
             self.fingerprint = Some(fp);
@@ -117,11 +135,13 @@ impl AnalysisCache {
                     && memo.last_timestamp_ns == last.timestamp_ns
                 {
                     incprof_obs::counter(incprof_obs::names::CORE_CACHE_HITS).inc();
+                    self.memo_hits += 1;
                     return Ok(memo.analysis.clone());
                 }
             }
         }
         incprof_obs::counter(incprof_obs::names::CORE_CACHE_MISSES).inc();
+        self.memo_misses += 1;
 
         if series.is_empty() {
             return Err(PipelineError::NoIntervals);
@@ -156,9 +176,19 @@ impl AnalysisCache {
         Ok(analysis)
     }
 
-    /// Drop all cached state (fingerprint included).
+    /// Per-instance memo statistics, `(hits, misses)`, for per-session
+    /// cache-hit-ratio gauges. Survives a cache reset.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.memo_hits, self.memo_misses)
+    }
+
+    /// Drop all cached state (fingerprint included). Memo statistics
+    /// survive: they describe the instance's history, not its contents.
     fn reset(&mut self) {
+        let (hits, misses) = (self.memo_hits, self.memo_misses);
         *self = AnalysisCache::new();
+        self.memo_hits = hits;
+        self.memo_misses = misses;
     }
 
     /// Bring `self.intervals` up to date with `series`, computing deltas
@@ -170,6 +200,11 @@ impl AnalysisCache {
         if snaps.len() < self.intervals.len() {
             // Series shrank (session restart) — cold restart.
             incprof_obs::counter(incprof_obs::names::CORE_CACHE_INVALIDATIONS).inc();
+            incprof_obs::recorder().record(
+                incprof_obs::EventKind::CacheInvalidation,
+                self.intervals.len() as u64,
+                INVALIDATE_SHRINK,
+            );
             let fp = self.fingerprint;
             self.reset();
             self.fingerprint = fp;
@@ -200,6 +235,11 @@ impl AnalysisCache {
             self.pair.extend(data);
         } else {
             incprof_obs::counter(incprof_obs::names::CORE_CACHE_INVALIDATIONS).inc();
+            incprof_obs::recorder().record(
+                incprof_obs::EventKind::CacheInvalidation,
+                old_n as u64,
+                INVALIDATE_PAIR,
+            );
             self.pair = PairwiseDistances::euclidean_of(data);
         }
     }

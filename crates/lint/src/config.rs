@@ -43,7 +43,14 @@ pub const P01_CRATES: &[&str] = &[
 pub const O01_EXEMPT_CRATES: &[&str] = &["obs"];
 
 /// Identifier called with a name argument that O01 watches.
-pub const O01_CALLEES: &[&str] = &["counter", "gauge", "histogram", "span", "find_span"];
+pub const O01_CALLEES: &[&str] = &[
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "find_span",
+    "enter_traced",
+];
 
 /// Per-rule severity and scope configuration.
 ///
@@ -90,6 +97,9 @@ impl Default for Config {
             // The daemon stamps frame arrival for ingest-latency metrics
             // and polls sockets on real timeouts.
             "crates/serve/src/server.rs",
+            // The admin plane stamps scrape time for idle-age gauges; it
+            // is read-only and never feeds the analysis pipeline.
+            "crates/serve/src/admin.rs",
         ]
         .map(String::from)
         .to_vec();
@@ -193,6 +203,7 @@ mod tests {
         // Exact-path entries.
         assert!(c.d01_allows("crates/runtime/src/clock.rs"));
         assert!(c.d01_allows("crates/serve/src/server.rs"));
+        assert!(c.d01_allows("crates/serve/src/admin.rs"));
         assert!(!c.d01_allows("crates/serve/src/session.rs"));
         assert!(!c.d01_allows("crates/core/src/pipeline.rs"));
         // `/`-terminated entries are prefixes; others are not.

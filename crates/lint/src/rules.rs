@@ -377,6 +377,20 @@ mod tests {
     }
 
     #[test]
+    fn o01_covers_traced_span_entry() {
+        // Trace roots name spans too: `enter_traced("lit", …)` must go
+        // through `incprof_obs::names` like every other telemetry name.
+        let lit = r#"fn f(s: &SpanStore) { s.enter_traced("serve.x", 1, 0); }"#;
+        let good =
+            "fn f(s: &SpanStore) { s.enter_traced(incprof_obs::names::SERVE_TRACE_SNAPSHOT, 1, 0); }";
+        assert_eq!(
+            rules_of(&lint_raw("crates/serve/src/x.rs", lit)),
+            [RuleId::O01]
+        );
+        assert!(lint_raw("crates/serve/src/x.rs", good).is_empty());
+    }
+
+    #[test]
     fn o01_exempts_obs_itself() {
         let lit = r#"pub fn counter(name: &str) { registry.counter("a.b.c"); }"#;
         assert!(lint_raw("crates/obs/src/metrics.rs", lit).is_empty());

@@ -7,6 +7,10 @@
 //!   latency [`Histogram`]s in a named [`MetricsRegistry`];
 //! * [`mod@span`] — RAII [`SpanGuard`]s recording nested stage durations
 //!   against wall or virtual time;
+//! * [`mod@trace`] — wire-propagated [`TraceContext`]s linking spans
+//!   across process boundaries into one tree per trace id;
+//! * [`mod@recorder`] — the [`FlightRecorder`], a lock-free ring of
+//!   recent operational events for live postmortems;
 //! * [`logger`] — leveled stderr logging gated by `INCPROF_LOG`
 //!   (macros [`error!`], [`warn!`], [`info!`], [`debug!`], [`trace!`]);
 //! * [`mod@report`] — a serializable [`RunReport`] snapshotting everything
@@ -40,13 +44,17 @@
 pub mod logger;
 pub mod metrics;
 pub mod names;
+pub mod recorder;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use logger::Level;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use recorder::{EventKind, EventRecord, FlightRecorder};
 pub use report::{RunReport, SpanNode};
 pub use span::{SpanGuard, SpanStore, TimeSource, VirtualClock};
+pub use trace::{TraceContext, TraceIdGen, TraceNode, TraceTree};
 
 use std::sync::Arc;
 use std::sync::OnceLock;
@@ -61,6 +69,7 @@ use std::sync::OnceLock;
 pub struct Obs {
     metrics: Arc<MetricsRegistry>,
     spans: SpanStore,
+    recorder: Arc<FlightRecorder>,
 }
 
 impl Default for Obs {
@@ -76,11 +85,14 @@ impl Obs {
     }
 
     /// New context recording spans into `spans` (e.g. a store over a
-    /// [`VirtualClock`]).
+    /// [`VirtualClock`]). The flight recorder shares the store's time
+    /// source, so virtual-time tests get virtual-time events.
     pub fn with_spans(spans: SpanStore) -> Obs {
+        let recorder = Arc::new(FlightRecorder::new(spans.time().clone()));
         Obs {
             metrics: Arc::new(MetricsRegistry::new()),
             spans,
+            recorder,
         }
     }
 
@@ -94,8 +106,13 @@ impl Obs {
         &self.spans
     }
 
+    /// The flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
     /// Open a span on this context (closes when the guard drops).
-    pub fn span(&self, name: impl Into<String>) -> SpanGuard {
+    pub fn span(&self, name: impl Into<std::borrow::Cow<'static, str>>) -> SpanGuard {
         self.spans.enter(name)
     }
 
@@ -129,8 +146,13 @@ pub fn histogram(name: &str) -> Arc<Histogram> {
 }
 
 /// Open a span on the global context.
-pub fn span(name: impl Into<String>) -> SpanGuard {
+pub fn span(name: impl Into<std::borrow::Cow<'static, str>>) -> SpanGuard {
     global().span(name)
+}
+
+/// The global flight recorder (see [`FlightRecorder`]).
+pub fn recorder() -> &'static FlightRecorder {
+    global().recorder()
 }
 
 /// Snapshot the global context into a [`RunReport`].

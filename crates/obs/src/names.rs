@@ -155,6 +155,32 @@ pub const SERVE_BUSY_REPLIES: &str = "serve.backpressure.busy_replies";
 pub const SERVE_CONNS_ACCEPTED: &str = "serve.conns.accepted";
 /// Histogram: snapshot arrival to online-detector observation, ns.
 pub const SERVE_INGEST_DETECT_LATENCY_NS: &str = "serve.ingest.detect_latency_ns";
+/// Counter: client-side push retries after a Busy reply.
+pub const SERVE_CLIENT_RETRIES: &str = "serve.client.retries";
+/// Counter: connections accepted on the admin socket.
+pub const SERVE_ADMIN_CONNS: &str = "serve.admin.conns_accepted";
+/// Counter: admin requests answered (all types).
+pub const SERVE_ADMIN_REQUESTS: &str = "serve.admin.requests";
+/// Counter: Prometheus-style scrapes served.
+pub const SERVE_ADMIN_SCRAPES: &str = "serve.admin.scrapes";
+
+// ---------------------------------------------------------------------
+// serve (trace spans: one tree per traced push)
+// ---------------------------------------------------------------------
+
+/// Span: client-side root of a traced push (open → ack).
+pub const SERVE_CLIENT_PUSH: &str = "serve.client.push";
+/// Span: server-side handling of one traced snapshot frame — decode,
+/// enqueue, and the worker's drain, which all happen on one thread
+/// under one session lock. Kept as a single span on purpose: the
+/// traced hot path pays exactly two server-side spans per push (this
+/// and [`SERVE_TRACE_OBSERVE`]), which is what holds the workload
+/// tracing tax under the `serve_load` gate.
+pub const SERVE_TRACE_SNAPSHOT: &str = "serve.trace.snapshot";
+/// Span: online-detector / analysis-cache observation of one interval.
+pub const SERVE_TRACE_OBSERVE: &str = "serve.trace.observe";
+/// Span: server-side dispatch of one traced report query.
+pub const SERVE_TRACE_QUERY: &str = "serve.trace.query";
 
 // ---------------------------------------------------------------------
 // registry table
@@ -209,6 +235,14 @@ pub const ALL: &[&str] = &[
     SERVE_BUSY_REPLIES,
     SERVE_CONNS_ACCEPTED,
     SERVE_INGEST_DETECT_LATENCY_NS,
+    SERVE_CLIENT_RETRIES,
+    SERVE_ADMIN_CONNS,
+    SERVE_ADMIN_REQUESTS,
+    SERVE_ADMIN_SCRAPES,
+    SERVE_CLIENT_PUSH,
+    SERVE_TRACE_SNAPSHOT,
+    SERVE_TRACE_OBSERVE,
+    SERVE_TRACE_QUERY,
 ];
 
 #[cfg(test)]

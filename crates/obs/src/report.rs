@@ -3,13 +3,15 @@
 //! tree — for `incprof --metrics <path>` and the bench harness.
 
 use crate::metrics::HistogramSnapshot;
+use crate::recorder::EventRecord;
 use crate::span::SpanRecord;
 use crate::Obs;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Report format version (bump on breaking shape changes).
-pub const REPORT_VERSION: u32 = 1;
+/// Version 2 added the flight-recorder `events` fields.
+pub const REPORT_VERSION: u32 = 2;
 
 /// One span in the reconstructed stage tree.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -55,6 +57,10 @@ pub struct RunReport {
     pub spans: Vec<SpanNode>,
     /// Spans lost to the store's capacity bound.
     pub spans_dropped: u64,
+    /// Flight-recorder tail: the most recent operational events.
+    pub events: Vec<EventRecord>,
+    /// Events ever recorded (including ones the ring overwrote).
+    pub events_total: u64,
 }
 
 impl RunReport {
@@ -67,6 +73,8 @@ impl RunReport {
             histograms: obs.metrics().histogram_snapshots(),
             spans: build_tree(&obs.spans().records()),
             spans_dropped: obs.spans().dropped(),
+            events: obs.recorder().snapshot(),
+            events_total: obs.recorder().total(),
         }
     }
 
@@ -138,6 +146,16 @@ impl RunReport {
             }
         }
         walk(&self.spans, 0, &mut out, &quote);
+        for e in &self.events {
+            out.push_str(&format!(
+                "{{\"kind\":\"event\",\"event\":{},\"seq\":{},\"t_ns\":{},\"a\":{},\"b\":{}}}\n",
+                quote(&format!("{:?}", e.kind)),
+                e.seq,
+                e.t_ns,
+                e.a,
+                e.b
+            ));
+        }
         out
     }
 
@@ -159,21 +177,25 @@ impl RunReport {
 }
 
 /// Reconstruct the span forest from flat records (records arrive in
-/// start order; children therefore follow their parents).
+/// enter order; children therefore follow their parents).
 fn build_tree(records: &[SpanRecord]) -> Vec<SpanNode> {
-    // Build bottom-up: children lists per record index, then assemble
-    // depth-first from the roots.
+    // Span ids are allocated densely but the store can drop records
+    // (capacity, concurrent clear), so ids are mapped to positions
+    // rather than used as indices; a child whose parent record is gone
+    // is promoted to a root instead of being lost.
+    let pos: std::collections::HashMap<usize, usize> =
+        records.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); records.len()];
     let mut roots = Vec::new();
-    for rec in records {
-        match rec.parent {
-            Some(p) => children[p].push(rec.id),
-            None => roots.push(rec.id),
+    for (i, rec) in records.iter().enumerate() {
+        match rec.parent.and_then(|p| pos.get(&p)) {
+            Some(&p) => children[p].push(i),
+            None => roots.push(i),
         }
     }
     fn assemble(idx: usize, records: &[SpanRecord], children: &[Vec<usize>]) -> SpanNode {
         SpanNode {
-            name: records[idx].name.clone(),
+            name: records[idx].name.clone().into_owned(),
             start_ns: records[idx].start_ns,
             dur_ns: records[idx].dur_ns,
             children: children[idx]
@@ -219,6 +241,25 @@ mod tests {
         assert_eq!(report.spans[0].dur_ns, 15);
         assert_eq!(report.spans[0].children_dur_ns(), 5);
         assert_eq!(report.find_span("inner").unwrap().dur_ns, 5);
+    }
+
+    #[test]
+    fn capture_includes_flight_recorder_events() {
+        let (obs, clock) = virtual_obs();
+        obs.recorder().record(crate::EventKind::BusyReply, 4, 0);
+        clock.advance(9);
+        obs.recorder().record(crate::EventKind::DrainStep, 4, 2);
+        let report = RunReport::capture(&obs);
+        assert_eq!(report.version, REPORT_VERSION);
+        assert_eq!(report.events.len(), 2);
+        assert_eq!(report.events_total, 2);
+        assert_eq!(report.events[1].kind, crate::EventKind::DrainStep);
+        assert_eq!(report.events[1].t_ns, 9);
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.contains("\"kind\":\"event\""));
+        assert!(jsonl.contains("\"event\":\"DrainStep\""));
     }
 
     #[test]

@@ -11,9 +11,9 @@
 //! runaway loop cannot exhaust memory.
 
 use parking_lot::Mutex;
+use std::borrow::Cow;
 use std::cell::RefCell;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -73,30 +73,104 @@ pub struct SpanRecord {
     pub id: usize,
     /// Enclosing span on the entering thread, if any.
     pub parent: Option<usize>,
-    /// Dotted stage name, e.g. `core.pipeline.cluster`.
-    pub name: String,
+    /// Dotted stage name, e.g. `core.pipeline.cluster`. Borrowed for
+    /// the usual `names::` constants so the hot path never allocates.
+    pub name: Cow<'static, str>,
     /// Start reading of the store's time source.
     pub start_ns: u64,
     /// Duration; 0 until the guard drops.
     pub dur_ns: u64,
     /// Whether the guard has dropped.
     pub closed: bool,
+    /// Trace this span belongs to (0 = untraced).
+    pub trace_id: u64,
+    /// Wire span id of this span within its trace (0 = untraced).
+    pub wire_span: u32,
+    /// Wire span id of the parent span, which may live in another
+    /// process (0 = trace root on this side).
+    pub wire_parent: u32,
 }
 
 /// Globally unique store ids keying the thread-local nesting stacks.
 static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(0);
 
+/// One entry of a thread's open-span stack: the record index plus the
+/// trace identity child spans inherit.
+#[derive(Debug, Clone, Copy)]
+struct OpenSpan {
+    idx: usize,
+    trace_id: u64,
+    wire_span: u32,
+}
+
+/// One thread's private segment of a store's records. Writers only
+/// ever lock their own shard, so under concurrent load the span hot
+/// path never contends with other threads — the shard mutex exists for
+/// the readers ([`SpanStore::records`], [`SpanStore::clear`]), which
+/// are rare and walk the shard registry.
+#[derive(Debug, Default)]
+struct Shard {
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+/// This thread's view of one store: its open-span nesting stack and
+/// its private record shard.
+#[derive(Debug)]
+struct ThreadSlot {
+    stack: Vec<OpenSpan>,
+    shard: Arc<Shard>,
+}
+
 thread_local! {
-    /// Per-thread open-span stack per store (store id → span id stack).
-    static OPEN_SPANS: RefCell<HashMap<u64, Vec<usize>>> = RefCell::new(HashMap::new());
+    /// Per-thread store slots, keyed by store id. A linear scan over a
+    /// tiny Vec: a thread touches one store (the global one) in
+    /// practice, and this sits on the span hot path where a HashMap
+    /// lookup is measurable.
+    static OPEN_SPANS: RefCell<Vec<(u64, ThreadSlot)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// This thread's slot for the store, created (and its shard registered
+/// with the store) on first use. Callers hold the `RefCell` borrow.
+fn slot_for<'a>(
+    open: &'a mut Vec<(u64, ThreadSlot)>,
+    store: &SpanStoreInner,
+) -> &'a mut ThreadSlot {
+    match open.iter().position(|(id, _)| *id == store.id) {
+        Some(i) => &mut open[i].1,
+        None => {
+            let shard = Arc::new(Shard::default());
+            store.shards.lock().push(Arc::clone(&shard));
+            open.push((
+                store.id,
+                ThreadSlot {
+                    stack: Vec::new(),
+                    shard,
+                },
+            ));
+            let last = open.len() - 1;
+            &mut open[last].1
+        }
+    }
 }
 
 #[derive(Debug)]
 struct SpanStoreInner {
     id: u64,
     time: TimeSource,
-    records: Mutex<Vec<SpanRecord>>,
+    /// Every thread's shard, in registration order. Records of dead
+    /// threads stay readable through this registry until a clear()
+    /// prunes their shards.
+    shards: Mutex<Vec<Arc<Shard>>>,
+    /// Records allocated across all shards; doubles as the next span
+    /// id, so ids are dense and in enter order.
+    count: AtomicUsize,
+    /// Bumped by [`SpanStore::clear`]; guards from an older epoch skip
+    /// their exit write instead of touching a recycled index.
+    epoch: AtomicU64,
     dropped: AtomicU64,
+    /// Wire span ids handed to traced spans; ids are process-local and
+    /// never 0 (0 means "untraced" / "no parent" on the wire).
+    next_wire: AtomicU32,
     cap: usize,
 }
 
@@ -122,66 +196,183 @@ impl SpanStore {
             inner: Arc::new(SpanStoreInner {
                 id: NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed),
                 time,
-                records: Mutex::new(Vec::new()),
+                shards: Mutex::new(Vec::new()),
+                count: AtomicUsize::new(0),
+                epoch: AtomicU64::new(0),
                 dropped: AtomicU64::new(0),
+                next_wire: AtomicU32::new(1),
                 cap,
             }),
         }
     }
 
     /// Open a span; it closes (records its duration) when the returned
-    /// guard drops.
-    pub fn enter(&self, name: impl Into<String>) -> SpanGuard {
-        let start_ns = self.inner.time.now_ns();
-        let mut records = self.inner.records.lock();
-        if records.len() >= self.inner.cap {
-            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
-            return SpanGuard {
-                store: self.clone(),
-                id: None,
-            };
-        }
-        let id = records.len();
-        let parent = OPEN_SPANS.with(|open| {
-            let mut open = open.borrow_mut();
-            let stack = open.entry(self.inner.id).or_default();
-            let parent = stack.last().copied();
-            stack.push(id);
-            parent
-        });
-        records.push(SpanRecord {
-            id,
-            parent,
-            name: name.into(),
-            start_ns,
-            dur_ns: 0,
-            closed: false,
-        });
-        SpanGuard {
-            store: self.clone(),
-            id: Some(id),
-        }
+    /// guard drops. If the enclosing span on this thread belongs to a
+    /// trace, the new span inherits that trace and links to it as its
+    /// wire parent.
+    pub fn enter(&self, name: impl Into<Cow<'static, str>>) -> SpanGuard {
+        self.enter_inner(name.into(), None)
     }
 
-    fn exit(&self, id: usize) {
+    /// Open a span as the local root of trace `trace_id`, linked under
+    /// the (possibly remote) wire span `wire_parent` (0 = the trace
+    /// starts here). Spans entered on the same thread while this guard
+    /// is open become its trace children automatically.
+    pub fn enter_traced(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        trace_id: u64,
+        wire_parent: u32,
+    ) -> SpanGuard {
+        self.enter_inner(name.into(), Some((trace_id, wire_parent)))
+    }
+
+    fn enter_inner(&self, name: Cow<'static, str>, traced: Option<(u64, u32)>) -> SpanGuard {
+        let start_ns = self.inner.time.now_ns();
+        // This is the span hot path: one TLS borrow covers all the
+        // per-thread work, and the only lock taken is this thread's
+        // own shard — never contended by other writers.
+        OPEN_SPANS.with(|open| {
+            let mut open = open.borrow_mut();
+            let slot = slot_for(&mut open, &self.inner);
+            let top = slot.stack.last().copied();
+            let parent = top.map(|o| o.idx);
+            let inherited = top.filter(|o| o.trace_id != 0);
+            // Explicit trace context wins; otherwise inherit the
+            // enclosing traced span (if any). Wire ids are only minted
+            // for traced spans, so untraced workloads stay id-free.
+            let (trace_id, wire_span, wire_parent) = match (traced, inherited) {
+                (Some((tid, wparent)), _) => (
+                    tid,
+                    self.inner.next_wire.fetch_add(1, Ordering::Relaxed),
+                    wparent,
+                ),
+                (None, Some(top)) => (
+                    top.trace_id,
+                    self.inner.next_wire.fetch_add(1, Ordering::Relaxed),
+                    top.wire_span,
+                ),
+                (None, None) => (0, 0, 0),
+            };
+            let id = self.inner.count.fetch_add(1, Ordering::Relaxed);
+            if id >= self.inner.cap {
+                self.inner.count.fetch_sub(1, Ordering::Relaxed);
+                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+                return SpanGuard {
+                    store: self.clone(),
+                    shard: None,
+                    local: 0,
+                    id: None,
+                    epoch: 0,
+                    wire_span: 0,
+                };
+            }
+            let rec = SpanRecord {
+                id,
+                parent,
+                name,
+                start_ns,
+                dur_ns: 0,
+                closed: false,
+                trace_id,
+                wire_span,
+                wire_parent,
+            };
+            let (local, epoch) = {
+                let mut records = slot.shard.records.lock();
+                let epoch = self.inner.epoch.load(Ordering::Relaxed);
+                records.push(rec);
+                (records.len() - 1, epoch)
+            };
+            slot.stack.push(OpenSpan {
+                idx: id,
+                trace_id,
+                wire_span,
+            });
+            SpanGuard {
+                store: self.clone(),
+                shard: Some(Arc::clone(&slot.shard)),
+                local,
+                id: Some(id),
+                epoch,
+                wire_span,
+            }
+        })
+    }
+
+    fn exit(&self, shard: &Shard, local: usize, id: usize, epoch: u64) {
         let end_ns = self.inner.time.now_ns();
         OPEN_SPANS.with(|open| {
             let mut open = open.borrow_mut();
-            if let Some(stack) = open.get_mut(&self.inner.id) {
-                if let Some(pos) = stack.iter().rposition(|&s| s == id) {
-                    stack.truncate(pos);
+            if let Some((_, slot)) = open.iter_mut().find(|(sid, _)| *sid == self.inner.id) {
+                if let Some(pos) = slot.stack.iter().rposition(|s| s.idx == id) {
+                    slot.stack.truncate(pos);
                 }
             }
         });
-        let mut records = self.inner.records.lock();
-        let rec = &mut records[id];
-        rec.dur_ns = end_ns.saturating_sub(rec.start_ns);
-        rec.closed = true;
+        let mut records = shard.records.lock();
+        // A clear() between enter and exit threw the record away; the
+        // epoch (and, belt-and-braces, the id at our slot) tells us
+        // there is nothing left to close.
+        if epoch != self.inner.epoch.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Some(rec) = records.get_mut(local) {
+            if rec.id == id {
+                rec.dur_ns = end_ns.saturating_sub(rec.start_ns);
+                rec.closed = true;
+            }
+        }
     }
 
-    /// Copy of all records (open spans have `dur_ns == 0`).
+    /// Discard every recorded span and reopen the store's capacity.
+    ///
+    /// Guards still open across the clear close without recording (their
+    /// epoch no longer matches), and shards of threads that have exited
+    /// are pruned. Spans *entered* concurrently with the clear may be
+    /// kept or discarded — this is meant for quiescent points:
+    /// measurement windows in benches, or a long-lived daemon
+    /// reclaiming the bounded store.
+    pub fn clear(&self) {
+        let mut shards = self.inner.shards.lock();
+        self.inner.epoch.fetch_add(1, Ordering::Relaxed);
+        for shard in shards.iter() {
+            shard.records.lock().clear();
+        }
+        self.inner.count.store(0, Ordering::Relaxed);
+        // A shard referenced only by this registry belongs to a dead
+        // thread (live owners hold it in TLS, open guards hold it too).
+        shards.retain(|s| Arc::strong_count(s) > 1);
+    }
+
+    /// Copy of all records, in enter order (open spans have
+    /// `dur_ns == 0`).
     pub fn records(&self) -> Vec<SpanRecord> {
-        self.inner.records.lock().clone()
+        let shards = self.inner.shards.lock();
+        let mut out = Vec::new();
+        for shard in shards.iter() {
+            out.extend(shard.records.lock().iter().cloned());
+        }
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// All records belonging to trace `trace_id`, in enter order.
+    pub fn trace_records(&self, trace_id: u64) -> Vec<SpanRecord> {
+        let shards = self.inner.shards.lock();
+        let mut out: Vec<SpanRecord> = Vec::new();
+        for shard in shards.iter() {
+            out.extend(
+                shard
+                    .records
+                    .lock()
+                    .iter()
+                    .filter(|r| trace_id != 0 && r.trace_id == trace_id)
+                    .cloned(),
+            );
+        }
+        out.sort_by_key(|r| r.id);
+        out
     }
 
     /// Spans rejected because the store was full.
@@ -200,14 +391,31 @@ impl SpanStore {
 #[derive(Debug)]
 pub struct SpanGuard {
     store: SpanStore,
-    /// `None` when the store was full (nothing to record).
+    /// The shard holding this span's record; `None` when the store was
+    /// full (nothing to record).
+    shard: Option<Arc<Shard>>,
+    /// Index of the record within its shard.
+    local: usize,
+    /// Store-wide span id; `None` when the store was full.
     id: Option<usize>,
+    /// Store epoch at enter; a mismatch at exit means the store was
+    /// cleared underneath this guard.
+    epoch: u64,
+    wire_span: u32,
+}
+
+impl SpanGuard {
+    /// This span's wire id within its trace (0 when untraced or when
+    /// the store was full).
+    pub fn wire_span(&self) -> u32 {
+        self.wire_span
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some(id) = self.id {
-            self.store.exit(id);
+        if let (Some(id), Some(shard)) = (self.id, self.shard.take()) {
+            self.store.exit(&shard, self.local, id, self.epoch);
         }
     }
 }
@@ -233,6 +441,31 @@ mod tests {
         assert_eq!(recs[0].dur_ns, 250);
         assert!(recs[0].closed);
         assert_eq!(recs[0].parent, None);
+    }
+
+    #[test]
+    fn clear_discards_records_and_disarms_open_guards() {
+        let (store, clock) = virt();
+        {
+            let _done = store.enter("done");
+            clock.advance(5);
+        }
+        let survivor = store.enter("open.across.clear");
+        store.clear();
+        assert!(store.records().is_empty());
+
+        // A span entered after the clear owns index 0 of the new epoch;
+        // the stale guard closing afterwards must not touch it.
+        {
+            let _fresh = store.enter("fresh");
+            clock.advance(7);
+        }
+        drop(survivor);
+        let recs = store.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].name, "fresh");
+        assert_eq!(recs[0].dur_ns, 7);
+        assert!(recs[0].closed);
     }
 
     #[test]
@@ -274,5 +507,43 @@ mod tests {
         let _g1 = s1.enter("a");
         let _g2 = s2.enter("b");
         assert_eq!(s2.records()[0].parent, None, "nesting is per store");
+    }
+
+    #[test]
+    fn traced_spans_link_by_wire_ids() {
+        let (store, clock) = virt();
+        let root_wire;
+        {
+            let root = store.enter_traced("root", 0xABCD, 7);
+            root_wire = root.wire_span();
+            assert_ne!(root_wire, 0);
+            clock.advance(1);
+            {
+                // Plain enter() inherits the enclosing trace.
+                let child = store.enter("child");
+                assert_ne!(child.wire_span(), 0);
+                assert_ne!(child.wire_span(), root_wire);
+            }
+        }
+        let recs = store.trace_records(0xABCD);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].wire_parent, 7, "root keeps the remote parent id");
+        assert_eq!(recs[1].wire_parent, root_wire);
+        assert_eq!(recs[1].trace_id, 0xABCD);
+    }
+
+    #[test]
+    fn untraced_spans_stay_out_of_traces() {
+        let (store, _clock) = virt();
+        {
+            let g = store.enter("plain");
+            assert_eq!(g.wire_span(), 0);
+        }
+        assert_eq!(store.records()[0].trace_id, 0);
+        assert!(
+            store.trace_records(0).is_empty(),
+            "trace id 0 never matches"
+        );
+        assert!(store.trace_records(42).is_empty());
     }
 }

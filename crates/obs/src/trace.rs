@@ -1,0 +1,222 @@
+//! Wire-propagated trace context: follow one request across process
+//! boundaries as a single span tree.
+//!
+//! A client opens a traced root span ([`SpanStore::enter_traced`]) and
+//! stamps the resulting [`TraceContext`] onto the outgoing frame. The
+//! server side re-enters the trace with the received context; every
+//! span opened on the same thread underneath inherits the trace and
+//! links to its enclosing span by **wire id**, so the whole path —
+//! client → accept loop → session queue → worker → detector — can be
+//! reassembled per trace id with [`trace_tree`].
+//!
+//! Trace ids come from [`TraceIdGen`], a SplitMix64 stream over an
+//! explicit seed: deterministic under a fixed seed (the workspace seed
+//! discipline), unique within a run, never 0 (0 means "untraced" on
+//! the wire). Wire span ids are process-local counters; the tree
+//! builder therefore only links a child to a parent that exists in the
+//! same record set and treats everything else as a local root.
+
+use crate::span::{SpanRecord, SpanStore};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The trace identity one frame carries on the wire: which trace the
+/// request belongs to and which span (on the sender) is its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace id (never 0 for a live trace).
+    pub trace_id: u64,
+    /// Wire id of the sender-side parent span (0 = trace root).
+    pub parent_span: u32,
+}
+
+impl TraceContext {
+    /// Context for a new trace rooted at the sender span `parent_span`.
+    pub fn new(trace_id: u64, parent_span: u32) -> TraceContext {
+        TraceContext {
+            trace_id,
+            parent_span,
+        }
+    }
+}
+
+/// Deterministic trace-id generator: a SplitMix64 stream over a seed.
+///
+/// Two generators built from the same seed yield the same id sequence,
+/// which keeps traced replays reproducible; ids are never 0.
+#[derive(Debug)]
+pub struct TraceIdGen {
+    state: AtomicU64,
+}
+
+impl TraceIdGen {
+    /// Generator seeded with `seed`.
+    pub fn new(seed: u64) -> TraceIdGen {
+        TraceIdGen {
+            state: AtomicU64::new(seed),
+        }
+    }
+
+    /// Next trace id (SplitMix64; skips 0).
+    pub fn next_id(&self) -> u64 {
+        loop {
+            let x = self
+                .state
+                .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+            let id = splitmix64(x.wrapping_add(0x9e37_79b9_7f4a_7c15));
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+}
+
+/// SplitMix64 finalizer (the workspace's standard seeding mix).
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One span in a reassembled trace tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceNode {
+    /// Dotted stage name.
+    pub name: String,
+    /// This span's wire id.
+    pub wire_span: u32,
+    /// Wire id of the parent (possibly in another process; 0 = root).
+    pub wire_parent: u32,
+    /// Start reading of the owning store's time source.
+    pub start_ns: u64,
+    /// Duration (0 while still open).
+    pub dur_ns: u64,
+    /// Child spans in start order.
+    pub children: Vec<TraceNode>,
+}
+
+/// A whole trace as returned by the admin `TraceGet` request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceTree {
+    /// The trace id queried.
+    pub trace_id: u64,
+    /// Number of spans found for the trace.
+    pub spans: u64,
+    /// Local roots (spans whose wire parent is 0 or unknown here).
+    pub roots: Vec<TraceNode>,
+}
+
+/// Reassemble the spans of `trace_id` out of `records` into a tree.
+///
+/// Records whose `wire_parent` does not resolve to another record of
+/// the same trace (it is 0, or it lives in another process) become
+/// roots. Records arrive in start order, so children follow parents.
+pub fn trace_tree(trace_id: u64, records: &[SpanRecord]) -> TraceTree {
+    let in_trace: Vec<&SpanRecord> = records
+        .iter()
+        .filter(|r| trace_id != 0 && r.trace_id == trace_id)
+        .collect();
+    let by_wire: HashMap<u32, usize> = in_trace
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.wire_span, i))
+        .collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); in_trace.len()];
+    let mut roots = Vec::new();
+    for (i, rec) in in_trace.iter().enumerate() {
+        match by_wire.get(&rec.wire_parent) {
+            Some(&p) if p != i => children[p].push(i),
+            _ => roots.push(i),
+        }
+    }
+    fn assemble(i: usize, recs: &[&SpanRecord], children: &[Vec<usize>]) -> TraceNode {
+        TraceNode {
+            name: recs[i].name.clone().into_owned(),
+            wire_span: recs[i].wire_span,
+            wire_parent: recs[i].wire_parent,
+            start_ns: recs[i].start_ns,
+            dur_ns: recs[i].dur_ns,
+            children: children[i]
+                .iter()
+                .map(|&c| assemble(c, recs, children))
+                .collect(),
+        }
+    }
+    TraceTree {
+        trace_id,
+        spans: in_trace.len() as u64,
+        roots: roots
+            .into_iter()
+            .map(|r| assemble(r, &in_trace, &children))
+            .collect(),
+    }
+}
+
+/// Convenience: the trace tree of `trace_id` from a span store.
+pub fn store_trace_tree(store: &SpanStore, trace_id: u64) -> TraceTree {
+    trace_tree(trace_id, &store.trace_records(trace_id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanStore, TimeSource, VirtualClock};
+
+    #[test]
+    fn gen_is_deterministic_and_nonzero() {
+        let a = TraceIdGen::new(0x1AC0_FFEE);
+        let b = TraceIdGen::new(0x1AC0_FFEE);
+        let ids: Vec<u64> = (0..64).map(|_| a.next_id()).collect();
+        let ids2: Vec<u64> = (0..64).map(|_| b.next_id()).collect();
+        assert_eq!(ids, ids2, "same seed, same stream");
+        assert!(ids.iter().all(|&i| i != 0));
+        let mut uniq = ids.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), ids.len(), "no repeats in a short stream");
+        let c = TraceIdGen::new(7);
+        assert_ne!(c.next_id(), ids[0], "different seed, different stream");
+    }
+
+    #[test]
+    fn tree_links_by_wire_and_roots_unresolved_parents() {
+        let clock = VirtualClock::new();
+        let store = SpanStore::new(TimeSource::Virtual(clock.clone()));
+        let tid = 0xFEED;
+        {
+            // Parent 99 lives "in another process".
+            let _root = store.enter_traced("server.root", tid, 99);
+            clock.advance(10);
+            {
+                let _child = store.enter("server.child");
+                clock.advance(5);
+            }
+        }
+        // A second, unrelated trace must not leak in.
+        {
+            let _other = store.enter_traced("other.root", 0xBEEF, 0);
+        }
+        let tree = store_trace_tree(&store, tid);
+        assert_eq!(tree.trace_id, tid);
+        assert_eq!(tree.spans, 2);
+        assert_eq!(tree.roots.len(), 1, "unresolved parent 99 makes one root");
+        assert_eq!(tree.roots[0].name, "server.root");
+        assert_eq!(tree.roots[0].wire_parent, 99);
+        assert_eq!(tree.roots[0].children.len(), 1);
+        assert_eq!(tree.roots[0].children[0].name, "server.child");
+        assert_eq!(tree.roots[0].children[0].dur_ns, 5);
+    }
+
+    #[test]
+    fn tree_round_trips_through_json() {
+        let store = SpanStore::new(TimeSource::Virtual(VirtualClock::new()));
+        {
+            let _g = store.enter_traced("a.b.c", 3, 0);
+        }
+        let tree = store_trace_tree(&store, 3);
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: TraceTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tree);
+    }
+}

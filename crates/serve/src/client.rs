@@ -9,7 +9,7 @@
 
 use crate::frame::{
     read_frame, write_frame, ErrorInfo, Frame, FrameError, FrameType, ReadOutcome, SnapshotAck,
-    DEFAULT_MAX_PAYLOAD,
+    TraceWire, DEFAULT_MAX_PAYLOAD,
 };
 use incprof_profile::GmonData;
 use std::io::{self, Read, Write};
@@ -163,7 +163,43 @@ impl Client {
 
     /// Push one cumulative snapshot (as gmon wire bytes) into a session.
     pub fn push(&mut self, session_id: u64, gmon: &GmonData) -> Result<Push, ClientError> {
-        let frame = Frame::with_payload(FrameType::Snapshot, session_id, gmon.encode().to_vec());
+        self.push_inner(session_id, gmon, None)
+    }
+
+    /// [`Client::push`] carrying a trace id: the request frame gets the
+    /// version-2 trace extension, a client-side root span
+    /// (`serve.client.push`) is recorded, and the server links every
+    /// span it opens for this frame under the same trace id — so a
+    /// [`Client::trace_get`] on the admin socket (or, in-process, the
+    /// span store itself) replays the push end to end.
+    pub fn push_traced(
+        &mut self,
+        session_id: u64,
+        gmon: &GmonData,
+        trace_id: u64,
+    ) -> Result<Push, ClientError> {
+        self.push_inner(session_id, gmon, Some(trace_id))
+    }
+
+    fn push_inner(
+        &mut self,
+        session_id: u64,
+        gmon: &GmonData,
+        trace_id: Option<u64>,
+    ) -> Result<Push, ClientError> {
+        let root = trace_id.map(|tid| {
+            incprof_obs::global().spans().enter_traced(
+                incprof_obs::names::SERVE_CLIENT_PUSH,
+                tid,
+                0,
+            )
+        });
+        let trace = trace_id.map(|tid| TraceWire {
+            trace_id: tid,
+            parent_span: root.as_ref().map(|r| r.wire_span()).unwrap_or(0),
+        });
+        let frame = Frame::with_payload(FrameType::Snapshot, session_id, gmon.encode().to_vec())
+            .traced(trace);
         let reply = self.round_trip(&frame)?;
         match reply.frame_type {
             FrameType::SnapshotAck => Ok(Push::Ack(SnapshotAck::decode(&reply.payload)?)),
@@ -175,18 +211,26 @@ impl Client {
         }
     }
 
-    /// Push with a bounded busy-retry loop (linear backoff).
+    /// Push with a bounded busy-retry loop (exponential backoff with
+    /// deterministic jitter; see [`retry_backoff`]). Each retry after a
+    /// `BUSY` reply increments `serve.client.retries`.
     pub fn push_retry(
         &mut self,
         session_id: u64,
         gmon: &GmonData,
         max_attempts: usize,
     ) -> Result<SnapshotAck, ClientError> {
+        // Jitter is seeded per (session, sample) so concurrent pushers
+        // retrying the same contended queue spread out instead of
+        // thundering back in lockstep — yet any given push's schedule
+        // is reproducible.
+        let seed = session_id ^ gmon.sample_index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         for attempt in 0..max_attempts.max(1) {
             match self.push(session_id, gmon)? {
                 Push::Ack(ack) => return Ok(ack),
                 Push::Busy => {
-                    std::thread::sleep(Duration::from_millis(5 * (attempt as u64 + 1)));
+                    incprof_obs::counter(incprof_obs::names::SERVE_CLIENT_RETRIES).inc();
+                    std::thread::sleep(retry_backoff(attempt, seed));
                 }
             }
         }
@@ -197,20 +241,81 @@ impl Client {
 
     /// Fetch the full JSON phase report for a session.
     pub fn query_report(&mut self, session_id: u64) -> Result<String, ClientError> {
-        self.query(session_id, 0)
+        self.query(session_id, 0, None)
     }
 
     /// Fetch only the offline `PhaseAnalysis` JSON (the determinism
     /// bridge: byte-identical to the offline pipeline on this series).
     pub fn query_analysis(&mut self, session_id: u64) -> Result<String, ClientError> {
-        self.query(session_id, 1)
+        self.query(session_id, 1, None)
     }
 
-    fn query(&mut self, session_id: u64, mode: u8) -> Result<String, ClientError> {
-        let frame = Frame::with_payload(FrameType::Query, session_id, vec![mode]);
+    /// [`Client::query_analysis`] carrying a trace id, linking the
+    /// server's whole analysis pipeline (cache, features, clustering)
+    /// into one queryable trace tree.
+    pub fn query_analysis_traced(
+        &mut self,
+        session_id: u64,
+        trace_id: u64,
+    ) -> Result<String, ClientError> {
+        self.query(session_id, 1, Some(trace_id))
+    }
+
+    fn query(
+        &mut self,
+        session_id: u64,
+        mode: u8,
+        trace_id: Option<u64>,
+    ) -> Result<String, ClientError> {
+        let trace = trace_id.map(|tid| TraceWire {
+            trace_id: tid,
+            parent_span: 0,
+        });
+        let frame = Frame::with_payload(FrameType::Query, session_id, vec![mode]).traced(trace);
         let reply = self.expect_reply(&frame, FrameType::Report)?;
         String::from_utf8(reply.payload)
             .map_err(|_| ClientError::Protocol("report payload is not UTF-8".to_string()))
+    }
+
+    /// Admin: fetch the Prometheus-style text exposition. Only works on
+    /// a connection to the daemon's *admin* socket.
+    pub fn scrape(&mut self) -> Result<String, ClientError> {
+        self.admin_text(FrameType::Scrape, Vec::new(), FrameType::ScrapeReply)
+    }
+
+    /// Admin: resolve `trace_id` to its JSON span tree.
+    pub fn trace_get(&mut self, trace_id: u64) -> Result<String, ClientError> {
+        self.admin_text(
+            FrameType::TraceGet,
+            trace_id.to_le_bytes().to_vec(),
+            FrameType::TraceReply,
+        )
+    }
+
+    /// Admin: dump the flight recorder's recent-event tail as JSON.
+    pub fn recorder_dump(&mut self) -> Result<String, ClientError> {
+        self.admin_text(
+            FrameType::RecorderDump,
+            Vec::new(),
+            FrameType::RecorderReply,
+        )
+    }
+
+    /// Admin: one-line JSON liveness document.
+    pub fn health(&mut self) -> Result<String, ClientError> {
+        self.admin_text(FrameType::Health, Vec::new(), FrameType::HealthReply)
+    }
+
+    fn admin_text(
+        &mut self,
+        request: FrameType,
+        payload: Vec<u8>,
+        want: FrameType,
+    ) -> Result<String, ClientError> {
+        let frame = Frame::with_payload(request, 0, payload);
+        let reply = self.expect_reply(&frame, want)?;
+        String::from_utf8(reply.payload)
+            .map_err(|_| ClientError::Protocol("admin payload is not UTF-8".to_string()))
     }
 
     /// Close a session, draining anything still pending server-side.
@@ -235,5 +340,60 @@ impl Client {
             FrameType::ShutdownAck,
         )?;
         Ok(())
+    }
+}
+
+/// The backoff before retry `attempt` (0-based): exponential from 5 ms
+/// doubling toward a 200 ms cap, plus deterministic jitter in
+/// `[0, base/2]` mixed from `seed` and the attempt number. Pure — the
+/// whole schedule for a seed is computable in a unit test, and equal
+/// seeds replay identically while different pushers de-synchronize.
+pub fn retry_backoff(attempt: usize, seed: u64) -> Duration {
+    const BASE_MS: u64 = 5;
+    const CAP_MS: u64 = 200;
+    let base = BASE_MS
+        .saturating_mul(1u64 << attempt.min(10) as u32)
+        .min(CAP_MS);
+    let jitter = mix64(seed ^ attempt as u64) % (base / 2 + 1);
+    Duration::from_millis(base + jitter)
+}
+
+/// SplitMix64 finalizer: a cheap, well-distributed stateless mix.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_bounded() {
+        let a: Vec<Duration> = (0..12).map(|i| retry_backoff(i, 42)).collect();
+        let b: Vec<Duration> = (0..12).map(|i| retry_backoff(i, 42)).collect();
+        assert_eq!(a, b, "same seed must replay the same schedule");
+        for (i, d) in a.iter().enumerate() {
+            let base = 5u64.saturating_mul(1 << (i as u32).min(10)).min(200);
+            assert!(d.as_millis() as u64 >= base, "attempt {i}: below base");
+            assert!(
+                d.as_millis() as u64 <= base + base / 2,
+                "attempt {i}: {d:?} over base {base} + 50% jitter"
+            );
+        }
+        // The exponential ramp reaches (and then respects) the cap.
+        assert!(a[11] >= Duration::from_millis(200));
+        assert!(a[11] <= Duration::from_millis(300));
+    }
+
+    #[test]
+    fn backoff_jitter_separates_seeds() {
+        // Not every attempt need differ, but a whole-schedule collision
+        // across distinct seeds would mean the jitter does nothing.
+        let a: Vec<Duration> = (0..8).map(|i| retry_backoff(i, 1)).collect();
+        let b: Vec<Duration> = (0..8).map(|i| retry_backoff(i, 2)).collect();
+        assert_ne!(a, b);
     }
 }

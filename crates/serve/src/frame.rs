@@ -5,13 +5,19 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"IPRF"
-//! 4       1     protocol version (currently 1)
+//! 4       1     protocol version (1 = plain, 2 = trace extension)
 //! 5       1     frame type (see [`FrameType`])
 //! 6       8     session id, little-endian u64 (0 when not applicable)
 //! 14      4     payload length, little-endian u32
-//! 18      len   payload bytes
-//! 18+len  4     CRC-32 (IEEE), little-endian, over bytes [0, 18+len)
+//! [18     12    trace extension, only when version = 2:
+//!               u64 trace id + u32 parent span id, little-endian]
+//! ..      len   payload bytes
+//! ..+len  4     CRC-32 (IEEE), little-endian, over everything before it
 //! ```
+//!
+//! Untraced frames are encoded exactly as version 1 — byte-identical
+//! to the original protocol — so tracing costs nothing on the wire
+//! unless a frame actually carries a [`TraceWire`].
 //!
 //! The codec is pure and clock-free: encoding and decoding are plain
 //! functions over byte slices, reused verbatim by the server, the
@@ -26,10 +32,18 @@ use std::io::{self, Read, Write};
 
 /// Magic bytes opening every frame.
 pub const MAGIC: [u8; 4] = *b"IPRF";
-/// Protocol version this crate speaks.
+/// Protocol version of a traceless frame (the original wire format,
+/// still emitted whenever a frame carries no trace context).
 pub const VERSION: u8 = 1;
+/// Protocol version of a frame carrying a [`TraceWire`] extension
+/// between the fixed header and the payload.
+pub const VERSION_TRACED: u8 = 2;
 /// Fixed byte length of the frame header (magic through payload length).
 pub const HEADER_LEN: usize = 18;
+/// Byte length of the optional trace extension (u64 trace id + u32
+/// parent span id), present exactly when the version byte is
+/// [`VERSION_TRACED`].
+pub const TRACE_EXT_LEN: usize = 12;
 /// Byte length of the trailing CRC.
 pub const CRC_LEN: usize = 4;
 /// Default cap on payload length; frames claiming more are rejected
@@ -57,6 +71,16 @@ pub enum FrameType {
     Ping = 0x05,
     /// Ask the daemon to drain every session and exit.
     Shutdown = 0x06,
+    /// Admin: Prometheus-style text scrape of the metrics registry and
+    /// per-session gauges. Only answered on the admin socket.
+    Scrape = 0x10,
+    /// Admin: resolve a trace id to its span tree. Payload: u64 trace
+    /// id, little-endian.
+    TraceGet = 0x11,
+    /// Admin: dump the flight recorder's retained events.
+    RecorderDump = 0x12,
+    /// Admin: liveness + daemon vitals.
+    Health = 0x13,
     /// Reply to [`FrameType::Open`]; the header carries the new id.
     OpenAck = 0x81,
     /// Reply to [`FrameType::Snapshot`]; payload is a [`SnapshotAck`].
@@ -69,6 +93,16 @@ pub enum FrameType {
     Pong = 0x85,
     /// Reply to [`FrameType::Shutdown`].
     ShutdownAck = 0x86,
+    /// Reply to [`FrameType::Scrape`]; payload is UTF-8 exposition text.
+    ScrapeReply = 0x90,
+    /// Reply to [`FrameType::TraceGet`]; payload is UTF-8 JSON (an
+    /// `incprof_obs::TraceTree`).
+    TraceReply = 0x91,
+    /// Reply to [`FrameType::RecorderDump`]; payload is UTF-8 JSON (an
+    /// array of `incprof_obs::EventRecord`s).
+    RecorderReply = 0x92,
+    /// Reply to [`FrameType::Health`]; payload is UTF-8 JSON.
+    HealthReply = 0x93,
     /// Backpressure: the ingest queue is full, retry later.
     Busy = 0x7E,
     /// Typed failure; payload is an [`ErrorInfo`].
@@ -85,12 +119,20 @@ impl FrameType {
             0x04 => FrameType::Close,
             0x05 => FrameType::Ping,
             0x06 => FrameType::Shutdown,
+            0x10 => FrameType::Scrape,
+            0x11 => FrameType::TraceGet,
+            0x12 => FrameType::RecorderDump,
+            0x13 => FrameType::Health,
             0x81 => FrameType::OpenAck,
             0x82 => FrameType::SnapshotAck,
             0x83 => FrameType::Report,
             0x84 => FrameType::CloseAck,
             0x85 => FrameType::Pong,
             0x86 => FrameType::ShutdownAck,
+            0x90 => FrameType::ScrapeReply,
+            0x91 => FrameType::TraceReply,
+            0x92 => FrameType::RecorderReply,
+            0x93 => FrameType::HealthReply,
             0x7E => FrameType::Busy,
             0x7F => FrameType::Error,
             _ => return None,
@@ -163,6 +205,45 @@ impl fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
+/// The optional trace extension a frame can carry: which trace the
+/// request belongs to and the sender-side parent span's wire id.
+///
+/// Encoded as 12 bytes — u64 trace id then u32 parent span id, both
+/// little-endian — between the fixed header and the payload, signalled
+/// by the version byte being [`VERSION_TRACED`]. A receiver that only
+/// speaks version 1 rejects the frame as `BadVersion`; version-2 peers
+/// still emit version-1 bytes for untraced frames, so tracing is pay-
+/// for-what-you-use on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceWire {
+    /// Trace id (never 0 for a live trace).
+    pub trace_id: u64,
+    /// Wire id of the sender-side parent span (0 = trace root).
+    pub parent_span: u32,
+}
+
+impl TraceWire {
+    /// Serialize to the 12-byte wire extension.
+    pub fn encode(&self) -> [u8; TRACE_EXT_LEN] {
+        let mut buf = [0u8; TRACE_EXT_LEN];
+        buf[0..8].copy_from_slice(&self.trace_id.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.parent_span.to_le_bytes());
+        buf
+    }
+
+    /// Deserialize the 12-byte wire extension.
+    pub fn decode(bytes: &[u8; TRACE_EXT_LEN]) -> TraceWire {
+        let mut tid = [0u8; 8];
+        tid.copy_from_slice(&bytes[0..8]);
+        let mut span = [0u8; 4];
+        span.copy_from_slice(&bytes[8..12]);
+        TraceWire {
+            trace_id: u64::from_le_bytes(tid),
+            parent_span: u32::from_le_bytes(span),
+        }
+    }
+}
+
 /// One decoded frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
@@ -170,6 +251,8 @@ pub struct Frame {
     pub frame_type: FrameType,
     /// Session the frame belongs to (0 when not applicable).
     pub session_id: u64,
+    /// Trace context the frame carries (None ⇒ version-1 wire bytes).
+    pub trace: Option<TraceWire>,
     /// Raw payload bytes.
     pub payload: Vec<u8>,
 }
@@ -180,6 +263,7 @@ impl Frame {
         Frame {
             frame_type,
             session_id,
+            trace: None,
             payload: Vec::new(),
         }
     }
@@ -189,13 +273,27 @@ impl Frame {
         Frame {
             frame_type,
             session_id,
+            trace: None,
             payload,
         }
     }
 
+    /// The same frame stamped with a trace context (builder-style).
+    pub fn traced(mut self, trace: Option<TraceWire>) -> Frame {
+        self.trace = trace;
+        self
+    }
+
     /// Total encoded length in bytes.
     pub fn encoded_len(&self) -> usize {
-        HEADER_LEN + self.payload.len() + CRC_LEN
+        HEADER_LEN
+            + if self.trace.is_some() {
+                TRACE_EXT_LEN
+            } else {
+                0
+            }
+            + self.payload.len()
+            + CRC_LEN
     }
 
     /// Serialize to wire bytes, refusing payloads over `max_payload`.
@@ -223,10 +321,17 @@ impl Frame {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(self.encoded_len());
         buf.extend_from_slice(&MAGIC);
-        buf.push(VERSION);
+        buf.push(if self.trace.is_some() {
+            VERSION_TRACED
+        } else {
+            VERSION
+        });
         buf.push(self.frame_type as u8);
         buf.extend_from_slice(&self.session_id.to_le_bytes());
         buf.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        if let Some(trace) = &self.trace {
+            buf.extend_from_slice(&trace.encode());
+        }
         buf.extend_from_slice(&self.payload);
         let crc = crc32(&buf);
         buf.extend_from_slice(&crc.to_le_bytes());
@@ -242,12 +347,22 @@ impl Frame {
         let header: [u8; HEADER_LEN] = buf[..HEADER_LEN]
             .try_into()
             .map_err(|_| FrameError::Truncated { context: "header" })?;
-        let (frame_type, session_id, len) = parse_header(&header, max_payload)?;
-        let total = HEADER_LEN + len as usize + CRC_LEN;
+        let (frame_type, session_id, len, has_trace) = parse_header(&header, max_payload)?;
+        let ext = if has_trace { TRACE_EXT_LEN } else { 0 };
+        let total = HEADER_LEN + ext + len as usize + CRC_LEN;
         if buf.len() < total {
             return Err(FrameError::Truncated { context: "payload" });
         }
-        let payload = buf[HEADER_LEN..HEADER_LEN + len as usize].to_vec();
+        let trace = if has_trace {
+            let ext_bytes: [u8; TRACE_EXT_LEN] = buf[HEADER_LEN..HEADER_LEN + TRACE_EXT_LEN]
+                .try_into()
+                .map_err(|_| FrameError::Truncated { context: "trace" })?;
+            Some(TraceWire::decode(&ext_bytes))
+        } else {
+            None
+        };
+        let payload_at = HEADER_LEN + ext;
+        let payload = buf[payload_at..payload_at + len as usize].to_vec();
         let carried = u32::from_le_bytes(
             buf[total - CRC_LEN..total]
                 .try_into()
@@ -261,6 +376,7 @@ impl Frame {
             Frame {
                 frame_type,
                 session_id,
+                trace,
                 payload,
             },
             total,
@@ -269,17 +385,20 @@ impl Frame {
 }
 
 /// Validate a fixed-size header, returning (type, session id, payload
-/// length). Shared by the slice decoder and the streaming reader.
+/// length, trace extension follows). Shared by the slice decoder and
+/// the streaming reader. Both protocol versions are accepted; the
+/// returned flag says whether [`TRACE_EXT_LEN`] extension bytes sit
+/// between this header and the payload.
 pub fn parse_header(
     header: &[u8; HEADER_LEN],
     max_payload: u32,
-) -> Result<(FrameType, u64, u32), FrameError> {
+) -> Result<(FrameType, u64, u32, bool), FrameError> {
     if header[0..4] != MAGIC {
         let mut found = [0u8; 4];
         found.copy_from_slice(&header[0..4]);
         return Err(FrameError::BadMagic { found });
     }
-    if header[4] != VERSION {
+    if header[4] != VERSION && header[4] != VERSION_TRACED {
         return Err(FrameError::BadVersion { found: header[4] });
     }
     let frame_type =
@@ -296,7 +415,7 @@ pub fn parse_header(
             max: max_payload,
         });
     }
-    Ok((frame_type, session_id, len))
+    Ok((frame_type, session_id, len, header[4] == VERSION_TRACED))
 }
 
 // ---------------------------------------------------------------------
@@ -549,9 +668,24 @@ pub fn read_frame(r: &mut impl Read, max_payload: u32) -> io::Result<ReadOutcome
             Err(e) => return Err(e),
         }
     }
-    let (frame_type, session_id, len) = match parse_header(&header, max_payload) {
+    let (frame_type, session_id, len, has_trace) = match parse_header(&header, max_payload) {
         Ok(parts) => parts,
         Err(e) => return Ok(ReadOutcome::Malformed(e)),
+    };
+    let trace = if has_trace {
+        let mut ext = [0u8; TRACE_EXT_LEN];
+        if let Err(e) = read_fully(r, &mut ext) {
+            return if e.kind() == io::ErrorKind::UnexpectedEof {
+                Ok(ReadOutcome::Malformed(FrameError::Truncated {
+                    context: "trace",
+                }))
+            } else {
+                Err(e)
+            };
+        }
+        Some(ext)
+    } else {
+        None
     };
     let mut rest = vec![0u8; len as usize + CRC_LEN];
     if let Err(e) = read_fully(r, &mut rest) {
@@ -568,6 +702,9 @@ pub fn read_frame(r: &mut impl Read, max_payload: u32) -> io::Result<ReadOutcome
     crc_bytes.copy_from_slice(&rest[payload_len..]);
     let carried = u32::from_le_bytes(crc_bytes);
     let mut crc = crc32_begin(&header);
+    if let Some(ext) = &trace {
+        crc = crc32_update(crc, ext);
+    }
     crc = crc32_update(crc, &rest[..payload_len]);
     let computed = crc32_finish(crc);
     if computed != carried {
@@ -580,6 +717,7 @@ pub fn read_frame(r: &mut impl Read, max_payload: u32) -> io::Result<ReadOutcome
     Ok(ReadOutcome::Frame(Frame {
         frame_type,
         session_id,
+        trace: trace.map(|ext| TraceWire::decode(&ext)),
         payload: rest,
     }))
 }
@@ -678,6 +816,67 @@ mod tests {
         let f = Frame::empty(FrameType::Ping, 0);
         let (back, _) = Frame::decode(&f.encode(), DEFAULT_MAX_PAYLOAD).unwrap();
         assert_eq!(back, f);
+    }
+
+    #[test]
+    fn traced_frame_roundtrip() {
+        let tw = TraceWire {
+            trace_id: 0xDEAD_BEEF_CAFE_0001,
+            parent_span: 42,
+        };
+        let f = Frame::with_payload(FrameType::Snapshot, 9, vec![5; 40]).traced(Some(tw));
+        let bytes = f.encode();
+        assert_eq!(bytes[4], VERSION_TRACED);
+        assert_eq!(bytes.len(), f.encoded_len());
+        assert_eq!(bytes.len(), HEADER_LEN + TRACE_EXT_LEN + 40 + CRC_LEN);
+        let (back, used) = Frame::decode(&bytes, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, f);
+        assert_eq!(back.trace, Some(tw));
+        // Streaming reader agrees with the slice decoder.
+        let mut cursor = io::Cursor::new(bytes.clone());
+        match read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD).unwrap() {
+            ReadOutcome::Frame(got) => assert_eq!(got, f),
+            other => panic!("expected frame, got {other:?}"),
+        }
+        // A flipped bit inside the extension is caught by the CRC.
+        let mut corrupt = bytes;
+        corrupt[HEADER_LEN + 3] ^= 0x10;
+        assert!(matches!(
+            Frame::decode(&corrupt, DEFAULT_MAX_PAYLOAD),
+            Err(FrameError::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn untraced_frames_keep_version1_bytes() {
+        // The v2 codec must emit byte-identical frames to the original
+        // protocol whenever no trace context is attached.
+        let f = Frame::with_payload(FrameType::Snapshot, 7, vec![1, 2, 3]);
+        let bytes = f.encode();
+        assert_eq!(bytes[4], VERSION);
+        assert_eq!(bytes.len(), HEADER_LEN + 3 + CRC_LEN);
+        assert_eq!(f.traced(None).encode(), bytes);
+    }
+
+    #[test]
+    fn truncated_trace_extension_is_malformed() {
+        let tw = TraceWire {
+            trace_id: 1,
+            parent_span: 0,
+        };
+        let bytes = Frame::empty(FrameType::Ping, 0).traced(Some(tw)).encode();
+        // Slice decoder: not enough bytes for the extension.
+        assert!(matches!(
+            Frame::decode(&bytes[..HEADER_LEN + 4], DEFAULT_MAX_PAYLOAD),
+            Err(FrameError::Truncated { .. })
+        ));
+        // Streaming reader: EOF inside the extension.
+        let mut c = io::Cursor::new(bytes[..HEADER_LEN + 4].to_vec());
+        assert!(matches!(
+            read_frame(&mut c, DEFAULT_MAX_PAYLOAD).unwrap(),
+            ReadOutcome::Malformed(FrameError::Truncated { context: "trace" })
+        ));
     }
 
     #[test]

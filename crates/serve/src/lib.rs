@@ -19,18 +19,28 @@
 //!   with bounded ingest queues and fault isolation.
 //! - [`server`] — the daemon: accept loop, bounded worker pool,
 //!   backpressure, graceful drain-on-shutdown.
-//! - [`client`] — a blocking request/reply client.
+//! - [`mod@admin`] — the optional read-only admin listener: Prometheus
+//!   scrape, trace-tree lookup, flight-recorder dump, health.
+//! - [`client`] — a blocking request/reply client (data and admin).
 //! - [`signal`] — SIGINT-to-atomic-flag plumbing for the CLI.
+//!
+//! Frames may carry a version-2 trace extension
+//! ([`frame::TraceWire`]): a traced push or query links the client's
+//! root span and every server-side span it causes — enqueue, drain,
+//! the online observation, the analysis cache and pipeline — into one
+//! tree under a single trace id, resolvable via
+//! [`FrameType::TraceGet`] on the admin socket.
 //!
 //! Everything is `std`-only: no async runtime, no external crates.
 
+pub mod admin;
 pub mod client;
 pub mod frame;
 pub mod server;
 pub mod session;
 pub mod signal;
 
-pub use client::{Client, ClientError, Push};
-pub use frame::{ErrorCode, ErrorInfo, Frame, FrameError, FrameType, SnapshotAck};
+pub use client::{retry_backoff, Client, ClientError, Push};
+pub use frame::{ErrorCode, ErrorInfo, Frame, FrameError, FrameType, SnapshotAck, TraceWire};
 pub use server::{BindAddr, ServeConfig, Server, ServerHandle};
-pub use session::{Registry, ReportMode};
+pub use session::{Registry, ReportMode, SessionStats};

@@ -78,6 +78,9 @@ pub struct ServeConfig {
     /// queries (`false` = recompute the full analysis per query; the
     /// `--no-analysis-cache` escape hatch).
     pub analysis_cache: bool,
+    /// Optional read-only admin listener (scrape, trace lookup, flight
+    /// recorder, health). `None` = no admin surface.
+    pub admin: Option<BindAddr>,
 }
 
 impl Default for ServeConfig {
@@ -94,18 +97,19 @@ impl Default for ServeConfig {
             detector: PhaseDetector::default(),
             online: OnlineConfig::default(),
             analysis_cache: true,
+            admin: None,
         }
     }
 }
 
 /// One accepted connection (TCP or Unix).
-enum Conn {
+pub(crate) enum Conn {
     Tcp(TcpStream),
     Unix(UnixStream),
 }
 
 impl Conn {
-    fn set_read_timeout(&self, t: Duration) -> io::Result<()> {
+    pub(crate) fn set_read_timeout(&self, t: Duration) -> io::Result<()> {
         match self {
             Conn::Tcp(s) => s.set_read_timeout(Some(t)),
             Conn::Unix(s) => s.set_read_timeout(Some(t)),
@@ -138,13 +142,13 @@ impl Write for Conn {
     }
 }
 
-enum Listener {
+pub(crate) enum Listener {
     Tcp(TcpListener),
     Unix(UnixListener),
 }
 
 impl Listener {
-    fn accept(&self) -> io::Result<Conn> {
+    pub(crate) fn accept(&self) -> io::Result<Conn> {
         match self {
             Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
             Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
@@ -152,17 +156,37 @@ impl Listener {
     }
 }
 
-struct Shared {
-    config: ServeConfig,
-    registry: Registry,
+pub(crate) struct Shared {
+    pub(crate) config: ServeConfig,
+    pub(crate) registry: Registry,
     shutdown: AtomicBool,
     queue: Mutex<VecDeque<Conn>>,
     queue_cond: Condvar,
 }
 
 impl Shared {
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// Bind one [`BindAddr`], returning the listener and its resolved
+/// address (`ip:port` for TCP — ephemeral ports resolved — or the path
+/// for Unix, whose stale socket file is taken over).
+fn bind_addr(addr: &BindAddr) -> io::Result<(Listener, String)> {
+    match addr {
+        BindAddr::Tcp(spec) => {
+            let l = TcpListener::bind(spec.as_str())?;
+            let addr = l.local_addr()?.to_string();
+            Ok((Listener::Tcp(l), addr))
+        }
+        BindAddr::Unix(path) => {
+            // Take the path over; a stale socket file from a dead
+            // daemon would otherwise fail the bind forever.
+            let _ = std::fs::remove_file(path);
+            let l = UnixListener::bind(path)?;
+            Ok((Listener::Unix(l), path.display().to_string()))
+        }
     }
 }
 
@@ -170,6 +194,7 @@ impl Shared {
 pub struct Server {
     listener: Listener,
     addr: String,
+    admin: Option<(Listener, String)>,
     shared: Arc<Shared>,
 }
 
@@ -177,19 +202,10 @@ impl Server {
     /// Bind the configured address. For `BindAddr::Tcp` with port 0 the
     /// kernel picks an ephemeral port; [`Server::local_addr`] reports it.
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
-        let (listener, addr) = match &config.addr {
-            BindAddr::Tcp(spec) => {
-                let l = TcpListener::bind(spec.as_str())?;
-                let addr = l.local_addr()?.to_string();
-                (Listener::Tcp(l), addr)
-            }
-            BindAddr::Unix(path) => {
-                // Take the path over; a stale socket file from a dead
-                // daemon would otherwise fail the bind forever.
-                let _ = std::fs::remove_file(path);
-                let l = UnixListener::bind(path)?;
-                (Listener::Unix(l), path.display().to_string())
-            }
+        let (listener, addr) = bind_addr(&config.addr)?;
+        let admin = match &config.admin {
+            Some(spec) => Some(bind_addr(spec)?),
+            None => None,
         };
         let registry = Registry::new(
             config.online.clone(),
@@ -207,6 +223,7 @@ impl Server {
         Ok(Server {
             listener,
             addr,
+            admin,
             shared,
         })
     }
@@ -218,13 +235,22 @@ impl Server {
 
     /// Spawn the acceptor and worker threads and return a handle.
     pub fn start(self) -> io::Result<ServerHandle> {
-        let mut threads = Vec::with_capacity(self.shared.config.workers + 1);
+        let mut threads = Vec::with_capacity(self.shared.config.workers + 2);
         for i in 0..self.shared.config.workers.max(1) {
             let shared = Arc::clone(&self.shared);
             let t = std::thread::Builder::new()
                 .name(format!("incprof-serve-worker-{i}"))
                 .spawn(move || worker_loop(&shared))?;
             threads.push(t);
+        }
+        let mut admin_addr = None;
+        if let Some((listener, addr)) = self.admin {
+            let shared = Arc::clone(&self.shared);
+            let t = std::thread::Builder::new()
+                .name("incprof-serve-admin".to_string())
+                .spawn(move || crate::admin::admin_loop(&listener, &shared))?;
+            threads.push(t);
+            admin_addr = Some(addr);
         }
         let shared = Arc::clone(&self.shared);
         let listener = self.listener;
@@ -235,6 +261,7 @@ impl Server {
         Ok(ServerHandle {
             shared: self.shared,
             addr: self.addr,
+            admin_addr,
             threads,
         })
     }
@@ -244,6 +271,7 @@ impl Server {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     addr: String,
+    admin_addr: Option<String>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -251,6 +279,11 @@ impl ServerHandle {
     /// The bound address (`ip:port` or Unix path).
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// The admin socket's bound address, when one was configured.
+    pub fn admin_addr(&self) -> Option<&str> {
+        self.admin_addr.as_deref()
     }
 
     /// Number of live sessions.
@@ -264,6 +297,9 @@ impl ServerHandle {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.queue_cond.notify_all();
         wake_acceptor(&self.shared.config.addr, &self.addr);
+        if let (Some(spec), Some(addr)) = (&self.shared.config.admin, &self.admin_addr) {
+            wake_acceptor(spec, addr);
+        }
     }
 
     /// Whether shutdown has been requested (by flag or by frame).
@@ -290,12 +326,29 @@ impl ServerHandle {
     /// Gracefully stop: flag, wake, join every thread, drain every
     /// session's pending queue, and release the Unix socket file.
     pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    /// [`ServerHandle::shutdown`], then render one final admin
+    /// exposition reflecting the drained state — the `--final-scrape`
+    /// snapshot a scraper would have seen just before exit.
+    pub fn shutdown_scraped(mut self) -> String {
+        self.shutdown_inner();
+        crate::admin::render_exposition(&self.shared.registry, Instant::now())
+    }
+
+    fn shutdown_inner(&mut self) {
         self.request_shutdown();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        let drained = self.shared.registry.active() as u64;
         self.shared.registry.drain_all();
+        incprof_obs::recorder().record(incprof_obs::EventKind::Shutdown, drained, 0);
         if let BindAddr::Unix(path) = &self.shared.config.addr {
+            let _ = std::fs::remove_file(path);
+        }
+        if let Some(BindAddr::Unix(path)) = &self.shared.config.admin {
             let _ = std::fs::remove_file(path);
         }
     }
@@ -337,6 +390,7 @@ fn accept_loop(listener: &Listener, shared: &Shared) {
             drop(q);
             // Explicit backpressure instead of unbounded queueing.
             incprof_obs::counter(incprof_obs::names::SERVE_BUSY_REPLIES).inc();
+            incprof_obs::recorder().record(incprof_obs::EventKind::BusyReply, 0, BUSY_CONN_BACKLOG);
             let mut conn = conn;
             let _ = write_frame(&mut conn, &Frame::empty(FrameType::Busy, 0));
             continue;
@@ -403,7 +457,9 @@ fn handle_conn(mut conn: Conn, shared: &Shared) {
             }
             ReadOutcome::Malformed(e) => {
                 incprof_obs::counter(incprof_obs::names::SERVE_DECODE_ERRORS).inc();
-                send_error(&mut conn, 0, ErrorCode::of_frame_error(&e), &e.to_string());
+                let code = ErrorCode::of_frame_error(&e);
+                incprof_obs::recorder().record(incprof_obs::EventKind::DecodeError, 0, code as u64);
+                send_error(&mut conn, 0, code, &e.to_string());
                 return;
             }
         };
@@ -448,6 +504,17 @@ fn dispatch(conn: &mut Conn, shared: &Shared, frame: Frame) -> bool {
             wake_acceptor(&shared.config.addr, &local_addr_of(shared));
             false
         }
+        // Admin requests are only answered on the admin socket: the
+        // data plane stays write-shaped and the read-only surface can
+        // be firewalled separately.
+        FrameType::Scrape | FrameType::TraceGet | FrameType::RecorderDump | FrameType::Health => {
+            send_error(
+                conn,
+                frame.session_id,
+                ErrorCode::BadType,
+                &format!("{:?} is admin-only; use the admin socket", frame.frame_type),
+            )
+        }
         // A reply type arriving as a request is a confused peer.
         FrameType::OpenAck
         | FrameType::SnapshotAck
@@ -456,7 +523,11 @@ fn dispatch(conn: &mut Conn, shared: &Shared, frame: Frame) -> bool {
         | FrameType::Pong
         | FrameType::ShutdownAck
         | FrameType::Busy
-        | FrameType::Error => send_error(
+        | FrameType::Error
+        | FrameType::ScrapeReply
+        | FrameType::TraceReply
+        | FrameType::RecorderReply
+        | FrameType::HealthReply => send_error(
             conn,
             frame.session_id,
             ErrorCode::BadType,
@@ -474,10 +545,31 @@ fn local_addr_of(shared: &Shared) -> String {
 
 fn handle_snapshot(conn: &mut Conn, shared: &Shared, frame: &Frame) -> bool {
     let received_at = Instant::now();
+    // A traced frame opens a wire-linked root span; every span opened
+    // below on this thread (the online observation, core's pipeline
+    // spans) auto-inherits into the same trace tree. Untraced frames
+    // open nothing — the hot path records zero spans — and the traced
+    // path is deliberately held to two server-side spans per push
+    // (root + observe): decode, enqueue, and drain all happen right
+    // here on one thread under one session lock, so separate spans for
+    // them would triple the tracing tax to say "same place, same time".
+    let traced = frame.trace.is_some();
+    let _root = frame.trace.map(|tw| {
+        incprof_obs::global().spans().enter_traced(
+            incprof_obs::names::SERVE_TRACE_SNAPSHOT,
+            tw.trace_id,
+            tw.parent_span,
+        )
+    });
     let gmon = match GmonData::decode(&frame.payload) {
         Ok(g) => g,
         Err(e) => {
             incprof_obs::counter(incprof_obs::names::SERVE_DECODE_ERRORS).inc();
+            incprof_obs::recorder().record(
+                incprof_obs::EventKind::DecodeError,
+                frame.session_id,
+                ErrorCode::BadPayload as u64,
+            );
             return send_error(
                 conn,
                 frame.session_id,
@@ -503,9 +595,14 @@ fn handle_snapshot(conn: &mut Conn, shared: &Shared, frame: &Frame) -> bool {
         Err(e) => send_error_info(conn, frame.session_id, &e),
         Ok(Enqueue::Busy) => {
             incprof_obs::counter(incprof_obs::names::SERVE_BUSY_REPLIES).inc();
+            incprof_obs::recorder().record(
+                incprof_obs::EventKind::BusyReply,
+                frame.session_id,
+                BUSY_SESSION_QUEUE,
+            );
             send(conn, &Frame::empty(FrameType::Busy, frame.session_id))
         }
-        Ok(Enqueue::Accepted) => match session.drain() {
+        Ok(Enqueue::Accepted) => match session.drain_traced(traced) {
             Err(e) => send_error_info(conn, frame.session_id, &e),
             Ok(acks) => {
                 let Some(ack) = acks.iter().find(|a| a.sample_index == sample_index) else {
@@ -533,7 +630,24 @@ fn handle_snapshot(conn: &mut Conn, shared: &Shared, frame: &Frame) -> bool {
     }
 }
 
+/// Flight-recorder `b` tag on [`incprof_obs::EventKind::BusyReply`]:
+/// the acceptor's bounded connection queue was full.
+pub const BUSY_CONN_BACKLOG: u64 = 1;
+/// Flight-recorder `b` tag: a session's bounded pending queue was full.
+pub const BUSY_SESSION_QUEUE: u64 = 2;
+
 fn handle_query(conn: &mut Conn, shared: &Shared, frame: &Frame) -> bool {
+    let received_at = Instant::now();
+    // Same inheritance contract as `handle_snapshot`: the analysis
+    // cache's `core.cache.analyze` span (and the whole pipeline under
+    // it) joins this trace automatically via the thread-local stack.
+    let _root = frame.trace.map(|tw| {
+        incprof_obs::global().spans().enter_traced(
+            incprof_obs::names::SERVE_TRACE_QUERY,
+            tw.trace_id,
+            tw.parent_span,
+        )
+    });
     let mode = match frame.payload.first() {
         None | Some(0) => ReportMode::Full,
         Some(1) => ReportMode::AnalysisOnly,
@@ -554,7 +668,11 @@ fn handle_query(conn: &mut Conn, shared: &Shared, frame: &Frame) -> bool {
             &format!("no session {}", frame.session_id),
         );
     };
-    let json = lock(&session).report_json(&shared.config.detector, mode);
+    let json = {
+        let mut session = lock(&session);
+        session.touch(received_at);
+        session.report_json(&shared.config.detector, mode)
+    };
     send(
         conn,
         &Frame::with_payload(FrameType::Report, frame.session_id, json.into_bytes()),
@@ -578,6 +696,32 @@ fn send_error(conn: &mut Conn, session_id: u64, code: ErrorCode, message: &str) 
 }
 
 fn send_error_info(conn: &mut Conn, session_id: u64, info: &ErrorInfo) -> bool {
+    incprof_obs::recorder().record(
+        incprof_obs::EventKind::ErrorReply,
+        session_id,
+        info.code as u64,
+    );
+    // The postmortem hook: every typed error reply dumps the recorder
+    // tail at debug level, so `INCPROF_LOG=debug` shows the events
+    // leading up to the failure without an admin round trip. Gated so
+    // the disabled path pays one atomic load, not a ring scan.
+    if incprof_obs::logger::enabled(incprof_obs::Level::Debug, module_path!()) {
+        incprof_obs::debug!(
+            "error reply {:?} (session {session_id}): {}",
+            info.code,
+            info.message
+        );
+        for e in incprof_obs::recorder().snapshot().iter().rev().take(16) {
+            incprof_obs::debug!(
+                "  recorder[{}] t={}ns {:?} a={} b={}",
+                e.seq,
+                e.t_ns,
+                e.kind,
+                e.a,
+                e.b
+            );
+        }
+    }
     send(
         conn,
         &Frame::with_payload(FrameType::Error, session_id, info.encode()),

@@ -81,6 +81,32 @@ pub struct Session {
     /// when the daemon runs with `--no-analysis-cache`, in which case
     /// every query recomputes from scratch (the pre-cache behavior).
     cache: Option<AnalysisCache>,
+    /// When the session last saw a frame (`None` until the first one).
+    /// Stamped from caller-provided instants so this module stays free
+    /// of direct clock reads.
+    last_activity: Option<Instant>,
+}
+
+/// One session's vitals, snapshotted for the admin scrape and
+/// `incprof top`.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionStats {
+    /// Session id.
+    pub id: u64,
+    /// Snapshots fully ingested.
+    pub snapshots: u64,
+    /// Frames waiting in the pending queue.
+    pub pending: u64,
+    /// Phases the online detector has discovered so far.
+    pub phases: u64,
+    /// Analysis-cache memo hits (0 when the cache is disabled).
+    pub cache_hits: u64,
+    /// Analysis-cache memo misses (0 when the cache is disabled).
+    pub cache_misses: u64,
+    /// Whether a bad delta has faulted the stream's tail.
+    pub faulted: bool,
+    /// Nanoseconds since the last frame (`None` before any activity).
+    pub idle_ns: Option<u64>,
 }
 
 impl Session {
@@ -95,6 +121,7 @@ impl Session {
             max_pending,
             fault: None,
             cache: analysis_cache.then(AnalysisCache::new),
+            last_activity: None,
         }
     }
 
@@ -135,14 +162,29 @@ impl Session {
         if self.pending.len() >= self.max_pending {
             return Ok(Enqueue::Busy);
         }
+        self.last_activity = Some(enqueued_at);
         self.pending.push_back(Pending { gmon, enqueued_at });
         Ok(Enqueue::Accepted)
+    }
+
+    /// Record non-ingest activity (e.g. a report query) at `now`, for
+    /// the idle-age gauge.
+    pub fn touch(&mut self, now: Instant) {
+        self.last_activity = Some(now);
     }
 
     /// Drain the pending queue through the incremental detector,
     /// returning one ack per processed snapshot. Records the
     /// ingest-to-detect latency of every drained frame.
     pub fn drain(&mut self) -> Result<Vec<IngestAck>, ErrorInfo> {
+        self.drain_traced(false)
+    }
+
+    /// [`Session::drain`], optionally wrapping each detector step in a
+    /// trace-inherited span. `traced` is only true while the worker
+    /// holds a traced root span open, so untraced ingest records no
+    /// spans at all.
+    pub fn drain_traced(&mut self, traced: bool) -> Result<Vec<IngestAck>, ErrorInfo> {
         let mut acks = Vec::with_capacity(self.pending.len());
         while let Some(p) = self.pending.pop_front() {
             let interval = match p.gmon.flat.delta(&self.prev_flat) {
@@ -153,13 +195,22 @@ impl Session {
                     // against state the stream no longer has.
                     self.pending.clear();
                     self.fault = Some(why.clone());
+                    incprof_obs::recorder().record(
+                        incprof_obs::EventKind::SessionFault,
+                        self.id,
+                        p.gmon.sample_index,
+                    );
                     return Err(ErrorInfo::new(
                         ErrorCode::BadPayload,
                         format!("snapshot {}: {why}", p.gmon.sample_index),
                     ));
                 }
             };
-            let observation = self.online.observe(&interval);
+            let observation = {
+                let _obs_span =
+                    traced.then(|| incprof_obs::span(incprof_obs::names::SERVE_TRACE_OBSERVE));
+                self.online.observe(&interval)
+            };
             self.prev_flat = p.gmon.flat.clone();
             self.table = p.gmon.functions.clone();
             let sample_index = p.gmon.sample_index;
@@ -171,7 +222,31 @@ impl Session {
                 observation,
             });
         }
+        if !acks.is_empty() {
+            incprof_obs::recorder().record(
+                incprof_obs::EventKind::DrainStep,
+                self.id,
+                acks.len() as u64,
+            );
+        }
         Ok(acks)
+    }
+
+    /// Snapshot this session's vitals; ages are measured against `now`.
+    pub fn stats(&self, now: Instant) -> SessionStats {
+        let (cache_hits, cache_misses) = self.cache.as_ref().map(|c| c.stats()).unwrap_or((0, 0));
+        SessionStats {
+            id: self.id,
+            snapshots: self.series.len() as u64,
+            pending: self.pending.len() as u64,
+            phases: self.online.n_phases() as u64,
+            cache_hits,
+            cache_misses,
+            faulted: self.fault.is_some(),
+            idle_ns: self
+                .last_activity
+                .map(|t| now.saturating_duration_since(t).as_nanos() as u64),
+        }
     }
 
     /// Render the session's phase report. Drains any queued snapshots
@@ -337,6 +412,18 @@ impl Registry {
     /// Number of live sessions.
     pub fn active(&self) -> usize {
         lock(&self.inner).sessions.len()
+    }
+
+    /// Snapshot every live session's vitals (admin scrape), in id
+    /// order. Each session is locked briefly; the registry lock is not
+    /// held while session locks are taken.
+    pub fn stats(&self, now: Instant) -> Vec<SessionStats> {
+        let sessions: Vec<Arc<Mutex<Session>>> = lock(&self.inner)
+            .sessions
+            .values()
+            .map(Arc::clone)
+            .collect();
+        sessions.iter().map(|s| lock(s).stats(now)).collect()
     }
 
     /// Drain every session's pending queue (graceful shutdown).
@@ -533,6 +620,31 @@ mod tests {
         s.drain().unwrap();
         let report = s.report_json(&PhaseDetector::default(), ReportMode::Full);
         assert!(report.contains("\"capped\":[]"), "{report}");
+    }
+
+    #[test]
+    fn stats_track_queue_ingest_and_cache() {
+        let r = registry();
+        let (id, s) = r.open().unwrap();
+        let mut s = lock(&s);
+        let t0 = Instant::now();
+        assert_eq!(s.stats(t0).idle_ns, None, "no activity yet");
+        s.enqueue(gmon(0, 10), t0).unwrap();
+        s.enqueue(gmon(1, 20), t0).unwrap();
+        let st = s.stats(t0);
+        assert_eq!((st.id, st.snapshots, st.pending), (id, 0, 2));
+        assert_eq!(st.idle_ns, Some(0));
+        s.drain().unwrap();
+        s.report_json(&PhaseDetector::default(), ReportMode::AnalysisOnly);
+        s.report_json(&PhaseDetector::default(), ReportMode::AnalysisOnly);
+        let st = s.stats(t0);
+        assert_eq!((st.snapshots, st.pending), (2, 0));
+        assert_eq!(st.cache_misses, 1, "first query computes");
+        assert_eq!(st.cache_hits, 1, "second query memo-hits");
+        assert!(!st.faulted);
+        drop(s);
+        assert_eq!(r.stats(t0).len(), 1);
+        assert_eq!(r.stats(t0)[0].id, id);
     }
 
     #[test]

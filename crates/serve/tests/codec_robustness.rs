@@ -5,7 +5,7 @@
 
 use incprof_serve::frame::{
     crc32, read_frame, write_frame, ErrorCode, ErrorInfo, Frame, FrameType, ReadOutcome,
-    DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, VERSION,
+    DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC, VERSION_TRACED,
 };
 use incprof_serve::{Client, ServeConfig, Server, ServerHandle};
 use std::io::{Read, Write};
@@ -84,7 +84,9 @@ fn wrong_version_gets_typed_error() {
     let handle = live_server();
     let mut conn = connect(&handle);
     let mut bytes = Frame::empty(FrameType::Ping, 0).encode();
-    bytes[4] = VERSION + 1;
+    // Version 2 is the (valid) traced layout, so the first genuinely
+    // unsupported version is VERSION_TRACED + 1.
+    bytes[4] = VERSION_TRACED + 1;
     // Re-stamp the CRC so only the version is wrong.
     let crc_at = bytes.len() - 4;
     let crc = crc32(&bytes[..crc_at]);

@@ -1,8 +1,70 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, and the full test suite.
 # Run from anywhere inside the repository.
+#
+#   scripts/check.sh         # everything
+#   scripts/check.sh smoke   # only the serve smoke (CI runs this step
+#                            # separately so its artifacts upload on
+#                            # failure; SMOKE_DIR overrides the workdir)
 set -euo pipefail
 cd "$(git rev-parse --show-toplevel)"
+
+serve_smoke() {
+    echo "==> serve smoke (daemon + admin round-trip on ephemeral ports)"
+    cargo build -q -p incprof-cli
+    INCPROF="$(pwd)/target/debug/incprof"
+    if [ -z "${SMOKE_DIR:-}" ]; then
+        SMOKE_DIR="$(mktemp -d)"
+        trap 'rm -rf "$SMOKE_DIR"' EXIT
+    else
+        mkdir -p "$SMOKE_DIR"
+    fi
+    "$INCPROF" demo "$SMOKE_DIR/run.json" >/dev/null
+    # timeout(1) hard-bounds the whole exchange so a wedged daemon fails
+    # the gate instead of hanging it; the daemon picks its own ports and
+    # reports them through --addr-file / --admin-addr-file.
+    timeout 60 "$INCPROF" serve --addr 127.0.0.1:0 --addr-file "$SMOKE_DIR/addr.txt" \
+        --admin 127.0.0.1:0 --admin-addr-file "$SMOKE_DIR/admin.txt" \
+        >"$SMOKE_DIR/serve.log" 2>&1 &
+    SERVE_PID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$SMOKE_DIR/addr.txt" ] && [ -s "$SMOKE_DIR/admin.txt" ] && break
+        sleep 0.1
+    done
+    [ -s "$SMOKE_DIR/addr.txt" ] || { echo "serve smoke: daemon never bound"; exit 1; }
+    [ -s "$SMOKE_DIR/admin.txt" ] || { echo "serve smoke: admin socket never bound"; exit 1; }
+    ADDR="$(cat "$SMOKE_DIR/addr.txt")"
+    ADMIN="$(cat "$SMOKE_DIR/admin.txt")"
+    timeout 60 "$INCPROF" push "$ADDR" "$SMOKE_DIR/run.json" --analysis --keep-open \
+        >"$SMOKE_DIR/report.json"
+    grep -q '"phases"' "$SMOKE_DIR/report.json" \
+        || { echo "serve smoke: report has no phases"; cat "$SMOKE_DIR/report.json"; exit 1; }
+    # Admin plane: the scrape must be well-formed exposition that saw
+    # the push traffic, and the flight-recorder dump valid JSON. grep -v
+    # drops the CLI's trailing "top: 1 refresh(es) of ..." status line.
+    timeout 60 "$INCPROF" top "$ADMIN" --iterations 1 --raw \
+        | grep -v '^top: ' >"$SMOKE_DIR/scrape.txt"
+    grep -q '^# TYPE incprof_serve_frames_received counter$' "$SMOKE_DIR/scrape.txt" \
+        || { echo "serve smoke: scrape missing frame counter"; cat "$SMOKE_DIR/scrape.txt"; exit 1; }
+    grep -q '^incprof_session_snapshots{session="[0-9]*"} [1-9]' "$SMOKE_DIR/scrape.txt" \
+        || { echo "serve smoke: scrape has no session snapshots"; cat "$SMOKE_DIR/scrape.txt"; exit 1; }
+    awk '!/^# TYPE / && !/^[a-z_][a-z0-9_]*({[^}]*})? -?[0-9.]+(e-?[0-9]+)?$/ { bad=1; print "malformed:", $0 } END { exit bad }' \
+        "$SMOKE_DIR/scrape.txt" \
+        || { echo "serve smoke: malformed exposition line"; exit 1; }
+    timeout 60 "$INCPROF" top "$ADMIN" --iterations 1 --recorder >"$SMOKE_DIR/recorder.json"
+    grep -q '"total":' "$SMOKE_DIR/recorder.json" \
+        || { echo "serve smoke: recorder dump malformed"; cat "$SMOKE_DIR/recorder.json"; exit 1; }
+    timeout 60 "$INCPROF" top "$ADMIN" --iterations 1 --health | grep -q '"status":"ok"' \
+        || { echo "serve smoke: health not ok"; exit 1; }
+    timeout 60 "$INCPROF" push "$ADDR" "$SMOKE_DIR/run.json" --analysis --shutdown >/dev/null
+    wait "$SERVE_PID" || { echo "serve smoke: daemon exited non-zero"; cat "$SMOKE_DIR/serve.log"; exit 1; }
+}
+
+if [ "${1:-all}" = "smoke" ]; then
+    serve_smoke
+    echo "Serve smoke passed."
+    exit 0
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -22,28 +84,6 @@ cargo test --workspace -q
 echo "==> cache determinism (warm analysis byte-identical to cold)"
 cargo test -q -p incprof-suite --test cache_determinism
 
-echo "==> serve smoke (daemon round-trip on an ephemeral port)"
-cargo build -q -p incprof-cli
-INCPROF="$(pwd)/target/debug/incprof"
-SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
-"$INCPROF" demo "$SMOKE_DIR/run.json" >/dev/null
-# timeout(1) hard-bounds the whole exchange so a wedged daemon fails the
-# gate instead of hanging it; the daemon picks its own port and reports
-# it through --addr-file.
-timeout 60 "$INCPROF" serve --addr 127.0.0.1:0 --addr-file "$SMOKE_DIR/addr.txt" \
-    >"$SMOKE_DIR/serve.log" 2>&1 &
-SERVE_PID=$!
-for _ in $(seq 1 100); do
-    [ -s "$SMOKE_DIR/addr.txt" ] && break
-    sleep 0.1
-done
-[ -s "$SMOKE_DIR/addr.txt" ] || { echo "serve smoke: daemon never bound"; exit 1; }
-ADDR="$(cat "$SMOKE_DIR/addr.txt")"
-timeout 60 "$INCPROF" push "$ADDR" "$SMOKE_DIR/run.json" --analysis --shutdown \
-    >"$SMOKE_DIR/report.json"
-grep -q '"phases"' "$SMOKE_DIR/report.json" \
-    || { echo "serve smoke: report has no phases"; cat "$SMOKE_DIR/report.json"; exit 1; }
-wait "$SERVE_PID" || { echo "serve smoke: daemon exited non-zero"; cat "$SMOKE_DIR/serve.log"; exit 1; }
+serve_smoke
 
 echo "All checks passed."
