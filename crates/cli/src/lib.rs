@@ -17,6 +17,8 @@
 //!                                       daemon (docs/PROTOCOL.md)
 //! incprof push <addr> <dump.json>       replay a run dump into a daemon
 //!                                       and print its phase report
+//! incprof query <addr> <session-id>     print an existing (or disk-
+//!                                       recovered) session's report
 //! incprof collect <out.json> [opts]     wall-clock collection of a
 //!                                       synthetic workload until Ctrl-C
 //!
@@ -41,7 +43,7 @@
 #![forbid(unsafe_code)]
 
 mod serve_cmd;
-pub use serve_cmd::{collect_cmd, push_cmd, serve_cmd, top_cmd};
+pub use serve_cmd::{collect_cmd, push_cmd, query_cmd, serve_cmd, top_cmd};
 
 use incprof_cluster::{DbscanParams, KSelectionMethod};
 use incprof_collect::report_path::{clamp_monotone, parse_reports};
@@ -546,6 +548,7 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
         Some("lint") => lint_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
         Some("push") => push_cmd(&args[1..]),
+        Some("query") => query_cmd(&args[1..]),
         Some("collect") => collect_cmd(&args[1..]),
         Some("top") => top_cmd(&args[1..]),
         Some(other) => Err(CliError::Usage(format!("unknown command {other}\n{USAGE}"))),
@@ -574,7 +577,11 @@ incprof — source-oriented phase identification (IncProf, CLUSTER 2022)
                 [--no-analysis-cache]
                 [--admin host:port | --admin-unix path]
                 [--admin-addr-file path] [--final-scrape path]
-  incprof push <addr> <dump.json> [--analysis] [--keep-open] [--shutdown]
+                [--store-dir dir] [--retention hot=H,stride=S[,max_bytes=B]]
+                [--max-live n] [--checkpoint-every n]
+  incprof push <addr> <dump.json> [--analysis] [--keep-open]
+               [--session-file path] [--shutdown]
+  incprof query <addr> <session-id> [--analysis] [--close] [--shutdown]
   incprof collect <out.json> [--interval-ms n] [--max-samples n]
   incprof top <admin-addr> [--interval-ms n] [--iterations n]
               [--raw] [--recorder] [--health]

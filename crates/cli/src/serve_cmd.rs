@@ -9,7 +9,7 @@
 
 use crate::{CliError, RunDump};
 use incprof_serve::signal;
-use incprof_serve::{BindAddr, Client, ServeConfig, Server};
+use incprof_serve::{BindAddr, Client, RetentionPolicy, ServeConfig, Server};
 use std::path::{Path, PathBuf};
 
 fn take(args: &[String], i: &mut usize, what: &str) -> Result<String, CliError> {
@@ -30,11 +30,24 @@ where
 /// `incprof serve [--addr host:port | --unix path] [--workers n]
 /// [--max-sessions n] [--max-pending n] [--addr-file path]
 /// [--no-analysis-cache] [--admin host:port | --admin-unix path]
-/// [--admin-addr-file path] [--final-scrape path]`.
+/// [--admin-addr-file path] [--final-scrape path]
+/// [--store-dir dir] [--retention spec] [--max-live n]
+/// [--checkpoint-every n]`.
 ///
 /// `--no-analysis-cache` disables the per-session incremental analysis
 /// cache, recomputing the full phase analysis on every report query
 /// (useful to bound memory or to A/B the cache's byte-identity).
+///
+/// `--store-dir <dir>` makes sessions durable: every accepted snapshot
+/// is appended to a per-session on-disk log, sessions found under the
+/// directory at startup are re-adopted (queryable by their old ids
+/// after a restart), and `--max-live <n>` bounds how many sessions stay
+/// resident in memory — the idlest ones beyond the cap are checkpointed
+/// and evicted, to be rehydrated transparently on their next frame.
+/// `--retention hot=H,stride=S[,max_bytes=B]` downsamples old log
+/// records (see docs/PERSISTENCE.md); the default keeps everything.
+/// `--checkpoint-every <n>` sets how many appended snapshots elapse
+/// between analysis-state checkpoints (default 16).
 ///
 /// `--admin` (or `--admin-unix`) binds the read-only admin socket:
 /// Prometheus scrape, trace-tree lookup, flight-recorder dump, and
@@ -88,6 +101,23 @@ pub fn serve_cmd(args: &[String]) -> Result<String, CliError> {
             "--final-scrape" => {
                 final_scrape = Some(PathBuf::from(take(args, &mut i, "--final-scrape")?));
             }
+            "--store-dir" => {
+                config.store_dir = Some(PathBuf::from(take(args, &mut i, "--store-dir")?));
+            }
+            "--retention" => {
+                let spec = take(args, &mut i, "--retention")?;
+                config.retention = RetentionPolicy::parse(&spec)
+                    .map_err(|e| CliError::Usage(format!("bad --retention spec {spec:?}: {e}")))?;
+            }
+            "--max-live" => {
+                config.max_live = parse_num(&take(args, &mut i, "--max-live")?, "--max-live")?;
+            }
+            "--checkpoint-every" => {
+                config.checkpoint_every = parse_num(
+                    &take(args, &mut i, "--checkpoint-every")?,
+                    "--checkpoint-every",
+                )?;
+            }
             other => return Err(CliError::Usage(format!("unknown serve option {other}"))),
         }
         i += 1;
@@ -95,6 +125,11 @@ pub fn serve_cmd(args: &[String]) -> Result<String, CliError> {
     if admin_addr_file.is_some() && config.admin.is_none() {
         return Err(CliError::Usage(
             "--admin-addr-file needs --admin or --admin-unix".into(),
+        ));
+    }
+    if config.store_dir.is_none() && (!config.retention.is_keep_all() || config.max_live != 0) {
+        return Err(CliError::Usage(
+            "--retention and --max-live need --store-dir".into(),
         ));
     }
 
@@ -310,24 +345,32 @@ fn render_top(scrape: &str, addr: &str) -> String {
 }
 
 /// `incprof push <addr> <dump.json> [--analysis] [--keep-open]
-/// [--shutdown]`.
+/// [--session-file path] [--shutdown]`.
 ///
 /// Replays a collected run dump into a live daemon: opens a session,
 /// streams every cumulative snapshot as a gmon-encoded frame (with
 /// bounded busy-retry), and prints the session's JSON report —
 /// `--analysis` asks for the offline-identical `PhaseAnalysis` document
-/// instead of the full online report. `--shutdown` asks the daemon to
-/// exit afterwards (used by the check-script smoke step).
+/// instead of the full online report. `--session-file <path>` writes
+/// the session id (scripts pair it with `--keep-open` so a later
+/// `incprof query` can address the same session, e.g. across a daemon
+/// restart). `--shutdown` asks the daemon to exit afterwards (used by
+/// the check-script smoke step).
 pub fn push_cmd(args: &[String]) -> Result<String, CliError> {
     let mut addr: Option<String> = None;
     let mut dump_path: Option<PathBuf> = None;
     let mut analysis = false;
     let mut keep_open = false;
+    let mut session_file: Option<PathBuf> = None;
     let mut shutdown = false;
-    for arg in args {
-        match arg.as_str() {
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
             "--analysis" => analysis = true,
             "--keep-open" => keep_open = true,
+            "--session-file" => {
+                session_file = Some(PathBuf::from(take(args, &mut i, "--session-file")?));
+            }
             "--shutdown" => shutdown = true,
             flag if flag.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown push option {flag}")));
@@ -340,6 +383,7 @@ pub fn push_cmd(args: &[String]) -> Result<String, CliError> {
                 )));
             }
         }
+        i += 1;
     }
     let addr = addr.ok_or_else(|| CliError::Usage("push <addr> <dump.json>".into()))?;
     let dump_path = dump_path.ok_or_else(|| CliError::Usage("push <addr> <dump.json>".into()))?;
@@ -347,6 +391,9 @@ pub fn push_cmd(args: &[String]) -> Result<String, CliError> {
     let dump = load_dump(&dump_path)?;
     let mut client = Client::connect(&addr).map_err(client_err)?;
     let session = client.open().map_err(client_err)?;
+    if let Some(path) = &session_file {
+        std::fs::write(path, session.to_string())?;
+    }
     for snap in dump.series.snapshots() {
         let gmon = snap.to_gmon(&dump.table);
         client.push_retry(session, &gmon, 50).map_err(client_err)?;
@@ -357,6 +404,58 @@ pub fn push_cmd(args: &[String]) -> Result<String, CliError> {
         client.query_report(session).map_err(client_err)?
     };
     if !keep_open {
+        client.close(session).map_err(client_err)?;
+    }
+    if shutdown {
+        client.shutdown_server().map_err(client_err)?;
+    }
+    Ok(report)
+}
+
+/// `incprof query <addr> <session-id> [--analysis] [--close]
+/// [--shutdown]`.
+///
+/// Asks a live daemon for the report of an *existing* session by id and
+/// prints the JSON. Unlike `incprof push` (which always opens a fresh
+/// session), this addresses a session that is already open — or, on a
+/// daemon started with `--store-dir`, one recovered from disk after a
+/// restart, which is rehydrated transparently by the query. `--close`
+/// closes the session afterwards; `--shutdown` asks the daemon to exit.
+pub fn query_cmd(args: &[String]) -> Result<String, CliError> {
+    let mut addr: Option<String> = None;
+    let mut session: Option<u64> = None;
+    let mut analysis = false;
+    let mut close = false;
+    let mut shutdown = false;
+    for arg in args {
+        match arg.as_str() {
+            "--analysis" => analysis = true,
+            "--close" => close = true,
+            "--shutdown" => shutdown = true,
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown query option {flag}")));
+            }
+            positional if addr.is_none() => addr = Some(positional.to_string()),
+            positional if session.is_none() => {
+                session = Some(parse_num(positional, "session id")?);
+            }
+            extra => {
+                return Err(CliError::Usage(format!(
+                    "unexpected extra query argument {extra}"
+                )));
+            }
+        }
+    }
+    let addr = addr.ok_or_else(|| CliError::Usage("query <addr> <session-id>".into()))?;
+    let session = session.ok_or_else(|| CliError::Usage("query <addr> <session-id>".into()))?;
+
+    let mut client = Client::connect(&addr).map_err(client_err)?;
+    let report = if analysis {
+        client.query_analysis(session).map_err(client_err)?
+    } else {
+        client.query_report(session).map_err(client_err)?
+    };
+    if close {
         client.close(session).map_err(client_err)?;
     }
     if shutdown {

@@ -37,4 +37,4 @@ pub mod series_io;
 pub use aggregate::{representative_rank, FunctionAggregate, RankAggregate};
 pub use collector::{CollectorConfig, IncProfCollector};
 pub use matrix::IntervalMatrix;
-pub use series::SampleSeries;
+pub use series::{OutOfOrder, SampleSeries};

@@ -10,6 +10,28 @@ pub struct SampleSeries {
     snapshots: Vec<ProfileSnapshot>,
 }
 
+/// Rejected [`SampleSeries::append_monotonic`]: the snapshot's
+/// `sample_index` did not advance past the last one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfOrder {
+    /// The offending snapshot's index.
+    pub index: u64,
+    /// The series' current last index.
+    pub last: u64,
+}
+
+impl std::fmt::Display for OutOfOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "snapshot index {} does not advance past {}",
+            self.index, self.last
+        )
+    }
+}
+
+impl std::error::Error for OutOfOrder {}
+
 impl SampleSeries {
     /// Empty series.
     pub fn new() -> SampleSeries {
@@ -28,6 +50,42 @@ impl SampleSeries {
             snap.sample_index
         );
         self.snapshots.push(snap);
+    }
+
+    /// Append a snapshot whose `sample_index` need only be strictly
+    /// greater than the last one — the gap-tolerant variant of
+    /// [`SampleSeries::push`] for series rebuilt from a retention-trimmed
+    /// snapshot log, where original indices survive but positions do not.
+    ///
+    /// Returns [`OutOfOrder`] when the index does not advance, leaving
+    /// the series unchanged.
+    pub fn append_monotonic(&mut self, snap: ProfileSnapshot) -> Result<(), OutOfOrder> {
+        if let Some(last) = self.snapshots.last() {
+            if snap.sample_index <= last.sample_index {
+                return Err(OutOfOrder {
+                    index: snap.sample_index,
+                    last: last.sample_index,
+                });
+            }
+        }
+        self.snapshots.push(snap);
+        Ok(())
+    }
+
+    /// Remove the snapshots with the given original `sample_index`es (a
+    /// retention trim), preserving the order of the survivors. Indices
+    /// not present are ignored. Returns how many snapshots were removed.
+    ///
+    /// Snapshots are cumulative, so dropping interior samples merges the
+    /// adjacent intervals rather than losing totals — the surviving
+    /// series still deltas cleanly.
+    pub fn remove_sample_indices(&mut self, drop: &[u64]) -> usize {
+        if drop.is_empty() {
+            return 0;
+        }
+        let before = self.snapshots.len();
+        self.snapshots.retain(|s| !drop.contains(&s.sample_index));
+        before - self.snapshots.len()
     }
 
     /// Number of cumulative samples collected.
@@ -197,5 +255,34 @@ mod tests {
         let deltas = SampleSeries::deltas_of(&[a, b]).unwrap();
         assert_eq!(deltas[1].get(FunctionId(0)).self_time, 4);
         assert_eq!(deltas[1].get(FunctionId(0)).calls, 1);
+    }
+    #[test]
+    fn append_monotonic_allows_gaps_but_not_regressions() {
+        let mut series = SampleSeries::new();
+        series.append_monotonic(snap(0, &[(0, 10, 1)])).unwrap();
+        series.append_monotonic(snap(4, &[(0, 20, 2)])).unwrap();
+        series.append_monotonic(snap(7, &[(0, 30, 3)])).unwrap();
+        assert_eq!(series.len(), 3);
+        let err = series.append_monotonic(snap(7, &[])).unwrap_err();
+        assert_eq!(err, OutOfOrder { index: 7, last: 7 });
+        assert!(series.append_monotonic(snap(2, &[])).is_err());
+        assert_eq!(series.len(), 3, "rejected snapshots must not land");
+    }
+
+    #[test]
+    fn remove_sample_indices_trims_by_original_index() {
+        let mut series = SampleSeries::new();
+        for i in [0u64, 2, 5, 6, 9] {
+            series
+                .append_monotonic(snap(i, &[(0, (i + 1) * 10, i + 1)]))
+                .unwrap();
+        }
+        let removed = series.remove_sample_indices(&[2, 6, 42]);
+        assert_eq!(removed, 2, "unknown indices are ignored");
+        let left: Vec<u64> = series.snapshots().iter().map(|s| s.sample_index).collect();
+        assert_eq!(left, vec![0, 5, 9]);
+        // The trimmed cumulative series still deltas cleanly.
+        assert_eq!(series.interval_profiles().unwrap().len(), 3);
+        assert_eq!(series.remove_sample_indices(&[]), 0);
     }
 }

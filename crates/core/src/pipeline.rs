@@ -12,7 +12,7 @@ use incprof_cluster::{
 };
 use incprof_collect::{IntervalMatrix, SampleSeries};
 use incprof_profile::{FunctionTable, ProfileError};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which clustering algorithm drives phase detection.
@@ -123,7 +123,7 @@ impl Default for PhaseDetector {
 
 /// The pipeline's output: phases with selected instrumentation sites,
 /// plus the per-k diagnostics used for reporting and ablations.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PhaseAnalysis {
     /// Number of phases detected.
     pub k: usize,

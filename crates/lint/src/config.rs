@@ -34,7 +34,7 @@ pub const D04_CRATES: &[&str] = &["profile", "cluster", "core", "collect", "apps
 /// `apps`) are excluded: their unwraps terminate a tool, not a library
 /// caller.
 pub const P01_CRATES: &[&str] = &[
-    "profile", "cluster", "core", "collect", "runtime", "obs", "par", "lint", "serve",
+    "profile", "cluster", "core", "collect", "runtime", "obs", "par", "lint", "serve", "store",
 ];
 
 /// O01: crates exempt from the literal-name ban. Only `obs` itself,

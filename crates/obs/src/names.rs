@@ -183,6 +183,34 @@ pub const SERVE_TRACE_OBSERVE: &str = "serve.trace.observe";
 pub const SERVE_TRACE_QUERY: &str = "serve.trace.query";
 
 // ---------------------------------------------------------------------
+// store (durable session logs, checkpoints, eviction)
+// ---------------------------------------------------------------------
+
+/// Counter: snapshot records appended to session logs.
+pub const STORE_APPENDS: &str = "store.log.appends";
+/// Counter: bytes appended to session logs (encoded record bytes).
+pub const STORE_BYTES_APPENDED: &str = "store.log.bytes_appended";
+/// Counter: retention-triggered log compactions (rewrites).
+pub const STORE_COMPACTIONS: &str = "store.log.compactions";
+/// Counter: snapshot records dropped by the retention policy.
+pub const STORE_RECORDS_DROPPED: &str = "store.log.records_dropped";
+/// Counter: torn log tails truncated during recovery.
+pub const STORE_TORN_TAILS: &str = "store.log.torn_tails";
+/// Counter: log appends that failed with an I/O error (the session
+/// continues in memory only).
+pub const STORE_APPEND_ERRORS: &str = "store.log.append_errors";
+/// Counter: analysis checkpoints written.
+pub const STORE_CHECKPOINTS: &str = "store.checkpoint.writes";
+/// Counter: checkpoints discarded at rehydration (stale coverage or a
+/// memo that failed the byte-identity round-trip); the session replays
+/// from the log instead.
+pub const STORE_CHECKPOINTS_REJECTED: &str = "store.checkpoint.rejected";
+/// Counter: sessions rehydrated from disk.
+pub const STORE_REHYDRATIONS: &str = "store.session.rehydrations";
+/// Counter: idle sessions evicted from memory to disk (LRU).
+pub const STORE_EVICTIONS: &str = "store.session.evictions";
+
+// ---------------------------------------------------------------------
 // registry table
 // ---------------------------------------------------------------------
 
@@ -243,6 +271,16 @@ pub const ALL: &[&str] = &[
     SERVE_TRACE_SNAPSHOT,
     SERVE_TRACE_OBSERVE,
     SERVE_TRACE_QUERY,
+    STORE_APPENDS,
+    STORE_BYTES_APPENDED,
+    STORE_COMPACTIONS,
+    STORE_RECORDS_DROPPED,
+    STORE_TORN_TAILS,
+    STORE_APPEND_ERRORS,
+    STORE_CHECKPOINTS,
+    STORE_CHECKPOINTS_REJECTED,
+    STORE_REHYDRATIONS,
+    STORE_EVICTIONS,
 ];
 
 #[cfg(test)]

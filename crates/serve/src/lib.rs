@@ -14,9 +14,14 @@
 //!
 //! - [`frame`] — the pure, clock-free binary frame codec
 //!   (`MAGIC | version | type | session_id | len | payload | crc32`)
-//!   shared by client and server.
+//!   shared by client, server, and the on-disk snapshot log (it lives
+//!   in `incprof-store` and is re-exported here).
+//! - `incprof-store` — the durable session store behind
+//!   `--store-dir`: append-only snapshot logs, advisory analysis
+//!   checkpoints, tiered retention (format: `docs/PERSISTENCE.md`).
 //! - [`session`] — per-run state and the concurrent session registry,
-//!   with bounded ingest queues and fault isolation.
+//!   with bounded ingest queues, fault isolation, and — when a store
+//!   is attached — LRU eviction plus transparent rehydration.
 //! - [`server`] — the daemon: accept loop, bounded worker pool,
 //!   backpressure, graceful drain-on-shutdown.
 //! - [`mod@admin`] — the optional read-only admin listener: Prometheus
@@ -42,5 +47,6 @@ pub mod signal;
 
 pub use client::{retry_backoff, Client, ClientError, Push};
 pub use frame::{ErrorCode, ErrorInfo, Frame, FrameError, FrameType, SnapshotAck, TraceWire};
+pub use incprof_store::{RetentionPolicy, Store};
 pub use server::{BindAddr, ServeConfig, Server, ServerHandle};
 pub use session::{Registry, ReportMode, SessionStats};

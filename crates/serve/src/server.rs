@@ -27,10 +27,11 @@ use crate::frame::{
     read_frame, write_frame, ErrorCode, ErrorInfo, Frame, FrameType, ReadOutcome, SnapshotAck,
     DEFAULT_MAX_PAYLOAD,
 };
-use crate::session::{lock, Enqueue, Registry, ReportMode};
+use crate::session::{lock, Enqueue, Registry, ReportMode, Session};
 use incprof_core::online::OnlineConfig;
 use incprof_core::PhaseDetector;
 use incprof_profile::GmonData;
+use incprof_store::{RetentionPolicy, Store};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -81,6 +82,18 @@ pub struct ServeConfig {
     /// Optional read-only admin listener (scrape, trace lookup, flight
     /// recorder, health). `None` = no admin surface.
     pub admin: Option<BindAddr>,
+    /// Root directory for durable session storage (`--store-dir`).
+    /// `None` runs memory-only; sessions die with the daemon.
+    pub store_dir: Option<PathBuf>,
+    /// Tiered retention applied to each session's snapshot log (only
+    /// meaningful with a store). Default keeps everything.
+    pub retention: RetentionPolicy,
+    /// With a store: evict the most idle sessions to disk once more
+    /// than this many are live (0 = never evict).
+    pub max_live: usize,
+    /// With a store: write an analysis checkpoint after this many
+    /// appended snapshots (clamped to at least 1).
+    pub checkpoint_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +111,10 @@ impl Default for ServeConfig {
             online: OnlineConfig::default(),
             analysis_cache: true,
             admin: None,
+            store_dir: None,
+            retention: RetentionPolicy::keep_all(),
+            max_live: 0,
+            checkpoint_every: 16,
         }
     }
 }
@@ -207,12 +224,24 @@ impl Server {
             Some(spec) => Some(bind_addr(spec)?),
             None => None,
         };
-        let registry = Registry::new(
+        let mut registry = Registry::new(
             config.online.clone(),
             config.max_sessions,
             config.max_pending,
             config.analysis_cache,
         );
+        if let Some(dir) = &config.store_dir {
+            let store = Store::open(dir, config.retention, config.checkpoint_every)?;
+            registry = registry.with_store(store, config.max_live);
+            let recovered = registry.recover();
+            if !recovered.is_empty() {
+                incprof_obs::info!(
+                    "store: {} session(s) recoverable under {}",
+                    recovered.len(),
+                    dir.display()
+                );
+            }
+        }
         let shared = Arc::new(Shared {
             config,
             registry,
@@ -486,6 +515,12 @@ fn dispatch(conn: &mut Conn, shared: &Shared, frame: Frame) -> bool {
                 let _ = lock(&session).drain();
                 send(conn, &Frame::empty(FrameType::CloseAck, frame.session_id))
             }
+            // Not live — but a store may still hold it (evicted or
+            // recovered-but-untouched): closing deletes the durable
+            // state without paying for a rehydration first.
+            None if shared.registry.purge(frame.session_id) => {
+                send(conn, &Frame::empty(FrameType::CloseAck, frame.session_id))
+            }
             None => send_error(
                 conn,
                 frame.session_id,
@@ -515,6 +550,13 @@ fn dispatch(conn: &mut Conn, shared: &Shared, frame: Frame) -> bool {
                 &format!("{:?} is admin-only; use the admin socket", frame.frame_type),
             )
         }
+        // Checkpoint frames exist only inside session stores on disk.
+        FrameType::Checkpoint => send_error(
+            conn,
+            frame.session_id,
+            ErrorCode::BadType,
+            "Checkpoint is an on-disk record type, not a wire request",
+        ),
         // A reply type arriving as a request is a confused peer.
         FrameType::OpenAck
         | FrameType::SnapshotAck
@@ -578,56 +620,70 @@ fn handle_snapshot(conn: &mut Conn, shared: &Shared, frame: &Frame) -> bool {
             );
         }
     };
-    let Some(session) = shared.registry.get(frame.session_id) else {
-        return send_error(
+    let sample_index = gmon.sample_index;
+    let mut gmon = Some(gmon);
+    // Enqueue and drain under one lock hold: the queue bound gives
+    // overflow a BUSY answer, and atomicity guarantees this worker
+    // drains (and can ack) the frame it just enqueued.
+    let handled = with_session(shared, frame.session_id, |session| {
+        let sent = match session.enqueue(
+            // lint: allow(P01, with_session invokes its closure at most once, so the Option is always populated here)
+            gmon.take().expect("with_session runs its closure once"),
+            received_at,
+        ) {
+            Err(e) => send_error_info(conn, frame.session_id, &e),
+            Ok(Enqueue::Busy) => {
+                incprof_obs::counter(incprof_obs::names::SERVE_BUSY_REPLIES).inc();
+                incprof_obs::recorder().record(
+                    incprof_obs::EventKind::BusyReply,
+                    frame.session_id,
+                    BUSY_SESSION_QUEUE,
+                );
+                send(conn, &Frame::empty(FrameType::Busy, frame.session_id))
+            }
+            Ok(Enqueue::Accepted) => match session.drain_traced(traced) {
+                Err(e) => send_error_info(conn, frame.session_id, &e),
+                Ok(acks) => {
+                    let Some(ack) = acks.iter().find(|a| a.sample_index == sample_index) else {
+                        return send_error(
+                            conn,
+                            frame.session_id,
+                            ErrorCode::Internal,
+                            "drained batch missed the enqueued frame",
+                        );
+                    };
+                    let payload = SnapshotAck {
+                        interval: ack.sample_index,
+                        phase: ack.observation.phase as u32,
+                        new_phase: ack.observation.new_phase,
+                        transition: ack.observation.transition,
+                        capped: ack.observation.capped,
+                    }
+                    .encode();
+                    send(
+                        conn,
+                        &Frame::with_payload(FrameType::SnapshotAck, frame.session_id, payload),
+                    )
+                }
+            },
+        };
+        session.maybe_checkpoint();
+        sent
+    });
+    let replied = match handled {
+        Some(sent) => sent,
+        None => send_error(
             conn,
             frame.session_id,
             ErrorCode::UnknownSession,
             &format!("no session {}", frame.session_id),
-        );
+        ),
     };
-    let sample_index = gmon.sample_index;
-    // Enqueue and drain under one lock hold: the queue bound gives
-    // overflow a BUSY answer, and atomicity guarantees this worker
-    // drains (and can ack) the frame it just enqueued.
-    let mut session = lock(&session);
-    match session.enqueue(gmon, received_at) {
-        Err(e) => send_error_info(conn, frame.session_id, &e),
-        Ok(Enqueue::Busy) => {
-            incprof_obs::counter(incprof_obs::names::SERVE_BUSY_REPLIES).inc();
-            incprof_obs::recorder().record(
-                incprof_obs::EventKind::BusyReply,
-                frame.session_id,
-                BUSY_SESSION_QUEUE,
-            );
-            send(conn, &Frame::empty(FrameType::Busy, frame.session_id))
-        }
-        Ok(Enqueue::Accepted) => match session.drain_traced(traced) {
-            Err(e) => send_error_info(conn, frame.session_id, &e),
-            Ok(acks) => {
-                let Some(ack) = acks.iter().find(|a| a.sample_index == sample_index) else {
-                    return send_error(
-                        conn,
-                        frame.session_id,
-                        ErrorCode::Internal,
-                        "drained batch missed the enqueued frame",
-                    );
-                };
-                let payload = SnapshotAck {
-                    interval: ack.sample_index,
-                    phase: ack.observation.phase as u32,
-                    new_phase: ack.observation.new_phase,
-                    transition: ack.observation.transition,
-                    capped: ack.observation.capped,
-                }
-                .encode();
-                send(
-                    conn,
-                    &Frame::with_payload(FrameType::SnapshotAck, frame.session_id, payload),
-                )
-            }
-        },
-    }
+    // Pushes grow the live set (transparent rehydration included), so
+    // this is where the LRU bound is re-established. No-op without a
+    // store or an eviction limit.
+    shared.registry.maybe_evict(Instant::now());
+    replied
 }
 
 /// Flight-recorder `b` tag on [`incprof_obs::EventKind::BusyReply`]:
@@ -660,7 +716,15 @@ fn handle_query(conn: &mut Conn, shared: &Shared, frame: &Frame) -> bool {
             );
         }
     };
-    let Some(session) = shared.registry.get(frame.session_id) else {
+    let json = with_session(shared, frame.session_id, |session| {
+        session.touch(received_at);
+        let json = session.report_json(&shared.config.detector, mode);
+        // The cache is freshest right after a report; a due checkpoint
+        // written here rehydrates warm.
+        session.maybe_checkpoint();
+        json
+    });
+    let Some(json) = json else {
         return send_error(
             conn,
             frame.session_id,
@@ -668,15 +732,33 @@ fn handle_query(conn: &mut Conn, shared: &Shared, frame: &Frame) -> bool {
             &format!("no session {}", frame.session_id),
         );
     };
-    let json = {
-        let mut session = lock(&session);
-        session.touch(received_at);
-        session.report_json(&shared.config.detector, mode)
-    };
     send(
         conn,
         &Frame::with_payload(FrameType::Report, frame.session_id, json.into_bytes()),
     )
+}
+
+/// Fetch session `id` and run `f` on it under its lock, transparently
+/// rehydrating from the store when needed. The evicted check happens
+/// under the same lock `f` runs under — eviction marks a session while
+/// holding that lock — so `f` can never mutate an object the registry
+/// has already handed over to disk; a stale `Arc` is dropped and the
+/// lookup retried. Returns `None` when the session exists nowhere.
+fn with_session<R>(shared: &Shared, id: u64, f: impl FnOnce(&mut Session) -> R) -> Option<R> {
+    let mut f = Some(f);
+    // Two iterations suffice in practice (fetch, lose the eviction race
+    // at most once, rehydrate); the bound is paranoia against a pathological
+    // evict/touch interleave, after which the client simply retries.
+    for _ in 0..4 {
+        let session = shared.registry.get(id)?;
+        let mut session = lock(&session);
+        if session.is_evicted() {
+            continue;
+        }
+        // lint: allow(P01, the loop returns on the same iteration it takes the closure, so it is taken at most once)
+        return Some(f.take().expect("closure consumed once")(&mut session));
+    }
+    None
 }
 
 /// Write a frame, counting it; returns false when the peer is gone.

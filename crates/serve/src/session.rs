@@ -19,6 +19,7 @@ use incprof_collect::SampleSeries;
 use incprof_core::online::{OnlineConfig, OnlineObservation, OnlinePhaseDetector};
 use incprof_core::{AnalysisCache, PhaseDetector};
 use incprof_profile::{FlatProfile, FunctionTable, GmonData, ProfileSnapshot};
+use incprof_store::{LogReplay, SessionStore, Store};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
@@ -85,6 +86,20 @@ pub struct Session {
     /// Stamped from caller-provided instants so this module stays free
     /// of direct clock reads.
     last_activity: Option<Instant>,
+    /// The next expected `sample_index`. Tracked explicitly rather than
+    /// derived from `series.len()` because tiered retention can trim old
+    /// snapshots out of the series without resetting the stream's index
+    /// space.
+    next_index: u64,
+    /// Durable backing for this session's snapshot log and checkpoint.
+    /// `None` when the daemon runs memory-only, or after an append error
+    /// dropped persistence for this session (the stream continues in
+    /// memory; the divergent log must not accept further records).
+    persist: Option<SessionStore>,
+    /// Set when the registry evicts this object to disk while a worker
+    /// still holds its `Arc`: the worker must re-fetch (and rehydrate)
+    /// instead of mutating a session the registry no longer owns.
+    evicted: bool,
 }
 
 /// One session's vitals, snapshotted for the admin scrape and
@@ -122,7 +137,62 @@ impl Session {
             fault: None,
             cache: analysis_cache.then(AnalysisCache::new),
             last_activity: None,
+            next_index: 0,
+            persist: None,
+            evicted: false,
         }
+    }
+
+    /// Rebuild a session from its durable state: replay every retained
+    /// snapshot through a fresh online detector (exactly the drain path,
+    /// so the rebuilt timeline matches the live one), then adopt the
+    /// analysis checkpoint *iff* it provably covers a prefix of the
+    /// rebuilt series — otherwise the checkpoint is discarded and the
+    /// first query recomputes cold, which yields the same bytes.
+    fn rehydrate(
+        id: u64,
+        online: OnlineConfig,
+        max_pending: usize,
+        analysis_cache: bool,
+        store: SessionStore,
+        replay: LogReplay,
+        checkpoint: Option<Vec<u8>>,
+    ) -> Session {
+        let mut s = Session::new(id, online, max_pending, analysis_cache);
+        for gmon in &replay.snapshots {
+            let interval = match gmon.flat.delta(&s.prev_flat) {
+                Ok(interval) => interval,
+                Err(e) => {
+                    // The log only ever holds snapshots that delta'd
+                    // cleanly when appended, so this means on-disk
+                    // corruption past the frame CRC; keep the good
+                    // prefix and fault the tail, as live ingest would.
+                    s.fault = Some(format!("log replay: {e}"));
+                    break;
+                }
+            };
+            s.online.observe(&interval);
+            s.prev_flat = gmon.flat.clone();
+            s.table = gmon.functions.clone();
+            s.next_index = gmon.sample_index + 1;
+            s.series
+                .append_monotonic(ProfileSnapshot::from_gmon(gmon))
+                // lint: allow(P01, SnapshotLog::open validated strictly increasing indices; regression here is log-layer corruption and must abort loudly)
+                .expect("snapshot log replay yields strictly increasing indices");
+        }
+        if let (Some(blob), Some(slot)) = (checkpoint, s.cache.as_mut()) {
+            match AnalysisCache::decode_state(&blob) {
+                Some(cache) if checkpoint_covers(&cache, &s.series) => *slot = cache,
+                _ => {
+                    incprof_obs::counter(incprof_obs::names::STORE_CHECKPOINTS_REJECTED).inc();
+                    incprof_obs::warn!(
+                        "session {id}: discarding analysis checkpoint (stale or undecodable); first query replays cold"
+                    );
+                }
+            }
+        }
+        s.persist = Some(store);
+        s
     }
 
     /// The session id.
@@ -149,7 +219,7 @@ impl Session {
                 format!("session {} is faulted: {why}", self.id),
             ));
         }
-        let expected = (self.series.len() + self.pending.len()) as u64;
+        let expected = self.next_index + self.pending.len() as u64;
         if gmon.sample_index != expected {
             return Err(ErrorInfo::new(
                 ErrorCode::OutOfOrder,
@@ -214,7 +284,12 @@ impl Session {
             self.prev_flat = p.gmon.flat.clone();
             self.table = p.gmon.functions.clone();
             let sample_index = p.gmon.sample_index;
-            self.series.push(ProfileSnapshot::from_gmon(&p.gmon));
+            self.next_index = sample_index + 1;
+            self.series
+                .append_monotonic(ProfileSnapshot::from_gmon(&p.gmon))
+                // lint: allow(P01, enqueue rejects any index at or below next_index-1, so drained indices strictly increase)
+                .expect("enqueue enforces strictly increasing sample indices");
+            self.persist_snapshot(sample_index, &p.gmon);
             incprof_obs::histogram(incprof_obs::names::SERVE_INGEST_DETECT_LATENCY_NS)
                 .record(p.enqueued_at.elapsed().as_nanos() as u64);
             acks.push(IngestAck {
@@ -305,6 +380,96 @@ impl Session {
     pub fn series(&self) -> &SampleSeries {
         &self.series
     }
+
+    /// Whether the registry evicted this object while a worker still
+    /// held its `Arc`. A true value means: drop this handle and re-fetch
+    /// from the registry, which rehydrates the durable state.
+    pub fn is_evicted(&self) -> bool {
+        self.evicted
+    }
+
+    /// True when nothing is waiting in the ingest queue (an eviction
+    /// precondition: queued frames exist only in memory).
+    pub(crate) fn pending_is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Whether this session still has healthy durable backing.
+    pub(crate) fn persist_healthy(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Append one drained snapshot to the durable log, mirroring any
+    /// retention drops onto the in-memory series so a later rehydration
+    /// (which only sees retained records) rebuilds exactly this state.
+    /// An I/O error drops persistence for the session — the divergent
+    /// log must not accept further records — but ingest continues in
+    /// memory.
+    fn persist_snapshot(&mut self, sample_index: u64, gmon: &GmonData) {
+        let Some(store) = self.persist.as_mut() else {
+            return;
+        };
+        match store.append_snapshot(sample_index, &gmon.encode()) {
+            Ok(outcome) => {
+                if !outcome.dropped.is_empty() {
+                    self.series.remove_sample_indices(&outcome.dropped);
+                }
+            }
+            Err(e) => {
+                incprof_obs::counter(incprof_obs::names::STORE_APPEND_ERRORS).inc();
+                incprof_obs::warn!(
+                    "session {}: snapshot log append failed ({e}); continuing memory-only",
+                    self.id
+                );
+                self.persist = None;
+            }
+        }
+    }
+
+    /// Write an analysis checkpoint if the append cadence says one is
+    /// due. Called after drains and queries; cheap no-op otherwise.
+    pub fn maybe_checkpoint(&mut self) {
+        if self.persist.as_ref().is_some_and(|p| p.checkpoint_due()) {
+            self.force_checkpoint();
+        }
+    }
+
+    /// Write an analysis checkpoint now (eviction / graceful shutdown).
+    /// Checkpoints are advisory, so a write failure only warns: the
+    /// snapshot log remains the source of truth.
+    pub fn force_checkpoint(&mut self) {
+        let (Some(store), Some(cache)) = (self.persist.as_mut(), self.cache.as_ref()) else {
+            return;
+        };
+        if let Err(e) = store.write_checkpoint(cache.encode_state()) {
+            incprof_obs::warn!("session {}: checkpoint write failed: {e}", self.id);
+        }
+    }
+
+    /// Mark this object as evicted and release its durable handles so
+    /// the rehydrated successor owns the log exclusively.
+    fn evict(&mut self) {
+        self.evicted = true;
+        self.persist = None;
+    }
+}
+
+/// Whether a decoded checkpoint provably covers a prefix of `series`.
+///
+/// The cached deltas span positions `0..covered_len()`; the snapshot at
+/// the frontier must match the checkpoint's recorded identity. Because
+/// sample indices are strictly increasing and order-preserving, any
+/// retention trim inside the covered prefix after the checkpoint was
+/// written shifts a *different* snapshot into the frontier position, so
+/// this single comparison detects every misalignment.
+fn checkpoint_covers(cache: &AnalysisCache, series: &SampleSeries) -> bool {
+    match cache.covered_len() {
+        0 => true,
+        c => series
+            .snapshots()
+            .get(c - 1)
+            .is_some_and(|s| cache.covered() == Some((s.sample_index, s.timestamp_ns))),
+    }
 }
 
 fn json_usize_array(values: &[usize]) -> String {
@@ -338,6 +503,12 @@ pub struct Registry {
     max_sessions: usize,
     max_pending: usize,
     analysis_cache: bool,
+    /// Durable session storage; `None` runs memory-only (the pre-store
+    /// behavior, and still the default).
+    store: Option<Store>,
+    /// Evict idle sessions to disk once more than this many are live
+    /// (0 = never evict). Only meaningful with a store.
+    max_live: usize,
 }
 
 struct Inner {
@@ -365,7 +536,42 @@ impl Registry {
             max_sessions,
             max_pending,
             analysis_cache,
+            store: None,
+            max_live: 0,
         }
+    }
+
+    /// Attach durable session storage: every new session gets an
+    /// append-only snapshot log under the store's root, closed-but-not-
+    /// deleted sessions rehydrate transparently on their next frame, and
+    /// (when `max_live > 0`) idle sessions are evicted to disk once more
+    /// than `max_live` are live.
+    pub fn with_store(mut self, store: Store, max_live: usize) -> Registry {
+        self.store = Some(store);
+        self.max_live = max_live;
+        self
+    }
+
+    /// Scan the store for sessions persisted by a previous run and move
+    /// the id allocator past them, so new opens never collide with a
+    /// recoverable log. Sessions stay on disk until their first touch
+    /// (lazy rehydration). Returns the recovered ids.
+    pub fn recover(&self) -> Vec<u64> {
+        let Some(store) = &self.store else {
+            return Vec::new();
+        };
+        let ids = match store.scan() {
+            Ok(ids) => ids,
+            Err(e) => {
+                incprof_obs::warn!("store scan failed during recovery: {e}");
+                return Vec::new();
+            }
+        };
+        if let Some(&max) = ids.iter().max() {
+            let mut inner = lock(&self.inner);
+            inner.next_id = inner.next_id.max(max + 1);
+        }
+        ids
     }
 
     /// Open a new session, enforcing the session cap.
@@ -379,12 +585,24 @@ impl Registry {
         }
         let id = inner.next_id;
         inner.next_id += 1;
-        let session = Arc::new(Mutex::new(Session::new(
+        let mut session = Session::new(
             id,
             self.online.clone(),
             self.max_pending,
             self.analysis_cache,
-        )));
+        );
+        if let Some(store) = &self.store {
+            match store.create_session(id) {
+                Ok(persist) => session.persist = Some(persist),
+                Err(e) => {
+                    incprof_obs::counter(incprof_obs::names::STORE_APPEND_ERRORS).inc();
+                    incprof_obs::warn!(
+                        "session {id}: could not create snapshot log ({e}); memory-only"
+                    );
+                }
+            }
+        }
+        let session = Arc::new(Mutex::new(session));
         inner.sessions.insert(id, Arc::clone(&session));
         incprof_obs::counter(incprof_obs::names::SERVE_SESSIONS_OPENED).inc();
         incprof_obs::gauge(incprof_obs::names::SERVE_SESSIONS_ACTIVE)
@@ -392,21 +610,155 @@ impl Registry {
         Ok((id, session))
     }
 
-    /// Look up a live session.
+    /// Look up a session: live ones come straight from the table, and
+    /// evicted or recovered ones are rehydrated from the store
+    /// transparently.
     pub fn get(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
-        lock(&self.inner).sessions.get(&id).map(Arc::clone)
+        if let Some(s) = lock(&self.inner).sessions.get(&id).map(Arc::clone) {
+            return Some(s);
+        }
+        self.rehydrate(id)
     }
 
-    /// Remove a session, returning it for a final drain.
-    pub fn close(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
+    /// Load a session from its on-disk log (and checkpoint, if valid)
+    /// and publish it in the table. Disk I/O and replay run outside the
+    /// registry lock; if another thread won the race to publish the same
+    /// id, its instance wins and ours is discarded.
+    fn rehydrate(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
+        let store = self.store.as_ref()?;
+        let (persist, replay, checkpoint) = match store.open_session(id) {
+            Ok(found) => found?,
+            Err(e) => {
+                incprof_obs::warn!("session {id}: rehydration failed ({e})");
+                return None;
+            }
+        };
+        let session = Arc::new(Mutex::new(Session::rehydrate(
+            id,
+            self.online.clone(),
+            self.max_pending,
+            self.analysis_cache,
+            persist,
+            replay,
+            checkpoint,
+        )));
         let mut inner = lock(&self.inner);
-        let removed = inner.sessions.remove(&id);
-        if removed.is_some() {
-            incprof_obs::counter(incprof_obs::names::SERVE_SESSIONS_CLOSED).inc();
-            incprof_obs::gauge(incprof_obs::names::SERVE_SESSIONS_ACTIVE)
-                .set(inner.sessions.len() as u64);
+        if let Some(existing) = inner.sessions.get(&id) {
+            return Some(Arc::clone(existing));
+        }
+        // Rehydration may transiently exceed `max_sessions`; the cap
+        // guards new opens, and eviction (when enabled) restores the
+        // live bound on the next sweep.
+        inner.sessions.insert(id, Arc::clone(&session));
+        incprof_obs::gauge(incprof_obs::names::SERVE_SESSIONS_ACTIVE)
+            .set(inner.sessions.len() as u64);
+        Some(session)
+    }
+
+    /// Remove a session, returning it for a final drain. With a store
+    /// attached this is a *destructive* close: the session's durable
+    /// state is deleted too (its persistence handle is dropped first, so
+    /// the final drain stays memory-only).
+    pub fn close(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
+        let removed = {
+            let mut inner = lock(&self.inner);
+            let removed = inner.sessions.remove(&id);
+            if removed.is_some() {
+                incprof_obs::counter(incprof_obs::names::SERVE_SESSIONS_CLOSED).inc();
+                incprof_obs::gauge(incprof_obs::names::SERVE_SESSIONS_ACTIVE)
+                    .set(inner.sessions.len() as u64);
+            }
+            removed
+        };
+        if let Some(s) = &removed {
+            lock(s).persist = None;
+            if let Some(store) = &self.store {
+                if let Err(e) = store.remove_session(id) {
+                    incprof_obs::warn!("session {id}: could not delete session dir: {e}");
+                }
+            }
         }
         removed
+    }
+
+    /// Delete a session that exists only on disk (not live). Returns
+    /// whether anything was removed. The live path goes through
+    /// [`Registry::close`].
+    pub fn purge(&self, id: u64) -> bool {
+        let Some(store) = &self.store else {
+            return false;
+        };
+        if lock(&self.inner).sessions.contains_key(&id) {
+            return false;
+        }
+        match store.remove_session(id) {
+            Ok(removed) => {
+                if removed {
+                    incprof_obs::counter(incprof_obs::names::SERVE_SESSIONS_CLOSED).inc();
+                }
+                removed
+            }
+            Err(e) => {
+                incprof_obs::warn!("session {id}: could not delete session dir: {e}");
+                false
+            }
+        }
+    }
+
+    /// Evict the most idle live sessions to disk until at most
+    /// `max_live` remain. Only quiescent sessions qualify: the session
+    /// lock must be free, the pending queue empty, and durable backing
+    /// healthy (evicting an unpersisted session would lose data). Each
+    /// eviction writes a final checkpoint, marks the object evicted (a
+    /// worker still holding its `Arc` re-fetches and rehydrates), and
+    /// drops it from the table. Returns how many sessions were evicted.
+    pub fn maybe_evict(&self, now: Instant) -> usize {
+        if self.store.is_none() || self.max_live == 0 {
+            return 0;
+        }
+        let candidates: Vec<(u64, Arc<Mutex<Session>>)> = {
+            let inner = lock(&self.inner);
+            if inner.sessions.len() <= self.max_live {
+                return 0;
+            }
+            inner
+                .sessions
+                .iter()
+                .map(|(&id, s)| (id, Arc::clone(s)))
+                .collect()
+        };
+        let excess = candidates.len() - self.max_live;
+        // Rank by idleness without blocking on busy sessions.
+        let mut idle: Vec<(u64, u64)> = Vec::new();
+        for (id, s) in &candidates {
+            if let Ok(sess) = s.try_lock() {
+                if sess.pending_is_empty() && sess.persist_healthy() && !sess.is_evicted() {
+                    idle.push((sess.stats(now).idle_ns.unwrap_or(u64::MAX), *id));
+                }
+            }
+        }
+        idle.sort_unstable_by_key(|&(idle_ns, _)| std::cmp::Reverse(idle_ns));
+        let mut evicted = 0;
+        for &(_, id) in idle.iter().take(excess) {
+            let Some(s) = lock(&self.inner).sessions.get(&id).map(Arc::clone) else {
+                continue;
+            };
+            // Re-check quiescence under the lock; skip if a worker got in.
+            let Ok(mut sess) = s.try_lock() else { continue };
+            if !sess.pending_is_empty() || !sess.persist_healthy() {
+                continue;
+            }
+            sess.force_checkpoint();
+            sess.evict();
+            drop(sess);
+            let mut inner = lock(&self.inner);
+            inner.sessions.remove(&id);
+            incprof_obs::gauge(incprof_obs::names::SERVE_SESSIONS_ACTIVE)
+                .set(inner.sessions.len() as u64);
+            incprof_obs::counter(incprof_obs::names::STORE_EVICTIONS).inc();
+            evicted += 1;
+        }
+        evicted
     }
 
     /// Number of live sessions.
@@ -426,7 +778,9 @@ impl Registry {
         sessions.iter().map(|s| lock(s).stats(now)).collect()
     }
 
-    /// Drain every session's pending queue (graceful shutdown).
+    /// Drain every session's pending queue (graceful shutdown), then
+    /// write a final analysis checkpoint for each persisted session so
+    /// the next run rehydrates warm.
     pub fn drain_all(&self) {
         let sessions: Vec<Arc<Mutex<Session>>> = lock(&self.inner)
             .sessions
@@ -434,7 +788,9 @@ impl Registry {
             .map(Arc::clone)
             .collect();
         for s in sessions {
-            let _ = lock(&s).drain();
+            let mut s = lock(&s);
+            let _ = s.drain();
+            s.force_checkpoint();
         }
     }
 }
@@ -656,5 +1012,167 @@ mod tests {
         assert_eq!(s.report_json(&detector, ReportMode::AnalysisOnly), "null");
         let full = s.report_json(&detector, ReportMode::Full);
         assert!(full.contains("\"analysis\":null"), "{full}");
+    }
+
+    // --- durability ---
+
+    use incprof_store::RetentionPolicy;
+
+    fn durable(name: &str, policy: RetentionPolicy) -> (std::path::PathBuf, Store) {
+        let root = std::env::temp_dir().join(format!("incprof_sess_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = Store::open(&root, policy, 4).unwrap();
+        (root, store)
+    }
+
+    #[test]
+    fn rehydrated_session_report_is_byte_identical() {
+        let (root, store) = durable("rehydrate", RetentionPolicy::keep_all());
+        let r = registry().with_store(store, 0);
+        let (id, s) = r.open().unwrap();
+        let detector = PhaseDetector::default();
+        let baseline = {
+            let mut s = lock(&s);
+            for i in 0..6u64 {
+                s.enqueue(gmon(i, (i + 1) * 1_000_000_000), Instant::now())
+                    .unwrap();
+                s.drain().unwrap();
+            }
+            s.report_json(&detector, ReportMode::Full)
+        };
+        drop(s);
+        drop(r);
+        // "Restart": a fresh registry over the same directory.
+        let store = Store::open(&root, RetentionPolicy::keep_all(), 4).unwrap();
+        let r2 = registry().with_store(store, 0);
+        assert_eq!(r2.recover(), vec![id]);
+        let s2 = r2.get(id).expect("recovered session is queryable");
+        let mut s2 = lock(&s2);
+        assert_eq!(s2.report_json(&detector, ReportMode::Full), baseline);
+        drop(s2);
+        // Recovered ids are not reissued to new sessions.
+        let (next, _) = r2.open().unwrap();
+        assert!(next > id, "next id {next} must advance past recovered {id}");
+    }
+
+    #[test]
+    fn evicted_sessions_rehydrate_transparently() {
+        let (_root, store) = durable("evict", RetentionPolicy::keep_all());
+        let r = registry().with_store(store, 1);
+        let (a, sa) = r.open().unwrap();
+        let (b, sb) = r.open().unwrap();
+        let detector = PhaseDetector::default();
+        let baseline_a = {
+            let mut s = lock(&sa);
+            for i in 0..4u64 {
+                s.enqueue(gmon(i, (i + 1) * 1_000_000_000), Instant::now())
+                    .unwrap();
+                s.drain().unwrap();
+            }
+            s.report_json(&detector, ReportMode::Full)
+        };
+        let baseline_b = {
+            let mut s = lock(&sb);
+            s.enqueue(gmon(0, 1_000_000_000), Instant::now()).unwrap();
+            s.drain().unwrap();
+            s.report_json(&detector, ReportMode::Full)
+        };
+        drop(sa);
+        drop(sb);
+        assert_eq!(r.maybe_evict(Instant::now()), 1);
+        assert_eq!(r.active(), 1);
+        // Whichever session was evicted comes back on demand,
+        // byte-identical to its pre-eviction report.
+        let sa = r.get(a).expect("session a reachable after eviction");
+        assert_eq!(
+            lock(&sa).report_json(&detector, ReportMode::Full),
+            baseline_a
+        );
+        let sb = r.get(b).expect("session b reachable after eviction");
+        assert_eq!(
+            lock(&sb).report_json(&detector, ReportMode::Full),
+            baseline_b
+        );
+    }
+
+    #[test]
+    fn sessions_with_pending_work_are_not_evicted() {
+        let (_root, store) = durable("quiesce", RetentionPolicy::keep_all());
+        let r = registry().with_store(store, 1);
+        let (_a, sa) = r.open().unwrap();
+        let (_b, sb) = r.open().unwrap();
+        lock(&sa).enqueue(gmon(0, 10), Instant::now()).unwrap();
+        lock(&sb).enqueue(gmon(0, 10), Instant::now()).unwrap();
+        // Both sessions hold undrained pushes: neither may evict.
+        assert_eq!(r.maybe_evict(Instant::now()), 0);
+        assert_eq!(r.active(), 2);
+        lock(&sa).drain().unwrap();
+        lock(&sb).drain().unwrap();
+        assert_eq!(r.maybe_evict(Instant::now()), 1);
+        assert_eq!(r.active(), 1);
+    }
+
+    #[test]
+    fn close_deletes_durable_state_and_purge_handles_disk_only() {
+        let (root, store) = durable("close", RetentionPolicy::keep_all());
+        let r = registry().with_store(store.clone(), 0);
+        let (a, sa) = r.open().unwrap();
+        {
+            let mut s = lock(&sa);
+            s.enqueue(gmon(0, 10), Instant::now()).unwrap();
+            s.drain().unwrap();
+        }
+        drop(sa);
+        let (b, _sb) = r.open().unwrap();
+        assert!(r.close(a).is_some());
+        assert!(!store.has_session(a), "close deletes the session dir");
+        assert!(r.get(a).is_none(), "closed sessions do not rehydrate");
+        // Restart with session b still on disk: purge removes it without
+        // ever rehydrating.
+        drop(r);
+        let store2 = Store::open(&root, RetentionPolicy::keep_all(), 4).unwrap();
+        let r2 = registry().with_store(store2.clone(), 0);
+        assert_eq!(r2.recover(), vec![b]);
+        assert!(!r2.purge(999), "unknown ids purge to false");
+        assert!(r2.purge(b));
+        assert!(!store2.has_session(b));
+        assert!(r2.get(b).is_none());
+    }
+
+    #[test]
+    fn downsampling_retention_trims_live_series_in_lockstep_with_the_log() {
+        let policy = RetentionPolicy::parse("hot=2,stride=4").unwrap();
+        let (root, store) = durable("retention", policy);
+        let r = registry().with_store(store, 0);
+        let (id, s) = r.open().unwrap();
+        let detector = PhaseDetector::default();
+        let live = {
+            let mut s = lock(&s);
+            for i in 0..10u64 {
+                s.enqueue(gmon(i, (i + 1) * 1_000_000_000), Instant::now())
+                    .unwrap();
+                s.drain().unwrap();
+            }
+            // The live series was trimmed in lockstep with the log:
+            // stride multiples plus the hot tail survive.
+            let kept: Vec<u64> = s
+                .series()
+                .snapshots()
+                .iter()
+                .map(|x| x.sample_index)
+                .collect();
+            assert_eq!(kept, vec![0, 4, 8, 9]);
+            s.report_json(&detector, ReportMode::AnalysisOnly)
+        };
+        drop(s);
+        drop(r);
+        let store = Store::open(&root, policy, 4).unwrap();
+        let r2 = registry().with_store(store, 0);
+        assert_eq!(r2.recover(), vec![id]);
+        let s2 = r2.get(id).unwrap();
+        assert_eq!(
+            lock(&s2).report_json(&detector, ReportMode::AnalysisOnly),
+            live
+        );
     }
 }

@@ -2,12 +2,27 @@
 # Local CI gate: formatting, lints, and the full test suite.
 # Run from anywhere inside the repository.
 #
-#   scripts/check.sh         # everything
-#   scripts/check.sh smoke   # only the serve smoke (CI runs this step
-#                            # separately so its artifacts upload on
-#                            # failure; SMOKE_DIR overrides the workdir)
+#   scripts/check.sh            # everything
+#   scripts/check.sh smoke      # only the serve smoke (CI runs this step
+#                               # separately so its artifacts upload on
+#                               # failure; SMOKE_DIR overrides the workdir)
+#   scripts/check.sh docs-links # only the README ↔ docs/ link check
 set -euo pipefail
 cd "$(git rev-parse --show-toplevel)"
+
+docs_links() {
+    echo "==> docs links (every docs/*.md linked from README, every link resolves)"
+    local fail=0
+    for doc in docs/*.md; do
+        grep -qF "$doc" README.md \
+            || { echo "docs-links: $doc is not linked from README.md"; fail=1; }
+    done
+    for ref in $(grep -o 'docs/[A-Za-z0-9_.-]*\.md' README.md | sort -u); do
+        [ -f "$ref" ] \
+            || { echo "docs-links: README.md links missing file $ref"; fail=1; }
+    done
+    [ "$fail" -eq 0 ] || exit 1
+}
 
 serve_smoke() {
     echo "==> serve smoke (daemon + admin round-trip on ephemeral ports)"
@@ -25,6 +40,7 @@ serve_smoke() {
     # reports them through --addr-file / --admin-addr-file.
     timeout 60 "$INCPROF" serve --addr 127.0.0.1:0 --addr-file "$SMOKE_DIR/addr.txt" \
         --admin 127.0.0.1:0 --admin-addr-file "$SMOKE_DIR/admin.txt" \
+        --store-dir "$SMOKE_DIR/store" \
         >"$SMOKE_DIR/serve.log" 2>&1 &
     SERVE_PID=$!
     for _ in $(seq 1 100); do
@@ -36,6 +52,7 @@ serve_smoke() {
     ADDR="$(cat "$SMOKE_DIR/addr.txt")"
     ADMIN="$(cat "$SMOKE_DIR/admin.txt")"
     timeout 60 "$INCPROF" push "$ADDR" "$SMOKE_DIR/run.json" --analysis --keep-open \
+        --session-file "$SMOKE_DIR/session.txt" \
         >"$SMOKE_DIR/report.json"
     grep -q '"phases"' "$SMOKE_DIR/report.json" \
         || { echo "serve smoke: report has no phases"; cat "$SMOKE_DIR/report.json"; exit 1; }
@@ -58,6 +75,31 @@ serve_smoke() {
         || { echo "serve smoke: health not ok"; exit 1; }
     timeout 60 "$INCPROF" push "$ADDR" "$SMOKE_DIR/run.json" --analysis --shutdown >/dev/null
     wait "$SERVE_PID" || { echo "serve smoke: daemon exited non-zero"; cat "$SMOKE_DIR/serve.log"; exit 1; }
+
+    # Second life: a fresh daemon over the same --store-dir must answer
+    # for the kept-open session by id, byte-identically to the first
+    # life's report (transparent rehydration; docs/PERSISTENCE.md).
+    echo "==> serve smoke: restart + rehydrate over $SMOKE_DIR/store"
+    [ -s "$SMOKE_DIR/session.txt" ] || { echo "serve smoke: push wrote no session id"; exit 1; }
+    SID="$(cat "$SMOKE_DIR/session.txt")"
+    timeout 60 "$INCPROF" serve --addr 127.0.0.1:0 --addr-file "$SMOKE_DIR/addr2.txt" \
+        --store-dir "$SMOKE_DIR/store" \
+        >"$SMOKE_DIR/serve2.log" 2>&1 &
+    SERVE2_PID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$SMOKE_DIR/addr2.txt" ] && break
+        sleep 0.1
+    done
+    [ -s "$SMOKE_DIR/addr2.txt" ] || { echo "serve smoke: restarted daemon never bound"; exit 1; }
+    ADDR2="$(cat "$SMOKE_DIR/addr2.txt")"
+    timeout 60 "$INCPROF" query "$ADDR2" "$SID" --analysis --close --shutdown \
+        >"$SMOKE_DIR/report2.json"
+    cmp -s "$SMOKE_DIR/report.json" "$SMOKE_DIR/report2.json" || {
+        echo "serve smoke: rehydrated report differs from the first life"
+        diff "$SMOKE_DIR/report.json" "$SMOKE_DIR/report2.json" | head -20
+        exit 1
+    }
+    wait "$SERVE2_PID" || { echo "serve smoke: restarted daemon exited non-zero"; cat "$SMOKE_DIR/serve2.log"; exit 1; }
 }
 
 if [ "${1:-all}" = "smoke" ]; then
@@ -65,6 +107,14 @@ if [ "${1:-all}" = "smoke" ]; then
     echo "Serve smoke passed."
     exit 0
 fi
+
+if [ "${1:-all}" = "docs-links" ]; then
+    docs_links
+    echo "Docs links OK."
+    exit 0
+fi
+
+docs_links
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

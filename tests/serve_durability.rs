@@ -1,0 +1,210 @@
+//! Durable sessions: a daemon restarted over the same `--store-dir`
+//! must answer for its old sessions as if it had never stopped.
+//!
+//! For each of the paper's five applications the cumulative series is
+//! split across a daemon restart: the first half is streamed into a
+//! durable daemon which is then shut down mid-stream (sessions left
+//! open), and the second half is streamed into a *fresh* daemon over
+//! the same store directory, addressing the same session ids. The
+//! final Full report — session id, snapshot count, online timeline,
+//! analysis — is compared as raw JSON bytes against an uninterrupted
+//! daemon that saw the whole stream in one life (run without a store,
+//! which also pins that persistence never perturbs report bytes).
+//!
+//! A second test tears the log mid-record, the crash the append path
+//! must survive: the damaged tail is truncated cleanly on reopen, the
+//! surviving prefix stays queryable (byte-identical to the offline
+//! pipeline on that prefix), the stale checkpoint is rejected, and the
+//! session still closes without leaking.
+
+use incprof_suite::collect::SampleSeries;
+use incprof_suite::core::PhaseDetector;
+use incprof_suite::hpc_apps::{gadget2, graph500, lammps, miniamr, minife, HeartbeatPlan, RunMode};
+use incprof_suite::profile::FunctionTable;
+use incprof_suite::serve::{Client, ServeConfig, Server};
+use std::path::PathBuf;
+
+/// Profile every app once; returns (name, rank-0 series, table).
+fn profiled_runs() -> Vec<(&'static str, SampleSeries, FunctionTable)> {
+    let plan = HeartbeatPlan::none();
+    let mode = RunMode::virtual_1s();
+    let mut runs = Vec::new();
+    let g = graph500::run(&graph500::Graph500Config::tiny(), mode, &plan).rank0;
+    runs.push(("Graph500", g.series, g.table));
+    let m = minife::run(&minife::MiniFeConfig::tiny(), mode, &plan).rank0;
+    runs.push(("MiniFE", m.series, m.table));
+    let a = miniamr::run(&miniamr::MiniAmrConfig::tiny(), mode, &plan).rank0;
+    runs.push(("MiniAMR", a.series, a.table));
+    let l = lammps::run(&lammps::LammpsConfig::tiny(), mode, &plan).rank0;
+    runs.push(("LAMMPS", l.series, l.table));
+    let ga = gadget2::run(&gadget2::Gadget2Config::tiny(), mode, &plan).rank0;
+    runs.push(("Gadget2", ga.series, ga.table));
+    runs
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("incprof_durab_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(store: &std::path::Path) -> ServeConfig {
+    ServeConfig {
+        store_dir: Some(store.to_path_buf()),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn restart_mid_stream_rehydrates_all_apps_byte_identically() {
+    let runs = profiled_runs();
+    let store = tmpdir("restart");
+
+    // Uninterrupted baseline: one daemon sees every snapshot of every
+    // app in a single life. No store: the bytes must match regardless.
+    let mut baselines: Vec<(u64, String)> = Vec::new();
+    {
+        let server = Server::bind(ServeConfig::default()).expect("bind baseline");
+        let addr = server.local_addr().to_string();
+        let handle = server.start().expect("start baseline");
+        for (app, series, table) in &runs {
+            let mut client = Client::connect_tcp(&addr).expect("connect");
+            let session = client.open().expect("open");
+            for snap in series.snapshots() {
+                client
+                    .push_retry(session, &snap.to_gmon(table), 50)
+                    .unwrap_or_else(|e| panic!("{app}: baseline push failed: {e}"));
+            }
+            let report = client.query_report(session).expect("baseline query");
+            baselines.push((session, report));
+        }
+        handle.shutdown();
+    }
+
+    // First life: stream only the first half of each app, then stop the
+    // daemon with every session still open (mid-stream).
+    let mut sessions: Vec<u64> = Vec::new();
+    {
+        let server = Server::bind(durable_config(&store)).expect("bind first life");
+        let addr = server.local_addr().to_string();
+        let handle = server.start().expect("start first life");
+        for ((app, series, table), (baseline_id, _)) in runs.iter().zip(&baselines) {
+            let mut client = Client::connect_tcp(&addr).expect("connect");
+            let session = client.open().expect("open");
+            assert_eq!(
+                session, *baseline_id,
+                "{app}: durable daemon must assign the same session id"
+            );
+            let half = series.len().div_ceil(2);
+            for snap in &series.snapshots()[..half] {
+                client
+                    .push_retry(session, &snap.to_gmon(table), 50)
+                    .unwrap_or_else(|e| panic!("{app}: first-life push failed: {e}"));
+            }
+            sessions.push(session);
+        }
+        handle.shutdown();
+    }
+
+    // Second life: a fresh daemon over the same directory. The old
+    // session ids must accept the rest of the stream (rehydrating
+    // transparently on first touch) and report exactly the baseline.
+    {
+        let server = Server::bind(durable_config(&store)).expect("bind second life");
+        let addr = server.local_addr().to_string();
+        let handle = server.start().expect("start second life");
+        for ((app, series, table), (session, baseline)) in runs.iter().zip(&baselines) {
+            let mut client = Client::connect_tcp(&addr).expect("connect");
+            let half = series.len().div_ceil(2);
+            for snap in &series.snapshots()[half..] {
+                client
+                    .push_retry(*session, &snap.to_gmon(table), 50)
+                    .unwrap_or_else(|e| panic!("{app}: second-life push failed: {e}"));
+            }
+            let report = client.query_report(*session).expect("recovered query");
+            assert_eq!(
+                report, *baseline,
+                "{app}: report across a restart differs from the uninterrupted daemon"
+            );
+            client.close(*session).expect("close");
+        }
+        assert_eq!(handle.active_sessions(), 0, "sessions must not leak");
+        handle.shutdown();
+    }
+
+    // Close is destructive: nothing durable remains.
+    let leftovers: Vec<_> = std::fs::read_dir(&store)
+        .map(|d| d.flatten().map(|e| e.path()).collect())
+        .unwrap_or_default();
+    assert!(leftovers.is_empty(), "closed sessions left {leftovers:?}");
+}
+
+#[test]
+fn torn_log_tail_is_truncated_cleanly_and_the_prefix_stays_queryable() {
+    let plan = HeartbeatPlan::none();
+    let run = minife::run(&minife::MiniFeConfig::tiny(), RunMode::virtual_1s(), &plan).rank0;
+    let (series, table) = (run.series, run.table);
+    assert!(series.len() >= 2, "need at least two snapshots to tear one");
+    let store = tmpdir("torn");
+
+    // First life: stream everything, leave the session open, shut down.
+    let session = {
+        let server = Server::bind(durable_config(&store)).expect("bind");
+        let addr = server.local_addr().to_string();
+        let handle = server.start().expect("start");
+        let mut client = Client::connect_tcp(&addr).expect("connect");
+        let session = client.open().expect("open");
+        for snap in series.snapshots() {
+            client
+                .push_retry(session, &snap.to_gmon(&table), 50)
+                .expect("push");
+        }
+        handle.shutdown();
+        session
+    };
+
+    // Tear the tail: chop a few bytes off the last record, simulating a
+    // crash mid-append. The graceful shutdown above also wrote a
+    // checkpoint covering the *whole* series — now stale, so reopening
+    // must reject it and replay the truncated log cold.
+    let log = store.join(session.to_string()).join("log.iprf");
+    let len = std::fs::metadata(&log).expect("log exists").len();
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&log)
+        .expect("open log");
+    file.set_len(len - 5).expect("truncate");
+    drop(file);
+
+    // Second life: the surviving prefix (all but the torn record) must
+    // be queryable and byte-identical to the offline pipeline on it.
+    let prefix: SampleSeries = series.snapshots()[..series.len() - 1]
+        .iter()
+        .cloned()
+        .collect();
+    let offline = serde_json::to_string(
+        &PhaseDetector::default()
+            .detect_series(&prefix)
+            .expect("offline detect"),
+    )
+    .expect("serialize offline analysis");
+
+    let server = Server::bind(durable_config(&store)).expect("bind after tear");
+    let addr = server.local_addr().to_string();
+    let handle = server.start().expect("start after tear");
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let analysis = client.query_analysis(session).expect("query prefix");
+    assert_eq!(analysis, offline, "torn-tail prefix analysis differs");
+    let full = client.query_report(session).expect("query full");
+    assert!(
+        full.contains(&format!("\"snapshots\":{}", series.len() - 1)),
+        "{full}"
+    );
+    assert!(
+        !full.contains("\"fault\""),
+        "torn tail must not fault: {full}"
+    );
+    client.close(session).expect("close");
+    assert_eq!(handle.active_sessions(), 0, "sessions must not leak");
+    handle.shutdown();
+}
