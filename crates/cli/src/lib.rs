@@ -426,6 +426,136 @@ pub fn lint_cmd(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// `incprof callgraph [root] [--json <path>]`: export the workspace
+/// apps' static call graph (functions, confidence-labelled edges,
+/// hazard facts) as deterministic JSON — the paper-facing bridge from
+/// detected phases back to source structure. Prints to stdout, or
+/// writes to `--json <path>`.
+pub fn callgraph_cmd(args: &[String]) -> Result<String, CliError> {
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut json_path: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--json requires a path".into()))?;
+                json_path = Some(std::path::PathBuf::from(p));
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown callgraph option {flag}")));
+            }
+            path => {
+                if root.is_some() {
+                    return Err(CliError::Usage(format!(
+                        "unexpected extra callgraph argument {path}"
+                    )));
+                }
+                root = Some(std::path::PathBuf::from(path));
+            }
+        }
+        i += 1;
+    }
+    let root = match root {
+        Some(r) => r,
+        None => incprof_lint::find_workspace_root(&std::env::current_dir()?).ok_or_else(|| {
+            CliError::Usage("no workspace root found; pass one: incprof callgraph <root>".into())
+        })?,
+    };
+    let analysis = incprof_lint::analyze_subtree(&root, "crates/apps/src")?;
+    let rendered = analysis.graph.render_json(&analysis.symbols);
+    match json_path {
+        Some(path) => {
+            std::fs::write(&path, &rendered)?;
+            Ok(format!("static call graph written to {}", path.display()))
+        }
+        None => Ok(rendered),
+    }
+}
+
+/// `incprof sca [root] [--json <path>] [--deny-warnings|-D]`: the
+/// static-analysis gate. Runs the full multi-pass lint (per-line rules
+/// plus the graph rules P02/D05/A01) over the workspace, then emits a
+/// machine-readable report combining the diagnostics, the analysis
+/// stats (functions, confident/ambiguous edge counts), and the timed
+/// `lint.engine.run` span — the artifact CI uploads on failure.
+pub fn sca_cmd(args: &[String]) -> Result<String, CliError> {
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut json_path: Option<std::path::PathBuf> = None;
+    let mut cfg = incprof_lint::Config::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .ok_or_else(|| CliError::Usage("--json requires a path".into()))?;
+                json_path = Some(std::path::PathBuf::from(p));
+            }
+            "-D" | "--deny-warnings" => cfg.deny_warnings = true,
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown sca option {flag}")));
+            }
+            path => {
+                if root.is_some() {
+                    return Err(CliError::Usage(format!(
+                        "unexpected extra sca argument {path}"
+                    )));
+                }
+                root = Some(std::path::PathBuf::from(path));
+            }
+        }
+        i += 1;
+    }
+    let root = match root {
+        Some(r) => r,
+        None => incprof_lint::find_workspace_root(&std::env::current_dir()?).ok_or_else(|| {
+            CliError::Usage("no workspace root found; pass one: incprof sca <root>".into())
+        })?,
+    };
+    let (report, analysis) = incprof_lint::lint_workspace_analyzed(&root, &cfg)?;
+    let (confident, ambiguous) = analysis.graph.edge_counts();
+    // The whole analysis ran under the `lint.engine.run` span; its last
+    // closed record carries the wall time the sca gate asserts on.
+    let elapsed_ns = incprof_obs::global()
+        .spans()
+        .records()
+        .iter()
+        .rev()
+        .find(|r| r.closed && r.name == incprof_obs::names::LINT_RUN)
+        .map(|r| r.dur_ns)
+        .unwrap_or(0);
+    let lint_json = report.render_json();
+    let rendered = format!(
+        "{{\"stats\":{{\"functions\":{},\"edges_confident\":{confident},\
+         \"edges_ambiguous\":{ambiguous},\"elapsed_ms\":{}}},\"lint\":{lint_json}}}",
+        analysis.symbols.defs.len(),
+        elapsed_ns / 1_000_000,
+    );
+    let summary = match json_path {
+        Some(path) => {
+            std::fs::write(&path, &rendered)?;
+            format!(
+                "sca: {} functions, {confident} confident / {ambiguous} ambiguous edges, \
+                 {} diagnostics in {} ms; report written to {}",
+                analysis.symbols.defs.len(),
+                report.diagnostics.len(),
+                elapsed_ns / 1_000_000,
+                path.display()
+            )
+        }
+        None => rendered,
+    };
+    if report.is_clean() {
+        Ok(summary)
+    } else {
+        Err(CliError::Lint(summary))
+    }
+}
+
 /// Global flags accepted anywhere on the command line, ahead of the
 /// per-command options.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -546,6 +676,8 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
             analyze_json(Path::new(dump), &opts)
         }
         Some("lint") => lint_cmd(&args[1..]),
+        Some("sca") => sca_cmd(&args[1..]),
+        Some("callgraph") => callgraph_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
         Some("push") => push_cmd(&args[1..]),
         Some("query") => query_cmd(&args[1..]),
@@ -572,6 +704,8 @@ incprof — source-oriented phase identification (IncProf, CLUSTER 2022)
                                 [--dbscan eps min_pts] [--merge] [--json]
   incprof analyze-json <dump.json> [same options]
   incprof lint [root] [--json] [--deny-warnings|-D]
+  incprof sca [root] [--json <path>] [--deny-warnings|-D]
+  incprof callgraph [root] [--json <path>]
   incprof serve [--addr host:port | --unix path] [--workers n]
                 [--max-sessions n] [--max-pending n] [--addr-file path]
                 [--no-analysis-cache]

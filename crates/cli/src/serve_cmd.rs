@@ -133,6 +133,11 @@ pub fn serve_cmd(args: &[String]) -> Result<String, CliError> {
         ));
     }
 
+    // Best-effort: the daemon joins the apps' static call graph into
+    // Full reports' `source_context`; outside a workspace it serves
+    // empty contexts instead of failing to start.
+    config.source_graph = build_source_graph();
+
     signal::install_sigint_handler();
     let server = Server::bind(config).map_err(CliError::Io)?;
     let addr = server.local_addr().to_string();
@@ -169,6 +174,27 @@ pub fn serve_cmd(args: &[String]) -> Result<String, CliError> {
          ingest-to-detect latency: n={} p50={p50}ns p95={p95}ns p99={p99}ns",
         lat.count
     ))
+}
+
+/// Build the workspace apps' static call graph (via `incprof-lint`'s
+/// source analysis) for report source-context joins. Any failure —
+/// no workspace, unreadable sources — degrades to an empty graph.
+fn build_source_graph() -> incprof_core::SourceGraph {
+    let Ok(cwd) = std::env::current_dir() else {
+        return incprof_core::SourceGraph::default();
+    };
+    let Some(root) = incprof_lint::find_workspace_root(&cwd) else {
+        return incprof_core::SourceGraph::default();
+    };
+    match incprof_lint::analyze_subtree(&root, "crates/apps/src") {
+        Ok(analysis) => {
+            incprof_core::SourceGraph::new(analysis.graph.named_edges(&analysis.symbols))
+        }
+        Err(e) => {
+            incprof_obs::warn!("source graph unavailable: {e}");
+            incprof_core::SourceGraph::default()
+        }
+    }
 }
 
 /// `incprof top <admin-addr> [--interval-ms n] [--iterations n]

@@ -103,6 +103,7 @@ pub fn dbscan(data: &Dataset, params: DbscanParams) -> Vec<DbscanLabel> {
         .map(|s| match s {
             State::Cluster(c) => DbscanLabel::Cluster(c),
             State::Noise => DbscanLabel::Noise,
+            // lint: allow(P02, the sweep above visits every point exactly once before this match runs)
             State::Unvisited => unreachable!("all points visited"),
         })
         .collect()

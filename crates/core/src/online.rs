@@ -107,6 +107,7 @@ impl OnlinePhaseDetector {
         for c in &mut self.centroids {
             c.resize(dim, 0.0);
         }
+        // lint: allow(A01, one feature vector per interval whose dim tracks the live function set; reuse would need a self-field resize on every growth)
         let mut features = vec![0.0; dim];
         for (id, stats) in interval.iter() {
             features[self.columns[&id]] = stats.self_time as f64 / 1e9;

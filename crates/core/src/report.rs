@@ -176,6 +176,166 @@ fn truncate(s: &str, max: usize) -> String {
     }
 }
 
+/// A name-keyed static call graph, as produced by `incprof-lint`'s
+/// source analysis but carried here as plain data so `incprof-core`
+/// stays independent of the lint crate.
+///
+/// Edges are `(caller, callee, confident)` display names. Only
+/// *confident* edges participate in [`source_context_json`]; ambiguous
+/// edges are carried for completeness (and for consumers that want to
+/// render them) but never influence depth, callers, or cycles.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceGraph {
+    /// `(caller, callee, confident)` triples, name-keyed.
+    pub edges: Vec<(String, String, bool)>,
+}
+
+impl SourceGraph {
+    /// Build from edge triples.
+    pub fn new(edges: Vec<(String, String, bool)>) -> SourceGraph {
+        SourceGraph { edges }
+    }
+
+    /// Whether the graph carries no edges at all.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Join a [`PhaseAnalysis`] against a static [`SourceGraph`]: for each
+/// phase, emit the dominant site functions with their *static* callers,
+/// call-path depth, and cycle membership.
+///
+/// The result is a deterministic JSON array:
+///
+/// ```json
+/// [{"phase":0,"functions":[
+///    {"id":3,"name":"cg_solve","callers":["run"],"depth":1,"cycle":null}]}]
+/// ```
+///
+/// `id` is the analysis' runtime [`FunctionId`] (so entries round-trip
+/// against the profile's function column map); `callers`/`depth`/`cycle`
+/// come from the static graph, joined by display name. Functions the
+/// static analysis never saw (e.g. macro-generated or external) get
+/// empty callers and `null` depth/cycle. Depth is the minimum number of
+/// confident call arcs from a static root (a function nobody calls);
+/// cycle is the index of the Tarjan SCC the function belongs to, if any.
+pub fn source_context_json<'a>(
+    analysis: &PhaseAnalysis,
+    name_of: impl Fn(FunctionId) -> &'a str,
+    graph: &SourceGraph,
+) -> String {
+    use incprof_profile::{cycle_membership, find_cycles, CallGraphProfile};
+    use std::collections::BTreeMap;
+
+    // Index every name in the confident subgraph. Sorted-name order makes
+    // the local ids (and everything derived from them) deterministic.
+    let mut names: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    for (caller, callee, confident) in &graph.edges {
+        if *confident {
+            names.insert(caller);
+            names.insert(callee);
+        }
+    }
+    let local: BTreeMap<&str, FunctionId> = names
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, FunctionId(i as u32)))
+        .collect();
+    let name_list: Vec<&str> = names.into_iter().collect();
+
+    let mut cg = CallGraphProfile::new();
+    for (caller, callee, confident) in &graph.edges {
+        if *confident {
+            cg.record_arcs(local[caller.as_str()], local[callee.as_str()], 1);
+        }
+    }
+    let cycles = find_cycles(&cg);
+    let membership = cycle_membership(&cycles);
+
+    let mut out = String::from("[");
+    for (pi, phase) in analysis.phases.iter().enumerate() {
+        if pi > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"phase\":{},\"functions\":[", phase.id);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut first = true;
+        for site in &phase.sites {
+            if !seen.insert(site.function) {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let name = name_of(site.function);
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"name\":{}",
+                site.function.0,
+                json_string(name)
+            );
+            match local.get(name) {
+                Some(&lid) => {
+                    let mut callers: Vec<&str> = cg
+                        .callers_of(lid)
+                        .into_iter()
+                        .map(|c| name_list[c.index()])
+                        .collect();
+                    callers.sort_unstable();
+                    out.push_str(",\"callers\":[");
+                    for (i, c) in callers.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&json_string(c));
+                    }
+                    out.push(']');
+                    match cg.depth_from_roots(lid) {
+                        Some(d) => {
+                            let _ = write!(out, ",\"depth\":{d}");
+                        }
+                        None => out.push_str(",\"depth\":null"),
+                    }
+                    match membership.get(&lid) {
+                        Some(c) => {
+                            let _ = write!(out, ",\"cycle\":{c}");
+                        }
+                        None => out.push_str(",\"cycle\":null"),
+                    }
+                }
+                None => out.push_str(",\"callers\":[],\"depth\":null,\"cycle\":null"),
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,5 +473,63 @@ mod tests {
         assert_eq!(truncate(&long, 34).len(), 34);
         assert!(truncate(&long, 34).ends_with("..."));
         assert_eq!(truncate("short", 34), "short");
+    }
+
+    #[test]
+    fn source_context_joins_static_callers_depth_and_cycles() {
+        let a = analysis();
+        // Static shape: main -> make_graph -> run_bfs, with run_bfs and
+        // helper mutually recursive (one Tarjan cycle).
+        let graph = SourceGraph::new(vec![
+            ("main".into(), "make_graph".into(), true),
+            ("make_graph".into(), "run_bfs".into(), true),
+            ("run_bfs".into(), "helper".into(), true),
+            ("helper".into(), "run_bfs".into(), true),
+        ]);
+        let json = source_context_json(&a, names, &graph);
+        assert!(
+            json.contains(
+                "\"name\":\"make_graph\",\"callers\":[\"main\"],\"depth\":1,\"cycle\":null"
+            ),
+            "{json}"
+        );
+        assert!(
+            json.contains(
+                "\"name\":\"run_bfs\",\"callers\":[\"helper\",\"make_graph\"],\"depth\":2,\"cycle\":0"
+            ),
+            "{json}"
+        );
+        // Runtime ids round-trip: the emitted ids are the analysis' own.
+        assert!(json.contains("\"id\":0,\"name\":\"make_graph\""), "{json}");
+        assert!(json.contains("\"id\":1,\"name\":\"run_bfs\""), "{json}");
+    }
+
+    #[test]
+    fn source_context_handles_unknown_functions_and_ambiguous_edges() {
+        let a = analysis();
+        // Only an ambiguous edge mentions make_graph: it must not count.
+        let graph = SourceGraph::new(vec![("main".into(), "make_graph".into(), false)]);
+        let json = source_context_json(&a, names, &graph);
+        assert!(
+            json.contains("\"name\":\"make_graph\",\"callers\":[],\"depth\":null,\"cycle\":null"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn source_context_is_deterministic() {
+        let a = analysis();
+        let graph = SourceGraph::new(vec![
+            ("z".into(), "run_bfs".into(), true),
+            ("a".into(), "run_bfs".into(), true),
+        ]);
+        assert_eq!(
+            source_context_json(&a, names, &graph),
+            source_context_json(&a, names, &graph)
+        );
+        assert!(
+            source_context_json(&a, names, &graph).contains("\"callers\":[\"a\",\"z\"]"),
+            "callers sorted by name"
+        );
     }
 }

@@ -42,6 +42,29 @@ pub const P01_CRATES: &[&str] = &[
 /// spell names out.
 pub const O01_EXEMPT_CRATES: &[&str] = &["obs"];
 
+/// D05: hot-path roots (qualified fn names) from which no blocking call
+/// may be confidently reachable. `Session::drain_traced` is the serve
+/// worker drain (one call per queued snapshot under session lock), and
+/// `OnlinePhaseDetector::observe` is the per-interval streaming update
+/// both the daemon and the CLI sit on. The `par` pool task bodies are
+/// closures — invisible to the item parser — so `Pool::map_chunks`,
+/// the execution funnel every pool primitive drains through, stands in
+/// for them.
+pub const D05_ROOTS: &[&str] = &[
+    "Session::drain_traced",
+    "OnlinePhaseDetector::observe",
+    "Pool::map_chunks",
+];
+
+/// A01: per-snapshot ingest roots from which allocation constructors
+/// are flagged (Warn: allocation in a hot loop is a cost smell, not a
+/// correctness bug). Setup/recovery paths go in `a01_allow`.
+pub const A01_ROOTS: &[&str] = &[
+    "Session::enqueue",
+    "Session::drain_traced",
+    "OnlinePhaseDetector::observe",
+];
+
 /// Identifier called with a name argument that O01 watches.
 pub const O01_CALLEES: &[&str] = &[
     "counter",
@@ -70,17 +93,21 @@ pub struct Config {
     /// D03: files (or `/`-terminated path prefixes) allowed to create
     /// threads.
     pub d03_allow: Vec<String>,
+    /// A01: files (or `/`-terminated path prefixes) whose allocations
+    /// are setup/recovery work even when reachable from ingest roots.
+    pub a01_allow: Vec<String>,
 }
 
 impl Default for Config {
     fn default() -> Self {
         let mut severities = BTreeMap::new();
         for &r in RuleId::ALL {
-            // D04 flags a heuristic pattern (raw .sum() near the pool)
-            // and L01 flags stale markers; both default to Warn. The
-            // invariant rules are errors outright.
+            // D04 flags a heuristic pattern (raw .sum() near the pool),
+            // A01 flags allocation *cost* rather than a correctness
+            // bug, and L01 flags stale markers; all default to Warn.
+            // The invariant rules are errors outright.
             let sev = match r {
-                RuleId::D04 | RuleId::L01 => Severity::Warn,
+                RuleId::D04 | RuleId::A01 | RuleId::L01 => Severity::Warn,
                 _ => Severity::Error,
             };
             severities.insert(r, sev);
@@ -113,11 +140,18 @@ impl Default for Config {
         ]
         .map(String::from)
         .to_vec();
+        let a01_allow = [
+            // Rehydration from the store is recovery, not steady state.
+            "crates/store/",
+        ]
+        .map(String::from)
+        .to_vec();
         Config {
             severities,
             deny_warnings: false,
             d01_allow,
             d03_allow,
+            a01_allow,
         }
     }
 }
@@ -159,6 +193,12 @@ impl Config {
     /// Whether `rel_path` may create threads (D03 scope).
     pub fn d03_allows(&self, rel_path: &str) -> bool {
         scope_match(&self.d03_allow, rel_path)
+    }
+
+    /// Whether allocations in `rel_path` are exempt from A01 (setup
+    /// or recovery scope).
+    pub fn a01_allows(&self, rel_path: &str) -> bool {
+        scope_match(&self.a01_allow, rel_path)
     }
 }
 

@@ -24,6 +24,16 @@ pub enum RuleId {
     /// Panic hygiene: no `.unwrap()` / `.expect()` in library crates
     /// outside tests without a justified allow marker.
     P01,
+    /// Panic reachability: no `panic!`-family macro in library code
+    /// that is public API or confidently reachable from one.
+    P02,
+    /// Blocking in workers: no lock/IO/sleep confidently reachable
+    /// from the configured hot-path roots (`D05_ROOTS`).
+    D05,
+    /// Allocation in hot paths: no Vec/Box/String constructors
+    /// confidently reachable from the per-snapshot ingest roots
+    /// (`A01_ROOTS`), outside the setup allowlist.
+    A01,
     /// Meta: malformed suppression marker (unknown rule, missing
     /// reason). Not suppressible.
     L00,
@@ -41,6 +51,9 @@ impl RuleId {
         RuleId::D04,
         RuleId::O01,
         RuleId::P01,
+        RuleId::P02,
+        RuleId::D05,
+        RuleId::A01,
         RuleId::L00,
         RuleId::L01,
     ];
@@ -54,6 +67,9 @@ impl RuleId {
             RuleId::D04 => "D04",
             RuleId::O01 => "O01",
             RuleId::P01 => "P01",
+            RuleId::P02 => "P02",
+            RuleId::D05 => "D05",
+            RuleId::A01 => "A01",
             RuleId::L00 => "L00",
             RuleId::L01 => "L01",
         }
@@ -79,6 +95,9 @@ impl RuleId {
             RuleId::P01 => {
                 "panic hygiene: unwrap/expect in library code without a justified marker"
             }
+            RuleId::P02 => "panic reachability: panic! macro reachable from a public library API",
+            RuleId::D05 => "blocking in workers: lock/IO/sleep reachable from a hot-path root",
+            RuleId::A01 => "alloc in hot path: allocation constructor reachable from ingest roots",
             RuleId::L00 => "malformed lint suppression marker",
             RuleId::L01 => "stale lint suppression (matched no diagnostic)",
         }

@@ -1,13 +1,52 @@
 //! The lint engine: walk the workspace, run the rules, apply
 //! suppressions, and render the results.
 
+use crate::callgraph::StaticCallGraph;
 use crate::config::{self, Config};
+use crate::dataflow::Reachability;
 use crate::diag::{Diagnostic, RuleId, Severity};
+use crate::lexer::Token;
+use crate::parse::{self, ParsedFile};
 use crate::rules;
 use crate::source::SourceFile;
+use crate::symbols::SymbolTable;
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// The product of the multi-pass static analysis: the symbol table,
+/// the call graph, and reachability over its confident edges. Built
+/// once per run, shared by the graph rules (P02/D05/A01) and the
+/// `incprof sca` / `incprof callgraph` exports.
+pub struct WorkspaceAnalysis {
+    /// Function definitions and name indexes.
+    pub symbols: SymbolTable,
+    /// Call edges with confidence labels, plus per-body hazard facts.
+    pub graph: StaticCallGraph,
+    /// Forward/reverse reachability over confident edges.
+    pub reach: Reachability,
+}
+
+impl WorkspaceAnalysis {
+    /// Parse items, resolve symbols, and link the call graph for the
+    /// given file set.
+    pub fn build(files: &[SourceFile]) -> WorkspaceAnalysis {
+        let mut parsed: BTreeMap<String, ParsedFile> = BTreeMap::new();
+        let mut tokens: BTreeMap<String, Vec<Token>> = BTreeMap::new();
+        for f in files {
+            parsed.insert(f.rel_path.clone(), parse::parse_items(&f.tokens));
+            tokens.insert(f.rel_path.clone(), f.tokens.clone());
+        }
+        let symbols = SymbolTable::build(&parsed);
+        let graph = StaticCallGraph::build(&symbols, &tokens, &parsed);
+        let reach = Reachability::build(&graph);
+        WorkspaceAnalysis {
+            symbols,
+            graph,
+            reach,
+        }
+    }
+}
 
 /// The outcome of a lint run.
 #[derive(Debug)]
@@ -120,9 +159,61 @@ pub fn lint_source(rel_path: &str, text: &str, cfg: &Config) -> Vec<Diagnostic> 
 
 /// As [`lint_source`], also returning how many suppressions fired.
 pub fn lint_source_counted(rel_path: &str, text: &str, cfg: &Config) -> (Vec<Diagnostic>, usize) {
-    let file = SourceFile::parse(rel_path, text);
-    let raw = rules::run_rules(&file, cfg);
+    let (report, _analysis) = lint_files(&[(rel_path.to_owned(), text.to_owned())], cfg);
+    (report.diagnostics, report.suppressions_used)
+}
 
+/// The multi-pass core: lint a set of in-memory files as one unit.
+/// Per-file rules run on each file, the workspace analysis links them
+/// into a call graph, the graph rules (P02/D05/A01) run over the
+/// whole, and every file's suppressions apply uniformly at the end.
+pub fn lint_files(inputs: &[(String, String)], cfg: &Config) -> (LintReport, WorkspaceAnalysis) {
+    let files: Vec<SourceFile> = inputs
+        .iter()
+        .map(|(p, t)| SourceFile::parse(p, t))
+        .collect();
+    let analysis = WorkspaceAnalysis::build(&files);
+
+    let mut per_file_raw: Vec<Vec<Diagnostic>> =
+        files.iter().map(|f| rules::run_rules(f, cfg)).collect();
+    let by_path: BTreeMap<&str, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.rel_path.as_str(), i))
+        .collect();
+    for d in rules::run_graph_rules(&files, &analysis, cfg) {
+        if let Some(&i) = by_path.get(d.file.as_str()) {
+            per_file_raw[i].push(d);
+        }
+    }
+
+    let mut diagnostics = Vec::new();
+    let mut suppressions_used = 0usize;
+    for (file, raw) in files.iter().zip(per_file_raw) {
+        let (mut diags, used) = apply_suppressions(file, raw, cfg);
+        diagnostics.append(&mut diags);
+        suppressions_used += used;
+    }
+    diagnostics
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    (
+        LintReport {
+            files_scanned: files.len(),
+            diagnostics,
+            suppressions_used,
+            deny_warnings: cfg.deny_warnings,
+        },
+        analysis,
+    )
+}
+
+/// Apply one file's suppression markers to its raw diagnostics, then
+/// append the meta-diagnostics (L00 malformed, L01 stale).
+fn apply_suppressions(
+    file: &SourceFile,
+    raw: Vec<Diagnostic>,
+    cfg: &Config,
+) -> (Vec<Diagnostic>, usize) {
     // A marker suppresses every diagnostic of its rule on its target
     // line (one line can hold two calls the same marker vouches for).
     let mut used = vec![false; file.suppressions.len()];
@@ -189,33 +280,56 @@ pub fn lint_source_counted(rel_path: &str, text: &str, cfg: &Config) -> (Vec<Dia
 /// and build output are skipped, and diagnostics come back ordered by
 /// (file, line, rule). Progress is surfaced through `incprof-obs`.
 pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<LintReport> {
+    lint_workspace_analyzed(root, cfg).map(|(report, _)| report)
+}
+
+/// As [`lint_workspace`], also returning the workspace analysis so
+/// callers (`incprof sca`, `incprof callgraph`) can export the call
+/// graph without a second pass.
+pub fn lint_workspace_analyzed(
+    root: &Path,
+    cfg: &Config,
+) -> io::Result<(LintReport, WorkspaceAnalysis)> {
     let _span = incprof_obs::span(incprof_obs::names::LINT_RUN);
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
 
-    let mut diagnostics = Vec::new();
-    let mut suppressions_used = 0usize;
+    let mut inputs: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in &files {
-        let rel = rel_path(root, path);
-        let text = std::fs::read_to_string(path)?;
-        let (mut diags, used) = lint_source_counted(&rel, &text, cfg);
-        diagnostics.append(&mut diags);
-        suppressions_used += used;
+        inputs.push((rel_path(root, path), std::fs::read_to_string(path)?));
     }
-    diagnostics
-        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    let (report, analysis) = lint_files(&inputs, cfg);
 
+    let (confident, ambiguous) = analysis.graph.edge_counts();
     incprof_obs::counter(incprof_obs::names::LINT_FILES_SCANNED).add(files.len() as u64);
-    incprof_obs::counter(incprof_obs::names::LINT_DIAGNOSTICS_TOTAL).add(diagnostics.len() as u64);
-    incprof_obs::counter(incprof_obs::names::LINT_SUPPRESSIONS_USED).add(suppressions_used as u64);
+    incprof_obs::counter(incprof_obs::names::LINT_DIAGNOSTICS_TOTAL)
+        .add(report.diagnostics.len() as u64);
+    incprof_obs::counter(incprof_obs::names::LINT_SUPPRESSIONS_USED)
+        .add(report.suppressions_used as u64);
+    incprof_obs::counter(incprof_obs::names::SCA_FUNCTIONS).add(analysis.symbols.defs.len() as u64);
+    incprof_obs::counter(incprof_obs::names::SCA_EDGES_CONFIDENT).add(confident as u64);
+    incprof_obs::counter(incprof_obs::names::SCA_EDGES_AMBIGUOUS).add(ambiguous as u64);
 
-    Ok(LintReport {
-        files_scanned: files.len(),
-        diagnostics,
-        suppressions_used,
-        deny_warnings: cfg.deny_warnings,
-    })
+    Ok((report, analysis))
+}
+
+/// Build a [`WorkspaceAnalysis`] over only the `.rs` files under
+/// `root/subdir`, with paths still workspace-relative so crate scoping
+/// matches a full run. Used by `incprof callgraph` and the serve daemon
+/// to build the apps' static graph without analyzing the whole
+/// workspace.
+pub fn analyze_subtree(root: &Path, subdir: &str) -> io::Result<WorkspaceAnalysis> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, &root.join(subdir), &mut paths)?;
+    paths.sort();
+    let files: Vec<SourceFile> = paths
+        .iter()
+        .map(|p| {
+            std::fs::read_to_string(p).map(|text| SourceFile::parse(&rel_path(root, p), &text))
+        })
+        .collect::<io::Result<_>>()?;
+    Ok(WorkspaceAnalysis::build(&files))
 }
 
 /// Walk upward from `start` to the directory whose `Cargo.toml`
@@ -348,6 +462,159 @@ mod tests {
             &cfg,
         );
         assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn p02_fires_transitively_from_public_api() {
+        let inputs = vec![
+            (
+                "crates/core/src/api.rs".to_owned(),
+                "pub fn api() { crate::inner::helper(); }\n".to_owned(),
+            ),
+            (
+                "crates/core/src/inner.rs".to_owned(),
+                "pub fn helper() { deep(); }\nfn deep() { panic!(\"boom\"); }\n".to_owned(),
+            ),
+        ];
+        let (report, _) = lint_files(&inputs, &Config::default());
+        let p02: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == RuleId::P02)
+            .collect();
+        assert_eq!(p02.len(), 1, "{:?}", report.diagnostics);
+        assert_eq!(p02[0].file, "crates/core/src/inner.rs");
+        assert_eq!(p02[0].line, 2);
+        assert!(
+            p02[0].message.contains("helper -> deep"),
+            "{}",
+            p02[0].message
+        );
+    }
+
+    #[test]
+    fn p02_ignores_private_dead_code_and_non_library_crates() {
+        // Private, never called from a pub fn → not flagged.
+        let (report, _) = lint_files(
+            &[(
+                "crates/core/src/x.rs".to_owned(),
+                "fn orphan() { panic!(\"never\"); }\n".to_owned(),
+            )],
+            &Config::default(),
+        );
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        // Same shape in a binary crate → out of P02 scope.
+        let (report, _) = lint_files(
+            &[(
+                "crates/cli/src/x.rs".to_owned(),
+                "pub fn main_ish() { panic!(\"usage\"); }\n".to_owned(),
+            )],
+            &Config::default(),
+        );
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn p02_suppressed_by_line_marker() {
+        let src = "pub fn api() {\n    // lint: allow(P02, input validated by construction)\n    unreachable!(\"checked\");\n}\n";
+        let (report, _) = lint_files(
+            &[("crates/core/src/x.rs".to_owned(), src.to_owned())],
+            &Config::default(),
+        );
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        assert_eq!(report.suppressions_used, 1);
+    }
+
+    #[test]
+    fn d05_flags_blocking_reachable_from_configured_root() {
+        let src = "struct Session;\nimpl Session {\n    pub fn drain_traced(&mut self) { self.persist(); }\n    fn persist(&self) { std::fs::read_to_string(\"x\"); }\n}\n";
+        let (report, _) = lint_files(
+            &[("crates/serve/src/x.rs".to_owned(), src.to_owned())],
+            &Config::default(),
+        );
+        let d05: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == RuleId::D05)
+            .collect();
+        assert_eq!(d05.len(), 1, "{:?}", report.diagnostics);
+        assert_eq!(d05[0].line, 4);
+        assert!(d05[0].message.contains("Session::drain_traced"));
+    }
+
+    #[test]
+    fn d05_silent_when_blocking_is_unreachable_from_roots() {
+        let src = "pub fn cold_setup() { std::fs::read_to_string(\"cfg\"); }\n";
+        let (report, _) = lint_files(
+            &[("crates/serve/src/x.rs".to_owned(), src.to_owned())],
+            &Config::default(),
+        );
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn a01_flags_alloc_in_ingest_and_respects_allowlist() {
+        let src = "struct Session;\nimpl Session {\n    pub fn enqueue(&mut self) { let buf: Vec<u8> = Vec::with_capacity(64); }\n}\n";
+        let (report, _) = lint_files(
+            &[("crates/serve/src/x.rs".to_owned(), src.to_owned())],
+            &Config::default(),
+        );
+        let a01: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == RuleId::A01)
+            .collect();
+        assert_eq!(a01.len(), 1, "{:?}", report.diagnostics);
+        assert_eq!(a01[0].severity, Severity::Warn);
+        // The same file on the allowlist is exempt.
+        let mut cfg = Config::default();
+        cfg.a01_allow.push("crates/serve/src/x.rs".to_owned());
+        let (report, _) = lint_files(
+            &[("crates/serve/src/x.rs".to_owned(), src.to_owned())],
+            &cfg,
+        );
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn ambiguous_edges_never_fire_graph_rules() {
+        // Two candidate callees; one panics. The edge is ambiguous, so
+        // P02 must not fire through it (misses are recoverable, false
+        // positives are not).
+        let inputs = vec![
+            (
+                "crates/core/src/a.rs".to_owned(),
+                "pub fn shared() { panic!(\"a\"); }\n".to_owned(),
+            ),
+            (
+                "crates/par/src/lib.rs".to_owned(),
+                "pub fn shared() {}\n".to_owned(),
+            ),
+            (
+                "crates/obs/src/lib.rs".to_owned(),
+                "pub fn run() { shared(); }\n".to_owned(),
+            ),
+        ];
+        let (report, _) = lint_files(&inputs, &Config::default());
+        // Only the direct P02 on core's own pub `shared` fires.
+        let p02: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == RuleId::P02)
+            .collect();
+        assert_eq!(p02.len(), 1);
+        assert_eq!(p02[0].file, "crates/core/src/a.rs");
+    }
+
+    #[test]
+    fn multi_rule_marker_suppresses_both_and_counts_separately() {
+        let src = "pub fn api() {\n    // lint: allow(P01, P02, the slot is filled two lines up)\n    x.get(0).unwrap(); panic!(\"never\");\n}\n";
+        let (report, _) = lint_files(
+            &[("crates/core/src/x.rs".to_owned(), src.to_owned())],
+            &Config::default(),
+        );
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        assert_eq!(report.suppressions_used, 2);
     }
 
     #[test]

@@ -123,7 +123,7 @@ impl Lexer {
                 '/' if self.peek(1) == Some('/') => self.line_comment(line),
                 '/' if self.peek(1) == Some('*') => self.block_comment(),
                 '"' => self.string(line),
-                'r' | 'b' => {
+                'r' | 'b' | 'c' => {
                     if !self.raw_or_byte_literal(line) {
                         self.ident(line);
                     }
@@ -203,11 +203,12 @@ impl Lexer {
         self.push(TokenKind::Str, text, line);
     }
 
-    /// Try to lex `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'…'`.
-    /// Returns false if the `r`/`b` starts a plain identifier instead.
+    /// Try to lex `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`, `c"…"`,
+    /// or `cr#"…"#`. Returns false if the `r`/`b`/`c` starts a plain
+    /// identifier instead.
     fn raw_or_byte_literal(&mut self, line: u32) -> bool {
-        let mut ahead = 1; // past the r/b
-        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+        let mut ahead = 1; // past the r/b/c
+        if matches!(self.peek(0), Some('b') | Some('c')) && self.peek(1) == Some('r') {
             ahead = 2;
         }
         if self.peek(0) == Some('b') && self.peek(1) == Some('\'') {
@@ -438,6 +439,61 @@ mod tests {
         assert!(!t
             .iter()
             .any(|(k, x)| *k == TokenKind::Ident && x == "Instant"));
+    }
+
+    #[test]
+    fn byte_strings_lex_as_one_string_token() {
+        let t = kinds(r#"let a = b"unwrap bytes"; done"#);
+        assert!(t
+            .iter()
+            .any(|(k, x)| *k == TokenKind::Str && x == "unwrap bytes"));
+        assert!(!t.iter().any(|(k, x)| *k == TokenKind::Ident && x == "b"));
+        assert!(!t
+            .iter()
+            .any(|(k, x)| *k == TokenKind::Ident && x == "unwrap"));
+    }
+
+    #[test]
+    fn raw_byte_strings_lex_as_one_string_token() {
+        let t = kinds(r###"let a = br#"Instant "raw" bytes"#; done"###);
+        assert!(t
+            .iter()
+            .any(|(k, x)| *k == TokenKind::Str && x.contains("raw")));
+        assert!(!t.iter().any(|(k, x)| *k == TokenKind::Ident && x == "br"));
+        assert!(!t
+            .iter()
+            .any(|(k, x)| *k == TokenKind::Ident && x == "Instant"));
+    }
+
+    #[test]
+    fn c_strings_lex_as_one_string_token() {
+        let t = kinds(r#"let a = c"unwrap cstr"; done"#);
+        assert!(t
+            .iter()
+            .any(|(k, x)| *k == TokenKind::Str && x == "unwrap cstr"));
+        assert!(!t.iter().any(|(k, x)| *k == TokenKind::Ident && x == "c"));
+        assert!(!t
+            .iter()
+            .any(|(k, x)| *k == TokenKind::Ident && x == "unwrap"));
+        let raw = kinds(r###"let a = cr#"HashMap "inner""#; done"###);
+        assert!(raw
+            .iter()
+            .any(|(k, x)| *k == TokenKind::Str && x.contains("inner")));
+        assert!(!raw
+            .iter()
+            .any(|(k, x)| *k == TokenKind::Ident && x == "HashMap"));
+    }
+
+    #[test]
+    fn byte_prefixed_identifiers_stay_identifiers() {
+        let t = kinds("let buf = bread + crate_name + radius;");
+        for want in ["buf", "bread", "crate_name", "radius"] {
+            assert!(
+                t.iter().any(|(k, x)| *k == TokenKind::Ident && x == want),
+                "{want} should lex as an identifier: {t:?}"
+            );
+        }
+        assert!(!t.iter().any(|(k, _)| *k == TokenKind::Str));
     }
 
     #[test]

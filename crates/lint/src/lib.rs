@@ -15,18 +15,29 @@
 //! | D04  | chunked float reductions: no raw `.sum()` bypassing `reduce_chunks` |
 //! | O01  | obs names come from `incprof_obs::names`, not call-site literals |
 //! | P01  | no `unwrap`/`expect` in library code without a justified marker |
+//! | P02  | no panic macro reachable from a public library API |
+//! | D05  | no blocking call reachable from worker/drain hot paths |
+//! | A01  | no allocation constructors reachable from per-snapshot ingest |
 //! | L00  | malformed suppression marker (meta, unsuppressible) |
 //! | L01  | stale suppression marker (meta, unsuppressible) |
 //!
-//! Analysis is token-level, not syntactic: [`lexer`] produces a stream
-//! that distinguishes identifiers, strings, chars, lifetimes, and
+//! Analysis is multi-pass: [`lexer`] produces a token stream that
+//! distinguishes identifiers, strings, chars, lifetimes, and
 //! punctuation (so `"Instant::now"` inside a string or a comment never
 //! fires), [`source`] layers `#[cfg(test)]` region detection and
 //! suppression-marker parsing on top, and [`rules`] pattern-matches the
-//! stream. Findings can be silenced per line with
-//! `// lint: allow(RULE, reason)` — the reason is mandatory, and stale
-//! markers are themselves reported (L01) so suppressions cannot outlive
-//! the code they excused.
+//! stream for the per-file rules. On top of that, [`parse`] recovers
+//! the item skeleton (fn/impl/trait/mod/use, bodies as token slices),
+//! [`symbols`] resolves names per crate, [`callgraph`] links call sites
+//! into a workspace call graph with confident/ambiguous edge labels,
+//! and [`dataflow`] computes reachability over the confident edges —
+//! powering the graph rules (P02/D05/A01) and the `incprof callgraph`
+//! export that joins static structure against detected phases.
+//! Findings can be silenced per line with
+//! `// lint: allow(RULE, reason)` (several rules may share one marker:
+//! `// lint: allow(P01, D04, reason)`) — the reason is mandatory, and
+//! stale markers are themselves reported (L01) so suppressions cannot
+//! outlive the code they excused.
 //!
 //! The pass runs three ways: as the `incprof-lint` binary (and the
 //! `incprof lint` CLI subcommand), as the tier-1 `tests/lint_gate.rs`
@@ -36,15 +47,21 @@
 
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod config;
+pub mod dataflow;
 pub mod diag;
 pub mod engine;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod source;
+pub mod symbols;
 
+pub use callgraph::StaticCallGraph;
 pub use config::Config;
 pub use diag::{Diagnostic, RuleId, Severity};
 pub use engine::{
-    find_workspace_root, lint_source, lint_source_counted, lint_workspace, LintReport,
+    analyze_subtree, find_workspace_root, lint_files, lint_source, lint_source_counted,
+    lint_workspace, lint_workspace_analyzed, LintReport, WorkspaceAnalysis,
 };

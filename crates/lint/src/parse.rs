@@ -1,0 +1,627 @@
+//! A lightweight recursive-descent *item* parser over the lexed token
+//! stream.
+//!
+//! The static-analysis passes (`symbols` → `callgraph` → `dataflow`)
+//! need to know *which function a token belongs to* and *what that
+//! function could call* — nothing more. This parser therefore
+//! recognizes exactly the item skeleton of a Rust source file: `fn`,
+//! `impl`, `trait`, `mod`, and `use` items, each with its line span.
+//! Function bodies are **not** parsed into an expression AST; they are
+//! kept as token-index slices into the lexed stream, and the call-graph
+//! builder pattern-matches call shapes inside them.
+//!
+//! Known approximations (documented in `docs/LINTS.md`):
+//! * closures and items nested inside function bodies are part of the
+//!   enclosing function's body slice, not items of their own;
+//! * `macro_rules!` bodies are skipped as balanced token groups;
+//! * generic parameter lists are skipped, not modeled.
+
+use crate::lexer::{Token, TokenKind};
+use std::ops::Range;
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// The function's bare name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, if the fn is a method.
+    pub owner: Option<String>,
+    /// Inline `mod` path from the file root down to the item.
+    pub module: Vec<String>,
+    /// Whether the fn carries any `pub` qualifier.
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body *between* its braces (empty for
+    /// body-less trait methods and extern declarations).
+    pub body: Range<usize>,
+}
+
+impl FnItem {
+    /// `Owner::name` for methods, bare `name` otherwise — the display
+    /// form used in diagnostics and the call-graph JSON.
+    pub fn display_name(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One parsed `use` declaration leaf (groups are expanded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseDecl {
+    /// Full path segments, e.g. `["incprof_par", "reduce_chunks"]`.
+    pub path: Vec<String>,
+    /// The name the path is visible under (`as` alias, else the last
+    /// segment). Globs produce no leaf.
+    pub alias: String,
+    /// 1-based line of the `use` keyword.
+    pub line: u32,
+}
+
+/// One parsed `mod` declaration (inline or file-backed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModDecl {
+    /// Module name.
+    pub name: String,
+    /// Whether the body is inline (`mod m { … }`) vs `mod m;`.
+    pub inline: bool,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// The item skeleton of one source file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every `use` leaf, in source order.
+    pub uses: Vec<UseDecl>,
+    /// Every `mod` declaration, in source order.
+    pub mods: Vec<ModDecl>,
+    /// Names of `trait` items declared in the file.
+    pub traits: Vec<String>,
+    /// Type names with an `impl` block in the file.
+    pub impls: Vec<String>,
+}
+
+/// Parse the item skeleton out of a lexed token stream. Never fails:
+/// unparseable stretches are skipped token by token, which is the right
+/// behavior for a lint pass that must keep going on source the compiler
+/// would reject anyway.
+pub fn parse_items(tokens: &[Token]) -> ParsedFile {
+    Parser {
+        tokens,
+        pos: 0,
+        out: ParsedFile::default(),
+    }
+    .run()
+}
+
+/// A scope the cursor is currently inside, with the brace depth at
+/// which it opened (so `}` knows what to pop).
+#[derive(Debug, Clone)]
+enum Scope {
+    Module(String),
+    Owner(String),
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    out: ParsedFile,
+}
+
+impl<'a> Parser<'a> {
+    fn at(&self, i: usize) -> Option<&'a Token> {
+        self.tokens.get(self.pos + i)
+    }
+
+    fn run(mut self) -> ParsedFile {
+        // (scope, brace depth at which it opened)
+        let mut scopes: Vec<(Scope, usize)> = Vec::new();
+        let mut depth = 0usize;
+        let mut is_pub = false;
+
+        while let Some(t) = self.at(0) {
+            if t.is_punct('#') && self.at(1).is_some_and(|a| a.is_punct('[')) {
+                self.skip_attribute();
+                continue;
+            }
+            if t.is_punct('{') {
+                depth += 1;
+                self.pos += 1;
+                continue;
+            }
+            if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                // A scope opened at depth d owns the braces at d+1; when
+                // depth returns to d the scope is over.
+                while scopes.last().is_some_and(|(_, d)| *d >= depth) {
+                    scopes.pop();
+                }
+                self.pos += 1;
+                is_pub = false;
+                continue;
+            }
+            if t.kind != TokenKind::Ident {
+                self.pos += 1;
+                continue;
+            }
+            match t.text.as_str() {
+                "pub" => {
+                    self.pos += 1;
+                    // Swallow a visibility qualifier like `pub(crate)`.
+                    if self.at(0).is_some_and(|a| a.is_punct('(')) {
+                        self.skip_balanced('(', ')');
+                    }
+                    is_pub = true;
+                    continue;
+                }
+                "use" => {
+                    self.parse_use();
+                    is_pub = false;
+                    continue;
+                }
+                "mod" => {
+                    if let Some(name) = self.at(1).filter(|n| n.kind == TokenKind::Ident) {
+                        let line = t.line;
+                        let name = name.text.clone();
+                        let inline = self.at(2).is_some_and(|a| a.is_punct('{'));
+                        self.out.mods.push(ModDecl {
+                            name: name.clone(),
+                            inline,
+                            line,
+                        });
+                        self.pos += 2;
+                        if inline {
+                            scopes.push((Scope::Module(name), depth));
+                            // Let the main loop consume the `{`.
+                        }
+                    } else {
+                        self.pos += 1;
+                    }
+                    is_pub = false;
+                    continue;
+                }
+                "impl" => {
+                    let owner = self.parse_impl_header();
+                    if let Some(owner) = owner {
+                        if !self.out.impls.contains(&owner) {
+                            self.out.impls.push(owner.clone());
+                        }
+                        scopes.push((Scope::Owner(owner), depth));
+                    }
+                    is_pub = false;
+                    continue;
+                }
+                "trait" => {
+                    if let Some(name) = self.at(1).filter(|n| n.kind == TokenKind::Ident) {
+                        let name = name.text.clone();
+                        self.out.traits.push(name.clone());
+                        self.pos += 2;
+                        self.skip_to_body_open();
+                        scopes.push((Scope::Owner(name), depth));
+                    } else {
+                        self.pos += 1;
+                    }
+                    is_pub = false;
+                    continue;
+                }
+                "fn" => {
+                    self.parse_fn(&scopes, is_pub);
+                    is_pub = false;
+                    continue;
+                }
+                // Fn qualifiers between the visibility and the `fn`
+                // keyword must not reset the pending `pub`.
+                "const" | "unsafe" | "async" | "extern" => {
+                    self.pos += 1;
+                    continue;
+                }
+                "macro_rules" => {
+                    // `macro_rules! name { … }`: skip the whole balanced
+                    // definition so its body never looks like items.
+                    self.pos += 1;
+                    while let Some(t) = self.at(0) {
+                        if t.is_punct('{') {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    self.skip_balanced('{', '}');
+                    is_pub = false;
+                    continue;
+                }
+                _ => {
+                    self.pos += 1;
+                    is_pub = false;
+                    continue;
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Skip one `#[…]` (or `#![…]`) attribute group.
+    fn skip_attribute(&mut self) {
+        self.pos += 1; // '#'
+        if self.at(0).is_some_and(|a| a.is_punct('!')) {
+            self.pos += 1;
+        }
+        self.skip_balanced('[', ']');
+    }
+
+    /// Advance past a balanced `open…close` group, assuming the cursor
+    /// is at or before the opener.
+    fn skip_balanced(&mut self, open: char, close: char) {
+        let mut depth = 0usize;
+        let mut entered = false;
+        while let Some(t) = self.at(0) {
+            if t.is_punct(open) {
+                depth += 1;
+                entered = true;
+            } else if t.is_punct(close) {
+                depth = depth.saturating_sub(1);
+                if entered && depth == 0 {
+                    self.pos += 1;
+                    return;
+                }
+            } else if !entered {
+                // Never found the opener (garbage input); bail.
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// `use a::b::{c, d as e}, f;` — expand into leaves. The cursor is
+    /// on the `use` keyword.
+    fn parse_use(&mut self) {
+        let line = self.at(0).map(|t| t.line).unwrap_or(0);
+        self.pos += 1; // 'use'
+        let mut prefix: Vec<String> = Vec::new();
+        self.parse_use_tree(&mut prefix, line);
+        // Consume through the terminating ';'.
+        while let Some(t) = self.at(0) {
+            let done = t.is_punct(';');
+            self.pos += 1;
+            if done {
+                break;
+            }
+        }
+    }
+
+    fn parse_use_tree(&mut self, prefix: &mut Vec<String>, line: u32) {
+        let depth_here = prefix.len();
+        loop {
+            match self.at(0) {
+                Some(t) if t.kind == TokenKind::Ident && t.text == "as" => {
+                    self.pos += 1;
+                    if let Some(alias) = self.at(0).filter(|a| a.kind == TokenKind::Ident) {
+                        self.out.uses.push(UseDecl {
+                            path: prefix.clone(),
+                            alias: alias.text.clone(),
+                            line,
+                        });
+                        self.pos += 1;
+                    }
+                    prefix.truncate(depth_here);
+                    return;
+                }
+                Some(t) if t.kind == TokenKind::Ident => {
+                    prefix.push(t.text.clone());
+                    self.pos += 1;
+                }
+                Some(t) if t.is_punct(':') => {
+                    self.pos += 1; // consume both colons lazily
+                }
+                Some(t) if t.is_punct('{') => {
+                    self.pos += 1;
+                    loop {
+                        self.parse_use_tree(prefix, line);
+                        match self.at(0) {
+                            Some(t) if t.is_punct(',') => {
+                                self.pos += 1;
+                            }
+                            Some(t) if t.is_punct('}') => {
+                                self.pos += 1;
+                                break;
+                            }
+                            _ => break,
+                        }
+                    }
+                    prefix.truncate(depth_here);
+                    return;
+                }
+                Some(t) if t.is_punct('*') => {
+                    // Glob import: no leaf to record.
+                    self.pos += 1;
+                    prefix.truncate(depth_here);
+                    return;
+                }
+                _ => break,
+            }
+            // A path ends at ',', ';', or '}' — emit the leaf.
+            match self.at(0) {
+                Some(t) if t.is_punct(',') || t.is_punct(';') || t.is_punct('}') => {
+                    if prefix.len() > depth_here {
+                        if let Some(last) = prefix.last() {
+                            self.out.uses.push(UseDecl {
+                                path: prefix.clone(),
+                                alias: last.clone(),
+                                line,
+                            });
+                        }
+                    }
+                    prefix.truncate(depth_here);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        prefix.truncate(depth_here);
+    }
+
+    /// Parse `impl … {`, returning the implemented type's name. The
+    /// cursor is on `impl`; on return it sits on the opening `{` (which
+    /// the main loop consumes as a depth bump).
+    fn parse_impl_header(&mut self) -> Option<String> {
+        self.pos += 1; // 'impl'
+        let mut angle = 0usize;
+        let mut last_ident: Option<String> = None;
+        while let Some(t) = self.at(0) {
+            if t.is_punct('{') {
+                return last_ident;
+            }
+            if t.is_punct(';') {
+                // `impl Trait for Type;` style (rare) — no body.
+                self.pos += 1;
+                return None;
+            }
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle = angle.saturating_sub(1);
+            } else if angle == 0 && t.kind == TokenKind::Ident {
+                match t.text.as_str() {
+                    // `impl Trait for Type` — the type after `for` wins.
+                    "for" => last_ident = None,
+                    "where" => {
+                        self.skip_to_body_open();
+                        return last_ident;
+                    }
+                    _ => last_ident = Some(t.text.clone()),
+                }
+            }
+            self.pos += 1;
+        }
+        None
+    }
+
+    /// Advance to the next `{` at the current nesting (skipping a
+    /// `where` clause); leave the cursor *on* it.
+    fn skip_to_body_open(&mut self) {
+        while let Some(t) = self.at(0) {
+            if t.is_punct('{') || t.is_punct(';') {
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Parse a `fn` item. The cursor is on the `fn` keyword.
+    fn parse_fn(&mut self, scopes: &[(Scope, usize)], is_pub: bool) {
+        let line = self.at(0).map(|t| t.line).unwrap_or(0);
+        self.pos += 1; // 'fn'
+        let Some(name_tok) = self.at(0).filter(|t| t.kind == TokenKind::Ident) else {
+            return;
+        };
+        let name = name_tok.text.clone();
+        self.pos += 1;
+
+        // Skip generics `<…>`.
+        if self.at(0).is_some_and(|t| t.is_punct('<')) {
+            let mut angle = 0usize;
+            while let Some(t) = self.at(0) {
+                if t.is_punct('<') {
+                    angle += 1;
+                } else if t.is_punct('>') {
+                    angle = angle.saturating_sub(1);
+                    if angle == 0 {
+                        self.pos += 1;
+                        break;
+                    }
+                }
+                self.pos += 1;
+            }
+        }
+        // Skip the argument list.
+        self.skip_balanced('(', ')');
+        // Return type / where clause: scan to the body `{` or a `;`.
+        // Angle depth guards against `->` arrows and generic returns;
+        // braces cannot appear before the body at item level.
+        while let Some(t) = self.at(0) {
+            if t.is_punct('{') || t.is_punct(';') {
+                break;
+            }
+            self.pos += 1;
+        }
+        let body = if self.at(0).is_some_and(|t| t.is_punct('{')) {
+            self.pos += 1; // opening brace
+            let start = self.pos;
+            let mut depth = 1usize;
+            while let Some(t) = self.at(0) {
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                self.pos += 1;
+            }
+            let end = self.pos;
+            if self.at(0).is_some() {
+                self.pos += 1; // closing brace
+            }
+            start..end
+        } else {
+            if self.at(0).is_some() {
+                self.pos += 1; // ';'
+            }
+            self.pos..self.pos
+        };
+
+        let module: Vec<String> = scopes
+            .iter()
+            .filter_map(|(s, _)| match s {
+                Scope::Module(m) => Some(m.clone()),
+                Scope::Owner(_) => None,
+            })
+            .collect();
+        let owner = scopes.iter().rev().find_map(|(s, _)| match s {
+            Scope::Owner(o) => Some(o.clone()),
+            Scope::Module(_) => None,
+        });
+        self.out.fns.push(FnItem {
+            name,
+            owner,
+            module,
+            is_pub,
+            line,
+            body,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_items(&lex(src).tokens)
+    }
+
+    #[test]
+    fn free_fns_and_spans() {
+        let p = parse("fn a() { b(); }\npub fn b() -> u32 { 1 }\n");
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "a");
+        assert!(!p.fns[0].is_pub);
+        assert_eq!(p.fns[0].line, 1);
+        assert_eq!(p.fns[1].name, "b");
+        assert!(p.fns[1].is_pub);
+        assert_eq!(p.fns[1].line, 2);
+        assert!(!p.fns[0].body.is_empty());
+    }
+
+    #[test]
+    fn methods_get_their_impl_owner() {
+        let src = "struct S;\nimpl S {\n    pub fn m(&self) {}\n}\nimpl Display for S {\n    fn fmt(&self) {}\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].owner.as_deref(), Some("S"));
+        assert_eq!(p.fns[0].display_name(), "S::m");
+        assert!(p.fns[0].is_pub);
+        // `impl Trait for Type` attributes methods to the type.
+        assert_eq!(p.fns[1].owner.as_deref(), Some("S"));
+        assert_eq!(p.impls, vec!["S"]);
+    }
+
+    #[test]
+    fn generic_impls_and_fns_parse() {
+        let src = "impl<'a, T: Clone> Wrapper<'a, T> {\n    fn get<Q: Ord>(&self, q: Q) -> &T { &self.0 }\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Wrapper"));
+        assert_eq!(p.fns[0].name, "get");
+    }
+
+    #[test]
+    fn inline_mods_nest_and_pop() {
+        let src = "mod outer {\n    mod inner {\n        fn deep() {}\n    }\n    fn mid() {}\n}\nfn top() {}\n";
+        let p = parse(src);
+        let by_name: Vec<(&str, &[String])> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.module.as_slice()))
+            .collect();
+        assert_eq!(by_name[0].0, "deep");
+        assert_eq!(by_name[0].1, ["outer".to_string(), "inner".to_string()]);
+        assert_eq!(by_name[1].0, "mid");
+        assert_eq!(by_name[1].1, ["outer".to_string()]);
+        assert_eq!(by_name[2].0, "top");
+        assert!(by_name[2].1.is_empty());
+        assert_eq!(p.mods.len(), 2);
+        assert!(p.mods.iter().all(|m| m.inline));
+    }
+
+    #[test]
+    fn use_declarations_expand_groups_and_aliases() {
+        let src = "use a::b::{c, d as e};\nuse f::g;\nuse h::*;\n";
+        let p = parse(src);
+        let leaves: Vec<(String, String)> = p
+            .uses
+            .iter()
+            .map(|u| (u.path.join("::"), u.alias.clone()))
+            .collect();
+        assert!(leaves.contains(&("a::b::c".into(), "c".into())));
+        assert!(leaves.contains(&("a::b::d".into(), "e".into())));
+        assert!(leaves.contains(&("f::g".into(), "g".into())));
+        assert_eq!(leaves.len(), 3, "globs produce no leaf: {leaves:?}");
+    }
+
+    #[test]
+    fn bodies_are_token_slices_not_items() {
+        let src = "fn outer() {\n    let f = |x: u32| x + 1;\n    fn inner() {}\n    if true { nested(); }\n}\nfn after() {}\n";
+        let p = parse(src);
+        // `inner` stays inside outer's body slice.
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "after"]);
+        let toks = lex(src).tokens;
+        let body = &toks[p.fns[0].body.clone()];
+        assert!(body.iter().any(|t| t.is_ident("inner")));
+        assert!(body.iter().any(|t| t.is_ident("nested")));
+    }
+
+    #[test]
+    fn trait_methods_and_bodyless_decls() {
+        let src =
+            "trait T {\n    fn required(&self);\n    fn provided(&self) { self.required() }\n}\n";
+        let p = parse(src);
+        assert_eq!(p.traits, vec!["T"]);
+        assert_eq!(p.fns.len(), 2);
+        assert!(p.fns[0].body.is_empty());
+        assert!(!p.fns[1].body.is_empty());
+        assert_eq!(p.fns[1].owner.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn attributes_and_qualifiers_are_skipped() {
+        let src = "#[inline]\n#[cfg(feature = \"x\")]\npub const unsafe fn q() {}\nmacro_rules! m { ($x:expr) => { fn not_an_item() {} }; }\nfn real() {}\n";
+        let p = parse(src);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["q", "real"]);
+        assert!(p.fns[0].is_pub);
+    }
+
+    #[test]
+    fn where_clauses_do_not_confuse_body_detection() {
+        let src = "fn g<T>(t: T) -> Vec<T>\nwhere\n    T: Clone,\n{\n    vec![t]\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 1);
+        assert!(!p.fns[0].body.is_empty());
+    }
+
+    #[test]
+    fn file_backed_mod_decls_are_recorded() {
+        let p = parse("pub mod alpha;\nmod beta;\n");
+        assert_eq!(p.mods.len(), 2);
+        assert!(p.mods.iter().all(|m| !m.inline));
+        assert_eq!(p.mods[0].name, "alpha");
+    }
+}

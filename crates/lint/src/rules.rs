@@ -8,10 +8,14 @@
 //! for zero type-system machinery — is what keeps the pass fast,
 //! dependency-free, and auditable.
 
+use crate::callgraph::FactKind;
 use crate::config::{self, Config};
+use crate::dataflow::Reachability;
 use crate::diag::{Diagnostic, RuleId, Severity};
+use crate::engine::WorkspaceAnalysis;
 use crate::lexer::TokenKind;
 use crate::source::SourceFile;
+use std::collections::BTreeMap;
 
 /// Run every enabled rule over `file`, returning raw (pre-suppression)
 /// diagnostics.
@@ -32,6 +36,201 @@ pub fn run_rules(file: &SourceFile, cfg: &Config) -> Vec<Diagnostic> {
     o01_metric_names(file, crate_name, cfg, &mut out);
     p01_panic_hygiene(file, crate_name, cfg, &mut out);
     out
+}
+
+/// Run the graph-powered rules (P02/D05/A01) over the whole analyzed
+/// file set. Diagnostics point at the hazard *site* (so a normal
+/// per-line marker suppresses them) and name the root plus a witness
+/// call path in the message.
+pub fn run_graph_rules(
+    files: &[SourceFile],
+    ws: &WorkspaceAnalysis,
+    cfg: &Config,
+) -> Vec<Diagnostic> {
+    let by_path: BTreeMap<&str, &SourceFile> =
+        files.iter().map(|f| (f.rel_path.as_str(), f)).collect();
+    let mut out = Vec::new();
+    p02_panic_reachability(&by_path, ws, cfg, &mut out);
+    d05_blocking_in_worker(&by_path, ws, cfg, &mut out);
+    a01_alloc_in_hot_path(&by_path, ws, cfg, &mut out);
+    out
+}
+
+/// Whether a fact site should be skipped: outside the analyzed file
+/// set, in a harness crate, or on a test line.
+fn fact_site<'a>(
+    by_path: &BTreeMap<&str, &'a SourceFile>,
+    ws: &WorkspaceAnalysis,
+    node: usize,
+    line: u32,
+) -> Option<&'a SourceFile> {
+    let def = &ws.symbols.defs[node];
+    if config::HARNESS_CRATES.contains(&def.crate_name.as_str()) {
+        return None;
+    }
+    let file = by_path.get(def.file.as_str())?;
+    if file.is_test_line(line) {
+        None
+    } else {
+        Some(file)
+    }
+}
+
+/// P02: a panic-family macro in a library crate that is public API or
+/// confidently reachable from one. Transitive where P01 is per-file.
+fn p02_panic_reachability(
+    by_path: &BTreeMap<&str, &SourceFile>,
+    ws: &WorkspaceAnalysis,
+    cfg: &Config,
+    out: &mut Vec<Diagnostic>,
+) {
+    for fact in ws.graph.facts.iter().filter(|f| f.kind == FactKind::Panic) {
+        let def = &ws.symbols.defs[fact.node];
+        if !config::P01_CRATES.contains(&def.crate_name.as_str()) {
+            continue;
+        }
+        let Some(file) = fact_site(by_path, ws, fact.node, fact.line) else {
+            continue;
+        };
+        // The nearest public API that can reach this site, in
+        // deterministic def order; private dead code is not flagged.
+        let rev = ws.reach.can_reach(&[fact.node]);
+        let witness = (0..ws.symbols.defs.len()).find(|&i| {
+            rev[i]
+                && ws.symbols.defs[i].is_pub
+                && config::P01_CRATES.contains(&ws.symbols.defs[i].crate_name.as_str())
+        });
+        let Some(w) = witness else { continue };
+        let path = ws
+            .reach
+            .witness_path(w, fact.node)
+            .map(|p| Reachability::render_path(&ws.symbols, &p))
+            .unwrap_or_else(|| ws.symbols.defs[w].qualified.clone());
+        emit(
+            out,
+            file,
+            cfg,
+            RuleId::P02,
+            fact.line,
+            format!(
+                "`{}` is reachable from public API `{}` (via {path}); return an \
+                 error instead, or justify with `// lint: allow(P02, <why this \
+                 cannot fire on caller data>)`",
+                fact.what, ws.symbols.defs[w].qualified
+            ),
+        );
+    }
+}
+
+/// D05: a blocking call (lock/IO/sleep) confidently reachable from a
+/// configured hot-path root (`config::D05_ROOTS`).
+fn d05_blocking_in_worker(
+    by_path: &BTreeMap<&str, &SourceFile>,
+    ws: &WorkspaceAnalysis,
+    cfg: &Config,
+    out: &mut Vec<Diagnostic>,
+) {
+    let roots = root_nodes(ws, config::D05_ROOTS);
+    if roots.is_empty() {
+        return;
+    }
+    let fwd = ws.reach.reachable_from(&roots);
+    for fact in ws
+        .graph
+        .facts
+        .iter()
+        .filter(|f| f.kind == FactKind::Blocking)
+    {
+        if !fwd[fact.node] {
+            continue;
+        }
+        let Some(file) = fact_site(by_path, ws, fact.node, fact.line) else {
+            continue;
+        };
+        let (root, path) = first_root_path(ws, &roots, fact.node);
+        emit(
+            out,
+            file,
+            cfg,
+            RuleId::D05,
+            fact.line,
+            format!(
+                "blocking call `{}` reachable from hot-path root `{root}` (via \
+                 {path}); move it off the worker path, or justify with \
+                 `// lint: allow(D05, <why this block is bounded>)`",
+                fact.what
+            ),
+        );
+    }
+}
+
+/// A01: an allocation constructor confidently reachable from the
+/// per-snapshot ingest roots (`config::A01_ROOTS`), outside the setup
+/// allowlist. Warn by default: allocation is a cost smell, not a bug.
+fn a01_alloc_in_hot_path(
+    by_path: &BTreeMap<&str, &SourceFile>,
+    ws: &WorkspaceAnalysis,
+    cfg: &Config,
+    out: &mut Vec<Diagnostic>,
+) {
+    let roots = root_nodes(ws, config::A01_ROOTS);
+    if roots.is_empty() {
+        return;
+    }
+    let fwd = ws.reach.reachable_from(&roots);
+    for fact in ws.graph.facts.iter().filter(|f| f.kind == FactKind::Alloc) {
+        if !fwd[fact.node] {
+            continue;
+        }
+        let def = &ws.symbols.defs[fact.node];
+        if cfg.a01_allows(&def.file) {
+            continue;
+        }
+        let Some(file) = fact_site(by_path, ws, fact.node, fact.line) else {
+            continue;
+        };
+        let (root, path) = first_root_path(ws, &roots, fact.node);
+        emit(
+            out,
+            file,
+            cfg,
+            RuleId::A01,
+            fact.line,
+            format!(
+                "allocation `{}` reachable from ingest root `{root}` (via {path}); \
+                 hoist or reuse the buffer, or justify with \
+                 `// lint: allow(A01, <why this allocation is amortized>)`",
+                fact.what
+            ),
+        );
+    }
+}
+
+/// Resolve configured root names (qualified form) to node indices.
+fn root_nodes(ws: &WorkspaceAnalysis, names: &[&str]) -> Vec<usize> {
+    let mut roots: Vec<usize> = names
+        .iter()
+        .filter_map(|n| ws.symbols.by_qualified.get(*n))
+        .flatten()
+        .copied()
+        .collect();
+    roots.sort_unstable();
+    roots.dedup();
+    roots
+}
+
+/// The first configured root (in def order) that reaches `node`, with
+/// a rendered witness path.
+fn first_root_path(ws: &WorkspaceAnalysis, roots: &[usize], node: usize) -> (String, String) {
+    for &r in roots {
+        if let Some(p) = ws.reach.witness_path(r, node) {
+            return (
+                ws.symbols.defs[r].qualified.clone(),
+                Reachability::render_path(&ws.symbols, &p),
+            );
+        }
+    }
+    ("<unknown root>".to_owned(), String::new())
 }
 
 fn emit(

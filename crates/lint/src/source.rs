@@ -83,7 +83,7 @@ impl SourceFile {
                     line: c.line,
                     problem,
                 }),
-                MarkerParse::Ok { rule, reason } => {
+                MarkerParse::Ok { rules, reason } => {
                     let idx = (c.line as usize - 1).min(n_lines - 1);
                     let target_line = if token_lines[idx] {
                         c.line
@@ -95,12 +95,16 @@ impl SourceFile {
                             None => c.line, // dangling; will report as stale
                         }
                     };
-                    suppressions.push(Suppression {
-                        rule,
-                        reason,
-                        marker_line: c.line,
-                        target_line,
-                    });
+                    // One marker may name several rules; each becomes
+                    // its own suppression (and goes stale on its own).
+                    for rule in rules {
+                        suppressions.push(Suppression {
+                            rule,
+                            reason: reason.clone(),
+                            marker_line: c.line,
+                            target_line,
+                        });
+                    }
                 }
             }
         }
@@ -140,11 +144,12 @@ impl SourceFile {
 enum MarkerParse {
     NotAMarker,
     Bad(String),
-    Ok { rule: RuleId, reason: String },
+    Ok { rules: Vec<RuleId>, reason: String },
 }
 
-/// Parse one comment body. The accepted grammar is exactly
-/// `lint: allow(<RULE>, <reason>)`; anything that starts with `lint:`
+/// Parse one comment body. The accepted grammar is
+/// `lint: allow(<RULE>[, <RULE>…], <reason>)` — one or more rule names
+/// followed by a mandatory reason; anything that starts with `lint:`
 /// but does not fit is a malformed marker, never silently ignored.
 fn parse_marker(comment_text: &str) -> MarkerParse {
     let t = comment_text.trim();
@@ -160,26 +165,40 @@ fn parse_marker(comment_text: &str) -> MarkerParse {
     let Some(body) = body.strip_suffix(')') else {
         return MarkerParse::Bad("suppression marker is missing its closing `)`".to_owned());
     };
-    let Some((rule_text, reason)) = body.split_once(',') else {
-        return MarkerParse::Bad(
-            "suppression must carry a reason: `lint: allow(RULE, reason)`".to_owned(),
-        );
-    };
-    let rule_text = rule_text.trim();
-    let Some(rule) = RuleId::parse(rule_text) else {
-        return MarkerParse::Bad(format!("unknown rule `{rule_text}` in suppression marker"));
-    };
-    if !rule.suppressible() {
-        return MarkerParse::Bad(format!("rule {rule} cannot be suppressed"));
+    // Consume leading comma-separated segments that name rules; what
+    // remains is the reason.
+    let mut rules = Vec::new();
+    let mut rest = body;
+    while let Some((head, tail)) = rest.split_once(',') {
+        let Some(rule) = RuleId::parse(head.trim()) else {
+            break;
+        };
+        if !rule.suppressible() {
+            return MarkerParse::Bad(format!("rule {rule} cannot be suppressed"));
+        }
+        rules.push(rule);
+        rest = tail;
     }
-    let reason = reason.trim();
-    if reason.is_empty() {
+    if rules.is_empty() {
+        let first = body.split(',').next().unwrap_or("").trim();
+        return match RuleId::parse(first) {
+            Some(r) if !r.suppressible() => {
+                MarkerParse::Bad(format!("rule {r} cannot be suppressed"))
+            }
+            Some(_) => MarkerParse::Bad(
+                "suppression must carry a reason: `lint: allow(RULE, reason)`".to_owned(),
+            ),
+            None => MarkerParse::Bad(format!("unknown rule `{first}` in suppression marker")),
+        };
+    }
+    let reason = rest.trim();
+    if reason.is_empty() || RuleId::parse(reason).is_some() {
         return MarkerParse::Bad(
             "suppression must carry a non-empty reason: `lint: allow(RULE, reason)`".to_owned(),
         );
     }
     MarkerParse::Ok {
-        rule,
+        rules,
         reason: reason.to_owned(),
     }
 }
@@ -277,6 +296,53 @@ mod tests {
         let f = SourceFile::parse("crates/core/src/x.rs", src);
         assert_eq!(f.suppressions.len(), 1);
         assert_eq!(f.suppressions[0].target_line, 4);
+    }
+
+    #[test]
+    fn multi_rule_marker_expands_to_one_suppression_per_rule() {
+        let src = "fn f() {\n    total.unwrap(); // lint: allow(P01, D04, the pool already chunked this)\n}\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert_eq!(f.suppressions.len(), 2);
+        assert_eq!(f.suppressions[0].rule, RuleId::P01);
+        assert_eq!(f.suppressions[1].rule, RuleId::D04);
+        for s in &f.suppressions {
+            assert_eq!(s.reason, "the pool already chunked this");
+            assert_eq!(s.target_line, 2);
+        }
+        assert!(f.bad_markers.is_empty());
+    }
+
+    #[test]
+    fn multi_rule_marker_without_reason_is_bad() {
+        let f = SourceFile::parse(
+            "crates/core/src/x.rs",
+            "// lint: allow(P01, D04)\nfn f() {}\n",
+        );
+        assert!(f.suppressions.is_empty());
+        assert_eq!(f.bad_markers.len(), 1);
+        assert!(f.bad_markers[0].problem.contains("reason"));
+    }
+
+    #[test]
+    fn reason_mentioning_a_rule_mid_sentence_still_parses() {
+        let src = "// lint: allow(P01, D04 covers the sum, this is the remainder)\nfn f() { x.unwrap(); }\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].rule, RuleId::P01);
+        assert_eq!(
+            f.suppressions[0].reason,
+            "D04 covers the sum, this is the remainder"
+        );
+    }
+
+    #[test]
+    fn marker_inside_cfg_test_region_is_parsed() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        x.unwrap(); // lint: allow(P01, test fixture)\n    }\n}\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        // The marker parses like any other; whether it counts as stale
+        // is the engine's call (it skips L01 on test lines).
+        assert_eq!(f.suppressions.len(), 1);
+        assert!(f.is_test_line(f.suppressions[0].target_line));
     }
 
     #[test]

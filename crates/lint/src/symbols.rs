@@ -1,0 +1,299 @@
+//! Per-file and workspace-wide symbol resolution over the parsed item
+//! skeleton.
+//!
+//! Resolution is deliberately shallow: we track which crate each file
+//! belongs to (directory-derived, the same mapping the per-file rules
+//! use), the `use` alias table each file declares, and a workspace
+//! index from bare and qualified function names to their definitions.
+//! That is enough for the call-graph builder to label edges as
+//! *confident* (unique resolution) or *ambiguous* (name matches more
+//! than one definition, or crosses a boundary we cannot see through).
+
+use crate::config;
+use crate::parse::ParsedFile;
+use std::collections::BTreeMap;
+
+/// A function definition site, workspace-unique by index.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare name (`observe`).
+    pub name: String,
+    /// `Owner::name` for methods, bare name otherwise.
+    pub qualified: String,
+    /// Impl/trait owner type, if a method.
+    pub owner: Option<String>,
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// Crate the file belongs to (`config::crate_of`).
+    pub crate_name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the fn carries a `pub` qualifier.
+    pub is_pub: bool,
+    /// Token-index range of the body in the file's token stream.
+    pub body: std::ops::Range<usize>,
+}
+
+/// Symbols visible inside one file: its crate, its `use` aliases, and
+/// the indices (into [`SymbolTable::defs`]) of the fns it defines.
+#[derive(Debug, Clone, Default)]
+pub struct FileSymbols {
+    /// Crate the file belongs to.
+    pub crate_name: String,
+    /// `alias -> full use path` (e.g. `reduce_chunks -> incprof_par::reduce_chunks`).
+    pub aliases: BTreeMap<String, Vec<String>>,
+    /// Indices into the workspace def table for fns defined here.
+    pub defs: Vec<usize>,
+}
+
+/// The workspace symbol table: every fn definition plus per-file
+/// visibility info and name indexes for resolution.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    /// All function definitions, in (file, source) order.
+    pub defs: Vec<FnDef>,
+    /// Per-file symbol info, keyed by workspace-relative path.
+    pub files: BTreeMap<String, FileSymbols>,
+    /// Bare name → def indices (all crates).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// `Owner::name` → def indices.
+    pub by_qualified: BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Build the table from parsed files. `parsed` maps workspace-relative
+    /// path → item skeleton; iteration order is the BTreeMap's sorted
+    /// order, which keeps def indices deterministic.
+    pub fn build(parsed: &BTreeMap<String, ParsedFile>) -> SymbolTable {
+        let mut table = SymbolTable::default();
+        for (path, items) in parsed {
+            let crate_name = config::crate_of(path).unwrap_or("").to_string();
+            let mut fs = FileSymbols {
+                crate_name: crate_name.clone(),
+                ..FileSymbols::default()
+            };
+            for u in &items.uses {
+                fs.aliases.insert(u.alias.clone(), u.path.clone());
+            }
+            for f in &items.fns {
+                let idx = table.defs.len();
+                table.defs.push(FnDef {
+                    name: f.name.clone(),
+                    qualified: f.display_name(),
+                    owner: f.owner.clone(),
+                    file: path.clone(),
+                    crate_name: crate_name.clone(),
+                    line: f.line,
+                    is_pub: f.is_pub,
+                    body: f.body.clone(),
+                });
+                fs.defs.push(idx);
+                table.by_name.entry(f.name.clone()).or_default().push(idx);
+                table
+                    .by_qualified
+                    .entry(table.defs[idx].qualified.clone())
+                    .or_default()
+                    .push(idx);
+            }
+            table.files.insert(path.clone(), fs);
+        }
+        table
+    }
+
+    /// Resolve a bare call `name(` seen in `file` inside an fn whose
+    /// owner is `owner`. Returns `(candidates, confident)`.
+    ///
+    /// Confidence ladder:
+    /// 1. unique def in the same file → confident;
+    /// 2. unique def in the same crate → confident;
+    /// 3. `use` alias pointing at a unique workspace def → confident;
+    /// 4. anything else that matches by name → ambiguous.
+    pub fn resolve_bare(&self, file: &str, name: &str) -> (Vec<usize>, bool) {
+        let Some(all) = self.by_name.get(name) else {
+            return (Vec::new(), false);
+        };
+        let fs = self.files.get(file);
+        if let Some(fs) = fs {
+            let same_file: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&i| self.defs[i].file == file)
+                .collect();
+            if same_file.len() == 1 {
+                return (same_file, true);
+            }
+            let same_crate: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&i| self.defs[i].crate_name == fs.crate_name)
+                .collect();
+            if same_crate.len() == 1 {
+                return (same_crate, true);
+            }
+            // A `use` alias naming this symbol: if the aliased path's
+            // last segments match a unique def, trust it.
+            if let Some(path) = fs.aliases.get(name) {
+                if let Some(last) = path.last() {
+                    if let Some(hits) = self.by_name.get(last) {
+                        if hits.len() == 1 {
+                            return (hits.clone(), true);
+                        }
+                    }
+                }
+            }
+            if !same_file.is_empty() {
+                return (same_file, false);
+            }
+            if !same_crate.is_empty() {
+                return (same_crate, false);
+            }
+        }
+        (all.clone(), all.len() == 1)
+    }
+
+    /// Resolve a type-qualified call `Type::name(`. Unique
+    /// `Type::name` definition → confident.
+    pub fn resolve_qualified(&self, type_name: &str, name: &str) -> (Vec<usize>, bool) {
+        let key = format!("{type_name}::{name}");
+        if let Some(hits) = self.by_qualified.get(&key) {
+            return (hits.clone(), hits.len() == 1);
+        }
+        // Fall back to bare-name matches among methods of *any* owner —
+        // ambiguous by construction.
+        let hits: Vec<usize> = self
+            .by_name
+            .get(name)
+            .map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|&i| self.defs[i].owner.is_some())
+                    .collect()
+            })
+            .unwrap_or_default();
+        (hits, false)
+    }
+
+    /// Resolve a method call `recv.name(…)`. If the receiver is `self`
+    /// inside `impl Owner` and `Owner::name` exists uniquely, that's a
+    /// confident edge; otherwise every method named `name` is an
+    /// ambiguous candidate.
+    pub fn resolve_method(
+        &self,
+        owner: Option<&str>,
+        self_recv: bool,
+        name: &str,
+    ) -> (Vec<usize>, bool) {
+        if self_recv {
+            if let Some(owner) = owner {
+                let key = format!("{owner}::{name}");
+                if let Some(hits) = self.by_qualified.get(&key) {
+                    if hits.len() == 1 {
+                        return (hits.clone(), true);
+                    }
+                }
+            }
+        }
+        let hits: Vec<usize> = self
+            .by_name
+            .get(name)
+            .map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|&i| self.defs[i].owner.is_some())
+                    .collect()
+            })
+            .unwrap_or_default();
+        (hits, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_items;
+
+    fn table(files: &[(&str, &str)]) -> SymbolTable {
+        let parsed: BTreeMap<String, ParsedFile> = files
+            .iter()
+            .map(|(p, src)| (p.to_string(), parse_items(&lex(src).tokens)))
+            .collect();
+        SymbolTable::build(&parsed)
+    }
+
+    #[test]
+    fn same_file_resolution_is_confident() {
+        let t = table(&[(
+            "crates/core/src/a.rs",
+            "fn helper() {}\npub fn entry() { helper(); }\n",
+        )]);
+        let (hits, confident) = t.resolve_bare("crates/core/src/a.rs", "helper");
+        assert_eq!(hits.len(), 1);
+        assert!(confident);
+        assert_eq!(t.defs[hits[0]].qualified, "helper");
+    }
+
+    #[test]
+    fn same_crate_unique_is_confident_cross_crate_dup_is_not() {
+        let t = table(&[
+            ("crates/core/src/a.rs", "pub fn shared() {}\n"),
+            ("crates/core/src/b.rs", "pub fn caller() { shared(); }\n"),
+            ("crates/par/src/lib.rs", "pub fn shared() {}\n"),
+        ]);
+        // From inside core: unique within the crate → confident.
+        let (hits, confident) = t.resolve_bare("crates/core/src/b.rs", "shared");
+        assert_eq!(hits.len(), 1);
+        assert!(confident);
+        assert_eq!(t.defs[hits[0]].crate_name, "core");
+        // From a file in neither crate: two candidates, ambiguous.
+        let t2 = table(&[
+            ("crates/core/src/a.rs", "pub fn shared() {}\n"),
+            ("crates/par/src/lib.rs", "pub fn shared() {}\n"),
+            ("crates/cli/src/lib.rs", "pub fn run() { shared(); }\n"),
+        ]);
+        let (hits, confident) = t2.resolve_bare("crates/cli/src/lib.rs", "shared");
+        assert_eq!(hits.len(), 2);
+        assert!(!confident);
+    }
+
+    #[test]
+    fn use_alias_to_unique_def_is_confident() {
+        let t = table(&[
+            ("crates/par/src/lib.rs", "pub fn reduce_chunks() {}\n"),
+            (
+                "crates/core/src/a.rs",
+                "use incprof_par::reduce_chunks;\npub fn f() { reduce_chunks(); }\n",
+            ),
+        ]);
+        let (hits, confident) = t.resolve_bare("crates/core/src/a.rs", "reduce_chunks");
+        assert_eq!(hits.len(), 1);
+        assert!(confident);
+        assert_eq!(t.defs[hits[0]].crate_name, "par");
+    }
+
+    #[test]
+    fn qualified_and_method_resolution() {
+        let t = table(&[(
+            "crates/serve/src/s.rs",
+            "struct Session;\nimpl Session {\n    pub fn enqueue(&self) { self.drain(); }\n    fn drain(&self) {}\n}\n",
+        )]);
+        let (hits, confident) = t.resolve_qualified("Session", "drain");
+        assert_eq!(hits.len(), 1);
+        assert!(confident);
+        let (hits, confident) = t.resolve_method(Some("Session"), true, "drain");
+        assert_eq!(hits.len(), 1);
+        assert!(confident);
+        // Non-self receiver: ambiguous even with one candidate.
+        let (hits, confident) = t.resolve_method(None, false, "drain");
+        assert_eq!(hits.len(), 1);
+        assert!(!confident);
+    }
+
+    #[test]
+    fn unknown_names_resolve_to_nothing() {
+        let t = table(&[("crates/core/src/a.rs", "fn f() {}\n")]);
+        let (hits, confident) = t.resolve_bare("crates/core/src/a.rs", "serde_json_to_string");
+        assert!(hits.is_empty());
+        assert!(!confident);
+    }
+}

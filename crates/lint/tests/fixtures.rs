@@ -4,7 +4,7 @@
 //! path; negative runs move the same source to an exempt path and
 //! expect silence.
 
-use incprof_lint::{lint_source, lint_source_counted, Config, RuleId, Severity};
+use incprof_lint::{lint_files, lint_source, lint_source_counted, Config, RuleId, Severity};
 
 const D01_BAD: &str = include_str!("fixtures/d01_bad.rs");
 const D02_BAD: &str = include_str!("fixtures/d02_bad.rs");
@@ -159,6 +159,47 @@ fn diagnostic_json_golden() {
             r#"{"rule":"P01","severity":"error","file":"crates/core/src/fixture.rs","line":3,"message":"`.unwrap()` in library code: propagate the error, or mark the invariant with `// lint: allow(P01, <why it cannot fail>)`","excerpt":"*xs.first().unwrap()"}"#,
             r#"{"rule":"P01","severity":"error","file":"crates/core/src/fixture.rs","line":7,"message":"`.expect()` in library code: propagate the error, or mark the invariant with `// lint: allow(P01, <why it cannot fail>)`","excerpt":"s.parse().expect(\"caller promised digits\")"}"#,
         ]
+    );
+}
+
+#[test]
+fn report_json_is_deterministic_and_sorted() {
+    // Files handed over in reverse path order, with the later file's
+    // diagnostics on earlier lines: the rendered report must come out
+    // sorted by (file, line, rule) regardless.
+    let inputs = vec![
+        (
+            "crates/profile/src/zz_fixture.rs".to_string(),
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n".to_string(),
+        ),
+        (
+            "crates/core/src/fixture.rs".to_string(),
+            "fn g(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\nfn h(y: Option<u32>) -> u32 { y.expect(\"set\") }\n"
+                .to_string(),
+        ),
+    ];
+    let cfg = Config::default();
+    let (report, _) = lint_files(&inputs, &cfg);
+    let locations: Vec<(String, u32)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.file.clone(), d.line))
+        .collect();
+    assert_eq!(
+        locations,
+        [
+            ("crates/core/src/fixture.rs".to_string(), 2),
+            ("crates/core/src/fixture.rs".to_string(), 4),
+            ("crates/profile/src/zz_fixture.rs".to_string(), 1),
+        ]
+    );
+    // Byte-identical across runs, pinned against the golden file.
+    let (again, _) = lint_files(&inputs, &cfg);
+    assert_eq!(report.render_json(), again.render_json());
+    assert_eq!(
+        report.render_json(),
+        include_str!("golden/multi_file_report.json"),
+        "lint --json output drifted from tests/golden/multi_file_report.json"
     );
 }
 

@@ -128,6 +128,12 @@ pub const LINT_FILES_SCANNED: &str = "lint.files.scanned";
 pub const LINT_DIAGNOSTICS_TOTAL: &str = "lint.diagnostics.total";
 /// Counter: suppression markers honored.
 pub const LINT_SUPPRESSIONS_USED: &str = "lint.suppressions.used";
+/// Counter: function items resolved by the static-analysis passes.
+pub const SCA_FUNCTIONS: &str = "lint.sca.functions";
+/// Counter: call edges with a unique (confident) resolution.
+pub const SCA_EDGES_CONFIDENT: &str = "lint.sca.edges_confident";
+/// Counter: call edges with multiple candidates (ambiguous).
+pub const SCA_EDGES_AMBIGUOUS: &str = "lint.sca.edges_ambiguous";
 
 // ---------------------------------------------------------------------
 // serve
@@ -252,6 +258,9 @@ pub const ALL: &[&str] = &[
     LINT_FILES_SCANNED,
     LINT_DIAGNOSTICS_TOTAL,
     LINT_SUPPRESSIONS_USED,
+    SCA_FUNCTIONS,
+    SCA_EDGES_CONFIDENT,
+    SCA_EDGES_AMBIGUOUS,
     SERVE_SESSIONS_ACTIVE,
     SERVE_SESSIONS_OPENED,
     SERVE_SESSIONS_CLOSED,

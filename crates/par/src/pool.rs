@@ -154,24 +154,22 @@ impl Pool {
                             local.steals += 1;
                         }
                         let out = f(bounds(c));
-                        // lint: allow(P01, poison means a sibling worker panicked; propagating the panic is the correct response)
-                        parts.lock().expect("pool results poisoned").push((c, out));
+                        // lint: allow(D05, push under an uncontended mutex, held for one Vec push per completed chunk)
+                        unpoisoned(parts.lock()).push((c, out));
                     }
                     if local.tasks == 0 {
                         // Arrived after the queue drained: pure spawn
                         // overhead, worth surfacing as a sizing signal.
                         local.queue_waits = 1;
                     }
-                    // lint: allow(P01, poison means a sibling worker panicked; propagating the panic is the correct response)
-                    stats.lock().expect("pool stats poisoned").merge(local);
+                    // lint: allow(D05, one stats merge per worker exit, never inside the chunk loop)
+                    unpoisoned(stats.lock()).merge(local);
                 });
             }
         });
 
-        // lint: allow(P01, workers joined at scope exit; a poisoned mutex here means one panicked and the panic is re-raised)
-        record_call(stats.into_inner().expect("pool stats poisoned"), workers);
-        // lint: allow(P01, workers joined at scope exit; a poisoned mutex here means one panicked and the panic is re-raised)
-        let mut parts = parts.into_inner().expect("pool results poisoned");
+        record_call(unpoisoned(stats.into_inner()), workers);
+        let mut parts = unpoisoned(parts.into_inner());
         parts.sort_unstable_by_key(|&(c, _)| c);
         debug_assert_eq!(parts.len(), nchunks, "every chunk produced a result");
         parts.into_iter().map(|(_, a)| a).collect()
@@ -219,6 +217,17 @@ impl Pool {
 /// executing someone else's chunk counts as a steal.
 fn static_owner(c: usize, nchunks: usize, workers: usize) -> usize {
     (c * workers / nchunks).min(workers - 1)
+}
+
+/// Unwrap a mutex `lock()`/`into_inner()` result. A poisoned pool mutex
+/// means a sibling worker panicked mid-chunk; re-raising keeps that
+/// original panic the loud failure instead of silently losing results.
+fn unpoisoned<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    match r {
+        Ok(v) => v,
+        // lint: allow(P02, poison only follows a sibling worker's panic; re-panicking propagates that failure, it cannot fire on healthy runs)
+        Err(_) => panic!("pool mutex poisoned: a sibling worker panicked"),
+    }
 }
 
 /// RAII flag marking the current thread as a pool worker.

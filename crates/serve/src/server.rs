@@ -29,7 +29,7 @@ use crate::frame::{
 };
 use crate::session::{lock, Enqueue, Registry, ReportMode, Session};
 use incprof_core::online::OnlineConfig;
-use incprof_core::PhaseDetector;
+use incprof_core::{PhaseDetector, SourceGraph};
 use incprof_profile::GmonData;
 use incprof_store::{RetentionPolicy, Store};
 use std::collections::VecDeque;
@@ -94,6 +94,9 @@ pub struct ServeConfig {
     /// With a store: write an analysis checkpoint after this many
     /// appended snapshots (clamped to at least 1).
     pub checkpoint_every: u64,
+    /// Static call graph joined against phases in Full reports'
+    /// `source_context` section. Empty = report empty contexts.
+    pub source_graph: SourceGraph,
 }
 
 impl Default for ServeConfig {
@@ -115,6 +118,7 @@ impl Default for ServeConfig {
             retention: RetentionPolicy::keep_all(),
             max_live: 0,
             checkpoint_every: 16,
+            source_graph: SourceGraph::default(),
         }
     }
 }
@@ -229,7 +233,8 @@ impl Server {
             config.max_sessions,
             config.max_pending,
             config.analysis_cache,
-        );
+        )
+        .with_source_graph(config.source_graph.clone());
         if let Some(dir) = &config.store_dir {
             let store = Store::open(dir, config.retention, config.checkpoint_every)?;
             registry = registry.with_store(store, config.max_live);

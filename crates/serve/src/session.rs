@@ -17,7 +17,7 @@
 use crate::frame::{ErrorCode, ErrorInfo};
 use incprof_collect::SampleSeries;
 use incprof_core::online::{OnlineConfig, OnlineObservation, OnlinePhaseDetector};
-use incprof_core::{AnalysisCache, PhaseDetector};
+use incprof_core::{source_context_json, AnalysisCache, PhaseDetector, SourceGraph};
 use incprof_profile::{FlatProfile, FunctionTable, GmonData, ProfileSnapshot};
 use incprof_store::{LogReplay, SessionStore, Store};
 use std::collections::{BTreeMap, VecDeque};
@@ -100,6 +100,10 @@ pub struct Session {
     /// still holds its `Arc`: the worker must re-fetch (and rehydrate)
     /// instead of mutating a session the registry no longer owns.
     evicted: bool,
+    /// The workspace's static call graph (from `incprof-lint`'s source
+    /// analysis), joined against phases in Full reports. Empty when the
+    /// daemon starts without one — reports then carry empty contexts.
+    source_graph: Arc<SourceGraph>,
 }
 
 /// One session's vitals, snapshotted for the admin scrape and
@@ -140,6 +144,7 @@ impl Session {
             next_index: 0,
             persist: None,
             evicted: false,
+            source_graph: Arc::new(SourceGraph::default()),
         }
     }
 
@@ -255,6 +260,7 @@ impl Session {
     /// holds a traced root span open, so untraced ingest records no
     /// spans at all.
     pub fn drain_traced(&mut self, traced: bool) -> Result<Vec<IngestAck>, ErrorInfo> {
+        // lint: allow(A01, one ack buffer per drain, sized by the bounded pending queue; acks are returned to the caller so the buffer cannot be reused)
         let mut acks = Vec::with_capacity(self.pending.len());
         while let Some(p) = self.pending.pop_front() {
             let interval = match p.gmon.flat.delta(&self.prev_flat) {
@@ -329,8 +335,8 @@ impl Session {
     pub fn report_json(&mut self, detector: &PhaseDetector, mode: ReportMode) -> String {
         // A drain failure leaves the fault recorded; report the prefix.
         let _ = self.drain();
-        let analysis_json = if self.series.is_empty() {
-            "null".to_string()
+        let (analysis_json, source_context) = if self.series.is_empty() {
+            ("null".to_string(), "[]".to_string())
         } else {
             // The cache path returns byte-identical analyses (pinned by
             // tests/cache_determinism.rs) while doing O(new data) work
@@ -340,9 +346,17 @@ impl Session {
                 None => detector.detect_series(&self.series),
             };
             match analysis {
-                Ok(analysis) => serde_json::to_string(&analysis)
-                    .unwrap_or_else(|e| json_error_object("serialize failed", &e.to_string())),
-                Err(e) => json_error_object("analysis failed", &e.to_string()),
+                Ok(analysis) => {
+                    let context =
+                        source_context_json(&analysis, |f| self.table.name(f), &self.source_graph);
+                    let json = serde_json::to_string(&analysis)
+                        .unwrap_or_else(|e| json_error_object("serialize failed", &e.to_string()));
+                    (json, context)
+                }
+                Err(e) => (
+                    json_error_object("analysis failed", &e.to_string()),
+                    "[]".to_string(),
+                ),
             }
         };
         match mode {
@@ -365,6 +379,7 @@ impl Session {
                 if let Some(why) = &self.fault {
                     out.push_str(&format!("\"fault\":{},", json_string(why)));
                 }
+                out.push_str(&format!("\"source_context\":{source_context},"));
                 out.push_str(&format!("\"analysis\":{analysis_json}}}"));
                 out
             }
@@ -509,6 +524,10 @@ pub struct Registry {
     /// Evict idle sessions to disk once more than this many are live
     /// (0 = never evict). Only meaningful with a store.
     max_live: usize,
+    /// Static call graph handed to every session for Full-report
+    /// source-context joins. Empty unless [`Registry::with_source_graph`]
+    /// installed one at startup.
+    source_graph: Arc<SourceGraph>,
 }
 
 struct Inner {
@@ -538,7 +557,17 @@ impl Registry {
             analysis_cache,
             store: None,
             max_live: 0,
+            source_graph: Arc::new(SourceGraph::default()),
         }
+    }
+
+    /// Install the workspace's static call graph (built once at daemon
+    /// startup from `incprof-lint`'s source analysis). Every session —
+    /// new, recovered, or rehydrated — joins it against detected phases
+    /// in Full reports' `source_context` section.
+    pub fn with_source_graph(mut self, graph: SourceGraph) -> Registry {
+        self.source_graph = Arc::new(graph);
+        self
     }
 
     /// Attach durable session storage: every new session gets an
@@ -591,6 +620,7 @@ impl Registry {
             self.max_pending,
             self.analysis_cache,
         );
+        session.source_graph = Arc::clone(&self.source_graph);
         if let Some(store) = &self.store {
             match store.create_session(id) {
                 Ok(persist) => session.persist = Some(persist),
@@ -633,7 +663,7 @@ impl Registry {
                 return None;
             }
         };
-        let session = Arc::new(Mutex::new(Session::rehydrate(
+        let mut rebuilt = Session::rehydrate(
             id,
             self.online.clone(),
             self.max_pending,
@@ -641,7 +671,9 @@ impl Registry {
             persist,
             replay,
             checkpoint,
-        )));
+        );
+        rebuilt.source_graph = Arc::clone(&self.source_graph);
+        let session = Arc::new(Mutex::new(rebuilt));
         let mut inner = lock(&self.inner);
         if let Some(existing) = inner.sessions.get(&id) {
             return Some(Arc::clone(existing));
@@ -1012,6 +1044,44 @@ mod tests {
         assert_eq!(s.report_json(&detector, ReportMode::AnalysisOnly), "null");
         let full = s.report_json(&detector, ReportMode::Full);
         assert!(full.contains("\"analysis\":null"), "{full}");
+        assert!(full.contains("\"source_context\":[]"), "{full}");
+    }
+
+    #[test]
+    fn full_report_joins_installed_source_graph() {
+        let r = registry().with_source_graph(SourceGraph::new(vec![
+            ("main".to_string(), "f".to_string(), true),
+            ("main".to_string(), "other".to_string(), false),
+        ]));
+        let (_, s) = r.open().unwrap();
+        let mut s = lock(&s);
+        for i in 0..4 {
+            s.enqueue(gmon(i, (i + 1) * 1_000_000_000), Instant::now())
+                .unwrap();
+            s.drain().unwrap();
+        }
+        let full = s.report_json(&PhaseDetector::default(), ReportMode::Full);
+        // The streamed function "f" resolves against the static graph:
+        // called by main, one confident arc deep, not on a cycle.
+        assert!(
+            full.contains("\"name\":\"f\",\"callers\":[\"main\"],\"depth\":1,\"cycle\":null"),
+            "{full}"
+        );
+        // Without an installed graph the same session reports an empty
+        // caller set for the same function.
+        let bare = registry();
+        let (_, s2) = bare.open().unwrap();
+        let mut s2 = lock(&s2);
+        for i in 0..4 {
+            s2.enqueue(gmon(i, (i + 1) * 1_000_000_000), Instant::now())
+                .unwrap();
+            s2.drain().unwrap();
+        }
+        let plain = s2.report_json(&PhaseDetector::default(), ReportMode::Full);
+        assert!(
+            plain.contains("\"callers\":[],\"depth\":null,\"cycle\":null"),
+            "{plain}"
+        );
     }
 
     // --- durability ---

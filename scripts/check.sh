@@ -7,6 +7,11 @@
 #                               # separately so its artifacts upload on
 #                               # failure; SMOKE_DIR overrides the workdir)
 #   scripts/check.sh docs-links # only the README ↔ docs/ link check
+#   scripts/check.sh sca        # only the static-analysis gate: incprof
+#                               # sca over the workspace (graph rules +
+#                               # per-line lints, warnings are errors)
+#                               # plus the apps call-graph export; leaves
+#                               # target/sca-report.json for CI upload
 set -euo pipefail
 cd "$(git rev-parse --show-toplevel)"
 
@@ -102,9 +107,31 @@ serve_smoke() {
     wait "$SERVE2_PID" || { echo "serve smoke: restarted daemon exited non-zero"; cat "$SMOKE_DIR/serve2.log"; exit 1; }
 }
 
+sca_gate() {
+    echo "==> incprof sca (multi-pass static analysis: parser, call graph, P02/D05/A01)"
+    cargo build -q -p incprof-cli
+    INCPROF="$(pwd)/target/debug/incprof"
+    # The JSON artifact (diagnostics + graph stats + timed run) survives
+    # for CI to upload when the gate fails.
+    "$INCPROF" sca . --deny-warnings --json target/sca-report.json
+    echo "==> incprof callgraph (apps static graph vs golden)"
+    "$INCPROF" callgraph . --json target/apps-callgraph.json
+    cmp -s target/apps-callgraph.json tests/golden/apps_callgraph.json || {
+        echo "sca: apps call graph drifted from tests/golden/apps_callgraph.json"
+        diff tests/golden/apps_callgraph.json target/apps-callgraph.json | head -20
+        exit 1
+    }
+}
+
 if [ "${1:-all}" = "smoke" ]; then
     serve_smoke
     echo "Serve smoke passed."
+    exit 0
+fi
+
+if [ "${1:-all}" = "sca" ]; then
+    sca_gate
+    echo "Static-analysis gate passed."
     exit 0
 fi
 
@@ -127,6 +154,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> incprof-lint (workspace invariants, warnings are errors)"
 cargo run -q -p incprof-lint -- --deny-warnings --json target/lint-diagnostics.json
+
+sca_gate
 
 echo "==> cargo test (workspace)"
 cargo test --workspace -q

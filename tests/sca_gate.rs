@@ -1,0 +1,64 @@
+//! Tier-1 static-analysis gate: the multi-pass analysis (parser →
+//! symbols → call graph → reachability → graph rules P02/D05/A01) must
+//! leave the workspace clean, actually link a non-trivial graph, and
+//! finish fast enough to live in CI (< 2 s, asserted on the obs-timed
+//! `lint.engine.run` span rather than a wall clock in the test).
+
+use incprof_lint::{lint_workspace_analyzed, Config};
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_graph_rules_and_fast() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (report, analysis) = lint_workspace_analyzed(root, &Config::default().deny_warnings())
+        .expect("sca walk over the workspace failed");
+    assert!(
+        report.is_clean(),
+        "static-analysis violations in the workspace:\n{}",
+        report.render_human()
+    );
+
+    // The analysis linked a real graph, not a degenerate one.
+    let (confident, ambiguous) = analysis.graph.edge_counts();
+    assert!(
+        analysis.symbols.defs.len() > 500,
+        "only {} functions parsed — item parser is broken",
+        analysis.symbols.defs.len()
+    );
+    assert!(
+        confident > 500,
+        "only {confident} confident edges — resolution is broken"
+    );
+    assert!(ambiguous > 0, "no ambiguous edges is implausible");
+
+    // Runtime budget: the whole multi-pass run is wrapped in the
+    // `lint.engine.run` span; its recorded duration must stay under 2 s.
+    let dur_ns = incprof_obs::global()
+        .spans()
+        .records()
+        .iter()
+        .rev()
+        .find(|r| r.closed && r.name == incprof_obs::names::LINT_RUN)
+        .map(|r| r.dur_ns)
+        .expect("lint.engine.run span not recorded");
+    assert!(
+        dur_ns < 2_000_000_000,
+        "sca run took {} ms, over the 2 s CI budget",
+        dur_ns / 1_000_000
+    );
+}
+
+#[test]
+fn graph_rule_hazards_are_all_justified() {
+    // Every Panic/Blocking/Alloc fact that graph rules would flag is
+    // covered by a reasoned allow-marker; the suppression count in a
+    // full run therefore exceeds the per-line rules' alone.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (report, analysis) = lint_workspace_analyzed(root, &Config::default())
+        .expect("sca walk over the workspace failed");
+    assert!(report.is_clean(), "{}", report.render_human());
+    assert!(
+        !analysis.graph.facts.is_empty(),
+        "hazard scanning found nothing — fact extraction is broken"
+    );
+}
