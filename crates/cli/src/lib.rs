@@ -43,7 +43,9 @@
 #![forbid(unsafe_code)]
 
 mod serve_cmd;
+mod shard_cmd;
 pub use serve_cmd::{collect_cmd, push_cmd, query_cmd, serve_cmd, top_cmd};
+pub use shard_cmd::shard_cmd;
 
 use incprof_cluster::{DbscanParams, KSelectionMethod};
 use incprof_collect::report_path::{clamp_monotone, parse_reports};
@@ -679,6 +681,7 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
         Some("sca") => sca_cmd(&args[1..]),
         Some("callgraph") => callgraph_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
+        Some("shard") => shard_cmd(&args[1..]),
         Some("push") => push_cmd(&args[1..]),
         Some("query") => query_cmd(&args[1..]),
         Some("collect") => collect_cmd(&args[1..]),
@@ -713,6 +716,11 @@ incprof — source-oriented phase identification (IncProf, CLUSTER 2022)
                 [--admin-addr-file path] [--final-scrape path]
                 [--store-dir dir] [--retention hot=H,stride=S[,max_bytes=B]]
                 [--max-live n] [--checkpoint-every n]
+  incprof shard (--backends n | --backend data[,admin] ...)
+                [--addr host:port | --unix path] [--addr-file path]
+                [--admin host:port | --admin-unix path]
+                [--admin-addr-file path] [--store-dir dir] [--pid-dir dir]
+                [--max-conns n] [--route session-id]
   incprof push <addr> <dump.json> [--analysis] [--keep-open]
                [--session-file path] [--shutdown]
   incprof query <addr> <session-id> [--analysis] [--close] [--shutdown]

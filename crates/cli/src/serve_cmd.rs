@@ -12,14 +12,14 @@ use incprof_serve::signal;
 use incprof_serve::{BindAddr, Client, RetentionPolicy, ServeConfig, Server};
 use std::path::{Path, PathBuf};
 
-fn take(args: &[String], i: &mut usize, what: &str) -> Result<String, CliError> {
+pub(crate) fn take(args: &[String], i: &mut usize, what: &str) -> Result<String, CliError> {
     *i += 1;
     args.get(*i)
         .cloned()
         .ok_or_else(|| CliError::Usage(format!("{what} requires a value")))
 }
 
-fn parse_num<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, CliError>
+pub(crate) fn parse_num<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, CliError>
 where
     T::Err: std::fmt::Display,
 {
@@ -283,6 +283,7 @@ pub fn top_cmd(args: &[String]) -> Result<String, CliError> {
 /// One session row accumulated from `incprof_session_*` scrape lines.
 #[derive(Debug, Default, Clone, Copy)]
 struct TopRow {
+    shard: Option<u64>,
     snapshots: u64,
     pending: u64,
     phases: u64,
@@ -293,25 +294,51 @@ struct TopRow {
 }
 
 /// Parse one `incprof_session_<metric>{session="<id>"} <value>` line.
-fn parse_session_line(line: &str) -> Option<(&str, u64, f64)> {
+/// A merged cluster scrape carries an extra `,shard="<n>"` label (the
+/// router's shard injection — see `incprof-shard`), returned as the
+/// third element.
+fn parse_session_line(line: &str) -> Option<(&str, u64, Option<u64>, f64)> {
     let rest = line.strip_prefix("incprof_session_")?;
     let (metric, rest) = rest.split_once('{')?;
     let rest = rest.strip_prefix("session=\"")?;
     let (id, rest) = rest.split_once('"')?;
     let id: u64 = id.parse().ok()?;
+    let (shard, rest) = match rest.strip_prefix(",shard=\"") {
+        Some(rest) => {
+            let (shard, rest) = rest.split_once('"')?;
+            (Some(shard.parse().ok()?), rest)
+        }
+        None => (None, rest),
+    };
     let value: f64 = rest.strip_prefix("} ")?.trim().parse().ok()?;
-    Some((metric, id, value))
+    Some((metric, id, shard, value))
+}
+
+/// Parse one `<name>{shard="<n>"} <value>` daemon line from a merged
+/// cluster scrape.
+fn parse_shard_line(line: &str) -> Option<(&str, u64, f64)> {
+    let (name, rest) = line.split_once("{shard=\"")?;
+    let (shard, rest) = rest.split_once('"')?;
+    let shard: u64 = shard.parse().ok()?;
+    let value: f64 = rest.strip_prefix("} ")?.trim().parse().ok()?;
+    Some((name, shard, value))
 }
 
 /// Render the `incprof top` table from a raw Prometheus exposition.
-/// Pure text-in/text-out so the format is unit-testable.
+/// Pure text-in/text-out so the format is unit-testable. A merged
+/// cluster scrape (shard labels present) additionally gets a per-shard
+/// summary table, and the session table grows a SHARD column.
 fn render_top(scrape: &str, addr: &str) -> String {
     use std::collections::BTreeMap;
     let mut rows: BTreeMap<u64, TopRow> = BTreeMap::new();
     let mut daemon: BTreeMap<&str, f64> = BTreeMap::new();
+    let mut shards: BTreeMap<u64, BTreeMap<&str, f64>> = BTreeMap::new();
     for line in scrape.lines() {
-        if let Some((metric, id, value)) = parse_session_line(line) {
+        if let Some((metric, id, shard, value)) = parse_session_line(line) {
             let row = rows.entry(id).or_default();
+            if shard.is_some() {
+                row.shard = shard;
+            }
             match metric {
                 "snapshots" => row.snapshots = value as u64,
                 "pending" => row.pending = value as u64,
@@ -322,25 +349,65 @@ fn render_top(scrape: &str, addr: &str) -> String {
                 "idle_seconds" => row.idle_s = Some(value),
                 _ => {}
             }
+        } else if let Some((name, shard, value)) = parse_shard_line(line) {
+            shards.entry(shard).or_default().insert(name, value);
         } else if let Some((name, value)) = line.rsplit_once(' ') {
             if let Ok(v) = value.parse::<f64>() {
                 daemon.insert(name, v);
             }
         }
     }
-    let get = |k: &str| daemon.get(k).copied().unwrap_or(0.0) as u64;
+    let clustered = !shards.is_empty();
+    let get = |m: &BTreeMap<&str, f64>, k: &str| m.get(k).copied().unwrap_or(0.0) as u64;
+    let sum = |k: &str| shards.values().map(|m| get(m, k)).sum::<u64>() + get(&daemon, k);
     let mut out = String::new();
     out.push_str(&format!(
-        "incprof-serve {addr} — {} session(s), {} frames in / {} out, {} busy, {} decode errors\n",
+        "{} {addr} — {} session(s), {} frames in / {} out, {} busy, {} decode errors\n",
+        if clustered {
+            "incprof-shard cluster"
+        } else {
+            "incprof-serve"
+        },
         rows.len(),
-        get("incprof_serve_frames_received"),
-        get("incprof_serve_frames_sent"),
-        get("incprof_serve_backpressure_busy_replies"),
-        get("incprof_serve_frames_decode_errors"),
+        sum("incprof_serve_frames_received"),
+        sum("incprof_serve_frames_sent"),
+        sum("incprof_serve_backpressure_busy_replies"),
+        sum("incprof_serve_frames_decode_errors"),
     ));
+    if clustered {
+        out.push_str(&format!(
+            "{:>5}  {:>8}  {:>9}  {:>10}  {:>4}  {:>6}\n",
+            "SHARD", "SESSIONS", "FRAMES-IN", "FRAMES-OUT", "BUSY", "ERRORS"
+        ));
+        for (shard, m) in &shards {
+            let sessions = rows.values().filter(|r| r.shard == Some(*shard)).count();
+            out.push_str(&format!(
+                "{:>5}  {:>8}  {:>9}  {:>10}  {:>4}  {:>6}\n",
+                shard,
+                sessions,
+                get(m, "incprof_serve_frames_received"),
+                get(m, "incprof_serve_frames_sent"),
+                get(m, "incprof_serve_backpressure_busy_replies"),
+                get(m, "incprof_serve_frames_decode_errors"),
+            ));
+        }
+        let routed = get(&daemon, "incprof_shard_frames_routed");
+        let deaths = get(&daemon, "incprof_shard_backend_deaths");
+        let up = get(&daemon, "incprof_shard_backends_up");
+        out.push_str(&format!(
+            "router: {routed} frame(s) routed, {up} backend(s) up, {deaths} death(s)\n",
+        ));
+    }
     out.push_str(&format!(
-        "{:>8}  {:>9}  {:>7}  {:>6}  {:>9}  {:>8}  {:>5}\n",
-        "SESSION", "SNAPSHOTS", "PENDING", "PHASES", "CACHE-HIT", "IDLE(S)", "FAULT"
+        "{:>8}  {}{:>9}  {:>7}  {:>6}  {:>9}  {:>8}  {:>5}\n",
+        "SESSION",
+        if clustered { "SHARD  " } else { "" },
+        "SNAPSHOTS",
+        "PENDING",
+        "PHASES",
+        "CACHE-HIT",
+        "IDLE(S)",
+        "FAULT"
     ));
     for (id, r) in &rows {
         let queries = r.cache_hits + r.cache_misses;
@@ -353,9 +420,18 @@ fn render_top(scrape: &str, addr: &str) -> String {
             Some(s) => format!("{s:.1}"),
             None => "-".to_string(),
         };
+        let shard_col = if clustered {
+            format!(
+                "{:>5}  ",
+                r.shard.map_or_else(|| "-".to_string(), |s| s.to_string())
+            )
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "{:>8}  {:>9}  {:>7}  {:>6}  {:>9}  {:>8}  {:>5}\n",
+            "{:>8}  {}{:>9}  {:>7}  {:>6}  {:>9}  {:>8}  {:>5}\n",
             id,
+            shard_col,
             r.snapshots,
             r.pending,
             r.phases,
@@ -611,16 +687,33 @@ incprof_session_faulted{session=\"9\"} 1
     fn session_lines_parse_and_others_do_not() {
         assert_eq!(
             parse_session_line("incprof_session_pending{session=\"7\"} 2"),
-            Some(("pending", 7, 2.0))
+            Some(("pending", 7, None, 2.0))
         );
         assert_eq!(
             parse_session_line("incprof_session_idle_seconds{session=\"12\"} 0.25"),
-            Some(("idle_seconds", 12, 0.25))
+            Some(("idle_seconds", 12, None, 0.25))
+        );
+        assert_eq!(
+            parse_session_line("incprof_session_snapshots{session=\"3\",shard=\"1\"} 9"),
+            Some(("snapshots", 3, Some(1), 9.0))
         );
         assert_eq!(parse_session_line("incprof_serve_frames_received 42"), None);
         assert_eq!(parse_session_line("# TYPE foo counter"), None);
         assert_eq!(
             parse_session_line("incprof_session_pending{session=\"x\"} 2"),
+            None
+        );
+    }
+
+    #[test]
+    fn shard_lines_parse_and_others_do_not() {
+        assert_eq!(
+            parse_shard_line("incprof_serve_frames_received{shard=\"2\"} 18"),
+            Some(("incprof_serve_frames_received", 2, 18.0))
+        );
+        assert_eq!(parse_shard_line("incprof_serve_frames_received 42"), None);
+        assert_eq!(
+            parse_shard_line("incprof_session_pending{session=\"7\",shard=\"0\"} 2"),
             None
         );
     }
@@ -652,5 +745,41 @@ incprof_session_faulted{session=\"9\"} 1
         let out = render_top("", "a:1");
         assert!(out.contains("0 session(s)"), "{out}");
         assert!(out.contains("(no sessions)"), "{out}");
+    }
+
+    const CLUSTER_SCRAPE: &str = "\
+# TYPE incprof_serve_frames_received counter
+incprof_serve_frames_received{shard=\"0\"} 10
+incprof_serve_frames_sent{shard=\"0\"} 9
+incprof_session_snapshots{session=\"1\",shard=\"0\"} 4
+incprof_session_phases{session=\"1\",shard=\"0\"} 2
+incprof_serve_frames_received{shard=\"1\"} 30
+incprof_serve_frames_sent{shard=\"1\"} 28
+incprof_session_snapshots{session=\"2\",shard=\"1\"} 7
+incprof_shard_frames_routed 40
+incprof_shard_backends_up 2
+incprof_shard_backend_deaths 0
+";
+
+    #[test]
+    fn top_renders_per_shard_table_for_merged_scrapes() {
+        let out = render_top(CLUSTER_SCRAPE, "127.0.0.1:9");
+        assert!(out.contains("incprof-shard cluster"), "{out}");
+        // Aggregate header sums the shards: 10+30 in, 9+28 out.
+        assert!(out.contains("40 frames in / 37 out"), "{out}");
+        assert!(out.contains("SHARD"), "{out}");
+        assert!(
+            out.contains("router: 40 frame(s) routed, 2 backend(s) up, 0 death(s)"),
+            "{out}"
+        );
+        // Per-shard rows carry each backend's own counts and sessions.
+        let shard0 = out.lines().nth(2).unwrap_or_default();
+        assert!(shard0.contains("10"), "{shard0}");
+        // Session rows keep their shard column.
+        let row2 = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("2  "))
+            .unwrap_or_default();
+        assert!(row2.contains('1'), "{row2}");
     }
 }

@@ -34,7 +34,8 @@ pub const D04_CRATES: &[&str] = &["profile", "cluster", "core", "collect", "apps
 /// `apps`) are excluded: their unwraps terminate a tool, not a library
 /// caller.
 pub const P01_CRATES: &[&str] = &[
-    "profile", "cluster", "core", "collect", "runtime", "obs", "par", "lint", "serve", "store",
+    "profile", "cluster", "core", "collect", "runtime", "obs", "par", "lint", "serve", "shard",
+    "store",
 ];
 
 /// O01: crates exempt from the literal-name ban. Only `obs` itself,
@@ -127,6 +128,9 @@ impl Default for Config {
             // The admin plane stamps scrape time for idle-age gauges; it
             // is read-only and never feeds the analysis pipeline.
             "crates/serve/src/admin.rs",
+            // The shard router bounds backend-reply waits with real
+            // deadlines; replies never feed the analysis pipeline.
+            "crates/shard/src/router.rs",
         ]
         .map(String::from)
         .to_vec();
@@ -137,6 +141,9 @@ impl Default for Config {
             "crates/collect/src/collector.rs",
             // The daemon's acceptor and bounded worker threads.
             "crates/serve/src/server.rs",
+            // The shard router's acceptor, admin, and per-connection
+            // threads mirror the daemon's.
+            "crates/shard/",
         ]
         .map(String::from)
         .to_vec();
@@ -244,11 +251,14 @@ mod tests {
         assert!(c.d01_allows("crates/runtime/src/clock.rs"));
         assert!(c.d01_allows("crates/serve/src/server.rs"));
         assert!(c.d01_allows("crates/serve/src/admin.rs"));
+        assert!(c.d01_allows("crates/shard/src/router.rs"));
+        assert!(!c.d01_allows("crates/shard/src/ring.rs"));
         assert!(!c.d01_allows("crates/serve/src/session.rs"));
         assert!(!c.d01_allows("crates/core/src/pipeline.rs"));
         // `/`-terminated entries are prefixes; others are not.
         assert!(c.d03_allows("crates/par/src/pool.rs"));
         assert!(c.d03_allows("crates/serve/src/server.rs"));
+        assert!(c.d03_allows("crates/shard/src/router.rs"));
         assert!(!c.d03_allows("crates/serve/src/client.rs"));
         assert!(!c.d03_allows("crates/collect/src/collector_helper.rs"));
         // A caller can extend the scope without touching rule code.

@@ -163,6 +163,9 @@ pub const SERVE_CONNS_ACCEPTED: &str = "serve.conns.accepted";
 pub const SERVE_INGEST_DETECT_LATENCY_NS: &str = "serve.ingest.detect_latency_ns";
 /// Counter: client-side push retries after a Busy reply.
 pub const SERVE_CLIENT_RETRIES: &str = "serve.client.retries";
+/// Counter: client-side transparent reconnects after a broken or reset
+/// connection (the request is retransmitted on the fresh connection).
+pub const SERVE_CLIENT_RECONNECTS: &str = "serve.client.reconnects";
 /// Counter: connections accepted on the admin socket.
 pub const SERVE_ADMIN_CONNS: &str = "serve.admin.conns_accepted";
 /// Counter: admin requests answered (all types).
@@ -215,6 +218,30 @@ pub const STORE_CHECKPOINTS_REJECTED: &str = "store.checkpoint.rejected";
 pub const STORE_REHYDRATIONS: &str = "store.session.rehydrations";
 /// Counter: idle sessions evicted from memory to disk (LRU).
 pub const STORE_EVICTIONS: &str = "store.session.evictions";
+
+// ---------------------------------------------------------------------
+// shard (the consistent-hash session router fronting a serve cluster)
+// ---------------------------------------------------------------------
+
+/// Counter: client connections accepted by the router's data plane.
+pub const SHARD_CONNS_ACCEPTED: &str = "shard.conns.accepted";
+/// Counter: request frames routed to a backend (replies not counted).
+pub const SHARD_FRAMES_ROUTED: &str = "shard.frames.routed";
+/// Counter: backends declared dead (broken pipe or timeout) and marked
+/// down for the rest of the router's life.
+pub const SHARD_BACKEND_DEATHS: &str = "shard.backend.deaths";
+/// Counter: in-flight requests re-routed to the ring's next healthy
+/// backend after their owner died.
+pub const SHARD_FAILOVER_REROUTES: &str = "shard.failover.reroutes";
+/// Counter: distinct sessions whose placement moved because of a
+/// backend death (each replays from the shared store on first touch).
+pub const SHARD_SESSIONS_REPLAYED: &str = "shard.sessions.replayed";
+/// Gauge: backends currently considered healthy.
+pub const SHARD_BACKENDS_UP: &str = "shard.backends.up";
+/// Counter: connections accepted on the router's admin socket.
+pub const SHARD_ADMIN_CONNS: &str = "shard.admin.conns_accepted";
+/// Counter: cluster scrapes merged and served by the router.
+pub const SHARD_ADMIN_SCRAPES: &str = "shard.admin.scrapes";
 
 // ---------------------------------------------------------------------
 // registry table
@@ -273,6 +300,7 @@ pub const ALL: &[&str] = &[
     SERVE_CONNS_ACCEPTED,
     SERVE_INGEST_DETECT_LATENCY_NS,
     SERVE_CLIENT_RETRIES,
+    SERVE_CLIENT_RECONNECTS,
     SERVE_ADMIN_CONNS,
     SERVE_ADMIN_REQUESTS,
     SERVE_ADMIN_SCRAPES,
@@ -290,6 +318,14 @@ pub const ALL: &[&str] = &[
     STORE_CHECKPOINTS_REJECTED,
     STORE_REHYDRATIONS,
     STORE_EVICTIONS,
+    SHARD_CONNS_ACCEPTED,
+    SHARD_FRAMES_ROUTED,
+    SHARD_BACKEND_DEATHS,
+    SHARD_FAILOVER_REROUTES,
+    SHARD_SESSIONS_REPLAYED,
+    SHARD_BACKENDS_UP,
+    SHARD_ADMIN_CONNS,
+    SHARD_ADMIN_SCRAPES,
 ];
 
 #[cfg(test)]

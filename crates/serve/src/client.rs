@@ -15,7 +15,7 @@ use incprof_profile::GmonData;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Client-side failure.
@@ -95,31 +95,68 @@ impl Write for Stream {
     }
 }
 
+/// Where a [`Client`] dials, remembered so a broken connection can be
+/// transparently re-established.
+#[derive(Debug, Clone)]
+enum Target {
+    Tcp(String),
+    Unix(PathBuf),
+}
+
+impl Target {
+    fn dial(&self) -> Result<Stream, ClientError> {
+        match self {
+            Target::Tcp(addr) => {
+                let stream = TcpStream::connect(addr.as_str())?;
+                stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+                Ok(Stream::Tcp(stream))
+            }
+            Target::Unix(path) => {
+                let stream = UnixStream::connect(path)?;
+                stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+                Ok(Stream::Unix(stream))
+            }
+        }
+    }
+}
+
+/// Default bound on transparent reconnect attempts per request.
+const DEFAULT_RECONNECT_ATTEMPTS: usize = 3;
+
 /// A blocking protocol client over TCP or a Unix socket.
+///
+/// A connection that breaks mid-request (reset, broken pipe, peer
+/// close) is transparently re-dialed — bounded attempts on the
+/// [`retry_backoff`] jitter schedule — and the request retransmitted.
+/// Retransmission is safe because the protocol is at-least-once by
+/// design: the server recognizes a re-pushed snapshot it already acked
+/// and replays the identical ack, and every query is read-only.
 pub struct Client {
     stream: Stream,
     max_payload: u32,
+    target: Target,
+    reconnect_attempts: usize,
 }
 
 impl Client {
+    fn from_target(target: Target) -> Result<Client, ClientError> {
+        let stream = target.dial()?;
+        Ok(Client {
+            stream,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            target,
+            reconnect_attempts: DEFAULT_RECONNECT_ATTEMPTS,
+        })
+    }
+
     /// Connect over TCP (`host:port`).
     pub fn connect_tcp(addr: &str) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        Ok(Client {
-            stream: Stream::Tcp(stream),
-            max_payload: DEFAULT_MAX_PAYLOAD,
-        })
+        Client::from_target(Target::Tcp(addr.to_string()))
     }
 
     /// Connect over a Unix-domain socket.
     pub fn connect_unix(path: &Path) -> Result<Client, ClientError> {
-        let stream = UnixStream::connect(path)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        Ok(Client {
-            stream: Stream::Unix(stream),
-            max_payload: DEFAULT_MAX_PAYLOAD,
-        })
+        Client::from_target(Target::Unix(path.to_path_buf()))
     }
 
     /// Connect to `addr`, treating anything containing `/` as a Unix
@@ -132,7 +169,16 @@ impl Client {
         }
     }
 
-    fn round_trip(&mut self, request: &Frame) -> Result<Frame, ClientError> {
+    /// Bound the transparent reconnect loop (0 disables it; a broken
+    /// connection then surfaces as a hard error, the pre-reconnect
+    /// behavior).
+    pub fn set_reconnect_attempts(&mut self, attempts: usize) {
+        self.reconnect_attempts = attempts;
+    }
+
+    /// One request/reply exchange on the current connection; connection
+    /// loss surfaces as `Io` or `Disconnected`.
+    fn exchange(&mut self, request: &Frame) -> Result<Frame, ClientError> {
         write_frame(&mut self.stream, request)?;
         loop {
             match read_frame(&mut self.stream, self.max_payload)? {
@@ -142,6 +188,40 @@ impl Client {
                 ReadOutcome::Malformed(e) => return Err(e.into()),
             }
         }
+    }
+
+    /// Whether a failure means the connection is gone (worth re-dialing)
+    /// rather than a server-side or protocol-level verdict.
+    fn connection_lost(e: &ClientError) -> bool {
+        matches!(e, ClientError::Io(_) | ClientError::Disconnected)
+    }
+
+    fn round_trip(&mut self, request: &Frame) -> Result<Frame, ClientError> {
+        let mut last = match self.exchange(request) {
+            Ok(f) => return Ok(f),
+            Err(e) if Self::connection_lost(&e) => e,
+            Err(e) => return Err(e),
+        };
+        // Jitter seeded per (session, request type): concurrent clients
+        // re-dialing a restarted daemon spread out, while any given
+        // request's schedule stays reproducible.
+        let seed = request.session_id ^ (request.frame_type as u64);
+        for attempt in 0..self.reconnect_attempts {
+            std::thread::sleep(retry_backoff(attempt, seed));
+            match self.target.dial() {
+                Ok(stream) => {
+                    self.stream = stream;
+                    incprof_obs::counter(incprof_obs::names::SERVE_CLIENT_RECONNECTS).inc();
+                    match self.exchange(request) {
+                        Ok(f) => return Ok(f),
+                        Err(e) if Self::connection_lost(&e) => last = e,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
     }
 
     fn expect_reply(&mut self, request: &Frame, want: FrameType) -> Result<Frame, ClientError> {

@@ -123,14 +123,19 @@ impl Default for ServeConfig {
     }
 }
 
-/// One accepted connection (TCP or Unix).
-pub(crate) enum Conn {
+/// One accepted connection (TCP or Unix). Public so other frontends —
+/// notably the `incprof-shard` router — can reuse the daemon's
+/// accept-loop pieces instead of reimplementing the socket plumbing.
+pub enum Conn {
+    /// A TCP connection.
     Tcp(TcpStream),
+    /// A Unix-domain socket connection.
     Unix(UnixStream),
 }
 
 impl Conn {
-    pub(crate) fn set_read_timeout(&self, t: Duration) -> io::Result<()> {
+    /// Set the read poll interval (shutdown-observation latency).
+    pub fn set_read_timeout(&self, t: Duration) -> io::Result<()> {
         match self {
             Conn::Tcp(s) => s.set_read_timeout(Some(t)),
             Conn::Unix(s) => s.set_read_timeout(Some(t)),
@@ -163,13 +168,17 @@ impl Write for Conn {
     }
 }
 
-pub(crate) enum Listener {
+/// A bound listener (TCP or Unix), the accepting half of [`Conn`].
+pub enum Listener {
+    /// A TCP listener.
     Tcp(TcpListener),
+    /// A Unix-domain socket listener.
     Unix(UnixListener),
 }
 
 impl Listener {
-    pub(crate) fn accept(&self) -> io::Result<Conn> {
+    /// Accept one connection.
+    pub fn accept(&self) -> io::Result<Conn> {
         match self {
             Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
             Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
@@ -194,7 +203,7 @@ impl Shared {
 /// Bind one [`BindAddr`], returning the listener and its resolved
 /// address (`ip:port` for TCP — ephemeral ports resolved — or the path
 /// for Unix, whose stale socket file is taken over).
-fn bind_addr(addr: &BindAddr) -> io::Result<(Listener, String)> {
+pub fn bind_addr(addr: &BindAddr) -> io::Result<(Listener, String)> {
     match addr {
         BindAddr::Tcp(spec) => {
             let l = TcpListener::bind(spec.as_str())?;
@@ -389,7 +398,7 @@ impl ServerHandle {
 }
 
 /// Dial the listener once so a blocking `accept` observes the flag.
-fn wake_acceptor(bind: &BindAddr, addr: &str) {
+pub fn wake_acceptor(bind: &BindAddr, addr: &str) {
     match bind {
         BindAddr::Tcp(_) => {
             if let Ok(parsed) = addr.parse() {
@@ -509,8 +518,15 @@ fn handle_conn(mut conn: Conn, shared: &Shared) {
 /// Handle one good frame; returns false when the connection should end.
 fn dispatch(conn: &mut Conn, shared: &Shared, frame: Frame) -> bool {
     match frame.frame_type {
-        FrameType::Open => match shared.registry.open() {
+        // session_id 0 asks the daemon to allocate; a nonzero id adopts
+        // that id (idempotently, rehydrating shared-store state when it
+        // exists) — the shard router's failover handoff path.
+        FrameType::Open if frame.session_id == 0 => match shared.registry.open() {
             Ok((id, _)) => send(conn, &Frame::empty(FrameType::OpenAck, id)),
+            Err(e) => send_error_info(conn, frame.session_id, &e),
+        },
+        FrameType::Open => match shared.registry.open_with_id(frame.session_id) {
+            Ok(_) => send(conn, &Frame::empty(FrameType::OpenAck, frame.session_id)),
             Err(e) => send_error_info(conn, frame.session_id, &e),
         },
         FrameType::Snapshot => handle_snapshot(conn, shared, &frame),
@@ -646,6 +662,31 @@ fn handle_snapshot(conn: &mut Conn, shared: &Shared, frame: &Frame) -> bool {
                 );
                 send(conn, &Frame::empty(FrameType::Busy, frame.session_id))
             }
+            // A retransmission of the most recently acked snapshot
+            // (client reconnect or router failover): replay the
+            // remembered ack so at-least-once delivery is invisible.
+            Ok(Enqueue::Duplicate) => match session.last_ack() {
+                Some(ack) => {
+                    let payload = SnapshotAck {
+                        interval: ack.sample_index,
+                        phase: ack.observation.phase as u32,
+                        new_phase: ack.observation.new_phase,
+                        transition: ack.observation.transition,
+                        capped: ack.observation.capped,
+                    }
+                    .encode();
+                    send(
+                        conn,
+                        &Frame::with_payload(FrameType::SnapshotAck, frame.session_id, payload),
+                    )
+                }
+                None => send_error(
+                    conn,
+                    frame.session_id,
+                    ErrorCode::Internal,
+                    "duplicate verdict without a remembered ack",
+                ),
+            },
             Ok(Enqueue::Accepted) => match session.drain_traced(traced) {
                 Err(e) => send_error_info(conn, frame.session_id, &e),
                 Ok(acks) => {

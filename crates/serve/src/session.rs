@@ -38,6 +38,11 @@ pub enum Enqueue {
     Accepted,
     /// The bounded queue is full; the client must retry later.
     Busy,
+    /// The snapshot is a retransmission of the most recently acked
+    /// sample (a client or router retrying after a lost reply): the
+    /// caller should answer with [`Session::last_ack`] instead of
+    /// ingesting it again.
+    Duplicate,
 }
 
 /// One processed snapshot: its sample index plus the online detector's
@@ -86,6 +91,13 @@ pub struct Session {
     /// Stamped from caller-provided instants so this module stays free
     /// of direct clock reads.
     last_activity: Option<Instant>,
+    /// The ack produced for the most recently drained snapshot. Kept so
+    /// an at-least-once retransmission (client reconnect, router
+    /// failover) of that snapshot can be answered with the identical
+    /// ack instead of an `OutOfOrder` error. Rebuilt deterministically
+    /// on rehydration because replay runs the same detector over the
+    /// same log.
+    last_ack: Option<IngestAck>,
     /// The next expected `sample_index`. Tracked explicitly rather than
     /// derived from `series.len()` because tiered retention can trim old
     /// snapshots out of the series without resetting the stream's index
@@ -141,6 +153,7 @@ impl Session {
             fault: None,
             cache: analysis_cache.then(AnalysisCache::new),
             last_activity: None,
+            last_ack: None,
             next_index: 0,
             persist: None,
             evicted: false,
@@ -176,9 +189,16 @@ impl Session {
                     break;
                 }
             };
-            s.online.observe(&interval);
+            let observation = s.online.observe(&interval);
             s.prev_flat = gmon.flat.clone();
             s.table = gmon.functions.clone();
+            // Replay is deterministic, so the rebuilt ack for the final
+            // retained snapshot is bitwise the one the previous owner
+            // sent — a failover retransmission gets the identical reply.
+            s.last_ack = Some(IngestAck {
+                sample_index: gmon.sample_index,
+                observation,
+            });
             s.next_index = gmon.sample_index + 1;
             s.series
                 .append_monotonic(ProfileSnapshot::from_gmon(gmon))
@@ -226,6 +246,19 @@ impl Session {
         }
         let expected = self.next_index + self.pending.len() as u64;
         if gmon.sample_index != expected {
+            // At-least-once delivery: a client whose connection died
+            // between our ack and its read retransmits the same
+            // snapshot. Recognize exactly the most recently acked index
+            // (nothing queued behind it) and let the caller replay the
+            // remembered ack instead of erroring the stream.
+            if self.pending.is_empty()
+                && self
+                    .last_ack
+                    .is_some_and(|a| a.sample_index == gmon.sample_index)
+            {
+                self.last_activity = Some(enqueued_at);
+                return Ok(Enqueue::Duplicate);
+            }
             return Err(ErrorInfo::new(
                 ErrorCode::OutOfOrder,
                 format!(
@@ -240,6 +273,12 @@ impl Session {
         self.last_activity = Some(enqueued_at);
         self.pending.push_back(Pending { gmon, enqueued_at });
         Ok(Enqueue::Accepted)
+    }
+
+    /// The ack produced for the most recently drained snapshot, if any.
+    /// This is what answers an [`Enqueue::Duplicate`] retransmission.
+    pub fn last_ack(&self) -> Option<IngestAck> {
+        self.last_ack
     }
 
     /// Record non-ingest activity (e.g. a report query) at `now`, for
@@ -298,10 +337,12 @@ impl Session {
             self.persist_snapshot(sample_index, &p.gmon);
             incprof_obs::histogram(incprof_obs::names::SERVE_INGEST_DETECT_LATENCY_NS)
                 .record(p.enqueued_at.elapsed().as_nanos() as u64);
-            acks.push(IngestAck {
+            let ack = IngestAck {
                 sample_index,
                 observation,
-            });
+            };
+            self.last_ack = Some(ack);
+            acks.push(ack);
         }
         if !acks.is_empty() {
             incprof_obs::recorder().record(
@@ -640,6 +681,72 @@ impl Registry {
         Ok((id, session))
     }
 
+    /// Open (or adopt) a session under a caller-chosen id. This is the
+    /// router handoff path: a shard router allocates cluster-wide ids
+    /// and every backend must accept "open session N" idempotently —
+    /// if `id` is already live the existing session is returned, if its
+    /// durable state exists in the shared store it is rehydrated, and
+    /// otherwise a fresh session is created under exactly that id. The
+    /// local allocator always advances past `id` so plain opens never
+    /// collide with adopted ones.
+    pub fn open_with_id(&self, id: u64) -> Result<Arc<Mutex<Session>>, ErrorInfo> {
+        if id == 0 {
+            return Err(ErrorInfo::new(
+                ErrorCode::BadPayload,
+                "session id 0 is reserved for allocation".to_string(),
+            ));
+        }
+        {
+            let mut inner = lock(&self.inner);
+            inner.next_id = inner.next_id.max(id + 1);
+            if let Some(s) = inner.sessions.get(&id) {
+                return Ok(Arc::clone(s));
+            }
+            if inner.sessions.len() >= self.max_sessions {
+                return Err(ErrorInfo::new(
+                    ErrorCode::SessionLimit,
+                    format!("session table full ({} sessions)", self.max_sessions),
+                ));
+            }
+        }
+        // A failover re-open finds the previous owner's log in the
+        // shared store and replays it (outside the registry lock).
+        if self.store.as_ref().is_some_and(|s| s.has_session(id)) {
+            if let Some(s) = self.get(id) {
+                return Ok(s);
+            }
+        }
+        let mut session = Session::new(
+            id,
+            self.online.clone(),
+            self.max_pending,
+            self.analysis_cache,
+        );
+        session.source_graph = Arc::clone(&self.source_graph);
+        if let Some(store) = &self.store {
+            match store.create_session(id) {
+                Ok(persist) => session.persist = Some(persist),
+                Err(e) => {
+                    incprof_obs::counter(incprof_obs::names::STORE_APPEND_ERRORS).inc();
+                    incprof_obs::warn!(
+                        "session {id}: could not create snapshot log ({e}); memory-only"
+                    );
+                }
+            }
+        }
+        let session = Arc::new(Mutex::new(session));
+        let mut inner = lock(&self.inner);
+        if let Some(existing) = inner.sessions.get(&id) {
+            // Another connection adopted the id first; its instance wins.
+            return Ok(Arc::clone(existing));
+        }
+        inner.sessions.insert(id, Arc::clone(&session));
+        incprof_obs::counter(incprof_obs::names::SERVE_SESSIONS_OPENED).inc();
+        incprof_obs::gauge(incprof_obs::names::SERVE_SESSIONS_ACTIVE)
+            .set(inner.sessions.len() as u64);
+        Ok(session)
+    }
+
     /// Look up a session: live ones come straight from the table, and
     /// evicted or recovered ones are rehydrated from the store
     /// transparently.
@@ -927,6 +1034,48 @@ mod tests {
     }
 
     #[test]
+    fn retransmitted_last_snapshot_is_acked_as_duplicate() {
+        let r = registry();
+        let (_, s) = r.open().unwrap();
+        let mut s = lock(&s);
+        s.enqueue(gmon(0, 10), Instant::now()).unwrap();
+        let acks = s.drain().unwrap();
+        // The same snapshot again (lost-reply retransmission) is not an
+        // error and does not re-ingest.
+        assert_eq!(
+            s.enqueue(gmon(0, 10), Instant::now()),
+            Ok(Enqueue::Duplicate)
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.last_ack().unwrap().sample_index, acks[0].sample_index);
+        // Anything older than the most recent ack is still a protocol
+        // error.
+        s.enqueue(gmon(1, 20), Instant::now()).unwrap();
+        s.drain().unwrap();
+        let err = s.enqueue(gmon(0, 10), Instant::now()).unwrap_err();
+        assert_eq!(err.code, ErrorCode::OutOfOrder);
+    }
+
+    #[test]
+    fn open_with_id_is_idempotent_and_advances_allocator() {
+        let r = registry();
+        let s = r.open_with_id(7).unwrap();
+        {
+            let mut s = lock(&s);
+            s.enqueue(gmon(0, 10), Instant::now()).unwrap();
+            s.drain().unwrap();
+        }
+        // Adopting a live id returns the existing session, data intact.
+        let again = r.open_with_id(7).unwrap();
+        assert_eq!(lock(&again).len(), 1);
+        // Plain opens never reissue an adopted id.
+        let (next, _) = r.open().unwrap();
+        assert!(next > 7, "allocator must advance past adopted id 7");
+        // Id 0 is the allocation sentinel and cannot be adopted.
+        assert!(r.open_with_id(0).is_err());
+    }
+
+    #[test]
     fn session_cap_is_enforced() {
         let r = registry();
         let mut held = Vec::new();
@@ -1162,6 +1311,44 @@ mod tests {
         assert_eq!(
             lock(&sb).report_json(&detector, ReportMode::Full),
             baseline_b
+        );
+    }
+
+    #[test]
+    fn failover_adopt_replays_log_and_answers_duplicate() {
+        let (root, store) = durable("handoff", RetentionPolicy::keep_all());
+        let r = registry().with_store(store, 0);
+        let s = r.open_with_id(42).unwrap();
+        let last_ack = {
+            let mut s = lock(&s);
+            for i in 0..3u64 {
+                s.enqueue(gmon(i, (i + 1) * 1_000_000_000), Instant::now())
+                    .unwrap();
+                s.drain().unwrap();
+            }
+            s.last_ack().unwrap()
+        };
+        drop(s);
+        drop(r);
+        // "Failover": a different backend over the same store adopts
+        // the id and replays the previous owner's log.
+        let store = Store::open(&root, RetentionPolicy::keep_all(), 4).unwrap();
+        let r2 = registry().with_store(store, 0);
+        let s2 = r2.open_with_id(42).unwrap();
+        let mut s2 = lock(&s2);
+        assert_eq!(s2.len(), 3, "log replayed on adopt");
+        // The router's retransmission of the in-flight snapshot gets
+        // the same ack the dead backend would have sent.
+        assert_eq!(
+            s2.enqueue(gmon(2, 3_000_000_000), Instant::now()),
+            Ok(Enqueue::Duplicate)
+        );
+        let replayed = s2.last_ack().unwrap();
+        assert_eq!(replayed.sample_index, last_ack.sample_index);
+        assert_eq!(replayed.observation.phase, last_ack.observation.phase);
+        assert_eq!(
+            replayed.observation.new_phase,
+            last_ack.observation.new_phase
         );
     }
 

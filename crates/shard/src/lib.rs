@@ -1,0 +1,33 @@
+//! incprof-shard: a consistent-hash session router for a cluster of
+//! `incprof-serve` backends.
+//!
+//! One `incprof-serve` process answers streaming phase queries for the
+//! sessions on one machine; this crate is the horizontal step. A
+//! [`router::Router`] accepts ordinary IPRF/1–v2 client connections and
+//! forwards every frame — unmodified, trace extension included — to the
+//! backend its `session_id` hashes to on a fixed virtual-node
+//! [`ring::Ring`]. Placement is a pure function of
+//! `(backend_count, session_id)`: deterministic, testable, and agreed
+//! on by every router instance without coordination.
+//!
+//! The cluster survives any single backend dying because the serve
+//! layer already made sessions durable and relocatable: all backends
+//! share one `--store-dir`, a dead backend's sessions re-open on the
+//! ring's next healthy node via the serve registry's adopt-by-id path
+//! (replaying the snapshot log, checkpoint-warm when valid), and the
+//! in-flight request is retransmitted and answered after recovery —
+//! the backend's duplicate-ack recognition makes the retry invisible.
+//!
+//! The router also fronts the admin plane: `Scrape` fans out to every
+//! backend and merges the expositions into one cluster view with a
+//! `shard` label, and `Health` aggregates per-backend status. See
+//! `docs/CLUSTER.md` for ring layout, failover and drain semantics,
+//! and the merged scrape format.
+//!
+//! Everything is `std`-only: no async runtime, no external crates.
+
+pub mod ring;
+pub mod router;
+
+pub use ring::{mix64, Ring, VNODES_PER_BACKEND};
+pub use router::{BackendSpec, Router, RouterConfig, RouterHandle};

@@ -1,0 +1,183 @@
+//! The consistent-hash ring that places sessions on backends.
+//!
+//! Placement must be *deterministic* (a session id maps to the same
+//! shard on every router, every restart, every test run) and *stable*
+//! (adding or losing a backend moves only the sessions that must move).
+//! Both come from the classic fixed-virtual-node construction: every
+//! backend owns [`VNODES_PER_BACKEND`] points on a `u64` circle, a
+//! session hashes to one point, and it belongs to the first vnode
+//! clockwise from there whose backend is healthy.
+//!
+//! All hashing is the SplitMix64 finalizer ([`mix64`]) — cheap,
+//! stateless, and well-distributed — so the whole layout is a pure
+//! function of `(backend_count, session_id)` with no RNG and no clock.
+
+/// Virtual nodes per backend. Fixed (not configurable) so placement is
+/// a protocol-level constant: two routers over the same backend count
+/// always agree.
+pub const VNODES_PER_BACKEND: usize = 64;
+
+/// SplitMix64 finalizer: a cheap, well-distributed stateless mix.
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A fixed consistent-hash ring over `backends` shards.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    backends: usize,
+    /// `(point, backend)` sorted by point (ties broken by backend index
+    /// so even a point collision is deterministic).
+    points: Vec<(u64, usize)>,
+}
+
+impl Ring {
+    /// Build the ring for `backends` shards (at least 1).
+    pub fn new(backends: usize) -> Ring {
+        let backends = backends.max(1);
+        let mut points = Vec::with_capacity(backends * VNODES_PER_BACKEND);
+        for b in 0..backends {
+            for v in 0..VNODES_PER_BACKEND {
+                // Two rounds decorrelate the (small-integer) backend and
+                // vnode indices before they land on the circle.
+                let point = mix64(mix64(b as u64) ^ (v as u64).wrapping_mul(0x9e37_79b9));
+                points.push((point, b));
+            }
+        }
+        points.sort_unstable();
+        Ring { backends, points }
+    }
+
+    /// Number of backends the ring was built for.
+    pub fn backends(&self) -> usize {
+        self.backends
+    }
+
+    /// The session's home shard, ignoring health (the owner an
+    /// uninterrupted cluster routes to).
+    pub fn owner(&self, session_id: u64) -> usize {
+        self.route(session_id, |_| true)
+            // lint: allow(P01, new() guarantees at least one backend, so route with an always-true filter cannot return None)
+            .expect("ring always has at least one vnode")
+    }
+
+    /// The first backend clockwise from the session's point for which
+    /// `healthy` holds, or `None` when no backend passes. This is the
+    /// failover rule: when a backend dies its sessions land on the next
+    /// healthy vnode's backend, and every session placed elsewhere is
+    /// untouched.
+    pub fn route(&self, session_id: u64, healthy: impl Fn(usize) -> bool) -> Option<usize> {
+        let point = mix64(session_id);
+        let start = self.points.partition_point(|&(p, _)| p < point);
+        let n = self.points.len();
+        for i in 0..n {
+            let (_, b) = self.points[(start + i) % n];
+            if healthy(b) {
+                return Some(b);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_across_builds() {
+        let a = Ring::new(3);
+        let b = Ring::new(3);
+        for sid in 0..1000u64 {
+            assert_eq!(a.owner(sid), b.owner(sid));
+        }
+    }
+
+    #[test]
+    fn known_assignments_are_pinned() {
+        // Golden placements: any change to the hash, the vnode count,
+        // or the walk direction is a protocol break and must show up
+        // here, not in a cluster mysteriously re-replaying sessions.
+        let ring = Ring::new(3);
+        let golden: &[(u64, usize)] = &[
+            (1, 1),
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 2),
+            (6, 1),
+            (7, 2),
+            (8, 1),
+            (42, 1),
+            (1000, 2),
+        ];
+        for &(sid, shard) in golden {
+            assert_eq!(ring.owner(sid), shard, "session {sid}");
+        }
+        let ring1 = Ring::new(1);
+        for sid in 1..100u64 {
+            assert_eq!(ring1.owner(sid), 0, "single backend owns everything");
+        }
+    }
+
+    #[test]
+    fn all_backends_receive_a_fair_share() {
+        let ring = Ring::new(4);
+        let mut counts = [0usize; 4];
+        for sid in 0..4000u64 {
+            counts[ring.owner(sid)] += 1;
+        }
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (500..=1500).contains(&c),
+                "backend {b} owns {c} of 4000 sessions — ring is badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_backend_only_moves_sessions_onto_it() {
+        let before = Ring::new(3);
+        let after = Ring::new(4);
+        let mut moved = 0usize;
+        for sid in 0..2000u64 {
+            let (b, a) = (before.owner(sid), after.owner(sid));
+            if b != a {
+                assert_eq!(a, 3, "session {sid} moved to {a}, not the new backend");
+                moved += 1;
+            }
+        }
+        // Consistent hashing moves ~1/4 of the keyspace to the new
+        // backend; far outside that means the ring is rehashing.
+        assert!(
+            (200..=900).contains(&moved),
+            "{moved} of 2000 sessions moved"
+        );
+    }
+
+    #[test]
+    fn losing_a_backend_only_moves_its_own_sessions() {
+        let ring = Ring::new(3);
+        let dead = 1usize;
+        for sid in 0..2000u64 {
+            let owner = ring.owner(sid);
+            let rerouted = ring.route(sid, |b| b != dead).expect("two backends remain");
+            if owner != dead {
+                assert_eq!(
+                    rerouted, owner,
+                    "session {sid} moved though its owner is up"
+                );
+            } else {
+                assert_ne!(rerouted, dead, "session {sid} routed to the dead backend");
+            }
+        }
+    }
+
+    #[test]
+    fn route_with_nothing_healthy_is_none() {
+        assert_eq!(Ring::new(3).route(7, |_| false), None);
+    }
+}

@@ -1,0 +1,968 @@
+//! The session router.
+//!
+//! ```text
+//!                      ┌──────────────────┐      ring(session_id)
+//!  IPRF clients ──────▶│  incprof-shard   │──┬──▶ backend 0 (incprof-serve)
+//!  (TCP/Unix)          │  acceptor + one  │  ├──▶ backend 1
+//!                      │  thread per conn │  └──▶ backend N-1
+//!                      └──────────────────┘
+//! ```
+//!
+//! The router speaks the ordinary IPRF/1–v2 codec on its front socket
+//! and forwards every data-plane frame to the backend the
+//! [`Ring`] assigns its `session_id` — *unmodified*,
+//! including the v2 trace extension, so a traced push resolves
+//! client→router→backend as one tree. The single rewrite in the whole
+//! protocol: an `Open` with session id 0 (allocate-for-me) gets a
+//! router-allocated cluster-wide id before routing, because each
+//! backend's local allocator cannot hand out cluster-unique ids.
+//!
+//! Failover: a broken pipe, reply timeout, or `ShuttingDown` error from
+//! a backend marks it down (permanently, for this router's life) and
+//! the in-flight frame retransmits to the ring's next healthy backend,
+//! which adopts the session id and replays its state from the shared
+//! `--store-dir` log. The serve layer's duplicate-ack recognition makes
+//! the retransmission invisible to the client. `Busy` replies pass
+//! through untouched — per-backend backpressure reaches the client that
+//! caused it.
+
+use crate::ring::Ring;
+use incprof_serve::frame::{
+    read_frame, write_frame, ErrorCode, ErrorInfo, Frame, FrameType, ReadOutcome,
+    DEFAULT_MAX_PAYLOAD,
+};
+use incprof_serve::server::{bind_addr, wake_acceptor, Conn, Listener};
+use incprof_serve::{BindAddr, RetentionPolicy, Store};
+use std::collections::{BTreeSet, HashMap};
+use std::io;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Lock a mutex, continuing through poisoning (router state is plain
+/// data; a poisoned lock only means a peer thread died mid-request).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One backend as the router dials it.
+#[derive(Debug, Clone)]
+pub struct BackendSpec {
+    /// Data-plane address (`host:port`, or a Unix socket path when it
+    /// contains `/`).
+    pub data: String,
+    /// Admin-plane address, when the backend exposes one; backends
+    /// without it are skipped by the merged scrape and health fan-out.
+    pub admin: Option<String>,
+}
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Front listen address for client traffic.
+    pub addr: BindAddr,
+    /// The backends, in ring order (index = shard number).
+    pub backends: Vec<BackendSpec>,
+    /// Optional merged admin listener (scrape fan-out, health).
+    pub admin: Option<BindAddr>,
+    /// The shared store root the backends persist into. Scanned once at
+    /// bind time to seed the cluster-wide session id allocator past any
+    /// ids a previous cluster persisted.
+    pub store_dir: Option<PathBuf>,
+    /// Cap on a single frame's payload bytes.
+    pub max_payload: u32,
+    /// Socket read poll interval; also the shutdown-observation latency.
+    pub read_timeout: Duration,
+    /// Idle client connections are dropped after this long.
+    pub idle_timeout: Duration,
+    /// How long to wait for a backend's reply before declaring it dead.
+    pub reply_timeout: Duration,
+    /// Cap on concurrently served client connections; excess accepts
+    /// get a `Busy` reply and are dropped.
+    pub max_conns: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: BindAddr::Tcp("127.0.0.1:0".to_string()),
+            backends: Vec::new(),
+            admin: None,
+            store_dir: None,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            read_timeout: Duration::from_millis(100),
+            idle_timeout: Duration::from_secs(30),
+            reply_timeout: Duration::from_secs(30),
+            max_conns: 64,
+        }
+    }
+}
+
+struct RouterShared {
+    config: RouterConfig,
+    ring: Ring,
+    shutdown: AtomicBool,
+    /// Per-backend health; a false value is permanent for the router's
+    /// life (no flapping, no half-open probes — restart to rejoin).
+    up: Vec<AtomicBool>,
+    /// Cluster-wide session id allocator (seeded past the store).
+    next_id: AtomicU64,
+    /// Live client-connection count, for the accept cap.
+    conns: AtomicUsize,
+    /// Last known backend per session, for the replay counters.
+    placement: Mutex<HashMap<u64, usize>>,
+    /// Frames forwarded per backend (bench reads this per shard).
+    routed: Vec<AtomicU64>,
+}
+
+impl RouterShared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn backend_up(&self, b: usize) -> bool {
+        self.up.get(b).is_some_and(|f| f.load(Ordering::Acquire))
+    }
+
+    fn backends_up(&self) -> usize {
+        self.up.iter().filter(|f| f.load(Ordering::Acquire)).count()
+    }
+
+    /// Mark a backend dead (idempotent; counts the death once).
+    fn mark_down(&self, b: usize) {
+        let Some(flag) = self.up.get(b) else { return };
+        if flag.swap(false, Ordering::AcqRel) {
+            incprof_obs::counter(incprof_obs::names::SHARD_BACKEND_DEATHS).inc();
+            incprof_obs::gauge(incprof_obs::names::SHARD_BACKENDS_UP)
+                .set(self.backends_up() as u64);
+            incprof_obs::warn!(
+                "backend {b} ({}) marked down; its sessions fail over on next touch",
+                self.config.backends[b].data
+            );
+        }
+    }
+
+    /// Record where a session routed; counts a replay when it moved.
+    fn note_placement(&self, session_id: u64, backend: usize) {
+        let mut map = lock(&self.placement);
+        match map.insert(session_id, backend) {
+            Some(prev) if prev != backend => {
+                incprof_obs::counter(incprof_obs::names::SHARD_SESSIONS_REPLAYED).inc();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A bound (but not yet running) router.
+pub struct Router {
+    listener: Listener,
+    addr: String,
+    admin: Option<(Listener, String)>,
+    shared: Arc<RouterShared>,
+}
+
+impl Router {
+    /// Bind the front (and admin) listener and seed the id allocator
+    /// from the shared store. Requires at least one backend.
+    pub fn bind(config: RouterConfig) -> io::Result<Router> {
+        if config.backends.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a shard router needs at least one backend",
+            ));
+        }
+        let (listener, addr) = bind_addr(&config.addr)?;
+        let admin = match &config.admin {
+            Some(spec) => Some(bind_addr(spec)?),
+            None => None,
+        };
+        // Seed cluster-wide allocation past anything a previous cluster
+        // persisted, exactly as a backend's recover() does locally.
+        let mut next_id = 1u64;
+        if let Some(dir) = &config.store_dir {
+            let store = Store::open(dir, RetentionPolicy::keep_all(), 1)?;
+            if let Ok(ids) = store.scan() {
+                if let Some(&max) = ids.iter().max() {
+                    next_id = max + 1;
+                }
+            }
+        }
+        let n = config.backends.len();
+        let ring = Ring::new(n);
+        let shared = Arc::new(RouterShared {
+            ring,
+            shutdown: AtomicBool::new(false),
+            up: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            next_id: AtomicU64::new(next_id),
+            conns: AtomicUsize::new(0),
+            placement: Mutex::new(HashMap::new()),
+            routed: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            config,
+        });
+        incprof_obs::gauge(incprof_obs::names::SHARD_BACKENDS_UP).set(n as u64);
+        Ok(Router {
+            listener,
+            addr,
+            admin,
+            shared,
+        })
+    }
+
+    /// The bound front address (`ip:port` or Unix path).
+    pub fn local_addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Spawn the acceptor (and admin) threads and return a handle.
+    pub fn start(self) -> io::Result<RouterHandle> {
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut threads = Vec::with_capacity(2);
+        let mut admin_addr = None;
+        if let Some((listener, a)) = self.admin {
+            let shared = Arc::clone(&self.shared);
+            let t = std::thread::Builder::new()
+                .name("incprof-shard-admin".to_string())
+                .spawn(move || admin_loop(&listener, &shared))?;
+            threads.push(t);
+            admin_addr = Some(a);
+        }
+        let shared = Arc::clone(&self.shared);
+        let listener = self.listener;
+        let spawned = Arc::clone(&conn_threads);
+        let acceptor = std::thread::Builder::new()
+            .name("incprof-shard-accept".to_string())
+            .spawn(move || accept_loop(&listener, &shared, &spawned))?;
+        threads.push(acceptor);
+        Ok(RouterHandle {
+            shared: self.shared,
+            addr: self.addr,
+            admin_addr,
+            threads,
+            conn_threads,
+        })
+    }
+}
+
+/// Handle to a running router.
+pub struct RouterHandle {
+    shared: Arc<RouterShared>,
+    addr: String,
+    admin_addr: Option<String>,
+    threads: Vec<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl RouterHandle {
+    /// The bound front address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The merged admin socket's address, when configured.
+    pub fn admin_addr(&self) -> Option<&str> {
+        self.admin_addr.as_deref()
+    }
+
+    /// Frames forwarded to each backend since start (index = shard).
+    pub fn routed_per_backend(&self) -> Vec<u64> {
+        self.shared
+            .routed
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Which backends the router still considers healthy.
+    pub fn backends_up(&self) -> Vec<bool> {
+        self.shared
+            .up
+            .iter()
+            .map(|f| f.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Flip the shutdown flag without joining (idempotent).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        wake_acceptor(&self.shared.config.addr, &self.addr);
+        if let (Some(spec), Some(addr)) = (&self.shared.config.admin, &self.admin_addr) {
+            wake_acceptor(spec, addr);
+        }
+    }
+
+    /// Whether shutdown has been requested (by flag or by frame).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutting_down()
+    }
+
+    /// Block until shutdown is requested — by a `Shutdown` frame from
+    /// the wire or by `external` flipping true (e.g. a SIGINT flag).
+    pub fn wait(&self, external: Option<&AtomicBool>) {
+        loop {
+            if self.shared.shutting_down() {
+                return;
+            }
+            if let Some(flag) = external {
+                if flag.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// Gracefully stop: flag, wake, join every router thread, then
+    /// forward `Shutdown` to every still-healthy backend and await its
+    /// ack — the drain ordering `docs/CLUSTER.md` documents. Backends
+    /// already marked down are skipped (their drain happened when they
+    /// died, or never will).
+    pub fn shutdown(mut self) {
+        self.request_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        for t in lock(&self.conn_threads).drain(..) {
+            let _ = t.join();
+        }
+        drain_backends(&self.shared);
+        if let BindAddr::Unix(path) = &self.shared.config.addr {
+            let _ = std::fs::remove_file(path);
+        }
+        if let Some(BindAddr::Unix(path)) = &self.shared.config.admin {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Forward `Shutdown` to every healthy backend and wait (bounded) for
+/// each `ShutdownAck`. Errors are logged, not fatal: a backend that
+/// died mid-drain is already durable up to its last ack.
+fn drain_backends(shared: &RouterShared) {
+    for (b, spec) in shared.config.backends.iter().enumerate() {
+        if !shared.backend_up(b) {
+            continue;
+        }
+        let outcome = (|| -> Result<(), String> {
+            let mut conn =
+                dial(&spec.data, shared.config.read_timeout).map_err(|e| e.to_string())?;
+            write_frame(&mut conn, &Frame::empty(FrameType::Shutdown, 0))
+                .map_err(|e| e.to_string())?;
+            match read_reply(&mut conn, shared, Duration::from_secs(10)) {
+                Ok(f) if f.frame_type == FrameType::ShutdownAck => Ok(()),
+                Ok(f) => Err(format!("expected ShutdownAck, got {:?}", f.frame_type)),
+                Err(e) => Err(e),
+            }
+        })();
+        if let Err(e) = outcome {
+            incprof_obs::warn!("backend {b} ({}) drain failed: {e}", spec.data);
+        }
+    }
+}
+
+/// Dial one backend address (`/` ⇒ Unix socket path) with the poll
+/// interval set.
+fn dial(addr: &str, read_timeout: Duration) -> io::Result<Conn> {
+    if addr.contains('/') {
+        let s = std::os::unix::net::UnixStream::connect(addr)?;
+        s.set_read_timeout(Some(read_timeout))?;
+        Ok(Conn::Unix(s))
+    } else {
+        let s = TcpStream::connect(addr)?;
+        s.set_read_timeout(Some(read_timeout))?;
+        Ok(Conn::Tcp(s))
+    }
+}
+
+fn accept_loop(
+    listener: &Listener,
+    shared: &Arc<RouterShared>,
+    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let conn = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) => {
+                if shared.shutting_down() {
+                    return;
+                }
+                incprof_obs::warn!("shard accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.shutting_down() {
+            return;
+        }
+        incprof_obs::counter(incprof_obs::names::SHARD_CONNS_ACCEPTED).inc();
+        if shared.conns.load(Ordering::Acquire) >= shared.config.max_conns {
+            let mut conn = conn;
+            let _ = write_frame(&mut conn, &Frame::empty(FrameType::Busy, 0));
+            continue;
+        }
+        shared.conns.fetch_add(1, Ordering::AcqRel);
+        let shared2 = Arc::clone(shared);
+        let spawn = std::thread::Builder::new()
+            .name("incprof-shard-conn".to_string())
+            .spawn(move || {
+                client_loop(conn, &shared2);
+                shared2.conns.fetch_sub(1, Ordering::AcqRel);
+            });
+        match spawn {
+            Ok(t) => lock(conn_threads).push(t),
+            Err(e) => {
+                shared.conns.fetch_sub(1, Ordering::AcqRel);
+                incprof_obs::warn!("could not spawn connection thread: {e}");
+            }
+        }
+    }
+}
+
+/// Serve one client connection: read frames, route, forward replies.
+/// Owns one lazily-dialed connection per backend so request/reply
+/// ordering per backend is trivial and `Busy` propagates naturally.
+fn client_loop(mut conn: Conn, shared: &RouterShared) {
+    if conn.set_read_timeout(shared.config.read_timeout).is_err() {
+        return;
+    }
+    let mut backends: Vec<Option<Conn>> = (0..shared.config.backends.len()).map(|_| None).collect();
+    let idle_limit = shared.config.idle_timeout.as_nanos();
+    let mut idle_polls: u128 = 0;
+    loop {
+        if shared.shutting_down() {
+            send_error(&mut conn, 0, ErrorCode::ShuttingDown, "router draining");
+            return;
+        }
+        let outcome = match read_frame(&mut conn, shared.config.max_payload) {
+            Ok(outcome) => outcome,
+            Err(_) => return,
+        };
+        let frame = match outcome {
+            ReadOutcome::Frame(f) => f,
+            ReadOutcome::Closed => return,
+            ReadOutcome::TimedOut => {
+                idle_polls += 1;
+                if idle_polls * shared.config.read_timeout.as_nanos() >= idle_limit {
+                    return;
+                }
+                continue;
+            }
+            ReadOutcome::Malformed(e) => {
+                send_error(&mut conn, 0, ErrorCode::of_frame_error(&e), &e.to_string());
+                return;
+            }
+        };
+        idle_polls = 0;
+        if !dispatch(&mut conn, shared, frame, &mut backends) {
+            return;
+        }
+    }
+}
+
+/// Handle one client frame; returns false when the connection should
+/// end.
+fn dispatch(
+    conn: &mut Conn,
+    shared: &RouterShared,
+    mut frame: Frame,
+    backends: &mut [Option<Conn>],
+) -> bool {
+    match frame.frame_type {
+        // The router is the liveness endpoint the client is talking to.
+        FrameType::Ping => send(conn, &Frame::empty(FrameType::Pong, frame.session_id)),
+        // Cluster-wide shutdown: drain every backend first, then ack —
+        // when the client sees ShutdownAck the whole cluster is durable.
+        FrameType::Shutdown => {
+            shared.shutdown.store(true, Ordering::Release);
+            drain_backends(shared);
+            send(conn, &Frame::empty(FrameType::ShutdownAck, 0));
+            wake_acceptor(&shared.config.addr, &front_addr_of(shared));
+            false
+        }
+        FrameType::Scrape | FrameType::TraceGet | FrameType::RecorderDump | FrameType::Health => {
+            send_error(
+                conn,
+                frame.session_id,
+                ErrorCode::BadType,
+                &format!("{:?} is admin-only; use the admin socket", frame.frame_type),
+            )
+        }
+        FrameType::Open | FrameType::Snapshot | FrameType::Query | FrameType::Close => {
+            // The one frame the router rewrites: an allocate-for-me Open
+            // gets a cluster-wide id so backends never collide. Every
+            // other frame forwards byte-identical (PROTOCOL.md §router).
+            if frame.frame_type == FrameType::Open && frame.session_id == 0 {
+                frame.session_id = shared.next_id.fetch_add(1, Ordering::AcqRel);
+            }
+            forward(conn, shared, &frame, backends)
+        }
+        other => send_error(
+            conn,
+            frame.session_id,
+            ErrorCode::BadType,
+            &format!("{other:?} is not a routable request"),
+        ),
+    }
+}
+
+fn front_addr_of(shared: &RouterShared) -> String {
+    match &shared.config.addr {
+        BindAddr::Tcp(spec) => spec.clone(),
+        BindAddr::Unix(path) => path.display().to_string(),
+    }
+}
+
+/// Route `frame` to its session's backend and relay the reply. On
+/// backend death: mark it down, walk the ring to the next healthy
+/// backend, and retransmit — the in-flight request is answered after
+/// recovery, never errored, as long as any backend survives.
+fn forward(
+    conn: &mut Conn,
+    shared: &RouterShared,
+    frame: &Frame,
+    backends: &mut [Option<Conn>],
+) -> bool {
+    let sid = frame.session_id;
+    let mut rerouted = false;
+    loop {
+        let Some(b) = shared.ring.route(sid, |i| shared.backend_up(i)) else {
+            return send_error(
+                conn,
+                sid,
+                ErrorCode::ShuttingDown,
+                "no healthy backends remain",
+            );
+        };
+        if rerouted {
+            incprof_obs::counter(incprof_obs::names::SHARD_FAILOVER_REROUTES).inc();
+        }
+        match forward_once(shared, frame, backends, b) {
+            Ok(reply) => {
+                shared.note_placement(sid, b);
+                incprof_obs::counter(incprof_obs::names::SHARD_FRAMES_ROUTED).inc();
+                if let Some(c) = shared.routed.get(b) {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+                return send(conn, &reply);
+            }
+            Err(why) => {
+                incprof_obs::warn!("backend {b} failed ({why}); rerouting session {sid}");
+                shared.mark_down(b);
+                if let Some(slot) = backends.get_mut(b) {
+                    *slot = None;
+                }
+                rerouted = true;
+            }
+        }
+    }
+}
+
+/// One write/read exchange with backend `b` on this connection's cached
+/// link (dialing it if needed). Any error means "treat the backend as
+/// dead": dial failure, broken pipe, reply timeout, torn reply, or an
+/// explicit `ShuttingDown` error frame (a draining backend has stopped
+/// accepting work; its durable state is what failover replays).
+fn forward_once(
+    shared: &RouterShared,
+    frame: &Frame,
+    backends: &mut [Option<Conn>],
+    b: usize,
+) -> Result<Frame, String> {
+    let Some(slot) = backends.get_mut(b) else {
+        return Err("backend index out of range".to_string());
+    };
+    if slot.is_none() {
+        let addr = &shared.config.backends[b].data;
+        *slot = Some(dial(addr, shared.config.read_timeout).map_err(|e| e.to_string())?);
+    }
+    let Some(link) = slot.as_mut() else {
+        return Err("backend link unavailable".to_string());
+    };
+    write_frame(link, frame).map_err(|e| e.to_string())?;
+    let reply = read_reply(link, shared, shared.config.reply_timeout)?;
+    if reply.frame_type == FrameType::Error {
+        if let Ok(info) = ErrorInfo::decode(&reply.payload) {
+            if info.code == ErrorCode::ShuttingDown {
+                return Err("backend is draining".to_string());
+            }
+        }
+    }
+    Ok(reply)
+}
+
+/// Read one frame off a backend link, polling up to `limit`.
+fn read_reply(link: &mut Conn, shared: &RouterShared, limit: Duration) -> Result<Frame, String> {
+    let deadline = Instant::now() + limit;
+    loop {
+        match read_frame(link, shared.config.max_payload) {
+            Ok(ReadOutcome::Frame(f)) => return Ok(f),
+            Ok(ReadOutcome::TimedOut) => {
+                if Instant::now() >= deadline {
+                    return Err("reply timed out".to_string());
+                }
+            }
+            Ok(ReadOutcome::Closed) => return Err("connection closed".to_string()),
+            Ok(ReadOutcome::Malformed(e)) => return Err(format!("malformed reply: {e}")),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+/// Write a frame to the client; returns false when the peer is gone.
+fn send(conn: &mut Conn, frame: &Frame) -> bool {
+    write_frame(conn, frame).is_ok()
+}
+
+fn send_error(conn: &mut Conn, session_id: u64, code: ErrorCode, message: &str) -> bool {
+    send(
+        conn,
+        &Frame::with_payload(
+            FrameType::Error,
+            session_id,
+            ErrorInfo::new(code, message).encode(),
+        ),
+    )
+}
+
+// --- merged admin plane ---
+
+/// Accept loop for the router's admin listener: `Scrape` fans out to
+/// every backend and merges the expositions under a `shard` label,
+/// `Health` aggregates per-backend status, and trace/recorder dumps
+/// answer from the router's own observability state.
+fn admin_loop(listener: &Listener, shared: &Arc<RouterShared>) {
+    loop {
+        let conn = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) => {
+                if shared.shutting_down() {
+                    return;
+                }
+                incprof_obs::warn!("shard admin accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.shutting_down() {
+            return;
+        }
+        incprof_obs::counter(incprof_obs::names::SHARD_ADMIN_CONNS).inc();
+        admin_conn(conn, shared);
+    }
+}
+
+fn admin_conn(mut conn: Conn, shared: &RouterShared) {
+    if conn.set_read_timeout(shared.config.read_timeout).is_err() {
+        return;
+    }
+    let idle_limit = shared.config.idle_timeout.as_nanos();
+    let mut idle_polls: u128 = 0;
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        let outcome = match read_frame(&mut conn, shared.config.max_payload) {
+            Ok(outcome) => outcome,
+            Err(_) => return,
+        };
+        let frame = match outcome {
+            ReadOutcome::Frame(f) => f,
+            ReadOutcome::Closed => return,
+            ReadOutcome::TimedOut => {
+                idle_polls += 1;
+                if idle_polls * shared.config.read_timeout.as_nanos() >= idle_limit {
+                    return;
+                }
+                continue;
+            }
+            ReadOutcome::Malformed(e) => {
+                send_error(&mut conn, 0, ErrorCode::of_frame_error(&e), &e.to_string());
+                return;
+            }
+        };
+        idle_polls = 0;
+        if !dispatch_admin(&mut conn, shared, frame) {
+            return;
+        }
+    }
+}
+
+fn dispatch_admin(conn: &mut Conn, shared: &RouterShared, frame: Frame) -> bool {
+    match frame.frame_type {
+        FrameType::Scrape => {
+            incprof_obs::counter(incprof_obs::names::SHARD_ADMIN_SCRAPES).inc();
+            let text = merged_scrape(shared);
+            send(
+                conn,
+                &Frame::with_payload(FrameType::ScrapeReply, 0, text.into_bytes()),
+            )
+        }
+        FrameType::Health => {
+            let json = merged_health(shared);
+            send(
+                conn,
+                &Frame::with_payload(FrameType::HealthReply, 0, json.into_bytes()),
+            )
+        }
+        FrameType::TraceGet => {
+            let Ok(bytes) = <[u8; 8]>::try_from(frame.payload.as_slice()) else {
+                return send_error(
+                    conn,
+                    0,
+                    ErrorCode::BadPayload,
+                    &format!(
+                        "TraceGet payload must be 8 bytes, got {}",
+                        frame.payload.len()
+                    ),
+                );
+            };
+            let trace_id = u64::from_le_bytes(bytes);
+            let tree =
+                incprof_obs::trace::store_trace_tree(incprof_obs::global().spans(), trace_id);
+            let json = serde_json::to_string(&tree)
+                .unwrap_or_else(|e| format!("{{\"error\":\"serialize failed: {e}\"}}"));
+            send(
+                conn,
+                &Frame::with_payload(FrameType::TraceReply, 0, json.into_bytes()),
+            )
+        }
+        FrameType::RecorderDump => {
+            let recorder = incprof_obs::recorder();
+            let events = recorder.snapshot();
+            let json = format!(
+                "{{\"total\":{},\"events\":{}}}",
+                recorder.total(),
+                serde_json::to_string(&events).unwrap_or_else(|_| "[]".to_string())
+            );
+            send(
+                conn,
+                &Frame::with_payload(FrameType::RecorderReply, 0, json.into_bytes()),
+            )
+        }
+        other => send_error(
+            conn,
+            frame.session_id,
+            ErrorCode::BadType,
+            &format!("{other:?} is not served on the router admin socket"),
+        ),
+    }
+}
+
+/// One admin request/reply against a backend's admin socket.
+fn backend_admin_text(
+    shared: &RouterShared,
+    addr: &str,
+    request: FrameType,
+    want: FrameType,
+) -> Result<String, String> {
+    let mut link = dial(addr, shared.config.read_timeout).map_err(|e| e.to_string())?;
+    write_frame(&mut link, &Frame::empty(request, 0)).map_err(|e| e.to_string())?;
+    let reply = read_reply(&mut link, shared, Duration::from_secs(10))?;
+    if reply.frame_type != want {
+        return Err(format!("expected {want:?}, got {:?}", reply.frame_type));
+    }
+    String::from_utf8(reply.payload).map_err(|_| "payload is not UTF-8".to_string())
+}
+
+/// `shard.frames.routed` → `incprof_shard_frames_routed`.
+fn prom_name(name: &str) -> String {
+    format!("incprof_{}", name.replace('.', "_"))
+}
+
+/// Fan `Scrape` out to every up backend with an admin address and merge
+/// the expositions into one cluster view: every sample line gains a
+/// `shard="<index>"` label (appended to existing labels), `# TYPE`
+/// lines are emitted once (first shard wins), and the router's own
+/// `shard.*` counters are appended unlabelled at the end.
+fn merged_scrape(shared: &RouterShared) -> String {
+    let mut out = String::with_capacity(4096);
+    let mut seen_types: BTreeSet<String> = BTreeSet::new();
+    for (b, spec) in shared.config.backends.iter().enumerate() {
+        let Some(admin) = &spec.admin else { continue };
+        if !shared.backend_up(b) {
+            continue;
+        }
+        match backend_admin_text(shared, admin, FrameType::Scrape, FrameType::ScrapeReply) {
+            Ok(text) => merge_exposition(&mut out, &text, b, &mut seen_types),
+            Err(e) => {
+                incprof_obs::warn!("backend {b} scrape failed: {e}");
+            }
+        }
+    }
+    // Router-local state: only the shard.* family, so an in-process
+    // cluster (tests, bench) never double-counts backend metrics that
+    // happen to share this process's global registry.
+    let metrics = incprof_obs::global().metrics();
+    for (name, value) in metrics.counter_values() {
+        if name.starts_with("shard.") {
+            let n = prom_name(&name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+        }
+    }
+    for (name, value) in metrics.gauge_values() {
+        if name.starts_with("shard.") {
+            let n = prom_name(&name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {value}\n"));
+        }
+    }
+    out
+}
+
+/// Merge one backend's exposition into `out` under `shard="<b>"`.
+fn merge_exposition(out: &mut String, text: &str, b: usize, seen_types: &mut BTreeSet<String>) {
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(decl) = line.strip_prefix("# TYPE ") {
+            if seen_types.insert(decl.to_string()) {
+                out.push_str(line);
+                out.push('\n');
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some((name_part, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        match name_part.split_once('{') {
+            Some((name, labels)) => {
+                let labels = labels.trim_end_matches('}');
+                out.push_str(&format!("{name}{{{labels},shard=\"{b}\"}} {value}\n"));
+            }
+            None => {
+                out.push_str(&format!("{name_part}{{shard=\"{b}\"}} {value}\n"));
+            }
+        }
+    }
+}
+
+/// Aggregate per-backend health into one JSON document. Status is `ok`
+/// only while every backend is up and answering; otherwise `degraded`.
+fn merged_health(shared: &RouterShared) -> String {
+    let mut entries = Vec::with_capacity(shared.config.backends.len());
+    let mut all_ok = true;
+    for (b, spec) in shared.config.backends.iter().enumerate() {
+        let health = if !shared.backend_up(b) {
+            all_ok = false;
+            None
+        } else {
+            match &spec.admin {
+                Some(admin) => {
+                    match backend_admin_text(
+                        shared,
+                        admin,
+                        FrameType::Health,
+                        FrameType::HealthReply,
+                    ) {
+                        Ok(json) => Some(json),
+                        Err(_) => {
+                            all_ok = false;
+                            None
+                        }
+                    }
+                }
+                None => Some("null".to_string()),
+            }
+        };
+        entries.push(format!(
+            "{{\"shard\":{b},\"up\":{},\"health\":{}}}",
+            shared.backend_up(b),
+            health.unwrap_or_else(|| "null".to_string())
+        ));
+    }
+    format!(
+        "{{\"status\":\"{}\",\"backends\":[{}],\"draining\":{}}}",
+        if all_ok { "ok" } else { "degraded" },
+        entries.join(","),
+        shared.shutting_down()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared_for_test(n: usize) -> RouterShared {
+        RouterShared {
+            ring: Ring::new(n),
+            shutdown: AtomicBool::new(false),
+            up: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            next_id: AtomicU64::new(1),
+            conns: AtomicUsize::new(0),
+            placement: Mutex::new(HashMap::new()),
+            routed: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            config: RouterConfig {
+                backends: (0..n)
+                    .map(|i| BackendSpec {
+                        data: format!("127.0.0.1:{}", 20000 + i),
+                        admin: None,
+                    })
+                    .collect(),
+                ..RouterConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn merge_labels_every_sample_and_dedupes_types() {
+        let text = "# TYPE incprof_serve_frames_received counter\n\
+                    incprof_serve_frames_received 7\n\
+                    # TYPE incprof_session_snapshots gauge\n\
+                    incprof_session_snapshots{session=\"3\"} 12\n";
+        let mut out = String::new();
+        let mut seen = BTreeSet::new();
+        merge_exposition(&mut out, text, 0, &mut seen);
+        merge_exposition(&mut out, text, 1, &mut seen);
+        assert_eq!(
+            out.matches("# TYPE incprof_serve_frames_received counter")
+                .count(),
+            1,
+            "{out}"
+        );
+        assert!(
+            out.contains("incprof_serve_frames_received{shard=\"0\"} 7"),
+            "{out}"
+        );
+        assert!(
+            out.contains("incprof_serve_frames_received{shard=\"1\"} 7"),
+            "{out}"
+        );
+        assert!(
+            out.contains("incprof_session_snapshots{session=\"3\",shard=\"1\"} 12"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn mark_down_is_idempotent_and_updates_gauge() {
+        let shared = shared_for_test(3);
+        assert_eq!(shared.backends_up(), 3);
+        shared.mark_down(1);
+        shared.mark_down(1);
+        assert_eq!(shared.backends_up(), 2);
+        assert!(!shared.backend_up(1));
+        assert!(shared.backend_up(0) && shared.backend_up(2));
+    }
+
+    #[test]
+    fn health_reports_degraded_after_a_death() {
+        let shared = shared_for_test(2);
+        assert!(merged_health(&shared).contains("\"status\":\"ok\""));
+        shared.mark_down(0);
+        let json = merged_health(&shared);
+        assert!(json.contains("\"status\":\"degraded\""), "{json}");
+        assert!(json.contains("{\"shard\":0,\"up\":false,"), "{json}");
+        assert!(json.contains("{\"shard\":1,\"up\":true,"), "{json}");
+    }
+
+    #[test]
+    fn bind_rejects_zero_backends() {
+        assert!(Router::bind(RouterConfig::default()).is_err());
+    }
+}

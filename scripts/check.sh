@@ -6,6 +6,10 @@
 #   scripts/check.sh smoke      # only the serve smoke (CI runs this step
 #                               # separately so its artifacts upload on
 #                               # failure; SMOKE_DIR overrides the workdir)
+#   scripts/check.sh cluster-smoke
+#                               # only the shard-router cluster smoke:
+#                               # 2 spawned backends, kill -9 failover,
+#                               # merged scrape (SMOKE_DIR as above)
 #   scripts/check.sh docs-links # only the README ↔ docs/ link check
 #   scripts/check.sh sca        # only the static-analysis gate: incprof
 #                               # sca over the workspace (graph rules +
@@ -107,6 +111,86 @@ serve_smoke() {
     wait "$SERVE2_PID" || { echo "serve smoke: restarted daemon exited non-zero"; cat "$SMOKE_DIR/serve2.log"; exit 1; }
 }
 
+cluster_smoke() {
+    echo "==> cluster smoke (shard router + 2 backends, kill -9 failover)"
+    cargo build -q -p incprof-cli
+    INCPROF="$(pwd)/target/debug/incprof"
+    if [ -z "${SMOKE_DIR:-}" ]; then
+        SMOKE_DIR="$(mktemp -d)"
+        trap 'rm -rf "$SMOKE_DIR"' EXIT
+    else
+        mkdir -p "$SMOKE_DIR"
+    fi
+    "$INCPROF" demo "$SMOKE_DIR/run.json" >/dev/null
+    mkdir -p "$SMOKE_DIR/pids"
+    # The router spawns its two serve children itself (spawn mode); all
+    # three processes share the store so a killed backend's sessions can
+    # replay on the survivor. timeout(1) bounds the whole cluster's life.
+    timeout 120 "$INCPROF" shard --backends 2 \
+        --addr 127.0.0.1:0 --addr-file "$SMOKE_DIR/router-addr.txt" \
+        --admin 127.0.0.1:0 --admin-addr-file "$SMOKE_DIR/router-admin.txt" \
+        --store-dir "$SMOKE_DIR/cluster-store" --pid-dir "$SMOKE_DIR/pids" \
+        >"$SMOKE_DIR/shard.log" 2>&1 &
+    SHARD_PID=$!
+    for _ in $(seq 1 150); do
+        [ -s "$SMOKE_DIR/router-addr.txt" ] && [ -s "$SMOKE_DIR/router-admin.txt" ] && break
+        sleep 0.1
+    done
+    [ -s "$SMOKE_DIR/router-addr.txt" ] \
+        || { echo "cluster smoke: router never bound"; cat "$SMOKE_DIR/shard.log"; exit 1; }
+    [ -s "$SMOKE_DIR/router-admin.txt" ] \
+        || { echo "cluster smoke: router admin never bound"; cat "$SMOKE_DIR/shard.log"; exit 1; }
+    RADDR="$(cat "$SMOKE_DIR/router-addr.txt")"
+    RADMIN="$(cat "$SMOKE_DIR/router-admin.txt")"
+
+    # Push/query round-trip through the router, session kept open so the
+    # failover below addresses the same id.
+    timeout 60 "$INCPROF" push "$RADDR" "$SMOKE_DIR/run.json" --analysis --keep-open \
+        --session-file "$SMOKE_DIR/cluster-session.txt" \
+        >"$SMOKE_DIR/cluster-report.json"
+    grep -q '"phases"' "$SMOKE_DIR/cluster-report.json" \
+        || { echo "cluster smoke: report has no phases"; cat "$SMOKE_DIR/cluster-report.json"; exit 1; }
+
+    # The merged scrape must be well-formed exposition carrying both
+    # shards' samples under the shard label, with TYPE lines deduped.
+    timeout 60 "$INCPROF" top "$RADMIN" --iterations 1 --raw \
+        | grep -v '^top: ' >"$SMOKE_DIR/cluster-scrape.txt"
+    grep -q 'shard="0"' "$SMOKE_DIR/cluster-scrape.txt" \
+        || { echo "cluster smoke: scrape has no shard 0 samples"; cat "$SMOKE_DIR/cluster-scrape.txt"; exit 1; }
+    grep -q 'shard="1"' "$SMOKE_DIR/cluster-scrape.txt" \
+        || { echo "cluster smoke: scrape has no shard 1 samples"; cat "$SMOKE_DIR/cluster-scrape.txt"; exit 1; }
+    [ "$(grep -c '^# TYPE incprof_serve_frames_received ' "$SMOKE_DIR/cluster-scrape.txt")" = 1 ] \
+        || { echo "cluster smoke: merged scrape duplicates TYPE lines"; exit 1; }
+    awk '!/^# TYPE / && !/^[a-z_][a-z0-9_]*({[^}]*})? -?[0-9.]+(e-?[0-9]+)?$/ { bad=1; print "malformed:", $0 } END { exit bad }' \
+        "$SMOKE_DIR/cluster-scrape.txt" \
+        || { echo "cluster smoke: malformed merged exposition line"; exit 1; }
+    timeout 60 "$INCPROF" top "$RADMIN" --iterations 1 --health | grep -q '"status":"ok"' \
+        || { echo "cluster smoke: aggregate health not ok"; exit 1; }
+
+    # Kill -9 the backend that owns the session (found via the pure
+    # placement helper) and query again: the survivor must adopt the
+    # session, replay it from the shared store, and answer with the
+    # byte-identical report.
+    SID="$(cat "$SMOKE_DIR/cluster-session.txt")"
+    OWNER="$("$INCPROF" shard --route "$SID" --backends 2)"
+    echo "==> cluster smoke: kill -9 shard $OWNER (owner of session $SID), query must fail over"
+    kill -9 "$(cat "$SMOKE_DIR/pids/backend-$OWNER.pid")"
+    timeout 60 "$INCPROF" query "$RADDR" "$SID" --analysis >"$SMOKE_DIR/cluster-report2.json"
+    cmp -s "$SMOKE_DIR/cluster-report.json" "$SMOKE_DIR/cluster-report2.json" || {
+        echo "cluster smoke: post-failover report differs from the pre-kill report"
+        diff "$SMOKE_DIR/cluster-report.json" "$SMOKE_DIR/cluster-report2.json" | head -20
+        exit 1
+    }
+    timeout 60 "$INCPROF" top "$RADMIN" --iterations 1 --health | grep -q '"status":"degraded"' \
+        || { echo "cluster smoke: health must report degraded after a backend death"; exit 1; }
+
+    # Drain: Shutdown through the router drains the surviving backend
+    # before the ack, and the router process exits cleanly.
+    timeout 60 "$INCPROF" query "$RADDR" "$SID" --close --shutdown >/dev/null
+    wait "$SHARD_PID" \
+        || { echo "cluster smoke: router exited non-zero"; cat "$SMOKE_DIR/shard.log"; exit 1; }
+}
+
 sca_gate() {
     echo "==> incprof sca (multi-pass static analysis: parser, call graph, P02/D05/A01)"
     cargo build -q -p incprof-cli
@@ -126,6 +210,12 @@ sca_gate() {
 if [ "${1:-all}" = "smoke" ]; then
     serve_smoke
     echo "Serve smoke passed."
+    exit 0
+fi
+
+if [ "${1:-all}" = "cluster-smoke" ]; then
+    cluster_smoke
+    echo "Cluster smoke passed."
     exit 0
 fi
 
@@ -164,5 +254,7 @@ echo "==> cache determinism (warm analysis byte-identical to cold)"
 cargo test -q -p incprof-suite --test cache_determinism
 
 serve_smoke
+
+cluster_smoke
 
 echo "All checks passed."

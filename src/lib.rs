@@ -17,4 +17,6 @@ pub use incprof_par as par;
 pub use incprof_profile as profile;
 pub use incprof_runtime as runtime;
 pub use incprof_serve as serve;
+pub use incprof_shard as shard;
+pub use incprof_store as store;
 pub use mpi_sim;

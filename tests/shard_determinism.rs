@@ -1,0 +1,225 @@
+//! The cluster determinism bridge: putting the `incprof-shard` router
+//! in front of the daemon must never move a report byte.
+//!
+//! For each of the paper's five applications the rank-0 cumulative
+//! series is streamed through three topologies — a plain
+//! `incprof-serve` daemon, a router fronting a 1-backend cluster, and a
+//! router fronting a 3-backend cluster — and the sessions' Full
+//! reports are compared as raw JSON bytes, no tolerance, no reparse.
+//! Topology is infrastructure, not semantics.
+//!
+//! A second test kills a backend mid-stream (graceful shutdown here;
+//! `scripts/check.sh` covers the `kill -9` flavor): the dead shard's
+//! sessions fail over to the ring's next healthy backend, replay from
+//! the shared store, absorb the rest of the stream, and still produce
+//! reports byte-identical to an uninterrupted single daemon.
+
+use incprof_suite::collect::SampleSeries;
+use incprof_suite::hpc_apps::{gadget2, graph500, lammps, miniamr, minife, HeartbeatPlan, RunMode};
+use incprof_suite::profile::FunctionTable;
+use incprof_suite::serve::{Client, ServeConfig, Server, ServerHandle};
+use incprof_suite::shard::{BackendSpec, Ring, Router, RouterConfig, RouterHandle};
+use std::path::{Path, PathBuf};
+
+/// Profile every app once; returns (name, rank-0 series, table).
+fn profiled_runs() -> Vec<(&'static str, SampleSeries, FunctionTable)> {
+    let plan = HeartbeatPlan::none();
+    let mode = RunMode::virtual_1s();
+    let mut runs = Vec::new();
+    let g = graph500::run(&graph500::Graph500Config::tiny(), mode, &plan).rank0;
+    runs.push(("Graph500", g.series, g.table));
+    let m = minife::run(&minife::MiniFeConfig::tiny(), mode, &plan).rank0;
+    runs.push(("MiniFE", m.series, m.table));
+    let a = miniamr::run(&miniamr::MiniAmrConfig::tiny(), mode, &plan).rank0;
+    runs.push(("MiniAMR", a.series, a.table));
+    let l = lammps::run(&lammps::LammpsConfig::tiny(), mode, &plan).rank0;
+    runs.push(("LAMMPS", l.series, l.table));
+    let ga = gadget2::run(&gadget2::Gadget2Config::tiny(), mode, &plan).rank0;
+    runs.push(("Gadget2", ga.series, ga.table));
+    runs
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("incprof_shard_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// An in-process cluster: `n` durable backends over one shared store,
+/// fronted by a router.
+struct Cluster {
+    backends: Vec<Option<ServerHandle>>,
+    router: RouterHandle,
+}
+
+impl Cluster {
+    fn start(n: usize, store: &Path) -> Cluster {
+        let mut backends = Vec::with_capacity(n);
+        let mut specs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let server = Server::bind(ServeConfig {
+                store_dir: Some(store.to_path_buf()),
+                ..ServeConfig::default()
+            })
+            .expect("bind backend");
+            specs.push(BackendSpec {
+                data: server.local_addr().to_string(),
+                admin: None,
+            });
+            backends.push(Some(server.start().expect("start backend")));
+        }
+        let router = Router::bind(RouterConfig {
+            backends: specs,
+            store_dir: Some(store.to_path_buf()),
+            ..RouterConfig::default()
+        })
+        .expect("bind router");
+        Cluster {
+            backends,
+            router: router.start().expect("start router"),
+        }
+    }
+
+    /// Gracefully stop one backend (the "kill": its listener closes and
+    /// its sessions drain to the shared store).
+    fn kill_backend(&mut self, b: usize) {
+        if let Some(handle) = self.backends[b].take() {
+            handle.shutdown();
+        }
+    }
+
+    fn shutdown(self) {
+        self.router.shutdown();
+        for handle in self.backends.into_iter().flatten() {
+            handle.shutdown();
+        }
+    }
+}
+
+/// Stream every app through a plain daemon and return (session id,
+/// report bytes) per app — the baseline every topology must match.
+fn baseline_reports(runs: &[(&str, SampleSeries, FunctionTable)]) -> Vec<(u64, String)> {
+    let server = Server::bind(ServeConfig::default()).expect("bind baseline");
+    let addr = server.local_addr().to_string();
+    let handle = server.start().expect("start baseline");
+    let mut reports = Vec::new();
+    for (app, series, table) in runs {
+        let mut client = Client::connect_tcp(&addr).expect("connect");
+        let session = client.open().expect("open");
+        for snap in series.snapshots() {
+            client
+                .push_retry(session, &snap.to_gmon(table), 50)
+                .unwrap_or_else(|e| panic!("{app}: baseline push failed: {e}"));
+        }
+        reports.push((session, client.query_report(session).expect("query")));
+    }
+    handle.shutdown();
+    reports
+}
+
+#[test]
+fn cluster_reports_are_byte_identical_across_topologies() {
+    let runs = profiled_runs();
+    let baselines = baseline_reports(&runs);
+
+    for n in [1usize, 3] {
+        let store = tmpdir(&format!("topo{n}"));
+        let cluster = Cluster::start(n, &store);
+        for ((app, series, table), (base_session, base_report)) in runs.iter().zip(&baselines) {
+            let mut client = Client::connect_tcp(cluster.router.addr()).expect("connect router");
+            let session = client.open().expect("open via router");
+            assert_eq!(
+                session, *base_session,
+                "{app}: router-allocated id diverged from the plain daemon's"
+            );
+            for snap in series.snapshots() {
+                client
+                    .push_retry(session, &snap.to_gmon(table), 50)
+                    .unwrap_or_else(|e| panic!("{app}: push via {n}-backend cluster failed: {e}"));
+            }
+            let report = client.query_report(session).expect("query via router");
+            assert_eq!(
+                &report, base_report,
+                "{app}: report through a {n}-backend cluster differs from plain incprof-serve"
+            );
+        }
+        assert!(
+            cluster.router.backends_up().iter().all(|&u| u),
+            "no backend should die in the happy path"
+        );
+        cluster.shutdown();
+        let _ = std::fs::remove_dir_all(&store);
+    }
+}
+
+#[test]
+fn killing_a_backend_mid_stream_keeps_reports_byte_identical() {
+    let runs = profiled_runs();
+    let baselines = baseline_reports(&runs);
+
+    let store = tmpdir("failover");
+    let mut cluster = Cluster::start(3, &store);
+    let ring = Ring::new(3);
+
+    // First half of every stream lands on the healthy ring.
+    let mut clients = Vec::new();
+    for ((app, series, table), (base_session, _)) in runs.iter().zip(&baselines) {
+        let mut client = Client::connect_tcp(cluster.router.addr()).expect("connect router");
+        let session = client.open().expect("open via router");
+        assert_eq!(session, *base_session, "{app}: allocation diverged");
+        let snaps = series.snapshots();
+        for snap in &snaps[..snaps.len() / 2] {
+            client
+                .push_retry(session, &snap.to_gmon(table), 50)
+                .unwrap_or_else(|e| panic!("{app}: pre-kill push failed: {e}"));
+        }
+        clients.push((client, session));
+    }
+
+    // Kill the first session's home shard. Per the pinned ring
+    // placements, some sessions live there and some do not — the test
+    // covers both the failover and the untouched path.
+    let victim = ring.owner(clients[0].1);
+    let moved = clients
+        .iter()
+        .filter(|(_, s)| ring.owner(*s) == victim)
+        .count();
+    assert!(
+        moved >= 1,
+        "the victim backend must own at least one session"
+    );
+    assert!(
+        moved < clients.len(),
+        "the victim backend must not own every session"
+    );
+    cluster.kill_backend(victim);
+
+    // Second half flows through the router as if nothing happened: the
+    // dead shard's sessions adopt on the next healthy backend and
+    // replay from the shared store before answering.
+    for (((app, series, table), (_, base_report)), (client, session)) in
+        runs.iter().zip(&baselines).zip(&mut clients)
+    {
+        let snaps = series.snapshots();
+        for snap in &snaps[snaps.len() / 2..] {
+            client
+                .push_retry(*session, &snap.to_gmon(table), 50)
+                .unwrap_or_else(|e| panic!("{app}: post-kill push failed: {e}"));
+        }
+        let report = client.query_report(*session).expect("post-kill query");
+        assert_eq!(
+            &report, base_report,
+            "{app}: post-failover report differs from an uninterrupted daemon"
+        );
+    }
+
+    let up = cluster.router.backends_up();
+    assert!(!up[victim], "the router must have marked the victim down");
+    assert_eq!(
+        up.iter().filter(|&&u| u).count(),
+        2,
+        "only the victim may be down"
+    );
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}
