@@ -86,6 +86,40 @@ impl Dataset {
         self.data[i * self.cols + j] = v;
     }
 
+    /// Append one row.
+    ///
+    /// # Panics
+    /// Panics if `row` does not match the dataset's column count.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(
+            row.len(),
+            self.cols,
+            "pushed row has length {} but dataset has {} columns",
+            row.len(),
+            self.cols
+        );
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Copy of the first `rows` rows (the prefix an incremental fold has
+    /// already consumed).
+    ///
+    /// # Panics
+    /// Panics if `rows` exceeds the row count.
+    pub fn prefix(&self, rows: usize) -> Dataset {
+        assert!(
+            rows <= self.rows,
+            "prefix of {rows} rows requested from a {}-row dataset",
+            self.rows
+        );
+        Dataset {
+            data: self.data[..rows * self.cols].to_vec(),
+            rows,
+            cols: self.cols,
+        }
+    }
+
     /// Iterate rows as slices.
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
         self.data.chunks_exact(self.cols.max(1)).take(self.rows)
@@ -147,6 +181,33 @@ mod tests {
         let d = Dataset::from_rows(vec![vec![], vec![]]);
         assert_eq!(d.nrows(), 2);
         assert_eq!(d.ncols(), 0);
+    }
+
+    #[test]
+    fn push_row_and_prefix() {
+        let mut d = Dataset::from_rows(vec![vec![1.0, 2.0]]);
+        d.push_row(&[3.0, 4.0]);
+        d.push_row(&[5.0, 6.0]);
+        assert_eq!(d.nrows(), 3);
+        assert_eq!(d.row(2), &[5.0, 6.0]);
+        let p = d.prefix(2);
+        assert_eq!(p.to_rows(), vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(d.prefix(0).nrows(), 0);
+        assert_eq!(d.prefix(3), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed row has length")]
+    fn push_row_wrong_width_panics() {
+        let mut d = Dataset::from_rows(vec![vec![1.0, 2.0]]);
+        d.push_row(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix of")]
+    fn prefix_beyond_rows_panics() {
+        let d = Dataset::from_rows(vec![vec![1.0]]);
+        let _ = d.prefix(2);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod compare;
 pub mod dataset;
 pub mod dbscan;
 pub mod distance;
+pub mod incremental;
 pub mod kmeans;
 pub mod scale;
 pub mod select_k;
@@ -44,7 +45,8 @@ pub use compare::{adjusted_rand_index, rand_index};
 pub use dataset::Dataset;
 pub use dbscan::{dbscan, DbscanLabel, DbscanParams};
 pub use distance::PairwiseDistances;
-pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
+pub use incremental::{ChainConfig, KChain, SweepChains};
+pub use kmeans::{kmeans, kmeans_warm, KMeansConfig, KMeansResult};
 pub use scale::Scaling;
 pub use select_k::{
     select_k, select_k_pre, sweep_k, sweep_k_pre, KSelection, KSelectionMethod, KSweep,

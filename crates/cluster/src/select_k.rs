@@ -204,7 +204,11 @@ pub fn elbow_index(wcss: &[f64]) -> usize {
     best_idx
 }
 
-fn silhouette_index(silhouettes: &[Option<f64>]) -> usize {
+/// Index of the maximum defined mean silhouette (falling back to the
+/// first entry — k = 1 — when none is defined). Shared with the
+/// incremental sweep in [`crate::incremental`], which must pick k exactly
+/// like the batch path.
+pub(crate) fn silhouette_index(silhouettes: &[Option<f64>]) -> usize {
     let mut best_idx = 0; // fall back to k = 1 when nothing is defined
     let mut best = f64::NEG_INFINITY;
     for (i, s) in silhouettes.iter().enumerate() {

@@ -29,6 +29,18 @@
 //!    rebuild when anything moved. The fallback is counted as a
 //!    `core.cache.invalidations` metric, reuse as `core.cache.pair_extends`.
 //!
+//! 4. **Incremental k-means chains.** The clustering itself is a
+//!    canonical per-row fold ([`incprof_cluster::incremental`]): cold
+//!    runs fold from row one, warm runs resume the cached
+//!    [`SweepChains`] — the same pure function of the prefix either way,
+//!    so the bits match by construction. Chains survive checkpoints,
+//!    re-align when new feature columns appear (`centroid_remaps` — the
+//!    new columns are verified `+0.0` over the covered prefix as part of
+//!    the prefix check, which makes the re-alignment bit-preserving),
+//!    and are dropped with the pair matrix whenever the prefix moved
+//!    (`centroid_resets`); `centroid_continues` counts analyses that
+//!    actually resumed cached chains.
+//!
 //! Whatever the path, clustering and Algorithm 1 run on exactly the same
 //! scaled dataset (always recomputed — O(n·d)) and a distance matrix
 //! whose every entry equals `euclidean(row(i), row(j))` bit-for-bit, so
@@ -37,7 +49,7 @@
 //! streaming push/query interleave.
 
 use crate::pipeline::{FeatureSet, PhaseAnalysis, PhaseDetector, PipelineError};
-use incprof_cluster::{Dataset, PairwiseDistances};
+use incprof_cluster::{Dataset, KChain, KMeansResult, PairwiseDistances, SweepChains};
 use incprof_collect::{IntervalMatrix, SampleSeries};
 use incprof_profile::{FlatProfile, FunctionId};
 
@@ -53,7 +65,10 @@ pub const INVALIDATE_PAIR: u64 = 3;
 pub const INVALIDATE_TRIM: u64 = 4;
 
 /// Version byte of the [`AnalysisCache::encode_state`] blob format.
-const STATE_VERSION: u8 = 1;
+/// Version 2 added the k-means chain section; version-1 blobs (and any
+/// other version) are rejected cleanly by [`AnalysisCache::decode_state`]
+/// and the caller replays the snapshot log cold.
+const STATE_VERSION: u8 = 2;
 
 /// Memoized result of the last completed analysis.
 #[derive(Debug, Clone)]
@@ -92,6 +107,11 @@ pub struct AnalysisCache {
     feature_fns: Vec<FunctionId>,
     /// The incrementally grown pairwise-distance matrix.
     pair: PairwiseDistances,
+    /// Converged k-means chain state per k, resumed by warm analyses
+    /// (layer 4 of the module docs). Reset together with the pair
+    /// matrix: both are valid exactly while the scaled prefix is
+    /// bit-stable.
+    chains: SweepChains,
     /// Serialized pair section (`u32` order + strict-upper-triangle
     /// bits) staged by [`AnalysisCache::decode_state`] and materialized
     /// into `pair` only when a query actually misses the memo. The
@@ -189,7 +209,11 @@ impl AnalysisCache {
 
         self.update_pair(detector, &matrix, &data);
 
-        let analysis = detector.detect_scaled(&matrix, &data, Some(&self.pair))?;
+        if !self.chains.is_empty() {
+            incprof_obs::counter(incprof_obs::names::CORE_CACHE_CENTROID_CONTINUES).inc();
+        }
+        let analysis =
+            detector.detect_scaled(&matrix, &data, Some(&self.pair), Some(&mut self.chains))?;
 
         self.scaled = Some(data);
         self.feature_fns = matrix.functions().to_vec();
@@ -296,6 +320,24 @@ impl AnalysisCache {
                 }
             }
         }
+        // Chain section (v2): chains are stored in k order, so k itself
+        // is implied by position (`chains[i].k == i + 1`).
+        put_u32(&mut out, self.chains.chains.len() as u32);
+        for chain in &self.chains.chains {
+            put_u32(&mut out, chain.covered as u32);
+            put_u32(&mut out, chain.last.iterations as u32);
+            put_u64(&mut out, chain.last.total_iterations);
+            put_u64(&mut out, chain.last.wcss.to_bits());
+            put_u32(&mut out, chain.last.centroids.ncols() as u32);
+            for c in 0..chain.k {
+                for &v in chain.last.centroids.row(c) {
+                    put_u64(&mut out, v.to_bits());
+                }
+            }
+            for &a in &chain.last.assignments {
+                put_u32(&mut out, a as u32);
+            }
+        }
         if let Some((idx, ts)) = self.last_covered {
             put_u64(&mut out, idx);
             put_u64(&mut out, ts);
@@ -370,6 +412,56 @@ impl AnalysisCache {
         let tri_len = pair_n.checked_mul(pair_n.saturating_sub(1))? / 2;
         r.bytes(tri_len.checked_mul(8)?)?;
         let staged_pair = Some(bytes[section_start..r.pos].to_vec());
+        let n_chains = r.u32()? as usize;
+        let mut chains = Vec::with_capacity(n_chains.min(64));
+        for i in 0..n_chains {
+            let k = i + 1;
+            let covered = r.u32()? as usize;
+            // A chain's base case covers exactly k rows and the fold only
+            // ever extends it over the covered interval prefix.
+            if covered < k || covered > n_intervals {
+                return None;
+            }
+            let iterations = r.u32()? as usize;
+            let total_iterations = r.u64()?;
+            let wcss = f64::from_bits(r.u64()?);
+            let ncols = r.u32()? as usize;
+            // Chains cluster the scaled rows; their centroid width must
+            // match or the whole blob is inconsistent.
+            match &scaled {
+                Some(s) if s.ncols() == ncols => {}
+                _ => return None,
+            }
+            let vals = r.f64_vec(k.checked_mul(ncols)?)?;
+            let mut centroids = Dataset::zeros(k, ncols);
+            for c in 0..k {
+                centroids
+                    .row_mut(c)
+                    .copy_from_slice(&vals[c * ncols..(c + 1) * ncols]);
+            }
+            if r.remaining() < covered.checked_mul(4)? {
+                return None;
+            }
+            let mut assignments = Vec::with_capacity(covered);
+            for _ in 0..covered {
+                let a = r.u32()? as usize;
+                if a >= k {
+                    return None;
+                }
+                assignments.push(a);
+            }
+            chains.push(KChain {
+                k,
+                covered,
+                last: KMeansResult {
+                    assignments,
+                    centroids,
+                    wcss,
+                    iterations,
+                    total_iterations,
+                },
+            });
+        }
         let last_covered = if flags & 4 != 0 {
             Some((r.u64()?, r.u64()?))
         } else {
@@ -409,6 +501,7 @@ impl AnalysisCache {
             scaled,
             feature_fns,
             pair: PairwiseDistances::empty(),
+            chains: SweepChains { chains },
             staged_pair,
             memo_hits: 0,
             memo_misses: 0,
@@ -521,13 +614,33 @@ impl AnalysisCache {
     /// feature-column function ids. Otherwise a cold rebuild runs.
     fn update_pair(&mut self, detector: &PhaseDetector, matrix: &IntervalMatrix, data: &Dataset) {
         let old_n = self.pair.n();
-        let reusable = old_n == 0
-            || (old_n <= data.nrows() && self.prefix_rows_unchanged(detector, matrix, data));
+        let col_map = self.prefix_col_map(detector, matrix, data);
+        let reusable = old_n == 0 || (old_n <= data.nrows() && col_map.is_some());
         if reusable {
             if old_n > 0 && data.nrows() > old_n {
                 incprof_obs::counter(incprof_obs::names::CORE_CACHE_PAIR_EXTENDS).inc();
             }
             self.pair.extend(data);
+            if !self.chains.is_empty() {
+                if let Some(map) = &col_map {
+                    let d_old = self.feature_fns.len();
+                    let d_new = matrix.n_functions();
+                    if d_new > d_old {
+                        // The prefix check proved the old columns kept
+                        // their bits and the inserted columns are exactly
+                        // +0.0 over the covered prefix, so re-aligning
+                        // the cached centroids is bit-preserving (see
+                        // `SweepChains::remap_columns`). Expand the
+                        // per-function map over the feature blocks.
+                        let blocks = feature_blocks(detector);
+                        let full: Vec<usize> = (0..blocks)
+                            .flat_map(|b| map.iter().map(move |&c| b * d_new + c))
+                            .collect();
+                        self.chains.remap_columns(&full, d_new * blocks);
+                        incprof_obs::counter(incprof_obs::names::CORE_CACHE_CENTROID_REMAPS).inc();
+                    }
+                }
+            }
         } else {
             incprof_obs::counter(incprof_obs::names::CORE_CACHE_INVALIDATIONS).inc();
             incprof_obs::recorder().record(
@@ -536,44 +649,42 @@ impl AnalysisCache {
                 INVALIDATE_PAIR,
             );
             self.pair = PairwiseDistances::euclidean_of(data);
+            if !self.chains.is_empty() {
+                self.chains.clear();
+                incprof_obs::counter(incprof_obs::names::CORE_CACHE_CENTROID_RESETS).inc();
+            }
         }
     }
 
     /// Check that every previously-scaled row reappears bit-identically
     /// in `data`, after re-aligning feature columns by [`FunctionId`]
     /// (new functions insert columns; an old row's new entries there
-    /// must be exactly `0.0`, which leaves Euclidean sums bit-stable).
-    fn prefix_rows_unchanged(
+    /// must be exactly `+0.0`, which leaves Euclidean sums bit-stable).
+    /// Returns the old-to-new per-function column map on success, `None`
+    /// when anything moved and the distance/chain state must rebuild
+    /// cold.
+    fn prefix_col_map(
         &self,
         detector: &PhaseDetector,
         matrix: &IntervalMatrix,
         data: &Dataset,
-    ) -> bool {
-        let old = match &self.scaled {
-            Some(d) => d,
-            None => return false,
-        };
+    ) -> Option<Vec<usize>> {
+        let old = self.scaled.as_ref()?;
         if old.nrows() != self.pair.n() || old.nrows() > data.nrows() {
-            return false;
+            return None;
         }
         // Old feature column t maps to new column col_map[t].
         let mut col_map: Vec<usize> = Vec::with_capacity(self.feature_fns.len());
         for id in &self.feature_fns {
-            match matrix.col_of(*id) {
-                Some(c) => col_map.push(c),
-                // A previously observed function vanished — only possible
-                // after a series reset; rebuild cold.
-                None => return false,
-            }
+            // A previously observed function vanishing is only possible
+            // after a series reset; rebuild cold.
+            col_map.push(matrix.col_of(*id)?);
         }
-        let blocks = match detector.features {
-            FeatureSet::SelfTime => 1,
-            FeatureSet::SelfTimeAndCalls | FeatureSet::SelfTimeAndChildTime => 2,
-        };
+        let blocks = feature_blocks(detector);
         let d_old = self.feature_fns.len();
         let d_new = matrix.n_functions();
         if old.ncols() != d_old * blocks || data.ncols() != d_new * blocks {
-            return false;
+            return None;
         }
         let mut expected = vec![0.0_f64; d_new * blocks];
         for i in 0..old.nrows() {
@@ -589,11 +700,20 @@ impl AnalysisCache {
             let new_row = data.row(i);
             for (e, n) in expected.iter().zip(new_row) {
                 if e.to_bits() != n.to_bits() {
-                    return false;
+                    return None;
                 }
             }
         }
-        true
+        Some(col_map)
+    }
+}
+
+/// Feature blocks the detector's [`FeatureSet`] lays out per function
+/// (self time alone, or self time plus one companion quantity).
+fn feature_blocks(detector: &PhaseDetector) -> usize {
+    match detector.features {
+        FeatureSet::SelfTime => 1,
+        FeatureSet::SelfTimeAndCalls | FeatureSet::SelfTimeAndChildTime => 2,
     }
 }
 

@@ -7,8 +7,8 @@
 use crate::algorithm1::{identify_instrumentation, Algorithm1Config, ClusterIntervals};
 use crate::types::Phase;
 use incprof_cluster::{
-    dbscan, select_k_pre, Dataset, DbscanParams, KMeansConfig, KSelectionMethod, PairwiseDistances,
-    Scaling,
+    dbscan, ChainConfig, Dataset, DbscanParams, KMeansConfig, KSelectionMethod, PairwiseDistances,
+    Scaling, SweepChains,
 };
 use incprof_collect::{IntervalMatrix, SampleSeries};
 use incprof_profile::{FunctionTable, ProfileError};
@@ -106,6 +106,18 @@ pub struct PhaseDetector {
     pub seed: u64,
     /// k-means restarts per k.
     pub restarts: usize,
+    /// Review cadence of the incremental k-means fold (see
+    /// [`incprof_cluster::incremental`]): fresh candidates compete with
+    /// the warm-started incumbent whenever the interval count is a
+    /// positive multiple of this. `0` disables reviews.
+    pub review_every: usize,
+    /// Fresh single-restart candidates per review.
+    pub review_candidates: usize,
+    /// Stop the k sweep once the mean silhouette has strictly decreased
+    /// twice in a row. Only applies under
+    /// [`KSelectionMethod::Silhouette`]; the elbow method always needs
+    /// the full WCSS curve.
+    pub sweep_early_exit: bool,
 }
 
 impl Default for PhaseDetector {
@@ -117,6 +129,9 @@ impl Default for PhaseDetector {
             coverage_threshold: 0.95,
             seed: 42,
             restarts: 8,
+            review_every: 16,
+            review_candidates: 2,
+            sweep_early_exit: true,
         }
     }
 }
@@ -200,7 +215,22 @@ impl PhaseDetector {
         mix(self.coverage_threshold.to_bits());
         mix(self.seed);
         mix(self.restarts as u64);
+        mix(self.review_every as u64);
+        mix(self.review_candidates as u64);
+        mix(u64::from(self.sweep_early_exit));
         h
+    }
+
+    /// The incremental-fold configuration this detector clusters with.
+    pub(crate) fn chain_config(&self) -> ChainConfig {
+        ChainConfig {
+            base: KMeansConfig {
+                restarts: self.restarts,
+                ..KMeansConfig::new(1).with_seed(self.seed)
+            },
+            review_every: self.review_every,
+            review_candidates: self.review_candidates,
+        }
     }
 
     /// Detect phases from an already-built interval matrix.
@@ -218,20 +248,26 @@ impl PhaseDetector {
         let data = self.scaling.apply(&raw);
         drop(features_span);
 
-        self.detect_scaled(matrix, &data, None)
+        self.detect_scaled(matrix, &data, None, None)
     }
 
     /// Cluster already-scaled feature rows `data` (as produced by
     /// [`PhaseDetector::build_features`] + [`Scaling::apply`] over
     /// `matrix`), optionally consuming a precomputed pairwise-distance
-    /// matrix. This is the entry point [`crate::cache::AnalysisCache`]
-    /// uses to reuse distance work across streamed queries; with
-    /// `pair = None` it is exactly the tail of [`PhaseDetector::detect`].
+    /// matrix and persistent k-means chains. This is the entry point
+    /// [`crate::cache::AnalysisCache`] uses to reuse distance and
+    /// clustering work across streamed queries; with `pair = None` and
+    /// `chains = None` it is exactly the tail of
+    /// [`PhaseDetector::detect`] — the clustering is the same canonical
+    /// fold either way ([`incprof_cluster::incremental`]), `chains`
+    /// merely resumes it from cached state instead of replaying from row
+    /// one.
     pub(crate) fn detect_scaled(
         &self,
         matrix: &IntervalMatrix,
         data: &Dataset,
         pair: Option<&PairwiseDistances>,
+        chains: Option<&mut SweepChains>,
     ) -> Result<PhaseAnalysis, PipelineError> {
         if matrix.n_intervals() == 0 {
             return Err(PipelineError::NoIntervals);
@@ -243,11 +279,11 @@ impl PhaseDetector {
         let cluster_span = incprof_obs::span(incprof_obs::names::CORE_PIPELINE_CLUSTER);
         let (assignments, centroids, wcss_sweep, silhouette_sweep) = match &self.clustering {
             ClusteringMethod::KMeans { k_max, selection } => {
-                let base = KMeansConfig {
-                    restarts: self.restarts,
-                    ..KMeansConfig::new(1).with_seed(self.seed)
-                };
-                let sel = select_k_pre(data, *k_max, *selection, &base, pair);
+                let cfg = self.chain_config();
+                let mut fresh = SweepChains::new();
+                let chains = chains.unwrap_or(&mut fresh);
+                let sel =
+                    chains.evaluate(data, *k_max, *selection, &cfg, pair, self.sweep_early_exit);
                 (
                     sel.result.assignments.clone(),
                     sel.result.centroids.clone(),

@@ -51,15 +51,28 @@ pub const CLUSTER_SELECT_K_SWEEP: &str = "cluster.select_k.sweep";
 pub const CLUSTER_SELECT_K_PAIRWISE: &str = "cluster.select_k.pairwise";
 /// Histogram: final-iteration centroid movement, in picounits (×1e12).
 pub const CLUSTER_KMEANS_CONVERGENCE_DELTA_E12: &str = "cluster.kmeans.convergence_delta_e12";
+/// Counter: point assignments skipped by the Hamerly-style
+/// triangle-inequality bounds inside Lloyd's assignment step (each skip
+/// saves `k` distance evaluations and is provably output-identical).
+pub const CLUSTER_KMEANS_PRUNED: &str = "cluster.kmeans.pruned";
 
 /// Span name for the `k`-specific leg of a selection sweep.
 pub fn cluster_select_k_k(k: usize) -> String {
     format!("cluster.select_k.k{k}")
 }
 
-/// Counter name for Lloyd iterations accumulated at a given `k`.
+/// Counter name for Lloyd iterations performed by the *winning* restart
+/// at a given `k` (what [`cluster_kmeans_iterations_total`] used to be
+/// conflated with: the winner's count measures convergence behavior,
+/// the total measures compute spent).
 pub fn cluster_kmeans_iterations(k: usize) -> String {
     format!("cluster.kmeans.iterations.k{k}")
+}
+
+/// Counter name for Lloyd iterations summed across *every* restart (and
+/// every warm-started run) at a given `k` — the compute-cost view.
+pub fn cluster_kmeans_iterations_total(k: usize) -> String {
+    format!("cluster.kmeans.iterations_total.k{k}")
 }
 
 // ---------------------------------------------------------------------
@@ -100,6 +113,15 @@ pub const CORE_CACHE_PAIR_EXTENDS: &str = "core.cache.pair_extends";
 /// Counter: cached state discarded (config change, series reset, or
 /// scaled rows shifted under a column-stat rescale).
 pub const CORE_CACHE_INVALIDATIONS: &str = "core.cache.invalidations";
+/// Counter: analyses that warm-started the k-means sweep from cached
+/// converged centroid chains instead of refolding from scratch.
+pub const CORE_CACHE_CENTROID_CONTINUES: &str = "core.cache.centroid_continues";
+/// Counter: cached centroid chains discarded (config change, series
+/// reset, or a scaled-prefix drift that also rebuilt the pair matrix).
+pub const CORE_CACHE_CENTROID_RESETS: &str = "core.cache.centroid_resets";
+/// Counter: centroid chains re-aligned to a grown feature space (new
+/// functions insert zero columns; bit-preserving, so no refold).
+pub const CORE_CACHE_CENTROID_REMAPS: &str = "core.cache.centroid_remaps";
 
 // ---------------------------------------------------------------------
 // par
@@ -262,6 +284,7 @@ pub const ALL: &[&str] = &[
     CLUSTER_SELECT_K_SWEEP,
     CLUSTER_SELECT_K_PAIRWISE,
     CLUSTER_KMEANS_CONVERGENCE_DELTA_E12,
+    CLUSTER_KMEANS_PRUNED,
     CORE_PIPELINE_DETECT,
     CORE_PIPELINE_FEATURES,
     CORE_PIPELINE_CLUSTER,
@@ -276,6 +299,9 @@ pub const ALL: &[&str] = &[
     CORE_CACHE_MISSES,
     CORE_CACHE_PAIR_EXTENDS,
     CORE_CACHE_INVALIDATIONS,
+    CORE_CACHE_CENTROID_CONTINUES,
+    CORE_CACHE_CENTROID_RESETS,
+    CORE_CACHE_CENTROID_REMAPS,
     PAR_POOL_CALLS,
     PAR_POOL_TASKS,
     PAR_POOL_STEALS,
@@ -364,5 +390,9 @@ mod tests {
         assert!(cluster_select_k_k(3).starts_with("cluster.select_k.k"));
         assert_eq!(cluster_select_k_k(3), "cluster.select_k.k3");
         assert_eq!(cluster_kmeans_iterations(8), "cluster.kmeans.iterations.k8");
+        assert_eq!(
+            cluster_kmeans_iterations_total(8),
+            "cluster.kmeans.iterations_total.k8"
+        );
     }
 }

@@ -1,0 +1,133 @@
+//! The one retry-backoff schedule every serve-side retry loop shares.
+//!
+//! The client used to grow retry loops organically — busy-push retries
+//! and broken-connection re-dials each hand-rolled an exponential
+//! schedule, and the shift caps and base multipliers could drift apart
+//! silently. Both now call [`retry_backoff`], which delegates to the
+//! single [`RETRY_POLICY`] constant: a new retry loop either reuses the
+//! policy or has to introduce a second named constant in this module,
+//! where the divergence is visible in review instead of buried in a
+//! loop body.
+
+use std::time::Duration;
+
+/// A deterministic exponential-backoff schedule with bounded jitter.
+///
+/// The delay before 0-based `attempt` is
+/// `min(base_ms << min(attempt, shift_cap), cap_ms)` plus a jitter in
+/// `[0, base/2]` mixed from the caller's seed — pure, so a whole
+/// schedule is computable in a unit test, equal seeds replay
+/// identically, and distinct seeds (one per session/request identity)
+/// de-synchronize concurrent retriers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// First-attempt delay in milliseconds.
+    pub base_ms: u64,
+    /// Ceiling the exponential ramp saturates at, in milliseconds
+    /// (before jitter).
+    pub cap_ms: u64,
+    /// Maximum doubling count; keeps the shift defined for any attempt
+    /// number (`1u64 << attempt` is UB-adjacent past 63 and pointless
+    /// past the cap).
+    pub shift_cap: u32,
+}
+
+impl BackoffPolicy {
+    /// The delay before 0-based retry `attempt`, jittered by `seed`.
+    pub fn delay(&self, attempt: usize, seed: u64) -> Duration {
+        let shift = (attempt as u64).min(u64::from(self.shift_cap)) as u32;
+        let base = self.base_ms.saturating_mul(1u64 << shift).min(self.cap_ms);
+        let jitter = mix64(seed ^ attempt as u64) % (base / 2 + 1);
+        Duration::from_millis(base + jitter)
+    }
+}
+
+/// The schedule shared by every client retry loop: busy-push retries
+/// and transparent reconnects alike. 5 ms doubling to a 200 ms cap.
+pub const RETRY_POLICY: BackoffPolicy = BackoffPolicy {
+    base_ms: 5,
+    cap_ms: 200,
+    shift_cap: 10,
+};
+
+/// The backoff before retry `attempt` (0-based) under [`RETRY_POLICY`].
+pub fn retry_backoff(attempt: usize, seed: u64) -> Duration {
+    RETRY_POLICY.delay(attempt, seed)
+}
+
+/// SplitMix64 finalizer: a cheap, well-distributed stateless mix.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_bounded() {
+        let a: Vec<Duration> = (0..12).map(|i| retry_backoff(i, 42)).collect();
+        let b: Vec<Duration> = (0..12).map(|i| retry_backoff(i, 42)).collect();
+        assert_eq!(a, b, "same seed must replay the same schedule");
+        for (i, d) in a.iter().enumerate() {
+            let base = 5u64.saturating_mul(1 << (i as u32).min(10)).min(200);
+            assert!(d.as_millis() as u64 >= base, "attempt {i}: below base");
+            assert!(
+                d.as_millis() as u64 <= base + base / 2,
+                "attempt {i}: {d:?} over base {base} + 50% jitter"
+            );
+        }
+        // The exponential ramp reaches (and then respects) the cap.
+        assert!(a[11] >= Duration::from_millis(200));
+        assert!(a[11] <= Duration::from_millis(300));
+    }
+
+    #[test]
+    fn backoff_jitter_separates_seeds() {
+        // Not every attempt need differ, but a whole-schedule collision
+        // across distinct seeds would mean the jitter does nothing.
+        let a: Vec<Duration> = (0..8).map(|i| retry_backoff(i, 1)).collect();
+        let b: Vec<Duration> = (0..8).map(|i| retry_backoff(i, 2)).collect();
+        assert_ne!(a, b);
+    }
+
+    /// Any policy (not just the shared constant) must ramp monotonically
+    /// to its cap and never overflow, even for absurd attempt numbers —
+    /// the invariants a future second policy inherits for free.
+    #[test]
+    fn policy_invariants_hold_for_any_attempt() {
+        let p = BackoffPolicy {
+            base_ms: 7,
+            cap_ms: 333,
+            shift_cap: 20,
+        };
+        let mut prev_base = 0u64;
+        for attempt in 0..80 {
+            let d = p.delay(attempt, 0xDEAD_BEEF).as_millis() as u64;
+            let shift = (attempt as u64).min(u64::from(p.shift_cap)) as u32;
+            let base = p.base_ms.saturating_mul(1u64 << shift).min(p.cap_ms);
+            assert!(base >= prev_base, "base must be non-decreasing");
+            assert!(d >= base && d <= base + base / 2, "attempt {attempt}");
+            prev_base = base;
+        }
+    }
+
+    /// The two client retry loops (busy-push and reconnect) must share
+    /// one schedule: `retry_backoff` is definitionally the shared
+    /// policy's delay, so neither loop can drift without changing the
+    /// other.
+    #[test]
+    fn retry_backoff_is_exactly_the_shared_policy() {
+        for attempt in 0..16 {
+            for seed in [0u64, 1, 42, u64::MAX] {
+                assert_eq!(
+                    retry_backoff(attempt, seed),
+                    RETRY_POLICY.delay(attempt, seed)
+                );
+            }
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! and [`Client::push_retry`] implements the obvious bounded-retry
 //! loop for convenience.
 
+use crate::backoff::retry_backoff;
 use crate::frame::{
     read_frame, write_frame, ErrorInfo, Frame, FrameError, FrameType, ReadOutcome, SnapshotAck,
     TraceWire, DEFAULT_MAX_PAYLOAD,
@@ -420,60 +421,5 @@ impl Client {
             FrameType::ShutdownAck,
         )?;
         Ok(())
-    }
-}
-
-/// The backoff before retry `attempt` (0-based): exponential from 5 ms
-/// doubling toward a 200 ms cap, plus deterministic jitter in
-/// `[0, base/2]` mixed from `seed` and the attempt number. Pure — the
-/// whole schedule for a seed is computable in a unit test, and equal
-/// seeds replay identically while different pushers de-synchronize.
-pub fn retry_backoff(attempt: usize, seed: u64) -> Duration {
-    const BASE_MS: u64 = 5;
-    const CAP_MS: u64 = 200;
-    let base = BASE_MS
-        .saturating_mul(1u64 << attempt.min(10) as u32)
-        .min(CAP_MS);
-    let jitter = mix64(seed ^ attempt as u64) % (base / 2 + 1);
-    Duration::from_millis(base + jitter)
-}
-
-/// SplitMix64 finalizer: a cheap, well-distributed stateless mix.
-fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn backoff_schedule_is_deterministic_and_bounded() {
-        let a: Vec<Duration> = (0..12).map(|i| retry_backoff(i, 42)).collect();
-        let b: Vec<Duration> = (0..12).map(|i| retry_backoff(i, 42)).collect();
-        assert_eq!(a, b, "same seed must replay the same schedule");
-        for (i, d) in a.iter().enumerate() {
-            let base = 5u64.saturating_mul(1 << (i as u32).min(10)).min(200);
-            assert!(d.as_millis() as u64 >= base, "attempt {i}: below base");
-            assert!(
-                d.as_millis() as u64 <= base + base / 2,
-                "attempt {i}: {d:?} over base {base} + 50% jitter"
-            );
-        }
-        // The exponential ramp reaches (and then respects) the cap.
-        assert!(a[11] >= Duration::from_millis(200));
-        assert!(a[11] <= Duration::from_millis(300));
-    }
-
-    #[test]
-    fn backoff_jitter_separates_seeds() {
-        // Not every attempt need differ, but a whole-schedule collision
-        // across distinct seeds would mean the jitter does nothing.
-        let a: Vec<Duration> = (0..8).map(|i| retry_backoff(i, 1)).collect();
-        let b: Vec<Duration> = (0..8).map(|i| retry_backoff(i, 2)).collect();
-        assert_ne!(a, b);
     }
 }

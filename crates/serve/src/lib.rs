@@ -39,13 +39,15 @@
 //! Everything is `std`-only: no async runtime, no external crates.
 
 pub mod admin;
+pub mod backoff;
 pub mod client;
 pub mod frame;
 pub mod server;
 pub mod session;
 pub mod signal;
 
-pub use client::{retry_backoff, Client, ClientError, Push};
+pub use backoff::{retry_backoff, BackoffPolicy, RETRY_POLICY};
+pub use client::{Client, ClientError, Push};
 pub use frame::{ErrorCode, ErrorInfo, Frame, FrameError, FrameType, SnapshotAck, TraceWire};
 pub use incprof_store::{RetentionPolicy, Store};
 pub use server::{BindAddr, ServeConfig, Server, ServerHandle};

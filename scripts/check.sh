@@ -16,6 +16,11 @@
 #                               # per-line lints, warnings are errors)
 #                               # plus the apps call-graph export; leaves
 #                               # target/sca-report.json for CI upload
+#   scripts/check.sh incr       # only the incremental-analysis bench
+#                               # gate: warm >= 15x overall / >= 4x per
+#                               # app, cold-path budget, k7/k8 Lloyd
+#                               # iteration cap; leaves
+#                               # experiments_out/incr_report.json
 set -euo pipefail
 cd "$(git rev-parse --show-toplevel)"
 
@@ -219,9 +224,23 @@ if [ "${1:-all}" = "cluster-smoke" ]; then
     exit 0
 fi
 
+incr_gate() {
+    echo "==> incr_bench (warm-vs-cold replay: speedup, cold budget, k7/k8 iteration gates)"
+    # Release build: the gates are timing assertions. The JSON report
+    # (per-app speedups, counter deltas) survives for CI to upload when
+    # a gate fails.
+    cargo run -q --release -p incprof-bench --bin incr_bench
+}
+
 if [ "${1:-all}" = "sca" ]; then
     sca_gate
     echo "Static-analysis gate passed."
+    exit 0
+fi
+
+if [ "${1:-all}" = "incr" ]; then
+    incr_gate
+    echo "Incremental-analysis bench gate passed."
     exit 0
 fi
 
@@ -252,6 +271,8 @@ cargo test --workspace -q
 
 echo "==> cache determinism (warm analysis byte-identical to cold)"
 cargo test -q -p incprof-suite --test cache_determinism
+
+incr_gate
 
 serve_smoke
 

@@ -104,6 +104,95 @@ fn warm_analysis_is_byte_identical_under_column_stat_scalings() {
 }
 
 #[test]
+fn chain_catchup_over_skipped_pushes_is_byte_identical() {
+    // A dashboard that polls rarely leaves the k-means chains several
+    // snapshots behind; the next query advances each chain over the
+    // missed rows in one go. The fold is defined purely over the data,
+    // so the catch-up answer must match both a cold run and a cache
+    // that was queried at every push.
+    let detector = PhaseDetector::default();
+    for stride in [2usize, 5] {
+        for (app, series, _) in &profiled_runs() {
+            let mut sparse = AnalysisCache::new();
+            let mut prefix = SampleSeries::new();
+            for (i, snap) in series.snapshots().iter().enumerate() {
+                prefix.push(snap.clone());
+                let last = i + 1 == series.len();
+                if i % stride != 0 && !last {
+                    continue; // push without querying
+                }
+                let cold = json(&detector.detect_series(&prefix).expect("cold"));
+                let warm = json(&sparse.analyze(&detector, &prefix).expect("catch-up"));
+                assert_eq!(
+                    warm,
+                    cold,
+                    "{app}[..{}] stride {stride}: catch-up != cold",
+                    prefix.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn checkpoint_roundtrip_mid_stream_preserves_warm_byte_identity() {
+    // Encode the cache (pair matrix + k-means chains + memo) halfway
+    // through a stream, decode it into a fresh instance — as the serve
+    // rehydration path does — and finish the stream on the decoded
+    // cache. Every post-restore answer must still be byte-identical to
+    // cold, and the restored state must be byte-identical to the
+    // original encoder's.
+    let detector = PhaseDetector::default();
+    let runs = profiled_runs();
+    for idx in [1usize, 2] {
+        // MiniFE and MiniAMR: the series long enough to split.
+        let (app, series, _) = &runs[idx];
+        let mut cache = AnalysisCache::new();
+        let half = series.len() / 2;
+        let mut prefix = SampleSeries::new();
+        for snap in &series.snapshots()[..half] {
+            prefix.push(snap.clone());
+            cache.analyze(&detector, &prefix).expect("warm first half");
+        }
+        let blob = cache.encode_state();
+        let mut restored = AnalysisCache::decode_state(&blob).expect("mid-stream blob must decode");
+        assert_eq!(
+            restored.encode_state(),
+            blob,
+            "{app}: decode/encode round trip changed the blob"
+        );
+        for snap in &series.snapshots()[half..] {
+            prefix.push(snap.clone());
+            let cold = json(&detector.detect_series(&prefix).expect("cold"));
+            let warm = json(&restored.analyze(&detector, &prefix).expect("restored"));
+            assert_eq!(warm, cold, "{app}[..{}]: restored != cold", prefix.len());
+        }
+    }
+}
+
+#[test]
+fn stale_version_checkpoint_is_rejected_not_misparsed() {
+    // The chain section bumped the blob format to v2. A v1 blob (or any
+    // other version byte) must be refused outright — the caller then
+    // replays the snapshot log cold — never field-shifted into garbage.
+    let detector = PhaseDetector::default();
+    let runs = profiled_runs();
+    let (_, series, _) = &runs[1];
+    let mut cache = AnalysisCache::new();
+    cache.analyze(&detector, series).expect("warm");
+    let mut blob = cache.encode_state();
+    assert!(AnalysisCache::decode_state(&blob).is_some());
+    let current = blob[0];
+    for version in [0u8, 1, current + 1, 0xFF] {
+        blob[0] = version;
+        assert!(
+            AnalysisCache::decode_state(&blob).is_none(),
+            "version {version} blob must be rejected"
+        );
+    }
+}
+
+#[test]
 fn config_change_mid_stream_invalidates_instead_of_serving_stale() {
     let runs = profiled_runs();
     let (_, series, _) = &runs[1]; // MiniFE

@@ -99,6 +99,69 @@ fn clustering_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn pruned_kmeans_is_bit_identical_across_thread_counts() {
+    // The Hamerly-bound fast path skips exact distance work per point;
+    // its correctness claim is "identical bits to the naive argmin, at
+    // any worker count". The tiny app series stay under the parallel
+    // threshold inside Lloyd (n·k·d >= 200_000), so synthesize a
+    // 3000×10 dataset where k = 8 crosses it and the pruned assignment
+    // really runs chunked.
+    use incprof_suite::cluster::{kmeans, Dataset, KMeansConfig};
+    let (n, d) = (3000usize, 10usize);
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 40) as f64 / (1u64 << 24) as f64
+    };
+    let mut data = Dataset::zeros(n, d);
+    for i in 0..n {
+        let blob = (i % 4) as f64 * 10.0;
+        for j in 0..d {
+            data.set(i, j, blob + next());
+        }
+    }
+    let pruned = KMeansConfig::new(8).with_seed(99);
+    let naive = KMeansConfig {
+        pruning: false,
+        ..pruned.clone()
+    };
+    let bits = |r: &incprof_suite::cluster::KMeansResult| {
+        let centroid_bits: Vec<u64> = (0..8)
+            .flat_map(|c| r.centroids.row(c).iter().map(|v| v.to_bits()))
+            .collect();
+        (
+            r.assignments.clone(),
+            r.wcss.to_bits(),
+            centroid_bits,
+            r.iterations,
+        )
+    };
+    incprof_suite::par::set_threads(1);
+    let base = kmeans(&data, &pruned);
+    assert_eq!(
+        bits(&base),
+        bits(&kmeans(&data, &naive)),
+        "pruning changed the result at 1 thread"
+    );
+    for threads in [2usize, 8] {
+        incprof_suite::par::set_threads(threads);
+        assert_eq!(
+            bits(&kmeans(&data, &pruned)),
+            bits(&base),
+            "pruned k-means differs at {threads} threads"
+        );
+        assert_eq!(
+            bits(&kmeans(&data, &naive)),
+            bits(&base),
+            "naive k-means differs at {threads} threads"
+        );
+    }
+    incprof_suite::par::set_threads(0);
+}
+
+#[test]
 fn detect_many_is_bit_identical_to_solo_detects() {
     // Batch-of-runs concurrency (one pool task per run) must not change
     // any individual result either.
